@@ -1,0 +1,115 @@
+//! Micro-benchmarks of the clustering layer: neighbor-table updates,
+//! metric computation, and one full clustering evaluation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use mobic_core::metric::{aggregate_with, table_mobility, MetricAggregation};
+use mobic_core::{
+    centralized::{lowest_weight_clustering, Adjacency},
+    AlgorithmKind, ClusterAdvert, ClusterConfig, ClusterNode, ClusterTable, Weight,
+};
+use mobic_net::{Hello, NodeId};
+use mobic_radio::Dbm;
+use mobic_sim::SimTime;
+
+/// Builds a table with `m` neighbors, each with a fresh successive
+/// pair of receptions.
+fn table_with(m: u32, now: SimTime) -> ClusterTable {
+    let mut t = ClusterTable::new(SimTime::from_secs(3));
+    for i in 0..m {
+        let p0 = Dbm::new(-60.0 - f64::from(i % 7));
+        let p1 = Dbm::new(-59.0 + f64::from(i % 5) * 0.3);
+        let mk = |seq| Hello {
+            sender: NodeId::new(i + 1),
+            seq,
+            payload: ClusterAdvert::initial(),
+        };
+        t.record(now - SimTime::from_secs(2), p0, &mk(0));
+        t.record(now, p1, &mk(1));
+    }
+    t
+}
+
+fn bench_neighbor_table(c: &mut Criterion) {
+    let now = SimTime::from_secs(10);
+    c.bench_function("table/record_20_neighbors", |b| {
+        b.iter(|| black_box(table_with(20, now).degree()));
+    });
+    c.bench_function("table/expire_20_neighbors", |b| {
+        b.iter_batched(
+            || table_with(20, now),
+            |mut t| black_box(t.expire(now + SimTime::from_secs(10)).len()),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_metric(c: &mut Criterion) {
+    let now = SimTime::from_secs(10);
+    for m in [5u32, 20, 50] {
+        let t = table_with(m, now);
+        c.bench_function(&format!("metric/aggregate_{m}_neighbors"), |b| {
+            b.iter(|| black_box(table_mobility(&t, now, SimTime::from_secs(3)).value));
+        });
+    }
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let now = SimTime::from_secs(10);
+    for alg in [AlgorithmKind::Lcc, AlgorithmKind::Mobic, AlgorithmKind::HighestDegree] {
+        c.bench_function(&format!("evaluate/20_neighbors_{}", alg.name()), |b| {
+            b.iter_batched(
+                || {
+                    let node = ClusterNode::new(NodeId::new(0), ClusterConfig::paper_default(alg));
+                    (node, table_with(20, now))
+                },
+                |(mut node, mut t)| {
+                    black_box(node.evaluate(now, &mut t));
+                    black_box(node.role())
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let samples: Vec<f64> = (0..50).map(|i| f64::from(i % 13) - 6.0).collect();
+    for (name, how) in [
+        ("var0", MetricAggregation::Var0),
+        ("median", MetricAggregation::MedianSq),
+        ("max", MetricAggregation::MaxSq),
+    ] {
+        c.bench_function(&format!("metric/aggregate_{name}_50"), |b| {
+            b.iter(|| black_box(aggregate_with(&samples, how)));
+        });
+    }
+}
+
+fn bench_centralized(c: &mut Criterion) {
+    // A 200-node unit-disk graph.
+    let positions: Vec<mobic_geom::Vec2> = (0..200)
+        .map(|i| {
+            let t = i as f64;
+            mobic_geom::Vec2::new((t * 97.3) % 1000.0, (t * 53.9) % 1000.0)
+        })
+        .collect();
+    let adj = Adjacency::unit_disk(&positions, 150.0);
+    let weights: Vec<Weight> = (0..200)
+        .map(|i| Weight::new((i as f64 * 7.7) % 13.0, NodeId::new(i)))
+        .collect();
+    c.bench_function("centralized/lowest_weight_200n", |b| {
+        b.iter(|| black_box(lowest_weight_clustering(&weights, &adj).len()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_neighbor_table,
+    bench_metric,
+    bench_evaluate,
+    bench_aggregation,
+    bench_centralized
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Micro-benchmarks of the discrete-event engine: event-queue
+//! throughput and the end-to-end cost of a small scenario run.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use mobic_core::AlgorithmKind;
+use mobic_scenario::{run_scenario, ScenarioConfig};
+use mobic_sim::{EventQueue, SimTime, Simulation};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_10k", |b| {
+        b.iter_batched(
+            || {
+                // Pseudo-random but fixed times.
+                let mut x = 1u64;
+                let times: Vec<SimTime> = (0..10_000)
+                    .map(|_| {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        SimTime::from_micros(x >> 40)
+                    })
+                    .collect();
+                times
+            },
+            |times| {
+                let mut q = EventQueue::with_capacity(times.len());
+                for (i, &t) in times.iter().enumerate() {
+                    q.push(t, i);
+                }
+                let mut sum = 0usize;
+                while let Some((_, v)) = q.pop() {
+                    sum += v;
+                }
+                black_box(sum)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    c.bench_function("simulation/self_rescheduling_10k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new();
+            sim.schedule_at(SimTime::ZERO, 0u32);
+            let mut count = 0u64;
+            sim.run_until(SimTime::from_secs(10_000), |_, _, sched| {
+                count += 1;
+                if count < 10_000 {
+                    sched.schedule_in(SimTime::SECOND, 0u32);
+                }
+            });
+            black_box(count)
+        });
+    });
+}
+
+fn bench_full_scenario(c: &mut Criterion) {
+    let mut cfg = ScenarioConfig::paper_table1();
+    cfg.n_nodes = 25;
+    cfg.sim_time_s = 60.0;
+    cfg.tx_range_m = 200.0;
+    let mut group = c.benchmark_group("scenario");
+    group.sample_size(10);
+    for alg in [AlgorithmKind::Lcc, AlgorithmKind::Mobic] {
+        group.bench_function(format!("25n_60s_{}", alg.name()), |b| {
+            let cfg = cfg.with_algorithm(alg);
+            b.iter(|| black_box(run_scenario(&cfg, 1).expect("valid")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_full_scenario);
+criterion_main!(benches);

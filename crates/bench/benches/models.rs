@@ -1,0 +1,148 @@
+//! Micro-benchmarks of the physical substrates: mobility sampling,
+//! propagation evaluation, spatial indexing and broadcast delivery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mobic_geom::{GridIndex, Rect, Vec2};
+use mobic_mobility::{Mobility, RandomWaypoint, RandomWaypointParams};
+use mobic_net::{loss::NoLoss, DeliveryEngine, NodeId};
+use mobic_radio::{FreeSpace, Propagation, Radio, TwoRayGround};
+use mobic_sim::{rng::SeedSplitter, SimTime};
+
+fn bench_mobility(c: &mut Criterion) {
+    let params = RandomWaypointParams {
+        field: Rect::square(670.0),
+        min_speed_mps: 0.0,
+        max_speed_mps: 20.0,
+        pause: SimTime::ZERO,
+    };
+    c.bench_function("mobility/rwp_sample_sequential", |b| {
+        let mut node = RandomWaypoint::new(params, SeedSplitter::new(1).stream("m", 0));
+        // Pre-extend so we measure pure sampling.
+        let _ = node.position_at(SimTime::from_secs(900));
+        let mut t = 0u64;
+        b.iter(|| {
+            t = (t + 37) % 900_000_000;
+            black_box(node.position_at(SimTime::from_micros(t)))
+        });
+    });
+    c.bench_function("mobility/rwp_extend_900s", |b| {
+        b.iter(|| {
+            let mut node = RandomWaypoint::new(params, SeedSplitter::new(2).stream("m", 1));
+            black_box(node.position_at(SimTime::from_secs(900)))
+        });
+    });
+}
+
+fn bench_link_analysis(c: &mut Criterion) {
+    use mobic_mobility::analysis::link_intervals;
+    let params = RandomWaypointParams {
+        field: Rect::square(670.0),
+        min_speed_mps: 0.0,
+        max_speed_mps: 20.0,
+        pause: SimTime::ZERO,
+    };
+    let horizon = SimTime::from_secs(900);
+    let mut a = RandomWaypoint::new(params, SeedSplitter::new(5).stream("a", 0));
+    let mut b = RandomWaypoint::new(params, SeedSplitter::new(5).stream("b", 0));
+    let _ = a.position_at(horizon);
+    let _ = b.position_at(horizon);
+    let (ta, tb) = (a.trajectory().clone(), b.trajectory().clone());
+    c.bench_function("analysis/link_intervals_900s_pair", |bch| {
+        bch.iter(|| black_box(link_intervals(&ta, &tb, 250.0, horizon).len()));
+    });
+}
+
+fn bench_manhattan(c: &mut Criterion) {
+    use mobic_mobility::{Manhattan, ManhattanParams};
+    let params = ManhattanParams {
+        field: Rect::square(600.0),
+        block_m: 100.0,
+        min_speed_mps: 5.0,
+        max_speed_mps: 15.0,
+        p_turn: 0.5,
+    };
+    c.bench_function("mobility/manhattan_extend_900s", |b| {
+        b.iter(|| {
+            let mut m = Manhattan::new(params, SeedSplitter::new(3).stream("m", 1));
+            black_box(m.position_at(SimTime::from_secs(900)))
+        });
+    });
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let fs = FreeSpace::at_frequency(914.0e6);
+    let tr = TwoRayGround::ns2_default();
+    c.bench_function("radio/friis_path_loss", |b| {
+        let mut d = 1.0f64;
+        b.iter(|| {
+            d = if d > 249.0 { 1.0 } else { d + 0.37 };
+            black_box(fs.mean_path_loss(d))
+        });
+    });
+    c.bench_function("radio/two_ray_path_loss", |b| {
+        let mut d = 1.0f64;
+        b.iter(|| {
+            d = if d > 249.0 { 1.0 } else { d + 0.37 };
+            black_box(tr.mean_path_loss(d))
+        });
+    });
+    c.bench_function("radio/with_range_solver", |b| {
+        b.iter(|| black_box(Radio::with_range(fs, 250.0).nominal_range_m()));
+    });
+}
+
+fn positions(n: usize) -> Vec<Vec2> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            Vec2::new((t * 137.17) % 670.0, (t * 71.31) % 670.0)
+        })
+        .collect()
+}
+
+fn bench_spatial(c: &mut Criterion) {
+    let pos = positions(1000);
+    let idx = GridIndex::build(Rect::square(670.0), 100.0, &pos);
+    c.bench_function("grid/query_within_100m_n1000", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % pos.len();
+            black_box(idx.query_within(pos[i], 100.0).len())
+        });
+    });
+    c.bench_function("grid/build_n1000", |b| {
+        b.iter(|| black_box(GridIndex::build(Rect::square(670.0), 100.0, &pos).len()));
+    });
+}
+
+fn bench_delivery(c: &mut Criterion) {
+    let pos = positions(50);
+    let mut engine = DeliveryEngine::new(
+        Radio::with_range(FreeSpace::at_frequency(914.0e6), 250.0),
+        NoLoss,
+    );
+    c.bench_function("delivery/broadcast_50n", |b| {
+        let mut tx = 0u32;
+        b.iter(|| {
+            tx = (tx + 1) % 50;
+            black_box(
+                engine
+                    .broadcast(NodeId::new(tx), &pos, SimTime::ZERO)
+                    .len(),
+            )
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mobility,
+    bench_manhattan,
+    bench_link_analysis,
+    bench_propagation,
+    bench_spatial,
+    bench_delivery
+);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Micro-benchmarks of the routing and visualization layers:
+//! topology construction, BFS discovery, and SVG/ASCII rendering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mobic_core::Role;
+use mobic_geom::Vec2;
+use mobic_net::NodeId;
+use mobic_routing::{ClusterRouting, Discovery, Flooding};
+use mobic_viz::{sparkline, ClusterScene, SvgStyle};
+
+fn synthetic(n: usize) -> (Vec<Vec2>, Vec<Role>) {
+    let positions: Vec<Vec2> = (0..n)
+        .map(|i| {
+            let t = i as f64;
+            Vec2::new((t * 123.7) % 670.0, (t * 57.3) % 670.0)
+        })
+        .collect();
+    // Roughly 1-in-8 clusterheads, the rest members of the nearest head.
+    let heads: Vec<usize> = (0..n).step_by(8).collect();
+    let roles: Vec<Role> = (0..n)
+        .map(|i| {
+            if heads.contains(&i) {
+                Role::Clusterhead
+            } else {
+                let h = heads
+                    .iter()
+                    .copied()
+                    .min_by(|&a, &b| {
+                        positions[a]
+                            .distance(positions[i])
+                            .partial_cmp(&positions[b].distance(positions[i]))
+                            .expect("finite")
+                    })
+                    .expect("at least one head");
+                Role::Member {
+                    ch: NodeId::new(h as u32),
+                }
+            }
+        })
+        .collect();
+    (positions, roles)
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let (positions, roles) = synthetic(100);
+    c.bench_function("routing/topology_build_100n", |b| {
+        b.iter(|| {
+            black_box(mobic_routing::ClusterTopology::new(
+                &positions, &roles, 150.0,
+            ))
+        });
+    });
+    let topo = mobic_routing::ClusterTopology::new(&positions, &roles, 150.0);
+    c.bench_function("routing/flood_discover_100n", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 7) % 100;
+            black_box(Flooding.discover(&topo, k, (k + 53) % 100))
+        });
+    });
+    c.bench_function("routing/cluster_discover_100n", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            k = (k + 7) % 100;
+            black_box(ClusterRouting.discover(&topo, k, (k + 53) % 100))
+        });
+    });
+}
+
+fn bench_viz(c: &mut Criterion) {
+    let (positions, roles) = synthetic(100);
+    let scene = ClusterScene {
+        field: mobic_geom::Rect::square(670.0),
+        tx_range_m: 150.0,
+        positions,
+        roles,
+    };
+    let style = SvgStyle::default();
+    c.bench_function("viz/svg_100n", |b| {
+        b.iter(|| black_box(scene.to_svg(&style).len()));
+    });
+    c.bench_function("viz/ascii_100n", |b| {
+        b.iter(|| black_box(scene.to_ascii(80, 24).len()));
+    });
+    let series: Vec<f64> = (0..450).map(|i| f64::from(i % 37)).collect();
+    c.bench_function("viz/sparkline_450", |b| {
+        b.iter(|| black_box(sparkline(&series).len()));
+    });
+}
+
+criterion_group!(benches, bench_routing, bench_viz);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! **X7** — Cluster Contention Interval ablation: how much of MOBIC's
+//! stability comes from deferring clusterhead-vs-clusterhead
+//! reclustering? We sweep CCI ∈ {0, 2, 4, 8} s (the paper fixes 4 s).
+//!
+//! Expected: CCI = 0 (immediate resolution, as LCC does) is visibly
+//! worse; returns diminish beyond the paper's 4 s.
+
+use mobic_bench::{apply_fast, seeds};
+use mobic_core::AlgorithmKind;
+use mobic_metrics::{AsciiTable, OnlineStats};
+use mobic_scenario::{run_batch, ScenarioConfig};
+
+fn main() {
+    let seeds = seeds();
+    println!("== X7: CCI ablation (MOBIC, 670 x 670 m) ==\n");
+    let mut t = AsciiTable::new(["CCI (s)", "CS @150m", "CS @250m", "clusters @250m"]);
+    for cci in [0.0, 2.0, 4.0, 8.0] {
+        let mut cells = Vec::new();
+        let mut clusters = 0.0;
+        for tx in [150.0, 250.0] {
+            let mut cfg = apply_fast(ScenarioConfig::paper_table1())
+                .with_algorithm(AlgorithmKind::Mobic)
+                .with_tx_range(tx);
+            cfg.cci_s = cci;
+            let jobs: Vec<_> = seeds.iter().map(|&s| (cfg, s)).collect();
+            let runs = run_batch(&jobs).expect("valid config");
+            let cs: OnlineStats = runs.iter().map(|r| r.clusterhead_changes as f64).collect();
+            cells.push(format!("{:.1}", cs.mean()));
+            if tx == 250.0 {
+                clusters = runs.iter().map(|r| r.avg_clusters).sum::<f64>() / runs.len() as f64;
+            }
+        }
+        let label = if cci == 4.0 {
+            format!("{cci:.0} (paper)")
+        } else {
+            format!("{cci:.0}")
+        };
+        t.row([label, cells[0].clone(), cells[1].clone(), format!("{clusters:.1}")]);
+    }
+    println!("{}", t.render());
+    if let Err(e) = t.write_csv(mobic_bench::results_dir().join("ablation_cci.csv")) {
+        eprintln!("warning: {e}");
+    }
+    println!("(wrote results/ablation_cci.csv)");
+}

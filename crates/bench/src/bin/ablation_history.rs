@@ -1,0 +1,49 @@
+//! **X3 (§5 extension)** — history smoothing of the aggregate metric:
+//! the paper conjectures that "keeping some history information about
+//! the mobility values may yield more stable metrics and ... more
+//! stable clusters". We EWMA-smooth `M` with weight α and sweep α.
+//!
+//! Expected: CS decreases with moderate α (the metric stops reacting
+//! to single-window measurement noise) with diminishing or reversing
+//! returns as α → 1 (the metric goes stale).
+
+use mobic_bench::{apply_fast, seeds};
+use mobic_core::AlgorithmKind;
+use mobic_metrics::{AsciiTable, OnlineStats};
+use mobic_scenario::{run_batch, ScenarioConfig};
+
+fn main() {
+    let alphas: [Option<f64>; 5] = [None, Some(0.3), Some(0.5), Some(0.7), Some(0.9)];
+    let seeds = seeds();
+    println!("== X3: EWMA history smoothing of M (MOBIC, Tx = 150 / 250 m) ==\n");
+    let mut t = AsciiTable::new(["alpha", "CS @150m", "CS @250m", "clusters @250m"]);
+    for alpha in alphas {
+        let mut cells = Vec::new();
+        let mut clusters250 = 0.0;
+        for tx in [150.0, 250.0] {
+            let mut cfg = apply_fast(ScenarioConfig::paper_table1())
+                .with_algorithm(AlgorithmKind::Mobic)
+                .with_tx_range(tx);
+            cfg.history_alpha = alpha;
+            let jobs: Vec<_> = seeds.iter().map(|&s| (cfg, s)).collect();
+            let runs = run_batch(&jobs).expect("valid config");
+            let cs: OnlineStats = runs.iter().map(|r| r.clusterhead_changes as f64).collect();
+            cells.push(format!("{:.1}", cs.mean()));
+            if tx == 250.0 {
+                clusters250 =
+                    runs.iter().map(|r| r.avg_clusters).sum::<f64>() / runs.len() as f64;
+            }
+        }
+        t.row([
+            alpha.map_or("none (paper)".to_string(), |a| format!("{a:.1}")),
+            cells[0].clone(),
+            cells[1].clone(),
+            format!("{clusters250:.1}"),
+        ]);
+    }
+    println!("{}", t.render());
+    if let Err(e) = t.write_csv(mobic_bench::results_dir().join("ablation_history.csv")) {
+        eprintln!("warning: {e}");
+    }
+    println!("(wrote results/ablation_history.csv)");
+}

@@ -1,0 +1,54 @@
+//! **X6** — packet-loss sensitivity of the mobility metric. The
+//! aggregate `M` needs **two successive** hellos per neighbor; every
+//! lost hello knocks that neighbor out of the next metric computation,
+//! so loss directly starves MOBIC's weight while leaving Lowest-ID's
+//! (static ids) untouched.
+//!
+//! We sweep independent loss p ∈ {0, 0.05, 0.1, 0.2} and a bursty
+//! Gilbert–Elliott channel at Tx = 250 m.
+//!
+//! Expected: MOBIC's advantage erodes as loss grows (and erodes faster
+//! under bursty loss), while both algorithms' absolute churn rises
+//! because neighbor tables flap.
+
+use mobic_bench::{apply_fast, seeds};
+use mobic_core::AlgorithmKind;
+use mobic_metrics::{AsciiTable, OnlineStats};
+use mobic_scenario::{run_batch, LossKind, ScenarioConfig};
+
+fn main() {
+    let seeds = seeds();
+    let channels: Vec<(String, LossKind)> = vec![
+        ("p=0 (paper)".into(), LossKind::None),
+        ("p=0.05".into(), LossKind::Bernoulli { p: 0.05 }),
+        ("p=0.10".into(), LossKind::Bernoulli { p: 0.10 }),
+        ("p=0.20".into(), LossKind::Bernoulli { p: 0.20 }),
+        ("bursty (GE)".into(), LossKind::BurstyPreset),
+    ];
+    println!("== X6: packet-loss sensitivity (Tx = 250 m) ==\n");
+    let mut t = AsciiTable::new(["channel", "lcc CS", "mobic CS", "mobic gain %"]);
+    for (label, loss) in channels {
+        let mut cs = [0.0f64; 2];
+        for (k, alg) in [AlgorithmKind::Lcc, AlgorithmKind::Mobic].into_iter().enumerate() {
+            let mut cfg = apply_fast(ScenarioConfig::paper_table1())
+                .with_algorithm(alg)
+                .with_tx_range(250.0);
+            cfg.loss = loss;
+            let jobs: Vec<_> = seeds.iter().map(|&s| (cfg, s)).collect();
+            let runs = run_batch(&jobs).expect("valid config");
+            let stats: OnlineStats = runs.iter().map(|r| r.clusterhead_changes as f64).collect();
+            cs[k] = stats.mean();
+        }
+        t.row([
+            label,
+            format!("{:.1}", cs[0]),
+            format!("{:.1}", cs[1]),
+            format!("{:+.1}", 100.0 * (cs[0] - cs[1]) / cs[0].max(1.0)),
+        ]);
+    }
+    println!("{}", t.render());
+    if let Err(e) = t.write_csv(mobic_bench::results_dir().join("ablation_loss.csv")) {
+        eprintln!("warning: {e}");
+    }
+    println!("(wrote results/ablation_loss.csv)");
+}

@@ -1,0 +1,50 @@
+//! **Design-choice ablation** — the undecided-patience window (see
+//! DESIGN.md "Self-election rule"): how long an orphaned node rides
+//! along undecided before the completeness fallback lets it claim a
+//! cluster. Applied to both LCC and MOBIC so the comparison stays
+//! fair.
+//!
+//! Expected: patience 0 (immediate self-election) erases most of
+//! MOBIC's advantage — fast escapees crown themselves regardless of
+//! their mobility; moderate patience (the 4 s default) restores it;
+//! very long patience trades churn for temporary coverage gaps.
+
+use mobic_bench::{apply_fast, seeds};
+use mobic_core::AlgorithmKind;
+use mobic_metrics::{AsciiTable, OnlineStats};
+use mobic_scenario::{run_batch, ScenarioConfig};
+
+fn main() {
+    let seeds = seeds();
+    println!("== Ablation: undecided patience (Tx = 250 m, 670 x 670 m) ==\n");
+    let mut t = AsciiTable::new(["patience (s)", "lcc CS", "mobic CS", "mobic gain %"]);
+    for patience in [0.0, 2.0, 4.0, 8.0, 16.0] {
+        let mut cs = [0.0f64; 2];
+        for (k, alg) in [AlgorithmKind::Lcc, AlgorithmKind::Mobic].into_iter().enumerate() {
+            let mut cfg = apply_fast(ScenarioConfig::paper_table1())
+                .with_algorithm(alg)
+                .with_tx_range(250.0);
+            cfg.undecided_patience_s = patience;
+            let jobs: Vec<_> = seeds.iter().map(|&s| (cfg, s)).collect();
+            let runs = run_batch(&jobs).expect("valid config");
+            let stats: OnlineStats = runs.iter().map(|r| r.clusterhead_changes as f64).collect();
+            cs[k] = stats.mean();
+        }
+        let label = if patience == 4.0 {
+            format!("{patience:.0} (default)")
+        } else {
+            format!("{patience:.0}")
+        };
+        t.row([
+            label,
+            format!("{:.1}", cs[0]),
+            format!("{:.1}", cs[1]),
+            format!("{:+.1}", 100.0 * (cs[0] - cs[1]) / cs[0].max(1.0)),
+        ]);
+    }
+    println!("{}", t.render());
+    if let Err(e) = t.write_csv(mobic_bench::results_dir().join("ablation_patience.csv")) {
+        eprintln!("warning: {e}");
+    }
+    println!("(wrote results/ablation_patience.csv)");
+}

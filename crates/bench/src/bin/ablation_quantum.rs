@@ -1,0 +1,64 @@
+//! **Design-choice ablation** — the metric tie quantum: rounding `M`
+//! to a multiple of `q` dB² before it enters the election weight, so
+//! near-ties become exact ties and fall back to the paper's
+//! "same value of M → Lowest-ID" rule instead of being decided by
+//! single-window measurement noise.
+//!
+//! `q = 0` is the paper's letter (raw doubles, ties essentially never
+//! happen); moderate `q` recovers Lowest-ID's stability wherever the
+//! metric carries no signal while preserving MOBIC's discrimination
+//! where it does.
+
+use mobic_bench::{apply_fast, seeds};
+use mobic_core::AlgorithmKind;
+use mobic_metrics::{AsciiTable, OnlineStats};
+use mobic_scenario::{run_batch, ScenarioConfig};
+
+fn main() {
+    let seeds = seeds();
+    println!("== Ablation: metric tie quantum (MOBIC, 670 x 670 m) ==\n");
+    let mut t = AsciiTable::new(["quantum (dB²)", "CS @50m", "CS @150m", "CS @250m"]);
+    // LCC reference row first.
+    {
+        let mut cells = Vec::new();
+        for tx in [50.0, 150.0, 250.0] {
+            let cfg = apply_fast(ScenarioConfig::paper_table1())
+                .with_algorithm(AlgorithmKind::Lcc)
+                .with_tx_range(tx);
+            let jobs: Vec<_> = seeds.iter().map(|&s| (cfg, s)).collect();
+            let runs = run_batch(&jobs).expect("valid config");
+            let cs: OnlineStats = runs.iter().map(|r| r.clusterhead_changes as f64).collect();
+            cells.push(format!("{:.1}", cs.mean()));
+        }
+        t.row([
+            "lcc reference".to_string(),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+        ]);
+    }
+    for q in [0.0, 0.5, 1.0, 2.0, 4.0] {
+        let mut cells = Vec::new();
+        for tx in [50.0, 150.0, 250.0] {
+            let mut cfg = apply_fast(ScenarioConfig::paper_table1())
+                .with_algorithm(AlgorithmKind::Mobic)
+                .with_tx_range(tx);
+            cfg.metric_quantum = q;
+            let jobs: Vec<_> = seeds.iter().map(|&s| (cfg, s)).collect();
+            let runs = run_batch(&jobs).expect("valid config");
+            let cs: OnlineStats = runs.iter().map(|r| r.clusterhead_changes as f64).collect();
+            cells.push(format!("{:.1}", cs.mean()));
+        }
+        let label = if q == 0.0 {
+            "0 (paper)".to_string()
+        } else {
+            format!("{q:.1}")
+        };
+        t.row([label, cells[0].clone(), cells[1].clone(), cells[2].clone()]);
+    }
+    println!("{}", t.render());
+    if let Err(e) = t.write_csv(mobic_bench::results_dir().join("ablation_quantum.csv")) {
+        eprintln!("warning: {e}");
+    }
+    println!("(wrote results/ablation_quantum.csv)");
+}

@@ -1,0 +1,39 @@
+//! **X2** — the four-way baseline comparison: plain Lowest-ID, LCC,
+//! Highest-Degree (max-connectivity) and MOBIC on the Figure-3
+//! scenario.
+//!
+//! Expected ordering (from \[3\]/\[5\] and the paper): Highest-Degree
+//! is the least stable, plain Lowest-ID is worse than its LCC variant,
+//! and MOBIC is the most stable at moderate/large ranges.
+
+use mobic_bench::{apply_fast, seeds, SweepTable};
+use mobic_core::AlgorithmKind;
+use mobic_scenario::ScenarioConfig;
+
+fn main() {
+    let algs = AlgorithmKind::ALL;
+    let table = SweepTable::run(
+        "Tx (m)",
+        &[50.0, 100.0, 150.0, 200.0, 250.0],
+        &algs,
+        &seeds(),
+        |tx| apply_fast(ScenarioConfig::paper_table1()).with_tx_range(tx),
+    );
+    table.publish("baselines", "X2: all four algorithms, 670 x 670 m");
+
+    // Report the expected stability ordering at Tx = 250 m.
+    let at = |alg| table.mean_cs(250.0, alg).unwrap_or(f64::NAN);
+    println!(
+        "CS at Tx=250 m:  highest-degree={:.0}  lowest-id={:.0}  lcc={:.0}  mobic={:.0}",
+        at(AlgorithmKind::HighestDegree),
+        at(AlgorithmKind::LowestId),
+        at(AlgorithmKind::Lcc),
+        at(AlgorithmKind::Mobic),
+    );
+    println!(
+        "expected ordering holds (hd > lowest-id > lcc > mobic): {}",
+        at(AlgorithmKind::HighestDegree) > at(AlgorithmKind::LowestId)
+            && at(AlgorithmKind::LowestId) > at(AlgorithmKind::Lcc)
+            && at(AlgorithmKind::Lcc) > at(AlgorithmKind::Mobic)
+    );
+}

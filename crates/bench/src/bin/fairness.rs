@@ -1,0 +1,62 @@
+//! **Fairness analysis** — the flip side of stability. A clusterhead
+//! spends energy coordinating its cluster, so long-serving heads drain
+//! first. Lowest-ID concentrates the burden on low-id nodes *forever*;
+//! MOBIC concentrates it on *calm* nodes for as long as they stay calm.
+//! How unequal is the clusterhead burden under each algorithm, and
+//! does stability buy inequality?
+//!
+//! We report the Gini coefficient of per-node clusterhead time shares,
+//! how many distinct nodes ever serve, and the CS metric side by side.
+
+use mobic_bench::{apply_fast, seeds};
+use mobic_core::AlgorithmKind;
+use mobic_metrics::{AsciiTable, OnlineStats};
+use mobic_scenario::ScenarioConfig;
+
+fn main() {
+    let seeds = seeds();
+    println!("== Fairness: clusterhead burden distribution (Tx = 250 m, 900 s) ==\n");
+    let mut t = AsciiTable::new([
+        "algorithm",
+        "CS",
+        "burden gini",
+        "distinct heads",
+        "max share %",
+    ]);
+    for alg in AlgorithmKind::ALL {
+        let mut cs = OnlineStats::new();
+        let mut gini = OnlineStats::new();
+        let mut distinct = OnlineStats::new();
+        let mut max_share = OnlineStats::new();
+        for &seed in &seeds {
+            let cfg = apply_fast(ScenarioConfig::paper_table1())
+                .with_algorithm(alg)
+                .with_tx_range(250.0);
+            let r = mobic_scenario::run_scenario(&cfg, seed).expect("valid config");
+            cs.push(r.clusterhead_changes as f64);
+            gini.push(r.ch_time_gini);
+            distinct.push(r.distinct_clusterheads as f64);
+            // Reconstruct the largest individual share from the trace.
+            let warmup = mobic_sim::SimTime::from_secs_f64(cfg.warmup_s);
+            let end = mobic_sim::SimTime::from_secs_f64(cfg.sim_time_s);
+            let mut log = mobic_metrics::TransitionLog::new();
+            log.extend(r.role_transitions.iter().copied());
+            let shares = log.clusterhead_time_shares(cfg.n_nodes as usize, warmup, end);
+            max_share.push(shares.iter().copied().fold(0.0, f64::max));
+        }
+        t.row([
+            alg.name().to_string(),
+            format!("{:.1}", cs.mean()),
+            format!("{:.3}", gini.mean()),
+            format!("{:.1}", distinct.mean()),
+            format!("{:.1}", 100.0 * max_share.mean()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(gini of per-node time spent as clusterhead after warmup; max share =");
+    println!(" largest single node's fraction of the measurement window spent as head)");
+    if let Err(e) = t.write_csv(mobic_bench::results_dir().join("fairness.csv")) {
+        eprintln!("warning: {e}");
+    }
+    println!("(wrote results/fairness.csv)");
+}

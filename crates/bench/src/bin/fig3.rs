@@ -1,0 +1,47 @@
+//! **Figure 3** — clusterhead changes vs. transmission range on the
+//! 670 m × 670 m field (50 nodes, MaxSpeed 20 m/s, PT 0 s, 900 s):
+//! MOBIC vs. Lowest-ID (LCC).
+//!
+//! Expected shape (paper §4.2): both curves rise to a peak near
+//! `Tx ≈ 50 m` then fall; MOBIC underperforms at small ranges, crosses
+//! over near `Tx ≈ 100 m`, and wins by a widening margin up to ~33 %
+//! at `Tx = 250 m`.
+
+use mobic_bench::{apply_fast, crossover_x, peak_x, seeds, significance_vs, SweepTable};
+use mobic_core::AlgorithmKind;
+use mobic_scenario::{params, ScenarioConfig};
+
+fn main() {
+    let algs = [AlgorithmKind::Lcc, AlgorithmKind::Mobic];
+    let table = SweepTable::run(
+        "Tx (m)",
+        &params::tx_sweep_values(),
+        &algs,
+        &seeds(),
+        |tx| apply_fast(ScenarioConfig::paper_table1()).with_tx_range(tx),
+    );
+    table.publish("fig3", "Figure 3: clusterhead changes vs Tx (670 x 670 m)");
+
+    if let (Some(lcc), Some(mobic)) = (
+        table.mean_cs(250.0, AlgorithmKind::Lcc),
+        table.mean_cs(250.0, AlgorithmKind::Mobic),
+    ) {
+        println!(
+            "gain at Tx=250 m: {:.1}% fewer clusterhead changes (paper: ~33%)",
+            100.0 * (lcc - mobic) / lcc
+        );
+    }
+    if let Some(x) = crossover_x(&table, AlgorithmKind::Lcc, AlgorithmKind::Mobic) {
+        println!("MOBIC starts to win at Tx ≈ {x:.0} m (paper: ~100 m)");
+    }
+    if let Some(x) = peak_x(&table, AlgorithmKind::Lcc) {
+        println!("LCC churn peaks at Tx ≈ {x:.0} m (paper: ~50 m)");
+    }
+    println!("\nWelch 5% significance of the LCC−MOBIC difference per Tx:");
+    for (x, delta, sig) in significance_vs(&table, AlgorithmKind::Lcc, AlgorithmKind::Mobic) {
+        println!(
+            "  Tx={x:>3.0} m: Δ = {delta:+8.1} {}",
+            if sig { "(significant)" } else { "(n.s.)" }
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! **Figure 4** — number of clusters vs. transmission range on the
+//! 670 m × 670 m field: MOBIC vs. Lowest-ID (LCC).
+//!
+//! Expected shape (paper §4.2): the cluster count strictly decreases
+//! with range (≈35 clusters at the Tx≈50 churn peak, flattening beyond
+//! 125 m), with **little difference between the two algorithms** —
+//! both are local weight-based clusterings over the same motion.
+
+use mobic_bench::{apply_fast, seeds, SweepTable};
+use mobic_core::AlgorithmKind;
+use mobic_scenario::{params, ScenarioConfig};
+
+fn main() {
+    let algs = [AlgorithmKind::Lcc, AlgorithmKind::Mobic];
+    let table = SweepTable::run(
+        "Tx (m)",
+        &params::tx_sweep_values(),
+        &algs,
+        &seeds(),
+        |tx| apply_fast(ScenarioConfig::paper_table1()).with_tx_range(tx),
+    );
+    println!("== Figure 4: number of clusters vs Tx (670 x 670 m) ==");
+    println!("{}", table.clusters_table().render());
+    let dir = mobic_bench::results_dir();
+    if let Err(e) = table.clusters_table().write_csv(dir.join("fig4.csv")) {
+        eprintln!("warning: could not write CSV: {e}");
+    }
+    let flat = table.outcomes();
+    if let Err(e) = mobic_metrics::report::write_json(&flat, dir.join("fig4.json")) {
+        eprintln!("warning: could not write JSON: {e}");
+    }
+    println!("(wrote results/fig4.csv and results/fig4.json)");
+
+    // The monotone-decrease check the paper's discussion makes.
+    let i_lcc = 0;
+    let decreasing = table
+        .rows
+        .windows(2)
+        .all(|w| w[1].1[i_lcc].mean_clusters <= w[0].1[i_lcc].mean_clusters + 0.5);
+    println!("cluster count decreases with Tx: {decreasing}");
+}

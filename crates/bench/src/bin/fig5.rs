@@ -1,0 +1,31 @@
+//! **Figure 5** — clusterhead changes vs. transmission range on the
+//! sparser 1000 m × 1000 m field (§4.3), same node count and motion.
+//!
+//! Expected shape: more clusterhead changes than the 670² case at
+//! comparable ranges, the churn **peak shifted right** (≈75 m instead
+//! of ≈50 m), and the MOBIC/LCC **crossover shifted right** (≈140 m
+//! instead of ≈100 m) — both by roughly `√f` with
+//! `f = 1000²/670² ≈ 2.22`.
+
+use mobic_bench::{apply_fast, crossover_x, peak_x, seeds, SweepTable};
+use mobic_core::AlgorithmKind;
+use mobic_scenario::{params, ScenarioConfig};
+
+fn main() {
+    let algs = [AlgorithmKind::Lcc, AlgorithmKind::Mobic];
+    let table = SweepTable::run(
+        "Tx (m)",
+        &params::tx_sweep_values(),
+        &algs,
+        &seeds(),
+        |tx| apply_fast(ScenarioConfig::paper_sparse()).with_tx_range(tx),
+    );
+    table.publish("fig5", "Figure 5: clusterhead changes vs Tx (1000 x 1000 m)");
+
+    if let Some(x) = peak_x(&table, AlgorithmKind::Lcc) {
+        println!("LCC churn peaks at Tx ≈ {x:.0} m (paper: ~75 m)");
+    }
+    if let Some(x) = crossover_x(&table, AlgorithmKind::Lcc, AlgorithmKind::Mobic) {
+        println!("MOBIC starts to win at Tx ≈ {x:.0} m (paper: ~140 m)");
+    }
+}

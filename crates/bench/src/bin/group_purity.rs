@@ -1,0 +1,95 @@
+//! **Group-purity analysis (RPGM)** — when the population really moves
+//! in groups (the RPGM model of \[9\], §2.2), do the clusters found by
+//! the algorithms coincide with the underlying mobility groups?
+//!
+//! For each sampled instant we assign every decided node to its
+//! cluster and compute the cluster's *purity*: the fraction of its
+//! nodes belonging to the modal mobility group. A mobility-aware
+//! algorithm should recover the groups better than an id-based one —
+//! cross-group nodes have high relative mobility and should neither
+//! head nor glue clusters together.
+
+use mobic_bench::{apply_fast, seeds};
+use mobic_core::AlgorithmKind;
+use mobic_metrics::{AsciiTable, OnlineStats};
+use mobic_net::NodeId;
+use mobic_scenario::{run_scenario_observed, MobilityKind, ScenarioConfig};
+use std::collections::BTreeMap;
+
+const GROUPS: u32 = 5;
+
+fn purity_for(alg: AlgorithmKind, history: bool, seed: u64, cfg: &ScenarioConfig) -> (f64, f64) {
+    let mut cfg = cfg.with_algorithm(alg);
+    if history {
+        cfg.history_alpha = Some(0.7);
+        cfg.metric_quantum = 1.0;
+    }
+    // The runner assigns node i to group i % GROUPS.
+    let group_of = |i: usize| i % GROUPS as usize;
+    let warmup = cfg.warmup_s;
+    let mut purity = OnlineStats::new();
+    let mut cluster_count = OnlineStats::new();
+    run_scenario_observed(&cfg, seed, |view| {
+        if view.now.as_secs_f64() < warmup {
+            return;
+        }
+        // cluster id (clusterhead NodeId) → members' group histogram.
+        let mut clusters: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
+        for (i, node) in view.nodes.iter().enumerate() {
+            if let Some(c) = node.role().cluster_of(NodeId::new(i as u32)) {
+                clusters.entry(c).or_default().push(group_of(i));
+            }
+        }
+        cluster_count.push(clusters.len() as f64);
+        for members in clusters.values() {
+            if members.len() < 2 {
+                continue; // singleton purity is trivially 1
+            }
+            let mut hist = [0usize; GROUPS as usize];
+            for &g in members {
+                hist[g] += 1;
+            }
+            let modal = *hist.iter().max().expect("nonempty") as f64;
+            purity.push(modal / members.len() as f64);
+        }
+    })
+    .expect("valid config");
+    (purity.mean(), cluster_count.mean())
+}
+
+fn main() {
+    let mut cfg = apply_fast(ScenarioConfig::paper_table1());
+    cfg.mobility = MobilityKind::Rpgm {
+        groups: GROUPS,
+        member_radius_m: 50.0,
+    };
+    cfg.tx_range_m = 200.0;
+
+    println!("== Group purity under RPGM ({GROUPS} groups of 10, Tx = 200 m) ==\n");
+    let mut t = AsciiTable::new(["algorithm", "mean cluster purity", "mean clusters"]);
+    for (label, alg, history) in [
+        ("lcc", AlgorithmKind::Lcc, false),
+        ("mobic (raw)", AlgorithmKind::Mobic, false),
+        ("mobic (+history)", AlgorithmKind::Mobic, true),
+    ] {
+        let mut p = OnlineStats::new();
+        let mut c = OnlineStats::new();
+        for seed in seeds() {
+            let (purity, clusters) = purity_for(alg, history, seed, &cfg);
+            p.push(purity);
+            c.push(clusters);
+        }
+        t.row([
+            label.to_string(),
+            format!("{:.3}", p.mean()),
+            format!("{:.1}", c.mean()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("(purity = fraction of a cluster's nodes from its modal mobility group;");
+    println!(" clusters of one node are excluded as trivially pure)");
+    if let Err(e) = t.write_csv(mobic_bench::results_dir().join("group_purity.csv")) {
+        eprintln!("warning: {e}");
+    }
+    println!("(wrote results/group_purity.csv)");
+}

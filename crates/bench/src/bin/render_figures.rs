@@ -1,0 +1,85 @@
+//! Renders the experiment CSVs in `results/` into SVG figures —
+//! visual counterparts of the paper's Figures 3, 4 and 5. Run the
+//! `fig3`/`fig4`/`fig5` binaries first (or `scripts/reproduce_all.sh`).
+
+use std::fs;
+use std::path::Path;
+
+use mobic_viz::{LineChart, Series};
+
+/// Parses one of our own sweep CSVs: a header line followed by numeric
+/// rows; column 0 is the x-axis.
+fn parse_csv(path: &Path) -> Option<(Vec<String>, Vec<Vec<f64>>)> {
+    let text = fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    let header: Vec<String> = lines.next()?.split(',').map(str::to_string).collect();
+    let mut rows = Vec::new();
+    for line in lines {
+        let row: Option<Vec<f64>> = line.split(',').map(|c| c.trim().parse().ok()).collect();
+        rows.push(row?);
+    }
+    Some((header, rows))
+}
+
+/// Builds a chart from selected CSV columns (`(column index, label)`).
+fn chart_from(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    header: &[String],
+    rows: &[Vec<f64>],
+    columns: &[(usize, &str)],
+) -> LineChart {
+    let mut chart = LineChart::new(title, x_label, y_label);
+    for &(col, label) in columns {
+        if col >= header.len() {
+            continue;
+        }
+        chart = chart.with_series(Series {
+            name: label.to_string(),
+            points: rows.iter().map(|r| (r[0], r[col])).collect(),
+        });
+    }
+    chart
+}
+
+fn render(csv: &str, svg: &str, title: &str, y_label: &str, columns: &[(usize, &str)]) {
+    let path = Path::new("results").join(csv);
+    match parse_csv(&path) {
+        Some((header, rows)) if !rows.is_empty() => {
+            let chart = chart_from(title, "Tx (m)", y_label, &header, &rows, columns);
+            let out = Path::new("results").join(svg);
+            match fs::write(&out, chart.to_svg(640.0, 420.0)) {
+                Ok(()) => println!("wrote {}", out.display()),
+                Err(e) => eprintln!("cannot write {}: {e}", out.display()),
+            }
+        }
+        _ => eprintln!("skipping {csv}: run the corresponding experiment binary first"),
+    }
+}
+
+fn main() {
+    // fig3/fig5 CSVs: Tx, lcc CS, lcc ±, mobic CS, mobic ± → cols 1 & 3.
+    render(
+        "fig3.csv",
+        "fig3.svg",
+        "Figure 3: clusterhead changes vs Tx (670x670 m)",
+        "clusterhead changes",
+        &[(1, "lowest-id (lcc)"), (3, "mobic")],
+    );
+    render(
+        "fig5.csv",
+        "fig5.svg",
+        "Figure 5: clusterhead changes vs Tx (1000x1000 m)",
+        "clusterhead changes",
+        &[(1, "lowest-id (lcc)"), (3, "mobic")],
+    );
+    // fig4 CSV: Tx, lcc clusters, mobic clusters.
+    render(
+        "fig4.csv",
+        "fig4.svg",
+        "Figure 4: number of clusters vs Tx (670x670 m)",
+        "clusters",
+        &[(1, "lowest-id (lcc)"), (2, "mobic")],
+    );
+}

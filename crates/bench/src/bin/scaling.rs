@@ -1,0 +1,75 @@
+//! **§4.3 analysis (X1)** — the √f scaling claim: growing the field
+//! from 670² to 1000² (area factor `f ≈ 2.22`) should shift both the
+//! churn peak and the MOBIC/LCC crossover to the right by about
+//! `√f ≈ 1.49` in transmission range, keeping the cluster count at
+//! those operating points roughly equal.
+
+use mobic_bench::{apply_fast, crossover_x, peak_x, seeds, SweepTable};
+use mobic_core::AlgorithmKind;
+use mobic_metrics::AsciiTable;
+use mobic_scenario::ScenarioConfig;
+
+fn main() {
+    let algs = [AlgorithmKind::Lcc, AlgorithmKind::Mobic];
+    // A finer sweep resolves peaks better than the figure grids.
+    let fine: Vec<f64> = (1..=25).map(|k| k as f64 * 10.0).collect();
+    let dense = SweepTable::run("Tx (m)", &fine, &algs, &seeds(), |tx| {
+        apply_fast(ScenarioConfig::paper_table1()).with_tx_range(tx)
+    });
+    let sparse = SweepTable::run("Tx (m)", &fine, &algs, &seeds(), |tx| {
+        apply_fast(ScenarioConfig::paper_sparse()).with_tx_range(tx)
+    });
+
+    let f = (1000.0f64 * 1000.0) / (670.0 * 670.0);
+    println!("== X1: sqrt(f) scaling analysis (f = {f:.2}, sqrt(f) = {:.2}) ==\n", f.sqrt());
+
+    let mut t = AsciiTable::new(["quantity", "670x670", "1000x1000", "ratio", "paper ratio"]);
+    let peak_d = peak_x(&dense, AlgorithmKind::Lcc).unwrap_or(f64::NAN);
+    let peak_s = peak_x(&sparse, AlgorithmKind::Lcc).unwrap_or(f64::NAN);
+    t.row([
+        "LCC churn peak Tx (m)".to_string(),
+        format!("{peak_d:.0}"),
+        format!("{peak_s:.0}"),
+        format!("{:.2}", peak_s / peak_d),
+        "1.49 (= sqrt f)".to_string(),
+    ]);
+    let cross_d = crossover_x(&dense, AlgorithmKind::Lcc, AlgorithmKind::Mobic);
+    let cross_s = crossover_x(&sparse, AlgorithmKind::Lcc, AlgorithmKind::Mobic);
+    if let (Some(cd), Some(cs)) = (cross_d, cross_s) {
+        t.row([
+            "MOBIC crossover Tx (m)".to_string(),
+            format!("{cd:.0}"),
+            format!("{cs:.0}"),
+            format!("{:.2}", cs / cd),
+            "~1.4 (= sqrt f)".to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Cluster counts at those operating points ("~35 at the peak,
+    // ~20 at the crossover" per the paper).
+    let count_at = |table: &SweepTable, x: f64| -> Option<f64> {
+        let col = table.algorithms.iter().position(|&a| a == AlgorithmKind::Lcc)?;
+        table
+            .rows
+            .iter()
+            .find(|(rx, _)| (rx - x).abs() < 1e-9)
+            .map(|(_, outs)| outs[col].mean_clusters)
+    };
+    if let (Some(a), Some(b)) = (count_at(&dense, peak_d), count_at(&sparse, peak_s)) {
+        println!("clusters at the churn peak: {a:.1} vs {b:.1} (paper: ~35 in both)");
+    }
+    if let (Some(cd), Some(cs)) = (cross_d, cross_s) {
+        if let (Some(a), Some(b)) = (count_at(&dense, cd), count_at(&sparse, cs)) {
+            println!("clusters at the crossover:  {a:.1} vs {b:.1} (paper: ~20 in both)");
+        }
+    }
+
+    if let Err(e) = dense.cs_table().write_csv(mobic_bench::results_dir().join("scaling_670.csv")) {
+        eprintln!("warning: {e}");
+    }
+    if let Err(e) = sparse.cs_table().write_csv(mobic_bench::results_dir().join("scaling_1000.csv")) {
+        eprintln!("warning: {e}");
+    }
+    println!("(wrote results/scaling_670.csv and results/scaling_1000.csv)");
+}

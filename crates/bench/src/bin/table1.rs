@@ -1,0 +1,16 @@
+//! **Table 1** — the simulation parameters, printed from the same
+//! constants `ScenarioConfig::paper_table1()` is built from, plus a
+//! consistency check against the config defaults.
+
+use mobic_scenario::{params, ScenarioConfig};
+
+fn main() {
+    println!("== Table 1: Simulation Parameters ==");
+    print!("{}", params::render_table1());
+    let cfg = ScenarioConfig::paper_table1();
+    println!();
+    println!(
+        "ScenarioConfig::paper_table1(): N={} field={}x{} m BI={}s TP={}s CCI={}s S={}s",
+        cfg.n_nodes, cfg.field_w_m, cfg.field_h_m, cfg.bi_s, cfg.tp_s, cfg.cci_s, cfg.sim_time_s
+    );
+}

@@ -1,0 +1,388 @@
+//! Argument parsing and command logic for the `mobic-cli` binary —
+//! kept in a library so every parsing rule is unit-testable.
+//!
+//! Commands:
+//!
+//! * `run` — simulate one scenario and print (or JSON-dump) the
+//!   results;
+//! * `sweep` — sweep the transmission range for several algorithms,
+//!   print the paper-style CS table;
+//! * `table1` — print the paper's simulation parameters.
+//!
+//! No external argument-parsing dependency: the grammar is small and a
+//! hand-rolled parser keeps the dependency budget honest.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use mobic_core::AlgorithmKind;
+use mobic_scenario::{MobilityKind, ScenarioConfig};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run one scenario.
+    Run {
+        /// The scenario to run.
+        config: ScenarioConfig,
+        /// Master seed.
+        seed: u64,
+        /// Emit machine-readable JSON instead of a human summary.
+        json: bool,
+    },
+    /// Sweep the transmission range.
+    Sweep {
+        /// Base scenario (tx range overridden per point).
+        config: ScenarioConfig,
+        /// Sweep points (meters).
+        tx_values: Vec<f64>,
+        /// Algorithms to compare.
+        algorithms: Vec<AlgorithmKind>,
+        /// Seeds per cell.
+        seeds: u64,
+    },
+    /// Print Table 1.
+    Table1,
+    /// Print usage.
+    Help,
+}
+
+/// A command-line error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// The usage text.
+#[must_use]
+pub fn usage() -> &'static str {
+    "mobic-cli — MANET clustering simulator (MOBIC reproduction)
+
+USAGE:
+  mobic-cli run   [OPTIONS]          simulate one scenario
+  mobic-cli sweep [OPTIONS]          sweep Tx for several algorithms
+  mobic-cli table1                   print the paper's Table 1
+  mobic-cli help                     this text
+
+RUN / SWEEP OPTIONS (defaults = the paper's Table 1):
+  --algorithm <lowest-id|lcc|highest-degree|mobic|wca> (run only)
+  --algorithms <a,b,...>                             (sweep only, default lcc,mobic)
+  --nodes <n>              number of nodes          [50]
+  --field <WxH>            field size in meters     [670x670]
+  --speed <mps>            max speed                [20]
+  --pause <s>              pause time               [0]
+  --tx <m>                 transmission range (run) [250]
+  --tx-sweep <from:to:step>  sweep points (sweep)   [10:250:25]
+  --time <s>               simulated seconds        [900]
+  --seed <n>               master seed (run)        [42]
+  --seeds <n>              seeds per cell (sweep)   [5]
+  --mobility <kind>        rwp | walk | gauss | rpgm:<groups> |
+                           highway:<lanes> | conference:<booths> |
+                           manhattan:<block> | static        [rwp]
+  --history <alpha>        EWMA metric smoothing (0..1)
+  --json                   machine-readable output (run)
+"
+}
+
+/// Parses an argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing the first problem found.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "table1" => Ok(Command::Table1),
+        "run" | "sweep" => {
+            let rest: Vec<&String> = it.collect();
+            let mut config = ScenarioConfig::paper_table1();
+            let mut seed = 42u64;
+            let mut seeds = 5u64;
+            let mut json = false;
+            let mut tx_values = sweep_points(10.0, 250.0, 25.0);
+            let mut algorithms = vec![AlgorithmKind::Lcc, AlgorithmKind::Mobic];
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                let mut value = || -> Result<&String, CliError> {
+                    i += 1;
+                    rest.get(i).copied().ok_or_else(|| err(format!("{flag} needs a value")))
+                };
+                match flag {
+                    "--json" => json = true,
+                    "--algorithm" => config.algorithm = parse_algorithm(value()?)?,
+                    "--algorithms" => {
+                        algorithms = value()?
+                            .split(',')
+                            .map(parse_algorithm)
+                            .collect::<Result<_, _>>()?;
+                    }
+                    "--nodes" => config.n_nodes = parse_num(value()?, "--nodes")?,
+                    "--field" => {
+                        let (w, h) = parse_field(value()?)?;
+                        config.field_w_m = w;
+                        config.field_h_m = h;
+                    }
+                    "--speed" => config.max_speed_mps = parse_num(value()?, "--speed")?,
+                    "--pause" => config.pause_s = parse_num(value()?, "--pause")?,
+                    "--tx" => config.tx_range_m = parse_num(value()?, "--tx")?,
+                    "--tx-sweep" => tx_values = parse_sweep(value()?)?,
+                    "--time" => config.sim_time_s = parse_num(value()?, "--time")?,
+                    "--seed" => seed = parse_num(value()?, "--seed")?,
+                    "--seeds" => seeds = parse_num(value()?, "--seeds")?,
+                    "--mobility" => config.mobility = parse_mobility(value()?)?,
+                    "--history" => config.history_alpha = Some(parse_num(value()?, "--history")?),
+                    other => return Err(err(format!("unknown option {other}"))),
+                }
+                i += 1;
+            }
+            config
+                .validate()
+                .map_err(|e| err(format!("invalid scenario: {e}")))?;
+            if cmd == "run" {
+                Ok(Command::Run { config, seed, json })
+            } else {
+                if algorithms.is_empty() {
+                    return Err(err("--algorithms must name at least one algorithm"));
+                }
+                Ok(Command::Sweep {
+                    config,
+                    tx_values,
+                    algorithms,
+                    seeds: seeds.max(1),
+                })
+            }
+        }
+        other => Err(err(format!("unknown command {other}; try `mobic-cli help`"))),
+    }
+}
+
+fn parse_algorithm(s: impl AsRef<str>) -> Result<AlgorithmKind, CliError> {
+    match s.as_ref() {
+        "lowest-id" => Ok(AlgorithmKind::LowestId),
+        "lcc" => Ok(AlgorithmKind::Lcc),
+        "highest-degree" => Ok(AlgorithmKind::HighestDegree),
+        "mobic" => Ok(AlgorithmKind::Mobic),
+        "wca" => Ok(AlgorithmKind::Wca),
+        other => Err(err(format!(
+            "unknown algorithm {other}; expected lowest-id|lcc|highest-degree|mobic|wca"
+        ))),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, CliError> {
+    s.parse().map_err(|_| err(format!("{flag}: cannot parse {s:?}")))
+}
+
+fn parse_field(s: &str) -> Result<(f64, f64), CliError> {
+    let (w, h) = s
+        .split_once(['x', 'X'])
+        .ok_or_else(|| err(format!("--field expects WxH, got {s:?}")))?;
+    Ok((parse_num(w, "--field")?, parse_num(h, "--field")?))
+}
+
+fn parse_sweep(s: &str) -> Result<Vec<f64>, CliError> {
+    let parts: Vec<&str> = s.split(':').collect();
+    if parts.len() != 3 {
+        return Err(err(format!("--tx-sweep expects from:to:step, got {s:?}")));
+    }
+    let from: f64 = parse_num(parts[0], "--tx-sweep")?;
+    let to: f64 = parse_num(parts[1], "--tx-sweep")?;
+    let step: f64 = parse_num(parts[2], "--tx-sweep")?;
+    if step <= 0.0 || to < from {
+        return Err(err("--tx-sweep requires step > 0 and to >= from"));
+    }
+    Ok(sweep_points(from, to, step))
+}
+
+fn sweep_points(from: f64, to: f64, step: f64) -> Vec<f64> {
+    let mut v = Vec::new();
+    let mut x = from;
+    while x <= to + 1e-9 {
+        v.push(x);
+        x += step;
+    }
+    v
+}
+
+fn parse_mobility(s: &str) -> Result<MobilityKind, CliError> {
+    let (kind, arg) = match s.split_once(':') {
+        Some((k, a)) => (k, Some(a)),
+        None => (s, None),
+    };
+    let num = |flag: &str| -> Result<f64, CliError> {
+        arg.ok_or_else(|| err(format!("{flag} needs an argument, e.g. {flag}:4")))
+            .and_then(|a| parse_num(a, flag))
+    };
+    match kind {
+        "rwp" => Ok(MobilityKind::RandomWaypoint),
+        "walk" => Ok(MobilityKind::RandomWalk { epoch_s: 10.0 }),
+        "gauss" => Ok(MobilityKind::GaussMarkov { alpha: 0.85 }),
+        "rpgm" => Ok(MobilityKind::Rpgm {
+            groups: num("rpgm")? as u32,
+            member_radius_m: 50.0,
+        }),
+        "highway" => Ok(MobilityKind::Highway {
+            lanes: num("highway")? as u32,
+            bidirectional: true,
+        }),
+        "conference" => Ok(MobilityKind::ConferenceHall {
+            booths: num("conference")? as u32,
+        }),
+        "manhattan" => Ok(MobilityKind::Manhattan {
+            block_m: num("manhattan")?,
+            p_turn: 0.5,
+        }),
+        "static" => Ok(MobilityKind::Stationary),
+        other => Err(err(format!("unknown mobility kind {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(line: &str) -> Command {
+        let args: Vec<String> = line.split_whitespace().map(String::from).collect();
+        parse(&args).expect("should parse")
+    }
+
+    fn parse_err(line: &str) -> CliError {
+        let args: Vec<String> = line.split_whitespace().map(String::from).collect();
+        parse(&args).expect_err("should fail")
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_ok("help"), Command::Help);
+        assert_eq!(parse_ok("--help"), Command::Help);
+        assert_eq!(parse_ok("table1"), Command::Table1);
+    }
+
+    #[test]
+    fn run_defaults_are_table1() {
+        let Command::Run { config, seed, json } = parse_ok("run") else {
+            panic!("expected run");
+        };
+        assert_eq!(config, ScenarioConfig::paper_table1());
+        assert_eq!(seed, 42);
+        assert!(!json);
+    }
+
+    #[test]
+    fn run_with_overrides() {
+        let Command::Run { config, seed, json } = parse_ok(
+            "run --algorithm mobic --nodes 30 --field 1000x500 --speed 10 \
+             --pause 30 --tx 100 --time 300 --seed 7 --history 0.7 --json",
+        ) else {
+            panic!("expected run");
+        };
+        assert_eq!(config.algorithm, AlgorithmKind::Mobic);
+        assert_eq!(config.n_nodes, 30);
+        assert_eq!((config.field_w_m, config.field_h_m), (1000.0, 500.0));
+        assert_eq!(config.max_speed_mps, 10.0);
+        assert_eq!(config.pause_s, 30.0);
+        assert_eq!(config.tx_range_m, 100.0);
+        assert_eq!(config.sim_time_s, 300.0);
+        assert_eq!(config.history_alpha, Some(0.7));
+        assert_eq!(seed, 7);
+        assert!(json);
+    }
+
+    #[test]
+    fn mobility_kinds_parse() {
+        for (arg, expect) in [
+            ("rwp", MobilityKind::RandomWaypoint),
+            ("static", MobilityKind::Stationary),
+            ("rpgm:5", MobilityKind::Rpgm { groups: 5, member_radius_m: 50.0 }),
+            (
+                "highway:4",
+                MobilityKind::Highway { lanes: 4, bidirectional: true },
+            ),
+            ("conference:8", MobilityKind::ConferenceHall { booths: 8 }),
+            (
+                "manhattan:100",
+                MobilityKind::Manhattan { block_m: 100.0, p_turn: 0.5 },
+            ),
+        ] {
+            let Command::Run { config, .. } = parse_ok(&format!("run --mobility {arg}")) else {
+                panic!();
+            };
+            assert_eq!(config.mobility, expect, "{arg}");
+        }
+    }
+
+    #[test]
+    fn sweep_defaults() {
+        let Command::Sweep {
+            tx_values,
+            algorithms,
+            seeds,
+            ..
+        } = parse_ok("sweep")
+        else {
+            panic!("expected sweep");
+        };
+        assert_eq!(tx_values.first(), Some(&10.0));
+        assert_eq!(tx_values.last(), Some(&235.0));
+        assert_eq!(algorithms, vec![AlgorithmKind::Lcc, AlgorithmKind::Mobic]);
+        assert_eq!(seeds, 5);
+    }
+
+    #[test]
+    fn sweep_custom_points_and_algorithms() {
+        let Command::Sweep {
+            tx_values,
+            algorithms,
+            ..
+        } = parse_ok("sweep --tx-sweep 50:250:100 --algorithms lowest-id,highest-degree")
+        else {
+            panic!("expected sweep");
+        };
+        assert_eq!(tx_values, vec![50.0, 150.0, 250.0]);
+        assert_eq!(
+            algorithms,
+            vec![AlgorithmKind::LowestId, AlgorithmKind::HighestDegree]
+        );
+    }
+
+    #[test]
+    fn error_messages_name_the_problem() {
+        assert!(parse_err("run --algorithm bogus").0.contains("bogus"));
+        assert!(parse_err("run --nodes").0.contains("--nodes"));
+        assert!(parse_err("run --field 670").0.contains("WxH"));
+        assert!(parse_err("sweep --tx-sweep 10:5:1").0.contains("to >= from"));
+        assert!(parse_err("frobnicate").0.contains("unknown command"));
+        assert!(parse_err("run --mobility rpgm").0.contains("argument"));
+    }
+
+    #[test]
+    fn invalid_scenarios_are_rejected_at_parse_time() {
+        assert!(parse_err("run --nodes 0").0.contains("invalid scenario"));
+        assert!(parse_err("run --speed -1").0.contains("invalid scenario"));
+    }
+
+    #[test]
+    fn usage_mentions_every_command() {
+        for needle in ["run", "sweep", "table1", "--mobility", "--tx-sweep"] {
+            assert!(usage().contains(needle), "usage lacks {needle}");
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! The `mobic-cli` binary: run and sweep MANET clustering scenarios
+//! from the command line. See `mobic-cli help`.
+
+use mobic_cli::{parse, usage, Command};
+use mobic_metrics::AsciiTable;
+use mobic_scenario::{params, run_batch, run_scenario, summarize_cs};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args) {
+        Ok(cmd) => {
+            if let Err(e) = execute(cmd) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{}", usage());
+            std::process::exit(2);
+        }
+    }
+}
+
+fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
+    match cmd {
+        Command::Help => print!("{}", usage()),
+        Command::Table1 => print!("{}", params::render_table1()),
+        Command::Run { config, seed, json } => {
+            let result = run_scenario(&config, seed)?;
+            if json {
+                println!("{}", serde_json::to_string_pretty(&result)?);
+            } else {
+                println!(
+                    "algorithm           {}\nseed                {}\ntx range            {} m",
+                    result.algorithm, result.seed, result.tx_range_m
+                );
+                println!(
+                    "clusterhead changes {} (plus {} during warmup)",
+                    result.clusterhead_changes,
+                    result.clusterhead_changes_total - result.clusterhead_changes
+                );
+                println!("affiliation changes {}", result.affiliation_changes);
+                println!("avg clusters        {:.2}", result.avg_clusters);
+                println!("gateway fraction    {:.1}%", 100.0 * result.gateway_fraction);
+                println!("mean metric M       {:.3}", result.mean_aggregate_metric);
+                println!(
+                    "hello traffic       {} broadcasts, {} deliveries",
+                    result.hello_broadcasts, result.deliveries
+                );
+            }
+        }
+        Command::Sweep {
+            config,
+            tx_values,
+            algorithms,
+            seeds,
+        } => {
+            let seed_list: Vec<u64> = (0..seeds).collect();
+            let mut header = vec!["Tx (m)".to_string()];
+            for alg in &algorithms {
+                header.push(format!("{} CS", alg.name()));
+                header.push(format!("{} clusters", alg.name()));
+            }
+            let mut table = AsciiTable::new(header);
+            for &tx in &tx_values {
+                let mut row = vec![format!("{tx:.0}")];
+                for &alg in &algorithms {
+                    let jobs: Vec<_> = seed_list
+                        .iter()
+                        .map(|&s| (config.with_algorithm(alg).with_tx_range(tx), s))
+                        .collect();
+                    let runs = run_batch(&jobs)?;
+                    let out = summarize_cs(tx, &runs);
+                    row.push(format!("{:.1}", out.mean_cs));
+                    row.push(format!("{:.1}", out.mean_clusters));
+                }
+                table.row(row);
+            }
+            print!("{}", table.render());
+        }
+    }
+    Ok(())
+}

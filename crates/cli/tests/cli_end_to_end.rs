@@ -1,0 +1,97 @@
+//! End-to-end tests of the `mobic-cli` binary: spawn the real
+//! executable and check its stdout/stderr/exit codes.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mobic-cli"))
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = cli().arg("help").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("--tx-sweep"));
+}
+
+#[test]
+fn table1_prints_the_paper_parameters() {
+    let out = cli().arg("table1").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for needle in ["Broadcast Interval", "2.0 sec", "900 sec"] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+}
+
+#[test]
+fn run_produces_summary() {
+    let out = cli()
+        .args([
+            "run", "--algorithm", "mobic", "--nodes", "10", "--time", "40", "--tx", "200",
+            "--seed", "3",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("clusterhead changes"));
+    assert!(text.contains("algorithm           mobic"));
+}
+
+#[test]
+fn run_json_is_machine_readable_and_deterministic() {
+    let invoke = || {
+        let out = cli()
+            .args([
+                "run", "--nodes", "10", "--time", "40", "--tx", "200", "--seed", "3", "--json",
+            ])
+            .output()
+            .expect("spawn");
+        assert!(out.status.success());
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let a = invoke();
+    let b = invoke();
+    assert_eq!(a, b, "same seed must yield identical JSON");
+    let value: serde_json::Value = serde_json::from_str(&a).expect("valid JSON");
+    assert!(value["clusterhead_changes"].is_u64() || value["clusterhead_changes"].is_number());
+    assert_eq!(value["seed"], 3);
+}
+
+#[test]
+fn sweep_prints_table_rows() {
+    let out = cli()
+        .args([
+            "sweep", "--nodes", "10", "--time", "30", "--tx-sweep", "100:200:100",
+            "--seeds", "2", "--algorithms", "lcc,mobic",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("lcc CS"));
+    assert!(text.contains("mobic CS"));
+    // Two sweep rows: Tx = 100 and 200.
+    assert!(text.lines().filter(|l| l.trim_start().starts_with("100") || l.trim_start().starts_with("200")).count() >= 2, "{text}");
+}
+
+#[test]
+fn bad_arguments_fail_with_usage_on_stderr() {
+    let out = cli().args(["run", "--algorithm", "bogus"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("bogus"));
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn invalid_scenario_rejected_before_running() {
+    let out = cli().args(["run", "--nodes", "0"]).output().expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("invalid scenario"), "{err}");
+}

@@ -1,0 +1,390 @@
+//! Centralized reference clustering.
+//!
+//! On a *static* topology with fully propagated information, the
+//! distributed lowest-weight election has a unique fixed point, which
+//! this module computes directly: process nodes in increasing weight
+//! order; a node becomes a clusterhead unless a lower-weight neighbor
+//! already did, in which case it joins the lowest-weight such
+//! clusterhead.
+//!
+//! This is the oracle used by integration tests (the distributed
+//! engine must converge to it on static graphs) and by the Figure-1
+//! reproduction.
+
+use mobic_net::NodeId;
+
+use crate::{Role, Weight};
+
+/// An undirected adjacency structure over dense node ids `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_core::centralized::Adjacency;
+///
+/// let mut adj = Adjacency::new(3);
+/// adj.connect(0, 1);
+/// assert!(adj.are_neighbors(0, 1));
+/// assert!(!adj.are_neighbors(0, 2));
+/// assert_eq!(adj.degree(0), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Adjacency {
+    n: usize,
+    neighbors: Vec<Vec<usize>>,
+}
+
+impl Adjacency {
+    /// Creates an edgeless graph over `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Adjacency {
+            n,
+            neighbors: vec![Vec::new(); n],
+        }
+    }
+
+    /// Builds the unit-disk graph of `positions` with link `range`:
+    /// two nodes are neighbors iff their distance is at most `range`.
+    #[must_use]
+    pub fn unit_disk(positions: &[mobic_geom::Vec2], range: f64) -> Self {
+        let mut adj = Adjacency::new(positions.len());
+        for i in 0..positions.len() {
+            for j in (i + 1)..positions.len() {
+                if positions[i].distance(positions[j]) <= range {
+                    adj.connect(i, j);
+                }
+            }
+        }
+        adj
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds the undirected edge `a – b` (idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range, or `a == b`.
+    pub fn connect(&mut self, a: usize, b: usize) {
+        assert!(a < self.n && b < self.n, "node out of range");
+        assert_ne!(a, b, "no self loops");
+        if !self.neighbors[a].contains(&b) {
+            self.neighbors[a].push(b);
+            self.neighbors[b].push(a);
+        }
+    }
+
+    /// `true` if `a` and `b` are directly connected.
+    #[must_use]
+    pub fn are_neighbors(&self, a: usize, b: usize) -> bool {
+        self.neighbors[a].contains(&b)
+    }
+
+    /// The neighbor list of `a`.
+    #[must_use]
+    pub fn neighbors(&self, a: usize) -> &[usize] {
+        &self.neighbors[a]
+    }
+
+    /// Degree of `a`.
+    #[must_use]
+    pub fn degree(&self, a: usize) -> usize {
+        self.neighbors[a].len()
+    }
+}
+
+/// Runs the centralized lowest-weight election. `weights[i]` is node
+/// `i`'s weight; returns each node's converged [`Role`].
+///
+/// # Panics
+///
+/// Panics if `weights.len() != adj.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_core::centralized::{lowest_weight_clustering, Adjacency};
+/// use mobic_core::{Role, Weight};
+/// use mobic_net::NodeId;
+///
+/// // A 3-node chain 0 – 1 – 2 with id weights.
+/// let mut adj = Adjacency::new(3);
+/// adj.connect(0, 1);
+/// adj.connect(1, 2);
+/// let weights: Vec<Weight> =
+///     (0..3).map(|i| Weight::new(0.0, NodeId::new(i))).collect();
+/// let roles = lowest_weight_clustering(&weights, &adj);
+/// assert_eq!(roles[0], Role::Clusterhead);
+/// assert_eq!(roles[1], Role::Member { ch: NodeId::new(0) });
+/// assert_eq!(roles[2], Role::Clusterhead); // out of 0's range
+/// ```
+#[must_use]
+pub fn lowest_weight_clustering(weights: &[Weight], adj: &Adjacency) -> Vec<Role> {
+    assert_eq!(
+        weights.len(),
+        adj.len(),
+        "one weight per node required ({} weights, {} nodes)",
+        weights.len(),
+        adj.len()
+    );
+    let n = weights.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| weights[a].cmp(&weights[b]));
+    let mut roles = vec![Role::Undecided; n];
+    for &i in &order {
+        // The lowest-weight neighbor that already became a clusterhead.
+        let best_ch = adj
+            .neighbors(i)
+            .iter()
+            .filter(|&&j| roles[j].is_clusterhead())
+            .min_by(|&&a, &&b| weights[a].cmp(&weights[b]));
+        roles[i] = match best_ch {
+            Some(&ch) => Role::Member {
+                ch: weights[ch].id(),
+            },
+            None => Role::Clusterhead,
+        };
+    }
+    roles
+}
+
+/// Lowest-**ID** clustering on a static graph — the paper's Figure-1
+/// algorithm — implemented as lowest-weight with zero primaries.
+///
+/// `ids[i]` is the id of graph node `i`.
+#[must_use]
+pub fn lowest_id_clustering(ids: &[NodeId], adj: &Adjacency) -> Vec<Role> {
+    let weights: Vec<Weight> = ids.iter().map(|&id| Weight::new(0.0, id)).collect();
+    lowest_weight_clustering(&weights, adj)
+}
+
+/// Derives gateway status: a non-clusterhead that neighbors two or
+/// more clusterheads.
+#[must_use]
+pub fn gateways(roles: &[Role], adj: &Adjacency) -> Vec<bool> {
+    roles
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            !r.is_clusterhead()
+                && adj
+                    .neighbors(i)
+                    .iter()
+                    .filter(|&&j| roles[j].is_clusterhead())
+                    .count()
+                    >= 2
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id_weights(n: u32) -> Vec<Weight> {
+        (0..n).map(|i| Weight::new(0.0, NodeId::new(i))).collect()
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let adj = Adjacency::new(0);
+        assert!(lowest_weight_clustering(&[], &adj).is_empty());
+        let adj = Adjacency::new(1);
+        let roles = lowest_weight_clustering(&id_weights(1), &adj);
+        assert_eq!(roles, vec![Role::Clusterhead]);
+    }
+
+    #[test]
+    fn clique_elects_single_lowest() {
+        let mut adj = Adjacency::new(4);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                adj.connect(i, j);
+            }
+        }
+        let roles = lowest_weight_clustering(&id_weights(4), &adj);
+        assert_eq!(roles[0], Role::Clusterhead);
+        for r in &roles[1..] {
+            assert_eq!(*r, Role::Member { ch: NodeId::new(0) });
+        }
+    }
+
+    #[test]
+    fn no_two_clusterheads_adjacent() {
+        // Random-ish graph; Theorem 1 property must hold.
+        let n = 30;
+        let mut adj = Adjacency::new(n);
+        let mut x = 7u64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if (x >> 33).is_multiple_of(5) {
+                    adj.connect(i, j);
+                }
+            }
+        }
+        let weights: Vec<Weight> = (0..n)
+            .map(|i| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                Weight::new(((x >> 40) % 100) as f64, NodeId::new(i as u32))
+            })
+            .collect();
+        let roles = lowest_weight_clustering(&weights, &adj);
+        for i in 0..n {
+            for &j in adj.neighbors(i) {
+                assert!(
+                    !(roles[i].is_clusterhead() && roles[j].is_clusterhead()),
+                    "adjacent clusterheads {i} and {j}"
+                );
+            }
+        }
+        // Every member's clusterhead is a neighbor.
+        for i in 0..n {
+            if let Role::Member { ch } = roles[i] {
+                let ch_idx = weights.iter().position(|w| w.id() == ch).unwrap();
+                assert!(adj.are_neighbors(i, ch_idx), "member {i} cannot hear its CH");
+                assert!(roles[ch_idx].is_clusterhead());
+            }
+        }
+    }
+
+    #[test]
+    fn member_joins_lowest_weight_ch_in_range() {
+        // 2 – 0 – 1 path, weights by id: 0 CH; 1 and 2 join 0.
+        // Now make node 3 adjacent to both 1 (member) and nothing else:
+        // 3 becomes CH even though 1 < 3.
+        let mut adj = Adjacency::new(4);
+        adj.connect(0, 1);
+        adj.connect(0, 2);
+        adj.connect(1, 3);
+        let roles = lowest_id_clustering(
+            &[0, 1, 2, 3].map(NodeId::new),
+            &adj,
+        );
+        assert_eq!(roles[0], Role::Clusterhead);
+        assert_eq!(roles[1], Role::Member { ch: NodeId::new(0) });
+        assert_eq!(roles[2], Role::Member { ch: NodeId::new(0) });
+        assert_eq!(roles[3], Role::Clusterhead, "members do not head clusters");
+    }
+
+    #[test]
+    fn mobility_weight_overrides_id() {
+        // Clique of 3; node 2 is calmest → clusterhead despite highest id.
+        let mut adj = Adjacency::new(3);
+        adj.connect(0, 1);
+        adj.connect(0, 2);
+        adj.connect(1, 2);
+        let weights = vec![
+            Weight::new(9.0, NodeId::new(0)),
+            Weight::new(5.0, NodeId::new(1)),
+            Weight::new(0.5, NodeId::new(2)),
+        ];
+        let roles = lowest_weight_clustering(&weights, &adj);
+        assert_eq!(roles[2], Role::Clusterhead);
+        assert_eq!(roles[0], Role::Member { ch: NodeId::new(2) });
+        assert_eq!(roles[1], Role::Member { ch: NodeId::new(2) });
+    }
+
+    #[test]
+    fn unit_disk_construction() {
+        use mobic_geom::Vec2;
+        let positions = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(5.0, 0.0),
+            Vec2::new(20.0, 0.0),
+        ];
+        let adj = Adjacency::unit_disk(&positions, 10.0);
+        assert!(adj.are_neighbors(0, 1));
+        assert!(!adj.are_neighbors(0, 2));
+        assert!(!adj.are_neighbors(1, 2)); // 15 m apart
+    }
+
+    #[test]
+    fn gateway_derivation() {
+        // 0 and 2 are CHs; 1 hears both → gateway.
+        let mut adj = Adjacency::new(3);
+        adj.connect(0, 1);
+        adj.connect(1, 2);
+        let roles = lowest_id_clustering(&[0, 1, 2].map(NodeId::new), &adj);
+        assert_eq!(roles[0], Role::Clusterhead);
+        assert_eq!(roles[2], Role::Clusterhead);
+        let gw = gateways(&roles, &adj);
+        assert_eq!(gw, vec![false, true, false]);
+    }
+
+    #[test]
+    fn paper_figure_1_topology() {
+        // The 10-node schematic of Figure 1: three clusters headed by
+        // 1, 2 and 4; nodes 8 and 9 are gateways. We reconstruct a
+        // connected topology consistent with the figure's description:
+        //
+        //   Cluster A: head 1; members 5, 8.
+        //   Cluster B: head 2; members 3, 8, 9 (8 overlaps A/B).
+        //   Cluster C: head 4; members 6, 7, 9, 10 (9 overlaps B/C).
+        //
+        // Edges (graph indices = id − 1):
+        let ids: Vec<NodeId> = (1..=10).map(NodeId::new).collect();
+        let mut adj = Adjacency::new(10);
+        let e = |adj: &mut Adjacency, a: u32, b: u32| {
+            adj.connect((a - 1) as usize, (b - 1) as usize);
+        };
+        // Cluster A around head 1.
+        e(&mut adj, 1, 5);
+        e(&mut adj, 1, 8);
+        // Cluster B around head 2.
+        e(&mut adj, 2, 3);
+        e(&mut adj, 2, 8);
+        e(&mut adj, 2, 9);
+        // Cluster C around head 4.
+        e(&mut adj, 4, 6);
+        e(&mut adj, 4, 7);
+        e(&mut adj, 4, 9);
+        e(&mut adj, 4, 10);
+        // Intra-cluster extra links keeping the graph connected.
+        e(&mut adj, 5, 8);
+        e(&mut adj, 9, 10);
+        e(&mut adj, 6, 7);
+
+        let roles = lowest_id_clustering(&ids, &adj);
+        let ch_ids: Vec<u32> = roles
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_clusterhead())
+            .map(|(i, _)| i as u32 + 1)
+            .collect();
+        assert_eq!(ch_ids, vec![1, 2, 4], "Figure 1 clusterheads");
+        let gw = gateways(&roles, &adj);
+        let gw_ids: Vec<u32> = gw
+            .iter()
+            .enumerate()
+            .filter(|(_, &g)| g)
+            .map(|(i, _)| i as u32 + 1)
+            .collect();
+        assert_eq!(gw_ids, vec![8, 9], "Figure 1 gateways");
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per node")]
+    fn mismatched_lengths_panic() {
+        let adj = Adjacency::new(3);
+        let _ = lowest_weight_clustering(&id_weights(2), &adj);
+    }
+
+    #[test]
+    #[should_panic(expected = "self loops")]
+    fn self_loop_panics() {
+        let mut adj = Adjacency::new(2);
+        adj.connect(1, 1);
+    }
+}

@@ -1,0 +1,260 @@
+//! Theorem-1 invariant checkers.
+//!
+//! The paper proves (Theorem 1) that with totally ordered weights the
+//! clustering yields (a) clusters of diameter at most 2 hops and (b) no
+//! two clusterheads within range of each other, in a stable state.
+//! These functions verify those properties on a topology snapshot; the
+//! integration tests assert them after the distributed engine settles
+//! on static graphs, and property tests assert them for the
+//! centralized reference on random graphs.
+
+use mobic_net::NodeId;
+
+use crate::centralized::Adjacency;
+use crate::Role;
+
+/// A violation of the Theorem-1 cluster structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two clusterheads are direct neighbors.
+    AdjacentClusterheads(usize, usize),
+    /// A member's clusterhead is not its direct neighbor (cluster
+    /// diameter would exceed 2 hops).
+    MemberCannotHearClusterhead {
+        /// The member's graph index.
+        member: usize,
+        /// The clusterhead it claims.
+        ch: NodeId,
+    },
+    /// A member claims a clusterhead that is not actually in the
+    /// clusterhead role.
+    DanglingAffiliation {
+        /// The member's graph index.
+        member: usize,
+        /// The claimed clusterhead.
+        ch: NodeId,
+    },
+    /// A node is still undecided (the algorithm has not converged).
+    Undecided(usize),
+}
+
+/// Checks the full Theorem-1 structure of a converged snapshot:
+/// every node decided, members affiliated with in-range clusterheads,
+/// and no two clusterheads adjacent. `ids[i]` gives graph node `i`'s
+/// node id. Returns all violations (empty = invariants hold).
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the adjacency size.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_core::centralized::{lowest_id_clustering, Adjacency};
+/// use mobic_core::invariants::check_theorem1;
+/// use mobic_net::NodeId;
+///
+/// let ids: Vec<NodeId> = (0..5).map(NodeId::new).collect();
+/// let mut adj = Adjacency::new(5);
+/// for i in 1..5 { adj.connect(0, i); }
+/// let roles = lowest_id_clustering(&ids, &adj);
+/// assert!(check_theorem1(&roles, &ids, &adj).is_empty());
+/// ```
+#[must_use]
+pub fn check_theorem1(roles: &[Role], ids: &[NodeId], adj: &Adjacency) -> Vec<Violation> {
+    assert_eq!(roles.len(), adj.len(), "one role per node");
+    assert_eq!(ids.len(), adj.len(), "one id per node");
+    let mut violations = Vec::new();
+    let index_of = |id: NodeId| ids.iter().position(|&x| x == id);
+    for (i, role) in roles.iter().enumerate() {
+        match role {
+            Role::Undecided => violations.push(Violation::Undecided(i)),
+            Role::Clusterhead => {
+                for &j in adj.neighbors(i) {
+                    if j > i && roles[j].is_clusterhead() {
+                        violations.push(Violation::AdjacentClusterheads(i, j));
+                    }
+                }
+            }
+            Role::Member { ch } => match index_of(*ch) {
+                Some(ch_idx) if roles[ch_idx].is_clusterhead() => {
+                    if !adj.are_neighbors(i, ch_idx) {
+                        violations.push(Violation::MemberCannotHearClusterhead {
+                            member: i,
+                            ch: *ch,
+                        });
+                    }
+                }
+                _ => violations.push(Violation::DanglingAffiliation { member: i, ch: *ch }),
+            },
+        }
+    }
+    violations
+}
+
+/// The number of clusters in a snapshot (= number of clusterheads),
+/// the metric of the paper's Figure 4.
+#[must_use]
+pub fn cluster_count(roles: &[Role]) -> usize {
+    roles.iter().filter(|r| r.is_clusterhead()).count()
+}
+
+/// The maximum hop distance between any two members of the same
+/// cluster, over all clusters (should be ≤ 2 per Theorem 1). Nodes
+/// are grouped by their cluster (clusterhead id); distance is measured
+/// in the full topology.
+///
+/// Returns `None` when there is no cluster with ≥ 2 nodes.
+#[must_use]
+pub fn max_cluster_diameter(roles: &[Role], ids: &[NodeId], adj: &Adjacency) -> Option<usize> {
+    use std::collections::{BTreeMap, VecDeque};
+    let mut clusters: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
+    for (i, role) in roles.iter().enumerate() {
+        if let Some(c) = role.cluster_of(ids[i]) {
+            clusters.entry(c).or_default().push(i);
+        }
+    }
+    let mut max_d = None;
+    for members in clusters.values() {
+        if members.len() < 2 {
+            continue;
+        }
+        for &src in members {
+            // BFS from src.
+            let mut dist = vec![usize::MAX; adj.len()];
+            dist[src] = 0;
+            let mut q = VecDeque::from([src]);
+            while let Some(u) = q.pop_front() {
+                for &v in adj.neighbors(u) {
+                    if dist[v] == usize::MAX {
+                        dist[v] = dist[u] + 1;
+                        q.push_back(v);
+                    }
+                }
+            }
+            for &dst in members {
+                if dst != src && dist[dst] != usize::MAX {
+                    max_d = Some(max_d.map_or(dist[dst], |m: usize| m.max(dist[dst])));
+                }
+            }
+        }
+    }
+    max_d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralized::{lowest_id_clustering, lowest_weight_clustering};
+    use crate::Weight;
+
+    fn ids(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn valid_star_has_no_violations() {
+        let mut adj = Adjacency::new(4);
+        for i in 1..4 {
+            adj.connect(0, i);
+        }
+        let ids = ids(4);
+        let roles = lowest_id_clustering(&ids, &adj);
+        assert!(check_theorem1(&roles, &ids, &adj).is_empty());
+        assert_eq!(cluster_count(&roles), 1);
+        assert_eq!(max_cluster_diameter(&roles, &ids, &adj), Some(2));
+    }
+
+    #[test]
+    fn detects_adjacent_clusterheads() {
+        let mut adj = Adjacency::new(2);
+        adj.connect(0, 1);
+        let roles = vec![Role::Clusterhead, Role::Clusterhead];
+        let v = check_theorem1(&roles, &ids(2), &adj);
+        assert_eq!(v, vec![Violation::AdjacentClusterheads(0, 1)]);
+    }
+
+    #[test]
+    fn detects_unreachable_clusterhead() {
+        let adj = Adjacency::new(2); // no edges
+        let roles = vec![Role::Clusterhead, Role::Member { ch: NodeId::new(0) }];
+        let v = check_theorem1(&roles, &ids(2), &adj);
+        assert_eq!(
+            v,
+            vec![Violation::MemberCannotHearClusterhead {
+                member: 1,
+                ch: NodeId::new(0)
+            }]
+        );
+    }
+
+    #[test]
+    fn detects_dangling_affiliation() {
+        let mut adj = Adjacency::new(2);
+        adj.connect(0, 1);
+        // Node 1 claims CH 0, but 0 is itself a member of nowhere.
+        let roles = vec![
+            Role::Member { ch: NodeId::new(1) },
+            Role::Member { ch: NodeId::new(0) },
+        ];
+        let v = check_theorem1(&roles, &ids(2), &adj);
+        assert_eq!(v.len(), 2);
+        assert!(matches!(v[0], Violation::DanglingAffiliation { member: 0, .. }));
+    }
+
+    #[test]
+    fn detects_undecided() {
+        let adj = Adjacency::new(1);
+        let v = check_theorem1(&[Role::Undecided], &ids(1), &adj);
+        assert_eq!(v, vec![Violation::Undecided(0)]);
+    }
+
+    #[test]
+    fn random_graphs_satisfy_theorem1() {
+        let mut x = 99u64;
+        for trial in 0..20 {
+            let n = 20 + (trial % 10);
+            let mut adj = Adjacency::new(n);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    if (x >> 33).is_multiple_of(4) {
+                        adj.connect(i, j);
+                    }
+                }
+            }
+            let ids: Vec<NodeId> = (0..n as u32).map(NodeId::new).collect();
+            let weights: Vec<Weight> = ids
+                .iter()
+                .map(|&id| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    Weight::new(((x >> 40) % 50) as f64 / 10.0, id)
+                })
+                .collect();
+            let roles = lowest_weight_clustering(&weights, &adj);
+            let v = check_theorem1(&roles, &ids, &adj);
+            assert!(v.is_empty(), "trial {trial}: {v:?}");
+            if let Some(d) = max_cluster_diameter(&roles, &ids, &adj) {
+                assert!(d <= 2, "trial {trial}: diameter {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_count_counts_heads() {
+        let roles = vec![
+            Role::Clusterhead,
+            Role::Member { ch: NodeId::new(0) },
+            Role::Clusterhead,
+            Role::Undecided,
+        ];
+        assert_eq!(cluster_count(&roles), 2);
+    }
+
+    #[test]
+    fn diameter_none_for_singletons() {
+        let adj = Adjacency::new(2);
+        let roles = vec![Role::Clusterhead, Role::Clusterhead];
+        assert_eq!(max_cluster_diameter(&roles, &ids(2), &adj), None);
+    }
+}

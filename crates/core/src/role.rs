@@ -1,0 +1,210 @@
+//! Cluster roles, hello adverts, and role-transition events.
+
+use std::fmt;
+
+use mobic_net::NodeId;
+use mobic_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A node's cluster role.
+///
+/// Gateways are *not* a separate role in the election state machine —
+/// per the paper, a gateway is simply a node "which can hear two or
+/// more clusterheads"; it is derived from the neighbor table (see
+/// [`ClusterNode::is_gateway`](crate::ClusterNode::is_gateway)) rather
+/// than elected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Role {
+    /// Initial state, and the state re-entered when a member loses its
+    /// clusterhead (the paper's `Cluster_Undecided`).
+    #[default]
+    Undecided,
+    /// An elected clusterhead (`Cluster_Head`).
+    Clusterhead,
+    /// A member of the cluster headed by `ch` (`Cluster_Member`).
+    Member {
+        /// The clusterhead this node is affiliated with.
+        ch: NodeId,
+    },
+}
+
+impl Role {
+    /// `true` for [`Role::Clusterhead`].
+    #[must_use]
+    pub fn is_clusterhead(&self) -> bool {
+        matches!(self, Role::Clusterhead)
+    }
+
+    /// The clusterhead this node belongs to: itself if it is a
+    /// clusterhead, its affiliation if a member, `None` if undecided.
+    #[must_use]
+    pub fn cluster_of(&self, own_id: NodeId) -> Option<NodeId> {
+        match self {
+            Role::Undecided => None,
+            Role::Clusterhead => Some(own_id),
+            Role::Member { ch } => Some(*ch),
+        }
+    }
+
+    /// The compact tag without affiliation, as carried in hellos.
+    #[must_use]
+    pub fn tag(&self) -> RoleTag {
+        match self {
+            Role::Undecided => RoleTag::Undecided,
+            Role::Clusterhead => RoleTag::Clusterhead,
+            Role::Member { .. } => RoleTag::Member,
+        }
+    }
+}
+
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Role::Undecided => write!(f, "undecided"),
+            Role::Clusterhead => write!(f, "clusterhead"),
+            Role::Member { ch } => write!(f, "member({ch})"),
+        }
+    }
+}
+
+/// The role as advertised on the wire (no payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoleTag {
+    /// Advertised `Cluster_Undecided`.
+    Undecided,
+    /// Advertised `Cluster_Head`.
+    Clusterhead,
+    /// Advertised `Cluster_Member`.
+    Member,
+}
+
+/// What a node stamps onto its hello broadcasts (§3.2): its current
+/// weight primary (the aggregate mobility `M` for MOBIC — "represented
+/// by a double precision floating point number", the paper's 8-byte
+/// overhead), its role, and its cluster affiliation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterAdvert {
+    /// The sender's advertised weight primary (see
+    /// [`Weight`](crate::Weight)).
+    pub primary: f64,
+    /// The sender's role at broadcast time.
+    pub role: RoleTag,
+    /// The sender's clusterhead (itself if it is one), if decided.
+    pub ch: Option<NodeId>,
+}
+
+impl ClusterAdvert {
+    /// The advert every node starts with: `M = 0`, undecided.
+    #[must_use]
+    pub fn initial() -> Self {
+        ClusterAdvert {
+            primary: 0.0,
+            role: RoleTag::Undecided,
+            ch: None,
+        }
+    }
+}
+
+/// A role change of one node, the raw event behind the paper's
+/// cluster-stability metric `CS` ("number of clusterhead changes").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoleTransition {
+    /// When the change happened.
+    pub at: SimTime,
+    /// The node that changed.
+    pub node: NodeId,
+    /// Previous role.
+    pub from: Role,
+    /// New role.
+    pub to: Role,
+}
+
+impl RoleTransition {
+    /// `true` if this transition changed clusterhead-ness in either
+    /// direction — the events the `CS` metric counts.
+    #[must_use]
+    pub fn is_clusterhead_change(&self) -> bool {
+        self.from.is_clusterhead() != self.to.is_clusterhead()
+    }
+
+    /// `true` if this transition changed which cluster the node
+    /// belongs to (including gaining/losing a cluster).
+    #[must_use]
+    pub fn is_affiliation_change(&self) -> bool {
+        self.from.cluster_of(self.node) != self.to.cluster_of(self.node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn role_predicates() {
+        assert!(Role::Clusterhead.is_clusterhead());
+        assert!(!Role::Undecided.is_clusterhead());
+        assert!(!Role::Member { ch: n(1) }.is_clusterhead());
+    }
+
+    #[test]
+    fn cluster_of() {
+        assert_eq!(Role::Undecided.cluster_of(n(5)), None);
+        assert_eq!(Role::Clusterhead.cluster_of(n(5)), Some(n(5)));
+        assert_eq!(Role::Member { ch: n(2) }.cluster_of(n(5)), Some(n(2)));
+    }
+
+    #[test]
+    fn tags() {
+        assert_eq!(Role::Member { ch: n(1) }.tag(), RoleTag::Member);
+        assert_eq!(Role::default(), Role::Undecided);
+    }
+
+    #[test]
+    fn initial_advert_matches_paper() {
+        let a = ClusterAdvert::initial();
+        assert_eq!(a.primary, 0.0);
+        assert_eq!(a.role, RoleTag::Undecided);
+        assert_eq!(a.ch, None);
+    }
+
+    #[test]
+    fn clusterhead_change_detection() {
+        let tr = |from, to| RoleTransition {
+            at: SimTime::ZERO,
+            node: n(0),
+            from,
+            to,
+        };
+        assert!(tr(Role::Undecided, Role::Clusterhead).is_clusterhead_change());
+        assert!(tr(Role::Clusterhead, Role::Member { ch: n(1) }).is_clusterhead_change());
+        assert!(!tr(Role::Member { ch: n(1) }, Role::Member { ch: n(2) }).is_clusterhead_change());
+        assert!(!tr(Role::Undecided, Role::Member { ch: n(1) }).is_clusterhead_change());
+    }
+
+    #[test]
+    fn affiliation_change_detection() {
+        let tr = |from, to| RoleTransition {
+            at: SimTime::ZERO,
+            node: n(5),
+            from,
+            to,
+        };
+        assert!(tr(Role::Member { ch: n(1) }, Role::Member { ch: n(2) }).is_affiliation_change());
+        assert!(tr(Role::Undecided, Role::Clusterhead).is_affiliation_change());
+        assert!(!tr(Role::Member { ch: n(1) }, Role::Member { ch: n(1) }).is_affiliation_change());
+        // Becoming CH of "own" cluster from membership elsewhere.
+        assert!(tr(Role::Member { ch: n(1) }, Role::Clusterhead).is_affiliation_change());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Role::Clusterhead.to_string(), "clusterhead");
+        assert_eq!(Role::Member { ch: n(3) }.to_string(), "member(n3)");
+    }
+}

@@ -1,0 +1,153 @@
+//! Totally ordered clusterhead-election weights.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use mobic_net::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// An election weight: a finite primary value with the node id as the
+/// tie-breaker, ordered lexicographically. **Lower weight wins** the
+/// clusterhead election.
+///
+/// This is the paper's Theorem-1 construction: the raw aggregate
+/// mobility `M` alone may not be totally ordered (ties are possible),
+/// so the *augmented* weight `{M, ID}` is used, which **is** totally
+/// ordered because ids are unique. The same type expresses every
+/// algorithm in the evaluation:
+///
+/// * Lowest-ID / LCC: primary `0.0` for everyone — ids decide;
+/// * MOBIC: primary `M` — mobility decides, ids break ties;
+/// * Highest-Degree: primary `−degree` — highest degree wins, ids
+///   break ties.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_core::Weight;
+/// use mobic_net::NodeId;
+///
+/// let calm = Weight::new(0.5, NodeId::new(9));
+/// let mobile = Weight::new(4.2, NodeId::new(1));
+/// assert!(calm < mobile); // lower mobility wins despite higher id
+///
+/// let a = Weight::new(1.0, NodeId::new(1));
+/// let b = Weight::new(1.0, NodeId::new(2));
+/// assert!(a < b); // tie on primary → lower id wins
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Weight {
+    primary: f64,
+    id: NodeId,
+}
+
+impl Weight {
+    /// Creates a weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `primary` is not finite — NaN would destroy the total
+    /// order the clustering correctness proof depends on.
+    #[must_use]
+    pub fn new(primary: f64, id: NodeId) -> Self {
+        assert!(
+            primary.is_finite(),
+            "election weight must be finite, got {primary}"
+        );
+        Weight { primary, id }
+    }
+
+    /// The primary component (0 for Lowest-ID, `M` for MOBIC,
+    /// `−degree` for Highest-Degree).
+    #[must_use]
+    pub fn primary(&self) -> f64 {
+        self.primary
+    }
+
+    /// The tie-breaking node id.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+}
+
+impl Eq for Weight {}
+
+impl PartialOrd for Weight {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Weight {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // `primary` is asserted finite, so partial_cmp cannot fail.
+        self.primary
+            .partial_cmp(&other.primary)
+            .expect("weights are finite")
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+impl fmt::Display for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {})", self.primary, self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(p: f64, id: u32) -> Weight {
+        Weight::new(p, NodeId::new(id))
+    }
+
+    #[test]
+    fn primary_dominates() {
+        assert!(w(0.1, 100) < w(0.2, 0));
+        assert!(w(-5.0, 100) < w(-4.0, 0));
+    }
+
+    #[test]
+    fn id_breaks_ties() {
+        assert!(w(1.0, 1) < w(1.0, 2));
+        assert_eq!(w(1.0, 1), w(1.0, 1));
+    }
+
+    #[test]
+    fn total_order_on_distinct_ids() {
+        // Any two weights with distinct ids are strictly ordered.
+        let a = w(3.0, 1);
+        let b = w(3.0, 2);
+        assert_ne!(a.cmp(&b), Ordering::Equal);
+    }
+
+    #[test]
+    fn sorting_gives_election_order() {
+        let mut v = [w(2.0, 1), w(0.0, 9), w(2.0, 0), w(1.0, 5)];
+        v.sort();
+        let order: Vec<u32> = v.iter().map(|x| x.id().value()).collect();
+        assert_eq!(order, vec![9, 5, 0, 1]);
+    }
+
+    #[test]
+    fn accessors() {
+        let x = w(2.5, 7);
+        assert_eq!(x.primary(), 2.5);
+        assert_eq!(x.id(), NodeId::new(7));
+        assert_eq!(x.to_string(), "(2.5000, n7)");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_primary_panics() {
+        let _ = w(f64::NAN, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinite_primary_panics() {
+        let _ = w(f64::INFINITY, 0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Property tests driving the clustering state machine with random
+//! event sequences (hellos with arbitrary adverts, expiries, time
+//! jumps) and checking that its *local* invariants hold no matter
+//! what the network throws at it.
+
+use mobic_core::{AlgorithmKind, ClusterAdvert, ClusterConfig, ClusterNode, ClusterTable, Role, RoleTag};
+use mobic_net::{Hello, NodeId};
+use mobic_radio::Dbm;
+use mobic_sim::SimTime;
+use proptest::prelude::*;
+
+/// One scripted input to the node under test.
+#[derive(Debug, Clone)]
+enum Event {
+    /// A hello from neighbor `id` with the given advert fields.
+    Hear {
+        id: u32,
+        primary_centi: i32,
+        role: u8,
+        ch: Option<u32>,
+    },
+    /// Advance time by `ds` seconds and evaluate.
+    Evaluate { ds: u8 },
+    /// Advance time a lot (everyone expires) and evaluate.
+    BigSilence,
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (1u32..8, -500i32..2000, 0u8..3, prop::option::of(1u32..8)).prop_map(
+            |(id, primary_centi, role, ch)| Event::Hear {
+                id,
+                primary_centi,
+                role,
+                ch,
+            }
+        ),
+        (0u8..6).prop_map(|ds| Event::Evaluate { ds }),
+        Just(Event::BigSilence),
+    ]
+}
+
+fn role_tag(code: u8) -> RoleTag {
+    match code {
+        0 => RoleTag::Undecided,
+        1 => RoleTag::Clusterhead,
+        _ => RoleTag::Member,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whatever happens, after an `evaluate` the node's state is
+    /// locally consistent:
+    /// * a member's clusterhead is a *live* neighbor that advertised
+    ///   the clusterhead role in its latest hello;
+    /// * roles are never `Member { ch: self }`;
+    /// * transition reports match actual state changes.
+    #[test]
+    fn local_invariants_hold_under_arbitrary_inputs(
+        alg_pick in 0usize..4,
+        events in prop::collection::vec(event_strategy(), 1..60),
+    ) {
+        let alg = AlgorithmKind::ALL[alg_pick];
+        let me = NodeId::new(0);
+        let mut node = ClusterNode::new(me, ClusterConfig::paper_default(alg));
+        let mut table = ClusterTable::new(SimTime::from_secs(3));
+        let mut now = SimTime::from_secs(1);
+        let mut seqs = std::collections::HashMap::<u32, u64>::new();
+
+        for ev in events {
+            match ev {
+                Event::Hear { id, primary_centi, role, ch } => {
+                    let seq = seqs.entry(id).or_insert(0);
+                    let hello = Hello {
+                        sender: NodeId::new(id),
+                        seq: *seq,
+                        payload: ClusterAdvert {
+                            primary: f64::from(primary_centi) / 100.0,
+                            role: role_tag(role),
+                            ch: ch.map(NodeId::new),
+                        },
+                    };
+                    *seq += 1;
+                    table.record(now, Dbm::new(-60.0), &hello);
+                }
+                Event::Evaluate { ds } => {
+                    now += SimTime::from_secs(u64::from(ds));
+                    check_after_evaluate(&mut node, now, &mut table)?;
+                }
+                Event::BigSilence => {
+                    now += SimTime::from_secs(100);
+                    check_after_evaluate(&mut node, now, &mut table)?;
+                }
+            }
+        }
+    }
+}
+
+fn check_after_evaluate(
+    node: &mut ClusterNode,
+    now: SimTime,
+    table: &mut ClusterTable,
+) -> Result<(), TestCaseError> {
+    let before = node.role();
+    let transition = node.evaluate(now, table);
+    let after = node.role();
+    // Transition reporting is exact.
+    match transition {
+        Some(tr) => {
+            prop_assert_eq!(tr.from, before);
+            prop_assert_eq!(tr.to, after);
+            prop_assert_ne!(tr.from, tr.to);
+            prop_assert_eq!(tr.node, node.id());
+            prop_assert_eq!(tr.at, now);
+        }
+        None => prop_assert_eq!(before, after),
+    }
+    // Structural sanity of the new role.
+    match after {
+        Role::Member { ch } => {
+            prop_assert_ne!(ch, node.id(), "self-affiliation");
+            let entry = table.get(ch);
+            prop_assert!(entry.is_some(), "member of an expired neighbor");
+            prop_assert_eq!(
+                entry.expect("checked").payload.role,
+                RoleTag::Clusterhead,
+                "member of a non-clusterhead"
+            );
+        }
+        Role::Clusterhead | Role::Undecided => {}
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The metric pipeline never produces NaN/negative weights no
+    /// matter which powers arrive (finite dBm inputs).
+    #[test]
+    fn metric_stays_finite_and_nonnegative(
+        powers in prop::collection::vec(-120.0..0.0f64, 2..20),
+    ) {
+        let mut node = ClusterNode::new(
+            NodeId::new(0),
+            ClusterConfig::paper_default(AlgorithmKind::Mobic),
+        );
+        let mut table = ClusterTable::new(SimTime::from_secs(3));
+        let mut now = SimTime::from_secs(1);
+        for (k, &p) in powers.iter().enumerate() {
+            table.record(
+                now,
+                Dbm::new(p),
+                &Hello {
+                    sender: NodeId::new(1),
+                    seq: k as u64,
+                    payload: ClusterAdvert::initial(),
+                },
+            );
+            let hello = node.prepare_broadcast(now, &mut table);
+            prop_assert!(node.metric().is_finite());
+            prop_assert!(node.metric() >= 0.0);
+            prop_assert!(hello.payload.primary.is_finite());
+            now += SimTime::from_secs(2);
+        }
+    }
+
+    /// Two nodes fed identical inputs stay in lockstep (the state
+    /// machine is deterministic).
+    #[test]
+    fn state_machine_is_deterministic(
+        events in prop::collection::vec(event_strategy(), 1..40),
+    ) {
+        let mk = || {
+            (
+                ClusterNode::new(NodeId::new(0), ClusterConfig::paper_default(AlgorithmKind::Mobic)),
+                ClusterTable::new(SimTime::from_secs(3)),
+            )
+        };
+        let (mut a, mut ta) = mk();
+        let (mut b, mut tb) = mk();
+        let mut now = SimTime::from_secs(1);
+        let mut seqs = std::collections::HashMap::<u32, u64>::new();
+        for ev in events {
+            match ev {
+                Event::Hear { id, primary_centi, role, ch } => {
+                    let seq = seqs.entry(id).or_insert(0);
+                    let hello = Hello {
+                        sender: NodeId::new(id),
+                        seq: *seq,
+                        payload: ClusterAdvert {
+                            primary: f64::from(primary_centi) / 100.0,
+                            role: role_tag(role),
+                            ch: ch.map(NodeId::new),
+                        },
+                    };
+                    *seq += 1;
+                    ta.record(now, Dbm::new(-60.0), &hello);
+                    tb.record(now, Dbm::new(-60.0), &hello);
+                }
+                Event::Evaluate { ds } => {
+                    now += SimTime::from_secs(u64::from(ds));
+                    let ra = a.evaluate(now, &mut ta);
+                    let rb = b.evaluate(now, &mut tb);
+                    prop_assert_eq!(ra, rb);
+                    prop_assert_eq!(a.role(), b.role());
+                }
+                Event::BigSilence => {
+                    now += SimTime::from_secs(100);
+                    let _ = a.evaluate(now, &mut ta);
+                    let _ = b.evaluate(now, &mut tb);
+                    prop_assert_eq!(a.role(), b.role());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Uniform-grid spatial index.
+//!
+//! The broadcast delivery engine needs, for every Hello transmission,
+//! the set of nodes within the transmitter's radio range. With `N`
+//! nodes and a range query per broadcast, a naive scan is `O(N)` per
+//! query; for the paper's `N = 50` that would be fine, but the library
+//! supports much larger scenarios, so we provide a uniform grid with
+//! `O(k)` expected query cost (`k` = matches).
+
+use crate::{Rect, Vec2};
+
+/// A uniform-grid spatial index over a set of identified points.
+///
+/// Points are identified by dense `usize` ids (`0..n`), matching node
+/// indices in the simulator. The index is rebuilt (or updated point by
+/// point) as nodes move.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_geom::{GridIndex, Rect, Vec2};
+///
+/// let field = Rect::new(100.0, 100.0);
+/// let positions = vec![
+///     Vec2::new(10.0, 10.0),
+///     Vec2::new(12.0, 10.0),
+///     Vec2::new(90.0, 90.0),
+/// ];
+/// let index = GridIndex::build(field, 25.0, &positions);
+/// let mut near = index.query_within(Vec2::new(11.0, 10.0), 5.0);
+/// near.sort_unstable();
+/// assert_eq!(near, vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    field: Rect,
+    cell_size: f64,
+    cols: usize,
+    rows: usize,
+    cells: Vec<Vec<usize>>,
+    positions: Vec<Vec2>,
+}
+
+impl GridIndex {
+    /// Builds an index over `positions` with the given cell size.
+    ///
+    /// A good `cell_size` is the typical query radius (the radio
+    /// range): then a query touches at most 9 cells.
+    ///
+    /// Points outside `field` are clamped into it for bucketing (they
+    /// are still stored with their true coordinates and distances are
+    /// computed exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not strictly positive and finite.
+    #[must_use]
+    pub fn build(field: Rect, cell_size: f64, positions: &[Vec2]) -> Self {
+        assert!(
+            cell_size > 0.0 && cell_size.is_finite(),
+            "cell_size must be positive and finite, got {cell_size}"
+        );
+        let cols = ((field.width() / cell_size).ceil() as usize).max(1);
+        let rows = ((field.height() / cell_size).ceil() as usize).max(1);
+        let mut index = GridIndex {
+            field,
+            cell_size,
+            cols,
+            rows,
+            cells: vec![Vec::new(); cols * rows],
+            positions: positions.to_vec(),
+        };
+        for (id, &p) in positions.iter().enumerate() {
+            let c = index.cell_of(p);
+            index.cells[c].push(id);
+        }
+        index
+    }
+
+    /// Number of indexed points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Returns `true` if the index holds no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The position stored for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    #[must_use]
+    pub fn position(&self, id: usize) -> Vec2 {
+        self.positions[id]
+    }
+
+    /// Moves point `id` to a new position, updating its bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn update(&mut self, id: usize, new_pos: Vec2) {
+        let old_cell = self.cell_of(self.positions[id]);
+        let new_cell = self.cell_of(new_pos);
+        self.positions[id] = new_pos;
+        if old_cell != new_cell {
+            if let Some(slot) = self.cells[old_cell].iter().position(|&x| x == id) {
+                self.cells[old_cell].swap_remove(slot);
+            }
+            self.cells[new_cell].push(id);
+        }
+    }
+
+    /// Ids of all points within `radius` of `center` (inclusive),
+    /// including a point located exactly at `center`.
+    #[must_use]
+    pub fn query_within(&self, center: Vec2, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_within(center, radius, |id| out.push(id));
+        out
+    }
+
+    /// Visits the id of every point within `radius` of `center`
+    /// (inclusive) without allocating.
+    pub fn for_each_within<F: FnMut(usize)>(&self, center: Vec2, radius: f64, mut f: F) {
+        let r2 = radius * radius;
+        let (c0, r0) = self.cell_coords(Vec2::new(center.x - radius, center.y - radius));
+        let (c1, r1) = self.cell_coords(Vec2::new(center.x + radius, center.y + radius));
+        for row in r0..=r1 {
+            for col in c0..=c1 {
+                for &id in &self.cells[row * self.cols + col] {
+                    if self.positions[id].distance_squared(center) <= r2 {
+                        f(id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// All unordered pairs `(i, j)` with `i < j` whose distance is at
+    /// most `radius` — the link set of a unit-disk graph. Useful for
+    /// building topology snapshots.
+    #[must_use]
+    pub fn links_within(&self, radius: f64) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for i in 0..self.positions.len() {
+            self.for_each_within(self.positions[i], radius, |j| {
+                if j > i {
+                    out.push((i, j));
+                }
+            });
+        }
+        out
+    }
+
+    fn cell_coords(&self, p: Vec2) -> (usize, usize) {
+        let q = self.field.clamp(p) - self.field.min();
+        let col = ((q.x / self.cell_size) as usize).min(self.cols - 1);
+        let row = ((q.y / self.cell_size) as usize).min(self.rows - 1);
+        (col, row)
+    }
+
+    fn cell_of(&self, p: Vec2) -> usize {
+        let (col, row) = self.cell_coords(p);
+        row * self.cols + col
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster_positions() -> Vec<Vec2> {
+        vec![
+            Vec2::new(5.0, 5.0),   // 0
+            Vec2::new(6.0, 5.0),   // 1
+            Vec2::new(50.0, 50.0), // 2
+            Vec2::new(99.0, 99.0), // 3
+            Vec2::new(5.0, 6.0),   // 4
+        ]
+    }
+
+    #[test]
+    fn build_and_query() {
+        let idx = GridIndex::build(Rect::new(100.0, 100.0), 10.0, &cluster_positions());
+        assert_eq!(idx.len(), 5);
+        assert!(!idx.is_empty());
+        let mut near = idx.query_within(Vec2::new(5.0, 5.0), 2.0);
+        near.sort_unstable();
+        assert_eq!(near, vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn query_includes_boundary_distance() {
+        let idx = GridIndex::build(Rect::new(100.0, 100.0), 10.0, &cluster_positions());
+        // Node 1 is exactly 1.0 away from (5,5); radius exactly 1.0 includes it.
+        let mut near = idx.query_within(Vec2::new(5.0, 5.0), 1.0);
+        near.sort_unstable();
+        assert_eq!(near, vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn query_empty_region() {
+        let idx = GridIndex::build(Rect::new(100.0, 100.0), 10.0, &cluster_positions());
+        assert!(idx.query_within(Vec2::new(30.0, 80.0), 5.0).is_empty());
+    }
+
+    #[test]
+    fn query_spanning_many_cells() {
+        let idx = GridIndex::build(Rect::new(100.0, 100.0), 10.0, &cluster_positions());
+        let mut all = idx.query_within(Vec2::new(50.0, 50.0), 200.0);
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn update_moves_between_cells() {
+        let mut idx = GridIndex::build(Rect::new(100.0, 100.0), 10.0, &cluster_positions());
+        idx.update(3, Vec2::new(5.5, 5.5));
+        let mut near = idx.query_within(Vec2::new(5.0, 5.0), 2.0);
+        near.sort_unstable();
+        assert_eq!(near, vec![0, 1, 3, 4]);
+        assert!(idx.query_within(Vec2::new(99.0, 99.0), 2.0).is_empty());
+        assert_eq!(idx.position(3), Vec2::new(5.5, 5.5));
+    }
+
+    #[test]
+    fn update_within_same_cell() {
+        let mut idx = GridIndex::build(Rect::new(100.0, 100.0), 10.0, &cluster_positions());
+        idx.update(0, Vec2::new(5.2, 5.2));
+        let near = idx.query_within(Vec2::new(5.2, 5.2), 0.1);
+        assert_eq!(near, vec![0]);
+    }
+
+    #[test]
+    fn points_outside_field_are_still_found() {
+        let positions = vec![Vec2::new(-10.0, -10.0), Vec2::new(150.0, 50.0)];
+        let idx = GridIndex::build(Rect::new(100.0, 100.0), 10.0, &positions);
+        let near = idx.query_within(Vec2::new(-9.0, -10.0), 2.0);
+        assert_eq!(near, vec![0]);
+        let near = idx.query_within(Vec2::new(149.0, 50.0), 2.0);
+        assert_eq!(near, vec![1]);
+    }
+
+    #[test]
+    fn links_within_matches_bruteforce() {
+        let positions: Vec<Vec2> = (0..30)
+            .map(|i| {
+                let t = i as f64;
+                Vec2::new((t * 37.0) % 100.0, (t * 61.0) % 100.0)
+            })
+            .collect();
+        let idx = GridIndex::build(Rect::new(100.0, 100.0), 15.0, &positions);
+        let mut fast = idx.links_within(20.0);
+        fast.sort_unstable();
+        let mut slow = Vec::new();
+        for i in 0..positions.len() {
+            for j in (i + 1)..positions.len() {
+                if positions[i].distance(positions[j]) <= 20.0 {
+                    slow.push((i, j));
+                }
+            }
+        }
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = GridIndex::build(Rect::new(10.0, 10.0), 5.0, &[]);
+        assert!(idx.is_empty());
+        assert!(idx.query_within(Vec2::new(5.0, 5.0), 100.0).is_empty());
+        assert!(idx.links_within(1.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cell_size_panics() {
+        let _ = GridIndex::build(Rect::new(10.0, 10.0), 0.0, &[]);
+    }
+
+    #[test]
+    fn degenerate_field_single_cell() {
+        let positions = vec![Vec2::ZERO, Vec2::new(0.0, 0.0)];
+        let idx = GridIndex::build(Rect::new(0.0, 0.0), 1.0, &positions);
+        let mut near = idx.query_within(Vec2::ZERO, 0.0);
+        near.sort_unstable();
+        assert_eq!(near, vec![0, 1]);
+    }
+}

@@ -1,0 +1,345 @@
+//! Axis-aligned rectangles (simulation fields).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Vec2;
+
+/// An axis-aligned rectangle, used primarily as the bounding field of a
+/// simulation scenario (e.g. the paper's 670 m × 670 m region).
+///
+/// Invariant: `min.x <= max.x && min.y <= max.y`, enforced at
+/// construction.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_geom::{Rect, Vec2};
+///
+/// let field = Rect::new(670.0, 670.0);
+/// assert_eq!(field.width(), 670.0);
+/// assert_eq!(field.area(), 670.0 * 670.0);
+/// assert!(field.contains(Vec2::new(0.0, 0.0)));
+/// assert!(!field.contains(Vec2::new(-1.0, 0.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    min: Vec2,
+    max: Vec2,
+}
+
+impl Rect {
+    /// Creates a rectangle anchored at the origin with the given width
+    /// and height. This is the conventional form for simulation fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is negative or non-finite.
+    #[must_use]
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(
+            width >= 0.0 && height >= 0.0 && width.is_finite() && height.is_finite(),
+            "rectangle dimensions must be finite and non-negative, got {width} x {height}"
+        );
+        Rect {
+            min: Vec2::ZERO,
+            max: Vec2::new(width, height),
+        }
+    }
+
+    /// Creates a square field of the given side length, anchored at the
+    /// origin. `Rect::square(670.0)` is the paper's primary scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side` is negative or non-finite.
+    #[must_use]
+    pub fn square(side: f64) -> Self {
+        Rect::new(side, side)
+    }
+
+    /// Creates a rectangle from two opposite corners (any order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either corner has a non-finite component.
+    #[must_use]
+    pub fn from_corners(a: Vec2, b: Vec2) -> Self {
+        assert!(
+            a.is_finite() && b.is_finite(),
+            "rectangle corners must be finite, got {a:?}, {b:?}"
+        );
+        Rect {
+            min: a.min(b),
+            max: a.max(b),
+        }
+    }
+
+    /// Lower-left corner.
+    #[must_use]
+    pub fn min(&self) -> Vec2 {
+        self.min
+    }
+
+    /// Upper-right corner.
+    #[must_use]
+    pub fn max(&self) -> Vec2 {
+        self.max
+    }
+
+    /// Width (x extent).
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height (y extent).
+    #[must_use]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area in square meters.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Center point.
+    #[must_use]
+    pub fn center(&self) -> Vec2 {
+        self.min.lerp(self.max, 0.5)
+    }
+
+    /// Length of the diagonal — the maximum possible distance between
+    /// two points in the field.
+    #[must_use]
+    pub fn diagonal(&self) -> f64 {
+        self.min.distance(self.max)
+    }
+
+    /// Returns `true` if `p` lies inside the rectangle or on its
+    /// boundary.
+    #[must_use]
+    pub fn contains(&self, p: Vec2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Clamps `p` to the nearest point inside the rectangle.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mobic_geom::{Rect, Vec2};
+    /// let r = Rect::new(10.0, 10.0);
+    /// assert_eq!(r.clamp(Vec2::new(-5.0, 3.0)), Vec2::new(0.0, 3.0));
+    /// ```
+    #[must_use]
+    pub fn clamp(&self, p: Vec2) -> Vec2 {
+        p.max(self.min).min(self.max)
+    }
+
+    /// Maps unit coordinates `(u, v) ∈ [0,1]²` to a point in the
+    /// rectangle. Feeding in independent uniform samples yields a
+    /// uniformly distributed point — this is how scenario generators
+    /// place nodes without this crate depending on any RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `u` or `v` is outside `[0, 1]`.
+    #[must_use]
+    pub fn point_at(&self, u: f64, v: f64) -> Vec2 {
+        debug_assert!((0.0..=1.0).contains(&u), "u out of range: {u}");
+        debug_assert!((0.0..=1.0).contains(&v), "v out of range: {v}");
+        Vec2::new(
+            self.min.x + u * self.width(),
+            self.min.y + v * self.height(),
+        )
+    }
+
+    /// Reflects a point that may lie outside the rectangle back inside,
+    /// mirror-style (used by bouncing mobility models). Points already
+    /// inside are returned unchanged. The reflection also returns which
+    /// axes flipped so callers can reverse velocity components.
+    ///
+    /// For displacements larger than the field the reflection is applied
+    /// repeatedly (true mirror folding).
+    #[must_use]
+    pub fn reflect(&self, p: Vec2) -> (Vec2, bool, bool) {
+        let (x, fx) = reflect_axis(p.x, self.min.x, self.max.x);
+        let (y, fy) = reflect_axis(p.y, self.min.y, self.max.y);
+        (Vec2::new(x, y), fx, fy)
+    }
+
+    /// Wraps a point torus-style into the rectangle (used by wrapping
+    /// highway models).
+    #[must_use]
+    pub fn wrap(&self, p: Vec2) -> Vec2 {
+        Vec2::new(
+            wrap_axis(p.x, self.min.x, self.max.x),
+            wrap_axis(p.y, self.min.y, self.max.y),
+        )
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+/// Reflects a scalar into `[lo, hi]`, reporting whether an odd number of
+/// boundary reflections occurred (i.e. the direction of travel flipped).
+fn reflect_axis(v: f64, lo: f64, hi: f64) -> (f64, bool) {
+    let span = hi - lo;
+    if span <= 0.0 {
+        return (lo, false);
+    }
+    // Mirror-fold: positions repeat with period 2*span; the copy index k
+    // counts how many boundaries were crossed, and odd k flips direction.
+    let k = ((v - lo) / span).floor() as i64;
+    let flipped = k.rem_euclid(2) != 0;
+    let t = (v - lo).rem_euclid(2.0 * span);
+    let pos = if t <= span { lo + t } else { lo + 2.0 * span - t };
+    (pos, flipped)
+}
+
+/// Wraps a scalar into `[lo, hi)` torus-style.
+fn wrap_axis(v: f64, lo: f64, hi: f64) -> f64 {
+    let span = hi - lo;
+    if span <= 0.0 {
+        return lo;
+    }
+    lo + (v - lo).rem_euclid(span)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_accessors() {
+        let r = Rect::new(100.0, 50.0);
+        assert_eq!(r.min(), Vec2::ZERO);
+        assert_eq!(r.max(), Vec2::new(100.0, 50.0));
+        assert_eq!(r.width(), 100.0);
+        assert_eq!(r.height(), 50.0);
+        assert_eq!(r.area(), 5000.0);
+        assert_eq!(r.center(), Vec2::new(50.0, 25.0));
+    }
+
+    #[test]
+    fn square_ctor() {
+        let r = Rect::square(670.0);
+        assert_eq!(r.width(), 670.0);
+        assert_eq!(r.height(), 670.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_dimensions_panic() {
+        let _ = Rect::new(-1.0, 5.0);
+    }
+
+    #[test]
+    fn from_corners_normalizes_order() {
+        let r = Rect::from_corners(Vec2::new(5.0, 1.0), Vec2::new(1.0, 5.0));
+        assert_eq!(r.min(), Vec2::new(1.0, 1.0));
+        assert_eq!(r.max(), Vec2::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn containment_includes_boundary() {
+        let r = Rect::new(10.0, 10.0);
+        assert!(r.contains(Vec2::ZERO));
+        assert!(r.contains(Vec2::new(10.0, 10.0)));
+        assert!(r.contains(Vec2::new(5.0, 0.0)));
+        assert!(!r.contains(Vec2::new(10.0001, 5.0)));
+        assert!(!r.contains(Vec2::new(5.0, -0.0001)));
+    }
+
+    #[test]
+    fn clamping() {
+        let r = Rect::new(10.0, 10.0);
+        assert_eq!(r.clamp(Vec2::new(-1.0, 11.0)), Vec2::new(0.0, 10.0));
+        assert_eq!(r.clamp(Vec2::new(5.0, 5.0)), Vec2::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn point_at_corners_and_center() {
+        let r = Rect::new(100.0, 200.0);
+        assert_eq!(r.point_at(0.0, 0.0), Vec2::ZERO);
+        assert_eq!(r.point_at(1.0, 1.0), Vec2::new(100.0, 200.0));
+        assert_eq!(r.point_at(0.5, 0.5), Vec2::new(50.0, 100.0));
+    }
+
+    #[test]
+    fn diagonal_is_max_distance() {
+        let r = Rect::new(3.0, 4.0);
+        assert_eq!(r.diagonal(), 5.0);
+    }
+
+    #[test]
+    fn reflect_inside_is_identity() {
+        let r = Rect::new(10.0, 10.0);
+        let (p, fx, fy) = r.reflect(Vec2::new(3.0, 7.0));
+        assert_eq!(p, Vec2::new(3.0, 7.0));
+        assert!(!fx);
+        assert!(!fy);
+    }
+
+    #[test]
+    fn reflect_simple_overshoot() {
+        let r = Rect::new(10.0, 10.0);
+        let (p, fx, fy) = r.reflect(Vec2::new(12.0, 5.0));
+        assert!(p.approx_eq(Vec2::new(8.0, 5.0)), "{p:?}");
+        assert!(fx);
+        assert!(!fy);
+
+        let (p, fx, _) = r.reflect(Vec2::new(-3.0, 5.0));
+        assert!(p.approx_eq(Vec2::new(3.0, 5.0)), "{p:?}");
+        assert!(fx);
+    }
+
+    #[test]
+    fn reflect_multiple_folds() {
+        let r = Rect::new(10.0, 10.0);
+        // 25 folds to: 25 -> mirror at 10 -> 20-25=... fold into [0,20) is 5,
+        // which lies in the first (unflipped) half => position 5, two flips
+        // (even) means direction unchanged.
+        let (p, fx, _) = r.reflect(Vec2::new(25.0, 0.0));
+        assert!(p.approx_eq(Vec2::new(5.0, 0.0)), "{p:?}");
+        assert!(!fx, "two reflections cancel direction flip");
+    }
+
+    #[test]
+    fn reflect_result_always_inside() {
+        let r = Rect::new(7.0, 13.0);
+        for i in -50..50 {
+            let v = Vec2::new(i as f64 * 1.7, i as f64 * -2.3);
+            let (p, _, _) = r.reflect(v);
+            assert!(
+                r.contains(p) || r.clamp(p).distance(p) < 1e-9,
+                "reflected point {p:?} escaped {r:?} from {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrap_behavior() {
+        let r = Rect::new(10.0, 10.0);
+        assert!(r.wrap(Vec2::new(12.0, -3.0)).approx_eq(Vec2::new(2.0, 7.0)));
+        assert!(r.wrap(Vec2::new(5.0, 5.0)).approx_eq(Vec2::new(5.0, 5.0)));
+        assert!(r.wrap(Vec2::new(-12.0, 23.0)).approx_eq(Vec2::new(8.0, 3.0)));
+    }
+
+    #[test]
+    fn degenerate_rect() {
+        let r = Rect::new(0.0, 0.0);
+        assert_eq!(r.area(), 0.0);
+        assert!(r.contains(Vec2::ZERO));
+        let (p, _, _) = r.reflect(Vec2::new(5.0, 5.0));
+        assert_eq!(p, Vec2::ZERO);
+    }
+}

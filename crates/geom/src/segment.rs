@@ -1,0 +1,249 @@
+//! Closest-approach helpers for piecewise-linear motion.
+//!
+//! Mobility models in this workspace describe node motion as
+//! piecewise-linear legs. Several analyses (link-lifetime prediction,
+//! routing-route validity, test oracles) need to know *when* two nodes
+//! moving on straight legs come within (or leave) a given range. This
+//! module provides the exact closed-form solutions.
+
+use crate::Vec2;
+
+/// Relative motion of two points each moving with constant velocity:
+/// the distance between them as a function of time is
+/// `|Δp + Δv·t|`, a square root of a quadratic in `t`.
+///
+/// `LinearApproach` precomputes that quadratic so callers can query
+/// closest approach and range-crossing times cheaply.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_geom::{segment::LinearApproach, Vec2};
+///
+/// // Two nodes approaching head-on at 1 m/s each, starting 10 m apart.
+/// let la = LinearApproach::new(
+///     Vec2::new(0.0, 0.0), Vec2::new(1.0, 0.0),
+///     Vec2::new(10.0, 0.0), Vec2::new(-1.0, 0.0),
+/// );
+/// assert_eq!(la.distance_at(0.0), 10.0);
+/// let (t_min, d_min) = la.closest_approach();
+/// assert_eq!(t_min, 5.0);
+/// assert_eq!(d_min, 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearApproach {
+    /// Relative position at `t = 0`.
+    dp: Vec2,
+    /// Relative velocity.
+    dv: Vec2,
+}
+
+impl LinearApproach {
+    /// Builds the relative-motion model for point `a` at `pa` moving
+    /// with velocity `va` and point `b` at `pb` moving with velocity
+    /// `vb` (positions in meters, velocities in m/s, time in seconds).
+    #[must_use]
+    pub fn new(pa: Vec2, va: Vec2, pb: Vec2, vb: Vec2) -> Self {
+        LinearApproach {
+            dp: pb - pa,
+            dv: vb - va,
+        }
+    }
+
+    /// Distance between the two points at time `t` (seconds, may be
+    /// negative to look into the past of the linear extrapolation).
+    #[must_use]
+    pub fn distance_at(&self, t: f64) -> f64 {
+        (self.dp + self.dv * t).length()
+    }
+
+    /// Time of closest approach (clamped to `t >= 0`) and the distance
+    /// at that time. If the points are mutually stationary the closest
+    /// approach is at `t = 0`.
+    #[must_use]
+    pub fn closest_approach(&self) -> (f64, f64) {
+        let a = self.dv.length_squared();
+        if a <= 0.0 {
+            return (0.0, self.dp.length());
+        }
+        let t = (-self.dp.dot(self.dv) / a).max(0.0);
+        (t, self.distance_at(t))
+    }
+
+    /// The interval of times `t >= 0` during which the two points are
+    /// within `range` of each other, or `None` if they never are.
+    ///
+    /// The squared distance is `a t² + b t + c` with
+    /// `a = |Δv|²`, `b = 2 Δp·Δv`, `c = |Δp|²`; solving
+    /// `a t² + b t + c = range²` gives the entry/exit times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is negative or non-finite.
+    #[must_use]
+    pub fn within_range_interval(&self, range: f64) -> Option<(f64, f64)> {
+        assert!(
+            range >= 0.0 && range.is_finite(),
+            "range must be finite and non-negative, got {range}"
+        );
+        let a = self.dv.length_squared();
+        let b = 2.0 * self.dp.dot(self.dv);
+        let c = self.dp.length_squared() - range * range;
+        if a <= 0.0 {
+            // Relative position is constant.
+            return if c <= 0.0 {
+                Some((0.0, f64::INFINITY))
+            } else {
+                None
+            };
+        }
+        let disc = b * b - 4.0 * a * c;
+        if disc < 0.0 {
+            return None;
+        }
+        let sq = disc.sqrt();
+        let t0 = (-b - sq) / (2.0 * a);
+        let t1 = (-b + sq) / (2.0 * a);
+        if t1 < 0.0 {
+            return None;
+        }
+        Some((t0.max(0.0), t1))
+    }
+
+    /// First time `t >= 0` at which the pair crosses from inside
+    /// `range` to outside (the "link break" time), or `None` if the
+    /// pair is outside at `t = 0` or never leaves range.
+    #[must_use]
+    pub fn link_break_time(&self, range: f64) -> Option<f64> {
+        let (t0, t1) = self.within_range_interval(range)?;
+        if t0 > 0.0 {
+            return None; // not in range now
+        }
+        if t1.is_finite() {
+            Some(t1)
+        } else {
+            None
+        }
+    }
+}
+
+/// Point on the segment `a..b` closest to `p`.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_geom::{segment::closest_point_on_segment, Vec2};
+/// let a = Vec2::new(0.0, 0.0);
+/// let b = Vec2::new(10.0, 0.0);
+/// assert_eq!(closest_point_on_segment(Vec2::new(3.0, 4.0), a, b), Vec2::new(3.0, 0.0));
+/// assert_eq!(closest_point_on_segment(Vec2::new(-5.0, 1.0), a, b), a);
+/// ```
+#[must_use]
+pub fn closest_point_on_segment(p: Vec2, a: Vec2, b: Vec2) -> Vec2 {
+    let ab = b - a;
+    let len2 = ab.length_squared();
+    if len2 <= 0.0 {
+        return a;
+    }
+    let t = ((p - a).dot(ab) / len2).clamp(0.0, 1.0);
+    a + ab * t
+}
+
+/// Distance from `p` to the segment `a..b`.
+#[must_use]
+pub fn distance_to_segment(p: Vec2, a: Vec2, b: Vec2) -> f64 {
+    p.distance(closest_point_on_segment(p, a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approach(pa: (f64, f64), va: (f64, f64), pb: (f64, f64), vb: (f64, f64)) -> LinearApproach {
+        LinearApproach::new(pa.into(), va.into(), pb.into(), vb.into())
+    }
+
+    #[test]
+    fn stationary_pair() {
+        let la = approach((0.0, 0.0), (0.0, 0.0), (3.0, 4.0), (0.0, 0.0));
+        assert_eq!(la.distance_at(0.0), 5.0);
+        assert_eq!(la.distance_at(100.0), 5.0);
+        assert_eq!(la.closest_approach(), (0.0, 5.0));
+        assert_eq!(la.within_range_interval(5.0), Some((0.0, f64::INFINITY)));
+        assert_eq!(la.within_range_interval(4.9), None);
+        assert_eq!(la.link_break_time(10.0), None);
+    }
+
+    #[test]
+    fn head_on_collision_course() {
+        let la = approach((0.0, 0.0), (1.0, 0.0), (10.0, 0.0), (-1.0, 0.0));
+        let (t, d) = la.closest_approach();
+        assert_eq!(t, 5.0);
+        assert_eq!(d, 0.0);
+        // In 2 m range from t=4 to t=6.
+        let (t0, t1) = la.within_range_interval(2.0).unwrap();
+        assert!((t0 - 4.0).abs() < 1e-9);
+        assert!((t1 - 6.0).abs() < 1e-9);
+        // Not in range now => no break time.
+        assert_eq!(la.link_break_time(2.0), None);
+    }
+
+    #[test]
+    fn receding_pair_breaks_link() {
+        let la = approach((0.0, 0.0), (0.0, 0.0), (1.0, 0.0), (1.0, 0.0));
+        // In range 5 at t=0, leaves at t=4 (distance 1 + t).
+        let brk = la.link_break_time(5.0).unwrap();
+        assert!((brk - 4.0).abs() < 1e-9, "{brk}");
+        assert_eq!(la.distance_at(brk), 5.0);
+    }
+
+    #[test]
+    fn parallel_movers_never_change_distance() {
+        let la = approach((0.0, 0.0), (3.0, 3.0), (0.0, 7.0), (3.0, 3.0));
+        assert_eq!(la.closest_approach(), (0.0, 7.0));
+        assert_eq!(la.within_range_interval(6.0), None);
+    }
+
+    #[test]
+    fn passing_nodes_enter_and_leave() {
+        // b passes a at lateral offset 3, speed 1.
+        let la = approach((0.0, 0.0), (0.0, 0.0), (-10.0, 3.0), (1.0, 0.0));
+        let (t0, t1) = la.within_range_interval(5.0).unwrap();
+        // |(-10+t, 3)| = 5 => (t-10)^2 = 16 => t = 6 or 14.
+        assert!((t0 - 6.0).abs() < 1e-9, "{t0}");
+        assert!((t1 - 14.0).abs() < 1e-9, "{t1}");
+        let (tc, dc) = la.closest_approach();
+        assert!((tc - 10.0).abs() < 1e-9);
+        assert!((dc - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closest_approach_in_past_clamps_to_zero() {
+        // Already receding: closest approach was before t=0.
+        let la = approach((0.0, 0.0), (0.0, 0.0), (5.0, 0.0), (2.0, 0.0));
+        let (t, d) = la.closest_approach();
+        assert_eq!(t, 0.0);
+        assert_eq!(d, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_range_panics() {
+        let la = approach((0.0, 0.0), (0.0, 0.0), (1.0, 0.0), (0.0, 0.0));
+        let _ = la.within_range_interval(-1.0);
+    }
+
+    #[test]
+    fn segment_projection() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(10.0, 0.0);
+        assert_eq!(
+            closest_point_on_segment(Vec2::new(5.0, 5.0), a, b),
+            Vec2::new(5.0, 0.0)
+        );
+        assert_eq!(closest_point_on_segment(Vec2::new(20.0, 1.0), a, b), b);
+        assert_eq!(distance_to_segment(Vec2::new(5.0, 5.0), a, b), 5.0);
+        // Degenerate segment.
+        assert_eq!(closest_point_on_segment(Vec2::new(1.0, 1.0), a, a), a);
+    }
+}

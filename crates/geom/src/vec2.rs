@@ -1,0 +1,388 @@
+//! A 2-D vector / point type.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-D vector, also used to represent points (node positions) on the
+/// simulation field. Units are meters unless stated otherwise.
+///
+/// `Vec2` is a plain value type: `Copy`, component-public, with the usual
+/// arithmetic operators. It intentionally does not implement `Eq`/`Hash`
+/// because it wraps floating point values; use [`Vec2::approx_eq`] for
+/// tolerant comparison.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_geom::Vec2;
+///
+/// let v = Vec2::new(3.0, 4.0);
+/// assert_eq!(v.length(), 5.0);
+/// assert_eq!(v + Vec2::new(1.0, 1.0), Vec2::new(4.0, 5.0));
+/// assert_eq!(v * 2.0, Vec2::new(6.0, 8.0));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// Horizontal component (meters).
+    pub x: f64,
+    /// Vertical component (meters).
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// The zero vector / origin.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from its components.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Creates a unit vector pointing at `angle` radians from the
+    /// positive x-axis, scaled by `radius`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mobic_geom::Vec2;
+    /// let v = Vec2::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!(v.approx_eq(Vec2::new(0.0, 2.0)));
+    /// ```
+    #[must_use]
+    pub fn from_polar(radius: f64, angle: f64) -> Self {
+        Vec2::new(radius * angle.cos(), radius * angle.sin())
+    }
+
+    /// Dot product with `other`.
+    #[must_use]
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (the z-component of the 3-D cross product).
+    /// Positive when `other` is counter-clockwise from `self`.
+    #[must_use]
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Euclidean length of the vector.
+    #[must_use]
+    pub fn length(self) -> f64 {
+        self.length_squared().sqrt()
+    }
+
+    /// Squared length; cheaper than [`Vec2::length`] when only
+    /// comparisons are needed.
+    #[must_use]
+    pub fn length_squared(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean distance from `self` to `other` (interpreting both as
+    /// points).
+    #[must_use]
+    pub fn distance(self, other: Vec2) -> f64 {
+        (self - other).length()
+    }
+
+    /// Squared distance from `self` to `other`.
+    #[must_use]
+    pub fn distance_squared(self, other: Vec2) -> f64 {
+        (self - other).length_squared()
+    }
+
+    /// Returns the vector scaled to unit length, or `None` if its length
+    /// is (near) zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mobic_geom::Vec2;
+    /// assert_eq!(Vec2::new(0.0, 3.0).normalized(), Some(Vec2::new(0.0, 1.0)));
+    /// assert_eq!(Vec2::ZERO.normalized(), None);
+    /// ```
+    #[must_use]
+    pub fn normalized(self) -> Option<Vec2> {
+        let len = self.length();
+        if len <= crate::EPSILON {
+            None
+        } else {
+            Some(self / len)
+        }
+    }
+
+    /// Linear interpolation: returns `self` at `t = 0` and `other` at
+    /// `t = 1`. `t` outside `[0, 1]` extrapolates.
+    #[must_use]
+    pub fn lerp(self, other: Vec2, t: f64) -> Vec2 {
+        self + (other - self) * t
+    }
+
+    /// Angle of the vector in radians, in `(-π, π]`, measured from the
+    /// positive x-axis.
+    #[must_use]
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// The vector rotated counter-clockwise by `angle` radians.
+    #[must_use]
+    pub fn rotated(self, angle: f64) -> Vec2 {
+        let (s, c) = angle.sin_cos();
+        Vec2::new(self.x * c - self.y * s, self.x * s + self.y * c)
+    }
+
+    /// The vector rotated 90° counter-clockwise.
+    #[must_use]
+    pub fn perp(self) -> Vec2 {
+        Vec2::new(-self.y, self.x)
+    }
+
+    /// Component-wise minimum.
+    #[must_use]
+    pub fn min(self, other: Vec2) -> Vec2 {
+        Vec2::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum.
+    #[must_use]
+    pub fn max(self, other: Vec2) -> Vec2 {
+        Vec2::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// Returns `true` if both components are finite (not NaN/∞).
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Tolerant equality using the crate [`EPSILON`](crate::EPSILON) per
+    /// component.
+    #[must_use]
+    pub fn approx_eq(self, other: Vec2) -> bool {
+        crate::approx_eq(self.x, other.x) && crate::approx_eq(self.y, other.y)
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    fn add_assign(&mut self, rhs: Vec2) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Vec2 {
+    fn sub_assign(&mut self, rhs: Vec2) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Mul<Vec2> for f64 {
+    type Output = Vec2;
+    fn mul(self, rhs: Vec2) -> Vec2 {
+        rhs * self
+    }
+}
+
+impl MulAssign<f64> for Vec2 {
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl DivAssign<f64> for Vec2 {
+    fn div_assign(&mut self, rhs: f64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl Sum for Vec2 {
+    fn sum<I: Iterator<Item = Vec2>>(iter: I) -> Vec2 {
+        iter.fold(Vec2::ZERO, Add::add)
+    }
+}
+
+impl From<(f64, f64)> for Vec2 {
+    fn from((x, y): (f64, f64)) -> Self {
+        Vec2::new(x, y)
+    }
+}
+
+impl From<Vec2> for (f64, f64) {
+    fn from(v: Vec2) -> Self {
+        (v.x, v.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn construction_and_accessors() {
+        let v = Vec2::new(1.5, -2.5);
+        assert_eq!(v.x, 1.5);
+        assert_eq!(v.y, -2.5);
+        assert_eq!(Vec2::default(), Vec2::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, -1.0);
+        assert_eq!(a + b, Vec2::new(4.0, 1.0));
+        assert_eq!(a - b, Vec2::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(2.0 * a, Vec2::new(2.0, 4.0));
+        assert_eq!(a / 2.0, Vec2::new(0.5, 1.0));
+        assert_eq!(-a, Vec2::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn compound_assignment() {
+        let mut v = Vec2::new(1.0, 1.0);
+        v += Vec2::new(1.0, 0.0);
+        assert_eq!(v, Vec2::new(2.0, 1.0));
+        v -= Vec2::new(0.0, 1.0);
+        assert_eq!(v, Vec2::new(2.0, 0.0));
+        v *= 3.0;
+        assert_eq!(v, Vec2::new(6.0, 0.0));
+        v /= 2.0;
+        assert_eq!(v, Vec2::new(3.0, 0.0));
+    }
+
+    #[test]
+    fn dot_cross_length() {
+        let a = Vec2::new(3.0, 4.0);
+        let b = Vec2::new(-4.0, 3.0);
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), 25.0);
+        assert_eq!(a.length(), 5.0);
+        assert_eq!(a.length_squared(), 25.0);
+    }
+
+    #[test]
+    fn distances() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.distance_squared(b), 25.0);
+        assert_eq!(b.distance(a), 5.0);
+    }
+
+    #[test]
+    fn normalization() {
+        let v = Vec2::new(0.0, -7.0);
+        assert_eq!(v.normalized(), Some(Vec2::new(0.0, -1.0)));
+        assert_eq!(Vec2::ZERO.normalized(), None);
+        assert_eq!(Vec2::new(1e-12, 0.0).normalized(), None);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(10.0, -10.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec2::new(5.0, -5.0));
+        // Extrapolation.
+        assert_eq!(a.lerp(b, 2.0), Vec2::new(20.0, -20.0));
+    }
+
+    #[test]
+    fn polar_and_angle_roundtrip() {
+        let v = Vec2::from_polar(2.0, PI / 4.0);
+        assert!(crate::approx_eq(v.angle(), PI / 4.0));
+        assert!(crate::approx_eq(v.length(), 2.0));
+    }
+
+    #[test]
+    fn rotation() {
+        let v = Vec2::new(1.0, 0.0);
+        assert!(v.rotated(FRAC_PI_2).approx_eq(Vec2::new(0.0, 1.0)));
+        assert!(v.rotated(PI).approx_eq(Vec2::new(-1.0, 0.0)));
+        assert!(v.perp().approx_eq(Vec2::new(0.0, 1.0)));
+    }
+
+    #[test]
+    fn min_max_components() {
+        let a = Vec2::new(1.0, 5.0);
+        let b = Vec2::new(2.0, 3.0);
+        assert_eq!(a.min(b), Vec2::new(1.0, 3.0));
+        assert_eq!(a.max(b), Vec2::new(2.0, 5.0));
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Vec2::new(1.0, 2.0).is_finite());
+        assert!(!Vec2::new(f64::NAN, 0.0).is_finite());
+        assert!(!Vec2::new(0.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn sum_of_vectors() {
+        let total: Vec2 = [Vec2::new(1.0, 0.0), Vec2::new(2.0, 3.0), Vec2::new(-1.0, 1.0)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Vec2::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn tuple_conversions() {
+        let v: Vec2 = (4.0, 5.0).into();
+        assert_eq!(v, Vec2::new(4.0, 5.0));
+        let t: (f64, f64) = v.into();
+        assert_eq!(t, (4.0, 5.0));
+    }
+
+    #[test]
+    fn display_formatting() {
+        assert_eq!(Vec2::new(1.0, 2.5).to_string(), "(1.000, 2.500)");
+    }
+}

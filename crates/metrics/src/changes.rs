@@ -1,0 +1,342 @@
+//! The cluster stability metric `CS`.
+
+use std::collections::BTreeMap;
+
+use mobic_core::RoleTransition;
+use mobic_net::NodeId;
+use mobic_sim::SimTime;
+
+/// Collects every role transition of a run and answers the paper's
+/// stability questions.
+///
+/// The headline metric is [`clusterhead_changes`]
+/// (`CS`): the number of transitions into or out of the clusterhead
+/// role. Because the initial election itself flips ~`#clusters` nodes
+/// into the role, experiments usually count changes **after a warmup**
+/// ([`clusterhead_changes_after`]) so algorithms are compared on
+/// steady-state churn, not on bootstrap — EXPERIMENTS.md states which
+/// number each figure uses.
+///
+/// [`clusterhead_changes`]: TransitionLog::clusterhead_changes
+/// [`clusterhead_changes_after`]: TransitionLog::clusterhead_changes_after
+///
+/// # Examples
+///
+/// ```
+/// use mobic_core::{Role, RoleTransition};
+/// use mobic_metrics::TransitionLog;
+/// use mobic_net::NodeId;
+/// use mobic_sim::SimTime;
+///
+/// let mut log = TransitionLog::new();
+/// log.record(RoleTransition {
+///     at: SimTime::from_secs(4),
+///     node: NodeId::new(0),
+///     from: Role::Undecided,
+///     to: Role::Clusterhead,
+/// });
+/// assert_eq!(log.clusterhead_changes(), 1);
+/// assert_eq!(log.clusterhead_changes_after(SimTime::from_secs(10)), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TransitionLog {
+    transitions: Vec<RoleTransition>,
+}
+
+impl TransitionLog {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        TransitionLog::default()
+    }
+
+    /// Appends a transition (they must arrive in time order; the
+    /// clustering engine guarantees this).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if transitions arrive out of order.
+    pub fn record(&mut self, tr: RoleTransition) {
+        debug_assert!(
+            self.transitions.last().is_none_or(|last| last.at <= tr.at),
+            "transitions must arrive in time order"
+        );
+        self.transitions.push(tr);
+    }
+
+    /// All transitions, in time order.
+    #[must_use]
+    pub fn transitions(&self) -> &[RoleTransition] {
+        &self.transitions
+    }
+
+    /// Total number of recorded transitions of any kind.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// `true` if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// The paper's `CS`: transitions into or out of the clusterhead
+    /// role, over the whole run.
+    #[must_use]
+    pub fn clusterhead_changes(&self) -> usize {
+        self.transitions
+            .iter()
+            .filter(|t| t.is_clusterhead_change())
+            .count()
+    }
+
+    /// `CS` counting only transitions at or after `warmup` — the
+    /// steady-state churn, excluding the initial election.
+    #[must_use]
+    pub fn clusterhead_changes_after(&self, warmup: SimTime) -> usize {
+        self.transitions
+            .iter()
+            .filter(|t| t.at >= warmup && t.is_clusterhead_change())
+            .count()
+    }
+
+    /// Cluster-membership (affiliation) changes — a finer-grained
+    /// churn measure: every time any node changes which cluster it
+    /// belongs to.
+    #[must_use]
+    pub fn affiliation_changes_after(&self, warmup: SimTime) -> usize {
+        self.transitions
+            .iter()
+            .filter(|t| t.at >= warmup && t.is_affiliation_change())
+            .count()
+    }
+
+    /// Clusterhead changes per node, for locating churn hotspots.
+    #[must_use]
+    pub fn per_node_clusterhead_changes(&self) -> BTreeMap<NodeId, usize> {
+        let mut map = BTreeMap::new();
+        for t in &self.transitions {
+            if t.is_clusterhead_change() {
+                *map.entry(t.node).or_insert(0) += 1;
+            }
+        }
+        map
+    }
+
+    /// `CS` per unit time (changes/second) in the window
+    /// `[warmup, end]` — the normalized form "average number of
+    /// clusterhead changes per unit of time" used by \[5\].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= warmup`.
+    #[must_use]
+    pub fn clusterhead_change_rate(&self, warmup: SimTime, end: SimTime) -> f64 {
+        assert!(end > warmup, "empty measurement window");
+        let n = self
+            .transitions
+            .iter()
+            .filter(|t| t.at >= warmup && t.at <= end && t.is_clusterhead_change())
+            .count();
+        n as f64 / (end - warmup).as_secs_f64()
+    }
+}
+
+impl TransitionLog {
+    /// Per-node fraction of `[start, end]` spent in the clusterhead
+    /// role, reconstructed from the transition stream (every node
+    /// starts undecided). Index = `NodeId::index`. The clusterhead
+    /// *burden distribution* this yields feeds the fairness analysis:
+    /// stable clusterings concentrate burden on few long-serving
+    /// heads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start`.
+    #[must_use]
+    pub fn clusterhead_time_shares(
+        &self,
+        n_nodes: usize,
+        start: SimTime,
+        end: SimTime,
+    ) -> Vec<f64> {
+        assert!(end > start, "empty measurement window");
+        let window = (end - start).as_secs_f64();
+        let mut shares = vec![0.0f64; n_nodes];
+        // Track, per node, when it most recently became clusterhead.
+        let mut since: Vec<Option<SimTime>> = vec![None; n_nodes];
+        for tr in &self.transitions {
+            let i = tr.node.index();
+            if i >= n_nodes {
+                continue;
+            }
+            if tr.to.is_clusterhead() {
+                since[i] = Some(tr.at.max(start));
+            } else if tr.from.is_clusterhead() {
+                if let Some(s0) = since[i].take() {
+                    let until = tr.at.min(end).max(start);
+                    if until > s0 {
+                        shares[i] += (until - s0).as_secs_f64();
+                    }
+                }
+            }
+        }
+        for (i, s0) in since.iter().enumerate() {
+            if let Some(s0) = s0 {
+                if end > *s0 {
+                    shares[i] += (end - *s0).as_secs_f64();
+                }
+            }
+        }
+        for s in &mut shares {
+            *s /= window;
+        }
+        shares
+    }
+
+    /// Number of distinct nodes that ever held the clusterhead role.
+    #[must_use]
+    pub fn distinct_clusterheads(&self) -> usize {
+        self.transitions
+            .iter()
+            .filter(|t| t.to.is_clusterhead())
+            .map(|t| t.node)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+    }
+}
+
+impl Extend<RoleTransition> for TransitionLog {
+    fn extend<T: IntoIterator<Item = RoleTransition>>(&mut self, iter: T) {
+        for t in iter {
+            self.record(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobic_core::Role;
+
+    fn tr(at_s: u64, node: u32, from: Role, to: Role) -> RoleTransition {
+        RoleTransition {
+            at: SimTime::from_secs(at_s),
+            node: NodeId::new(node),
+            from,
+            to,
+        }
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn counts_only_clusterhead_flips() {
+        let mut log = TransitionLog::new();
+        log.extend([
+            tr(1, 0, Role::Undecided, Role::Clusterhead), // CS +1
+            tr(2, 1, Role::Undecided, Role::Member { ch: n(0) }), // no
+            tr(3, 1, Role::Member { ch: n(0) }, Role::Member { ch: n(2) }), // no
+            tr(4, 0, Role::Clusterhead, Role::Member { ch: n(2) }), // CS +1
+        ]);
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.clusterhead_changes(), 2);
+    }
+
+    #[test]
+    fn warmup_excludes_initial_election() {
+        let mut log = TransitionLog::new();
+        log.extend([
+            tr(2, 0, Role::Undecided, Role::Clusterhead),
+            tr(4, 1, Role::Undecided, Role::Clusterhead),
+            tr(100, 1, Role::Clusterhead, Role::Member { ch: n(0) }),
+        ]);
+        assert_eq!(log.clusterhead_changes(), 3);
+        assert_eq!(log.clusterhead_changes_after(SimTime::from_secs(10)), 1);
+    }
+
+    #[test]
+    fn affiliation_changes() {
+        let mut log = TransitionLog::new();
+        log.extend([
+            tr(1, 5, Role::Undecided, Role::Member { ch: n(0) }),
+            tr(2, 5, Role::Member { ch: n(0) }, Role::Member { ch: n(1) }),
+            tr(3, 5, Role::Member { ch: n(1) }, Role::Member { ch: n(1) }),
+        ]);
+        assert_eq!(log.affiliation_changes_after(SimTime::ZERO), 2);
+    }
+
+    #[test]
+    fn per_node_breakdown() {
+        let mut log = TransitionLog::new();
+        log.extend([
+            tr(1, 0, Role::Undecided, Role::Clusterhead),
+            tr(2, 0, Role::Clusterhead, Role::Undecided),
+            tr(3, 7, Role::Undecided, Role::Clusterhead),
+        ]);
+        let per = log.per_node_clusterhead_changes();
+        assert_eq!(per[&n(0)], 2);
+        assert_eq!(per[&n(7)], 1);
+        assert!(!per.contains_key(&n(1)));
+    }
+
+    #[test]
+    fn change_rate() {
+        let mut log = TransitionLog::new();
+        log.extend([
+            tr(10, 0, Role::Undecided, Role::Clusterhead),
+            tr(20, 0, Role::Clusterhead, Role::Undecided),
+        ]);
+        let rate = log.clusterhead_change_rate(SimTime::ZERO, SimTime::from_secs(100));
+        assert!((rate - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = TransitionLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.clusterhead_changes(), 0);
+        assert!(log.per_node_clusterhead_changes().is_empty());
+    }
+
+    #[test]
+    fn time_shares_reconstruct_role_timeline() {
+        let mut log = TransitionLog::new();
+        log.extend([
+            // Node 0: CH from t=10 to t=60 (50 s of a 100 s window).
+            tr(10, 0, Role::Undecided, Role::Clusterhead),
+            tr(60, 0, Role::Clusterhead, Role::Member { ch: n(1) }),
+            // Node 1: CH from t=60 until the end.
+            tr(60, 1, Role::Undecided, Role::Clusterhead),
+        ]);
+        let shares =
+            log.clusterhead_time_shares(3, SimTime::ZERO, SimTime::from_secs(100));
+        assert!((shares[0] - 0.5).abs() < 1e-12, "{shares:?}");
+        assert!((shares[1] - 0.4).abs() < 1e-12, "{shares:?}");
+        assert_eq!(shares[2], 0.0);
+        assert_eq!(log.distinct_clusterheads(), 2);
+    }
+
+    #[test]
+    fn time_shares_clip_to_window() {
+        let mut log = TransitionLog::new();
+        log.extend([
+            tr(0, 0, Role::Undecided, Role::Clusterhead),
+            tr(90, 0, Role::Clusterhead, Role::Undecided),
+        ]);
+        // Measurement window [50, 100]: CH for 40 of 50 s.
+        let shares =
+            log.clusterhead_time_shares(1, SimTime::from_secs(50), SimTime::from_secs(100));
+        assert!((shares[0] - 0.8).abs() < 1e-12, "{shares:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn bad_rate_window_panics() {
+        let _ = TransitionLog::new().clusterhead_change_rate(SimTime::from_secs(5), SimTime::from_secs(5));
+    }
+}

@@ -1,0 +1,212 @@
+//! Fixed-bucket histograms with terminal rendering.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over equal-width buckets in `[lo, hi)`, with explicit
+/// underflow/overflow counters — used to report distributions (link
+/// lifetimes, route lifetimes, metric values) rather than just means.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_metrics::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 100.0, 10);
+/// for x in [5.0, 15.0, 15.5, 95.0, 150.0] {
+///     h.add(x);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.bucket_count(1), 2); // the two 15s
+/// assert_eq!(h.overflow(), 1);      // the 150
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `buckets` equal-width
+    /// buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi <= lo`, bounds are non-finite, or `buckets` is 0.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(
+            lo.is_finite() && hi.is_finite() && hi > lo,
+            "invalid histogram range {lo}..{hi}"
+        );
+        assert!(buckets > 0, "need at least one bucket");
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn add(&mut self, x: f64) {
+        assert!(!x.is_nan(), "cannot add NaN");
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.buckets.len() as f64;
+            let idx = (((x - self.lo) / width) as usize).min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Total samples, including under/overflow.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Count in bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Samples below the range.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above the upper bound.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The `[from, to)` value range of bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bucket_range(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.buckets.len(), "bucket {i} out of range");
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        (self.lo + width * i as f64, self.lo + width * (i + 1) as f64)
+    }
+
+    /// Renders the histogram as rows of `label | bar | count`, scaling
+    /// the longest bar to `bar_width` characters. Empty histograms
+    /// render headers only.
+    #[must_use]
+    pub fn render(&self, bar_width: usize) -> String {
+        let max = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        if self.underflow > 0 {
+            out.push_str(&format!("{:>16}  {}\n", format!("< {:.1}", self.lo), self.underflow));
+        }
+        for (i, &n) in self.buckets.iter().enumerate() {
+            let (a, b) = self.bucket_range(i);
+            let bar_len = ((n as f64 / max as f64) * bar_width as f64).round() as usize;
+            out.push_str(&format!(
+                "{:>16}  {:<width$} {}\n",
+                format!("{a:.1}–{b:.1}"),
+                "#".repeat(bar_len),
+                n,
+                width = bar_width
+            ));
+        }
+        if self.overflow > 0 {
+            out.push_str(&format!("{:>16}  {}\n", format!(">= {:.1}", self.hi), self.overflow));
+        }
+        out
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_boundaries() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.add(0.0); // bucket 0 (inclusive lower)
+        h.add(1.999); // bucket 0
+        h.add(2.0); // bucket 1
+        h.add(9.999); // bucket 4
+        h.add(10.0); // overflow (exclusive upper)
+        h.add(-0.001); // underflow
+        assert_eq!(h.bucket_count(0), 2);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(4), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn bucket_ranges_tile_the_domain() {
+        let h = Histogram::new(10.0, 50.0, 4);
+        assert_eq!(h.bucket_range(0), (10.0, 20.0));
+        assert_eq!(h.bucket_range(3), (40.0, 50.0));
+    }
+
+    #[test]
+    fn render_scales_bars() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        for _ in 0..10 {
+            h.add(0.5);
+        }
+        h.add(1.5);
+        let text = h.render(20);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].matches('#').count() == 20, "{text}");
+        assert!(lines[1].matches('#').count() == 2, "{text}");
+        assert!(lines[0].trim_end().ends_with("10"));
+    }
+
+    #[test]
+    fn extend_and_empty_render() {
+        let mut h = Histogram::new(0.0, 1.0, 3);
+        h.extend([0.1, 0.5, 0.9]);
+        assert_eq!(h.count(), 3);
+        let empty = Histogram::new(0.0, 1.0, 2);
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.render(10).lines().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram range")]
+    fn inverted_range_panics() {
+        let _ = Histogram::new(5.0, 1.0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_sample_panics() {
+        Histogram::new(0.0, 1.0, 2).add(f64::NAN);
+    }
+}

@@ -1,0 +1,205 @@
+//! Time series of sampled run quantities.
+
+use mobic_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::SummaryStats;
+
+/// A time-ordered series of `(time, value)` samples — e.g. the number
+/// of clusters sampled every broadcast interval (the quantity behind
+/// Figure 4).
+///
+/// # Examples
+///
+/// ```
+/// use mobic_metrics::TimeSeries;
+/// use mobic_sim::SimTime;
+///
+/// let mut s = TimeSeries::new("clusters");
+/// s.push(SimTime::from_secs(2), 10.0);
+/// s.push(SimTime::from_secs(4), 8.0);
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.mean(), 9.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    name: String,
+    times: Vec<SimTime>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with a descriptive name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            times: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The series name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample. Samples must arrive in non-decreasing time
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the last sample or `value` is NaN.
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        assert!(!value.is_nan(), "cannot record NaN");
+        if let Some(&last) = self.times.last() {
+            assert!(at >= last, "samples must be time-ordered");
+        }
+        self.times.push(at);
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw samples as parallel slices.
+    #[must_use]
+    pub fn samples(&self) -> (&[SimTime], &[f64]) {
+        (&self.times, &self.values)
+    }
+
+    /// Arithmetic mean of the values (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Mean over samples taken at or after `warmup`, skipping the
+    /// bootstrap transient (0 if no samples qualify).
+    #[must_use]
+    pub fn mean_after(&self, warmup: SimTime) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (t, v) in self.times.iter().zip(&self.values) {
+            if *t >= warmup {
+                sum += v;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Order-statistics summary of the values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series is empty.
+    #[must_use]
+    pub fn summary(&self) -> SummaryStats {
+        SummaryStats::from_samples(&self.values)
+    }
+
+    /// The last value, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<(SimTime, f64)> {
+        Some((*self.times.last()?, *self.values.last()?))
+    }
+
+    /// Value at the latest sample at or before `t` (step
+    /// interpolation), `None` before the first sample.
+    #[must_use]
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        let idx = self.times.partition_point(|&x| x <= t);
+        idx.checked_sub(1).map(|i| self.values[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn empty_series() {
+        let ts = TimeSeries::new("x");
+        assert!(ts.is_empty());
+        assert_eq!(ts.mean(), 0.0);
+        assert_eq!(ts.last(), None);
+        assert_eq!(ts.value_at(s(5)), None);
+        assert_eq!(ts.name(), "x");
+    }
+
+    #[test]
+    fn mean_and_warmup_mean() {
+        let mut ts = TimeSeries::new("clusters");
+        ts.push(s(0), 100.0); // bootstrap artifact
+        ts.push(s(10), 10.0);
+        ts.push(s(20), 20.0);
+        assert!((ts.mean() - 130.0 / 3.0).abs() < 1e-12);
+        assert_eq!(ts.mean_after(s(10)), 15.0);
+        assert_eq!(ts.mean_after(s(100)), 0.0);
+    }
+
+    #[test]
+    fn step_interpolation() {
+        let mut ts = TimeSeries::new("v");
+        ts.push(s(2), 1.0);
+        ts.push(s(4), 2.0);
+        assert_eq!(ts.value_at(s(1)), None);
+        assert_eq!(ts.value_at(s(2)), Some(1.0));
+        assert_eq!(ts.value_at(s(3)), Some(1.0));
+        assert_eq!(ts.value_at(s(4)), Some(2.0));
+        assert_eq!(ts.value_at(s(99)), Some(2.0));
+    }
+
+    #[test]
+    fn equal_timestamps_allowed() {
+        let mut ts = TimeSeries::new("v");
+        ts.push(s(2), 1.0);
+        ts.push(s(2), 2.0);
+        assert_eq!(ts.len(), 2);
+        // value_at picks the latest of the equal timestamps.
+        assert_eq!(ts.value_at(s(2)), Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_panics() {
+        let mut ts = TimeSeries::new("v");
+        ts.push(s(5), 1.0);
+        ts.push(s(4), 1.0);
+    }
+
+    #[test]
+    fn summary_wires_through() {
+        let mut ts = TimeSeries::new("v");
+        for (i, v) in [3.0, 1.0, 2.0].into_iter().enumerate() {
+            ts.push(s(i as u64), v);
+        }
+        let sum = ts.summary();
+        assert_eq!(sum.median, 2.0);
+        assert_eq!(sum.min, 1.0);
+        assert_eq!(sum.max, 3.0);
+    }
+}

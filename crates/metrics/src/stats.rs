@@ -1,0 +1,505 @@
+//! Scalar statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean/variance accumulator (Welford's algorithm) — used to
+/// aggregate a metric across seeds without storing every sample.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_metrics::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert_eq!(s.mean(), 5.0);
+/// assert_eq!(s.population_variance(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN (a NaN would silently poison every
+    /// downstream aggregate).
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "cannot accumulate NaN");
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divide by `n`; 0 when empty).
+    #[must_use]
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample variance (divide by `n − 1`; 0 with fewer than 2
+    /// samples).
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Smallest sample (`None` when empty).
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Standard error of the mean (0 with fewer than 2 samples).
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = OnlineStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// A complete summary of a batch of samples, including order
+/// statistics (which [`OnlineStats`] cannot provide).
+///
+/// # Examples
+///
+/// ```
+/// use mobic_metrics::SummaryStats;
+///
+/// let s = SummaryStats::from_samples(&[1.0, 2.0, 3.0, 4.0, 100.0]);
+/// assert_eq!(s.median, 3.0);
+/// assert_eq!(s.mean, 22.0);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SummaryStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (mean of middle two for even counts).
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl SummaryStats {
+    /// Summarizes `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains NaN.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize an empty sample set");
+        let online: OnlineStats = samples.iter().copied().collect();
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let median = if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2]
+        } else {
+            0.5 * (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2])
+        };
+        SummaryStats {
+            count: samples.len(),
+            mean: online.mean(),
+            std_dev: online.std_dev(),
+            min: sorted[0],
+            median,
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+
+    /// Linear-interpolated percentile (`p ∈ [0, 100]`) of `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or `p` is out of range.
+    #[must_use]
+    pub fn percentile(samples: &[f64], p: f64) -> f64 {
+        assert!(!samples.is_empty(), "empty sample set");
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let rank = p / 100.0 * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Two-sided 95 % critical values of Student's t distribution for
+/// `df = 1..=30`; larger dfs fall back to the normal 1.96.
+const T_CRIT_95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+];
+
+/// The 95 % critical t-value for `df` degrees of freedom (normal
+/// approximation beyond 30).
+#[must_use]
+pub fn t_critical_95(df: usize) -> f64 {
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => T_CRIT_95[df - 1],
+        _ => 1.96,
+    }
+}
+
+impl OnlineStats {
+    /// Half-width of the 95 % confidence interval of the mean
+    /// (Student's t). Zero with fewer than 2 samples.
+    #[must_use]
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        t_critical_95(self.n as usize - 1) * self.std_error()
+    }
+}
+
+/// Welch's t statistic and (Welch–Satterthwaite) degrees of freedom
+/// for the difference of means of two independent sample sets —
+/// used to state whether an algorithm comparison is significant.
+///
+/// Returns `(t, df, significant_at_5%)`. With fewer than two samples
+/// on either side the comparison is never significant.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_metrics::{welch_t, OnlineStats};
+///
+/// let a: OnlineStats = [10.0, 11.0, 9.0, 10.5, 9.5].into_iter().collect();
+/// let b: OnlineStats = [20.0, 21.0, 19.0, 20.5, 19.5].into_iter().collect();
+/// let (t, _, significant) = welch_t(&a, &b);
+/// assert!(t < 0.0, "a's mean is below b's");
+/// assert!(significant);
+/// ```
+#[must_use]
+pub fn welch_t(a: &OnlineStats, b: &OnlineStats) -> (f64, f64, bool) {
+    if a.count() < 2 || b.count() < 2 {
+        return (0.0, 0.0, false);
+    }
+    let (na, nb) = (a.count() as f64, b.count() as f64);
+    let (va, vb) = (a.sample_variance(), b.sample_variance());
+    let se2 = va / na + vb / nb;
+    if se2 <= 0.0 {
+        // Identical constants: significant iff the means differ at all.
+        let differ = (a.mean() - b.mean()).abs() > 0.0;
+        return (if differ { f64::INFINITY } else { 0.0 }, na + nb - 2.0, differ);
+    }
+    let t = (a.mean() - b.mean()) / se2.sqrt();
+    let df = se2 * se2
+        / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0)).max(1e-300);
+    let significant = t.abs() > t_critical_95(df.floor().max(1.0) as usize);
+    (t, df, significant)
+}
+
+/// Gini coefficient of a non-negative sample set — the inequality of
+/// clusterhead burden across nodes (0 = perfectly even, → 1 = one node
+/// carries everything). Empty or all-zero input yields 0.
+///
+/// # Panics
+///
+/// Panics if any sample is negative or NaN.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_metrics::gini;
+///
+/// assert_eq!(gini(&[1.0, 1.0, 1.0, 1.0]), 0.0);
+/// // One node does all the work out of four: G = 3/4.
+/// assert!((gini(&[1.0, 0.0, 0.0, 0.0]) - 0.75).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn gini(samples: &[f64]) -> f64 {
+    assert!(
+        samples.iter().all(|&x| x >= 0.0 && !x.is_nan()),
+        "gini requires non-negative samples"
+    );
+    let n = samples.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: f64 = samples.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    // G = (2·Σ i·x_i) / (n·Σ x) − (n+1)/n, with i starting at 1.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gini_properties() {
+        // Scale invariance.
+        assert!((gini(&[2.0, 4.0, 6.0]) - gini(&[1.0, 2.0, 3.0])).abs() < 1e-12);
+        // Order invariance.
+        assert_eq!(gini(&[3.0, 1.0, 2.0]), gini(&[1.0, 2.0, 3.0]));
+        // Empty / all-zero.
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+        // Bounded in [0, 1).
+        let g = gini(&[100.0, 0.0, 0.0, 0.0, 0.0]);
+        assert!(g > 0.0 && g < 1.0);
+    }
+
+    #[test]
+    fn ci95_half_width_matches_hand_computation() {
+        // n = 5, s known: CI = t_{4,0.975} · s/√5 with t = 2.776.
+        let xs = [2.0f64, 4.0, 4.0, 4.0, 6.0];
+        let s: OnlineStats = xs.into_iter().collect();
+        let expected = 2.776 * s.std_dev() / 5f64.sqrt();
+        assert!((s.ci95_half_width() - expected).abs() < 1e-9);
+        // Degenerate cases.
+        assert_eq!(OnlineStats::new().ci95_half_width(), 0.0);
+        let one: OnlineStats = [1.0].into_iter().collect();
+        assert_eq!(one.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn t_critical_endpoints() {
+        assert_eq!(t_critical_95(0), f64::INFINITY);
+        assert!((t_critical_95(1) - 12.706).abs() < 1e-9);
+        assert!((t_critical_95(30) - 2.042).abs() < 1e-9);
+        assert!((t_critical_95(1000) - 1.96).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welch_detects_separation_and_overlap() {
+        let a: OnlineStats = [1.0, 1.1, 0.9, 1.05, 0.95].into_iter().collect();
+        let far: OnlineStats = [5.0, 5.1, 4.9, 5.05, 4.95].into_iter().collect();
+        let (t, df, sig) = welch_t(&a, &far);
+        assert!(t < -10.0, "t = {t}");
+        assert!(df > 1.0);
+        assert!(sig);
+        // Same distribution → not significant.
+        let b: OnlineStats = [1.02, 0.96, 1.08, 0.94, 1.0].into_iter().collect();
+        let (_, _, sig) = welch_t(&a, &b);
+        assert!(!sig);
+        // Too few samples → never significant.
+        let tiny: OnlineStats = [1.0].into_iter().collect();
+        assert!(!welch_t(&tiny, &far).2);
+    }
+
+    #[test]
+    fn welch_constant_samples() {
+        let a: OnlineStats = [3.0, 3.0, 3.0].into_iter().collect();
+        let b: OnlineStats = [4.0, 4.0, 4.0].into_iter().collect();
+        assert!(welch_t(&a, &b).2);
+        let c: OnlineStats = [3.0, 3.0, 3.0].into_iter().collect();
+        assert!(!welch_t(&a, &c).2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn gini_rejects_negatives() {
+        let _ = gini(&[-1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_online_stats() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.std_error(), 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut s = OnlineStats::new();
+        s.push(5.0);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.min(), Some(5.0));
+        assert_eq!(s.max(), Some(5.0));
+    }
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let s: OnlineStats = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((s.mean() - mean).abs() < 1e-10);
+        assert!((s.population_variance() - var).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 * 0.7).collect();
+        let (a, b) = xs.split_at(20);
+        let mut sa: OnlineStats = a.iter().copied().collect();
+        let sb: OnlineStats = b.iter().copied().collect();
+        sa.merge(&sb);
+        let all: OnlineStats = xs.iter().copied().collect();
+        assert_eq!(sa.count(), all.count());
+        assert!((sa.mean() - all.mean()).abs() < 1e-10);
+        assert!((sa.sample_variance() - all.sample_variance()).abs() < 1e-10);
+        assert_eq!(sa.min(), all.min());
+        assert_eq!(sa.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut s: OnlineStats = [1.0, 2.0].into_iter().collect();
+        s.merge(&OnlineStats::new());
+        assert_eq!(s.count(), 2);
+        let mut e = OnlineStats::new();
+        e.merge(&s);
+        assert_eq!(e.count(), 2);
+        assert_eq!(e.mean(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        OnlineStats::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn summary_even_count_median() {
+        let s = SummaryStats::from_samples(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn percentiles() {
+        let xs: Vec<f64> = (0..=100).map(f64::from).collect();
+        assert_eq!(SummaryStats::percentile(&xs, 0.0), 0.0);
+        assert_eq!(SummaryStats::percentile(&xs, 50.0), 50.0);
+        assert_eq!(SummaryStats::percentile(&xs, 100.0), 100.0);
+        assert_eq!(SummaryStats::percentile(&xs, 95.0), 95.0);
+        // Interpolation between ranks.
+        assert_eq!(SummaryStats::percentile(&[0.0, 10.0], 25.0), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summary_rejects_empty() {
+        let _ = SummaryStats::from_samples(&[]);
+    }
+}

@@ -1,0 +1,295 @@
+//! Exact link-lifetime analysis over piecewise-linear trajectories.
+//!
+//! Because every mobility model in this crate produces exact
+//! piecewise-linear motion, the times at which a pair of nodes enters
+//! and leaves radio range can be computed in *closed form* (per
+//! overlapping leg pair, the squared distance is a quadratic in `t` —
+//! see [`mobic_geom::segment::LinearApproach`]). This module exposes
+//! that analysis: exact link intervals, link lifetimes, and their
+//! distribution over a whole scenario.
+//!
+//! This is the analytical counterpart of the paper's §4.2 churn
+//! discussion: clusterhead changes track link volatility, and the
+//! exact lifetime distribution explains *why* churn peaks at
+//! mid ranges (many short-lived links) and falls at large ranges
+//! (links persist).
+
+use mobic_geom::segment::LinearApproach;
+use mobic_sim::SimTime;
+
+use crate::Trajectory;
+
+/// A closed time interval during which two nodes are within range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkInterval {
+    /// When the pair comes within range.
+    pub from: SimTime,
+    /// When the pair leaves range (equals `horizon` if still linked at
+    /// the end of the analysis window).
+    pub to: SimTime,
+    /// Whether the interval was cut short by the analysis horizon
+    /// (i.e. the link outlived the window).
+    pub censored: bool,
+}
+
+impl LinkInterval {
+    /// The interval's duration in seconds.
+    #[must_use]
+    pub fn duration_s(&self) -> f64 {
+        (self.to - self.from).as_secs_f64()
+    }
+}
+
+/// Computes the exact intervals during `[0, horizon]` in which the
+/// two trajectories are within `range` of each other.
+///
+/// Both trajectories must be defined at least up to `horizon` (extend
+/// the models first by sampling `position_at(horizon)`).
+///
+/// # Panics
+///
+/// Panics if `range` is not positive/finite or either trajectory's
+/// generated horizon is shorter than `horizon`.
+#[must_use]
+pub fn link_intervals(a: &Trajectory, b: &Trajectory, range: f64, horizon: SimTime) -> Vec<LinkInterval> {
+    assert!(range > 0.0 && range.is_finite(), "invalid range {range}");
+    assert!(
+        a.horizon() >= horizon && b.horizon() >= horizon,
+        "trajectories must cover the analysis horizon"
+    );
+    // Sweep both leg lists simultaneously, intersecting leg spans.
+    let mut spans: Vec<(SimTime, SimTime)> = Vec::new(); // raw in-range spans
+    let (mut ia, mut ib) = (0usize, 0usize);
+    let legs_a = a.legs();
+    let legs_b = b.legs();
+    let advance = |t: SimTime, legs: &[crate::Leg], i: &mut usize| {
+        while *i < legs.len() && legs[*i].end <= t {
+            *i += 1;
+        }
+    };
+    let mut t = SimTime::ZERO;
+    while t < horizon && ia < legs_a.len() && ib < legs_b.len() {
+        let la = &legs_a[ia];
+        let lb = &legs_b[ib];
+        let start = t.max(la.start).max(lb.start);
+        let end = la.end.min(lb.end).min(horizon);
+        if start < end {
+            // Relative motion is linear over [start, end].
+            let pa = la.position_at(start);
+            let pb = lb.position_at(start);
+            let approach = LinearApproach::new(pa, la.velocity, pb, lb.velocity);
+            if let Some((t0, t1)) = approach.within_range_interval(range) {
+                let window = (end - start).as_secs_f64();
+                let t0 = t0.min(window);
+                let t1 = t1.min(window);
+                if t1 > t0 {
+                    spans.push((
+                        start + SimTime::from_secs_f64(t0),
+                        start + SimTime::from_secs_f64(t1),
+                    ));
+                }
+            }
+        }
+        // Advance whichever leg ends first.
+        t = end;
+        advance(t, legs_a, &mut ia);
+        advance(t, legs_b, &mut ib);
+        if end == horizon {
+            break;
+        }
+    }
+    // Merge adjacent/overlapping spans (a link continuing across leg
+    // boundaries produces abutting spans).
+    let mut merged: Vec<LinkInterval> = Vec::new();
+    const GLUE: SimTime = SimTime::MILLISECOND;
+    for (from, to) in spans {
+        match merged.last_mut() {
+            Some(last) if from <= last.to + GLUE => {
+                last.to = last.to.max(to);
+            }
+            _ => merged.push(LinkInterval {
+                from,
+                to,
+                censored: false,
+            }),
+        }
+    }
+    for iv in &mut merged {
+        if iv.to >= horizon {
+            iv.to = horizon;
+            iv.censored = true;
+        }
+    }
+    merged
+}
+
+/// Exact link-lifetime samples (seconds) over all node pairs of a
+/// scenario, excluding horizon-censored intervals (they would bias
+/// the mean downward... upward — they are incomplete observations).
+#[must_use]
+pub fn link_lifetimes(trajectories: &[Trajectory], range: f64, horizon: SimTime) -> Vec<f64> {
+    let mut out = Vec::new();
+    for i in 0..trajectories.len() {
+        for j in (i + 1)..trajectories.len() {
+            for iv in link_intervals(&trajectories[i], &trajectories[j], range, horizon) {
+                if !iv.censored {
+                    out.push(iv.duration_s());
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobic_geom::Vec2;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    /// Straight-line pass: B crosses A's disk; entry/exit solvable by
+    /// hand.
+    #[test]
+    fn flyby_interval_is_exact() {
+        // A fixed at origin (pause leg), B moves from (-100, 30) east
+        // at 10 m/s for 20 s. Range 50: |(-100+10t, 30)| = 50 →
+        // (10t-100)² = 1600 → t = 6 or 14.
+        let mut a = Trajectory::new(Vec2::ZERO);
+        a.push_pause(secs(20));
+        let mut b = Trajectory::new(Vec2::new(-100.0, 30.0));
+        b.push_velocity(Vec2::new(10.0, 0.0), secs(20));
+        let ivs = link_intervals(&a, &b, 50.0, secs(20));
+        assert_eq!(ivs.len(), 1);
+        assert!((ivs[0].from.as_secs_f64() - 6.0).abs() < 1e-6, "{:?}", ivs[0]);
+        assert!((ivs[0].to.as_secs_f64() - 14.0).abs() < 1e-6);
+        assert!(!ivs[0].censored);
+        assert!((ivs[0].duration_s() - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn always_linked_pair_is_censored() {
+        let mut a = Trajectory::new(Vec2::ZERO);
+        a.push_pause(secs(100));
+        let mut b = Trajectory::new(Vec2::new(10.0, 0.0));
+        b.push_pause(secs(100));
+        let ivs = link_intervals(&a, &b, 50.0, secs(100));
+        assert_eq!(ivs.len(), 1);
+        assert_eq!(ivs[0].from, SimTime::ZERO);
+        assert_eq!(ivs[0].to, secs(100));
+        assert!(ivs[0].censored);
+    }
+
+    #[test]
+    fn never_linked_pair_has_no_intervals() {
+        let mut a = Trajectory::new(Vec2::ZERO);
+        a.push_pause(secs(50));
+        let mut b = Trajectory::new(Vec2::new(1000.0, 0.0));
+        b.push_pause(secs(50));
+        assert!(link_intervals(&a, &b, 50.0, secs(50)).is_empty());
+    }
+
+    #[test]
+    fn link_surviving_leg_boundaries_is_merged() {
+        // Both nodes wander but stay within 30 m across several legs.
+        let mut a = Trajectory::new(Vec2::ZERO);
+        a.push_move(Vec2::new(20.0, 0.0), 2.0); // 10 s
+        a.push_move(Vec2::new(0.0, 0.0), 2.0); // 10 s
+        a.push_pause(secs(10));
+        let mut b = Trajectory::new(Vec2::new(10.0, 5.0));
+        b.push_pause(secs(5));
+        b.push_move(Vec2::new(15.0, 5.0), 1.0); // 5 s
+        b.push_pause(secs(20));
+        let ivs = link_intervals(&a, &b, 50.0, secs(30));
+        assert_eq!(ivs.len(), 1, "{ivs:?}");
+        assert_eq!(ivs[0].from, SimTime::ZERO);
+        assert!(ivs[0].censored);
+    }
+
+    #[test]
+    fn oscillating_pair_produces_multiple_intervals() {
+        // B bounces toward and away from A twice.
+        let mut a = Trajectory::new(Vec2::ZERO);
+        a.push_pause(secs(30));
+        let mut b = Trajectory::new(Vec2::new(100.0, 0.0));
+        b.push_move(Vec2::new(30.0, 0.0), 10.0); // 7 s; in range (50) from t=5
+        b.push_move(Vec2::new(100.0, 0.0), 10.0); // 7 s; leaves range at t=9
+        b.push_move(Vec2::new(30.0, 0.0), 10.0); // 7 s; re-enters at t=19
+        b.push_pause(secs(10)); // parked at x=30, in range
+        let ivs = link_intervals(&a, &b, 50.0, secs(30));
+        assert_eq!(ivs.len(), 2, "{ivs:?}");
+        assert!((ivs[0].from.as_secs_f64() - 5.0).abs() < 1e-6);
+        assert!((ivs[0].to.as_secs_f64() - 9.0).abs() < 1e-6);
+        assert!(!ivs[0].censored);
+        assert!((ivs[1].from.as_secs_f64() - 19.0).abs() < 1e-6);
+        assert!(ivs[1].censored);
+    }
+
+    #[test]
+    fn lifetime_matches_sampled_connectivity() {
+        // Cross-check the exact analysis against dense sampling for a
+        // random-ish pair of multi-leg trajectories.
+        let mut a = Trajectory::new(Vec2::new(0.0, 0.0));
+        let mut b = Trajectory::new(Vec2::new(120.0, -40.0));
+        let waypoints_a = [(30.0, 40.0, 3.0), (80.0, 0.0, 7.0), (10.0, 90.0, 2.0)];
+        let waypoints_b = [(0.0, 0.0, 5.0), (150.0, 30.0, 4.0), (60.0, 60.0, 6.0)];
+        for &(x, y, v) in &waypoints_a {
+            a.push_move(Vec2::new(x, y), v);
+        }
+        for &(x, y, v) in &waypoints_b {
+            b.push_move(Vec2::new(x, y), v);
+        }
+        let horizon = a.horizon().min(b.horizon());
+        let range = 60.0;
+        let ivs = link_intervals(&a, &b, range, horizon);
+        // Dense sampling agreement (10 ms grid).
+        let step = SimTime::from_millis(10);
+        let mut t = SimTime::ZERO;
+        while t <= horizon {
+            let pa = a.sample(t).expect("within horizon").0;
+            let pb = b.sample(t).expect("within horizon").0;
+            let linked = pa.distance(pb) <= range;
+            let in_interval = ivs.iter().any(|iv| t >= iv.from && t <= iv.to);
+            // Allow disagreement within 20 ms of an interval edge
+            // (sampling granularity).
+            let near_edge = ivs.iter().any(|iv| {
+                t.saturating_sub(iv.from) <= SimTime::from_millis(20)
+                    || iv.from.saturating_sub(t) <= SimTime::from_millis(20)
+                    || t.saturating_sub(iv.to) <= SimTime::from_millis(20)
+                    || iv.to.saturating_sub(t) <= SimTime::from_millis(20)
+            });
+            assert!(
+                linked == in_interval || near_edge,
+                "disagreement at {t}: sampled {linked}, exact {in_interval}"
+            );
+            t += step;
+        }
+    }
+
+    #[test]
+    fn lifetimes_over_population() {
+        let mut trajs = Vec::new();
+        for k in 0..4 {
+            let mut tr = Trajectory::new(Vec2::new(k as f64 * 40.0, 0.0));
+            tr.push_move(Vec2::new(k as f64 * 40.0, 100.0), 2.0 + k as f64);
+            tr.push_pause(secs(60));
+            trajs.push(tr);
+        }
+        let lifetimes = link_lifetimes(&trajs, 45.0, secs(60));
+        for d in &lifetimes {
+            assert!(*d > 0.0 && *d <= 60.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn short_trajectory_panics() {
+        let mut a = Trajectory::new(Vec2::ZERO);
+        a.push_pause(secs(5));
+        let mut b = Trajectory::new(Vec2::ZERO);
+        b.push_pause(secs(50));
+        let _ = link_intervals(&a, &b, 10.0, secs(50));
+    }
+}

@@ -1,0 +1,312 @@
+//! Conference-hall mobility (§5 of the paper: "attendees in a
+//! conference hall").
+//!
+//! Attendees walk at pedestrian speed between a fixed set of *booths*
+//! (points of interest) and linger there for long, randomized pauses.
+//! Most of the population is stationary most of the time, with low
+//! relative mobility around each booth — another scenario where the
+//! aggregate local mobility metric should stand out.
+
+use mobic_geom::{Rect, Vec2};
+use mobic_sim::SimTime;
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+
+use crate::{sample_point, sample_speed, Mobility, Trajectory};
+
+/// Parameters of the [`ConferenceHall`] model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConferenceHallParams {
+    /// The hall.
+    pub field: Rect,
+    /// Number of booths (points of interest), ≥ 1.
+    pub booths: u32,
+    /// Radius around a booth within which an attendee settles (m).
+    pub booth_radius_m: f64,
+    /// Walking speed range (m/s); pedestrians, so ~0.5–1.5.
+    pub min_speed_mps: f64,
+    /// Maximum walking speed (m/s).
+    pub max_speed_mps: f64,
+    /// Minimum linger time at a booth.
+    pub min_pause: SimTime,
+    /// Maximum linger time at a booth.
+    pub max_pause: SimTime,
+}
+
+impl ConferenceHallParams {
+    /// Validates the parameter combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero booths, invalid speed or pause ranges.
+    pub fn validate(&self) {
+        assert!(self.booths >= 1, "need at least one booth");
+        assert!(
+            self.booth_radius_m >= 0.0 && self.booth_radius_m.is_finite(),
+            "booth radius must be finite and non-negative"
+        );
+        assert!(
+            self.min_speed_mps >= 0.0 && self.max_speed_mps >= self.min_speed_mps,
+            "invalid speed range"
+        );
+        assert!(self.max_pause >= self.min_pause, "invalid pause range");
+    }
+}
+
+/// Booth layout shared by all attendees of one hall: booth positions
+/// are drawn once from a dedicated RNG stream so every attendee visits
+/// the same booths.
+#[derive(Debug, Clone)]
+pub struct ConferenceHall {
+    params: ConferenceHallParams,
+    booth_positions: Vec<Vec2>,
+}
+
+impl ConferenceHall {
+    /// Lays out the hall: booths uniformly placed, kept
+    /// `booth_radius_m` away from the walls so settle points stay
+    /// inside.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` are invalid.
+    #[must_use]
+    pub fn new(params: ConferenceHallParams, rng: &mut ChaCha12Rng) -> Self {
+        params.validate();
+        let inner = shrink(params.field, params.booth_radius_m);
+        let booth_positions = (0..params.booths)
+            .map(|_| sample_point(rng, inner))
+            .collect();
+        ConferenceHall {
+            params,
+            booth_positions,
+        }
+    }
+
+    /// The hall parameters.
+    #[must_use]
+    pub fn params(&self) -> &ConferenceHallParams {
+        &self.params
+    }
+
+    /// Booth center positions.
+    #[must_use]
+    pub fn booths(&self) -> &[Vec2] {
+        &self.booth_positions
+    }
+
+    /// Creates an attendee with independent randomness, starting at a
+    /// random booth.
+    #[must_use]
+    pub fn spawn_attendee(&self, rng: ChaCha12Rng) -> Attendee {
+        Attendee::new(self.clone(), rng)
+    }
+}
+
+/// Shrinks a rect by `margin` on all sides (clamping at degenerate).
+fn shrink(field: Rect, margin: f64) -> Rect {
+    let m = margin.min(field.width() / 2.0).min(field.height() / 2.0);
+    Rect::from_corners(
+        field.min() + Vec2::new(m, m),
+        field.max() - Vec2::new(m, m),
+    )
+}
+
+/// One attendee walking between booths.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_geom::Rect;
+/// use mobic_mobility::{ConferenceHall, ConferenceHallParams, Mobility};
+/// use mobic_sim::{rng::SeedSplitter, SimTime};
+///
+/// let params = ConferenceHallParams {
+///     field: Rect::square(100.0),
+///     booths: 6,
+///     booth_radius_m: 4.0,
+///     min_speed_mps: 0.5,
+///     max_speed_mps: 1.5,
+///     min_pause: SimTime::from_secs(30),
+///     max_pause: SimTime::from_secs(120),
+/// };
+/// let splitter = SeedSplitter::new(8);
+/// let hall = ConferenceHall::new(params, &mut splitter.stream("hall", 0));
+/// let mut alice = hall.spawn_attendee(splitter.stream("attendee", 0));
+/// assert!(params.field.contains(alice.position_at(SimTime::from_secs(600))));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Attendee {
+    hall: ConferenceHall,
+    traj: Trajectory,
+    rng: ChaCha12Rng,
+}
+
+impl Attendee {
+    fn new(hall: ConferenceHall, mut rng: ChaCha12Rng) -> Self {
+        let start = Self::settle_point(&hall, &mut rng);
+        Attendee {
+            hall,
+            traj: Trajectory::new(start),
+            rng,
+        }
+    }
+
+    /// A random point within `booth_radius_m` of a random booth.
+    fn settle_point(hall: &ConferenceHall, rng: &mut ChaCha12Rng) -> Vec2 {
+        let booth = hall.booth_positions[rng.gen_range(0..hall.booth_positions.len())];
+        let r = hall.params.booth_radius_m * rng.gen::<f64>().sqrt();
+        let a = rng.gen_range(0.0..std::f64::consts::TAU);
+        hall.params.field.clamp(booth + Vec2::from_polar(r, a))
+    }
+
+    /// The trajectory generated so far.
+    #[must_use]
+    pub fn trajectory(&self) -> &Trajectory {
+        &self.traj
+    }
+
+    fn ensure(&mut self, t: SimTime) {
+        while self.traj.horizon() <= t {
+            // Linger, then walk to the next booth.
+            let p = self.hall.params;
+            let span = p.max_pause.saturating_sub(p.min_pause);
+            let pause = if span.is_zero() {
+                p.min_pause
+            } else {
+                p.min_pause + SimTime::from_micros(self.rng.gen_range(0..=span.as_micros()))
+            };
+            self.traj.push_pause(pause);
+            let dest = Self::settle_point(&self.hall, &mut self.rng);
+            let speed = sample_speed(&mut self.rng, p.min_speed_mps, p.max_speed_mps);
+            let before = self.traj.horizon();
+            self.traj.push_move(dest, speed);
+            if self.traj.horizon() == before && pause.is_zero() {
+                self.traj.push_pause(SimTime::MILLISECOND);
+            }
+        }
+    }
+}
+
+impl Mobility for Attendee {
+    fn position_at(&mut self, t: SimTime) -> Vec2 {
+        self.ensure(t);
+        self.traj.sample(t).expect("extended").0
+    }
+
+    fn velocity_at(&mut self, t: SimTime) -> Vec2 {
+        self.ensure(t);
+        self.traj.sample(t).expect("extended").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobic_sim::rng::SeedSplitter;
+
+    fn params() -> ConferenceHallParams {
+        ConferenceHallParams {
+            field: Rect::square(100.0),
+            booths: 5,
+            booth_radius_m: 5.0,
+            min_speed_mps: 0.5,
+            max_speed_mps: 1.5,
+            min_pause: SimTime::from_secs(30),
+            max_pause: SimTime::from_secs(120),
+        }
+    }
+
+    fn hall(seed: u64) -> ConferenceHall {
+        ConferenceHall::new(params(), &mut SeedSplitter::new(seed).stream("hall", 0))
+    }
+
+    #[test]
+    fn booths_inside_field() {
+        let h = hall(1);
+        assert_eq!(h.booths().len(), 5);
+        for &b in h.booths() {
+            assert!(params().field.contains(b));
+        }
+    }
+
+    #[test]
+    fn attendees_stay_in_hall() {
+        let h = hall(2);
+        let s = SeedSplitter::new(3);
+        let mut a = h.spawn_attendee(s.stream("att", 0));
+        for t in (0..3600).step_by(30) {
+            let pos = a.position_at(SimTime::from_secs(t));
+            assert!(params().field.contains(pos), "escaped: {pos}");
+        }
+    }
+
+    #[test]
+    fn attendees_spend_most_time_paused() {
+        let h = hall(4);
+        let s = SeedSplitter::new(5);
+        let mut a = h.spawn_attendee(s.stream("att", 1));
+        let _ = a.position_at(SimTime::from_secs(3600));
+        let legs = a.trajectory().legs();
+        let paused: f64 = legs
+            .iter()
+            .filter(|l| l.velocity == Vec2::ZERO)
+            .map(|l| l.duration().as_secs_f64())
+            .sum();
+        let total: f64 = legs.iter().map(|l| l.duration().as_secs_f64()).sum();
+        assert!(paused / total > 0.5, "paused fraction {}", paused / total);
+    }
+
+    #[test]
+    fn walking_speed_is_pedestrian() {
+        let h = hall(6);
+        let s = SeedSplitter::new(7);
+        let mut a = h.spawn_attendee(s.stream("att", 2));
+        let _ = a.position_at(SimTime::from_secs(3600));
+        for leg in a.trajectory().legs() {
+            let v = leg.velocity.length();
+            assert!(v <= 1.5 + 1e-9, "speed {v}");
+        }
+    }
+
+    #[test]
+    fn attendees_end_up_near_some_booth_when_paused() {
+        let h = hall(8);
+        let s = SeedSplitter::new(9);
+        let mut a = h.spawn_attendee(s.stream("att", 3));
+        let _ = a.position_at(SimTime::from_secs(3600));
+        for leg in a.trajectory().legs() {
+            if leg.velocity == Vec2::ZERO {
+                let p = leg.from;
+                let near = h
+                    .booths()
+                    .iter()
+                    .any(|&b| b.distance(p) <= params().booth_radius_m + 1e-6);
+                assert!(near, "paused far from every booth: {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let h1 = hall(10);
+        let h2 = hall(10);
+        let s = SeedSplitter::new(11);
+        let mut a = h1.spawn_attendee(s.stream("att", 0));
+        let mut b = h2.spawn_attendee(s.stream("att", 0));
+        for t in (0..1800).step_by(60) {
+            let t = SimTime::from_secs(t);
+            assert_eq!(a.position_at(t), b.position_at(t));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "booth")]
+    fn zero_booths_panics() {
+        let p = ConferenceHallParams {
+            booths: 0,
+            ..params()
+        };
+        let _ = ConferenceHall::new(p, &mut SeedSplitter::new(1).stream("hall", 0));
+    }
+}

@@ -1,0 +1,290 @@
+//! Gauss–Markov mobility: temporally correlated speed and heading.
+
+use mobic_geom::{Rect, Vec2};
+use mobic_sim::SimTime;
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+
+use crate::{sample_point, Mobility, Trajectory};
+
+/// Parameters of the [`GaussMarkov`] model.
+///
+/// Speed and heading evolve as first-order autoregressive processes:
+///
+/// `s_{n+1} = α·s_n + (1−α)·s̄ + √(1−α²)·σ_s·w_s`
+///
+/// and similarly for heading, with `w` standard normal. `α = 0` gives
+/// memoryless (random-walk-like) motion; `α → 1` gives nearly straight
+/// lines. Near field edges the mean heading is steered toward the
+/// field center, the standard edge treatment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussMarkovParams {
+    /// The bounding field.
+    pub field: Rect,
+    /// Memory parameter `α ∈ [0, 1]`.
+    pub alpha: f64,
+    /// Long-run mean speed (m/s).
+    pub mean_speed_mps: f64,
+    /// Speed randomness (standard deviation, m/s).
+    pub speed_sigma: f64,
+    /// Heading randomness (standard deviation, radians).
+    pub heading_sigma: f64,
+    /// Update period.
+    pub step: SimTime,
+}
+
+impl GaussMarkovParams {
+    /// Validates the parameter combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid values (α outside `[0,1]`, negative speeds or
+    /// sigmas, zero step).
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.alpha),
+            "alpha must be in [0, 1], got {}",
+            self.alpha
+        );
+        assert!(
+            self.mean_speed_mps >= 0.0 && self.mean_speed_mps.is_finite(),
+            "mean speed must be finite and non-negative"
+        );
+        assert!(
+            self.speed_sigma >= 0.0 && self.heading_sigma >= 0.0,
+            "sigmas must be non-negative"
+        );
+        assert!(!self.step.is_zero(), "step must be positive");
+    }
+}
+
+/// A node moving under the Gauss–Markov model.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_geom::Rect;
+/// use mobic_mobility::{GaussMarkov, GaussMarkovParams, Mobility};
+/// use mobic_sim::{rng::SeedSplitter, SimTime};
+///
+/// let params = GaussMarkovParams {
+///     field: Rect::square(300.0),
+///     alpha: 0.85,
+///     mean_speed_mps: 10.0,
+///     speed_sigma: 2.0,
+///     heading_sigma: 0.4,
+///     step: SimTime::from_secs(1),
+/// };
+/// let mut m = GaussMarkov::new(params, SeedSplitter::new(5).stream("gm", 0));
+/// assert!(params.field.contains(m.position_at(SimTime::from_secs(250))));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GaussMarkov {
+    params: GaussMarkovParams,
+    traj: Trajectory,
+    rng: ChaCha12Rng,
+    speed: f64,
+    heading: f64,
+}
+
+impl GaussMarkov {
+    /// Creates a node at a uniform random position with speed/heading
+    /// initialized at their means.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` are invalid.
+    #[must_use]
+    pub fn new(params: GaussMarkovParams, mut rng: ChaCha12Rng) -> Self {
+        params.validate();
+        let origin = sample_point(&mut rng, params.field);
+        let heading = rng.gen_range(0.0..std::f64::consts::TAU);
+        GaussMarkov {
+            traj: Trajectory::new(origin),
+            speed: params.mean_speed_mps,
+            heading,
+            params,
+            rng,
+        }
+    }
+
+    /// The trajectory generated so far.
+    #[must_use]
+    pub fn trajectory(&self) -> &Trajectory {
+        &self.traj
+    }
+
+    /// Standard normal draw (Box–Muller; we avoid a `rand_distr`
+    /// dependency for one distribution).
+    fn gauss(&mut self) -> f64 {
+        let u1: f64 = 1.0 - self.rng.gen::<f64>(); // (0, 1]
+        let u2: f64 = self.rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    fn extend_step(&mut self) {
+        let p = self.params;
+        let pos = self.traj.last_position();
+        // Steer mean heading toward the center when near an edge
+        // (within 10% of the field dimension).
+        let margin_x = p.field.width() * 0.1;
+        let margin_y = p.field.height() * 0.1;
+        let near_edge = pos.x < p.field.min().x + margin_x
+            || pos.x > p.field.max().x - margin_x
+            || pos.y < p.field.min().y + margin_y
+            || pos.y > p.field.max().y - margin_y;
+        let mean_heading = if near_edge {
+            (p.field.center() - pos).angle()
+        } else {
+            self.heading
+        };
+        let a = p.alpha;
+        let root = (1.0 - a * a).sqrt();
+        let ws = self.gauss();
+        let wh = self.gauss();
+        self.speed = (a * self.speed + (1.0 - a) * p.mean_speed_mps + root * p.speed_sigma * ws)
+            .max(0.0);
+        self.heading = a * self.heading + (1.0 - a) * mean_heading + root * p.heading_sigma * wh;
+        let velocity = Vec2::from_polar(self.speed, self.heading);
+        // If the step would exit the field, clamp the endpoint and let
+        // edge-steering recover on the following steps.
+        let dt = p.step.as_secs_f64();
+        let target = pos + velocity * dt;
+        if p.field.contains(target) {
+            self.traj.push_velocity(velocity, p.step);
+        } else {
+            let clamped = p.field.clamp(target);
+            // Move toward the clamped point at the speed implied by
+            // covering that distance in one step (may be slower).
+            let before = self.traj.horizon();
+            self.traj.push_move(clamped, clamped.distance(pos) / dt);
+            if self.traj.horizon() == before {
+                // Degenerate (zero-length) move: pause out the step.
+                self.traj.push_pause(p.step);
+            }
+            // Turn toward center for the next step.
+            self.heading = (p.field.center() - pos).angle();
+        }
+    }
+
+    fn ensure(&mut self, t: SimTime) {
+        while self.traj.horizon() <= t {
+            let before = self.traj.horizon();
+            self.extend_step();
+            if self.traj.horizon() == before {
+                self.traj.push_pause(self.params.step);
+            }
+        }
+    }
+}
+
+impl Mobility for GaussMarkov {
+    fn position_at(&mut self, t: SimTime) -> Vec2 {
+        self.ensure(t);
+        self.params.field.clamp(self.traj.sample(t).expect("extended").0)
+    }
+
+    fn velocity_at(&mut self, t: SimTime) -> Vec2 {
+        self.ensure(t);
+        self.traj.sample(t).expect("extended").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobic_sim::rng::SeedSplitter;
+
+    fn params(alpha: f64) -> GaussMarkovParams {
+        GaussMarkovParams {
+            field: Rect::square(300.0),
+            alpha,
+            mean_speed_mps: 10.0,
+            speed_sigma: 2.0,
+            heading_sigma: 0.3,
+            step: SimTime::from_secs(1),
+        }
+    }
+
+    fn rng(i: u64) -> ChaCha12Rng {
+        SeedSplitter::new(11).stream("gm-test", i)
+    }
+
+    #[test]
+    fn stays_in_field() {
+        let p = params(0.8);
+        let mut m = GaussMarkov::new(p, rng(0));
+        for s in 0..900 {
+            let pos = m.position_at(SimTime::from_secs(s));
+            assert!(p.field.contains(pos), "escaped at t={s}: {pos}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = params(0.5);
+        let mut a = GaussMarkov::new(p, rng(1));
+        let mut b = GaussMarkov::new(p, rng(1));
+        for s in (0..300).step_by(13) {
+            let t = SimTime::from_secs(s);
+            assert_eq!(a.position_at(t), b.position_at(t));
+        }
+    }
+
+    #[test]
+    fn high_alpha_moves_smoothly() {
+        // With alpha near 1 headings barely change between steps away
+        // from edges: consecutive-leg velocity angles stay close.
+        let p = params(0.98);
+        let mut m = GaussMarkov::new(p, rng(2));
+        let _ = m.position_at(SimTime::from_secs(100));
+        let legs = m.trajectory().legs();
+        let mut max_turn: f64 = 0.0;
+        for w in legs.windows(2) {
+            if w[0].velocity.length() > 0.1 && w[1].velocity.length() > 0.1 {
+                let a0 = w[0].velocity.angle();
+                let a1 = w[1].velocity.angle();
+                let mut d = (a1 - a0).abs();
+                if d > std::f64::consts::PI {
+                    d = std::f64::consts::TAU - d;
+                }
+                // Ignore edge-steering events (large forced turns).
+                if d < 1.0 {
+                    max_turn = max_turn.max(d);
+                }
+            }
+        }
+        assert!(max_turn < 1.0, "max turn {max_turn}");
+    }
+
+    #[test]
+    fn mean_speed_is_tracked() {
+        let p = params(0.7);
+        let mut m = GaussMarkov::new(p, rng(3));
+        let _ = m.position_at(SimTime::from_secs(800));
+        let speeds: Vec<f64> = m
+            .trajectory()
+            .legs()
+            .iter()
+            .map(|l| l.velocity.length())
+            .collect();
+        let mean = speeds.iter().sum::<f64>() / speeds.len() as f64;
+        assert!(
+            (mean - p.mean_speed_mps).abs() < 3.0,
+            "mean speed {mean} far from {}",
+            p.mean_speed_mps
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_panics() {
+        let _ = GaussMarkov::new(
+            GaussMarkovParams {
+                alpha: 1.5,
+                ..params(0.5)
+            },
+            rng(0),
+        );
+    }
+}

@@ -1,0 +1,350 @@
+//! Lane-based highway mobility (§5 of the paper: "cars traveling on a
+//! highway").
+//!
+//! Vehicles travel along horizontal lanes spanning the field. Each
+//! lane has a direction (alternating) and a nominal speed; vehicles
+//! jitter around their lane speed with a first-order autoregressive
+//! process and wrap around at the field edge (modeling a steady flow
+//! of traffic). Vehicles in the same direction have very low relative
+//! mobility — the scenario the paper predicts MOBIC will excel in.
+
+use mobic_geom::{Rect, Vec2};
+use mobic_sim::SimTime;
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+
+use crate::{Mobility, Trajectory};
+
+/// Parameters of the [`Highway`] model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HighwayParams {
+    /// The bounding field; lanes run along x, spread across y.
+    pub field: Rect,
+    /// Number of lanes (≥ 1).
+    pub lanes: u32,
+    /// `true` for two-way traffic (odd lanes run in −x, even lanes in
+    /// +x); `false` for a one-way convoy road (all lanes run in +x) —
+    /// the "cars traveling on a highway" setting of the paper's §5,
+    /// where relative mobility between all nodes is uniformly low.
+    pub bidirectional: bool,
+    /// Nominal speed of lane traffic (m/s).
+    pub lane_speed_mps: f64,
+    /// Standard deviation of per-vehicle speed jitter (m/s).
+    pub speed_jitter: f64,
+    /// Autoregressive memory of the speed jitter, in `[0, 1]`.
+    pub jitter_alpha: f64,
+    /// Speed update period.
+    pub step: SimTime,
+}
+
+impl HighwayParams {
+    /// Validates the parameter combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero lanes, negative speeds, invalid alpha, or zero
+    /// step.
+    pub fn validate(&self) {
+        assert!(self.lanes >= 1, "need at least one lane");
+        assert!(
+            self.lane_speed_mps >= 0.0 && self.lane_speed_mps.is_finite(),
+            "lane speed must be finite and non-negative"
+        );
+        assert!(self.speed_jitter >= 0.0, "jitter must be non-negative");
+        assert!(
+            (0.0..=1.0).contains(&self.jitter_alpha),
+            "jitter alpha must be in [0, 1]"
+        );
+        assert!(!self.step.is_zero(), "step must be positive");
+    }
+
+    /// The y-coordinate of the center of `lane` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= self.lanes`.
+    #[must_use]
+    pub fn lane_y(&self, lane: u32) -> f64 {
+        assert!(lane < self.lanes, "lane {lane} out of {}", self.lanes);
+        let spacing = self.field.height() / f64::from(self.lanes);
+        self.field.min().y + spacing * (f64::from(lane) + 0.5)
+    }
+
+    /// Direction of `lane`: `+1.0` (east) for even lanes, `-1.0`
+    /// (west) for odd lanes when bidirectional; always `+1.0` on a
+    /// one-way road.
+    #[must_use]
+    pub fn lane_direction(&self, lane: u32) -> f64 {
+        if self.bidirectional && lane % 2 == 1 {
+            -1.0
+        } else {
+            1.0
+        }
+    }
+}
+
+/// A vehicle on the highway.
+///
+/// Wrapping at the field edge is modeled as an instantaneous teleport
+/// in Euclidean space (a car leaving the observed stretch is replaced
+/// by a statistically identical one entering). Link-level code must
+/// therefore treat large single-step displacements as link breaks,
+/// which is exactly what happens physically when a car leaves the
+/// observed road segment.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_geom::Rect;
+/// use mobic_mobility::{Highway, HighwayParams, Mobility};
+/// use mobic_sim::{rng::SeedSplitter, SimTime};
+///
+/// let params = HighwayParams {
+///     field: Rect::new(1000.0, 100.0),
+///     lanes: 4,
+///     bidirectional: true,
+///     lane_speed_mps: 25.0,
+///     speed_jitter: 2.0,
+///     jitter_alpha: 0.9,
+///     step: SimTime::from_secs(1),
+/// };
+/// let mut car = Highway::new(params, 0, SeedSplitter::new(2).stream("hwy", 0));
+/// let p = car.position_at(SimTime::from_secs(30));
+/// assert!(params.field.contains(p));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Highway {
+    params: HighwayParams,
+    lane: u32,
+    traj: Trajectory,
+    rng: ChaCha12Rng,
+    jitter: f64,
+}
+
+impl Highway {
+    /// Creates a vehicle in `lane` (0-based) at a uniform random
+    /// position along the lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` are invalid or `lane >= params.lanes`.
+    #[must_use]
+    pub fn new(params: HighwayParams, lane: u32, mut rng: ChaCha12Rng) -> Self {
+        params.validate();
+        let x = params.field.min().x + rng.gen::<f64>() * params.field.width();
+        let origin = Vec2::new(x, params.lane_y(lane));
+        Highway {
+            params,
+            lane,
+            traj: Trajectory::new(origin),
+            rng,
+            jitter: 0.0,
+        }
+    }
+
+    /// The lane this vehicle drives in.
+    #[must_use]
+    pub fn lane(&self) -> u32 {
+        self.lane
+    }
+
+    /// The trajectory generated so far.
+    #[must_use]
+    pub fn trajectory(&self) -> &Trajectory {
+        &self.traj
+    }
+
+    fn gauss(&mut self) -> f64 {
+        let u1: f64 = 1.0 - self.rng.gen::<f64>();
+        let u2: f64 = self.rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    fn extend_step(&mut self) {
+        let p = self.params;
+        let a = p.jitter_alpha;
+        self.jitter =
+            a * self.jitter + (1.0 - a * a).sqrt() * p.speed_jitter * self.gauss();
+        let speed = (p.lane_speed_mps + self.jitter).max(0.0);
+        let dir = p.lane_direction(self.lane);
+        let velocity = Vec2::new(dir * speed, 0.0);
+        let pos = self.traj.last_position();
+        let dt = p.step.as_secs_f64();
+        let target = pos + velocity * dt;
+        if target.x >= p.field.min().x && target.x <= p.field.max().x {
+            self.traj.push_velocity(velocity, p.step);
+        } else {
+            // Split the step at the edge, wrap, continue.
+            let dist_to_edge = if dir > 0.0 {
+                p.field.max().x - pos.x
+            } else {
+                pos.x - p.field.min().x
+            };
+            let t_edge = if speed > 0.0 { dist_to_edge / speed } else { dt };
+            let d_edge = SimTime::from_secs_f64(t_edge.clamp(0.0, dt));
+            if !d_edge.is_zero() {
+                self.traj.push_velocity(velocity, d_edge);
+            }
+            // Teleport to the opposite edge: a zero-duration "jump"
+            // realized by a fast move leg of one microsecond.
+            let entry_x = if dir > 0.0 { p.field.min().x } else { p.field.max().x };
+            let here = self.traj.last_position();
+            let entry = Vec2::new(entry_x, here.y);
+            let jump_speed = entry.distance(here) / SimTime::MICROSECOND.as_secs_f64();
+            self.traj.push_move(entry, jump_speed);
+            let rest = p.step.saturating_sub(d_edge + SimTime::MICROSECOND);
+            if !rest.is_zero() {
+                self.traj.push_velocity(velocity, rest);
+            }
+        }
+    }
+
+    fn ensure(&mut self, t: SimTime) {
+        while self.traj.horizon() <= t {
+            let before = self.traj.horizon();
+            self.extend_step();
+            if self.traj.horizon() == before {
+                self.traj.push_pause(self.params.step);
+            }
+        }
+    }
+}
+
+impl Mobility for Highway {
+    fn position_at(&mut self, t: SimTime) -> Vec2 {
+        self.ensure(t);
+        self.params.field.clamp(self.traj.sample(t).expect("extended").0)
+    }
+
+    fn velocity_at(&mut self, t: SimTime) -> Vec2 {
+        self.ensure(t);
+        self.traj.sample(t).expect("extended").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobic_sim::rng::SeedSplitter;
+
+    fn params() -> HighwayParams {
+        HighwayParams {
+            field: Rect::new(1000.0, 100.0),
+            lanes: 4,
+            bidirectional: true,
+            lane_speed_mps: 25.0,
+            speed_jitter: 2.0,
+            jitter_alpha: 0.9,
+            step: SimTime::from_secs(1),
+        }
+    }
+
+    fn rng(i: u64) -> ChaCha12Rng {
+        SeedSplitter::new(21).stream("hwy-test", i)
+    }
+
+    #[test]
+    fn lane_geometry() {
+        let p = params();
+        assert_eq!(p.lane_y(0), 12.5);
+        assert_eq!(p.lane_y(3), 87.5);
+        assert_eq!(p.lane_direction(0), 1.0);
+        assert_eq!(p.lane_direction(1), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn invalid_lane_panics() {
+        let _ = params().lane_y(4);
+    }
+
+    #[test]
+    fn stays_in_field_and_lane() {
+        let p = params();
+        let mut car = Highway::new(p, 2, rng(0));
+        let y = p.lane_y(2);
+        for s in 0..600 {
+            let pos = car.position_at(SimTime::from_secs(s));
+            assert!(p.field.contains(pos), "escaped: {pos}");
+            assert!((pos.y - y).abs() < 1e-9, "left lane: {pos}");
+        }
+    }
+
+    #[test]
+    fn direction_matches_lane() {
+        let p = params();
+        let mut east = Highway::new(p, 0, rng(1));
+        let mut west = Highway::new(p, 1, rng(2));
+        let t = SimTime::from_millis(500);
+        assert!(east.velocity_at(t).x > 0.0);
+        assert!(west.velocity_at(t).x < 0.0);
+    }
+
+    #[test]
+    fn average_speed_near_lane_speed() {
+        let p = params();
+        let mut car = Highway::new(p, 0, rng(3));
+        // Average |v| over many steps.
+        let mut total = 0.0;
+        let n = 500;
+        for s in 0..n {
+            total += car.velocity_at(SimTime::from_millis(s * 1000 + 500)).x.abs();
+        }
+        let mean = total / n as f64;
+        assert!((mean - 25.0).abs() < 3.0, "mean speed {mean}");
+    }
+
+    #[test]
+    fn wrapping_returns_to_entry_edge() {
+        let p = HighwayParams {
+            field: Rect::new(100.0, 10.0),
+            lanes: 1,
+            bidirectional: true,
+            lane_speed_mps: 50.0,
+            speed_jitter: 0.0,
+            jitter_alpha: 0.0,
+            step: SimTime::from_secs(1),
+        };
+        let mut car = Highway::new(p, 0, rng(4));
+        // 50 m/s in a 100 m field: wraps every 2 s. Over 60 s the car
+        // must always be inside.
+        for ms in (0..60_000).step_by(100) {
+            let pos = car.position_at(SimTime::from_millis(ms));
+            assert!(p.field.contains(pos), "escaped: {pos} at {ms} ms");
+        }
+    }
+
+    #[test]
+    fn one_way_road_all_lanes_east() {
+        let p = HighwayParams {
+            bidirectional: false,
+            ..params()
+        };
+        for lane in 0..4 {
+            assert_eq!(p.lane_direction(lane), 1.0, "lane {lane}");
+        }
+        let mut car = Highway::new(p, 1, rng(9));
+        assert!(car.velocity_at(SimTime::from_millis(500)).x > 0.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = params();
+        let mut a = Highway::new(p, 1, rng(5));
+        let mut b = Highway::new(p, 1, rng(5));
+        for s in (0..300).step_by(11) {
+            let t = SimTime::from_secs(s);
+            assert_eq!(a.position_at(t), b.position_at(t));
+        }
+    }
+
+    #[test]
+    fn same_lane_cars_have_low_relative_speed() {
+        let p = params();
+        let mut a = Highway::new(p, 0, rng(6));
+        let mut b = Highway::new(p, 0, rng(7));
+        let t = SimTime::from_secs(100);
+        let rel = (a.velocity_at(t) - b.velocity_at(t)).length();
+        assert!(rel < 6.0 * p.speed_jitter, "relative speed {rel}");
+    }
+}

@@ -1,0 +1,395 @@
+//! Manhattan-grid mobility: urban movement constrained to a street
+//! grid.
+//!
+//! Nodes travel along horizontal and vertical streets with a given
+//! block spacing; at each intersection they continue straight, turn
+//! left, or turn right with configurable probabilities (the classic
+//! Manhattan model used in urban MANET studies). Speeds are redrawn
+//! per street segment. Motion reflects at the field boundary (a
+//! vehicle turns back into the grid).
+
+use mobic_geom::{Rect, Vec2};
+use mobic_sim::SimTime;
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+
+use crate::{sample_speed, Mobility, Trajectory};
+
+/// Parameters of the [`Manhattan`] model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ManhattanParams {
+    /// The bounding field; streets form a grid inside it.
+    pub field: Rect,
+    /// Distance between parallel streets (the block size), > 0.
+    pub block_m: f64,
+    /// Minimum speed (m/s).
+    pub min_speed_mps: f64,
+    /// Maximum speed (m/s).
+    pub max_speed_mps: f64,
+    /// Probability of turning (left or right, split evenly) at an
+    /// intersection; `1 − p_turn` continues straight. In `[0, 1]`.
+    pub p_turn: f64,
+}
+
+impl ManhattanParams {
+    /// Validates the parameter combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive block size, invalid speeds, or `p_turn`
+    /// outside `[0, 1]`.
+    pub fn validate(&self) {
+        assert!(
+            self.block_m > 0.0 && self.block_m.is_finite(),
+            "block size must be positive"
+        );
+        assert!(
+            self.min_speed_mps >= 0.0 && self.max_speed_mps >= self.min_speed_mps,
+            "invalid speed range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.p_turn),
+            "turn probability must be in [0, 1]"
+        );
+    }
+}
+
+/// Axis-aligned travel direction on the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Heading {
+    East,
+    West,
+    North,
+    South,
+}
+
+impl Heading {
+    fn vector(self) -> Vec2 {
+        match self {
+            Heading::East => Vec2::new(1.0, 0.0),
+            Heading::West => Vec2::new(-1.0, 0.0),
+            Heading::North => Vec2::new(0.0, 1.0),
+            Heading::South => Vec2::new(0.0, -1.0),
+        }
+    }
+
+    fn left(self) -> Heading {
+        match self {
+            Heading::East => Heading::North,
+            Heading::North => Heading::West,
+            Heading::West => Heading::South,
+            Heading::South => Heading::East,
+        }
+    }
+
+    fn right(self) -> Heading {
+        self.left().left().left()
+    }
+
+    fn reverse(self) -> Heading {
+        self.left().left()
+    }
+}
+
+/// A node moving on the Manhattan street grid.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_geom::Rect;
+/// use mobic_mobility::{Manhattan, ManhattanParams, Mobility};
+/// use mobic_sim::{rng::SeedSplitter, SimTime};
+///
+/// let params = ManhattanParams {
+///     field: Rect::square(600.0),
+///     block_m: 100.0,
+///     min_speed_mps: 5.0,
+///     max_speed_mps: 15.0,
+///     p_turn: 0.5,
+/// };
+/// let mut car = Manhattan::new(params, SeedSplitter::new(4).stream("man", 0));
+/// let p = car.position_at(SimTime::from_secs(120));
+/// assert!(params.field.contains(p));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Manhattan {
+    params: ManhattanParams,
+    traj: Trajectory,
+    rng: ChaCha12Rng,
+    heading: Heading,
+}
+
+impl Manhattan {
+    /// Creates a node at a random intersection with a random heading.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` are invalid.
+    #[must_use]
+    pub fn new(params: ManhattanParams, mut rng: ChaCha12Rng) -> Self {
+        params.validate();
+        let (cols, rows) = Self::grid_dims(&params);
+        let ci = rng.gen_range(0..=cols);
+        let ri = rng.gen_range(0..=rows);
+        let origin = Vec2::new(
+            params.field.min().x + ci as f64 * params.block_m,
+            params.field.min().y + ri as f64 * params.block_m,
+        );
+        let origin = params.field.clamp(origin);
+        let heading = match rng.gen_range(0..4) {
+            0 => Heading::East,
+            1 => Heading::West,
+            2 => Heading::North,
+            _ => Heading::South,
+        };
+        Manhattan {
+            params,
+            traj: Trajectory::new(origin),
+            rng,
+            heading,
+        }
+    }
+
+    fn grid_dims(params: &ManhattanParams) -> (u32, u32) {
+        let cols = (params.field.width() / params.block_m).floor().max(0.0) as u32;
+        let rows = (params.field.height() / params.block_m).floor().max(0.0) as u32;
+        (cols, rows)
+    }
+
+    /// The trajectory generated so far.
+    #[must_use]
+    pub fn trajectory(&self) -> &Trajectory {
+        &self.traj
+    }
+
+    /// Distance from `pos` to the next intersection along `heading`.
+    fn distance_to_next_intersection(&self, pos: Vec2) -> f64 {
+        let p = self.params;
+        let along = match self.heading {
+            Heading::East => pos.x - p.field.min().x,
+            Heading::West => p.field.max().x - (pos.x - p.field.min().x) - p.field.min().x,
+            Heading::North => pos.y - p.field.min().y,
+            Heading::South => p.field.max().y - (pos.y - p.field.min().y) - p.field.min().y,
+        };
+        // Distance already traveled into the current block:
+        let traveled = match self.heading {
+            Heading::East => (pos.x - p.field.min().x).rem_euclid(p.block_m),
+            Heading::West => (p.field.max().x - pos.x).rem_euclid(p.block_m),
+            Heading::North => (pos.y - p.field.min().y).rem_euclid(p.block_m),
+            Heading::South => (p.field.max().y - pos.y).rem_euclid(p.block_m),
+        };
+        let _ = along;
+        let rest = p.block_m - traveled;
+        if rest < 1e-9 {
+            p.block_m
+        } else {
+            rest
+        }
+    }
+
+    /// `true` if moving from `pos` along the current heading by
+    /// `dist` would leave the field.
+    fn would_exit(&self, pos: Vec2, dist: f64) -> bool {
+        let target = pos + self.heading.vector() * dist;
+        !self.params.field.contains(target)
+    }
+
+    fn pick_turn(&mut self) {
+        let r: f64 = self.rng.gen();
+        if r < self.params.p_turn {
+            self.heading = if self.rng.gen::<bool>() {
+                self.heading.left()
+            } else {
+                self.heading.right()
+            };
+        }
+    }
+
+    fn extend_leg(&mut self) {
+        let pos = self.traj.last_position();
+        let dist = self.distance_to_next_intersection(pos);
+        // Handle the boundary: if the next hop exits, turn (or reverse
+        // in a corner).
+        let mut guard = 0;
+        while self.would_exit(self.traj.last_position(), dist.min(self.params.block_m)) {
+            guard += 1;
+            if guard > 4 {
+                self.heading = self.heading.reverse();
+                break;
+            }
+            self.heading = if self.rng.gen::<bool>() {
+                self.heading.left()
+            } else {
+                self.heading.right()
+            };
+        }
+        let pos = self.traj.last_position();
+        let dist = self
+            .distance_to_next_intersection(pos)
+            .min(remaining_in_field(&self.params, pos, self.heading));
+        let speed = sample_speed(
+            &mut self.rng,
+            self.params.min_speed_mps,
+            self.params.max_speed_mps,
+        );
+        let target = self.params.field.clamp(pos + self.heading.vector() * dist);
+        let before = self.traj.horizon();
+        self.traj.push_move(target, speed);
+        if self.traj.horizon() == before {
+            // Degenerate (stuck in a corner or zero speed): idle briefly
+            // and re-decide.
+            self.traj.push_pause(SimTime::SECOND);
+        }
+        self.pick_turn();
+    }
+
+    fn ensure(&mut self, t: SimTime) {
+        while self.traj.horizon() <= t {
+            self.extend_leg();
+        }
+    }
+}
+
+/// Distance from `pos` to the field boundary along `heading`.
+fn remaining_in_field(params: &ManhattanParams, pos: Vec2, heading: Heading) -> f64 {
+    match heading {
+        Heading::East => params.field.max().x - pos.x,
+        Heading::West => pos.x - params.field.min().x,
+        Heading::North => params.field.max().y - pos.y,
+        Heading::South => pos.y - params.field.min().y,
+    }
+    .max(0.0)
+}
+
+impl Mobility for Manhattan {
+    fn position_at(&mut self, t: SimTime) -> Vec2 {
+        self.ensure(t);
+        self.params.field.clamp(self.traj.sample(t).expect("extended").0)
+    }
+
+    fn velocity_at(&mut self, t: SimTime) -> Vec2 {
+        self.ensure(t);
+        self.traj.sample(t).expect("extended").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobic_sim::rng::SeedSplitter;
+
+    fn params() -> ManhattanParams {
+        ManhattanParams {
+            field: Rect::square(600.0),
+            block_m: 100.0,
+            min_speed_mps: 5.0,
+            max_speed_mps: 15.0,
+            p_turn: 0.5,
+        }
+    }
+
+    fn rng(i: u64) -> ChaCha12Rng {
+        SeedSplitter::new(55).stream("man-test", i)
+    }
+
+    #[test]
+    fn stays_in_field() {
+        let p = params();
+        let mut m = Manhattan::new(p, rng(0));
+        for s in 0..900 {
+            let pos = m.position_at(SimTime::from_secs(s));
+            assert!(p.field.contains(pos), "escaped at {s}: {pos}");
+        }
+    }
+
+    #[test]
+    fn moves_only_along_axes() {
+        let p = params();
+        let mut m = Manhattan::new(p, rng(1));
+        let _ = m.position_at(SimTime::from_secs(600));
+        for leg in m.trajectory().legs() {
+            let v = leg.velocity;
+            assert!(
+                v.x.abs() < 1e-9 || v.y.abs() < 1e-9,
+                "diagonal motion: {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn starts_on_grid_point() {
+        let p = params();
+        let mut m = Manhattan::new(p, rng(2));
+        let start = m.position_at(SimTime::ZERO);
+        let on_grid = |v: f64| (v.rem_euclid(p.block_m)).min(p.block_m - v.rem_euclid(p.block_m)) < 1e-6;
+        assert!(on_grid(start.x) && on_grid(start.y), "off-grid start: {start}");
+    }
+
+    #[test]
+    fn speeds_respect_bounds() {
+        let p = params();
+        let mut m = Manhattan::new(p, rng(3));
+        let _ = m.position_at(SimTime::from_secs(600));
+        for leg in m.trajectory().legs() {
+            let v = leg.velocity.length();
+            assert!(v <= p.max_speed_mps + 1e-9, "speed {v}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = params();
+        let mut a = Manhattan::new(p, rng(4));
+        let mut b = Manhattan::new(p, rng(4));
+        for s in (0..600).step_by(17) {
+            let t = SimTime::from_secs(s);
+            assert_eq!(a.position_at(t), b.position_at(t));
+        }
+    }
+
+    #[test]
+    fn headings_rotate_consistently() {
+        assert_eq!(Heading::East.left(), Heading::North);
+        assert_eq!(Heading::East.right(), Heading::South);
+        assert_eq!(Heading::East.reverse(), Heading::West);
+        assert_eq!(Heading::North.right(), Heading::East);
+        for h in [Heading::East, Heading::West, Heading::North, Heading::South] {
+            assert_eq!(h.left().right(), h);
+            assert_eq!(h.reverse().reverse(), h);
+        }
+    }
+
+    #[test]
+    fn zero_turn_probability_goes_straight_until_wall() {
+        let p = ManhattanParams {
+            p_turn: 0.0,
+            ..params()
+        };
+        let mut m = Manhattan::new(p, rng(6));
+        let _ = m.position_at(SimTime::from_secs(300));
+        // With p_turn = 0 direction changes only at walls; consecutive
+        // legs away from walls share an axis.
+        let legs = m.trajectory().legs();
+        let mut axis_changes = 0;
+        for w in legs.windows(2) {
+            let a_horiz = w[0].velocity.x.abs() > 1e-9;
+            let b_horiz = w[1].velocity.x.abs() > 1e-9;
+            if a_horiz != b_horiz {
+                axis_changes += 1;
+            }
+        }
+        // Crossing a 600 m field at ≥5 m/s takes ≤ 120 s; 300 s can
+        // hit walls only a handful of times.
+        assert!(axis_changes <= 12, "too many axis changes: {axis_changes}");
+    }
+
+    #[test]
+    #[should_panic(expected = "block")]
+    fn invalid_block_panics() {
+        let p = ManhattanParams {
+            block_m: 0.0,
+            ..params()
+        };
+        let _ = Manhattan::new(p, rng(0));
+    }
+}

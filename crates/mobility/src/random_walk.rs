@@ -1,0 +1,298 @@
+//! Boundary-reflecting random walk.
+
+use mobic_geom::{Rect, Vec2};
+use mobic_sim::SimTime;
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+
+use crate::{sample_point, sample_speed, Mobility, Trajectory};
+
+/// Parameters of the [`RandomWalk`] model: at fixed epochs the node
+/// picks a fresh uniform direction and speed; hitting a field boundary
+/// reflects the motion like a billiard ball.
+///
+/// This is the classic random-walk (Brownian-style) mobility model the
+/// path-availability clustering framework \[16\] builds on; we include
+/// it both as a baseline mobility pattern and for robustness tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomWalkParams {
+    /// The bounding field.
+    pub field: Rect,
+    /// Minimum speed (m/s).
+    pub min_speed_mps: f64,
+    /// Maximum speed (m/s).
+    pub max_speed_mps: f64,
+    /// Duration of each constant-velocity epoch.
+    pub epoch: SimTime,
+}
+
+impl RandomWalkParams {
+    /// Validates the parameter combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if speeds are invalid or the epoch is zero.
+    pub fn validate(&self) {
+        assert!(
+            self.min_speed_mps >= 0.0 && self.min_speed_mps.is_finite(),
+            "min speed must be finite and non-negative"
+        );
+        assert!(
+            self.max_speed_mps >= self.min_speed_mps && self.max_speed_mps.is_finite(),
+            "max speed must be finite and >= min speed"
+        );
+        assert!(!self.epoch.is_zero(), "epoch must be positive");
+    }
+}
+
+/// A node moving under the boundary-reflecting random walk.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_geom::Rect;
+/// use mobic_mobility::{Mobility, RandomWalk, RandomWalkParams};
+/// use mobic_sim::{rng::SeedSplitter, SimTime};
+///
+/// let params = RandomWalkParams {
+///     field: Rect::square(100.0),
+///     min_speed_mps: 1.0,
+///     max_speed_mps: 5.0,
+///     epoch: SimTime::from_secs(10),
+/// };
+/// let mut m = RandomWalk::new(params, SeedSplitter::new(3).stream("walk", 0));
+/// assert!(params.field.contains(m.position_at(SimTime::from_secs(123))));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomWalk {
+    params: RandomWalkParams,
+    traj: Trajectory,
+    rng: ChaCha12Rng,
+}
+
+impl RandomWalk {
+    /// Creates a walker at a uniform random start position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` are invalid.
+    #[must_use]
+    pub fn new(params: RandomWalkParams, mut rng: ChaCha12Rng) -> Self {
+        params.validate();
+        let origin = sample_point(&mut rng, params.field);
+        Self::with_origin(params, rng, origin)
+    }
+
+    /// Creates a walker at an explicit start position (clamped into
+    /// the field).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` are invalid.
+    #[must_use]
+    pub fn with_origin(params: RandomWalkParams, rng: ChaCha12Rng, origin: Vec2) -> Self {
+        params.validate();
+        RandomWalk {
+            traj: Trajectory::new(params.field.clamp(origin)),
+            params,
+            rng,
+        }
+    }
+
+    /// The trajectory generated so far.
+    #[must_use]
+    pub fn trajectory(&self) -> &Trajectory {
+        &self.traj
+    }
+
+    /// Extends the trajectory by one epoch, splitting the epoch into
+    /// sub-legs at each boundary reflection so the stored trajectory
+    /// remains exactly piecewise linear.
+    fn extend_epoch(&mut self) {
+        let speed = sample_speed(
+            &mut self.rng,
+            self.params.min_speed_mps,
+            self.params.max_speed_mps,
+        );
+        let angle = self.rng.gen_range(0.0..std::f64::consts::TAU);
+        let mut velocity = Vec2::from_polar(speed, angle);
+        let mut remaining = self.params.epoch;
+        // Guard: a zero-speed epoch is a pause.
+        if speed <= 0.0 {
+            self.traj.push_pause(remaining);
+            return;
+        }
+        let field = self.params.field;
+        let mut guard = 0;
+        while !remaining.is_zero() {
+            guard += 1;
+            assert!(guard < 10_000, "reflection loop failed to converge");
+            let pos = self.traj.last_position();
+            let dt = remaining.as_secs_f64();
+            let target = pos + velocity * dt;
+            if field.contains(target) {
+                self.traj.push_velocity(velocity, remaining);
+                break;
+            }
+            // Find the first boundary crossing time.
+            let t_hit = first_exit_time(field, pos, velocity).unwrap_or(dt);
+            let t_hit = t_hit.clamp(0.0, dt);
+            let hit_duration = SimTime::from_secs_f64(t_hit);
+            if hit_duration.is_zero() {
+                // Already on the wall moving outward: flip and retry.
+                let p_next = pos + velocity * 1e-9;
+                let (_, fx, fy) = field.reflect(p_next);
+                if fx {
+                    velocity.x = -velocity.x;
+                }
+                if fy {
+                    velocity.y = -velocity.y;
+                }
+                if !fx && !fy {
+                    // Numerically stuck; nudge via pause.
+                    self.traj.push_pause(remaining);
+                    break;
+                }
+                continue;
+            }
+            self.traj.push_velocity(velocity, hit_duration);
+            remaining = remaining.saturating_sub(hit_duration);
+            // Reflect velocity at whichever wall was hit.
+            let p = self.traj.last_position();
+            if p.x <= field.min().x + 1e-9 || p.x >= field.max().x - 1e-9 {
+                velocity.x = -velocity.x;
+            }
+            if p.y <= field.min().y + 1e-9 || p.y >= field.max().y - 1e-9 {
+                velocity.y = -velocity.y;
+            }
+        }
+    }
+
+    fn ensure(&mut self, t: SimTime) {
+        while self.traj.horizon() <= t {
+            self.extend_epoch();
+        }
+    }
+}
+
+impl Mobility for RandomWalk {
+    fn position_at(&mut self, t: SimTime) -> Vec2 {
+        self.ensure(t);
+        // Clamp tiny numerical overshoot at walls.
+        let p = self.traj.sample(t).expect("extended").0;
+        self.params.field.clamp(p)
+    }
+
+    fn velocity_at(&mut self, t: SimTime) -> Vec2 {
+        self.ensure(t);
+        self.traj.sample(t).expect("extended").1
+    }
+}
+
+/// Time until a point at `pos` moving with `velocity` first leaves
+/// `field`, or `None` if it never does (zero velocity).
+fn first_exit_time(field: Rect, pos: Vec2, velocity: Vec2) -> Option<f64> {
+    let mut t_exit = f64::INFINITY;
+    if velocity.x > 0.0 {
+        t_exit = t_exit.min((field.max().x - pos.x) / velocity.x);
+    } else if velocity.x < 0.0 {
+        t_exit = t_exit.min((field.min().x - pos.x) / velocity.x);
+    }
+    if velocity.y > 0.0 {
+        t_exit = t_exit.min((field.max().y - pos.y) / velocity.y);
+    } else if velocity.y < 0.0 {
+        t_exit = t_exit.min((field.min().y - pos.y) / velocity.y);
+    }
+    if t_exit.is_finite() {
+        Some(t_exit.max(0.0))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobic_sim::rng::SeedSplitter;
+
+    fn params() -> RandomWalkParams {
+        RandomWalkParams {
+            field: Rect::square(100.0),
+            min_speed_mps: 1.0,
+            max_speed_mps: 10.0,
+            epoch: SimTime::from_secs(10),
+        }
+    }
+
+    fn rng(i: u64) -> ChaCha12Rng {
+        SeedSplitter::new(77).stream("walk-test", i)
+    }
+
+    #[test]
+    fn stays_in_field() {
+        let p = params();
+        let mut m = RandomWalk::new(p, rng(0));
+        for s in 0..2000 {
+            let t = SimTime::from_millis(s * 500);
+            let pos = m.position_at(t);
+            assert!(p.field.contains(pos), "escaped at {t}: {pos}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = params();
+        let mut a = RandomWalk::new(p, rng(4));
+        let mut b = RandomWalk::new(p, rng(4));
+        for s in (0..500).step_by(7) {
+            let t = SimTime::from_secs(s);
+            assert_eq!(a.position_at(t), b.position_at(t));
+        }
+    }
+
+    #[test]
+    fn reflection_preserves_speed() {
+        let p = params();
+        let mut m = RandomWalk::new(p, rng(2));
+        let _ = m.position_at(SimTime::from_secs(500));
+        // Within each epoch the speed is constant even across
+        // reflections; overall speeds bounded by max.
+        for leg in m.trajectory().legs() {
+            let v = leg.velocity.length();
+            assert!(v <= p.max_speed_mps + 1e-9, "speed {v}");
+        }
+    }
+
+    #[test]
+    fn small_field_with_fast_walker_many_reflections() {
+        let p = RandomWalkParams {
+            field: Rect::square(5.0),
+            min_speed_mps: 10.0,
+            max_speed_mps: 10.0,
+            epoch: SimTime::from_secs(60),
+        };
+        let mut m = RandomWalk::new(p, rng(3));
+        for s in 0..120 {
+            let pos = m.position_at(SimTime::from_secs(s));
+            assert!(p.field.contains(pos), "escaped: {pos}");
+        }
+    }
+
+    #[test]
+    fn corner_start_does_not_wedge() {
+        let p = params();
+        let mut m = RandomWalk::with_origin(p, rng(5), Vec2::ZERO);
+        let end = m.position_at(SimTime::from_secs(300));
+        assert!(p.field.contains(end));
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch")]
+    fn zero_epoch_panics() {
+        let p = RandomWalkParams {
+            epoch: SimTime::ZERO,
+            ..params()
+        };
+        let _ = RandomWalk::new(p, rng(0));
+    }
+}

@@ -1,0 +1,307 @@
+//! The random waypoint model — the paper's primary mobility model.
+
+use mobic_geom::{Rect, Vec2};
+use mobic_sim::SimTime;
+use rand_chacha::ChaCha12Rng;
+
+use crate::{sample_point, sample_speed, Mobility, Trajectory};
+
+/// Parameters of the [`RandomWaypoint`] model, mirroring the CMU
+/// `setdest` generator the paper used (Table 1): nodes repeatedly pick
+/// a uniform destination in the field, travel there at a uniform random
+/// speed, pause, and repeat.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomWaypointParams {
+    /// The bounding field nodes move in.
+    pub field: Rect,
+    /// Minimum speed in m/s. Zero selects the classic `(0, max]`
+    /// open-interval sampling.
+    pub min_speed_mps: f64,
+    /// Maximum speed in m/s (the paper's `MaxSpeed`: 1, 20 or 30).
+    pub max_speed_mps: f64,
+    /// Pause time at each waypoint (the paper's `PT`: 0 or 30 s).
+    pub pause: SimTime,
+}
+
+impl RandomWaypointParams {
+    /// Validates the parameter combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if speeds are negative, non-finite, or `min > max`.
+    pub fn validate(&self) {
+        assert!(
+            self.min_speed_mps >= 0.0 && self.min_speed_mps.is_finite(),
+            "min speed must be finite and non-negative"
+        );
+        assert!(
+            self.max_speed_mps >= self.min_speed_mps && self.max_speed_mps.is_finite(),
+            "max speed must be finite and >= min speed"
+        );
+    }
+}
+
+/// A node moving under the random waypoint model.
+///
+/// The initial position is drawn uniformly in the field (as `setdest`
+/// does). Motion is generated lazily, one waypoint leg at a time.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_geom::Rect;
+/// use mobic_mobility::{Mobility, RandomWaypoint, RandomWaypointParams};
+/// use mobic_sim::{rng::SeedSplitter, SimTime};
+///
+/// let params = RandomWaypointParams {
+///     field: Rect::square(670.0),
+///     min_speed_mps: 0.0,
+///     max_speed_mps: 20.0,
+///     pause: SimTime::from_secs(30),
+/// };
+/// let mut m = RandomWaypoint::new(params, SeedSplitter::new(9).stream("mob", 4));
+/// let p = m.position_at(SimTime::from_secs(900));
+/// assert!(params.field.contains(p));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomWaypoint {
+    params: RandomWaypointParams,
+    traj: Trajectory,
+    rng: ChaCha12Rng,
+    /// Whether the next leg to generate is a pause (pauses alternate
+    /// with moves when `pause > 0`).
+    pause_next: bool,
+}
+
+impl RandomWaypoint {
+    /// Creates a node with a uniform random start position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` are invalid (see
+    /// [`RandomWaypointParams::validate`]).
+    #[must_use]
+    pub fn new(params: RandomWaypointParams, mut rng: ChaCha12Rng) -> Self {
+        params.validate();
+        let origin = sample_point(&mut rng, params.field);
+        Self::with_origin(params, rng, origin)
+    }
+
+    /// Creates a node with an explicit start position (used by tests
+    /// and by scenario generators that pre-place nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` are invalid.
+    #[must_use]
+    pub fn with_origin(params: RandomWaypointParams, rng: ChaCha12Rng, origin: Vec2) -> Self {
+        params.validate();
+        RandomWaypoint {
+            params,
+            traj: Trajectory::new(origin),
+            rng,
+            // setdest starts with an (optional) initial pause.
+            pause_next: !params.pause.is_zero(),
+        }
+    }
+
+    /// The model parameters.
+    #[must_use]
+    pub fn params(&self) -> &RandomWaypointParams {
+        &self.params
+    }
+
+    /// The trajectory generated so far (for analyses and tests).
+    #[must_use]
+    pub fn trajectory(&self) -> &Trajectory {
+        &self.traj
+    }
+
+    fn ensure(&mut self, t: SimTime) {
+        while self.traj.horizon() <= t {
+            if self.pause_next {
+                self.traj.push_pause(self.params.pause);
+                self.pause_next = false;
+                continue;
+            }
+            let dest = sample_point(&mut self.rng, self.params.field);
+            let speed = sample_speed(
+                &mut self.rng,
+                self.params.min_speed_mps,
+                self.params.max_speed_mps,
+            );
+            let before = self.traj.horizon();
+            self.traj.push_move(dest, speed);
+            self.pause_next = !self.params.pause.is_zero();
+            // Guard against pathological zero-progress iterations
+            // (e.g. destination == current position with pause 0).
+            if self.traj.horizon() == before && self.params.pause.is_zero() {
+                // Force progress: wait one broadcast-scale tick.
+                self.traj.push_pause(SimTime::MILLISECOND);
+            }
+        }
+    }
+}
+
+impl Mobility for RandomWaypoint {
+    fn position_at(&mut self, t: SimTime) -> Vec2 {
+        self.ensure(t);
+        self.traj.sample(t).expect("trajectory extended past t").0
+    }
+
+    fn velocity_at(&mut self, t: SimTime) -> Vec2 {
+        self.ensure(t);
+        self.traj.sample(t).expect("trajectory extended past t").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobic_sim::rng::SeedSplitter;
+
+    fn params(pause_s: u64, max: f64) -> RandomWaypointParams {
+        RandomWaypointParams {
+            field: Rect::square(670.0),
+            min_speed_mps: 0.0,
+            max_speed_mps: max,
+            pause: SimTime::from_secs(pause_s),
+        }
+    }
+
+    fn rng(i: u64) -> ChaCha12Rng {
+        SeedSplitter::new(42).stream("rwp-test", i)
+    }
+
+    #[test]
+    fn stays_in_field_for_long_run() {
+        let p = params(0, 20.0);
+        let mut m = RandomWaypoint::new(p, rng(0));
+        for s in 0..900 {
+            let pos = m.position_at(SimTime::from_secs(s));
+            assert!(p.field.contains(pos), "escaped at t={s}: {pos}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = params(30, 20.0);
+        let mut a = RandomWaypoint::new(p, rng(7));
+        let mut b = RandomWaypoint::new(p, rng(7));
+        for s in (0..900).step_by(10) {
+            let t = SimTime::from_secs(s);
+            assert_eq!(a.position_at(t), b.position_at(t));
+        }
+    }
+
+    #[test]
+    fn different_streams_diverge() {
+        let p = params(0, 20.0);
+        let mut a = RandomWaypoint::new(p, rng(0));
+        let mut b = RandomWaypoint::new(p, rng(1));
+        let t = SimTime::from_secs(100);
+        assert_ne!(a.position_at(t), b.position_at(t));
+    }
+
+    #[test]
+    fn revisiting_past_times_is_consistent() {
+        let p = params(0, 20.0);
+        let mut m = RandomWaypoint::new(p, rng(3));
+        let t_late = SimTime::from_secs(500);
+        let t_early = SimTime::from_secs(100);
+        let early_first = {
+            let mut m2 = RandomWaypoint::new(p, rng(3));
+            m2.position_at(t_early)
+        };
+        let _ = m.position_at(t_late);
+        assert_eq!(m.position_at(t_early), early_first);
+    }
+
+    #[test]
+    fn speed_respects_max() {
+        let p = params(0, 20.0);
+        let mut m = RandomWaypoint::new(p, rng(5));
+        let _ = m.position_at(SimTime::from_secs(900));
+        for leg in m.trajectory().legs() {
+            let v = leg.velocity.length();
+            assert!(v <= 20.0 + 1e-9, "leg speed {v}");
+        }
+    }
+
+    #[test]
+    fn pause_legs_alternate_when_pause_positive() {
+        let p = params(30, 20.0);
+        let mut m = RandomWaypoint::new(p, rng(6));
+        let _ = m.position_at(SimTime::from_secs(900));
+        let legs = m.trajectory().legs();
+        assert!(legs.len() >= 2);
+        // First leg is the initial pause.
+        assert_eq!(legs[0].velocity, Vec2::ZERO);
+        assert_eq!(legs[0].duration(), SimTime::from_secs(30));
+        // Moves and pauses alternate.
+        for w in legs.windows(2) {
+            let both_pause = w[0].velocity == Vec2::ZERO && w[1].velocity == Vec2::ZERO;
+            assert!(!both_pause, "two consecutive pauses");
+        }
+    }
+
+    #[test]
+    fn zero_pause_generates_continuous_motion() {
+        let p = params(0, 20.0);
+        let mut m = RandomWaypoint::new(p, rng(8));
+        let _ = m.position_at(SimTime::from_secs(300));
+        let moving = m
+            .trajectory()
+            .legs()
+            .iter()
+            .filter(|l| l.velocity.length() > 0.0)
+            .count();
+        assert_eq!(moving, m.trajectory().len(), "no pauses expected");
+    }
+
+    #[test]
+    fn velocity_matches_displacement() {
+        let p = params(0, 20.0);
+        let mut m = RandomWaypoint::new(p, rng(9));
+        let t = SimTime::from_secs(50);
+        let dt = SimTime::from_millis(10);
+        let v = m.velocity_at(t);
+        let p0 = m.position_at(t);
+        let p1 = m.position_at(t + dt);
+        let approx_v = (p1 - p0) / dt.as_secs_f64();
+        // Same leg with overwhelming probability; allow breakpoint slack.
+        if (approx_v - v).length() > 1e-6 {
+            // Crossed a waypoint; just check magnitude bound.
+            assert!(approx_v.length() <= 20.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn max_speed_one_is_slow() {
+        let p = params(0, 1.0);
+        let mut m = RandomWaypoint::new(p, rng(10));
+        let p0 = m.position_at(SimTime::from_secs(0));
+        let p1 = m.position_at(SimTime::from_secs(10));
+        assert!(p0.distance(p1) <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "max speed")]
+    fn invalid_speed_range_panics() {
+        let p = RandomWaypointParams {
+            field: Rect::square(10.0),
+            min_speed_mps: 5.0,
+            max_speed_mps: 1.0,
+            pause: SimTime::ZERO,
+        };
+        let _ = RandomWaypoint::new(p, rng(0));
+    }
+
+    #[test]
+    fn with_origin_uses_given_start() {
+        let p = params(0, 20.0);
+        let origin = Vec2::new(300.0, 300.0);
+        let mut m = RandomWaypoint::with_origin(p, rng(11), origin);
+        assert_eq!(m.position_at(SimTime::ZERO), origin);
+    }
+}

@@ -1,0 +1,365 @@
+//! Reference Point Group Mobility (RPGM) — the group model of Hong et
+//! al. \[9\], discussed in the paper's §2.2.
+//!
+//! Each group has a logical *center* whose motion defines the group's
+//! overall movement; each member follows a *reference point* that moves
+//! rigidly with the center, plus a bounded random local displacement.
+//! Groups of nodes moving together have low relative mobility — exactly
+//! the structure MOBIC is designed to exploit — so RPGM scenarios are
+//! where mobility-aware clustering shines.
+
+use std::sync::Arc;
+
+use mobic_geom::{Rect, Vec2};
+use mobic_sim::SimTime;
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+
+use crate::{sample_point, sample_speed, Mobility, Trajectory};
+
+/// Parameters of an RPGM group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RpgmParams {
+    /// The bounding field the group center moves in.
+    pub field: Rect,
+    /// Group-center minimum speed (m/s).
+    pub min_speed_mps: f64,
+    /// Group-center maximum speed (m/s).
+    pub max_speed_mps: f64,
+    /// Group-center pause at each waypoint.
+    pub pause: SimTime,
+    /// Maximum distance of a member from its reference point (m).
+    pub member_radius_m: f64,
+    /// How often members re-draw their local displacement.
+    pub member_update: SimTime,
+}
+
+impl RpgmParams {
+    /// Validates the parameter combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative speeds/radius or zero member update period.
+    pub fn validate(&self) {
+        assert!(
+            self.min_speed_mps >= 0.0 && self.max_speed_mps >= self.min_speed_mps,
+            "invalid speed range"
+        );
+        assert!(
+            self.member_radius_m >= 0.0 && self.member_radius_m.is_finite(),
+            "member radius must be finite and non-negative"
+        );
+        assert!(!self.member_update.is_zero(), "member update period must be positive");
+    }
+}
+
+/// A group: the shared center trajectory, pre-generated to a fixed
+/// horizon so all members can reference it immutably (and cheaply)
+/// from an [`Arc`].
+#[derive(Debug)]
+pub struct RpgmGroup {
+    params: RpgmParams,
+    center: Arc<Trajectory>,
+    horizon: SimTime,
+    members_created: u64,
+    member_seed_rng: ChaCha12Rng,
+}
+
+impl RpgmGroup {
+    /// Generates a group whose center performs random waypoint motion
+    /// in `params.field` up to `horizon` (queries beyond the horizon
+    /// panic; pick the simulation end time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` are invalid.
+    #[must_use]
+    pub fn new(params: RpgmParams, horizon: SimTime, mut rng: ChaCha12Rng) -> Self {
+        params.validate();
+        let mut traj = Trajectory::new(sample_point(&mut rng, params.field));
+        while traj.horizon() <= horizon {
+            if !params.pause.is_zero() {
+                traj.push_pause(params.pause);
+            }
+            let dest = sample_point(&mut rng, params.field);
+            let speed = sample_speed(&mut rng, params.min_speed_mps, params.max_speed_mps);
+            let before = traj.horizon();
+            traj.push_move(dest, speed);
+            if traj.horizon() == before && params.pause.is_zero() {
+                traj.push_pause(SimTime::MILLISECOND);
+            }
+        }
+        RpgmGroup {
+            params,
+            center: Arc::new(traj),
+            horizon,
+            members_created: 0,
+            member_seed_rng: rng,
+        }
+    }
+
+    /// The group parameters.
+    #[must_use]
+    pub fn params(&self) -> &RpgmParams {
+        &self.params
+    }
+
+    /// The shared center trajectory.
+    #[must_use]
+    pub fn center(&self) -> &Arc<Trajectory> {
+        &self.center
+    }
+
+    /// Creates the next member of this group with its own independent
+    /// local-displacement randomness.
+    pub fn spawn_member(&mut self) -> Rpgm {
+        self.members_created += 1;
+        // Derive a member RNG by jumping the group's member-seed rng.
+        let mut seed = [0u8; 32];
+        self.member_seed_rng.fill(&mut seed);
+        use rand_chacha::rand_core::SeedableRng;
+        let rng = ChaCha12Rng::from_seed(seed);
+        Rpgm::new(
+            self.params,
+            Arc::clone(&self.center),
+            self.horizon,
+            rng,
+        )
+    }
+
+    /// How many members have been spawned.
+    #[must_use]
+    pub fn member_count(&self) -> u64 {
+        self.members_created
+    }
+}
+
+/// One member node of an RPGM group.
+///
+/// The member's position is `center(t) + offset(t)` where `offset`
+/// linearly interpolates between displacement samples drawn uniformly
+/// in a disk of radius `member_radius_m` every `member_update` period —
+/// continuous motion that stays within the group's footprint.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_geom::Rect;
+/// use mobic_mobility::{Mobility, RpgmGroup, RpgmParams};
+/// use mobic_sim::{rng::SeedSplitter, SimTime};
+///
+/// let params = RpgmParams {
+///     field: Rect::square(670.0),
+///     min_speed_mps: 0.0,
+///     max_speed_mps: 10.0,
+///     pause: SimTime::ZERO,
+///     member_radius_m: 30.0,
+///     member_update: SimTime::from_secs(5),
+/// };
+/// let horizon = SimTime::from_secs(900);
+/// let mut group = RpgmGroup::new(params, horizon, SeedSplitter::new(1).stream("rpgm", 0));
+/// let mut a = group.spawn_member();
+/// let mut b = group.spawn_member();
+/// let t = SimTime::from_secs(100);
+/// // Members stay within 2×radius of each other (both within radius of center).
+/// assert!(a.position_at(t).distance(b.position_at(t)) <= 2.0 * params.member_radius_m + 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rpgm {
+    params: RpgmParams,
+    center: Arc<Trajectory>,
+    horizon: SimTime,
+    rng: ChaCha12Rng,
+    /// Offset samples at multiples of `member_update`; index k is the
+    /// offset at time `k * member_update`.
+    offsets: Vec<Vec2>,
+}
+
+impl Rpgm {
+    fn new(
+        params: RpgmParams,
+        center: Arc<Trajectory>,
+        horizon: SimTime,
+        rng: ChaCha12Rng,
+    ) -> Self {
+        Rpgm {
+            params,
+            center,
+            horizon,
+            rng,
+            offsets: Vec::new(),
+        }
+    }
+
+    /// Uniform point in the disk of radius `member_radius_m`.
+    fn draw_offset(&mut self) -> Vec2 {
+        let r = self.params.member_radius_m * self.rng.gen::<f64>().sqrt();
+        let a = self.rng.gen_range(0.0..std::f64::consts::TAU);
+        Vec2::from_polar(r, a)
+    }
+
+    fn ensure_offsets(&mut self, k: usize) {
+        while self.offsets.len() <= k {
+            let o = self.draw_offset();
+            self.offsets.push(o);
+        }
+    }
+
+    /// The interpolated local displacement at time `t`.
+    fn offset_at(&mut self, t: SimTime) -> (Vec2, Vec2) {
+        let period = self.params.member_update;
+        let k = (t.as_micros() / period.as_micros()) as usize;
+        self.ensure_offsets(k + 1);
+        let t0 = period * (k as u64);
+        let frac = (t - t0).ratio(period);
+        let o0 = self.offsets[k];
+        let o1 = self.offsets[k + 1];
+        let pos = o0.lerp(o1, frac);
+        let vel = (o1 - o0) / period.as_secs_f64();
+        (pos, vel)
+    }
+
+    fn center_sample(&self, t: SimTime) -> (Vec2, Vec2) {
+        assert!(
+            t <= self.horizon,
+            "RPGM queried past its generated horizon ({} > {})",
+            t,
+            self.horizon
+        );
+        self.center
+            .sample(t)
+            .expect("center generated past horizon")
+    }
+}
+
+impl Mobility for Rpgm {
+    fn position_at(&mut self, t: SimTime) -> Vec2 {
+        let (cp, _) = self.center_sample(t);
+        let (op, _) = self.offset_at(t);
+        cp + op
+    }
+
+    fn velocity_at(&mut self, t: SimTime) -> Vec2 {
+        let (_, cv) = self.center_sample(t);
+        let (_, ov) = self.offset_at(t);
+        cv + ov
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobic_sim::rng::SeedSplitter;
+
+    fn params() -> RpgmParams {
+        RpgmParams {
+            field: Rect::square(670.0),
+            min_speed_mps: 0.0,
+            max_speed_mps: 10.0,
+            pause: SimTime::ZERO,
+            member_radius_m: 25.0,
+            member_update: SimTime::from_secs(5),
+        }
+    }
+
+    fn group(seed: u64) -> RpgmGroup {
+        RpgmGroup::new(
+            params(),
+            SimTime::from_secs(900),
+            SeedSplitter::new(seed).stream("rpgm-test", 0),
+        )
+    }
+
+    #[test]
+    fn members_stay_near_center() {
+        let mut g = group(1);
+        let center = Arc::clone(g.center());
+        let mut m = g.spawn_member();
+        for s in (0..900).step_by(10) {
+            let t = SimTime::from_secs(s);
+            let cp = center.sample(t).unwrap().0;
+            let d = m.position_at(t).distance(cp);
+            assert!(d <= params().member_radius_m + 1e-9, "member drifted {d} m");
+        }
+    }
+
+    #[test]
+    fn members_of_same_group_stay_close() {
+        let mut g = group(2);
+        let mut members: Vec<Rpgm> = (0..5).map(|_| g.spawn_member()).collect();
+        assert_eq!(g.member_count(), 5);
+        for s in (0..900).step_by(50) {
+            let t = SimTime::from_secs(s);
+            let positions: Vec<Vec2> = members.iter_mut().map(|m| m.position_at(t)).collect();
+            for i in 0..positions.len() {
+                for j in (i + 1)..positions.len() {
+                    let d = positions[i].distance(positions[j]);
+                    assert!(d <= 2.0 * params().member_radius_m + 1e-9, "pair {i},{j}: {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn members_have_distinct_local_motion() {
+        let mut g = group(3);
+        let mut a = g.spawn_member();
+        let mut b = g.spawn_member();
+        let t = SimTime::from_secs(123);
+        assert_ne!(a.position_at(t), b.position_at(t));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut g1 = group(4);
+        let mut g2 = group(4);
+        let mut a = g1.spawn_member();
+        let mut b = g2.spawn_member();
+        for s in (0..900).step_by(37) {
+            let t = SimTime::from_secs(s);
+            assert_eq!(a.position_at(t), b.position_at(t));
+        }
+    }
+
+    #[test]
+    fn offset_is_continuous_across_updates() {
+        let mut g = group(5);
+        let mut m = g.spawn_member();
+        // Cross an update boundary and check displacement continuity.
+        let period = params().member_update;
+        let before = m.position_at(period - SimTime::MILLISECOND);
+        let at = m.position_at(period);
+        let max_speed = params().max_speed_mps + 2.0 * params().member_radius_m / period.as_secs_f64();
+        assert!(
+            before.distance(at) <= max_speed * 0.001 + 1e-6,
+            "jump at boundary: {}",
+            before.distance(at)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn query_past_horizon_panics() {
+        let mut g = RpgmGroup::new(
+            params(),
+            SimTime::from_secs(10),
+            SeedSplitter::new(6).stream("rpgm-test", 0),
+        );
+        let mut m = g.spawn_member();
+        let _ = m.position_at(SimTime::from_secs(1000));
+    }
+
+    #[test]
+    fn group_velocity_dominates_member_velocity() {
+        // Member velocity = center velocity + small offset drift.
+        let mut g = group(7);
+        let center = Arc::clone(g.center());
+        let mut m = g.spawn_member();
+        let t = SimTime::from_secs(200);
+        let cv = center.sample(t).unwrap().1;
+        let mv = m.velocity_at(t);
+        let drift = (mv - cv).length();
+        let max_drift = 2.0 * params().member_radius_m / params().member_update.as_secs_f64();
+        assert!(drift <= max_drift + 1e-9, "drift {drift} > {max_drift}");
+    }
+}

@@ -1,0 +1,197 @@
+//! Scripted and stationary mobility, used by tests, examples and the
+//! Figure-1 schematic topology.
+
+use mobic_geom::Vec2;
+use mobic_sim::SimTime;
+
+use crate::{Mobility, Trajectory};
+
+/// A node that never moves.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_geom::Vec2;
+/// use mobic_mobility::{Mobility, Stationary};
+/// use mobic_sim::SimTime;
+///
+/// let mut n = Stationary::new(Vec2::new(3.0, 4.0));
+/// assert_eq!(n.position_at(SimTime::from_secs(100)), Vec2::new(3.0, 4.0));
+/// assert_eq!(n.velocity_at(SimTime::ZERO), Vec2::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stationary {
+    position: Vec2,
+}
+
+impl Stationary {
+    /// Creates a stationary node at `position`.
+    #[must_use]
+    pub const fn new(position: Vec2) -> Self {
+        Stationary { position }
+    }
+
+    /// The node's fixed position.
+    #[must_use]
+    pub const fn position(&self) -> Vec2 {
+        self.position
+    }
+}
+
+impl Mobility for Stationary {
+    fn position_at(&mut self, _t: SimTime) -> Vec2 {
+        self.position
+    }
+
+    fn velocity_at(&mut self, _t: SimTime) -> Vec2 {
+        Vec2::ZERO
+    }
+}
+
+/// A scripted trace through explicit timed waypoints; the node moves
+/// in straight lines between consecutive waypoints and stays at the
+/// last waypoint forever after.
+///
+/// This is the test oracle's workhorse: motions with known algebraic
+/// answers (e.g. "approach at exactly 1 m/s") are scripted precisely.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_geom::Vec2;
+/// use mobic_mobility::{Mobility, Waypoints};
+/// use mobic_sim::SimTime;
+///
+/// let mut n = Waypoints::new(
+///     Vec2::ZERO,
+///     vec![
+///         (SimTime::from_secs(10), Vec2::new(10.0, 0.0)),
+///         (SimTime::from_secs(20), Vec2::new(10.0, 10.0)),
+///     ],
+/// );
+/// assert_eq!(n.position_at(SimTime::from_secs(5)), Vec2::new(5.0, 0.0));
+/// assert_eq!(n.position_at(SimTime::from_secs(15)), Vec2::new(10.0, 5.0));
+/// // Holds the last waypoint.
+/// assert_eq!(n.position_at(SimTime::from_secs(99)), Vec2::new(10.0, 10.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Waypoints {
+    traj: Trajectory,
+}
+
+impl Waypoints {
+    /// Creates a trace starting at `origin` (time zero) and passing
+    /// through each `(arrival_time, position)` waypoint in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if waypoint times are not strictly increasing.
+    #[must_use]
+    pub fn new(origin: Vec2, waypoints: Vec<(SimTime, Vec2)>) -> Self {
+        let mut traj = Trajectory::new(origin);
+        for (arrive, pos) in waypoints {
+            let now = traj.horizon();
+            assert!(
+                arrive > now,
+                "waypoint times must be strictly increasing: {arrive} after {now}"
+            );
+            let duration = arrive - now;
+            let from = traj.last_position();
+            if from == pos {
+                traj.push_pause(duration);
+            } else {
+                let speed = from.distance(pos) / duration.as_secs_f64();
+                traj.push_move(pos, speed);
+            }
+        }
+        Waypoints { traj }
+    }
+
+    /// The underlying trajectory.
+    #[must_use]
+    pub fn trajectory(&self) -> &Trajectory {
+        &self.traj
+    }
+}
+
+impl Mobility for Waypoints {
+    fn position_at(&mut self, t: SimTime) -> Vec2 {
+        match self.traj.sample(t) {
+            Some((p, _)) => p,
+            None => self.traj.last_position(),
+        }
+    }
+
+    fn velocity_at(&mut self, t: SimTime) -> Vec2 {
+        match self.traj.sample(t) {
+            Some((_, v)) => v,
+            None => Vec2::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stationary_everywhere() {
+        let mut s = Stationary::new(Vec2::new(-1.0, 2.0));
+        for t in [0, 1, 100, 10_000] {
+            assert_eq!(s.position_at(SimTime::from_secs(t)), Vec2::new(-1.0, 2.0));
+        }
+        assert_eq!(s.position(), Vec2::new(-1.0, 2.0));
+    }
+
+    #[test]
+    fn waypoints_interpolate_linearly() {
+        let mut w = Waypoints::new(
+            Vec2::ZERO,
+            vec![(SimTime::from_secs(4), Vec2::new(8.0, 0.0))],
+        );
+        assert_eq!(w.position_at(SimTime::from_secs(1)), Vec2::new(2.0, 0.0));
+        assert_eq!(w.velocity_at(SimTime::from_secs(1)), Vec2::new(2.0, 0.0));
+    }
+
+    #[test]
+    fn waypoints_with_same_position_pause() {
+        let mut w = Waypoints::new(
+            Vec2::new(5.0, 5.0),
+            vec![
+                (SimTime::from_secs(10), Vec2::new(5.0, 5.0)),
+                (SimTime::from_secs(20), Vec2::new(15.0, 5.0)),
+            ],
+        );
+        assert_eq!(w.position_at(SimTime::from_secs(7)), Vec2::new(5.0, 5.0));
+        assert_eq!(w.velocity_at(SimTime::from_secs(7)), Vec2::ZERO);
+        assert_eq!(w.position_at(SimTime::from_secs(15)), Vec2::new(10.0, 5.0));
+    }
+
+    #[test]
+    fn holds_last_position() {
+        let mut w = Waypoints::new(
+            Vec2::ZERO,
+            vec![(SimTime::from_secs(1), Vec2::new(1.0, 1.0))],
+        );
+        assert_eq!(w.position_at(SimTime::from_secs(100)), Vec2::new(1.0, 1.0));
+        assert_eq!(w.velocity_at(SimTime::from_secs(100)), Vec2::ZERO);
+    }
+
+    #[test]
+    fn empty_waypoint_list_is_stationary() {
+        let mut w = Waypoints::new(Vec2::new(2.0, 3.0), vec![]);
+        assert_eq!(w.position_at(SimTime::from_secs(50)), Vec2::new(2.0, 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_increasing_times_panic() {
+        let _ = Waypoints::new(
+            Vec2::ZERO,
+            vec![
+                (SimTime::from_secs(5), Vec2::new(1.0, 0.0)),
+                (SimTime::from_secs(5), Vec2::new(2.0, 0.0)),
+            ],
+        );
+    }
+}

@@ -1,0 +1,293 @@
+//! Piecewise-linear trajectories.
+
+use mobic_geom::Vec2;
+use mobic_sim::SimTime;
+
+/// One constant-velocity segment of motion: from `start` (time) at
+/// `from` (position), moving with `velocity` until `end`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Leg {
+    /// Start time of the leg (inclusive).
+    pub start: SimTime,
+    /// End time of the leg (exclusive, except for the final leg).
+    pub end: SimTime,
+    /// Position at `start`.
+    pub from: Vec2,
+    /// Constant velocity during the leg (m/s); zero for pauses.
+    pub velocity: Vec2,
+}
+
+impl Leg {
+    /// Position at time `t`, which the caller guarantees lies within
+    /// `[start, end]`.
+    #[must_use]
+    pub fn position_at(&self, t: SimTime) -> Vec2 {
+        debug_assert!(t >= self.start && t <= self.end);
+        let dt = (t - self.start).as_secs_f64();
+        self.from + self.velocity * dt
+    }
+
+    /// Position at the end of the leg.
+    #[must_use]
+    pub fn end_position(&self) -> Vec2 {
+        self.position_at(self.end)
+    }
+
+    /// Leg duration.
+    #[must_use]
+    pub fn duration(&self) -> SimTime {
+        self.end - self.start
+    }
+}
+
+/// A contiguous sequence of [`Leg`]s starting at time zero.
+///
+/// `Trajectory` is the backing store used by all mobility models: they
+/// append legs lazily until the trajectory's [`horizon`](Self::horizon)
+/// covers the queried time. Queries inside the horizon are answered by
+/// binary search, so revisiting past times is cheap and consistent.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_geom::Vec2;
+/// use mobic_mobility::Trajectory;
+/// use mobic_sim::SimTime;
+///
+/// let mut tr = Trajectory::new(Vec2::ZERO);
+/// tr.push_move(Vec2::new(10.0, 0.0), 2.0); // 10 m at 2 m/s = 5 s
+/// tr.push_pause(SimTime::from_secs(3));
+/// assert_eq!(tr.horizon(), SimTime::from_secs(8));
+/// let (p, v) = tr.sample(SimTime::from_secs(2)).unwrap();
+/// assert_eq!(p, Vec2::new(4.0, 0.0));
+/// assert_eq!(v, Vec2::new(2.0, 0.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    origin: Vec2,
+    legs: Vec<Leg>,
+}
+
+impl Trajectory {
+    /// Creates an empty trajectory anchored at `origin` (the position
+    /// for all times until legs are appended).
+    #[must_use]
+    pub fn new(origin: Vec2) -> Self {
+        Trajectory {
+            origin,
+            legs: Vec::new(),
+        }
+    }
+
+    /// The time up to which the trajectory is defined. Queries beyond
+    /// the horizon return `None` from [`sample`](Self::sample).
+    #[must_use]
+    pub fn horizon(&self) -> SimTime {
+        self.legs.last().map_or(SimTime::ZERO, |l| l.end)
+    }
+
+    /// Position at the end of the last leg (where the next leg will
+    /// start).
+    #[must_use]
+    pub fn last_position(&self) -> Vec2 {
+        self.legs.last().map_or(self.origin, Leg::end_position)
+    }
+
+    /// Number of legs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.legs.len()
+    }
+
+    /// `true` if no legs have been appended yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.legs.is_empty()
+    }
+
+    /// The legs, for analyses that need the raw piecewise structure
+    /// (e.g. exact link-lifetime computation).
+    #[must_use]
+    pub fn legs(&self) -> &[Leg] {
+        &self.legs
+    }
+
+    /// Appends a leg moving in a straight line to `to` at `speed` m/s.
+    /// A zero or negative speed, or a zero-length move, appends
+    /// nothing.
+    pub fn push_move(&mut self, to: Vec2, speed: f64) {
+        let from = self.last_position();
+        let dist = from.distance(to);
+        if speed <= 0.0 || dist <= 0.0 {
+            return;
+        }
+        let duration = SimTime::from_secs_f64(dist / speed);
+        if duration.is_zero() {
+            return;
+        }
+        let velocity = (to - from) / duration.as_secs_f64();
+        let start = self.horizon();
+        self.legs.push(Leg {
+            start,
+            end: start + duration,
+            from,
+            velocity,
+        });
+    }
+
+    /// Appends a stationary leg of the given duration. Zero duration
+    /// appends nothing.
+    pub fn push_pause(&mut self, duration: SimTime) {
+        if duration.is_zero() {
+            return;
+        }
+        let start = self.horizon();
+        self.legs.push(Leg {
+            start,
+            end: start + duration,
+            from: self.last_position(),
+            velocity: Vec2::ZERO,
+        });
+    }
+
+    /// Appends a leg with an explicit velocity and duration (used by
+    /// models that think in velocities rather than destinations).
+    /// Zero duration appends nothing.
+    pub fn push_velocity(&mut self, velocity: Vec2, duration: SimTime) {
+        if duration.is_zero() {
+            return;
+        }
+        let start = self.horizon();
+        self.legs.push(Leg {
+            start,
+            end: start + duration,
+            from: self.last_position(),
+            velocity,
+        });
+    }
+
+    /// Position and velocity at `t`, or `None` if `t` is beyond the
+    /// horizon. Times before the first leg report the origin at rest.
+    #[must_use]
+    pub fn sample(&self, t: SimTime) -> Option<(Vec2, Vec2)> {
+        if t > self.horizon() {
+            return None;
+        }
+        if self.legs.is_empty() {
+            // Horizon is ZERO, so t == ZERO here.
+            return Some((self.origin, Vec2::ZERO));
+        }
+        // Find the leg containing t: first leg with end >= t.
+        let idx = self.legs.partition_point(|l| l.end < t);
+        let leg = &self.legs[idx.min(self.legs.len() - 1)];
+        Some((leg.position_at(t), leg.velocity))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trajectory_reports_origin() {
+        let tr = Trajectory::new(Vec2::new(5.0, 5.0));
+        assert!(tr.is_empty());
+        assert_eq!(tr.horizon(), SimTime::ZERO);
+        assert_eq!(tr.last_position(), Vec2::new(5.0, 5.0));
+        assert_eq!(tr.sample(SimTime::ZERO), Some((Vec2::new(5.0, 5.0), Vec2::ZERO)));
+        assert_eq!(tr.sample(SimTime::MICROSECOND), None);
+    }
+
+    #[test]
+    fn move_leg_midpoint() {
+        let mut tr = Trajectory::new(Vec2::ZERO);
+        tr.push_move(Vec2::new(20.0, 0.0), 4.0); // 5 s
+        assert_eq!(tr.horizon(), SimTime::from_secs(5));
+        let (p, v) = tr.sample(SimTime::from_millis(2500)).unwrap();
+        assert!(p.approx_eq(Vec2::new(10.0, 0.0)));
+        assert!(v.approx_eq(Vec2::new(4.0, 0.0)));
+    }
+
+    #[test]
+    fn pause_then_move_continuity() {
+        let mut tr = Trajectory::new(Vec2::new(1.0, 1.0));
+        tr.push_pause(SimTime::from_secs(10));
+        tr.push_move(Vec2::new(1.0, 11.0), 1.0);
+        // During pause.
+        let (p, v) = tr.sample(SimTime::from_secs(5)).unwrap();
+        assert_eq!(p, Vec2::new(1.0, 1.0));
+        assert_eq!(v, Vec2::ZERO);
+        // End position.
+        let (p, _) = tr.sample(SimTime::from_secs(20)).unwrap();
+        assert!(p.approx_eq(Vec2::new(1.0, 11.0)));
+        assert_eq!(tr.len(), 2);
+    }
+
+    #[test]
+    fn boundary_between_legs_is_continuous() {
+        let mut tr = Trajectory::new(Vec2::ZERO);
+        tr.push_move(Vec2::new(10.0, 0.0), 1.0); // ends at t=10
+        tr.push_move(Vec2::new(10.0, 10.0), 2.0); // ends at t=15
+        let t = SimTime::from_secs(10);
+        let (p, _) = tr.sample(t).unwrap();
+        assert!(p.approx_eq(Vec2::new(10.0, 0.0)));
+        // Just after the breakpoint, moving up.
+        let (p2, v2) = tr.sample(t + SimTime::MILLISECOND).unwrap();
+        assert!(p2.y > 0.0);
+        assert!(v2.approx_eq(Vec2::new(0.0, 2.0)));
+    }
+
+    #[test]
+    fn zero_speed_and_zero_distance_moves_ignored() {
+        let mut tr = Trajectory::new(Vec2::ZERO);
+        tr.push_move(Vec2::new(5.0, 0.0), 0.0);
+        tr.push_move(Vec2::ZERO, 3.0);
+        tr.push_pause(SimTime::ZERO);
+        assert!(tr.is_empty());
+    }
+
+    #[test]
+    fn velocity_legs() {
+        let mut tr = Trajectory::new(Vec2::ZERO);
+        tr.push_velocity(Vec2::new(1.0, -1.0), SimTime::from_secs(4));
+        let (p, v) = tr.sample(SimTime::from_secs(4)).unwrap();
+        assert!(p.approx_eq(Vec2::new(4.0, -4.0)));
+        assert_eq!(v, Vec2::new(1.0, -1.0));
+        assert_eq!(tr.last_position(), p);
+    }
+
+    #[test]
+    fn sample_beyond_horizon_is_none() {
+        let mut tr = Trajectory::new(Vec2::ZERO);
+        tr.push_pause(SimTime::from_secs(1));
+        assert!(tr.sample(SimTime::from_secs(1)).is_some());
+        assert!(tr.sample(SimTime::from_micros(1_000_001)).is_none());
+    }
+
+    #[test]
+    fn many_legs_binary_search() {
+        let mut tr = Trajectory::new(Vec2::ZERO);
+        for i in 0..100 {
+            tr.push_move(Vec2::new((i + 1) as f64, 0.0), 1.0);
+        }
+        assert_eq!(tr.len(), 100);
+        assert_eq!(tr.horizon(), SimTime::from_secs(100));
+        for i in 0..100 {
+            let (p, _) = tr.sample(SimTime::from_millis(i * 1000 + 500)).unwrap();
+            assert!((p.x - (i as f64 + 0.5)).abs() < 1e-9, "i={i} p={p}");
+        }
+    }
+
+    #[test]
+    fn leg_helpers() {
+        let leg = Leg {
+            start: SimTime::from_secs(1),
+            end: SimTime::from_secs(3),
+            from: Vec2::ZERO,
+            velocity: Vec2::new(2.0, 0.0),
+        };
+        assert_eq!(leg.duration(), SimTime::from_secs(2));
+        assert!(leg.end_position().approx_eq(Vec2::new(4.0, 0.0)));
+        assert!(leg.position_at(SimTime::from_secs(2)).approx_eq(Vec2::new(2.0, 0.0)));
+    }
+}

@@ -1,0 +1,37 @@
+//! MANET network layer: hello protocol primitives, neighbor tables
+//! with received-power tracking, packet-loss models, and the broadcast
+//! delivery engine.
+//!
+//! This crate models exactly the slice of ns-2 the paper relies on:
+//!
+//! * every node periodically broadcasts a **"Hello" / "I'm Alive"**
+//!   message carrying its aggregate mobility metric (8 bytes of extra
+//!   payload — see [`Hello`]);
+//! * a receiving node measures the **received power** (`RxPr`) of each
+//!   successfully received hello and stores the last two measurements
+//!   per neighbor in its [`NeighborTable`] — the raw material of the
+//!   MOBIC metric;
+//! * entries expire after the **Timeout Period** (`TP`, 3 s in
+//!   Table 1) without a fresh hello;
+//! * optional [`loss`] models (Bernoulli, Gilbert–Elliott burst loss)
+//!   let robustness experiments inject MAC-level packet loss. The
+//!   paper itself considers only MAC-successful receptions, which is
+//!   the default ([`loss::NoLoss`]).
+//!
+//! The crate is deliberately independent of the clustering layer: the
+//! hello payload is a type parameter, so `mobic-core` defines its own
+//! advert structure without a dependency cycle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod delivery;
+mod ident;
+pub mod loss;
+mod neighbor;
+mod packet;
+
+pub use delivery::{Delivery, DeliveryEngine};
+pub use ident::NodeId;
+pub use neighbor::{NeighborEntry, NeighborTable, PowerSample};
+pub use packet::Hello;

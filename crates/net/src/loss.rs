@@ -1,0 +1,284 @@
+//! Packet-loss models.
+//!
+//! The paper counts only MAC-successful receptions and its hello load
+//! is far below channel saturation, so the faithful default is
+//! [`NoLoss`]. The stochastic models here drive the robustness
+//! ablations: how does the mobility metric — which needs *two
+//! successive* receptions per neighbor — degrade when hellos drop?
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+
+use mobic_sim::SimTime;
+
+use crate::NodeId;
+
+/// Decides, per transmitted packet and receiver, whether the packet
+/// survives the channel/MAC (beyond deterministic range filtering,
+/// which the delivery engine already applies).
+pub trait LossModel {
+    /// Returns `true` if the packet from `tx` is delivered to `rx`
+    /// at time `at`.
+    fn delivered(&mut self, tx: NodeId, rx: NodeId, at: SimTime) -> bool;
+}
+
+impl<L: LossModel + ?Sized> LossModel for Box<L> {
+    fn delivered(&mut self, tx: NodeId, rx: NodeId, at: SimTime) -> bool {
+        (**self).delivered(tx, rx, at)
+    }
+}
+
+impl<L: LossModel + ?Sized> LossModel for &mut L {
+    fn delivered(&mut self, tx: NodeId, rx: NodeId, at: SimTime) -> bool {
+        (**self).delivered(tx, rx, at)
+    }
+}
+
+/// Perfect channel — every in-range packet is delivered. The paper's
+/// operating assumption.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoLoss;
+
+impl LossModel for NoLoss {
+    fn delivered(&mut self, _tx: NodeId, _rx: NodeId, _at: SimTime) -> bool {
+        true
+    }
+}
+
+/// Independent (Bernoulli) loss: each packet is dropped with
+/// probability `p`, independently across packets and links.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_net::{loss::{Bernoulli, LossModel}, NodeId};
+/// use mobic_sim::{rng::SeedSplitter, SimTime};
+///
+/// let mut m = Bernoulli::new(0.5, SeedSplitter::new(1).stream("loss", 0));
+/// let mut delivered = 0;
+/// for i in 0..1000 {
+///     if m.delivered(NodeId::new(0), NodeId::new(1), SimTime::from_secs(i)) {
+///         delivered += 1;
+///     }
+/// }
+/// assert!(delivered > 400 && delivered < 600);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bernoulli {
+    p_loss: f64,
+    rng: ChaCha12Rng,
+}
+
+impl Bernoulli {
+    /// Creates the model with loss probability `p_loss ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_loss` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(p_loss: f64, rng: ChaCha12Rng) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p_loss),
+            "loss probability must be in [0, 1], got {p_loss}"
+        );
+        Bernoulli { p_loss, rng }
+    }
+
+    /// The loss probability.
+    #[must_use]
+    pub fn p_loss(&self) -> f64 {
+        self.p_loss
+    }
+}
+
+impl LossModel for Bernoulli {
+    fn delivered(&mut self, _tx: NodeId, _rx: NodeId, _at: SimTime) -> bool {
+        self.rng.gen::<f64>() >= self.p_loss
+    }
+}
+
+/// Gilbert–Elliott two-state burst-loss model, with independent state
+/// per directed link.
+///
+/// Each link is either *Good* (loss probability `loss_good`) or *Bad*
+/// (loss probability `loss_bad`); at every packet the link first
+/// transitions Good→Bad with probability `p_gb` or Bad→Good with
+/// probability `p_bg`. Bursty loss is the worst case for the
+/// "two successive hellos" requirement, making this the stress model
+/// for the MOBIC metric.
+#[derive(Debug, Clone)]
+pub struct GilbertElliott {
+    p_gb: f64,
+    p_bg: f64,
+    loss_good: f64,
+    loss_bad: f64,
+    rng: ChaCha12Rng,
+    bad: HashMap<(NodeId, NodeId), bool>,
+}
+
+impl GilbertElliott {
+    /// Creates the model. All probabilities must lie in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(p_gb: f64, p_bg: f64, loss_good: f64, loss_bad: f64, rng: ChaCha12Rng) -> Self {
+        for (name, p) in [
+            ("p_gb", p_gb),
+            ("p_bg", p_bg),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be in [0, 1], got {p}");
+        }
+        GilbertElliott {
+            p_gb,
+            p_bg,
+            loss_good,
+            loss_bad,
+            rng,
+            bad: HashMap::new(),
+        }
+    }
+
+    /// A typical mildly bursty configuration: 2% chance of entering a
+    /// bad burst, 30% chance of leaving it, lossless when good, 80%
+    /// loss when bad.
+    #[must_use]
+    pub fn mildly_bursty(rng: ChaCha12Rng) -> Self {
+        Self::new(0.02, 0.3, 0.0, 0.8, rng)
+    }
+}
+
+impl LossModel for GilbertElliott {
+    fn delivered(&mut self, tx: NodeId, rx: NodeId, _at: SimTime) -> bool {
+        let state = self.bad.entry((tx, rx)).or_insert(false);
+        // Transition first, then sample loss in the new state.
+        let flip: f64 = self.rng.gen();
+        if *state {
+            if flip < self.p_bg {
+                *state = false;
+            }
+        } else if flip < self.p_gb {
+            *state = true;
+        }
+        let loss = if *state { self.loss_bad } else { self.loss_good };
+        self.rng.gen::<f64>() >= loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobic_sim::rng::SeedSplitter;
+
+    fn rng(i: u64) -> ChaCha12Rng {
+        SeedSplitter::new(31).stream("loss-test", i)
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn no_loss_always_delivers() {
+        let mut m = NoLoss;
+        for i in 0..100 {
+            assert!(m.delivered(n(0), n(1), SimTime::from_secs(i)));
+        }
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut never = Bernoulli::new(1.0, rng(0));
+        let mut always = Bernoulli::new(0.0, rng(1));
+        for i in 0..100 {
+            assert!(!never.delivered(n(0), n(1), SimTime::from_secs(i)));
+            assert!(always.delivered(n(0), n(1), SimTime::from_secs(i)));
+        }
+    }
+
+    #[test]
+    fn bernoulli_rate_matches_p() {
+        let mut m = Bernoulli::new(0.2, rng(2));
+        let trials = 20_000;
+        let delivered = (0..trials)
+            .filter(|&i| m.delivered(n(0), n(1), SimTime::from_secs(i)))
+            .count();
+        let rate = delivered as f64 / trials as f64;
+        assert!((rate - 0.8).abs() < 0.01, "rate {rate}");
+        assert_eq!(m.p_loss(), 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 1]")]
+    fn bernoulli_rejects_bad_probability() {
+        let _ = Bernoulli::new(1.5, rng(0));
+    }
+
+    #[test]
+    fn gilbert_elliott_produces_bursts() {
+        let mut m = GilbertElliott::new(0.05, 0.2, 0.0, 1.0, rng(3));
+        // Count the longest loss run; with full loss in bad state and
+        // expected bad-state dwell of 5 packets, runs of >= 3 are
+        // overwhelmingly likely across 10k packets.
+        let mut longest = 0;
+        let mut run = 0;
+        for i in 0..10_000 {
+            if m.delivered(n(0), n(1), SimTime::from_secs(i)) {
+                run = 0;
+            } else {
+                run += 1;
+                longest = longest.max(run);
+            }
+        }
+        assert!(longest >= 3, "longest loss burst {longest}");
+    }
+
+    #[test]
+    fn gilbert_elliott_links_are_independent() {
+        let mut m = GilbertElliott::new(0.5, 0.01, 0.0, 1.0, rng(4));
+        // Drive link (0,1) into the bad state; link (2,3) should still
+        // deliver at its own statistics, not inherit the state.
+        let mut link_a = 0;
+        let mut link_b = 0;
+        for i in 0..2000 {
+            if m.delivered(n(0), n(1), SimTime::from_secs(i)) {
+                link_a += 1;
+            }
+            if m.delivered(n(2), n(3), SimTime::from_secs(i)) {
+                link_b += 1;
+            }
+        }
+        // Both settle near the stationary rate; equality of fate would
+        // show up as perfectly correlated counts. Just check both saw
+        // some deliveries and some losses.
+        for (name, v) in [("a", link_a), ("b", link_b)] {
+            assert!(v > 0 && v < 2000, "link {name}: {v}");
+        }
+    }
+
+    #[test]
+    fn gilbert_elliott_good_state_lossless_config() {
+        let mut m = GilbertElliott::new(0.0, 1.0, 0.0, 1.0, rng(5));
+        // p_gb = 0: never leaves Good; loss_good = 0: no loss at all.
+        for i in 0..500 {
+            assert!(m.delivered(n(0), n(1), SimTime::from_secs(i)));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Bernoulli::new(0.3, rng(6));
+        let mut b = Bernoulli::new(0.3, rng(6));
+        for i in 0..200 {
+            assert_eq!(
+                a.delivered(n(0), n(1), SimTime::from_secs(i)),
+                b.delivered(n(0), n(1), SimTime::from_secs(i))
+            );
+        }
+    }
+}

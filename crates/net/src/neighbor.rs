@@ -1,0 +1,303 @@
+//! Neighbor tables with received-power history.
+
+use std::collections::BTreeMap;
+
+use mobic_radio::Dbm;
+use mobic_sim::SimTime;
+
+use crate::{Hello, NodeId};
+
+/// One timestamped received-power measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSample {
+    /// When the hello was received.
+    pub at: SimTime,
+    /// Received power (`RxPr`).
+    pub power: Dbm,
+    /// The sender's sequence number of that hello.
+    pub seq: u64,
+}
+
+/// Everything a node knows about one neighbor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeighborEntry<P> {
+    /// Most recent measurement.
+    pub last: PowerSample,
+    /// The measurement before that, if any.
+    pub prev: Option<PowerSample>,
+    /// Payload of the most recent hello (the neighbor's advert).
+    pub payload: P,
+}
+
+impl<P> NeighborEntry<P> {
+    /// The last two measurements, **only if** they came from
+    /// consecutive sequence numbers — the paper's "two successive
+    /// transmissions" requirement. A lost hello in between makes the
+    /// pair non-successive and the neighbor is excluded from the
+    /// mobility-metric calculation until two fresh back-to-back hellos
+    /// arrive.
+    #[must_use]
+    pub fn successive_pair(&self) -> Option<(PowerSample, PowerSample)> {
+        let prev = self.prev?;
+        (self.last.seq == prev.seq + 1).then_some((prev, self.last))
+    }
+}
+
+/// A node's view of its 1-hop neighborhood.
+///
+/// Records each successfully received [`Hello`] together with its
+/// measured received power, keeps the last two power samples per
+/// neighbor, and expires entries that miss hellos for longer than the
+/// timeout period (`TP` in Table 1).
+///
+/// Iteration order is by [`NodeId`] (a `BTreeMap`), which keeps every
+/// downstream computation deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_net::{Hello, NeighborTable, NodeId};
+/// use mobic_radio::Dbm;
+/// use mobic_sim::SimTime;
+///
+/// let mut table: NeighborTable<f64> = NeighborTable::new(SimTime::from_secs(3));
+/// let t0 = SimTime::from_secs(10);
+/// table.record(t0, Dbm::new(-60.0), &Hello { sender: NodeId::new(2), seq: 5, payload: 0.1 });
+/// table.record(t0 + SimTime::from_secs(2), Dbm::new(-58.0),
+///              &Hello { sender: NodeId::new(2), seq: 6, payload: 0.2 });
+/// let entry = table.get(NodeId::new(2)).unwrap();
+/// let (old, new) = entry.successive_pair().unwrap();
+/// assert!(new.power > old.power); // neighbor approaching
+/// ```
+#[derive(Debug, Clone)]
+pub struct NeighborTable<P> {
+    timeout: SimTime,
+    entries: BTreeMap<NodeId, NeighborEntry<P>>,
+}
+
+impl<P> NeighborTable<P> {
+    /// Creates an empty table with the given entry timeout (`TP`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `timeout` is zero.
+    #[must_use]
+    pub fn new(timeout: SimTime) -> Self {
+        assert!(!timeout.is_zero(), "neighbor timeout must be positive");
+        NeighborTable {
+            timeout,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The configured timeout period.
+    #[must_use]
+    pub fn timeout(&self) -> SimTime {
+        self.timeout
+    }
+
+    /// Records a successfully received hello with its measured power.
+    /// Out-of-order or duplicate receptions (sequence number not
+    /// greater than the last recorded one) are ignored.
+    pub fn record(&mut self, at: SimTime, power: Dbm, hello: &Hello<P>)
+    where
+        P: Clone,
+    {
+        let sample = PowerSample {
+            at,
+            power,
+            seq: hello.seq,
+        };
+        match self.entries.get_mut(&hello.sender) {
+            Some(e) => {
+                if hello.seq <= e.last.seq {
+                    return;
+                }
+                e.prev = Some(e.last);
+                e.last = sample;
+                e.payload = hello.payload.clone();
+            }
+            None => {
+                self.entries.insert(
+                    hello.sender,
+                    NeighborEntry {
+                        last: sample,
+                        prev: None,
+                        payload: hello.payload.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Removes entries whose last hello is older than the timeout
+    /// relative to `now`, returning the expired neighbor ids.
+    pub fn expire(&mut self, now: SimTime) -> Vec<NodeId> {
+        let timeout = self.timeout;
+        let dead: Vec<NodeId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| now.saturating_sub(e.last.at) > timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &dead {
+            self.entries.remove(id);
+        }
+        dead
+    }
+
+    /// The entry for `id`, if present.
+    #[must_use]
+    pub fn get(&self, id: NodeId) -> Option<&NeighborEntry<P>> {
+        self.entries.get(&id)
+    }
+
+    /// `true` if `id` is currently a (non-expired) neighbor.
+    #[must_use]
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// Number of live neighbors — the node's *degree*, the weight of
+    /// the max-connectivity baseline algorithm.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the table is empty (an isolated node).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(id, entry)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &NeighborEntry<P>)> {
+        self.entries.iter().map(|(&id, e)| (id, e))
+    }
+
+    /// Removes a specific neighbor (used by tests and by explicit
+    /// link-failure injection).
+    pub fn remove(&mut self, id: NodeId) -> Option<NeighborEntry<P>> {
+        self.entries.remove(&id)
+    }
+
+    /// Drops all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hello(sender: u32, seq: u64, payload: f64) -> Hello<f64> {
+        Hello {
+            sender: NodeId::new(sender),
+            seq,
+            payload,
+        }
+    }
+
+    fn table() -> NeighborTable<f64> {
+        NeighborTable::new(SimTime::from_secs(3))
+    }
+
+    #[test]
+    fn record_first_hello() {
+        let mut t = table();
+        t.record(SimTime::from_secs(1), Dbm::new(-70.0), &hello(1, 0, 0.5));
+        let e = t.get(NodeId::new(1)).unwrap();
+        assert_eq!(e.last.power, Dbm::new(-70.0));
+        assert_eq!(e.payload, 0.5);
+        assert!(e.prev.is_none());
+        assert!(e.successive_pair().is_none());
+        assert_eq!(t.degree(), 1);
+    }
+
+    #[test]
+    fn successive_pair_requires_consecutive_seq() {
+        let mut t = table();
+        t.record(SimTime::from_secs(1), Dbm::new(-70.0), &hello(1, 0, 0.0));
+        t.record(SimTime::from_secs(3), Dbm::new(-68.0), &hello(1, 1, 0.0));
+        assert!(t.get(NodeId::new(1)).unwrap().successive_pair().is_some());
+        // A gap (lost hello) breaks successiveness.
+        t.record(SimTime::from_secs(7), Dbm::new(-66.0), &hello(1, 3, 0.0));
+        assert!(t.get(NodeId::new(1)).unwrap().successive_pair().is_none());
+        // Recovers after the next back-to-back pair.
+        t.record(SimTime::from_secs(9), Dbm::new(-65.0), &hello(1, 4, 0.0));
+        let (old, new) = t.get(NodeId::new(1)).unwrap().successive_pair().unwrap();
+        assert_eq!(old.seq, 3);
+        assert_eq!(new.seq, 4);
+    }
+
+    #[test]
+    fn duplicate_and_stale_sequences_ignored() {
+        let mut t = table();
+        t.record(SimTime::from_secs(1), Dbm::new(-70.0), &hello(1, 5, 1.0));
+        t.record(SimTime::from_secs(2), Dbm::new(-60.0), &hello(1, 5, 2.0));
+        t.record(SimTime::from_secs(3), Dbm::new(-50.0), &hello(1, 4, 3.0));
+        let e = t.get(NodeId::new(1)).unwrap();
+        assert_eq!(e.last.seq, 5);
+        assert_eq!(e.last.power, Dbm::new(-70.0));
+        assert_eq!(e.payload, 1.0);
+    }
+
+    #[test]
+    fn payload_tracks_latest() {
+        let mut t = table();
+        t.record(SimTime::from_secs(1), Dbm::new(-70.0), &hello(1, 0, 0.1));
+        t.record(SimTime::from_secs(3), Dbm::new(-70.0), &hello(1, 1, 0.9));
+        assert_eq!(t.get(NodeId::new(1)).unwrap().payload, 0.9);
+    }
+
+    #[test]
+    fn expiry_after_timeout() {
+        let mut t = table();
+        t.record(SimTime::from_secs(1), Dbm::new(-70.0), &hello(1, 0, 0.0));
+        t.record(SimTime::from_secs(2), Dbm::new(-70.0), &hello(2, 0, 0.0));
+        // At t=4.5: n1 last seen 3.5s ago > TP=3 → expires; n2 (2.5s) survives.
+        let dead = t.expire(SimTime::from_secs_f64(4.5));
+        assert_eq!(dead, vec![NodeId::new(1)]);
+        assert!(!t.contains(NodeId::new(1)));
+        assert!(t.contains(NodeId::new(2)));
+    }
+
+    #[test]
+    fn expiry_boundary_is_exclusive() {
+        let mut t = table();
+        t.record(SimTime::from_secs(1), Dbm::new(-70.0), &hello(1, 0, 0.0));
+        // Exactly TP later: not expired (age must *exceed* TP).
+        assert!(t.expire(SimTime::from_secs(4)).is_empty());
+        assert!(t.contains(NodeId::new(1)));
+        assert_eq!(t.expire(SimTime::from_micros(4_000_001)), vec![NodeId::new(1)]);
+    }
+
+    #[test]
+    fn iteration_in_id_order() {
+        let mut t = table();
+        for id in [5, 1, 3] {
+            t.record(SimTime::from_secs(1), Dbm::new(-70.0), &hello(id, 0, 0.0));
+        }
+        let ids: Vec<u32> = t.iter().map(|(id, _)| id.value()).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut t = table();
+        t.record(SimTime::from_secs(1), Dbm::new(-70.0), &hello(1, 0, 0.0));
+        t.record(SimTime::from_secs(1), Dbm::new(-70.0), &hello(2, 0, 0.0));
+        assert!(t.remove(NodeId::new(1)).is_some());
+        assert!(t.remove(NodeId::new(1)).is_none());
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_timeout_panics() {
+        let _: NeighborTable<()> = NeighborTable::new(SimTime::ZERO);
+    }
+}

@@ -1,0 +1,125 @@
+//! Model-based property test of the neighbor table: drive it with
+//! random operation sequences and compare against a simple reference
+//! model at every step.
+
+use std::collections::BTreeMap;
+
+use mobic_net::{Hello, NeighborTable, NodeId};
+use mobic_radio::Dbm;
+use mobic_sim::SimTime;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Record a hello from neighbor `id` with the sequence offset
+    /// determining freshness (new > last → accepted).
+    Record { id: u32, seq: u64, power_db: i32 },
+    /// Advance time by `ds` seconds and expire.
+    Expire { ds: u8 },
+    /// Remove a neighbor explicitly.
+    Remove { id: u32 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..6, 0u64..12, -90i32..-30).prop_map(|(id, seq, power_db)| Op::Record {
+            id,
+            seq,
+            power_db,
+        }),
+        (0u8..8).prop_map(|ds| Op::Expire { ds }),
+        (0u32..6).prop_map(|id| Op::Remove { id }),
+    ]
+}
+
+/// One accepted reception in the reference model.
+type Sample = (u64, SimTime, i32);
+
+/// The reference model: last accepted sample + the previous one per
+/// neighbor.
+#[derive(Debug, Default, Clone)]
+struct Model {
+    entries: BTreeMap<u32, (Sample, Option<Sample>)>,
+}
+
+impl Model {
+    fn record(&mut self, at: SimTime, id: u32, seq: u64, power_db: i32) {
+        match self.entries.get_mut(&id) {
+            Some((last, prev)) => {
+                if seq > last.0 {
+                    *prev = Some(*last);
+                    *last = (seq, at, power_db);
+                }
+            }
+            None => {
+                self.entries.insert(id, ((seq, at, power_db), None));
+            }
+        }
+    }
+
+    fn expire(&mut self, now: SimTime, timeout: SimTime) {
+        self.entries
+            .retain(|_, (last, _)| now.saturating_sub(last.1) <= timeout);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn table_matches_reference_model(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let timeout = SimTime::from_secs(3);
+        let mut table: NeighborTable<u64> = NeighborTable::new(timeout);
+        let mut model = Model::default();
+        let mut now = SimTime::from_secs(1);
+
+        for op in ops {
+            match op {
+                Op::Record { id, seq, power_db } => {
+                    table.record(
+                        now,
+                        Dbm::new(f64::from(power_db)),
+                        &Hello { sender: NodeId::new(id), seq, payload: seq },
+                    );
+                    model.record(now, id, seq, power_db);
+                }
+                Op::Expire { ds } => {
+                    now += SimTime::from_secs(u64::from(ds));
+                    let dead = table.expire(now);
+                    let before: Vec<u32> = model.entries.keys().copied().collect();
+                    model.expire(now, timeout);
+                    let after: Vec<u32> = model.entries.keys().copied().collect();
+                    let expected_dead: Vec<u32> =
+                        before.into_iter().filter(|k| !after.contains(k)).collect();
+                    let got_dead: Vec<u32> = dead.iter().map(|d| d.value()).collect();
+                    prop_assert_eq!(got_dead, expected_dead);
+                }
+                Op::Remove { id } => {
+                    let was = table.remove(NodeId::new(id)).is_some();
+                    let expected = model.entries.remove(&id).is_some();
+                    prop_assert_eq!(was, expected);
+                }
+            }
+            // Full-state comparison after every operation.
+            prop_assert_eq!(table.degree(), model.entries.len());
+            for (&id, (last, prev)) in &model.entries {
+                let entry = table.get(NodeId::new(id)).expect("model says present");
+                prop_assert_eq!(entry.last.seq, last.0);
+                prop_assert_eq!(entry.last.at, last.1);
+                prop_assert_eq!(entry.last.power, Dbm::new(f64::from(last.2)));
+                prop_assert_eq!(entry.payload, last.0, "payload tracks latest accepted hello");
+                match (entry.prev, prev) {
+                    (Some(p), Some(m)) => {
+                        prop_assert_eq!(p.seq, m.0);
+                        prop_assert_eq!(p.at, m.1);
+                    }
+                    (None, None) => {}
+                    (got, want) => prop_assert!(false, "prev mismatch: {got:?} vs {want:?}"),
+                }
+                // successive_pair iff consecutive sequence numbers.
+                let expect_pair = prev.map(|m| m.0 + 1 == last.0).unwrap_or(false);
+                prop_assert_eq!(entry.successive_pair().is_some(), expect_pair);
+            }
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Strongly typed power and ratio units.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An absolute power level in dBm (decibels relative to 1 mW).
+///
+/// Adding a [`Db`] ratio to a `Dbm` yields another `Dbm`; subtracting
+/// two `Dbm` values yields the [`Db`] ratio between them — exactly the
+/// arithmetic of link budgets.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_radio::{Db, Dbm, Milliwatts};
+///
+/// let tx = Dbm::new(20.0);             // 100 mW
+/// let path_loss = Db::new(80.0);
+/// let rx = tx - path_loss;             // -60 dBm
+/// assert_eq!(rx, Dbm::new(-60.0));
+/// assert!((Milliwatts::from(tx).value() - 100.0).abs() < 1e-9);
+/// assert_eq!(tx - rx, path_loss);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Dbm(f64);
+
+impl Dbm {
+    /// Creates a power level from a dBm value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN. (±∞ is allowed: −∞ dBm is zero power.)
+    #[must_use]
+    pub fn new(value: f64) -> Self {
+        assert!(!value.is_nan(), "power level cannot be NaN");
+        Dbm(value)
+    }
+
+    /// The raw dBm value.
+    #[must_use]
+    pub const fn dbm(self) -> f64 {
+        self.0
+    }
+
+    /// Converts from linear milliwatts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mw` is negative or NaN.
+    #[must_use]
+    pub fn from_milliwatts(mw: f64) -> Self {
+        assert!(mw >= 0.0 && !mw.is_nan(), "power must be non-negative, got {mw}");
+        Dbm(10.0 * mw.log10())
+    }
+
+    /// Converts to linear milliwatts.
+    #[must_use]
+    pub fn to_milliwatts(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// Converts from linear watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is negative or NaN.
+    #[must_use]
+    pub fn from_watts(w: f64) -> Self {
+        Self::from_milliwatts(w * 1000.0)
+    }
+
+    /// Converts to linear watts.
+    #[must_use]
+    pub fn to_watts(self) -> f64 {
+        self.to_milliwatts() / 1000.0
+    }
+}
+
+impl fmt::Display for Dbm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} dBm", self.0)
+    }
+}
+
+impl Sub for Dbm {
+    type Output = Db;
+    fn sub(self, rhs: Dbm) -> Db {
+        Db::new(self.0 - rhs.0)
+    }
+}
+
+impl Add<Db> for Dbm {
+    type Output = Dbm;
+    fn add(self, rhs: Db) -> Dbm {
+        Dbm::new(self.0 + rhs.db())
+    }
+}
+
+impl Sub<Db> for Dbm {
+    type Output = Dbm;
+    fn sub(self, rhs: Db) -> Dbm {
+        Dbm::new(self.0 - rhs.db())
+    }
+}
+
+/// A power *ratio* (gain or loss) in decibels.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_radio::Db;
+///
+/// let g = Db::from_linear(100.0);
+/// assert_eq!(g, Db::new(20.0));
+/// assert!((g.to_linear() - 100.0).abs() < 1e-9);
+/// assert_eq!(g + Db::new(3.0), Db::new(23.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Db(f64);
+
+impl Db {
+    /// Zero ratio (unity gain).
+    pub const ZERO: Db = Db(0.0);
+
+    /// Creates a ratio from a dB value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    #[must_use]
+    pub fn new(value: f64) -> Self {
+        assert!(!value.is_nan(), "dB ratio cannot be NaN");
+        Db(value)
+    }
+
+    /// The raw dB value.
+    #[must_use]
+    pub const fn db(self) -> f64 {
+        self.0
+    }
+
+    /// Converts a linear power ratio to dB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is negative or NaN.
+    #[must_use]
+    pub fn from_linear(ratio: f64) -> Self {
+        assert!(ratio >= 0.0 && !ratio.is_nan(), "ratio must be non-negative");
+        Db(10.0 * ratio.log10())
+    }
+
+    /// Converts to a linear power ratio.
+    #[must_use]
+    pub fn to_linear(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+}
+
+impl fmt::Display for Db {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} dB", self.0)
+    }
+}
+
+impl Add for Db {
+    type Output = Db;
+    fn add(self, rhs: Db) -> Db {
+        Db::new(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Db {
+    fn add_assign(&mut self, rhs: Db) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Db {
+    type Output = Db;
+    fn sub(self, rhs: Db) -> Db {
+        Db::new(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Db {
+    fn sub_assign(&mut self, rhs: Db) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for Db {
+    type Output = Db;
+    fn neg(self) -> Db {
+        Db::new(-self.0)
+    }
+}
+
+/// Linear power in milliwatts; mostly a conversion helper so call
+/// sites read unambiguously.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_radio::{Dbm, Milliwatts};
+/// let p = Milliwatts::new(200.0);
+/// let dbm: Dbm = p.into();
+/// assert!((dbm.dbm() - 23.0103).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Milliwatts(f64);
+
+impl Milliwatts {
+    /// Creates a linear power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if negative or NaN.
+    #[must_use]
+    pub fn new(mw: f64) -> Self {
+        assert!(mw >= 0.0 && !mw.is_nan(), "power must be non-negative");
+        Milliwatts(mw)
+    }
+
+    /// The value in milliwatts.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl From<Dbm> for Milliwatts {
+    fn from(d: Dbm) -> Self {
+        Milliwatts(d.to_milliwatts())
+    }
+}
+
+impl From<Milliwatts> for Dbm {
+    fn from(m: Milliwatts) -> Self {
+        Dbm::from_milliwatts(m.0)
+    }
+}
+
+impl fmt::Display for Milliwatts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} mW", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbm_milliwatt_roundtrip() {
+        for mw in [0.001, 1.0, 100.0, 281.8] {
+            let d = Dbm::from_milliwatts(mw);
+            assert!((d.to_milliwatts() - mw).abs() < 1e-9 * mw.max(1.0));
+        }
+    }
+
+    #[test]
+    fn reference_points() {
+        assert_eq!(Dbm::from_milliwatts(1.0), Dbm::new(0.0));
+        assert!((Dbm::from_milliwatts(2.0).dbm() - 3.0103).abs() < 1e-3);
+        assert_eq!(Dbm::from_watts(1.0), Dbm::new(30.0));
+    }
+
+    #[test]
+    fn zero_power_is_negative_infinity() {
+        let z = Dbm::from_milliwatts(0.0);
+        assert_eq!(z.dbm(), f64::NEG_INFINITY);
+        assert_eq!(z.to_milliwatts(), 0.0);
+    }
+
+    #[test]
+    fn link_budget_arithmetic() {
+        let tx = Dbm::new(24.5);
+        let pl = Db::new(100.0);
+        let gain = Db::new(2.0);
+        let rx = tx - pl + gain;
+        assert!((rx.dbm() - -73.5).abs() < 1e-12);
+        assert_eq!(tx - rx, Db::new(98.0));
+    }
+
+    #[test]
+    fn db_linear_roundtrip() {
+        for r in [0.5, 1.0, 2.0, 1e6] {
+            let d = Db::from_linear(r);
+            assert!((d.to_linear() - r).abs() < 1e-9 * r);
+        }
+        assert_eq!(Db::from_linear(10.0), Db::new(10.0));
+        assert_eq!(-Db::new(3.0), Db::new(-3.0));
+    }
+
+    #[test]
+    fn db_add_sub_assign() {
+        let mut d = Db::new(10.0);
+        d += Db::new(5.0);
+        assert_eq!(d, Db::new(15.0));
+        d -= Db::new(20.0);
+        assert_eq!(d, Db::new(-5.0));
+    }
+
+    #[test]
+    fn milliwatts_conversions() {
+        let m = Milliwatts::new(100.0);
+        let d: Dbm = m.into();
+        assert_eq!(d, Dbm::new(20.0));
+        let back: Milliwatts = d.into();
+        assert!((back.value() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_dbm_panics() {
+        let _ = Dbm::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_milliwatts_panic() {
+        let _ = Milliwatts::new(-1.0);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Dbm::new(-60.0) > Dbm::new(-70.0));
+        assert!(Db::new(3.0) > Db::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Dbm::new(-64.5).to_string(), "-64.50 dBm");
+        assert_eq!(Db::new(6.0).to_string(), "6.00 dB");
+        assert_eq!(Milliwatts::new(1.5).to_string(), "1.5000 mW");
+    }
+}

@@ -1,0 +1,235 @@
+//! Live routing experiments over evolving cluster structures.
+//!
+//! The experiment attaches to a full cluster simulation via the
+//! scenario observer hook, maintains a set of randomly chosen traffic
+//! flows, and at every sampling instant (one broadcast interval)
+//! checks each flow's route against the fresh topology snapshot:
+//! broken routes are re-discovered (counting discovery cost), and the
+//! lifetime of the expired route is recorded.
+//!
+//! Comparing [`RoutingStats`] across clustering algorithms quantifies
+//! the paper's §5 conjecture: stabler clusters → longer-lived cluster
+//! routes and less rediscovery overhead.
+
+use mobic_scenario::{run_scenario_observed, ConfigError, ScenarioConfig};
+use mobic_sim::{rng::SeedSplitter, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::graph::topology_from_view;
+use crate::{Discovery, Route};
+
+/// Configuration of a routing experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoutingExperiment {
+    /// The underlying clustering scenario.
+    pub scenario: ScenarioConfig,
+    /// Number of concurrent traffic flows (random src → dst pairs).
+    pub flows: u32,
+}
+
+/// Aggregate routing metrics of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutingStats {
+    /// Protocol name.
+    pub protocol: String,
+    /// Clustering algorithm that ran underneath.
+    pub algorithm: String,
+    /// Completed route lifetimes in seconds (a route "completes" when
+    /// it breaks; routes alive at the end are excluded, making the
+    /// estimate conservative but unbiased across protocols).
+    pub route_lifetimes_s: Vec<f64>,
+    /// Mean completed route lifetime (0 if none completed).
+    pub mean_route_lifetime_s: f64,
+    /// Number of discovery attempts (initial + repairs).
+    pub discoveries: u64,
+    /// Number of discovery attempts that found no route.
+    pub failed_discoveries: u64,
+    /// Total nodes that forwarded discovery packets (the overhead
+    /// currency of reactive routing).
+    pub total_discovery_cost: u64,
+    /// Mean hop count over all established routes.
+    pub mean_hops: f64,
+    /// Fraction of probe instants at which the flow had a live route.
+    pub availability: f64,
+}
+
+/// One flow's bookkeeping.
+struct Flow {
+    src: usize,
+    dst: usize,
+    route: Option<(Route, SimTime)>,
+}
+
+impl RoutingExperiment {
+    /// Runs the experiment with the given discovery discipline.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the underlying scenario is
+    /// invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flows` is zero or the scenario has fewer than two
+    /// nodes.
+    pub fn run<D: Discovery>(
+        &self,
+        protocol: &D,
+        seed: u64,
+    ) -> Result<RoutingStats, ConfigError> {
+        assert!(self.flows > 0, "need at least one flow");
+        assert!(self.scenario.n_nodes >= 2, "need at least two nodes");
+        let n = self.scenario.n_nodes as usize;
+        let mut rng = SeedSplitter::new(seed).stream("routing-flows", 0);
+        let mut flows: Vec<Flow> = (0..self.flows)
+            .map(|_| {
+                let src = rng.gen_range(0..n);
+                let mut dst = rng.gen_range(0..n - 1);
+                if dst >= src {
+                    dst += 1;
+                }
+                Flow {
+                    src,
+                    dst,
+                    route: None,
+                }
+            })
+            .collect();
+
+        let warmup = SimTime::from_secs_f64(self.scenario.warmup_s);
+        let range = self.scenario.tx_range_m;
+        let mut lifetimes: Vec<f64> = Vec::new();
+        let mut discoveries: u64 = 0;
+        let mut failed: u64 = 0;
+        let mut total_cost: u64 = 0;
+        let mut hop_sum: u64 = 0;
+        let mut routes_established: u64 = 0;
+        let mut probes: u64 = 0;
+        let mut live: u64 = 0;
+
+        run_scenario_observed(&self.scenario, seed, |view| {
+            if view.now < warmup {
+                return;
+            }
+            let topo = topology_from_view(&view, range);
+            for flow in &mut flows {
+                probes += 1;
+                // Check the current route.
+                if let Some((route, since)) = &flow.route {
+                    if protocol.still_valid(&topo, route) {
+                        live += 1;
+                        continue;
+                    }
+                    lifetimes.push((view.now - *since).as_secs_f64());
+                    flow.route = None;
+                }
+                // (Re-)discover.
+                discoveries += 1;
+                match protocol.discover(&topo, flow.src, flow.dst) {
+                    Some(route) => {
+                        total_cost += route.discovery_cost as u64;
+                        hop_sum += route.hop_count() as u64;
+                        routes_established += 1;
+                        live += 1;
+                        flow.route = Some((route, view.now));
+                    }
+                    None => failed += 1,
+                }
+            }
+        })?;
+
+        let mean_route_lifetime_s = if lifetimes.is_empty() {
+            0.0
+        } else {
+            lifetimes.iter().sum::<f64>() / lifetimes.len() as f64
+        };
+        Ok(RoutingStats {
+            protocol: protocol.name().to_string(),
+            algorithm: self.scenario.algorithm.name().to_string(),
+            mean_route_lifetime_s,
+            route_lifetimes_s: lifetimes,
+            discoveries,
+            failed_discoveries: failed,
+            total_discovery_cost: total_cost,
+            mean_hops: if routes_established == 0 {
+                0.0
+            } else {
+                hop_sum as f64 / routes_established as f64
+            },
+            availability: if probes == 0 {
+                0.0
+            } else {
+                live as f64 / probes as f64
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterRouting, Flooding};
+    use mobic_core::AlgorithmKind;
+    use mobic_scenario::MobilityKind;
+
+    fn experiment(alg: AlgorithmKind) -> RoutingExperiment {
+        let mut scenario = ScenarioConfig::paper_table1();
+        scenario.n_nodes = 15;
+        scenario.sim_time_s = 80.0;
+        scenario.tx_range_m = 250.0;
+        scenario.algorithm = alg;
+        RoutingExperiment { scenario, flows: 4 }
+    }
+
+    #[test]
+    fn flooding_experiment_runs() {
+        let stats = experiment(AlgorithmKind::Lcc)
+            .run(&Flooding, 3)
+            .unwrap();
+        assert!(stats.discoveries >= 4, "each flow discovers at least once");
+        assert!(stats.availability > 0.0);
+        assert_eq!(stats.protocol, "flooding");
+        assert_eq!(stats.algorithm, "lcc");
+    }
+
+    #[test]
+    fn cluster_experiment_runs_and_costs_less_per_discovery() {
+        let f = experiment(AlgorithmKind::Mobic).run(&Flooding, 5).unwrap();
+        let c = experiment(AlgorithmKind::Mobic)
+            .run(&ClusterRouting, 5)
+            .unwrap();
+        let f_cost = f.total_discovery_cost as f64 / f.discoveries.max(1) as f64;
+        let c_cost = c.total_discovery_cost as f64 / c.discoveries.max(1) as f64;
+        assert!(
+            c_cost <= f_cost,
+            "cluster discovery ({c_cost}) must not exceed flooding ({f_cost})"
+        );
+    }
+
+    #[test]
+    fn stationary_routes_never_break() {
+        let mut exp = experiment(AlgorithmKind::Lcc);
+        exp.scenario.mobility = MobilityKind::Stationary;
+        let stats = exp.run(&Flooding, 7).unwrap();
+        // No motion → no route ever breaks → no completed lifetimes,
+        // and (dis)coveries equal the number of flows that had any
+        // path (failed ones retry every probe).
+        assert!(stats.route_lifetimes_s.is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = experiment(AlgorithmKind::Mobic).run(&ClusterRouting, 9).unwrap();
+        let b = experiment(AlgorithmKind::Mobic).run(&ClusterRouting, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "flow")]
+    fn zero_flows_panics() {
+        let mut exp = experiment(AlgorithmKind::Lcc);
+        exp.flows = 0;
+        let _ = exp.run(&Flooding, 0);
+    }
+}

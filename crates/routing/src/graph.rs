@@ -1,0 +1,339 @@
+//! Topology snapshots with cluster structure.
+
+use std::collections::VecDeque;
+
+use mobic_core::Role;
+use mobic_geom::Vec2;
+
+/// A snapshot of the network at one instant: node positions, the
+/// unit-disk connectivity at the radio range, and each node's cluster
+/// role.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_core::Role;
+/// use mobic_geom::Vec2;
+/// use mobic_net::NodeId;
+/// use mobic_routing::ClusterTopology;
+///
+/// let positions = vec![Vec2::new(0.0, 0.0), Vec2::new(50.0, 0.0), Vec2::new(100.0, 0.0)];
+/// let roles = vec![
+///     Role::Clusterhead,
+///     Role::Member { ch: NodeId::new(0) },
+///     Role::Clusterhead,
+/// ];
+/// let topo = ClusterTopology::new(&positions, &roles, 60.0);
+/// assert!(topo.are_neighbors(0, 1));
+/// assert!(!topo.are_neighbors(0, 2));
+/// assert_eq!(topo.shortest_path(0, 2), Some(vec![0, 1, 2]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterTopology {
+    neighbors: Vec<Vec<usize>>,
+    roles: Vec<Role>,
+    gateways: Vec<bool>,
+}
+
+impl ClusterTopology {
+    /// Builds the snapshot from positions, roles and the radio range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or `range` is not
+    /// positive and finite.
+    #[must_use]
+    pub fn new(positions: &[Vec2], roles: &[Role], range: f64) -> Self {
+        assert_eq!(positions.len(), roles.len(), "one role per node");
+        assert!(range > 0.0 && range.is_finite(), "invalid range {range}");
+        let n = positions.len();
+        let mut neighbors = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if positions[i].distance(positions[j]) <= range {
+                    neighbors[i].push(j);
+                    neighbors[j].push(i);
+                }
+            }
+        }
+        // A gateway hears ≥ 2 clusterheads (paper definition).
+        let gateways = (0..n)
+            .map(|i| {
+                !roles[i].is_clusterhead()
+                    && neighbors[i]
+                        .iter()
+                        .filter(|&&j| roles[j].is_clusterhead())
+                        .count()
+                        >= 2
+            })
+            .collect();
+        ClusterTopology {
+            neighbors,
+            roles: roles.to_vec(),
+            gateways,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// `true` if the snapshot has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.roles.is_empty()
+    }
+
+    /// The role of node `i`.
+    #[must_use]
+    pub fn role(&self, i: usize) -> Role {
+        self.roles[i]
+    }
+
+    /// `true` if node `i` is a gateway (non-clusterhead hearing two or
+    /// more clusterheads).
+    #[must_use]
+    pub fn is_gateway(&self, i: usize) -> bool {
+        self.gateways[i]
+    }
+
+    /// `true` if node `i` forwards route requests on the cluster
+    /// backbone (clusterheads and gateways do; ordinary members do
+    /// not).
+    #[must_use]
+    pub fn is_backbone(&self, i: usize) -> bool {
+        self.roles[i].is_clusterhead() || self.gateways[i]
+    }
+
+    /// `true` if `a` and `b` are within radio range.
+    #[must_use]
+    pub fn are_neighbors(&self, a: usize, b: usize) -> bool {
+        self.neighbors[a].contains(&b)
+    }
+
+    /// The neighbor list of `a`.
+    #[must_use]
+    pub fn neighbors(&self, a: usize) -> &[usize] {
+        &self.neighbors[a]
+    }
+
+    /// Shortest path from `src` to `dst` in the full topology (BFS by
+    /// hop count), inclusive of both endpoints. `None` if unreachable;
+    /// `Some(vec![src])` if `src == dst`.
+    #[must_use]
+    pub fn shortest_path(&self, src: usize, dst: usize) -> Option<Vec<usize>> {
+        self.bfs_path(src, dst, |_| true)
+    }
+
+    /// Shortest path where every *intermediate* hop is a backbone node
+    /// (clusterhead or gateway) — the route a CBRP-style discovery
+    /// finds. Endpoints may be ordinary members.
+    #[must_use]
+    pub fn backbone_path(&self, src: usize, dst: usize) -> Option<Vec<usize>> {
+        self.bfs_path(src, dst, |i| self.is_backbone(i))
+    }
+
+    /// Number of nodes that forward a flooded request from `src`:
+    /// every node reachable from it (including itself).
+    #[must_use]
+    pub fn flood_cost(&self, src: usize) -> usize {
+        self.reachable_count(src, |_| true)
+    }
+
+    /// Number of nodes that forward a backbone-restricted request from
+    /// `src`: the source plus every reachable backbone node (through
+    /// backbone-interior paths).
+    #[must_use]
+    pub fn backbone_cost(&self, src: usize) -> usize {
+        self.reachable_count(src, |i| self.is_backbone(i))
+    }
+
+    /// BFS allowing only interior nodes satisfying `relay` (endpoints
+    /// always allowed).
+    fn bfs_path(&self, src: usize, dst: usize, relay: impl Fn(usize) -> bool) -> Option<Vec<usize>> {
+        if src == dst {
+            return Some(vec![src]);
+        }
+        let n = self.len();
+        let mut prev = vec![usize::MAX; n];
+        let mut seen = vec![false; n];
+        seen[src] = true;
+        let mut q = VecDeque::from([src]);
+        while let Some(u) = q.pop_front() {
+            for &v in &self.neighbors[u] {
+                if seen[v] {
+                    continue;
+                }
+                if v == dst {
+                    // Reconstruct.
+                    let mut path = vec![dst, u];
+                    let mut cur = u;
+                    while prev[cur] != usize::MAX {
+                        cur = prev[cur];
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                if relay(v) {
+                    seen[v] = true;
+                    prev[v] = u;
+                    q.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    fn reachable_count(&self, src: usize, relay: impl Fn(usize) -> bool) -> usize {
+        let n = self.len();
+        let mut seen = vec![false; n];
+        seen[src] = true;
+        let mut q = VecDeque::from([src]);
+        let mut count = 1;
+        while let Some(u) = q.pop_front() {
+            for &v in &self.neighbors[u] {
+                if !seen[v] && relay(v) {
+                    seen[v] = true;
+                    count += 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        count
+    }
+}
+
+/// Convenience: builds roles/positions from a
+/// [`SampleView`](mobic_scenario::SampleView).
+#[must_use]
+pub fn topology_from_view(view: &mobic_scenario::SampleView<'_>, range: f64) -> ClusterTopology {
+    let roles: Vec<Role> = view.nodes.iter().map(mobic_core::ClusterNode::role).collect();
+    ClusterTopology::new(view.positions, &roles, range)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobic_net::NodeId;
+
+    /// Chain 0 — 1 — 2 — 3 — 4, range 60, spaced 50 m, with roles:
+    /// CHs at 0 and 2 and 4, members in between (1 and 3 are gateways).
+    fn chain() -> ClusterTopology {
+        let positions: Vec<Vec2> = (0..5).map(|i| Vec2::new(i as f64 * 50.0, 0.0)).collect();
+        let roles = vec![
+            Role::Clusterhead,
+            Role::Member { ch: NodeId::new(0) },
+            Role::Clusterhead,
+            Role::Member { ch: NodeId::new(2) },
+            Role::Clusterhead,
+        ];
+        ClusterTopology::new(&positions, &roles, 60.0)
+    }
+
+    #[test]
+    fn adjacency_and_gateways() {
+        let t = chain();
+        assert_eq!(t.len(), 5);
+        assert!(t.are_neighbors(0, 1));
+        assert!(!t.are_neighbors(0, 2));
+        assert!(t.is_gateway(1), "hears CHs 0 and 2");
+        assert!(t.is_gateway(3), "hears CHs 2 and 4");
+        assert!(!t.is_gateway(0), "clusterheads are not gateways");
+        assert!(t.is_backbone(0) && t.is_backbone(1) && t.is_backbone(2));
+    }
+
+    #[test]
+    fn shortest_and_backbone_paths_agree_on_chain() {
+        let t = chain();
+        let p = t.shortest_path(0, 4).unwrap();
+        assert_eq!(p, vec![0, 1, 2, 3, 4]);
+        assert_eq!(t.backbone_path(0, 4).unwrap(), p);
+    }
+
+    #[test]
+    fn backbone_path_avoids_ordinary_members() {
+        // Triangle detour: 0 (CH) - 1 (ordinary member of 0) - 2 (CH),
+        // plus a gateway 3 linking 0 and 2. Backbone path must go via 3.
+        let positions = vec![
+            Vec2::new(0.0, 0.0),   // 0 CH
+            Vec2::new(50.0, 0.0),  // 1 member (hears 0 and 2 → gateway!)
+            Vec2::new(100.0, 0.0), // 2 CH
+            Vec2::new(50.0, 40.0), // 3 member (hears 0 and 2 → gateway)
+        ];
+        // Make 1 an ordinary member by placing it to hear only 0.
+        let positions = {
+            let mut p = positions;
+            p[1] = Vec2::new(30.0, -30.0); // hears 0 only (d to 2 ≈ 76 > 60)
+            p
+        };
+        let roles = vec![
+            Role::Clusterhead,
+            Role::Member { ch: NodeId::new(0) },
+            Role::Clusterhead,
+            Role::Member { ch: NodeId::new(0) },
+        ];
+        let t = ClusterTopology::new(&positions, &roles, 65.0);
+        assert!(!t.is_gateway(1));
+        assert!(t.is_gateway(3));
+        let p = t.backbone_path(0, 2).unwrap();
+        assert_eq!(p, vec![0, 3, 2]);
+    }
+
+    #[test]
+    fn unreachable_and_self_paths() {
+        let positions = vec![Vec2::new(0.0, 0.0), Vec2::new(1000.0, 0.0)];
+        let roles = vec![Role::Clusterhead, Role::Clusterhead];
+        let t = ClusterTopology::new(&positions, &roles, 50.0);
+        assert_eq!(t.shortest_path(0, 1), None);
+        assert_eq!(t.shortest_path(0, 0), Some(vec![0]));
+    }
+
+    #[test]
+    fn discovery_costs() {
+        let t = chain();
+        // Flooding reaches all 5 nodes.
+        assert_eq!(t.flood_cost(0), 5);
+        // Backbone: src 0 + nodes 1..4 are all backbone here.
+        assert_eq!(t.backbone_cost(0), 5);
+        // Make the middle ordinary: a chain where only CHs/gateways relay.
+        let positions: Vec<Vec2> = (0..4).map(|i| Vec2::new(i as f64 * 50.0, 0.0)).collect();
+        let roles = vec![
+            Role::Clusterhead,
+            Role::Member { ch: NodeId::new(0) }, // hears only CH 0 → ordinary
+            Role::Member { ch: NodeId::new(3) }, // hears only CH 3 → ordinary
+            Role::Clusterhead,
+        ];
+        let t2 = ClusterTopology::new(&positions, &roles, 60.0);
+        // From 0: nodes 1,2 are non-backbone, so the request stops.
+        assert_eq!(t2.backbone_cost(0), 1);
+        assert_eq!(t2.flood_cost(0), 4);
+        // And no backbone path exists 0 → 3 while flooding finds one.
+        assert_eq!(t2.backbone_path(0, 3), None);
+        assert!(t2.shortest_path(0, 3).is_some());
+    }
+
+    #[test]
+    fn backbone_cheaper_than_flooding_in_dense_cluster() {
+        // A star cluster: CH 0 with 8 members, plus CH 9 far away.
+        let mut positions = vec![Vec2::new(0.0, 0.0)];
+        for k in 0..8 {
+            let a = k as f64 * std::f64::consts::TAU / 8.0;
+            positions.push(Vec2::from_polar(30.0, a));
+        }
+        let mut roles = vec![Role::Clusterhead];
+        roles.extend(std::iter::repeat_n(Role::Member { ch: NodeId::new(0) }, 8));
+        let t = ClusterTopology::new(&positions, &roles, 70.0);
+        let flood = t.flood_cost(1);
+        let backbone = t.backbone_cost(1);
+        assert!(backbone < flood, "backbone {backbone} vs flood {flood}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one role per node")]
+    fn mismatched_inputs_panic() {
+        let _ = ClusterTopology::new(&[Vec2::ZERO], &[], 10.0);
+    }
+}

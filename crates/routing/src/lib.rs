@@ -1,0 +1,32 @@
+//! Cluster-based routing over MANET cluster topologies — the paper's
+//! §5 future-work direction ("integrate the mobility metric with a
+//! cluster based routing protocol"), built as a measurable extension.
+//!
+//! Two route-discovery disciplines are modeled:
+//!
+//! * [`Flooding`] — classic reactive discovery: every node rebroadcasts
+//!   the route request once, so the discovery cost is the number of
+//!   reachable nodes; routes are shortest paths in the full topology;
+//! * [`ClusterRouting`] — CBRP-flavored discovery: only clusterheads
+//!   and gateways forward the request, so the discovery cost is the
+//!   size of the reachable *backbone*; routes run across the backbone
+//!   (source and destination may be ordinary members).
+//!
+//! A cluster route additionally depends on the cluster structure that
+//! produced it: when a relay that was a clusterhead at discovery time
+//! loses that role, the route must be repaired (that is precisely why
+//! cluster stability matters for routing). The [`experiment`] module
+//! measures route lifetime and discovery overhead on live simulations
+//! of each clustering algorithm, quantifying the paper's conjecture
+//! that "more stable cluster formation can directly result in
+//! significant improvement of performance".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+mod graph;
+mod protocol;
+
+pub use graph::ClusterTopology;
+pub use protocol::{ClusterRouting, Discovery, Flooding, Route};

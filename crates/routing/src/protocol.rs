@@ -1,0 +1,236 @@
+//! Route-discovery disciplines and route validity.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ClusterTopology;
+
+/// An established source route.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    /// The node sequence, endpoints inclusive.
+    pub hops: Vec<usize>,
+    /// Which intermediate hops were clusterheads at discovery time
+    /// (parallel to `hops`); used by cluster-route validity.
+    pub relay_was_clusterhead: Vec<bool>,
+    /// How many nodes forwarded the discovery request.
+    pub discovery_cost: usize,
+}
+
+impl Route {
+    /// Number of links.
+    #[must_use]
+    pub fn hop_count(&self) -> usize {
+        self.hops.len().saturating_sub(1)
+    }
+}
+
+/// A route-discovery discipline.
+pub trait Discovery {
+    /// Human-readable protocol name.
+    fn name(&self) -> &'static str;
+
+    /// Attempts to discover a route `src → dst` on the snapshot.
+    fn discover(&self, topo: &ClusterTopology, src: usize, dst: usize) -> Option<Route>;
+
+    /// `true` if an existing route is still usable on the (newer)
+    /// snapshot. The base criterion is physical: every consecutive
+    /// pair still within range. Disciplines may add structural
+    /// requirements.
+    fn still_valid(&self, topo: &ClusterTopology, route: &Route) -> bool {
+        route
+            .hops
+            .windows(2)
+            .all(|w| topo.are_neighbors(w[0], w[1]))
+    }
+}
+
+/// Classic reactive flooding (DSR/AODV-style discovery): every node
+/// rebroadcasts the request once; the route is the shortest path.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_core::Role;
+/// use mobic_geom::Vec2;
+/// use mobic_net::NodeId;
+/// use mobic_routing::{ClusterTopology, Discovery, Flooding};
+///
+/// let positions = vec![Vec2::new(0.0, 0.0), Vec2::new(50.0, 0.0)];
+/// let roles = vec![Role::Clusterhead, Role::Member { ch: NodeId::new(0) }];
+/// let topo = ClusterTopology::new(&positions, &roles, 60.0);
+/// let route = Flooding.discover(&topo, 0, 1).unwrap();
+/// assert_eq!(route.hop_count(), 1);
+/// assert_eq!(route.discovery_cost, 2); // both nodes forwarded
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Flooding;
+
+impl Discovery for Flooding {
+    fn name(&self) -> &'static str {
+        "flooding"
+    }
+
+    fn discover(&self, topo: &ClusterTopology, src: usize, dst: usize) -> Option<Route> {
+        let hops = topo.shortest_path(src, dst)?;
+        let relay_was_clusterhead = hops
+            .iter()
+            .map(|&h| topo.role(h).is_clusterhead())
+            .collect();
+        Some(Route {
+            relay_was_clusterhead,
+            discovery_cost: topo.flood_cost(src),
+            hops,
+        })
+    }
+}
+
+/// CBRP-flavored cluster routing: only clusterheads and gateways
+/// forward discovery requests, and a route is additionally invalidated
+/// when an intermediate relay that was a clusterhead at discovery time
+/// loses the role (the cluster structure the route was built on has
+/// churned, forcing a repair). This coupling is exactly how cluster
+/// stability translates into routing performance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterRouting;
+
+impl Discovery for ClusterRouting {
+    fn name(&self) -> &'static str {
+        "cluster"
+    }
+
+    fn discover(&self, topo: &ClusterTopology, src: usize, dst: usize) -> Option<Route> {
+        let hops = topo.backbone_path(src, dst)?;
+        let relay_was_clusterhead = hops
+            .iter()
+            .map(|&h| topo.role(h).is_clusterhead())
+            .collect();
+        Some(Route {
+            relay_was_clusterhead,
+            discovery_cost: topo.backbone_cost(src),
+            hops,
+        })
+    }
+
+    fn still_valid(&self, topo: &ClusterTopology, route: &Route) -> bool {
+        if !route
+            .hops
+            .windows(2)
+            .all(|w| topo.are_neighbors(w[0], w[1]))
+        {
+            return false;
+        }
+        // Interior relays that headed clusters must still head them.
+        route.hops[1..route.hops.len().saturating_sub(1)]
+            .iter()
+            .zip(&route.relay_was_clusterhead[1..])
+            .all(|(&h, &was_ch)| !was_ch || topo.role(h).is_clusterhead())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobic_core::Role;
+    use mobic_geom::Vec2;
+    use mobic_net::NodeId;
+
+    fn chain(roles: Vec<Role>, range: f64) -> ClusterTopology {
+        let positions: Vec<Vec2> = (0..roles.len())
+            .map(|i| Vec2::new(i as f64 * 50.0, 0.0))
+            .collect();
+        ClusterTopology::new(&positions, &roles, range)
+    }
+
+    fn ch() -> Role {
+        Role::Clusterhead
+    }
+
+    fn member(c: u32) -> Role {
+        Role::Member { ch: NodeId::new(c) }
+    }
+
+    #[test]
+    fn flooding_discovers_shortest() {
+        let t = chain(vec![ch(), member(0), ch(), member(2), ch()], 60.0);
+        let r = Flooding.discover(&t, 0, 4).unwrap();
+        assert_eq!(r.hop_count(), 4);
+        assert_eq!(r.discovery_cost, 5);
+        assert_eq!(Flooding.name(), "flooding");
+    }
+
+    #[test]
+    fn cluster_routing_uses_backbone() {
+        let t = chain(vec![ch(), member(0), ch(), member(2), ch()], 60.0);
+        let r = ClusterRouting.discover(&t, 0, 4).unwrap();
+        assert_eq!(r.hops, vec![0, 1, 2, 3, 4]);
+        assert!(r.relay_was_clusterhead[2]);
+        assert!(!r.relay_was_clusterhead[1]);
+    }
+
+    #[test]
+    fn physical_break_invalidates_both() {
+        let t = chain(vec![ch(), member(0), ch()], 60.0);
+        let route = Flooding.discover(&t, 0, 2).unwrap();
+        assert!(Flooding.still_valid(&t, &route));
+        assert!(ClusterRouting.still_valid(&t, &route));
+        // Move node 1 away: rebuild topology with a gap.
+        let positions = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(500.0, 0.0),
+            Vec2::new(100.0, 0.0),
+        ];
+        let t2 = ClusterTopology::new(
+            &positions,
+            &[ch(), member(0), ch()],
+            60.0,
+        );
+        assert!(!Flooding.still_valid(&t2, &route));
+        assert!(!ClusterRouting.still_valid(&t2, &route));
+    }
+
+    #[test]
+    fn clusterhead_churn_invalidates_cluster_route_only() {
+        let t = chain(vec![ch(), member(0), ch(), member(2), ch()], 60.0);
+        let route = ClusterRouting.discover(&t, 0, 4).unwrap();
+        // Same geometry, but relay 2 lost its clusterhead role.
+        let positions: Vec<Vec2> = (0..5).map(|i| Vec2::new(i as f64 * 50.0, 0.0)).collect();
+        let t2 = ClusterTopology::new(
+            &positions,
+            &[ch(), member(0), member(4), member(4), ch()],
+            60.0,
+        );
+        assert!(
+            Flooding.still_valid(&t2, &route),
+            "physical path is intact"
+        );
+        assert!(
+            !ClusterRouting.still_valid(&t2, &route),
+            "relay 2 resigned → cluster route must repair"
+        );
+    }
+
+    #[test]
+    fn endpoint_roles_do_not_matter_for_validity() {
+        let t = chain(vec![ch(), member(0), ch()], 60.0);
+        let route = ClusterRouting.discover(&t, 0, 2).unwrap();
+        // Endpoint 0 resigns; interior (node 1, a gateway) unchanged.
+        let positions: Vec<Vec2> = (0..3).map(|i| Vec2::new(i as f64 * 50.0, 0.0)).collect();
+        let t2 = ClusterTopology::new(&positions, &[member(2), member(2), ch()], 60.0);
+        assert!(ClusterRouting.still_valid(&t2, &route));
+    }
+
+    #[test]
+    fn no_route_when_backbone_broken() {
+        // 0 CH, 1 ordinary (only hears 0), 2 ordinary (only hears 3), 3 CH.
+        let t = chain(vec![ch(), member(0), member(3), ch()], 60.0);
+        assert!(ClusterRouting.discover(&t, 0, 3).is_none());
+        assert!(Flooding.discover(&t, 0, 3).is_some());
+    }
+
+    #[test]
+    fn route_hop_count_of_trivial_route() {
+        let t = chain(vec![ch()], 60.0);
+        let r = Flooding.discover(&t, 0, 0).unwrap();
+        assert_eq!(r.hop_count(), 0);
+    }
+}

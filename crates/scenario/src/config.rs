@@ -1,0 +1,601 @@
+//! Scenario configuration (the paper's Table 1) and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use mobic_core::AlgorithmKind;
+use serde::{Deserialize, Serialize};
+
+/// Which mobility model drives the nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MobilityKind {
+    /// Random waypoint (the paper's model) with the config's speed
+    /// range and pause time.
+    RandomWaypoint,
+    /// Boundary-reflecting random walk with the given epoch length.
+    RandomWalk {
+        /// Seconds between direction changes.
+        epoch_s: f64,
+    },
+    /// Gauss–Markov with the given memory parameter.
+    GaussMarkov {
+        /// Velocity memory `α ∈ [0, 1]`.
+        alpha: f64,
+    },
+    /// Reference Point Group Mobility: nodes split evenly into
+    /// `groups` groups whose centers do random waypoint.
+    Rpgm {
+        /// Number of groups (≥ 1).
+        groups: u32,
+        /// Maximum member displacement from the group reference (m).
+        member_radius_m: f64,
+    },
+    /// Highway convoys (§5): lanes along the x axis, speeds around
+    /// the config's `max_speed_mps`.
+    Highway {
+        /// Number of lanes (≥ 1).
+        lanes: u32,
+        /// Two-way traffic (alternating lane directions) vs a one-way
+        /// convoy road.
+        bidirectional: bool,
+    },
+    /// Conference hall (§5): booth-hopping pedestrians; speeds capped
+    /// at walking pace regardless of `max_speed_mps`.
+    ConferenceHall {
+        /// Number of booths (≥ 1).
+        booths: u32,
+    },
+    /// Manhattan street grid with the given block size; vehicles use
+    /// the config's speed range.
+    Manhattan {
+        /// Block (street spacing) size in meters.
+        block_m: f64,
+        /// Turn probability at intersections, in `[0, 1]`.
+        p_turn: f64,
+    },
+    /// No motion at all (placement only) — useful for convergence
+    /// tests and as the zero-mobility control.
+    Stationary,
+}
+
+/// Which propagation model the radio uses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PropagationKind {
+    /// Friis free space (`1/d²`) — the paper's §3.1 assumption and
+    /// our default.
+    FreeSpace,
+    /// ns-2's two-ray ground model (Friis below the crossover
+    /// distance, `1/d⁴` beyond).
+    TwoRayGround,
+    /// Log-distance with the given path-loss exponent.
+    LogDistance {
+        /// Path-loss exponent (2 = free space, 4 ≈ obstructed).
+        exponent: f64,
+    },
+    /// Free space plus log-normal shadowing of the given σ (dB) —
+    /// the robustness extension the paper excludes.
+    ShadowedFreeSpace {
+        /// Shadowing standard deviation in dB.
+        sigma_db: f64,
+    },
+    /// Free space plus Nakagami-m fast fading (m = 1 is Rayleigh).
+    NakagamiFreeSpace {
+        /// Fading figure `m ≥ 0.5`; larger = calmer channel.
+        m: f64,
+    },
+}
+
+/// Which packet-loss model applies on top of range filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LossKind {
+    /// No loss — the paper's operating point.
+    None,
+    /// Independent loss with probability `p` per packet.
+    Bernoulli {
+        /// Loss probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Gilbert–Elliott burst loss (mildly bursty preset).
+    BurstyPreset,
+}
+
+/// The full description of one simulation scenario — every knob of
+/// the paper's Table 1 plus the extensions.
+///
+/// Construct via [`ScenarioConfig::paper_table1`] and override fields,
+/// or fill the struct directly. Validate (or just call
+/// [`run_scenario`](crate::run_scenario), which validates first).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Number of nodes `N` (Table 1: 50).
+    pub n_nodes: u32,
+    /// Field width in meters (Table 1: 670 or 1000).
+    pub field_w_m: f64,
+    /// Field height in meters.
+    pub field_h_m: f64,
+    /// Maximum node speed in m/s (Table 1: 1, 20, 30).
+    pub max_speed_mps: f64,
+    /// Minimum node speed in m/s (0 = classic open interval).
+    pub min_speed_mps: f64,
+    /// Pause time at waypoints in seconds (Table 1: 0, 30).
+    pub pause_s: f64,
+    /// Nominal transmission range in meters (Table 1: 10–250).
+    pub tx_range_m: f64,
+    /// Broadcast interval `BI` in seconds (Table 1: 2).
+    pub bi_s: f64,
+    /// Neighbor timeout period `TP` in seconds (Table 1: 3).
+    pub tp_s: f64,
+    /// Cluster contention interval `CCI` in seconds (Table 1: 4).
+    pub cci_s: f64,
+    /// Total simulated time `S` in seconds (Table 1: 900).
+    pub sim_time_s: f64,
+    /// Measurement warmup: transitions and cluster counts before this
+    /// time are excluded from steady-state metrics (the initial
+    /// election is not "churn"). Default 20 s.
+    pub warmup_s: f64,
+    /// Clustering algorithm under test.
+    pub algorithm: AlgorithmKind,
+    /// Mobility model.
+    pub mobility: MobilityKind,
+    /// Propagation model.
+    pub propagation: PropagationKind,
+    /// Packet-loss model.
+    pub loss: LossKind,
+    /// EWMA history weight for the metric (§5 extension); `None` is
+    /// the paper's memoryless metric.
+    pub history_alpha: Option<f64>,
+    /// Patience before an orphaned undecided node self-elects
+    /// (see [`mobic_core::ClusterConfig::undecided_patience`]).
+    pub undecided_patience_s: f64,
+    /// How pairwise samples fold into `M` (paper: variance about
+    /// zero; robust variants are ablation extensions).
+    pub metric_aggregation: mobic_core::metric::MetricAggregation,
+    /// Metric quantization step in dB² (see
+    /// [`mobic_core::ClusterConfig::metric_quantum`]); 0 disables.
+    pub metric_quantum: f64,
+    /// Mobility-adaptive broadcast interval (§5 extension): when set,
+    /// a node's next hello comes after
+    /// `clamp(bi · pivot/(pivot + M), adaptive_bi_min_s, bi)` seconds
+    /// with `pivot = 2 dB²` — mobile neighborhoods refresh faster,
+    /// calm ones stay at the base rate. `0.0` (default) disables
+    /// adaptation (the paper's fixed `BI`).
+    pub adaptive_bi_min_s: f64,
+    /// Hello packet airtime in seconds, enabling a vulnerable-window
+    /// MAC collision approximation: a reception arriving within this
+    /// time of the previous arrival at the same receiver is destroyed.
+    /// `0` (the default) disables collisions — the paper's operating
+    /// point ("we only consider transmissions that are successfully
+    /// received by the MAC layer"). A 2001-era WaveLAN hello of ~60
+    /// bytes at 2 Mb/s is ~0.25 ms.
+    pub packet_time_s: f64,
+}
+
+impl ScenarioConfig {
+    /// The paper's primary configuration (Table 1, 670 m × 670 m,
+    /// MaxSpeed 20 m/s, PT 0, Tx 250 m, MOBIC).
+    #[must_use]
+    pub fn paper_table1() -> Self {
+        ScenarioConfig {
+            n_nodes: 50,
+            field_w_m: 670.0,
+            field_h_m: 670.0,
+            max_speed_mps: 20.0,
+            min_speed_mps: 0.0,
+            pause_s: 0.0,
+            tx_range_m: 250.0,
+            bi_s: 2.0,
+            tp_s: 3.0,
+            cci_s: 4.0,
+            sim_time_s: 900.0,
+            warmup_s: 20.0,
+            algorithm: AlgorithmKind::Mobic,
+            mobility: MobilityKind::RandomWaypoint,
+            propagation: PropagationKind::FreeSpace,
+            loss: LossKind::None,
+            history_alpha: None,
+            metric_aggregation: mobic_core::metric::MetricAggregation::Var0,
+            undecided_patience_s: 4.0,
+            metric_quantum: 0.0,
+            adaptive_bi_min_s: 0.0,
+            packet_time_s: 0.0,
+        }
+    }
+
+    /// The §4.3 sparse variant: same as
+    /// [`paper_table1`](Self::paper_table1) but on the 1000 m × 1000 m
+    /// field.
+    #[must_use]
+    pub fn paper_sparse() -> Self {
+        ScenarioConfig {
+            field_w_m: 1000.0,
+            field_h_m: 1000.0,
+            ..Self::paper_table1()
+        }
+    }
+
+    /// Returns the config with a different algorithm (sweep helper).
+    #[must_use]
+    pub fn with_algorithm(mut self, algorithm: AlgorithmKind) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Returns the config with a different transmission range (sweep
+    /// helper).
+    #[must_use]
+    pub fn with_tx_range(mut self, tx_range_m: f64) -> Self {
+        self.tx_range_m = tx_range_m;
+        self
+    }
+
+    /// Checks every parameter for sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        use ConfigError::*;
+        if self.n_nodes == 0 {
+            return Err(NoNodes);
+        }
+        for (name, v) in [
+            ("field_w_m", self.field_w_m),
+            ("field_h_m", self.field_h_m),
+            ("tx_range_m", self.tx_range_m),
+            ("bi_s", self.bi_s),
+            ("tp_s", self.tp_s),
+            ("sim_time_s", self.sim_time_s),
+        ] {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(NonPositive {
+                    field: name,
+                    value: v,
+                });
+            }
+        }
+        for (name, v) in [
+            ("max_speed_mps", self.max_speed_mps),
+            ("min_speed_mps", self.min_speed_mps),
+            ("pause_s", self.pause_s),
+            ("cci_s", self.cci_s),
+            ("warmup_s", self.warmup_s),
+            ("undecided_patience_s", self.undecided_patience_s),
+            ("metric_quantum", self.metric_quantum),
+            ("packet_time_s", self.packet_time_s),
+            ("adaptive_bi_min_s", self.adaptive_bi_min_s),
+        ] {
+            if !(v >= 0.0 && v.is_finite()) {
+                return Err(Negative {
+                    field: name,
+                    value: v,
+                });
+            }
+        }
+        if self.min_speed_mps > self.max_speed_mps {
+            return Err(SpeedRange {
+                min: self.min_speed_mps,
+                max: self.max_speed_mps,
+            });
+        }
+        if self.tp_s < self.bi_s {
+            return Err(TimeoutBelowBroadcast {
+                tp: self.tp_s,
+                bi: self.bi_s,
+            });
+        }
+        if self.adaptive_bi_min_s > self.bi_s {
+            return Err(AdaptiveBiAboveBase {
+                min: self.adaptive_bi_min_s,
+                bi: self.bi_s,
+            });
+        }
+        if self.warmup_s >= self.sim_time_s {
+            return Err(WarmupTooLong {
+                warmup: self.warmup_s,
+                sim_time: self.sim_time_s,
+            });
+        }
+        match self.mobility {
+            MobilityKind::RandomWalk { epoch_s } if epoch_s <= 0.0 => {
+                return Err(NonPositive {
+                    field: "mobility.epoch_s",
+                    value: epoch_s,
+                })
+            }
+            MobilityKind::GaussMarkov { alpha } if !(0.0..=1.0).contains(&alpha) => {
+                return Err(UnitInterval {
+                    field: "mobility.alpha",
+                    value: alpha,
+                })
+            }
+            MobilityKind::Rpgm { groups, member_radius_m } => {
+                if groups == 0 {
+                    return Err(NonPositive {
+                        field: "mobility.groups",
+                        value: 0.0,
+                    });
+                }
+                if !(member_radius_m >= 0.0 && member_radius_m.is_finite()) {
+                    return Err(Negative {
+                        field: "mobility.member_radius_m",
+                        value: member_radius_m,
+                    });
+                }
+            }
+            MobilityKind::Highway { lanes: 0, .. } => {
+                return Err(NonPositive {
+                    field: "mobility.lanes",
+                    value: 0.0,
+                })
+            }
+            MobilityKind::ConferenceHall { booths: 0 } => {
+                return Err(NonPositive {
+                    field: "mobility.booths",
+                    value: 0.0,
+                })
+            }
+            MobilityKind::Manhattan { block_m, p_turn } => {
+                if !(block_m > 0.0 && block_m.is_finite()) {
+                    return Err(NonPositive {
+                        field: "mobility.block_m",
+                        value: block_m,
+                    });
+                }
+                if !(0.0..=1.0).contains(&p_turn) {
+                    return Err(UnitInterval {
+                        field: "mobility.p_turn",
+                        value: p_turn,
+                    });
+                }
+            }
+            _ => {}
+        }
+        match self.propagation {
+            PropagationKind::LogDistance { exponent } if !(exponent > 0.0 && exponent.is_finite()) => {
+                return Err(NonPositive {
+                    field: "propagation.exponent",
+                    value: exponent,
+                })
+            }
+            PropagationKind::ShadowedFreeSpace { sigma_db }
+                if !(sigma_db >= 0.0 && sigma_db.is_finite()) =>
+            {
+                return Err(Negative {
+                    field: "propagation.sigma_db",
+                    value: sigma_db,
+                })
+            }
+            PropagationKind::NakagamiFreeSpace { m } if !(m >= 0.5 && m.is_finite()) => {
+                return Err(NonPositive {
+                    field: "propagation.m",
+                    value: m,
+                })
+            }
+            _ => {}
+        }
+        if let LossKind::Bernoulli { p } = self.loss {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(UnitInterval {
+                    field: "loss.p",
+                    value: p,
+                });
+            }
+        }
+        if let Some(alpha) = self.history_alpha {
+            if !(0.0..1.0).contains(&alpha) {
+                return Err(UnitInterval {
+                    field: "history_alpha",
+                    value: alpha,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A rejected [`ScenarioConfig`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// `n_nodes` was zero.
+    NoNodes,
+    /// A field that must be strictly positive was not.
+    NonPositive {
+        /// Offending field.
+        field: &'static str,
+        /// Its value.
+        value: f64,
+    },
+    /// A field that must be non-negative was negative (or non-finite).
+    Negative {
+        /// Offending field.
+        field: &'static str,
+        /// Its value.
+        value: f64,
+    },
+    /// `min_speed > max_speed`.
+    SpeedRange {
+        /// Configured minimum speed.
+        min: f64,
+        /// Configured maximum speed.
+        max: f64,
+    },
+    /// `TP < BI` — every neighbor would expire between hellos.
+    TimeoutBelowBroadcast {
+        /// Configured timeout period.
+        tp: f64,
+        /// Configured broadcast interval.
+        bi: f64,
+    },
+    /// The adaptive hello floor exceeds the base broadcast interval.
+    AdaptiveBiAboveBase {
+        /// Configured adaptive floor.
+        min: f64,
+        /// Configured base broadcast interval.
+        bi: f64,
+    },
+    /// Warmup does not leave a measurement window.
+    WarmupTooLong {
+        /// Configured warmup.
+        warmup: f64,
+        /// Configured simulation length.
+        sim_time: f64,
+    },
+    /// A probability/fraction field left `[0, 1]`.
+    UnitInterval {
+        /// Offending field.
+        field: &'static str,
+        /// Its value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoNodes => write!(f, "scenario needs at least one node"),
+            ConfigError::NonPositive { field, value } => {
+                write!(f, "{field} must be positive, got {value}")
+            }
+            ConfigError::Negative { field, value } => {
+                write!(f, "{field} must be non-negative and finite, got {value}")
+            }
+            ConfigError::SpeedRange { min, max } => {
+                write!(f, "min speed {min} exceeds max speed {max}")
+            }
+            ConfigError::TimeoutBelowBroadcast { tp, bi } => write!(
+                f,
+                "timeout period {tp} s below broadcast interval {bi} s: neighbors would always expire"
+            ),
+            ConfigError::AdaptiveBiAboveBase { min, bi } => write!(
+                f,
+                "adaptive hello floor {min} s exceeds the base broadcast interval {bi} s"
+            ),
+            ConfigError::WarmupTooLong { warmup, sim_time } => write!(
+                f,
+                "warmup {warmup} s leaves no measurement window in {sim_time} s"
+            ),
+            ConfigError::UnitInterval { field, value } => {
+                write!(f, "{field} must lie in [0, 1], got {value}")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_are_valid() {
+        assert_eq!(ScenarioConfig::paper_table1().validate(), Ok(()));
+        assert_eq!(ScenarioConfig::paper_sparse().validate(), Ok(()));
+    }
+
+    #[test]
+    fn paper_table1_matches_paper() {
+        let c = ScenarioConfig::paper_table1();
+        assert_eq!(c.n_nodes, 50);
+        assert_eq!((c.field_w_m, c.field_h_m), (670.0, 670.0));
+        assert_eq!(c.bi_s, 2.0);
+        assert_eq!(c.tp_s, 3.0);
+        assert_eq!(c.cci_s, 4.0);
+        assert_eq!(c.sim_time_s, 900.0);
+        let sparse = ScenarioConfig::paper_sparse();
+        assert_eq!((sparse.field_w_m, sparse.field_h_m), (1000.0, 1000.0));
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let c = ScenarioConfig::paper_table1()
+            .with_algorithm(AlgorithmKind::Lcc)
+            .with_tx_range(100.0);
+        assert_eq!(c.algorithm, AlgorithmKind::Lcc);
+        assert_eq!(c.tx_range_m, 100.0);
+    }
+
+    #[test]
+    fn rejects_zero_nodes() {
+        let mut c = ScenarioConfig::paper_table1();
+        c.n_nodes = 0;
+        assert_eq!(c.validate(), Err(ConfigError::NoNodes));
+    }
+
+    #[test]
+    fn rejects_bad_speed_range() {
+        let mut c = ScenarioConfig::paper_table1();
+        c.min_speed_mps = 25.0;
+        assert!(matches!(c.validate(), Err(ConfigError::SpeedRange { .. })));
+    }
+
+    #[test]
+    fn rejects_tp_below_bi() {
+        let mut c = ScenarioConfig::paper_table1();
+        c.tp_s = 1.0;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::TimeoutBelowBroadcast { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_warmup_overrun() {
+        let mut c = ScenarioConfig::paper_table1();
+        c.warmup_s = 900.0;
+        assert!(matches!(c.validate(), Err(ConfigError::WarmupTooLong { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_probabilities() {
+        let mut c = ScenarioConfig::paper_table1();
+        c.loss = LossKind::Bernoulli { p: 1.5 };
+        assert!(matches!(c.validate(), Err(ConfigError::UnitInterval { .. })));
+        let mut c = ScenarioConfig::paper_table1();
+        c.history_alpha = Some(1.0);
+        assert!(matches!(c.validate(), Err(ConfigError::UnitInterval { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_mobility_params() {
+        let mut c = ScenarioConfig::paper_table1();
+        c.mobility = MobilityKind::Rpgm {
+            groups: 0,
+            member_radius_m: 10.0,
+        };
+        assert!(c.validate().is_err());
+        c.mobility = MobilityKind::GaussMarkov { alpha: 2.0 };
+        assert!(c.validate().is_err());
+        c.mobility = MobilityKind::Highway { lanes: 0, bidirectional: true };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_fields() {
+        let mut c = ScenarioConfig::paper_table1();
+        c.tx_range_m = f64::NAN;
+        assert!(c.validate().is_err());
+        let mut c = ScenarioConfig::paper_table1();
+        c.field_w_m = f64::INFINITY;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = ConfigError::TimeoutBelowBroadcast { tp: 1.0, bi: 2.0 };
+        assert!(e.to_string().contains("timeout"));
+        let e = ConfigError::UnitInterval {
+            field: "loss.p",
+            value: 2.0,
+        };
+        assert!(e.to_string().contains("loss.p"));
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let c = ScenarioConfig::paper_table1();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ScenarioConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,125 @@
+//! The paper's Table 1, as data.
+
+use mobic_metrics::AsciiTable;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Parameter symbol (e.g. "BI").
+    pub symbol: &'static str,
+    /// Meaning.
+    pub meaning: &'static str,
+    /// Value(s), verbatim from the paper.
+    pub value: &'static str,
+}
+
+/// The simulation parameters of Table 1, verbatim.
+#[must_use]
+pub fn table1() -> Vec<Table1Row> {
+    vec![
+        Table1Row {
+            symbol: "N",
+            meaning: "Number of Nodes",
+            value: "50",
+        },
+        Table1Row {
+            symbol: "m x n",
+            meaning: "Size of the scenario",
+            value: "670^2, 1000^2 m^2",
+        },
+        Table1Row {
+            symbol: "MaxSpeed",
+            meaning: "Maximum Speed",
+            value: "1, 20, 30 m/sec",
+        },
+        Table1Row {
+            symbol: "Tx",
+            meaning: "Transmission Range",
+            value: "10 - 250 m",
+        },
+        Table1Row {
+            symbol: "PT",
+            meaning: "Pause Times",
+            value: "0, 30 sec",
+        },
+        Table1Row {
+            symbol: "BI",
+            meaning: "Broadcast Interval",
+            value: "2.0 sec",
+        },
+        Table1Row {
+            symbol: "TP",
+            meaning: "Timeout Period",
+            value: "3.0 sec",
+        },
+        Table1Row {
+            symbol: "CCI",
+            meaning: "Cluster Contention Interval",
+            value: "4.0 sec",
+        },
+        Table1Row {
+            symbol: "S",
+            meaning: "Simulation Time",
+            value: "900 sec",
+        },
+    ]
+}
+
+/// Renders Table 1 as an ASCII table, ready to print.
+#[must_use]
+pub fn render_table1() -> String {
+    let mut t = AsciiTable::new(["Parameter", "Meaning", "Value"]);
+    for row in table1() {
+        t.row([row.symbol, row.meaning, row.value]);
+    }
+    t.render()
+}
+
+/// The transmission-range sweep the paper's Figures 3–5 use
+/// (10–250 m).
+#[must_use]
+pub fn tx_sweep_values() -> Vec<f64> {
+    vec![
+        10.0, 25.0, 50.0, 75.0, 100.0, 125.0, 150.0, 175.0, 200.0, 225.0, 250.0,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_all_nine_parameters() {
+        let rows = table1();
+        assert_eq!(rows.len(), 9);
+        let symbols: Vec<&str> = rows.iter().map(|r| r.symbol).collect();
+        for s in ["N", "Tx", "PT", "BI", "TP", "CCI", "S"] {
+            assert!(symbols.contains(&s), "missing {s}");
+        }
+    }
+
+    #[test]
+    fn rendered_table_contains_values() {
+        let rendered = render_table1();
+        for needle in ["50", "2.0 sec", "4.0 sec", "900 sec", "Broadcast Interval"] {
+            assert!(rendered.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn sweep_covers_paper_range() {
+        let v = tx_sweep_values();
+        assert_eq!(*v.first().unwrap(), 10.0);
+        assert_eq!(*v.last().unwrap(), 250.0);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn config_defaults_agree_with_table1() {
+        let c = crate::ScenarioConfig::paper_table1();
+        assert_eq!(c.n_nodes.to_string(), table1()[0].value);
+        assert!(table1()[5].value.starts_with(&format!("{:.1}", c.bi_s)));
+        assert!(table1()[6].value.starts_with(&format!("{:.1}", c.tp_s)));
+        assert!(table1()[7].value.starts_with(&format!("{:.1}", c.cci_s)));
+    }
+}

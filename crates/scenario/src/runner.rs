@@ -1,0 +1,703 @@
+//! The end-to-end simulation runner.
+//!
+//! `run_scenario` is this workspace's equivalent of an ns-2 run: it
+//! wires mobility → radio → delivery → neighbor tables → clustering,
+//! drives the discrete-event loop for the configured simulated time,
+//! and returns every measurement the paper's figures need.
+//!
+//! # Protocol timeline (per node, mirroring §3.2 / §4.1)
+//!
+//! Each node broadcasts a hello every `BI` seconds, starting at a
+//! random offset in `[0, BI)` (nodes are not synchronized, as in
+//! ns-2). At each of its broadcast instants the node:
+//!
+//! 1. expires stale neighbors (`TP`),
+//! 2. computes its aggregate mobility `M` from the stored `RxPr`
+//!    pairs and stamps it (plus role) onto the hello,
+//! 3. the delivery engine hands the hello to every in-range receiver
+//!    with its measured `RxPr`, which the receivers store,
+//! 4. the node runs one clustering evaluation and possibly changes
+//!    role (recorded into the transition log).
+//!
+//! Once per `BI` a sampler records the number of clusterheads, the
+//! gateway fraction and the population-mean metric.
+
+use mobic_core::{ClusterConfig, ClusterNode, ClusterTable, Role};
+use mobic_geom::{Rect, Vec2};
+use mobic_metrics::{TimeSeries, TransitionLog};
+use mobic_mobility::{
+    ConferenceHall, ConferenceHallParams, GaussMarkov, GaussMarkovParams, Highway, HighwayParams,
+    Manhattan, ManhattanParams, Mobility, RandomWalk, RandomWalkParams, RandomWaypoint,
+    RandomWaypointParams, RpgmGroup, RpgmParams, Stationary,
+};
+use mobic_net::{loss, loss::LossModel, DeliveryEngine, NodeId};
+use mobic_radio::{FreeSpace, LogDistance, Nakagami, Propagation, Radio, Shadowed, TwoRayGround};
+use mobic_sim::{rng::SeedSplitter, SimTime, Simulation};
+use serde::{Deserialize, Serialize};
+
+use crate::{ConfigError, LossKind, MobilityKind, PropagationKind, ScenarioConfig};
+
+/// Everything measured in one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// The algorithm that ran.
+    pub algorithm: mobic_core::AlgorithmKind,
+    /// The master seed of the run.
+    pub seed: u64,
+    /// The configured transmission range (echoed for sweep tables).
+    pub tx_range_m: f64,
+    /// `CS` over the whole run, including the initial election.
+    pub clusterhead_changes_total: usize,
+    /// `CS` counting only changes after the warmup — the headline
+    /// steady-state stability number plotted in Figures 3/5/6.
+    pub clusterhead_changes: usize,
+    /// Cluster-membership changes after warmup (finer churn measure).
+    pub affiliation_changes: usize,
+    /// Mean number of clusters after warmup (Figure 4's quantity).
+    pub avg_clusters: f64,
+    /// Mean fraction of nodes that are gateways, after warmup.
+    pub gateway_fraction: f64,
+    /// Population mean of the aggregate mobility metric, after warmup.
+    pub mean_aggregate_metric: f64,
+    /// The sampled cluster-count series (one point per `BI`).
+    pub cluster_series: TimeSeries,
+    /// Total hello broadcasts sent.
+    pub hello_broadcasts: u64,
+    /// Total successful hello deliveries.
+    pub deliveries: u64,
+    /// Receptions destroyed by the vulnerable-window MAC collision
+    /// model (0 when collisions are disabled).
+    pub mac_collisions: u64,
+    /// Every node's role at the end of the run.
+    pub final_roles: Vec<Role>,
+    /// Steady-state transitions broken down by `from->to` kind — the
+    /// diagnostic behind the stability analyses ("where does the churn
+    /// come from?").
+    pub transitions_by_kind: std::collections::BTreeMap<String, usize>,
+    /// Gini coefficient of per-node clusterhead *time shares* after
+    /// warmup — the burden-fairness measure (0 = every node serves
+    /// equally; → 1 = a few nodes carry all clusters). Stability and
+    /// fairness trade off: see the `fairness` experiment.
+    pub ch_time_gini: f64,
+    /// How many distinct nodes ever held the clusterhead role.
+    pub distinct_clusterheads: usize,
+    /// Every role transition of the run, in time order — the full
+    /// event trace for downstream analyses (serialized with results).
+    pub role_transitions: Vec<mobic_core::RoleTransition>,
+}
+
+/// Simulation events.
+enum Ev {
+    /// Node `i` broadcasts its hello (and then evaluates clustering).
+    Hello(NodeId),
+    /// Periodic metric sampling.
+    Sample,
+}
+
+/// Builds the per-node mobility models for a scenario.
+fn build_mobility(
+    cfg: &ScenarioConfig,
+    field: Rect,
+    splitter: &SeedSplitter,
+) -> Vec<Box<dyn Mobility>> {
+    let n = cfg.n_nodes as usize;
+    let horizon = SimTime::from_secs_f64(cfg.sim_time_s + 2.0 * cfg.bi_s);
+    match cfg.mobility {
+        MobilityKind::RandomWaypoint => {
+            let params = RandomWaypointParams {
+                field,
+                min_speed_mps: cfg.min_speed_mps,
+                max_speed_mps: cfg.max_speed_mps,
+                pause: SimTime::from_secs_f64(cfg.pause_s),
+            };
+            (0..n)
+                .map(|i| {
+                    Box::new(RandomWaypoint::new(params, splitter.stream("mobility", i as u64)))
+                        as Box<dyn Mobility>
+                })
+                .collect()
+        }
+        MobilityKind::RandomWalk { epoch_s } => {
+            let params = RandomWalkParams {
+                field,
+                min_speed_mps: cfg.min_speed_mps,
+                max_speed_mps: cfg.max_speed_mps,
+                epoch: SimTime::from_secs_f64(epoch_s),
+            };
+            (0..n)
+                .map(|i| {
+                    Box::new(RandomWalk::new(params, splitter.stream("mobility", i as u64)))
+                        as Box<dyn Mobility>
+                })
+                .collect()
+        }
+        MobilityKind::GaussMarkov { alpha } => {
+            let params = GaussMarkovParams {
+                field,
+                alpha,
+                mean_speed_mps: 0.5 * cfg.max_speed_mps,
+                speed_sigma: 0.25 * cfg.max_speed_mps,
+                heading_sigma: 0.35,
+                step: SimTime::from_secs(1),
+            };
+            (0..n)
+                .map(|i| {
+                    Box::new(GaussMarkov::new(params, splitter.stream("mobility", i as u64)))
+                        as Box<dyn Mobility>
+                })
+                .collect()
+        }
+        MobilityKind::Rpgm {
+            groups,
+            member_radius_m,
+        } => {
+            let params = RpgmParams {
+                field,
+                min_speed_mps: cfg.min_speed_mps,
+                max_speed_mps: cfg.max_speed_mps,
+                pause: SimTime::from_secs_f64(cfg.pause_s),
+                member_radius_m,
+                member_update: SimTime::from_secs(5),
+            };
+            let mut models: Vec<Box<dyn Mobility>> = Vec::with_capacity(n);
+            let mut group_objs: Vec<RpgmGroup> = (0..groups)
+                .map(|g| RpgmGroup::new(params, horizon, splitter.stream("rpgm-group", u64::from(g))))
+                .collect();
+            for i in 0..n {
+                let g = i % groups as usize;
+                models.push(Box::new(group_objs[g].spawn_member()));
+            }
+            models
+        }
+        MobilityKind::Highway { lanes, bidirectional } => {
+            let params = HighwayParams {
+                field,
+                lanes,
+                bidirectional,
+                lane_speed_mps: cfg.max_speed_mps,
+                speed_jitter: 0.1 * cfg.max_speed_mps,
+                jitter_alpha: 0.9,
+                step: SimTime::from_secs(1),
+            };
+            (0..n)
+                .map(|i| {
+                    Box::new(Highway::new(
+                        params,
+                        (i % lanes as usize) as u32,
+                        splitter.stream("mobility", i as u64),
+                    )) as Box<dyn Mobility>
+                })
+                .collect()
+        }
+        MobilityKind::ConferenceHall { booths } => {
+            let params = ConferenceHallParams {
+                field,
+                booths,
+                booth_radius_m: 0.06 * field.width().min(field.height()),
+                min_speed_mps: 0.5,
+                max_speed_mps: 1.5,
+                min_pause: SimTime::from_secs(30),
+                max_pause: SimTime::from_secs(120),
+            };
+            let hall = ConferenceHall::new(params, &mut splitter.stream("hall", 0));
+            (0..n)
+                .map(|i| {
+                    Box::new(hall.spawn_attendee(splitter.stream("mobility", i as u64)))
+                        as Box<dyn Mobility>
+                })
+                .collect()
+        }
+        MobilityKind::Manhattan { block_m, p_turn } => {
+            let params = ManhattanParams {
+                field,
+                block_m,
+                min_speed_mps: cfg.min_speed_mps,
+                max_speed_mps: cfg.max_speed_mps,
+                p_turn,
+            };
+            (0..n)
+                .map(|i| {
+                    Box::new(Manhattan::new(params, splitter.stream("mobility", i as u64)))
+                        as Box<dyn Mobility>
+                })
+                .collect()
+        }
+        MobilityKind::Stationary => {
+            let mut rng = splitter.stream("placement", 0);
+            (0..n)
+                .map(|_| {
+                    use rand::Rng;
+                    let p = field.point_at(rng.gen::<f64>(), rng.gen::<f64>());
+                    Box::new(Stationary::new(p)) as Box<dyn Mobility>
+                })
+                .collect()
+        }
+    }
+}
+
+/// Builds the propagation model.
+fn build_propagation(cfg: &ScenarioConfig, splitter: &SeedSplitter) -> Box<dyn Propagation> {
+    match cfg.propagation {
+        PropagationKind::FreeSpace => Box::new(FreeSpace::at_frequency(914.0e6)),
+        PropagationKind::TwoRayGround => Box::new(TwoRayGround::ns2_default()),
+        PropagationKind::LogDistance { exponent } => {
+            Box::new(LogDistance::calibrated_to_friis(914.0e6, exponent))
+        }
+        PropagationKind::ShadowedFreeSpace { sigma_db } => Box::new(Shadowed::new(
+            FreeSpace::at_frequency(914.0e6),
+            sigma_db,
+            splitter.stream("shadowing", 0),
+        )),
+        PropagationKind::NakagamiFreeSpace { m } => Box::new(Nakagami::new(
+            FreeSpace::at_frequency(914.0e6),
+            m,
+            splitter.stream("fading", 0),
+        )),
+    }
+}
+
+/// Builds the loss model.
+fn build_loss(cfg: &ScenarioConfig, splitter: &SeedSplitter) -> Box<dyn LossModel> {
+    match cfg.loss {
+        LossKind::None => Box::new(loss::NoLoss),
+        LossKind::Bernoulli { p } => Box::new(loss::Bernoulli::new(p, splitter.stream("loss", 0))),
+        LossKind::BurstyPreset => {
+            Box::new(loss::GilbertElliott::mildly_bursty(splitter.stream("loss", 0)))
+        }
+    }
+}
+
+/// A read-only view of the simulation state handed to observers at
+/// every sampling instant (once per broadcast interval).
+#[derive(Debug)]
+pub struct SampleView<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// Position of every node (indexed by `NodeId::index`).
+    pub positions: &'a [Vec2],
+    /// The clustering state machines.
+    pub nodes: &'a [ClusterNode],
+    /// The neighbor tables.
+    pub tables: &'a [ClusterTable],
+}
+
+/// Runs one complete scenario with the given master seed.
+///
+/// The run is a pure function of `(cfg, seed)` — see the determinism
+/// contract in [`mobic_sim`].
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] if the configuration is invalid.
+pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> Result<RunResult, ConfigError> {
+    run_scenario_observed(cfg, seed, |_| {})
+}
+
+/// Like [`run_scenario`], but invokes `observer` at every sampling
+/// instant with a [`SampleView`] of the live simulation state — the
+/// hook higher layers (e.g. the `mobic-routing` experiments) use to
+/// probe routes against the evolving cluster structure without
+/// re-implementing the event loop.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] if the configuration is invalid.
+pub fn run_scenario_observed(
+    cfg: &ScenarioConfig,
+    seed: u64,
+    mut observer: impl FnMut(SampleView<'_>),
+) -> Result<RunResult, ConfigError> {
+    cfg.validate()?;
+    let n = cfg.n_nodes as usize;
+    let splitter = SeedSplitter::new(seed);
+    let field = Rect::new(cfg.field_w_m, cfg.field_h_m);
+    let bi = SimTime::from_secs_f64(cfg.bi_s);
+    let sim_end = SimTime::from_secs_f64(cfg.sim_time_s);
+    let warmup = SimTime::from_secs_f64(cfg.warmup_s);
+
+    let mut mobility = build_mobility(cfg, field, &splitter);
+    let radio = Radio::with_range(build_propagation(cfg, &splitter), cfg.tx_range_m);
+    let mut engine = DeliveryEngine::new(radio, build_loss(cfg, &splitter));
+
+    let ccfg = ClusterConfig {
+        algorithm: cfg.algorithm,
+        cci: SimTime::from_secs_f64(cfg.cci_s),
+        metric_max_age: SimTime::from_secs_f64(cfg.tp_s),
+        history_alpha: cfg.history_alpha,
+        aggregation: cfg.metric_aggregation,
+        metric_quantum: cfg.metric_quantum,
+        undecided_patience: SimTime::from_secs_f64(cfg.undecided_patience_s),
+    };
+    let mut nodes: Vec<ClusterNode> = (0..n)
+        .map(|i| ClusterNode::new(NodeId::new(i as u32), ccfg))
+        .collect();
+    let mut tables: Vec<ClusterTable> = (0..n)
+        .map(|_| ClusterTable::new(SimTime::from_secs_f64(cfg.tp_s)))
+        .collect();
+
+    let mut log = TransitionLog::new();
+    let mut cluster_series = TimeSeries::new("clusters");
+    let mut gateway_series = TimeSeries::new("gateway-fraction");
+    let mut metric_series = TimeSeries::new("mean-aggregate-metric");
+    let mut hello_broadcasts: u64 = 0;
+    let mut deliveries: u64 = 0;
+
+    let mut sim: Simulation<Ev> = Simulation::new();
+    {
+        use rand::Rng;
+        let mut off_rng = splitter.stream("hello-offset", 0);
+        for i in 0..n {
+            let offset = SimTime::from_secs_f64(off_rng.gen::<f64>() * cfg.bi_s);
+            sim.schedule_at(offset, Ev::Hello(NodeId::new(i as u32)));
+        }
+    }
+    sim.schedule_at(bi, Ev::Sample);
+
+    let mut positions: Vec<Vec2> = vec![Vec2::ZERO; n];
+    // Vulnerable-window MAC collision state: last arrival per receiver.
+    let packet_time = SimTime::from_secs_f64(cfg.packet_time_s);
+    let mut last_arrival: Vec<Option<SimTime>> = vec![None; n];
+    let mut collisions: u64 = 0;
+    sim.run_until(sim_end, |now, ev, sched| match ev {
+        Ev::Hello(tx) => {
+            for (j, m) in mobility.iter_mut().enumerate() {
+                positions[j] = m.position_at(now);
+            }
+            let hello = nodes[tx.index()].prepare_broadcast(now, &mut tables[tx.index()]);
+            hello_broadcasts += 1;
+            for d in engine.broadcast(tx, &positions, now) {
+                let r = d.receiver.index();
+                if !packet_time.is_zero() {
+                    let collided = last_arrival[r]
+                        .is_some_and(|prev| now.saturating_sub(prev) < packet_time);
+                    last_arrival[r] = Some(now);
+                    if collided {
+                        collisions += 1;
+                        continue;
+                    }
+                }
+                deliveries += 1;
+                tables[r].record(now, d.rx_power, &hello);
+            }
+            // Listen-before-decide: the paper's nodes compare their M
+            // "with those of its neighbors", so no role decision is
+            // taken until every neighbor has had one full broadcast
+            // interval to introduce itself.
+            if now >= bi {
+                if let Some(tr) = nodes[tx.index()].evaluate(now, &mut tables[tx.index()]) {
+                    log.record(tr);
+                }
+            }
+            // §5 extension: mobility-adaptive hello pacing — mobile
+            // neighborhoods refresh faster (down to the configured
+            // floor), calm ones keep the base interval.
+            let next = if cfg.adaptive_bi_min_s > 0.0 {
+                const PIVOT_DB2: f64 = 2.0;
+                let m = nodes[tx.index()].metric();
+                let secs = (cfg.bi_s * PIVOT_DB2 / (PIVOT_DB2 + m))
+                    .clamp(cfg.adaptive_bi_min_s, cfg.bi_s);
+                SimTime::from_secs_f64(secs)
+            } else {
+                bi
+            };
+            sched.schedule_in(next, Ev::Hello(tx));
+        }
+        Ev::Sample => {
+            for (j, m) in mobility.iter_mut().enumerate() {
+                positions[j] = m.position_at(now);
+            }
+            observer(SampleView {
+                now,
+                positions: &positions,
+                nodes: &nodes,
+                tables: &tables,
+            });
+            let clusters = nodes.iter().filter(|nd| nd.role().is_clusterhead()).count();
+            cluster_series.push(now, clusters as f64);
+            let gateways = nodes
+                .iter()
+                .zip(&tables)
+                .filter(|(nd, t)| nd.is_gateway(t))
+                .count();
+            gateway_series.push(now, gateways as f64 / n as f64);
+            let mean_metric = nodes.iter().map(ClusterNode::metric).sum::<f64>() / n as f64;
+            metric_series.push(now, mean_metric);
+            sched.schedule_in(bi, Ev::Sample);
+        }
+    });
+
+    let shares = log.clusterhead_time_shares(n, warmup, sim_end.max(warmup + SimTime::SECOND));
+    let ch_time_gini = mobic_metrics::gini(&shares);
+    let distinct_clusterheads = log.distinct_clusterheads();
+    let mut transitions_by_kind = std::collections::BTreeMap::new();
+    for tr in log.transitions() {
+        if tr.at >= warmup {
+            let kind = format!("{}->{}", short_role(tr.from), short_role(tr.to));
+            *transitions_by_kind.entry(kind).or_insert(0) += 1;
+        }
+    }
+
+    Ok(RunResult {
+        algorithm: cfg.algorithm,
+        seed,
+        tx_range_m: cfg.tx_range_m,
+        clusterhead_changes_total: log.clusterhead_changes(),
+        clusterhead_changes: log.clusterhead_changes_after(warmup),
+        affiliation_changes: log.affiliation_changes_after(warmup),
+        avg_clusters: cluster_series.mean_after(warmup),
+        gateway_fraction: gateway_series.mean_after(warmup),
+        mean_aggregate_metric: metric_series.mean_after(warmup),
+        cluster_series,
+        hello_broadcasts,
+        deliveries,
+        mac_collisions: collisions,
+        final_roles: nodes.iter().map(ClusterNode::role).collect(),
+        transitions_by_kind,
+        ch_time_gini,
+        distinct_clusterheads,
+        role_transitions: log.transitions().to_vec(),
+    })
+}
+
+/// Compact role label for transition-kind keys.
+fn short_role(r: Role) -> &'static str {
+    match r {
+        Role::Undecided => "undecided",
+        Role::Clusterhead => "ch",
+        Role::Member { .. } => "member",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobic_core::AlgorithmKind;
+
+    fn small(alg: AlgorithmKind) -> ScenarioConfig {
+        let mut c = ScenarioConfig::paper_table1();
+        c.n_nodes = 12;
+        c.sim_time_s = 60.0;
+        c.tx_range_m = 250.0;
+        c.algorithm = alg;
+        c
+    }
+
+    #[test]
+    fn runs_and_produces_sane_counts() {
+        let cfg = small(AlgorithmKind::Mobic);
+        let r = run_scenario(&cfg, 3).unwrap();
+        // 12 nodes × 60 s / 2 s = 360 broadcasts (±1 per node for the
+        // initial offset round landing inside the horizon).
+        assert!(r.hello_broadcasts >= 348 && r.hello_broadcasts <= 372, "{}", r.hello_broadcasts);
+        assert!(r.deliveries > 0);
+        assert!(r.avg_clusters >= 1.0 && r.avg_clusters <= 12.0);
+        assert_eq!(r.final_roles.len(), 12);
+        assert_eq!(r.algorithm, AlgorithmKind::Mobic);
+        assert!((0.0..=1.0).contains(&r.gateway_fraction));
+        assert!(r.mean_aggregate_metric >= 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_invocations() {
+        let cfg = small(AlgorithmKind::Mobic);
+        let a = run_scenario(&cfg, 7).unwrap();
+        let b = run_scenario(&cfg, 7).unwrap();
+        assert_eq!(a.clusterhead_changes_total, b.clusterhead_changes_total);
+        assert_eq!(a.deliveries, b.deliveries);
+        assert_eq!(a.final_roles, b.final_roles);
+        assert_eq!(a.avg_clusters, b.avg_clusters);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = small(AlgorithmKind::Mobic);
+        let a = run_scenario(&cfg, 1).unwrap();
+        let b = run_scenario(&cfg, 2).unwrap();
+        // Different placements → different delivery counts with
+        // overwhelming probability.
+        assert_ne!(a.deliveries, b.deliveries);
+    }
+
+    #[test]
+    fn stationary_network_converges_and_stays_stable() {
+        let mut cfg = small(AlgorithmKind::Lcc);
+        cfg.mobility = MobilityKind::Stationary;
+        cfg.sim_time_s = 120.0;
+        let r = run_scenario(&cfg, 5).unwrap();
+        // No motion → no steady-state clusterhead changes at all.
+        assert_eq!(r.clusterhead_changes, 0, "static network must be stable");
+        // Everyone decided.
+        assert!(r.final_roles.iter().all(|x| *x != Role::Undecided));
+    }
+
+    #[test]
+    fn stationary_mobic_matches_lowest_id_fixed_point() {
+        // With no motion every M stays 0, so MOBIC degenerates to
+        // Lowest-ID — their converged clusterings must coincide.
+        let mut cfg = small(AlgorithmKind::Mobic);
+        cfg.mobility = MobilityKind::Stationary;
+        cfg.sim_time_s = 120.0;
+        let a = run_scenario(&cfg, 11).unwrap();
+        let b = run_scenario(&cfg.with_algorithm(AlgorithmKind::Lcc), 11).unwrap();
+        assert_eq!(a.final_roles, b.final_roles);
+    }
+
+    #[test]
+    fn isolated_nodes_all_become_clusterheads() {
+        let mut cfg = small(AlgorithmKind::Mobic);
+        cfg.tx_range_m = 1.0; // nobody hears anybody
+        let r = run_scenario(&cfg, 9).unwrap();
+        assert_eq!(r.deliveries, 0);
+        assert!(r
+            .final_roles
+            .iter()
+            .all(|x| *x == Role::Clusterhead));
+        assert_eq!(r.avg_clusters, 12.0);
+    }
+
+    #[test]
+    fn all_algorithms_run() {
+        for alg in AlgorithmKind::ALL {
+            let r = run_scenario(&small(alg), 4).unwrap();
+            assert!(r.avg_clusters >= 1.0, "{alg}");
+        }
+    }
+
+    #[test]
+    fn all_mobility_kinds_run() {
+        let kinds = [
+            MobilityKind::RandomWaypoint,
+            MobilityKind::RandomWalk { epoch_s: 10.0 },
+            MobilityKind::GaussMarkov { alpha: 0.8 },
+            MobilityKind::Rpgm {
+                groups: 3,
+                member_radius_m: 40.0,
+            },
+            MobilityKind::Highway { lanes: 4, bidirectional: true },
+            MobilityKind::ConferenceHall { booths: 5 },
+            MobilityKind::Manhattan { block_m: 100.0, p_turn: 0.5 },
+            MobilityKind::Stationary,
+        ];
+        for k in kinds {
+            let mut cfg = small(AlgorithmKind::Mobic);
+            cfg.mobility = k;
+            cfg.sim_time_s = 30.0;
+            let r = run_scenario(&cfg, 2).unwrap();
+            assert!(r.hello_broadcasts > 0, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn all_propagation_and_loss_kinds_run() {
+        for prop in [
+            PropagationKind::FreeSpace,
+            PropagationKind::TwoRayGround,
+            PropagationKind::LogDistance { exponent: 3.0 },
+            PropagationKind::ShadowedFreeSpace { sigma_db: 4.0 },
+            PropagationKind::NakagamiFreeSpace { m: 1.0 },
+        ] {
+            for l in [
+                LossKind::None,
+                LossKind::Bernoulli { p: 0.1 },
+                LossKind::BurstyPreset,
+            ] {
+                let mut cfg = small(AlgorithmKind::Mobic);
+                cfg.sim_time_s = 30.0;
+                cfg.propagation = prop;
+                cfg.loss = l;
+                let r = run_scenario(&cfg, 6).unwrap();
+                assert!(r.hello_broadcasts > 0, "{prop:?} {l:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bernoulli_loss_reduces_deliveries() {
+        let cfg = small(AlgorithmKind::Mobic);
+        let clean = run_scenario(&cfg, 8).unwrap();
+        let mut lossy_cfg = cfg;
+        lossy_cfg.loss = LossKind::Bernoulli { p: 0.5 };
+        let lossy = run_scenario(&lossy_cfg, 8).unwrap();
+        let ratio = lossy.deliveries as f64 / clean.deliveries as f64;
+        assert!((ratio - 0.5).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn collision_window_destroys_some_receptions() {
+        let mut cfg = small(AlgorithmKind::Mobic);
+        cfg.packet_time_s = 0.0;
+        let clean = run_scenario(&cfg, 13).unwrap();
+        assert_eq!(clean.mac_collisions, 0);
+        cfg.packet_time_s = 0.02; // generous window to force collisions
+        let noisy = run_scenario(&cfg, 13).unwrap();
+        assert!(noisy.mac_collisions > 0, "no collisions observed");
+        assert_eq!(
+            noisy.deliveries + noisy.mac_collisions,
+            clean.deliveries,
+            "collisions must partition the same reception set"
+        );
+    }
+
+    #[test]
+    fn manhattan_mobility_runs() {
+        let mut cfg = small(AlgorithmKind::Mobic);
+        cfg.mobility = MobilityKind::Manhattan { block_m: 100.0, p_turn: 0.5 };
+        cfg.sim_time_s = 40.0;
+        let r = run_scenario(&cfg, 3).unwrap();
+        assert!(r.hello_broadcasts > 0);
+    }
+
+    #[test]
+    fn adaptive_bi_sends_more_hellos_in_mobile_networks() {
+        let mut cfg = small(AlgorithmKind::Mobic);
+        let fixed = run_scenario(&cfg, 21).unwrap();
+        cfg.adaptive_bi_min_s = 0.5;
+        let adaptive = run_scenario(&cfg, 21).unwrap();
+        assert!(
+            adaptive.hello_broadcasts > fixed.hello_broadcasts,
+            "adaptive {} vs fixed {}",
+            adaptive.hello_broadcasts,
+            fixed.hello_broadcasts
+        );
+        // Static network: everyone's M stays 0 → base rate.
+        let mut calm = small(AlgorithmKind::Mobic);
+        calm.mobility = MobilityKind::Stationary;
+        calm.adaptive_bi_min_s = 0.5;
+        let calm_adaptive = run_scenario(&calm, 21).unwrap();
+        let mut calm_fixed_cfg = small(AlgorithmKind::Mobic);
+        calm_fixed_cfg.mobility = MobilityKind::Stationary;
+        let calm_fixed = run_scenario(&calm_fixed_cfg, 21).unwrap();
+        assert_eq!(calm_adaptive.hello_broadcasts, calm_fixed.hello_broadcasts);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = small(AlgorithmKind::Mobic);
+        cfg.n_nodes = 0;
+        assert!(run_scenario(&cfg, 0).is_err());
+    }
+
+    #[test]
+    fn fairness_fields_are_consistent() {
+        let r = run_scenario(&small(AlgorithmKind::Mobic), 31).unwrap();
+        assert!((0.0..1.0).contains(&r.ch_time_gini), "{}", r.ch_time_gini);
+        assert!(r.distinct_clusterheads >= 1);
+        assert!(r.distinct_clusterheads <= 12);
+        // The transition trace is complete: CS can be recomputed.
+        let warmup = SimTime::from_secs_f64(small(AlgorithmKind::Mobic).warmup_s);
+        let recount = r
+            .role_transitions
+            .iter()
+            .filter(|t| t.at >= warmup && t.is_clusterhead_change())
+            .count();
+        assert_eq!(recount, r.clusterhead_changes);
+    }
+
+    #[test]
+    fn result_serializes() {
+        let r = run_scenario(&small(AlgorithmKind::Lcc), 1).unwrap();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.clusterhead_changes, r.clusterhead_changes);
+    }
+}

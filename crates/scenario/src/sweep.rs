@@ -1,0 +1,163 @@
+//! Multi-run parameter sweeps with thread-level parallelism.
+
+use mobic_metrics::OnlineStats;
+use serde::{Deserialize, Serialize};
+
+use crate::{run_scenario, ConfigError, RunResult, ScenarioConfig};
+
+/// Runs every `(config, seed)` job, using all available cores, and
+/// returns results **in input order** (the parallelism is
+/// unobservable).
+///
+/// # Errors
+///
+/// Returns the first configuration error; all configs are validated
+/// up front so no work is wasted on a doomed batch.
+pub fn run_batch(jobs: &[(ScenarioConfig, u64)]) -> Result<Vec<RunResult>, ConfigError> {
+    for (cfg, _) in jobs {
+        cfg.validate()?;
+    }
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut results: Vec<Option<RunResult>> = (0..jobs.len()).map(|_| None).collect();
+    let slots: Vec<std::sync::Mutex<&mut Option<RunResult>>> =
+        results.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let (cfg, seed) = &jobs[i];
+                let result = run_scenario(cfg, *seed).expect("configs validated up front");
+                **slots[i].lock().expect("slot poisoned") = Some(result);
+            });
+        }
+    });
+    drop(slots);
+    Ok(results
+        .into_iter()
+        .map(|r| r.expect("every job completed"))
+        .collect())
+}
+
+/// Aggregated outcome of one sweep cell (one algorithm at one
+/// parameter point, across seeds).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepOutcome {
+    /// The swept x-value (e.g. transmission range in meters).
+    pub x: f64,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Number of seeds aggregated.
+    pub runs: usize,
+    /// Mean steady-state clusterhead changes (`CS`).
+    pub mean_cs: f64,
+    /// Standard error of `CS` across seeds.
+    pub stderr_cs: f64,
+    /// Mean steady-state cluster count.
+    pub mean_clusters: f64,
+    /// Mean gateway fraction.
+    pub mean_gateway_fraction: f64,
+    /// The raw per-seed `CS` samples (for significance testing).
+    pub cs_samples: Vec<f64>,
+}
+
+/// Aggregates a group of runs (same cell, different seeds) into a
+/// [`SweepOutcome`] keyed by `x`.
+///
+/// # Panics
+///
+/// Panics if `runs` is empty or mixes algorithms.
+#[must_use]
+pub fn summarize_cs(x: f64, runs: &[RunResult]) -> SweepOutcome {
+    assert!(!runs.is_empty(), "cannot summarize zero runs");
+    let algorithm = runs[0].algorithm;
+    assert!(
+        runs.iter().all(|r| r.algorithm == algorithm),
+        "mixed algorithms in one sweep cell"
+    );
+    let cs: OnlineStats = runs.iter().map(|r| r.clusterhead_changes as f64).collect();
+    let clusters: OnlineStats = runs.iter().map(|r| r.avg_clusters).collect();
+    let gw: OnlineStats = runs.iter().map(|r| r.gateway_fraction).collect();
+    SweepOutcome {
+        x,
+        algorithm: algorithm.name().to_string(),
+        runs: runs.len(),
+        mean_cs: cs.mean(),
+        stderr_cs: cs.std_error(),
+        mean_clusters: clusters.mean(),
+        mean_gateway_fraction: gw.mean(),
+        cs_samples: runs.iter().map(|r| r.clusterhead_changes as f64).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobic_core::AlgorithmKind;
+
+    fn tiny(alg: AlgorithmKind, tx: f64) -> ScenarioConfig {
+        let mut c = ScenarioConfig::paper_table1();
+        c.n_nodes = 8;
+        c.sim_time_s = 30.0;
+        c.tx_range_m = tx;
+        c.algorithm = alg;
+        c
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_preserves_order() {
+        let jobs: Vec<(ScenarioConfig, u64)> = (0..6)
+            .map(|s| (tiny(AlgorithmKind::Mobic, 150.0 + 10.0 * s as f64), s))
+            .collect();
+        let batch = run_batch(&jobs).unwrap();
+        for (i, (cfg, seed)) in jobs.iter().enumerate() {
+            let solo = run_scenario(cfg, *seed).unwrap();
+            assert_eq!(batch[i].deliveries, solo.deliveries, "job {i}");
+            assert_eq!(batch[i].tx_range_m, cfg.tx_range_m);
+        }
+    }
+
+    #[test]
+    fn batch_rejects_invalid_configs_upfront() {
+        let mut bad = tiny(AlgorithmKind::Mobic, 100.0);
+        bad.n_nodes = 0;
+        let jobs = vec![(tiny(AlgorithmKind::Mobic, 100.0), 1), (bad, 2)];
+        assert!(run_batch(&jobs).is_err());
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(run_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn summarize_aggregates_across_seeds() {
+        let cfg = tiny(AlgorithmKind::Lcc, 200.0);
+        let runs: Vec<RunResult> = (0..3)
+            .map(|s| run_scenario(&cfg, s).unwrap())
+            .collect();
+        let out = summarize_cs(200.0, &runs);
+        assert_eq!(out.runs, 3);
+        assert_eq!(out.cs_samples.len(), 3);
+        assert_eq!(out.algorithm, "lcc");
+        assert_eq!(out.x, 200.0);
+        let mean = runs
+            .iter()
+            .map(|r| r.clusterhead_changes as f64)
+            .sum::<f64>()
+            / 3.0;
+        assert!((out.mean_cs - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero runs")]
+    fn summarize_rejects_empty() {
+        let _ = summarize_cs(0.0, &[]);
+    }
+}

@@ -1,0 +1,244 @@
+//! The simulation run loop.
+
+use crate::{EventQueue, SimTime};
+
+/// The scheduling interface handed to event handlers while the
+/// simulation runs: the current time plus the ability to schedule
+/// further events.
+///
+/// Handlers receive `&mut Scheduler<E>` rather than the whole
+/// [`Simulation`] so they cannot re-enter the run loop.
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+}
+
+impl<E> Scheduler<E> {
+    fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+        }
+    }
+
+    /// The current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before the current time) — a
+    /// causality violation that would silently corrupt a simulation if
+    /// allowed through.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: now={}, at={}",
+            self.now,
+            at
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Schedules `event` after a delay from the current time.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// A discrete-event simulation: an event queue plus a clock, driven to
+/// completion by [`Simulation::run_until`].
+///
+/// The event type `E` is chosen by the embedding application (for the
+/// MANET simulator it is hello broadcasts, contention deadlines, and
+/// metric samplers).
+///
+/// # Examples
+///
+/// A self-rescheduling periodic event:
+///
+/// ```
+/// use mobic_sim::{Simulation, SimTime};
+///
+/// let mut sim = Simulation::new();
+/// sim.schedule_at(SimTime::ZERO, ());
+/// let mut ticks = 0;
+/// sim.run_until(SimTime::from_secs(10), |_, (), sched| {
+///     ticks += 1;
+///     sched.schedule_in(SimTime::from_secs(2), ());
+/// });
+/// // t = 0, 2, 4, 6, 8, 10 (events at exactly the horizon still fire).
+/// assert_eq!(ticks, 6);
+/// ```
+#[derive(Debug)]
+pub struct Simulation<E> {
+    sched: Scheduler<E>,
+    processed: u64,
+}
+
+impl<E> Simulation<E> {
+    /// Creates an empty simulation at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Simulation {
+            sched: Scheduler::new(),
+            processed: 0,
+        }
+    }
+
+    /// Schedules an event before the run starts (or between runs).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        self.sched.schedule_at(at, event);
+    }
+
+    /// The current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.sched.now
+    }
+
+    /// Total number of events processed so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Runs the simulation until the queue drains or the next event
+    /// lies strictly after `horizon`. Events scheduled exactly at
+    /// `horizon` are processed. The clock is left at the later of its
+    /// current value and `horizon`.
+    ///
+    /// The handler receives `(now, event, &mut Scheduler)` and may
+    /// schedule further events.
+    pub fn run_until<F>(&mut self, horizon: SimTime, mut handler: F)
+    where
+        F: FnMut(SimTime, E, &mut Scheduler<E>),
+    {
+        while let Some(t) = self.sched.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (t, ev) = self.sched.queue.pop().expect("peeked event must exist");
+            debug_assert!(t >= self.sched.now, "event queue returned past event");
+            self.sched.now = t;
+            self.processed += 1;
+            handler(t, ev, &mut self.sched);
+        }
+        if horizon > self.sched.now {
+            self.sched.now = horizon;
+        }
+    }
+}
+
+impl<E> Default for Simulation<E> {
+    fn default() -> Self {
+        Simulation::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processes_in_time_order() {
+        let mut sim = Simulation::new();
+        sim.schedule_at(SimTime::from_secs(5), 5);
+        sim.schedule_at(SimTime::from_secs(1), 1);
+        sim.schedule_at(SimTime::from_secs(3), 3);
+        let mut order = Vec::new();
+        sim.run_until(SimTime::from_secs(100), |_, e, _| order.push(e));
+        assert_eq!(order, vec![1, 3, 5]);
+        assert_eq!(sim.events_processed(), 3);
+        assert_eq!(sim.now(), SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn horizon_is_inclusive() {
+        let mut sim = Simulation::new();
+        sim.schedule_at(SimTime::from_secs(10), "at");
+        sim.schedule_at(SimTime::from_micros(10_000_001), "after");
+        let mut seen = Vec::new();
+        sim.run_until(SimTime::from_secs(10), |_, e, _| seen.push(e));
+        assert_eq!(seen, vec!["at"]);
+        // The late event survives for a later run.
+        sim.run_until(SimTime::from_secs(11), |_, e, _| seen.push(e));
+        assert_eq!(seen, vec!["at", "after"]);
+    }
+
+    #[test]
+    fn handler_can_cascade_events() {
+        let mut sim = Simulation::new();
+        sim.schedule_at(SimTime::ZERO, 0u32);
+        let mut count = 0;
+        sim.run_until(SimTime::from_secs(100), |now, depth, sched| {
+            count += 1;
+            if depth < 5 {
+                sched.schedule_at(now + SimTime::SECOND, depth + 1);
+            }
+        });
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn same_time_cascade_runs_immediately() {
+        let mut sim = Simulation::new();
+        sim.schedule_at(SimTime::from_secs(1), false);
+        let mut log = Vec::new();
+        sim.run_until(SimTime::from_secs(1), |now, is_child, sched| {
+            log.push((now, is_child));
+            if !is_child {
+                sched.schedule_at(now, true); // same instant
+            }
+        });
+        assert_eq!(
+            log,
+            vec![
+                (SimTime::from_secs(1), false),
+                (SimTime::from_secs(1), true)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = Simulation::new();
+        sim.schedule_at(SimTime::from_secs(5), ());
+        sim.run_until(SimTime::from_secs(10), |_, (), sched| {
+            sched.schedule_at(SimTime::from_secs(1), ());
+        });
+    }
+
+    #[test]
+    fn clock_advances_to_horizon_without_events() {
+        let mut sim: Simulation<()> = Simulation::new();
+        sim.run_until(SimTime::from_secs(42), |_, (), _| {});
+        assert_eq!(sim.now(), SimTime::from_secs(42));
+        assert_eq!(sim.events_processed(), 0);
+    }
+
+    #[test]
+    fn pending_count_visible_to_handler() {
+        let mut sim = Simulation::new();
+        sim.schedule_at(SimTime::ZERO, ());
+        let mut observed = None;
+        sim.run_until(SimTime::from_secs(1), |_, (), sched| {
+            sched.schedule_in(SimTime::from_secs(10), ());
+            sched.schedule_in(SimTime::from_secs(20), ());
+            observed = Some(sched.pending());
+        });
+        assert_eq!(observed, Some(2));
+    }
+}

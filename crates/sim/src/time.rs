@@ -1,0 +1,280 @@
+//! The simulation clock.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant (or duration) on the simulation clock, stored as integer
+/// microseconds since the start of the run.
+///
+/// Microsecond resolution makes every quantity in the paper exact: the
+/// Broadcast Interval (2 s), Timeout Period (3 s), Cluster Contention
+/// Interval (4 s) and the 900 s run length are all integral multiples,
+/// so no floating-point drift can reorder events. A `u64` of
+/// microseconds covers ~584 000 years of simulated time.
+///
+/// `SimTime` doubles as a duration type (like a bare integer would);
+/// arithmetic is checked in debug builds and saturating semantics are
+/// available via [`SimTime::saturating_sub`].
+///
+/// # Examples
+///
+/// ```
+/// use mobic_sim::SimTime;
+///
+/// let bi = SimTime::from_secs_f64(2.0);
+/// let t = SimTime::ZERO + bi * 3;
+/// assert_eq!(t.as_secs_f64(), 6.0);
+/// assert!(t > bi);
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the simulation (also the zero duration).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable instant.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// One microsecond.
+    pub const MICROSECOND: SimTime = SimTime(1);
+
+    /// One millisecond.
+    pub const MILLISECOND: SimTime = SimTime(1_000);
+
+    /// One second.
+    pub const SECOND: SimTime = SimTime(1_000_000);
+
+    /// Creates a time from whole microseconds.
+    #[must_use]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Creates a time from whole milliseconds.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Creates a time from whole seconds.
+    #[must_use]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Creates a time from fractional seconds, rounding to the nearest
+    /// microsecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative, NaN, or too large to represent.
+    #[must_use]
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "sim time must be finite and non-negative, got {s}"
+        );
+        let us = (s * 1e6).round();
+        assert!(us <= u64::MAX as f64, "sim time overflow: {s} s");
+        SimTime(us as u64)
+    }
+
+    /// The value in whole microseconds.
+    #[must_use]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The value in fractional seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[must_use]
+    pub fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+
+    /// Subtraction clamping at zero instead of panicking.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mobic_sim::SimTime;
+    /// let a = SimTime::from_secs(1);
+    /// let b = SimTime::from_secs(3);
+    /// assert_eq!(a.saturating_sub(b), SimTime::ZERO);
+    /// ```
+    #[must_use]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// `true` for the zero instant/duration.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The ratio `self / other` as a float (e.g. progress through a
+    /// leg). Returns `0.0` when `other` is zero.
+    #[must_use]
+    pub fn ratio(self, other: SimTime) -> f64 {
+        if other.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / other.0 as f64
+        }
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("sim time overflow in addition"),
+        )
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("sim time underflow in subtraction"),
+        )
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(
+            self.0
+                .checked_mul(rhs)
+                .expect("sim time overflow in multiplication"),
+        )
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(2), SimTime::from_millis(2_000));
+        assert_eq!(SimTime::from_millis(2), SimTime::from_micros(2_000));
+        assert_eq!(SimTime::from_secs_f64(2.0), SimTime::from_secs(2));
+        assert_eq!(SimTime::from_secs_f64(0.5), SimTime::from_micros(500_000));
+    }
+
+    #[test]
+    fn rounding_to_microseconds() {
+        assert_eq!(SimTime::from_secs_f64(1e-7), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(6e-7), SimTime::MICROSECOND);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_seconds_panic() {
+        let _ = SimTime::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_secs(3);
+        let b = SimTime::from_secs(1);
+        assert_eq!(a + b, SimTime::from_secs(4));
+        assert_eq!(a - b, SimTime::from_secs(2));
+        assert_eq!(b * 5, SimTime::from_secs(5));
+        assert_eq!(a / 3, SimTime::from_secs(1));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime::from_secs(4));
+        c -= SimTime::from_secs(4);
+        assert_eq!(c, SimTime::ZERO);
+        assert!(c.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = SimTime::from_secs(1) - SimTime::from_secs(2);
+    }
+
+    #[test]
+    fn saturating_and_checked() {
+        assert_eq!(
+            SimTime::from_secs(1).saturating_sub(SimTime::from_secs(5)),
+            SimTime::ZERO
+        );
+        assert_eq!(SimTime::MAX.checked_add(SimTime::MICROSECOND), None);
+        assert_eq!(
+            SimTime::ZERO.checked_add(SimTime::SECOND),
+            Some(SimTime::SECOND)
+        );
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
+        assert!(SimTime::MAX > SimTime::from_secs(900));
+    }
+
+    #[test]
+    fn ratio() {
+        assert_eq!(SimTime::from_secs(1).ratio(SimTime::from_secs(4)), 0.25);
+        assert_eq!(SimTime::from_secs(1).ratio(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_millis(1500).to_string(), "1.500000s");
+    }
+
+    #[test]
+    fn paper_constants_are_exact() {
+        // BI=2s, TP=3s, CCI=4s, S=900s must all be exact multiples of 1us.
+        for (secs, micros) in [(2.0, 2_000_000), (3.0, 3_000_000), (4.0, 4_000_000), (900.0, 900_000_000)] {
+            assert_eq!(SimTime::from_secs_f64(secs).as_micros(), micros);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests of the event queue and run loop: global time
+//! ordering with FIFO tie-breaking under arbitrary interleavings of
+//! pushes and pops, and run-loop/queue agreement.
+
+use mobic_sim::{EventQueue, SimTime, Simulation};
+use proptest::prelude::*;
+
+proptest! {
+    /// Popping everything yields a stable sort by (time, insertion
+    /// order), regardless of the insertion order.
+    #[test]
+    fn drains_in_stable_time_order(times in prop::collection::vec(0u64..50, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(t), i);
+        }
+        let mut expected: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        expected.sort_by_key(|&(t, i)| (t, i));
+        let mut drained = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            drained.push((t.as_micros(), i));
+        }
+        prop_assert_eq!(drained, expected);
+    }
+
+    /// Interleaved push/pop: every pop returns the minimum pending
+    /// (time, seq) at that moment.
+    #[test]
+    fn interleaved_operations_preserve_heap_property(
+        ops in prop::collection::vec((any::<bool>(), 0u64..30), 1..150),
+    ) {
+        let mut q = EventQueue::new();
+        let mut shadow: Vec<(u64, usize)> = Vec::new(); // (time, seq)
+        let mut seq = 0usize;
+        for (is_push, t) in ops {
+            if is_push || shadow.is_empty() {
+                q.push(SimTime::from_micros(t), seq);
+                shadow.push((t, seq));
+                seq += 1;
+            } else {
+                let popped = q.pop().expect("shadow says non-empty");
+                let min_idx = shadow
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &(t, s))| (t, s))
+                    .map(|(i, _)| i)
+                    .expect("non-empty");
+                let (mt, ms) = shadow.swap_remove(min_idx);
+                prop_assert_eq!((popped.0.as_micros(), popped.1), (mt, ms));
+            }
+            prop_assert_eq!(q.len(), shadow.len());
+        }
+    }
+
+    /// The run loop delivers exactly the events at or before the
+    /// horizon, in order, and leaves the rest queued.
+    #[test]
+    fn run_loop_respects_horizon(
+        times in prop::collection::vec(0u64..100, 1..100),
+        horizon in 0u64..100,
+    ) {
+        let mut sim = Simulation::new();
+        for (i, &t) in times.iter().enumerate() {
+            sim.schedule_at(SimTime::from_micros(t), i);
+        }
+        let mut seen = Vec::new();
+        sim.run_until(SimTime::from_micros(horizon), |at, i, _| {
+            seen.push((at.as_micros(), i));
+        });
+        let mut expected: Vec<(u64, usize)> = times
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t <= horizon)
+            .map(|(i, &t)| (t, i))
+            .collect();
+        expected.sort_by_key(|&(t, i)| (t, i));
+        let last_t = expected.last().map_or(0, |&(t, _)| t);
+        prop_assert_eq!(seen, expected);
+        prop_assert_eq!(sim.now(), SimTime::from_micros(horizon.max(last_t)));
+    }
+}

@@ -1,0 +1,131 @@
+//! Terminal rendering of cluster scenes.
+
+use crate::ClusterScene;
+
+impl ClusterScene {
+    /// Renders the scene as ASCII art on a `cols × rows` character
+    /// grid: `#` clusterhead, `G` gateway, `o` member, `?` undecided.
+    /// When several nodes land on one cell the highest-salience marker
+    /// wins (`#` > `G` > `o` > `?`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` or `rows` is zero.
+    #[must_use]
+    pub fn to_ascii(&self, cols: usize, rows: usize) -> String {
+        assert!(cols > 0 && rows > 0, "grid must be non-empty");
+        let mut grid = vec![vec![' '; cols]; rows];
+        let salience = |c: char| match c {
+            '#' => 3,
+            'G' => 2,
+            'o' => 1,
+            '?' => 0,
+            _ => -1,
+        };
+        for i in 0..self.len() {
+            let p = self.positions[i];
+            let u = ((p.x - self.field.min().x) / self.field.width().max(1e-9))
+                .clamp(0.0, 1.0);
+            let v = ((p.y - self.field.min().y) / self.field.height().max(1e-9))
+                .clamp(0.0, 1.0);
+            let col = ((u * (cols - 1) as f64).round() as usize).min(cols - 1);
+            // Top row = max y (north up).
+            let row = rows - 1 - ((v * (rows - 1) as f64).round() as usize).min(rows - 1);
+            let marker = match self.roles[i] {
+                mobic_core::Role::Clusterhead => '#',
+                mobic_core::Role::Member { .. } => {
+                    if self.is_gateway(i) {
+                        'G'
+                    } else {
+                        'o'
+                    }
+                }
+                mobic_core::Role::Undecided => '?',
+            };
+            if salience(marker) > salience(grid[row][col]) {
+                grid[row][col] = marker;
+            }
+        }
+        let mut out = String::with_capacity((cols + 3) * (rows + 2));
+        out.push('+');
+        out.push_str(&"-".repeat(cols));
+        out.push_str("+\n");
+        for row in grid {
+            out.push('|');
+            out.extend(row);
+            out.push_str("|\n");
+        }
+        out.push('+');
+        out.push_str(&"-".repeat(cols));
+        out.push_str("+\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ClusterScene;
+    use mobic_core::Role;
+    use mobic_geom::{Rect, Vec2};
+    use mobic_net::NodeId;
+
+    fn scene() -> ClusterScene {
+        ClusterScene {
+            field: Rect::square(100.0),
+            tx_range_m: 60.0,
+            positions: vec![
+                Vec2::new(10.0, 90.0), // top-left: CH
+                Vec2::new(90.0, 10.0), // bottom-right: member
+                Vec2::new(50.0, 50.0), // center: undecided
+            ],
+            roles: vec![
+                Role::Clusterhead,
+                Role::Member { ch: NodeId::new(0) },
+                Role::Undecided,
+            ],
+        }
+    }
+
+    #[test]
+    fn markers_and_orientation() {
+        let art = scene().to_ascii(20, 10);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 12, "border + 10 rows");
+        // North is up: the clusterhead (y=90) appears in an upper row,
+        // the member (y=10) in a lower row.
+        let row_of = |c: char| lines.iter().position(|l| l.contains(c)).unwrap();
+        assert!(row_of('#') < row_of('o'), "{art}");
+        assert!(art.contains('?'));
+    }
+
+    #[test]
+    fn collision_keeps_most_salient() {
+        let s = ClusterScene {
+            field: Rect::square(10.0),
+            tx_range_m: 5.0,
+            positions: vec![Vec2::new(5.0, 5.0), Vec2::new(5.0, 5.0)],
+            roles: vec![Role::Undecided, Role::Clusterhead],
+        };
+        let art = s.to_ascii(3, 3);
+        assert!(art.contains('#'));
+        assert!(!art.contains('?'));
+    }
+
+    #[test]
+    fn every_row_is_framed() {
+        let art = scene().to_ascii(8, 4);
+        for line in art.lines() {
+            assert!(
+                (line.starts_with('|') && line.ends_with('|'))
+                    || (line.starts_with('+') && line.ends_with('+')),
+                "unframed line: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_grid_panics() {
+        let _ = scene().to_ascii(0, 5);
+    }
+}

@@ -1,0 +1,216 @@
+//! SVG line charts — enough to render the paper's figures from the
+//! experiment CSVs (multiple series, axes, ticks, legend).
+
+use std::fmt::Write as _;
+
+use crate::SvgCanvas;
+
+/// One named data series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points; need not be sorted but usually are.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A multi-series line chart with axes, tick labels and a legend.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_viz::{LineChart, Series};
+///
+/// let chart = LineChart::new("CS vs Tx", "Tx (m)", "clusterhead changes")
+///     .with_series(Series {
+///         name: "lcc".into(),
+///         points: vec![(50.0, 1556.0), (150.0, 359.0), (250.0, 136.0)],
+///     })
+///     .with_series(Series {
+///         name: "mobic".into(),
+///         points: vec![(50.0, 1711.0), (150.0, 317.0), (250.0, 121.0)],
+///     });
+/// let svg = chart.to_svg(640.0, 400.0);
+/// assert!(svg.contains("polyline"));
+/// assert!(svg.contains("mobic"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+}
+
+impl LineChart {
+    /// Creates an empty chart.
+    #[must_use]
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+        LineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series (builder style).
+    #[must_use]
+    pub fn with_series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Number of series.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// `true` if the chart has no series.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Data bounds over all series: `(x_min, x_max, y_min, y_max)`.
+    /// `None` if there are no points at all.
+    #[must_use]
+    pub fn bounds(&self) -> Option<(f64, f64, f64, f64)> {
+        let mut b: Option<(f64, f64, f64, f64)> = None;
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                b = Some(match b {
+                    None => (x, x, y, y),
+                    Some((x0, x1, y0, y1)) => (x0.min(x), x1.max(x), y0.min(y), y1.max(y)),
+                });
+            }
+        }
+        b
+    }
+
+    /// Renders the chart to an SVG document of the given pixel size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are not positive.
+    #[must_use]
+    pub fn to_svg(&self, width: f64, height: f64) -> String {
+        const PALETTE: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#17becf"];
+        let mut c = SvgCanvas::new(width, height);
+        let (ml, mr, mt, mb) = (70.0, 20.0, 36.0, 56.0); // margins
+        let plot_w = (width - ml - mr).max(1.0);
+        let plot_h = (height - mt - mb).max(1.0);
+        let Some((x0, x1, y0raw, y1raw)) = self.bounds() else {
+            c.text(width / 2.0, height / 2.0, 14.0, "(no data)");
+            return c.finish();
+        };
+        // Always include y = 0 and pad the top 5%.
+        let y0 = y0raw.min(0.0);
+        let y1 = if y1raw > y0 { y1raw + 0.05 * (y1raw - y0) } else { y0 + 1.0 };
+        let xspan = if x1 > x0 { x1 - x0 } else { 1.0 };
+        let yspan = y1 - y0;
+        let px = |x: f64| ml + (x - x0) / xspan * plot_w;
+        let py = |y: f64| mt + plot_h - (y - y0) / yspan * plot_h;
+
+        // Frame + title + axis labels.
+        c.rect(ml, mt, plot_w, plot_h, "#888");
+        c.text(width / 2.0, mt - 12.0, 14.0, &self.title);
+        c.text(width / 2.0, height - 8.0, 12.0, &self.x_label);
+        c.text(16.0, mt - 12.0, 11.0, &self.y_label);
+
+        // Ticks (5 per axis).
+        for k in 0..=5 {
+            let fx = x0 + xspan * f64::from(k) / 5.0;
+            let fy = y0 + yspan * f64::from(k) / 5.0;
+            let tx = px(fx);
+            let ty = py(fy);
+            c.line(tx, mt + plot_h, tx, mt + plot_h + 4.0, "#888", 1.0);
+            c.text(tx, mt + plot_h + 18.0, 10.0, &trim_num(fx));
+            c.line(ml - 4.0, ty, ml, ty, "#888", 1.0);
+            c.text(ml - 26.0, ty + 3.0, 10.0, &trim_num(fy));
+        }
+
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let mut pts = String::new();
+            for &(x, y) in &s.points {
+                let _ = write!(pts, "{:.1},{:.1} ", px(x), py(y));
+            }
+            c.polyline(pts.trim(), color, 2.0);
+            for &(x, y) in &s.points {
+                c.circle(px(x), py(y), 2.5, color, None);
+            }
+            // Legend entry.
+            let ly = mt + 14.0 + 16.0 * i as f64;
+            c.line(ml + plot_w - 108.0, ly - 4.0, ml + plot_w - 88.0, ly - 4.0, color, 2.0);
+            c.text(ml + plot_w - 48.0, ly, 11.0, &s.name);
+        }
+        c.finish()
+    }
+}
+
+/// Compact tick label: no trailing zeros, thousands unchanged.
+fn trim_num(v: f64) -> String {
+    if v.abs() >= 100.0 || v.fract().abs() < 1e-9 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> LineChart {
+        LineChart::new("t", "x", "y")
+            .with_series(Series {
+                name: "a".into(),
+                points: vec![(0.0, 0.0), (10.0, 100.0)],
+            })
+            .with_series(Series {
+                name: "b".into(),
+                points: vec![(0.0, 50.0), (10.0, 25.0)],
+            })
+    }
+
+    #[test]
+    fn bounds_cover_all_series() {
+        assert_eq!(chart().bounds(), Some((0.0, 10.0, 0.0, 100.0)));
+        assert_eq!(LineChart::new("t", "x", "y").bounds(), None);
+    }
+
+    #[test]
+    fn svg_contains_expected_elements() {
+        let svg = chart().to_svg(640.0, 400.0);
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">b</text>"));
+        // 4 data point markers.
+        assert!(svg.matches("<circle").count() >= 4);
+        // Tick labels include the extremes.
+        assert!(svg.contains(">0<") || svg.contains(">0</text>"));
+        assert!(svg.contains(">10<") || svg.contains(">10</text>"));
+    }
+
+    #[test]
+    fn empty_chart_renders_placeholder() {
+        let svg = LineChart::new("t", "x", "y").to_svg(200.0, 100.0);
+        assert!(svg.contains("(no data)"));
+        assert!(LineChart::new("t", "x", "y").is_empty());
+        assert_eq!(chart().len(), 2);
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let c = LineChart::new("t", "x", "y").with_series(Series {
+            name: "flat".into(),
+            points: vec![(5.0, 7.0)],
+        });
+        let svg = c.to_svg(300.0, 200.0);
+        assert!(svg.contains("<circle"));
+        assert!(!svg.contains("NaN"));
+    }
+}

@@ -1,0 +1,43 @@
+//! Visualization of MANET cluster structure: publication-style SVG
+//! snapshots and quick terminal (ASCII) views.
+//!
+//! The paper's Figure 1 is a hand-drawn schematic of a clustered
+//! topology; this crate renders the same picture from live simulation
+//! state — clusterheads, members with affiliation spokes, gateways,
+//! and the transmission-radius disks — either as standalone SVG files
+//! or as ASCII art for terminal debugging.
+//!
+//! # Examples
+//!
+//! ```
+//! use mobic_core::Role;
+//! use mobic_geom::{Rect, Vec2};
+//! use mobic_net::NodeId;
+//! use mobic_viz::{ClusterScene, SvgStyle};
+//!
+//! let scene = ClusterScene {
+//!     field: Rect::square(200.0),
+//!     tx_range_m: 80.0,
+//!     positions: vec![Vec2::new(50.0, 50.0), Vec2::new(100.0, 60.0)],
+//!     roles: vec![Role::Clusterhead, Role::Member { ch: NodeId::new(0) }],
+//! };
+//! let svg = scene.to_svg(&SvgStyle::default());
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.contains("</svg>"));
+//! let text = scene.to_ascii(40, 20);
+//! assert!(text.contains('#')); // the clusterhead marker
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ascii;
+mod chart;
+mod scene;
+mod sparkline;
+mod svg;
+
+pub use chart::{LineChart, Series};
+pub use scene::ClusterScene;
+pub use sparkline::sparkline;
+pub use svg::{SvgCanvas, SvgStyle};

@@ -1,0 +1,145 @@
+//! The renderable cluster scene.
+
+use mobic_core::{ClusterNode, Role};
+use mobic_geom::{Rect, Vec2};
+use mobic_net::NodeId;
+use mobic_scenario::SampleView;
+
+/// A self-contained snapshot of everything the renderers need.
+#[derive(Debug, Clone)]
+pub struct ClusterScene {
+    /// The simulation field.
+    pub field: Rect,
+    /// The nominal transmission range (drawn as disks around
+    /// clusterheads).
+    pub tx_range_m: f64,
+    /// Node positions, indexed by `NodeId::index`.
+    pub positions: Vec<Vec2>,
+    /// Node roles, parallel to `positions`.
+    pub roles: Vec<Role>,
+}
+
+impl ClusterScene {
+    /// Captures a scene from a live [`SampleView`] (the scenario
+    /// runner's observer payload).
+    #[must_use]
+    pub fn from_view(view: &SampleView<'_>, field: Rect, tx_range_m: f64) -> Self {
+        ClusterScene {
+            field,
+            tx_range_m,
+            positions: view.positions.to_vec(),
+            roles: view.nodes.iter().map(ClusterNode::role).collect(),
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` when the scene has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Indices of all clusterheads.
+    #[must_use]
+    pub fn clusterheads(&self) -> Vec<usize> {
+        self.roles
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_clusterhead())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// `true` if node `i` is a gateway: a non-clusterhead within
+    /// range of two or more clusterheads.
+    #[must_use]
+    pub fn is_gateway(&self, i: usize) -> bool {
+        if self.roles[i].is_clusterhead() {
+            return false;
+        }
+        self.clusterheads()
+            .iter()
+            .filter(|&&c| self.positions[c].distance(self.positions[i]) <= self.tx_range_m)
+            .count()
+            >= 2
+    }
+
+    /// The affiliation spoke of node `i`: its clusterhead's index, if
+    /// it is a member of a clusterhead present in the scene.
+    #[must_use]
+    pub fn affiliation(&self, i: usize) -> Option<usize> {
+        match self.roles[i] {
+            Role::Member { ch } => {
+                let idx = ch.index();
+                (idx < self.len() && self.roles[idx].is_clusterhead()).then_some(idx)
+            }
+            _ => None,
+        }
+    }
+
+    /// The cluster label of node `i` (its clusterhead id), if decided.
+    #[must_use]
+    pub fn cluster_of(&self, i: usize) -> Option<NodeId> {
+        self.roles[i].cluster_of(NodeId::new(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scene() -> ClusterScene {
+        ClusterScene {
+            field: Rect::square(300.0),
+            tx_range_m: 100.0,
+            positions: vec![
+                Vec2::new(50.0, 50.0),   // 0: CH
+                Vec2::new(100.0, 60.0),  // 1: member of 0
+                Vec2::new(200.0, 50.0),  // 2: CH
+                Vec2::new(140.0, 55.0),  // 3: member of 0, hears both CHs
+                Vec2::new(280.0, 280.0), // 4: undecided loner
+            ],
+            roles: vec![
+                Role::Clusterhead,
+                Role::Member { ch: NodeId::new(0) },
+                Role::Clusterhead,
+                Role::Member { ch: NodeId::new(0) },
+                Role::Undecided,
+            ],
+        }
+    }
+
+    #[test]
+    fn clusterheads_and_gateways() {
+        let s = scene();
+        assert_eq!(s.clusterheads(), vec![0, 2]);
+        assert!(!s.is_gateway(1), "hears only CH 0");
+        assert!(s.is_gateway(3), "hears CHs 0 and 2");
+        assert!(!s.is_gateway(0), "clusterheads are never gateways");
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn affiliations() {
+        let s = scene();
+        assert_eq!(s.affiliation(1), Some(0));
+        assert_eq!(s.affiliation(0), None);
+        assert_eq!(s.affiliation(4), None);
+        assert_eq!(s.cluster_of(0), Some(NodeId::new(0)));
+        assert_eq!(s.cluster_of(4), None);
+    }
+
+    #[test]
+    fn dangling_affiliation_is_not_drawn() {
+        let mut s = scene();
+        // Node 1 claims a clusterhead that is no longer one.
+        s.roles[0] = Role::Undecided;
+        assert_eq!(s.affiliation(1), None);
+    }
+}

@@ -1,0 +1,69 @@
+//! Unicode sparklines for time series (cluster counts, CS rates).
+
+/// Renders `values` as a one-line Unicode sparkline (`▁▂▃▄▅▆▇█`),
+/// scaled to the data's own min..max range. Empty input yields an
+/// empty string; a constant series renders at mid height.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_viz::sparkline;
+///
+/// let s = sparkline(&[1.0, 2.0, 3.0, 2.0, 1.0]);
+/// assert_eq!(s.chars().count(), 5);
+/// assert!(s.contains('█'));
+/// ```
+#[must_use]
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    values
+        .iter()
+        .map(|&v| {
+            if span <= 0.0 || !span.is_finite() {
+                BARS[3]
+            } else {
+                let t = ((v - min) / span * 7.0).round().clamp(0.0, 7.0) as usize;
+                BARS[t]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_constant() {
+        assert_eq!(sparkline(&[]), "");
+        let s = sparkline(&[5.0, 5.0, 5.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.chars().all(|c| c == '▄'));
+    }
+
+    #[test]
+    fn monotone_ramp_uses_full_range() {
+        let values: Vec<f64> = (0..8).map(f64::from).collect();
+        let s = sparkline(&values);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+
+    #[test]
+    fn single_value() {
+        assert_eq!(sparkline(&[42.0]).chars().count(), 1);
+    }
+
+    #[test]
+    fn negative_values_are_fine() {
+        let s = sparkline(&[-10.0, 0.0, 10.0]);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+}

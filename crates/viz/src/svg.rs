@@ -1,0 +1,292 @@
+//! A tiny dependency-free SVG writer and the cluster-scene renderer.
+
+use std::fmt::Write as _;
+
+use crate::ClusterScene;
+
+/// Styling knobs for SVG rendering.
+#[derive(Debug, Clone)]
+pub struct SvgStyle {
+    /// Pixel width of the output (height follows the field's aspect
+    /// ratio).
+    pub width_px: f64,
+    /// Node marker radius in pixels.
+    pub node_radius_px: f64,
+    /// Palette cycled over clusters (fill colors).
+    pub palette: Vec<String>,
+    /// Whether to draw the transmission-radius disk of each
+    /// clusterhead.
+    pub draw_range_disks: bool,
+    /// Whether to draw member→clusterhead affiliation spokes.
+    pub draw_spokes: bool,
+}
+
+impl Default for SvgStyle {
+    fn default() -> Self {
+        SvgStyle {
+            width_px: 640.0,
+            node_radius_px: 5.0,
+            palette: [
+                "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#e377c2",
+                "#7f7f7f", "#bcbd22", "#17becf",
+            ]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect(),
+            draw_range_disks: true,
+            draw_spokes: true,
+        }
+    }
+}
+
+/// A minimal SVG document builder — just enough shapes for network
+/// diagrams, with numeric formatting suitable for version control
+/// diffs (fixed precision).
+///
+/// # Examples
+///
+/// ```
+/// use mobic_viz::SvgCanvas;
+///
+/// let mut c = SvgCanvas::new(100.0, 50.0);
+/// c.circle(10.0, 10.0, 4.0, "#1f77b4", None);
+/// c.line(0.0, 0.0, 100.0, 50.0, "#999", 1.0);
+/// c.text(50.0, 25.0, 10.0, "hello");
+/// let svg = c.finish();
+/// assert!(svg.contains("<circle"));
+/// assert!(svg.contains("hello"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SvgCanvas {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+impl SvgCanvas {
+    /// Creates a canvas of the given pixel dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not positive and finite.
+    #[must_use]
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(
+            width > 0.0 && height > 0.0 && width.is_finite() && height.is_finite(),
+            "canvas dimensions must be positive"
+        );
+        SvgCanvas {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    /// Adds a filled (and optionally stroked) circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str, stroke: Option<(&str, f64)>) {
+        let _ = write!(
+            self.body,
+            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" fill="{fill}""#
+        );
+        if let Some((color, w)) = stroke {
+            let _ = write!(self.body, r#" stroke="{color}" stroke-width="{w:.2}""#);
+        }
+        self.body.push_str("/>\n");
+    }
+
+    /// Adds an unfilled circle outline.
+    pub fn ring(&mut self, cx: f64, cy: f64, r: f64, stroke: &str, width: f64, opacity: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" fill="none" stroke="{stroke}" stroke-width="{width:.2}" stroke-opacity="{opacity:.2}"/>"#
+        );
+    }
+
+    /// Adds a line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{stroke}" stroke-width="{width:.2}"/>"#
+        );
+    }
+
+    /// Adds an axis-aligned rectangle outline.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, stroke: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="none" stroke="{stroke}"/>"#
+        );
+    }
+
+    /// Adds a filled square centered at `(cx, cy)` (the clusterhead
+    /// marker, matching the paper's "dark squares").
+    pub fn square(&mut self, cx: f64, cy: f64, half: f64, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{:.2}" y="{:.2}" width="{:.2}" height="{:.2}" fill="{fill}" stroke="black" stroke-width="1"/>"#,
+            cx - half,
+            cy - half,
+            2.0 * half,
+            2.0 * half
+        );
+    }
+
+    /// Adds a polyline through the given pre-formatted points string
+    /// (`"x1,y1 x2,y2 ..."`).
+    pub fn polyline(&mut self, points: &str, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<polyline points="{points}" fill="none" stroke="{stroke}" stroke-width="{width:.2}"/>"#
+        );
+    }
+
+    /// Adds a text label anchored middle.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, content: &str) {
+        let escaped = content
+            .replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;");
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size:.1}" font-family="sans-serif" text-anchor="middle">{escaped}</text>"#
+        );
+    }
+
+    /// Serializes the document.
+    #[must_use]
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+}
+
+impl ClusterScene {
+    /// Renders the scene as an SVG document: clusterheads as dark
+    /// squares (as in the paper's Figure 1), members as circles
+    /// colored by cluster, gateways with a double outline, undecided
+    /// nodes hollow, plus optional affiliation spokes and range disks.
+    #[must_use]
+    pub fn to_svg(&self, style: &SvgStyle) -> String {
+        let scale = style.width_px / self.field.width().max(1e-9);
+        let height_px = self.field.height() * scale;
+        let mut canvas = SvgCanvas::new(style.width_px, height_px.max(1.0));
+        // y grows upward in sim coordinates, downward in SVG.
+        let to_px = |p: mobic_geom::Vec2| -> (f64, f64) {
+            (
+                (p.x - self.field.min().x) * scale,
+                height_px - (p.y - self.field.min().y) * scale,
+            )
+        };
+        canvas.rect(0.0, 0.0, style.width_px, height_px, "#333");
+
+        let heads = self.clusterheads();
+        let color_of = |head_idx: usize| -> &str {
+            let rank = heads.iter().position(|&h| h == head_idx).unwrap_or(0);
+            &style.palette[rank % style.palette.len()]
+        };
+
+        if style.draw_range_disks {
+            for &h in &heads {
+                let (x, y) = to_px(self.positions[h]);
+                canvas.ring(x, y, self.tx_range_m * scale, color_of(h), 1.0, 0.35);
+            }
+        }
+        if style.draw_spokes {
+            for i in 0..self.len() {
+                if let Some(h) = self.affiliation(i) {
+                    let (x1, y1) = to_px(self.positions[i]);
+                    let (x2, y2) = to_px(self.positions[h]);
+                    canvas.line(x1, y1, x2, y2, "#bbb", 0.7);
+                }
+            }
+        }
+        for i in 0..self.len() {
+            let (x, y) = to_px(self.positions[i]);
+            match self.roles[i] {
+                mobic_core::Role::Clusterhead => {
+                    canvas.square(x, y, style.node_radius_px, color_of(i));
+                }
+                mobic_core::Role::Member { .. } => {
+                    let fill = self.affiliation(i).map_or("#999", color_of);
+                    canvas.circle(x, y, style.node_radius_px * 0.8, fill, Some(("black", 0.6)));
+                    if self.is_gateway(i) {
+                        canvas.ring(x, y, style.node_radius_px * 1.6, "black", 1.0, 0.9);
+                    }
+                }
+                mobic_core::Role::Undecided => {
+                    canvas.circle(x, y, style.node_radius_px * 0.8, "white", Some(("black", 1.0)));
+                }
+            }
+        }
+        canvas.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobic_core::Role;
+    use mobic_geom::{Rect, Vec2};
+    use mobic_net::NodeId;
+
+    fn scene() -> ClusterScene {
+        ClusterScene {
+            field: Rect::square(100.0),
+            tx_range_m: 40.0,
+            positions: vec![Vec2::new(20.0, 20.0), Vec2::new(50.0, 20.0), Vec2::new(80.0, 80.0)],
+            roles: vec![
+                Role::Clusterhead,
+                Role::Member { ch: NodeId::new(0) },
+                Role::Undecided,
+            ],
+        }
+    }
+
+    #[test]
+    fn svg_structure() {
+        let svg = scene().to_svg(&SvgStyle::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        // One square (the head), one member circle, one undecided, one
+        // spoke, one range ring, one border rect.
+        assert_eq!(svg.matches("<rect").count(), 2, "border + head square");
+        assert!(svg.matches("<circle").count() >= 3);
+        assert_eq!(svg.matches("<line").count(), 1);
+    }
+
+    #[test]
+    fn svg_respects_style_toggles() {
+        let style = SvgStyle {
+            draw_range_disks: false,
+            draw_spokes: false,
+            ..SvgStyle::default()
+        };
+        let svg = scene().to_svg(&style);
+        assert_eq!(svg.matches("<line").count(), 0);
+        assert!(!svg.contains("stroke-opacity"));
+    }
+
+    #[test]
+    fn canvas_escapes_text() {
+        let mut c = SvgCanvas::new(10.0, 10.0);
+        c.text(5.0, 5.0, 8.0, "a<b&c>");
+        let svg = c.finish();
+        assert!(svg.contains("a&lt;b&amp;c&gt;"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_canvas_panics() {
+        let _ = SvgCanvas::new(0.0, 10.0);
+    }
+
+    #[test]
+    fn aspect_ratio_follows_field() {
+        let mut s = scene();
+        s.field = Rect::new(200.0, 100.0);
+        let svg = s.to_svg(&SvgStyle::default());
+        assert!(svg.contains(r#"width="640" height="320""#), "{}", &svg[..120]);
+    }
+}

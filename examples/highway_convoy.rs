@@ -1,0 +1,41 @@
+//! Highway convoys (§5 of the paper): four lanes of traffic at
+//! 25 m/s. Within a lane, relative mobility is tiny; across opposing
+//! lanes it is huge — exactly the structure MOBIC's metric separates.
+//!
+//! ```text
+//! cargo run --release --example highway_convoy
+//! ```
+
+use mobic::core::AlgorithmKind;
+use mobic::scenario::{run_scenario, MobilityKind, ScenarioConfig};
+
+fn main() {
+    let mut cfg = ScenarioConfig::paper_table1();
+    cfg.field_w_m = 1000.0;
+    cfg.field_h_m = 100.0; // a 1 km highway strip
+    cfg.mobility = MobilityKind::Highway { lanes: 4, bidirectional: false };
+    cfg.max_speed_mps = 25.0; // ~90 km/h lane speed
+    cfg.tx_range_m = 150.0;
+    cfg.sim_time_s = 300.0;
+
+    println!("Highway: 50 cars, 4 lanes (one-way convoy road), 25 m/s, Tx 150 m\n");
+    let mut cs = Vec::new();
+    for alg in [AlgorithmKind::Lcc, AlgorithmKind::Mobic] {
+        let r = run_scenario(&cfg.with_algorithm(alg), 7).expect("valid config");
+        println!(
+            "{:>9}: {:>4} clusterhead changes | {:>4.1} clusters | mean M = {:.2}",
+            alg.name(),
+            r.clusterhead_changes,
+            r.avg_clusters,
+            r.mean_aggregate_metric,
+        );
+        cs.push(r.clusterhead_changes as f64);
+    }
+    println!(
+        "\nMOBIC gain: {:+.1}% — convoys reward mobility-aware clusterhead choice",
+        100.0 * (cs[0] - cs[1]) / cs[0].max(1.0)
+    );
+    println!("(same-direction cars barely move relative to each other, so their");
+    println!(" M stays near zero and they keep stable clusterheads; oncoming");
+    println!(" traffic streaks by with the CCI rule absorbing the brief contact).");
+}

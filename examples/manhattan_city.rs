@@ -1,0 +1,57 @@
+//! Urban scenario: vehicles on a Manhattan street grid. Motion is
+//! constrained to streets, so neighborhoods are elongated and
+//! clusterheads sit at well-trafficked blocks.
+//!
+//! ```text
+//! cargo run --release --example manhattan_city
+//! ```
+
+use mobic::core::AlgorithmKind;
+use mobic::scenario::{run_scenario, MobilityKind, ScenarioConfig};
+
+fn main() {
+    let mut cfg = ScenarioConfig::paper_table1();
+    cfg.field_w_m = 600.0;
+    cfg.field_h_m = 600.0;
+    cfg.mobility = MobilityKind::Manhattan {
+        block_m: 100.0,
+        p_turn: 0.5,
+    };
+    cfg.min_speed_mps = 5.0;
+    cfg.max_speed_mps = 15.0; // 18–54 km/h city traffic
+    cfg.tx_range_m = 150.0;
+    cfg.sim_time_s = 300.0;
+
+    println!("Manhattan grid: 50 vehicles, 6x6 blocks of 100 m, Tx 150 m\n");
+    let mut cs = Vec::new();
+    let variants: [(&str, AlgorithmKind, Option<f64>); 4] = [
+        ("lcc", AlgorithmKind::Lcc, None),
+        ("mobic", AlgorithmKind::Mobic, None),
+        ("mobic+h", AlgorithmKind::Mobic, Some(0.7)),
+        ("wca+h", AlgorithmKind::Wca, Some(0.7)),
+    ];
+    for (label, alg, history) in variants {
+        let mut c = cfg.with_algorithm(alg);
+        c.history_alpha = history;
+        if history.is_some() {
+            c.metric_quantum = 1.0;
+        }
+        let r = run_scenario(&c, 19).expect("valid config");
+        println!(
+            "{label:>9}: {:>4} clusterhead changes | {:>4.1} clusters | {:>5.1}% gateways",
+            r.clusterhead_changes,
+            r.avg_clusters,
+            100.0 * r.gateway_fraction,
+        );
+        cs.push(r.clusterhead_changes as f64);
+    }
+    println!(
+        "\nvs LCC:  mobic {:+.0}%  |  mobic+h {:+.0}%  |  wca+h {:+.0}%",
+        100.0 * (cs[0] - cs[1]) / cs[0].max(1.0),
+        100.0 * (cs[0] - cs[2]) / cs[0].max(1.0),
+        100.0 * (cs[0] - cs[3]) / cs[0].max(1.0),
+    );
+    println!("(city traffic is near-uniformly mobile, so the raw single-window");
+    println!(" metric is noise-dominated — the §5 history extension is what makes");
+    println!(" mobility-aware clustering competitive here; see EXPERIMENTS.md X4)");
+}

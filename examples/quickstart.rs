@@ -1,0 +1,29 @@
+//! Quickstart: run the paper's primary scenario once with MOBIC and
+//! once with Lowest-ID (LCC), and compare cluster stability.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mobic::core::AlgorithmKind;
+use mobic::scenario::{run_scenario, ScenarioConfig};
+
+fn main() {
+    // Table 1, shortened to 300 s so the example finishes in seconds.
+    let mut cfg = ScenarioConfig::paper_table1();
+    cfg.sim_time_s = 300.0;
+    cfg.tx_range_m = 250.0;
+
+    println!("MOBIC vs Lowest-ID (LCC): 50 nodes, 670x670 m, MaxSpeed 20 m/s, Tx 250 m\n");
+    for alg in [AlgorithmKind::Lcc, AlgorithmKind::Mobic] {
+        let result = run_scenario(&cfg.with_algorithm(alg), 42).expect("valid config");
+        println!(
+            "{:>9}: {:>4} clusterhead changes | {:>4.1} clusters on average | {:>5.1}% gateways",
+            alg.name(),
+            result.clusterhead_changes,
+            result.avg_clusters,
+            100.0 * result.gateway_fraction,
+        );
+    }
+    println!("\nLower clusterhead changes = more stable clustering (the paper's CS metric).");
+}

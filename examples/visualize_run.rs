@@ -1,0 +1,63 @@
+//! Visualize a live run: write SVG snapshots of the cluster structure
+//! at a few instants, and print an ASCII view plus a cluster-count
+//! sparkline to the terminal.
+//!
+//! ```text
+//! cargo run --release --example visualize_run
+//! # → results/snapshots/clusters_t*.svg
+//! ```
+
+use mobic::core::AlgorithmKind;
+use mobic::geom::Rect;
+use mobic::scenario::{run_scenario_observed, ScenarioConfig};
+use mobic::viz::{sparkline, ClusterScene, SvgStyle};
+
+fn main() -> std::io::Result<()> {
+    let mut cfg = ScenarioConfig::paper_table1();
+    cfg.sim_time_s = 300.0;
+    cfg.tx_range_m = 150.0;
+    cfg.algorithm = AlgorithmKind::Mobic;
+    let field = Rect::new(cfg.field_w_m, cfg.field_h_m);
+
+    let out_dir = std::path::Path::new("results/snapshots");
+    std::fs::create_dir_all(out_dir)?;
+
+    let snapshot_times = [30.0, 150.0, 300.0];
+    let mut cluster_counts: Vec<f64> = Vec::new();
+    let mut last_scene: Option<ClusterScene> = None;
+    let mut written = Vec::new();
+
+    run_scenario_observed(&cfg, 7, |view| {
+        let scene = ClusterScene::from_view(&view, field, cfg.tx_range_m);
+        cluster_counts.push(scene.clusterheads().len() as f64);
+        let t = view.now.as_secs_f64();
+        if snapshot_times.iter().any(|&s| (t - s).abs() < cfg.bi_s / 2.0) {
+            let path = out_dir.join(format!("clusters_t{t:04.0}.svg"));
+            if std::fs::write(&path, scene.to_svg(&SvgStyle::default())).is_ok() {
+                written.push(path);
+            }
+        }
+        last_scene = Some(scene);
+    })
+    .expect("valid config");
+
+    println!(
+        "MOBIC run: 50 nodes, 670x670 m, Tx {} m, {} s\n",
+        cfg.tx_range_m, cfg.sim_time_s
+    );
+    if let Some(scene) = &last_scene {
+        println!("final cluster structure (# = clusterhead, G = gateway, o = member):");
+        println!("{}", scene.to_ascii(66, 22));
+    }
+    println!("clusters over time: {}", sparkline(&cluster_counts));
+    println!(
+        "                    {} samples, min {:.0}, max {:.0}",
+        cluster_counts.len(),
+        cluster_counts.iter().copied().fold(f64::INFINITY, f64::min),
+        cluster_counts.iter().copied().fold(0.0f64, f64::max),
+    );
+    for p in written {
+        println!("wrote {}", p.display());
+    }
+    Ok(())
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure/ablation of the MOBIC reproduction.
+# Outputs land in results/ (CSV + JSON) and results/logs/ (console).
+# Environment: MOBIC_SEEDS=<n> (default 5), MOBIC_FAST=1 for 180 s runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results/logs
+BINS=(table1 fig1 fig3 fig4 fig5 fig6 scaling baselines
+      ablation_history ablation_cci ablation_patience ablation_quantum
+      ablation_loss ablation_collisions scenarios_special
+      metric_validity group_purity routing_gain link_lifetimes adaptive_bi fairness ablation_aggregation render_figures)
+for bin in "${BINS[@]}"; do
+  echo "=== $bin ==="
+  cargo run --release -q -p mobic-bench --bin "$bin" | tee "results/logs/$bin.txt"
+done
+echo "All experiments complete. See EXPERIMENTS.md for the paper-vs-measured record."

@@ -1,0 +1,45 @@
+//! # mobic — facade crate
+//!
+//! Reproduction of *"A Mobility Based Metric for Clustering in Mobile Ad
+//! Hoc Networks"* (P. Basu, N. Khan, T.D.C. Little, ICDCS 2001), together
+//! with the complete MANET simulation substrate it needs.
+//!
+//! This crate re-exports the workspace members under stable module
+//! names; see each member crate for full documentation:
+//!
+//! * [`geom`] — 2-D geometry and spatial indexing,
+//! * [`sim`] — deterministic discrete-event engine,
+//! * [`mobility`] — mobility models (random waypoint, RPGM, …),
+//! * [`radio`] — propagation models and link budgets,
+//! * [`net`] — hello protocol and neighbor tables,
+//! * [`core`] — the MOBIC mobility metric and clustering algorithms,
+//! * [`metrics`] — cluster-stability metrics and reporting,
+//! * [`scenario`] — scenario configs and the end-to-end runner,
+//! * [`routing`] — cluster-based routing extension,
+//! * [`viz`] — SVG/terminal visualization of cluster snapshots.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mobic::scenario::{ScenarioConfig, run_scenario};
+//! use mobic::core::AlgorithmKind;
+//!
+//! let mut cfg = ScenarioConfig::paper_table1();
+//! cfg.n_nodes = 10;
+//! cfg.sim_time_s = 30.0;
+//! cfg.tx_range_m = 200.0;
+//! cfg.algorithm = AlgorithmKind::Mobic;
+//! let result = run_scenario(&cfg, 42).expect("valid config");
+//! println!("clusterhead changes: {}", result.clusterhead_changes);
+//! ```
+
+pub use mobic_core as core;
+pub use mobic_geom as geom;
+pub use mobic_metrics as metrics;
+pub use mobic_mobility as mobility;
+pub use mobic_net as net;
+pub use mobic_radio as radio;
+pub use mobic_routing as routing;
+pub use mobic_scenario as scenario;
+pub use mobic_sim as sim;
+pub use mobic_viz as viz;

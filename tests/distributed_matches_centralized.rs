@@ -1,0 +1,136 @@
+//! The distributed clustering engine, run over the real hello
+//! protocol on a static topology, must converge to the centralized
+//! reference clustering (the unique fixed point of lowest-weight
+//! election) and satisfy the paper's Theorem-1 invariants.
+
+use mobic::core::centralized::{lowest_id_clustering, Adjacency};
+use mobic::core::invariants::{check_theorem1, cluster_count, max_cluster_diameter};
+use mobic::core::{AlgorithmKind, Role};
+use mobic::net::NodeId;
+use mobic::scenario::{run_scenario, MobilityKind, ScenarioConfig};
+use mobic::sim::rng::SeedSplitter;
+use rand::Rng;
+
+/// Rebuilds the static placement the scenario runner uses for
+/// `MobilityKind::Stationary` with a given master seed, so tests can
+/// compute the expected clustering.
+fn stationary_positions(cfg: &ScenarioConfig, seed: u64) -> Vec<mobic::geom::Vec2> {
+    let splitter = SeedSplitter::new(seed);
+    let mut rng = splitter.stream("placement", 0);
+    let field = mobic::geom::Rect::new(cfg.field_w_m, cfg.field_h_m);
+    (0..cfg.n_nodes)
+        .map(|_| field.point_at(rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect()
+}
+
+fn static_cfg(alg: AlgorithmKind, seed_nodes: u32) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper_table1();
+    cfg.n_nodes = seed_nodes;
+    cfg.mobility = MobilityKind::Stationary;
+    cfg.sim_time_s = 120.0;
+    // Static convergence can chain several patience windows; measure
+    // only the settled regime.
+    cfg.warmup_s = 60.0;
+    cfg.tx_range_m = 200.0;
+    cfg.algorithm = alg;
+    cfg
+}
+
+#[test]
+fn distributed_lcc_reaches_a_valid_fixed_point_near_the_centralized_one() {
+    // The asynchronous protocol (random hello offsets, patience
+    // windows) may settle into any *stable* LCC configuration, not
+    // necessarily the sequential fixed point; but it must (a) satisfy
+    // the same structural invariants — checked in the theorem-1 test —
+    // and (b) land close to the centralized solution: similar cluster
+    // count, and every centralized clusterhead that is a *strict local
+    // minimum two hops out* (no alternative stable state can demote
+    // those without violating stability... they can still be absorbed
+    // as members of an adjacent-to-neighbor cluster, so we assert the
+    // count bound only).
+    for seed in 0..5u64 {
+        let cfg = static_cfg(AlgorithmKind::Lcc, 30);
+        let result = run_scenario(&cfg, seed).expect("valid config");
+        let positions = stationary_positions(&cfg, seed);
+        let adj = Adjacency::unit_disk(&positions, cfg.tx_range_m);
+        let ids: Vec<NodeId> = (0..cfg.n_nodes).map(NodeId::new).collect();
+        let expected = lowest_id_clustering(&ids, &adj);
+        let expected_count = expected.iter().filter(|r| r.is_clusterhead()).count() as f64;
+        let got_count = result
+            .final_roles
+            .iter()
+            .filter(|r| r.is_clusterhead())
+            .count() as f64;
+        assert!(
+            (got_count - expected_count).abs() <= (expected_count * 0.5).max(2.0),
+            "seed {seed}: distributed found {got_count} clusters, centralized {expected_count}"
+        );
+        // The globally lowest id in each connected component can never
+        // be stably demoted: any clusterhead it could be member of
+        // would have a higher id and lose the CH-CH contention...
+        // unless they are never in contention (LCC members persist).
+        // The truly invariant claim: node 0 is either a clusterhead or
+        // a member of a *live neighboring* clusterhead.
+        match result.final_roles[0] {
+            mobic::core::Role::Clusterhead => {}
+            mobic::core::Role::Member { ch } => {
+                let ch_idx = ch.index();
+                assert!(
+                    adj.are_neighbors(0, ch_idx),
+                    "seed {seed}: node 0 affiliated with unreachable {ch}"
+                );
+                assert!(result.final_roles[ch_idx].is_clusterhead());
+            }
+            mobic::core::Role::Undecided => panic!("seed {seed}: node 0 undecided"),
+        }
+    }
+}
+
+#[test]
+fn distributed_mobic_on_static_nodes_equals_lowest_id() {
+    // With no motion every aggregate metric stays 0, so MOBIC's weight
+    // degenerates to (0, id) — the Lowest-ID order.
+    for seed in [3, 17] {
+        let a = run_scenario(&static_cfg(AlgorithmKind::Mobic, 25), seed).unwrap();
+        let b = run_scenario(&static_cfg(AlgorithmKind::Lcc, 25), seed).unwrap();
+        assert_eq!(a.final_roles, b.final_roles, "seed {seed}");
+        assert_eq!(a.mean_aggregate_metric, 0.0, "static nodes measure zero mobility");
+    }
+}
+
+#[test]
+fn theorem1_invariants_hold_after_convergence() {
+    for alg in [AlgorithmKind::Lcc, AlgorithmKind::Mobic] {
+        for seed in 0..4u64 {
+            let cfg = static_cfg(alg, 30);
+            let result = run_scenario(&cfg, seed).expect("valid config");
+            let positions = stationary_positions(&cfg, seed);
+            let adj = Adjacency::unit_disk(&positions, cfg.tx_range_m);
+            let ids: Vec<NodeId> = (0..cfg.n_nodes).map(NodeId::new).collect();
+            let violations = check_theorem1(&result.final_roles, &ids, &adj);
+            assert!(
+                violations.is_empty(),
+                "{alg}, seed {seed}: {violations:?}"
+            );
+            if let Some(d) = max_cluster_diameter(&result.final_roles, &ids, &adj) {
+                assert!(d <= 2, "{alg}, seed {seed}: cluster diameter {d} > 2");
+            }
+        }
+    }
+}
+
+#[test]
+fn every_node_decides_on_static_topologies() {
+    for seed in 0..4u64 {
+        let result = run_scenario(&static_cfg(AlgorithmKind::Mobic, 40), seed).unwrap();
+        assert!(
+            result.final_roles.iter().all(|r| *r != Role::Undecided),
+            "seed {seed}: someone stayed undecided"
+        );
+        assert_eq!(
+            cluster_count(&result.final_roles) as f64,
+            result.avg_clusters,
+            "seed {seed}: static cluster count must be constant after convergence"
+        );
+    }
+}

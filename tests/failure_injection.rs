@@ -1,0 +1,81 @@
+//! Failure injection: pile every adverse channel effect on at once —
+//! log-normal shadowing, bursty loss, MAC collisions, high speed —
+//! and verify the whole stack stays sane (no panics, invariants hold,
+//! metrics remain finite, determinism survives).
+
+use mobic::core::AlgorithmKind;
+use mobic::scenario::{run_scenario, LossKind, MobilityKind, PropagationKind, ScenarioConfig};
+
+fn hostile() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper_table1();
+    cfg.n_nodes = 25;
+    cfg.sim_time_s = 120.0;
+    cfg.tx_range_m = 200.0;
+    cfg.max_speed_mps = 30.0;
+    cfg.propagation = PropagationKind::ShadowedFreeSpace { sigma_db: 6.0 };
+    cfg.loss = LossKind::BurstyPreset;
+    cfg.packet_time_s = 0.005;
+    cfg
+}
+
+#[test]
+fn hostile_channel_keeps_everything_finite() {
+    for alg in AlgorithmKind::ALL {
+        let r = run_scenario(&hostile().with_algorithm(alg), 17).expect("valid config");
+        assert!(r.mean_aggregate_metric.is_finite(), "{alg}");
+        assert!(r.mean_aggregate_metric >= 0.0, "{alg}");
+        assert!(r.avg_clusters >= 1.0 && r.avg_clusters <= 25.0, "{alg}");
+        assert!((0.0..=1.0).contains(&r.gateway_fraction), "{alg}");
+        assert!(r.deliveries > 0, "{alg}: channel completely dead");
+        assert!(r.mac_collisions > 0, "{alg}: collision model inert");
+        // The cluster-count series never leaves [0, n].
+        let (_, values) = r.cluster_series.samples();
+        assert!(
+            values.iter().all(|&v| (0.0..=25.0).contains(&v)),
+            "{alg}: cluster count out of range"
+        );
+    }
+}
+
+#[test]
+fn hostile_channel_is_still_deterministic() {
+    let cfg = hostile();
+    let a = run_scenario(&cfg, 23).unwrap();
+    let b = run_scenario(&cfg, 23).unwrap();
+    assert_eq!(a.final_roles, b.final_roles);
+    assert_eq!(a.deliveries, b.deliveries);
+    assert_eq!(a.mac_collisions, b.mac_collisions);
+    assert_eq!(a.clusterhead_changes, b.clusterhead_changes);
+}
+
+#[test]
+fn hostile_channel_increases_churn_over_clean_channel() {
+    let clean = {
+        let mut cfg = hostile();
+        cfg.propagation = PropagationKind::FreeSpace;
+        cfg.loss = LossKind::None;
+        cfg.packet_time_s = 0.0;
+        cfg
+    };
+    let mut clean_cs = 0.0;
+    let mut hostile_cs = 0.0;
+    for seed in 0..3u64 {
+        clean_cs += run_scenario(&clean, seed).unwrap().clusterhead_changes as f64;
+        hostile_cs += run_scenario(&hostile(), seed).unwrap().clusterhead_changes as f64;
+    }
+    assert!(
+        hostile_cs > clean_cs,
+        "adversity must hurt: hostile {hostile_cs} vs clean {clean_cs}"
+    );
+}
+
+#[test]
+fn group_mobility_under_hostile_channel_runs() {
+    let mut cfg = hostile();
+    cfg.mobility = MobilityKind::Rpgm {
+        groups: 4,
+        member_radius_m: 40.0,
+    };
+    let r = run_scenario(&cfg, 3).expect("valid config");
+    assert!(r.hello_broadcasts > 0);
+}

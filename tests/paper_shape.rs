@@ -1,0 +1,155 @@
+//! Reduced-scale checks that the paper's *qualitative* results hold —
+//! the same comparisons EXPERIMENTS.md reports at full scale, shrunk
+//! to stay test-suite friendly. Each uses several seeds and asserts on
+//! the seed-mean, not individual runs.
+
+use mobic::core::AlgorithmKind;
+use mobic::scenario::{run_batch, ScenarioConfig};
+
+/// Mean steady-state clusterhead changes across seeds.
+fn mean_cs(cfg: &ScenarioConfig, alg: AlgorithmKind, seeds: std::ops::Range<u64>) -> f64 {
+    let jobs: Vec<_> = seeds
+        .clone()
+        .map(|s| (cfg.with_algorithm(alg), s))
+        .collect();
+    let runs = run_batch(&jobs).expect("valid config");
+    runs.iter().map(|r| r.clusterhead_changes as f64).sum::<f64>() / runs.len() as f64
+}
+
+fn paper_cfg(tx: f64, sim_time_s: f64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper_table1();
+    cfg.sim_time_s = sim_time_s;
+    cfg.tx_range_m = tx;
+    cfg
+}
+
+#[test]
+fn mobic_beats_lcc_at_large_range() {
+    // Figure 3's headline comparison at Tx = 250 m (shortened run).
+    let cfg = paper_cfg(250.0, 400.0);
+    let lcc = mean_cs(&cfg, AlgorithmKind::Lcc, 0..4);
+    let mobic = mean_cs(&cfg, AlgorithmKind::Mobic, 0..4);
+    assert!(
+        mobic < lcc,
+        "MOBIC ({mobic:.1}) must beat LCC ({lcc:.1}) at Tx=250 m"
+    );
+}
+
+#[test]
+fn robust_median_aggregate_widens_the_gain() {
+    // EXPERIMENTS.md X17: median-of-squares aggregation beats the raw
+    // Eq.-2 mean of squares (which single close passes dominate).
+    let cfg = paper_cfg(250.0, 400.0);
+    let lcc = mean_cs(&cfg, AlgorithmKind::Lcc, 0..4);
+    let mut med_cfg = cfg.with_algorithm(AlgorithmKind::Mobic);
+    med_cfg.metric_aggregation = mobic::core::metric::MetricAggregation::MedianSq;
+    let jobs: Vec<_> = (0..4u64).map(|s| (med_cfg, s)).collect();
+    let runs = run_batch(&jobs).expect("valid config");
+    let median = runs.iter().map(|r| r.clusterhead_changes as f64).sum::<f64>() / 4.0;
+    assert!(
+        median < lcc * 0.9,
+        "median-aggregate MOBIC ({median:.1}) should clearly beat LCC ({lcc:.1})"
+    );
+}
+
+#[test]
+fn churn_peaks_at_small_ranges_then_falls() {
+    // Figure 3's rise-and-fall shape: CS(50) > CS(250) and
+    // CS(50) > CS(10) for LCC.
+    let at = |tx: f64| mean_cs(&paper_cfg(tx, 300.0), AlgorithmKind::Lcc, 0..3);
+    let low = at(10.0);
+    let peak = at(50.0);
+    let high = at(250.0);
+    assert!(peak > high, "peak ({peak:.1}) must exceed large-range churn ({high:.1})");
+    assert!(peak > low, "peak ({peak:.1}) must exceed tiny-range churn ({low:.1})");
+}
+
+#[test]
+fn cluster_count_decreases_with_range() {
+    // Figure 4's monotone shape, and near-equality of the algorithms.
+    let cfg = paper_cfg(0.0, 300.0);
+    let counts: Vec<(f64, f64)> = [50.0, 100.0, 200.0]
+        .into_iter()
+        .map(|tx| {
+            let jobs: Vec<_> = (0..3u64)
+                .map(|s| (cfg.with_tx_range(tx).with_algorithm(AlgorithmKind::Lcc), s))
+                .collect();
+            let lcc = run_batch(&jobs).unwrap();
+            let jobs: Vec<_> = (0..3u64)
+                .map(|s| (cfg.with_tx_range(tx).with_algorithm(AlgorithmKind::Mobic), s))
+                .collect();
+            let mobic = run_batch(&jobs).unwrap();
+            (
+                lcc.iter().map(|r| r.avg_clusters).sum::<f64>() / 3.0,
+                mobic.iter().map(|r| r.avg_clusters).sum::<f64>() / 3.0,
+            )
+        })
+        .collect();
+    assert!(counts[0].0 > counts[1].0 && counts[1].0 > counts[2].0, "{counts:?}");
+    for (lcc, mobic) in &counts {
+        let rel = (lcc - mobic).abs() / lcc;
+        assert!(rel < 0.35, "algorithms should form similar cluster counts: {counts:?}");
+    }
+}
+
+#[test]
+fn highest_degree_is_least_stable() {
+    // The [3]/[5] claim the paper builds on: max-connectivity churns
+    // far more than id-based clustering.
+    let cfg = paper_cfg(200.0, 300.0);
+    let hd = mean_cs(&cfg, AlgorithmKind::HighestDegree, 0..3);
+    let lcc = mean_cs(&cfg, AlgorithmKind::Lcc, 0..3);
+    assert!(
+        hd > lcc,
+        "highest-degree ({hd:.1}) must churn more than LCC ({lcc:.1})"
+    );
+}
+
+#[test]
+fn plain_lowest_id_churns_more_than_lcc() {
+    let cfg = paper_cfg(200.0, 300.0);
+    let plain = mean_cs(&cfg, AlgorithmKind::LowestId, 0..3);
+    let lcc = mean_cs(&cfg, AlgorithmKind::Lcc, 0..3);
+    assert!(
+        plain > lcc,
+        "plain lowest-id ({plain:.1}) must churn more than LCC ({lcc:.1})"
+    );
+}
+
+#[test]
+fn sparser_field_churns_more_at_same_range() {
+    // §4.3: the 1000×1000 field has more clusterhead changes at the
+    // same moderate range.
+    let dense = mean_cs(&paper_cfg(150.0, 300.0), AlgorithmKind::Lcc, 0..3);
+    let mut sparse_cfg = ScenarioConfig::paper_sparse();
+    sparse_cfg.sim_time_s = 300.0;
+    sparse_cfg.tx_range_m = 150.0;
+    let sparse = mean_cs(&sparse_cfg, AlgorithmKind::Lcc, 0..3);
+    assert!(
+        sparse > dense,
+        "sparse ({sparse:.1}) must exceed dense ({dense:.1})"
+    );
+}
+
+#[test]
+fn slower_nodes_mean_fewer_changes() {
+    // Figure 6's mobility-degree axis: MaxSpeed 1 m/s vs 20 m/s.
+    let mut slow_cfg = paper_cfg(250.0, 300.0);
+    slow_cfg.max_speed_mps = 1.0;
+    let slow = mean_cs(&slow_cfg, AlgorithmKind::Mobic, 0..3);
+    let fast = mean_cs(&paper_cfg(250.0, 300.0), AlgorithmKind::Mobic, 0..3);
+    assert!(slow < fast, "slow ({slow:.1}) must be below fast ({fast:.1})");
+}
+
+#[test]
+fn pauses_reduce_churn() {
+    // Figure 6(b): PT = 30 s is gentler than PT = 0 at equal speed.
+    let mut paused_cfg = paper_cfg(250.0, 300.0);
+    paused_cfg.pause_s = 30.0;
+    let paused = mean_cs(&paused_cfg, AlgorithmKind::Lcc, 0..3);
+    let moving = mean_cs(&paper_cfg(250.0, 300.0), AlgorithmKind::Lcc, 0..3);
+    assert!(
+        paused < moving,
+        "paused ({paused:.1}) must be below always-moving ({moving:.1})"
+    );
+}

@@ -1,0 +1,166 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crates.
+
+use mobic::core::centralized::{lowest_weight_clustering, Adjacency};
+use mobic::core::invariants::check_theorem1;
+use mobic::core::metric::aggregate_mobility;
+use mobic::core::Weight;
+use mobic::geom::{GridIndex, Rect, Vec2};
+use mobic::mobility::{Mobility, RandomWaypoint, RandomWaypointParams};
+use mobic::net::NodeId;
+use mobic::radio::{FreeSpace, Propagation, Radio, TwoRayGround};
+use mobic::sim::{rng::SeedSplitter, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn centralized_clustering_always_satisfies_theorem1(
+        n in 2usize..40,
+        edge_seed in any::<u64>(),
+        weight_seed in any::<u64>(),
+        density in 1u64..6,
+    ) {
+        let mut x = edge_seed | 1;
+        let mut adj = Adjacency::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if (x >> 33) % 6 < density {
+                    adj.connect(i, j);
+                }
+            }
+        }
+        let mut w = weight_seed | 1;
+        let ids: Vec<NodeId> = (0..n as u32).map(NodeId::new).collect();
+        let weights: Vec<Weight> = ids.iter().map(|&id| {
+            w = w.wrapping_mul(6364136223846793005).wrapping_add(1);
+            Weight::new(((w >> 40) % 1000) as f64 / 100.0, id)
+        }).collect();
+        let roles = lowest_weight_clustering(&weights, &adj);
+        let violations = check_theorem1(&roles, &ids, &adj);
+        prop_assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn grid_index_matches_bruteforce(
+        pts in prop::collection::vec((0.0..500.0f64, 0.0..500.0f64), 0..60),
+        qx in 0.0..500.0f64,
+        qy in 0.0..500.0f64,
+        radius in 0.0..300.0f64,
+        cell in 1.0..200.0f64,
+    ) {
+        let positions: Vec<Vec2> = pts.iter().map(|&(x, y)| Vec2::new(x, y)).collect();
+        let idx = GridIndex::build(Rect::square(500.0), cell, &positions);
+        let q = Vec2::new(qx, qy);
+        let mut fast = idx.query_within(q, radius);
+        fast.sort_unstable();
+        let slow: Vec<usize> = positions
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance(q) <= radius)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn random_waypoint_never_escapes_field(
+        seed in any::<u64>(),
+        w in 10.0..800.0f64,
+        h in 10.0..800.0f64,
+        max_speed in 0.1..40.0f64,
+        pause in 0.0..60.0f64,
+        probe in 0u64..900,
+    ) {
+        let params = RandomWaypointParams {
+            field: Rect::new(w, h),
+            min_speed_mps: 0.0,
+            max_speed_mps: max_speed,
+            pause: SimTime::from_secs_f64(pause),
+        };
+        let mut m = RandomWaypoint::new(params, SeedSplitter::new(seed).stream("p", 0));
+        let pos = m.position_at(SimTime::from_secs(probe));
+        prop_assert!(params.field.contains(pos), "escaped: {pos}");
+    }
+
+    #[test]
+    fn rect_reflect_always_lands_inside(
+        w in 0.1..1000.0f64,
+        h in 0.1..1000.0f64,
+        px in -5000.0..5000.0f64,
+        py in -5000.0..5000.0f64,
+    ) {
+        let field = Rect::new(w, h);
+        let (p, _, _) = field.reflect(Vec2::new(px, py));
+        prop_assert!(
+            p.x >= -1e-9 && p.x <= w + 1e-9 && p.y >= -1e-9 && p.y <= h + 1e-9,
+            "reflected point {p} outside {w}x{h}"
+        );
+    }
+
+    #[test]
+    fn weights_are_totally_ordered(
+        primaries in prop::collection::vec(-1e6..1e6f64, 2..50),
+    ) {
+        let weights: Vec<Weight> = primaries
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| Weight::new(p, NodeId::new(i as u32)))
+            .collect();
+        // Distinct ids ⇒ no two weights compare equal, and sorting is
+        // a strict total order (antisymmetric + transitive via Ord).
+        for (i, a) in weights.iter().enumerate() {
+            for (j, b) in weights.iter().enumerate() {
+                if i != j {
+                    prop_assert_ne!(a.cmp(b), std::cmp::Ordering::Equal);
+                    prop_assert_eq!(a.cmp(b), b.cmp(a).reverse());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_mobility_is_nonnegative_and_bounded(
+        samples in prop::collection::vec(-60.0..60.0f64, 0..64),
+    ) {
+        let m = aggregate_mobility(samples.iter().copied());
+        prop_assert!(m >= 0.0);
+        let max_sq = samples.iter().map(|s| s * s).fold(0.0f64, f64::max);
+        prop_assert!(m <= max_sq + 1e-12, "mean of squares exceeds max square");
+    }
+
+    #[test]
+    fn radio_range_solver_inverts_path_loss(
+        target in 1.0..500.0f64,
+    ) {
+        let radio = Radio::with_range(FreeSpace::at_frequency(914.0e6), target);
+        let solved = radio.nominal_range_m();
+        prop_assert!((solved - target).abs() <= target * 1e-3,
+            "target {target}, solved {solved}");
+    }
+
+    #[test]
+    fn propagation_models_are_monotone(
+        d1 in 0.1..1000.0f64,
+        delta in 0.0..1000.0f64,
+    ) {
+        let d2 = d1 + delta;
+        let fs = FreeSpace::at_frequency(914.0e6);
+        let tr = TwoRayGround::ns2_default();
+        prop_assert!(fs.mean_path_loss(d2) >= fs.mean_path_loss(d1));
+        prop_assert!(tr.mean_path_loss(d2) >= tr.mean_path_loss(d1));
+    }
+
+    #[test]
+    fn simtime_roundtrip_and_ordering(
+        a in 0.0..1_000_000.0f64,
+        b in 0.0..1_000_000.0f64,
+    ) {
+        let ta = SimTime::from_secs_f64(a);
+        let tb = SimTime::from_secs_f64(b);
+        prop_assert!((ta.as_secs_f64() - a).abs() < 1e-6);
+        if a + 1e-5 < b {
+            prop_assert!(ta < tb);
+        }
+    }
+}

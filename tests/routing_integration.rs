@@ -1,0 +1,76 @@
+//! Routing-over-clusters integration: the CBRP-style discovery must
+//! be cheaper than flooding on live simulations, and the whole pipeline
+//! must stay deterministic.
+
+use mobic::core::AlgorithmKind;
+use mobic::routing::{experiment::RoutingExperiment, ClusterRouting, Flooding};
+use mobic::scenario::{MobilityKind, ScenarioConfig};
+
+fn experiment(alg: AlgorithmKind) -> RoutingExperiment {
+    let mut scenario = ScenarioConfig::paper_table1();
+    scenario.n_nodes = 25;
+    scenario.sim_time_s = 120.0;
+    scenario.tx_range_m = 250.0;
+    scenario.algorithm = alg;
+    RoutingExperiment {
+        scenario,
+        flows: 6,
+    }
+}
+
+#[test]
+fn cluster_discovery_is_cheaper_than_flooding() {
+    let f = experiment(AlgorithmKind::Mobic).run(&Flooding, 2).unwrap();
+    let c = experiment(AlgorithmKind::Mobic)
+        .run(&ClusterRouting, 2)
+        .unwrap();
+    let f_per = f.total_discovery_cost as f64 / f.discoveries.max(1) as f64;
+    let c_per = c.total_discovery_cost as f64 / c.discoveries.max(1) as f64;
+    assert!(
+        c_per < f_per,
+        "cluster discovery {c_per:.1} forwarders/req must beat flooding {f_per:.1}"
+    );
+}
+
+#[test]
+fn flooding_routes_are_never_longer_than_cluster_routes() {
+    // Flooding finds true shortest paths; backbone restriction can
+    // only lengthen them.
+    let f = experiment(AlgorithmKind::Lcc).run(&Flooding, 4).unwrap();
+    let c = experiment(AlgorithmKind::Lcc)
+        .run(&ClusterRouting, 4)
+        .unwrap();
+    if f.mean_hops > 0.0 && c.mean_hops > 0.0 {
+        assert!(
+            f.mean_hops <= c.mean_hops + 1e-9,
+            "flooding {:.2} hops vs cluster {:.2}",
+            f.mean_hops,
+            c.mean_hops
+        );
+    }
+}
+
+#[test]
+fn availability_is_high_in_dense_static_network() {
+    let mut exp = experiment(AlgorithmKind::Lcc);
+    exp.scenario.mobility = MobilityKind::Stationary;
+    let stats = exp.run(&Flooding, 3).unwrap();
+    // Static and dense (Tx 250 m on 670 m field): essentially every
+    // pair is connected, so availability ≈ 1 and routes never break.
+    assert!(stats.availability > 0.95, "availability {}", stats.availability);
+    assert!(stats.route_lifetimes_s.is_empty());
+    assert_eq!(stats.failed_discoveries, 0);
+}
+
+#[test]
+fn routing_stats_are_deterministic_and_serializable() {
+    let a = experiment(AlgorithmKind::Mobic)
+        .run(&ClusterRouting, 8)
+        .unwrap();
+    let b = experiment(AlgorithmKind::Mobic)
+        .run(&ClusterRouting, 8)
+        .unwrap();
+    assert_eq!(a, b);
+    let json = serde_json::to_string(&a).unwrap();
+    assert!(json.contains("\"protocol\":\"cluster\""));
+}
