@@ -1,0 +1,116 @@
+//! **BENCH_scaling** — end-to-end event-loop scaling: brute-force vs
+//! spatial-index fast path at constant paper density.
+//!
+//! For each population size the field grows with `√n` so node density
+//! (and therefore mean degree) matches Table 1's 50 nodes on 670 m ×
+//! 670 m. Each cell runs the identical `(cfg, seed)` once with
+//! `fast_path: Off` and once with `On`, asserts the results are
+//! identical, and records the end-to-end speedup.
+//!
+//! Environment:
+//! * `MOBIC_SCALING_NS` — comma-separated populations (default
+//!   `100,200,400,800`),
+//! * `MOBIC_FAST` — shrink simulated time from 60 s to 20 s.
+//!
+//! Writes `results/BENCH_scaling.json`.
+
+use std::time::Instant;
+
+use mobic_metrics::AsciiTable;
+use mobic_scenario::{run_scenario, FastPath, RunResult, ScenarioConfig};
+use serde::Serialize;
+
+/// One population-size cell of the scaling comparison.
+#[derive(Debug, Serialize)]
+struct ScalingRow {
+    n: u32,
+    field_m: f64,
+    brute_ms: f64,
+    indexed_ms: f64,
+    speedup: f64,
+    mean_candidates: f64,
+    index_refreshes: u64,
+    events: u64,
+}
+
+fn populations() -> Vec<u32> {
+    std::env::var("MOBIC_SCALING_NS")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|s| s.trim().parse::<u32>().ok())
+                .collect()
+        })
+        .filter(|ns: &Vec<u32>| !ns.is_empty())
+        .unwrap_or_else(|| vec![100, 200, 400, 800])
+}
+
+fn cell_config(n: u32) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper_table1();
+    cfg.n_nodes = n;
+    // Constant density: area ∝ n, so side ∝ √n (50 nodes ↔ 670 m).
+    let side = 670.0 * (f64::from(n) / 50.0).sqrt();
+    cfg.field_w_m = side;
+    cfg.field_h_m = side;
+    cfg.sim_time_s = if std::env::var_os("MOBIC_FAST").is_some() {
+        20.0
+    } else {
+        60.0
+    };
+    cfg.warmup_s = 5.0;
+    cfg
+}
+
+fn timed(cfg: &ScenarioConfig, seed: u64) -> (RunResult, f64) {
+    let t0 = Instant::now();
+    let r = run_scenario(cfg, seed).expect("scaling configs are valid");
+    (r, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let seed = 1u64;
+    let mut rows = Vec::new();
+    let mut table = AsciiTable::new(["n", "field (m)", "brute (ms)", "indexed (ms)", "speedup", "cand/hello"]);
+    println!("== BENCH_scaling: brute-force vs spatial-index event loop ==\n");
+    for n in populations() {
+        let mut cfg = cell_config(n);
+        cfg.fast_path = FastPath::Off;
+        let (brute, brute_ms) = timed(&cfg, seed);
+        cfg.fast_path = FastPath::On;
+        let (fast, indexed_ms) = timed(&cfg, seed);
+        assert!(fast.perf.indexed && !brute.perf.indexed);
+        // The whole point: identical results, different cost.
+        assert_eq!(fast.deliveries, brute.deliveries, "n={n}");
+        assert_eq!(fast.final_roles, brute.final_roles, "n={n}");
+        assert_eq!(fast.cluster_series, brute.cluster_series, "n={n}");
+        assert_eq!(
+            fast.clusterhead_changes_total, brute.clusterhead_changes_total,
+            "n={n}"
+        );
+        let speedup = brute_ms / indexed_ms;
+        table.row([
+            format!("{n}"),
+            format!("{:.0}", cfg.field_w_m),
+            format!("{brute_ms:.1}"),
+            format!("{indexed_ms:.1}"),
+            format!("{speedup:.2}x"),
+            format!("{:.1}", fast.perf.mean_candidates),
+        ]);
+        rows.push(ScalingRow {
+            n,
+            field_m: cfg.field_w_m,
+            brute_ms,
+            indexed_ms,
+            speedup,
+            mean_candidates: fast.perf.mean_candidates,
+            index_refreshes: fast.perf.index_refreshes,
+            events: fast.perf.events,
+        });
+    }
+    println!("{}", table.render());
+    let path = mobic_bench::results_dir().join("BENCH_scaling.json");
+    match mobic_metrics::report::write_json(&rows, &path) {
+        Ok(()) => println!("(wrote {})", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}

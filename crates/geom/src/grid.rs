@@ -116,6 +116,26 @@ impl GridIndex {
         }
     }
 
+    /// Moves every point to its entry in `positions`, updating buckets.
+    ///
+    /// Equivalent to calling [`update`](Self::update) for each id, but
+    /// expresses a whole-population refresh (e.g. a periodic resync of
+    /// an incrementally maintained index) in one call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions.len()` differs from [`len`](Self::len).
+    pub fn update_all(&mut self, positions: &[Vec2]) {
+        assert_eq!(
+            positions.len(),
+            self.positions.len(),
+            "update_all must cover every indexed point"
+        );
+        for (id, &p) in positions.iter().enumerate() {
+            self.update(id, p);
+        }
+    }
+
     /// Ids of all points within `radius` of `center` (inclusive),
     /// including a point located exactly at `center`.
     #[must_use]
@@ -235,6 +255,31 @@ mod tests {
         idx.update(0, Vec2::new(5.2, 5.2));
         let near = idx.query_within(Vec2::new(5.2, 5.2), 0.1);
         assert_eq!(near, vec![0]);
+    }
+
+    #[test]
+    fn update_all_matches_rebuild() {
+        let mut idx = GridIndex::build(Rect::new(100.0, 100.0), 10.0, &cluster_positions());
+        let moved: Vec<Vec2> = cluster_positions()
+            .iter()
+            .map(|p| Vec2::new(99.0 - p.x, 99.0 - p.y))
+            .collect();
+        idx.update_all(&moved);
+        let rebuilt = GridIndex::build(Rect::new(100.0, 100.0), 10.0, &moved);
+        for center in &moved {
+            let mut a = idx.query_within(*center, 15.0);
+            let mut b = rebuilt.query_within(*center, 15.0);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "every indexed point")]
+    fn update_all_length_mismatch_panics() {
+        let mut idx = GridIndex::build(Rect::new(100.0, 100.0), 10.0, &cluster_positions());
+        idx.update_all(&[Vec2::ZERO]);
     }
 
     #[test]

@@ -102,23 +102,82 @@ impl<P: Propagation, L: LossModel> DeliveryEngine<P, L> {
     /// model the result is identical to the brute-force path while
     /// touching only nearby nodes; with a shadowed model receivers
     /// beyond the nominal range would be missed, so this path asserts
-    /// (in debug builds) only when callers opt in knowingly.
+    /// (in debug builds) that the propagation model declares itself
+    /// deterministic via [`Propagation::is_deterministic`].
     pub fn broadcast_indexed(
         &mut self,
         tx: NodeId,
         index: &GridIndex,
         at: SimTime,
     ) -> Vec<Delivery> {
+        debug_assert!(
+            self.radio.propagation().is_deterministic(),
+            "broadcast_indexed requires a deterministic propagation model: \
+             stochastic models can receive beyond the nominal range"
+        );
         let tx_pos = index.position(tx.index());
         let range = self.radio.nominal_range_m();
+        let mut candidates = index.query_within(tx_pos, range);
+        // Id order matches the brute-force scan so stateful loss models
+        // see the exact same query sequence.
+        candidates.sort_unstable();
         let mut out = Vec::new();
-        let candidates = index.query_within(tx_pos, range);
         for i in candidates {
             if i == tx.index() {
                 continue;
             }
             let rx = NodeId::new(i as u32);
             if let Some(power) = self.radio.receive(tx_pos.distance(index.position(i))) {
+                if self.loss.delivered(tx, rx, at) {
+                    out.push(Delivery {
+                        receiver: rx,
+                        rx_power: power,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Delivers a broadcast from `tx` (located at `tx_pos`) to a
+    /// pre-filtered candidate set with exact per-candidate positions —
+    /// the workhorse of the scenario runner's spatial-index fast path,
+    /// where candidate positions are evaluated lazily from trajectories
+    /// instead of being stored in the index.
+    ///
+    /// Correctness contract (checked in debug builds):
+    ///
+    /// * the propagation model is deterministic
+    ///   ([`Propagation::is_deterministic`]), so the true receiver set
+    ///   is the nominal-range disk and a conservative candidate set can
+    ///   never miss a receiver;
+    /// * `candidates` are sorted by id in strictly ascending order, so
+    ///   stateful loss models see queries in the same order as the
+    ///   brute-force [`broadcast`](Self::broadcast) scan.
+    ///
+    /// The transmitter is skipped if present in `candidates`.
+    pub fn broadcast_among(
+        &mut self,
+        tx: NodeId,
+        tx_pos: Vec2,
+        candidates: &[(NodeId, Vec2)],
+        at: SimTime,
+    ) -> Vec<Delivery> {
+        debug_assert!(
+            self.radio.propagation().is_deterministic(),
+            "broadcast_among requires a deterministic propagation model: \
+             stochastic models can receive beyond the nominal range"
+        );
+        debug_assert!(
+            candidates.windows(2).all(|w| w[0].0 < w[1].0),
+            "candidates must be sorted by ascending id"
+        );
+        let mut out = Vec::new();
+        for &(rx, pos) in candidates {
+            if rx == tx {
+                continue;
+            }
+            if let Some(power) = self.radio.receive(tx_pos.distance(pos)) {
                 if self.loss.delivered(tx, rx, at) {
                     out.push(Delivery {
                         receiver: rx,
@@ -214,6 +273,60 @@ mod tests {
             let mut brute_sorted = brute.clone();
             brute_sorted.sort_by_key(|d| d.receiver);
             assert_eq!(fast, brute_sorted, "tx={tx}");
+        }
+    }
+
+    #[test]
+    fn among_matches_bruteforce_when_candidates_cover_receivers() {
+        let positions: Vec<Vec2> = (0..40)
+            .map(|i| {
+                let t = i as f64;
+                Vec2::new((t * 137.0) % 600.0, (t * 71.0) % 600.0)
+            })
+            .collect();
+        let mut e = engine();
+        for tx in 0..40u32 {
+            let brute = e.broadcast(NodeId::new(tx), &positions, SimTime::ZERO);
+            // A superset of the true receiver set (here: everyone, in
+            // id order) must yield the identical delivery list.
+            let candidates: Vec<(NodeId, Vec2)> = positions
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (NodeId::new(i as u32), p))
+                .collect();
+            let among = e.broadcast_among(
+                NodeId::new(tx),
+                positions[tx as usize],
+                &candidates,
+                SimTime::ZERO,
+            );
+            assert_eq!(among, brute, "tx={tx}");
+        }
+    }
+
+    #[test]
+    fn among_respects_stateful_loss_order() {
+        // Same loss stream consumed by both paths must produce the
+        // same survivors when candidate order matches the brute scan.
+        let positions = vec![Vec2::ZERO, Vec2::new(10.0, 0.0), Vec2::new(20.0, 0.0)];
+        let mk = || {
+            let radio = Radio::with_range(FreeSpace::at_frequency(914.0e6), 100.0);
+            let loss = Bernoulli::new(0.5, SeedSplitter::new(7).stream("l", 0));
+            DeliveryEngine::new(radio, loss)
+        };
+        let mut brute_engine = mk();
+        let mut among_engine = mk();
+        let candidates: Vec<(NodeId, Vec2)> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (NodeId::new(i as u32), p))
+            .collect();
+        for step in 0..20u64 {
+            let at = SimTime::from_secs_f64(step as f64);
+            let brute = brute_engine.broadcast(NodeId::new(0), &positions, at);
+            let among =
+                among_engine.broadcast_among(NodeId::new(0), positions[0], &candidates, at);
+            assert_eq!(among, brute, "step={step}");
         }
     }
 

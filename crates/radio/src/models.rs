@@ -29,6 +29,19 @@ pub trait Propagation {
     fn path_loss(&self, distance_m: f64) -> Db {
         self.mean_path_loss(distance_m)
     }
+
+    /// Whether `path_loss` is a pure function of distance (no random
+    /// shadowing or fading), i.e. every query returns exactly
+    /// `mean_path_loss` regardless of any internal RNG state.
+    ///
+    /// Spatial-index delivery fast paths rely on this: with a
+    /// deterministic model the receiver set is exactly the nominal
+    /// range disk, so a range query plus slack can never miss a true
+    /// receiver. Stochastic models must answer `false` so callers fall
+    /// back to the exhaustive scan.
+    fn is_deterministic(&self) -> bool {
+        true
+    }
 }
 
 /// Friis free-space propagation: `Pr/Pt = (λ / 4πd)²`, the
@@ -319,6 +332,11 @@ impl<P: Propagation> Propagation for Shadowed<P> {
     fn path_loss(&self, distance_m: f64) -> Db {
         self.inner.path_loss(distance_m) + Db::new(self.sigma_db * self.gauss())
     }
+
+    fn is_deterministic(&self) -> bool {
+        // σ = 0 degenerates to the wrapped model.
+        self.sigma_db == 0.0 && self.inner.is_deterministic()
+    }
 }
 
 /// Nakagami-*m* fast fading wrapper — ns-2's other stochastic channel.
@@ -423,6 +441,10 @@ impl<P: Propagation> Propagation for Nakagami<P> {
         let fade = self.gamma_unit_mean().max(1e-12);
         self.inner.path_loss(distance_m) - Db::new(10.0 * fade.log10())
     }
+
+    fn is_deterministic(&self) -> bool {
+        false
+    }
 }
 
 impl<P: Propagation + ?Sized> Propagation for &P {
@@ -433,6 +455,10 @@ impl<P: Propagation + ?Sized> Propagation for &P {
     fn path_loss(&self, distance_m: f64) -> Db {
         (**self).path_loss(distance_m)
     }
+
+    fn is_deterministic(&self) -> bool {
+        (**self).is_deterministic()
+    }
 }
 
 impl<P: Propagation + ?Sized> Propagation for Box<P> {
@@ -442,6 +468,10 @@ impl<P: Propagation + ?Sized> Propagation for Box<P> {
 
     fn path_loss(&self, distance_m: f64) -> Db {
         (**self).path_loss(distance_m)
+    }
+
+    fn is_deterministic(&self) -> bool {
+        (**self).is_deterministic()
     }
 }
 
@@ -644,8 +674,43 @@ mod tests {
         let fs = FreeSpace::at_frequency(914.0e6);
         let by_ref: &dyn Propagation = &fs;
         assert_eq!(by_ref.mean_path_loss(10.0), fs.mean_path_loss(10.0));
+        assert!(by_ref.is_deterministic());
         let boxed: Box<dyn Propagation> = Box::new(fs);
         assert_eq!(boxed.mean_path_loss(10.0), fs.mean_path_loss(10.0));
+        assert!(boxed.is_deterministic());
+    }
+
+    #[test]
+    fn determinism_capability_flags() {
+        assert!(FreeSpace::at_frequency(914.0e6).is_deterministic());
+        assert!(TwoRayGround::ns2_default().is_deterministic());
+        assert!(LogDistance::calibrated_to_friis(914.0e6, 3.0).is_deterministic());
+        let sh = Shadowed::new(
+            FreeSpace::at_frequency(914.0e6),
+            4.0,
+            SeedSplitter::new(1).stream("sh", 0),
+        );
+        assert!(!sh.is_deterministic());
+        // Degenerate σ = 0 shadowing is behaviorally deterministic.
+        let flat = Shadowed::new(
+            FreeSpace::at_frequency(914.0e6),
+            0.0,
+            SeedSplitter::new(1).stream("sh", 1),
+        );
+        assert!(flat.is_deterministic());
+        let nak = Nakagami::new(
+            FreeSpace::at_frequency(914.0e6),
+            5.0,
+            SeedSplitter::new(1).stream("nak", 0),
+        );
+        assert!(!nak.is_deterministic());
+        // The capability forwards through trait objects.
+        let boxed: Box<dyn Propagation> = Box::new(Shadowed::new(
+            FreeSpace::at_frequency(914.0e6),
+            4.0,
+            SeedSplitter::new(1).stream("sh", 2),
+        ));
+        assert!(!boxed.is_deterministic());
     }
 
     #[test]

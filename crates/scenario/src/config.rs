@@ -85,6 +85,40 @@ pub enum PropagationKind {
     },
 }
 
+impl PropagationKind {
+    /// Whether the configured model's path loss is a pure function of
+    /// distance (see [`mobic_radio::Propagation::is_deterministic`]).
+    /// Mirrors the runtime capability so configs can be validated
+    /// without instantiating a radio.
+    #[must_use]
+    pub fn is_deterministic(&self) -> bool {
+        match *self {
+            PropagationKind::FreeSpace
+            | PropagationKind::TwoRayGround
+            | PropagationKind::LogDistance { .. } => true,
+            // σ = 0 shadowing degenerates to plain free space.
+            PropagationKind::ShadowedFreeSpace { sigma_db } => sigma_db == 0.0,
+            PropagationKind::NakagamiFreeSpace { .. } => false,
+        }
+    }
+}
+
+/// Whether the scenario runner may use the spatial-index broadcast
+/// fast path (see `run_scenario`'s module docs for the contract).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FastPath {
+    /// Use the indexed path whenever the propagation model is
+    /// deterministic, otherwise fall back to the brute-force scan.
+    /// The default: always correct, fast when possible.
+    #[default]
+    Auto,
+    /// Require the indexed path; [`ScenarioConfig::validate`] rejects
+    /// the config if the propagation model is stochastic.
+    On,
+    /// Always use the brute-force scan (reference behavior).
+    Off,
+}
+
 /// Which packet-loss model applies on top of range filtering.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum LossKind {
@@ -168,6 +202,11 @@ pub struct ScenarioConfig {
     /// received by the MAC layer"). A 2001-era WaveLAN hello of ~60
     /// bytes at 2 Mb/s is ~0.25 ms.
     pub packet_time_s: f64,
+    /// Whether the event loop may use the spatial-index broadcast
+    /// fast path. Defaults to [`FastPath::Auto`]; results are
+    /// bit-identical either way.
+    #[serde(default)]
+    pub fast_path: FastPath,
 }
 
 impl ScenarioConfig {
@@ -198,6 +237,7 @@ impl ScenarioConfig {
             metric_quantum: 0.0,
             adaptive_bi_min_s: 0.0,
             packet_time_s: 0.0,
+            fast_path: FastPath::Auto,
         }
     }
 
@@ -389,6 +429,11 @@ impl ScenarioConfig {
                 });
             }
         }
+        if self.fast_path == FastPath::On && !self.propagation.is_deterministic() {
+            return Err(FastPathUnsupported {
+                propagation: self.propagation,
+            });
+        }
         Ok(())
     }
 }
@@ -447,6 +492,12 @@ pub enum ConfigError {
         /// Its value.
         value: f64,
     },
+    /// `fast_path: On` with a stochastic propagation model — the
+    /// indexed path would miss receivers beyond the nominal range.
+    FastPathUnsupported {
+        /// The offending propagation model.
+        propagation: PropagationKind,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -477,6 +528,10 @@ impl fmt::Display for ConfigError {
             ConfigError::UnitInterval { field, value } => {
                 write!(f, "{field} must lie in [0, 1], got {value}")
             }
+            ConfigError::FastPathUnsupported { propagation } => write!(
+                f,
+                "fast_path: On requires a deterministic propagation model, got {propagation:?}"
+            ),
         }
     }
 }
@@ -597,5 +652,45 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let back: ScenarioConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn fast_path_defaults_to_auto_and_deserializes_when_absent() {
+        assert_eq!(ScenarioConfig::paper_table1().fast_path, FastPath::Auto);
+        // Configs serialized before the field existed must still load.
+        let mut json: serde_json::Value =
+            serde_json::to_value(ScenarioConfig::paper_table1()).unwrap();
+        json.as_object_mut().unwrap().remove("fast_path");
+        let back: ScenarioConfig = serde_json::from_value(json).unwrap();
+        assert_eq!(back.fast_path, FastPath::Auto);
+    }
+
+    #[test]
+    fn propagation_determinism_mirrors_runtime_flags() {
+        assert!(PropagationKind::FreeSpace.is_deterministic());
+        assert!(PropagationKind::TwoRayGround.is_deterministic());
+        assert!(PropagationKind::LogDistance { exponent: 3.0 }.is_deterministic());
+        assert!(PropagationKind::ShadowedFreeSpace { sigma_db: 0.0 }.is_deterministic());
+        assert!(!PropagationKind::ShadowedFreeSpace { sigma_db: 4.0 }.is_deterministic());
+        assert!(!PropagationKind::NakagamiFreeSpace { m: 3.0 }.is_deterministic());
+    }
+
+    #[test]
+    fn rejects_forced_fast_path_with_stochastic_propagation() {
+        let mut c = ScenarioConfig::paper_table1();
+        c.fast_path = FastPath::On;
+        assert_eq!(c.validate(), Ok(()));
+        c.propagation = PropagationKind::ShadowedFreeSpace { sigma_db: 4.0 };
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::FastPathUnsupported { .. })
+        ));
+        // Auto silently falls back instead of erroring.
+        c.fast_path = FastPath::Auto;
+        assert_eq!(c.validate(), Ok(()));
+        let e = ConfigError::FastPathUnsupported {
+            propagation: PropagationKind::NakagamiFreeSpace { m: 3.0 },
+        };
+        assert!(e.to_string().contains("deterministic"));
     }
 }

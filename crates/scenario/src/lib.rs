@@ -34,6 +34,6 @@ pub mod params;
 mod runner;
 mod sweep;
 
-pub use config::{ConfigError, LossKind, MobilityKind, PropagationKind, ScenarioConfig};
-pub use runner::{run_scenario, run_scenario_observed, RunResult, SampleView};
+pub use config::{ConfigError, FastPath, LossKind, MobilityKind, PropagationKind, ScenarioConfig};
+pub use runner::{run_scenario, run_scenario_observed, RunPerf, RunResult, SampleView};
 pub use sweep::{run_batch, summarize_cs, SweepOutcome};

@@ -21,21 +21,40 @@
 //!
 //! Once per `BI` a sampler records the number of clusterheads, the
 //! gateway fraction and the population-mean metric.
+//!
+//! # The spatial-index fast path
+//!
+//! A naive hello broadcast re-evaluates every node's trajectory and
+//! scans the whole population — O(n²) work per broadcast interval.
+//! When the propagation model is deterministic
+//! ([`Propagation::is_deterministic`]) the true receiver set is
+//! exactly the nominal-range disk, so the runner instead maintains a
+//! [`GridIndex`] of *approximate* positions (refreshed every `BI/2`)
+//! and, per hello, evaluates exact positions only for the transmitter
+//! and the candidates returned by a range query with a conservative
+//! slack radius (`tx_range + 2·v_bound·staleness`). No true receiver
+//! can be missed, candidates are visited in id order, and trajectory
+//! sampling is order-independent by contract — so the fast path is
+//! **bit-identical** to the brute-force scan (asserted by the
+//! `fast_path_equivalence` suite). Stochastic propagation models fall
+//! back to brute force; [`FastPath`] in the config selects the policy.
 
-use mobic_core::{ClusterConfig, ClusterNode, ClusterTable, Role};
-use mobic_geom::{Rect, Vec2};
+use mobic_core::{ClusterAdvert, ClusterConfig, ClusterNode, ClusterTable, Role};
+use mobic_geom::{GridIndex, Rect, Vec2};
 use mobic_metrics::{TimeSeries, TransitionLog};
 use mobic_mobility::{
     ConferenceHall, ConferenceHallParams, GaussMarkov, GaussMarkovParams, Highway, HighwayParams,
     Manhattan, ManhattanParams, Mobility, RandomWalk, RandomWalkParams, RandomWaypoint,
     RandomWaypointParams, RpgmGroup, RpgmParams, Stationary,
 };
-use mobic_net::{loss, loss::LossModel, DeliveryEngine, NodeId};
-use mobic_radio::{FreeSpace, LogDistance, Nakagami, Propagation, Radio, Shadowed, TwoRayGround};
+use mobic_net::{loss, loss::LossModel, DeliveryEngine, Hello, NodeId};
+use mobic_radio::{
+    Dbm, FreeSpace, LogDistance, Nakagami, Propagation, Radio, Shadowed, TwoRayGround,
+};
 use mobic_sim::{rng::SeedSplitter, SimTime, Simulation};
 use serde::{Deserialize, Serialize};
 
-use crate::{ConfigError, LossKind, MobilityKind, PropagationKind, ScenarioConfig};
+use crate::{ConfigError, FastPath, LossKind, MobilityKind, PropagationKind, ScenarioConfig};
 
 /// Everything measured in one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -84,6 +103,33 @@ pub struct RunResult {
     /// Every role transition of the run, in time order — the full
     /// event trace for downstream analyses (serialized with results).
     pub role_transitions: Vec<mobic_core::RoleTransition>,
+    /// How the run executed (fast path taken, event counts, timing).
+    #[serde(default)]
+    pub perf: RunPerf,
+}
+
+/// Lightweight per-run performance/observability counters.
+///
+/// Everything here describes *how* the run executed, never *what* it
+/// computed — two runs of the same `(cfg, seed)` produce identical
+/// measurements regardless of the path taken.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunPerf {
+    /// Total discrete events processed by the simulation core.
+    pub events: u64,
+    /// Hello broadcast events among them.
+    pub hello_events: u64,
+    /// Whether the spatial-index fast path was used.
+    pub indexed: bool,
+    /// Mean number of candidate receivers evaluated per hello
+    /// (`n − 1` on the brute-force path).
+    pub mean_candidates: f64,
+    /// Full index refresh passes (0 on the brute-force path).
+    pub index_refreshes: u64,
+    /// Wall-clock duration of the event loop in milliseconds. Not
+    /// serialized: identical runs must produce identical JSON.
+    #[serde(skip)]
+    pub wall_clock_ms: f64,
 }
 
 /// Simulation events.
@@ -267,6 +313,84 @@ fn build_loss(cfg: &ScenarioConfig, splitter: &SeedSplitter) -> Box<dyn LossMode
     }
 }
 
+/// Upper bound on any node's speed under the scenario's mobility
+/// model, used to pad the candidate query radius by the worst-case
+/// drift since an index entry was last refreshed.
+///
+/// Constants mirror the parameter choices in [`build_mobility`].
+/// Gaussian-driven speeds (Gauss–Markov, Highway jitter) are unbounded
+/// in principle; we pad by 8σ of the stationary distribution, putting
+/// the per-step exceedance probability near 6e-16 — negligible against
+/// f64 rounding over any practical run.
+fn slack_speed_bound(cfg: &ScenarioConfig) -> f64 {
+    match cfg.mobility {
+        MobilityKind::Stationary => 0.0,
+        MobilityKind::RandomWaypoint
+        | MobilityKind::RandomWalk { .. }
+        | MobilityKind::Manhattan { .. } => cfg.max_speed_mps,
+        // Speed is stationary N(0.5·v_max, 0.25·v_max), clamped at 0.
+        MobilityKind::GaussMarkov { .. } => (0.5 + 8.0 * 0.25) * cfg.max_speed_mps,
+        // The group center does random waypoint at ≤ v_max; the member
+        // offset re-lerps across the member disk every 5 s.
+        MobilityKind::Rpgm { member_radius_m, .. } => {
+            cfg.max_speed_mps + 2.0 * member_radius_m / 5.0
+        }
+        // Lane speed v_max plus stationary N(0, 0.1·v_max) jitter.
+        MobilityKind::Highway { .. } => (1.0 + 8.0 * 0.1) * cfg.max_speed_mps,
+        // Walking pace is hard-capped in `build_mobility`.
+        MobilityKind::ConferenceHall { .. } => 1.5,
+    }
+}
+
+/// Extra query slack for motion that is not speed-bounded: highway
+/// vehicles wrap across the field in a near-instant jump, so a stale
+/// index entry can be off by whole lane lengths. The pad makes the
+/// query cover every possible wrap (degrading Highway to an effectively
+/// whole-field scan — correct, just not faster).
+fn slack_teleport_pad(cfg: &ScenarioConfig, speed_bound: f64, staleness_s: f64) -> f64 {
+    match cfg.mobility {
+        MobilityKind::Highway { .. } => {
+            // One wrap spans the lane axis; a window long enough to
+            // drive a full lane adds one more wrap per crossing.
+            let crossings = 1.0 + (speed_bound * staleness_s / cfg.field_w_m).floor();
+            crossings * cfg.field_w_m
+        }
+        _ => 0.0,
+    }
+}
+
+/// A reception withheld from the neighbor table while its vulnerable
+/// window is open (MAC collision model, `packet_time_s > 0`).
+#[derive(Debug, Clone, Copy)]
+struct PendingRx {
+    /// Arrival time — the timestamp the table sees on commit.
+    at: SimTime,
+    /// Measured received power.
+    power: Dbm,
+    /// The hello as transmitted.
+    hello: Hello<ClusterAdvert>,
+}
+
+/// Commits a deferred reception once its vulnerable window has closed.
+/// `force` commits unconditionally — used at end of run, when no
+/// further arrival can overlap the pending packet.
+fn commit_pending(
+    slot: &mut Option<PendingRx>,
+    table: &mut ClusterTable,
+    now: SimTime,
+    packet_time: SimTime,
+    force: bool,
+    deliveries: &mut u64,
+) {
+    if let Some(p) = *slot {
+        if force || now.saturating_sub(p.at) >= packet_time {
+            *slot = None;
+            *deliveries += 1;
+            table.record(p.at, p.power, &p.hello);
+        }
+    }
+}
+
 /// A read-only view of the simulation state handed to observers at
 /// every sampling instant (once per broadcast interval).
 #[derive(Debug)]
@@ -354,37 +478,140 @@ pub fn run_scenario_observed(
     sim.schedule_at(bi, Ev::Sample);
 
     let mut positions: Vec<Vec2> = vec![Vec2::ZERO; n];
-    // Vulnerable-window MAC collision state: last arrival per receiver.
+
+    // Spatial-index fast path (see the module docs): approximate
+    // positions refreshed on a fixed cadence, queried per hello with a
+    // conservative slack radius so no true receiver is ever missed.
+    let use_indexed = match cfg.fast_path {
+        FastPath::Off => false,
+        // `validate` already rejected `On` with a stochastic model, so
+        // both remaining variants reduce to the capability check.
+        FastPath::On | FastPath::Auto => engine.radio().propagation().is_deterministic(),
+    };
+    let mut index = if use_indexed {
+        for (j, m) in mobility.iter_mut().enumerate() {
+            positions[j] = m.position_at(SimTime::ZERO);
+        }
+        Some(GridIndex::build(field, cfg.tx_range_m, &positions))
+    } else {
+        None
+    };
+    // Half a broadcast interval bounds staleness tightly enough that
+    // the slack radius stays close to the radio range at paper speeds.
+    let refresh_period = SimTime::from_secs_f64(0.5 * cfg.bi_s);
+    let mut last_refresh = SimTime::ZERO;
+    let speed_bound = slack_speed_bound(cfg);
+    // `receive` is a threshold test that succeeds out to the nominal
+    // range; the +0.5 m pad absorbs `nominal_range_m`'s bisection
+    // tolerance and boundary rounding so the candidate disk always
+    // contains the reception disk.
+    let base_range = cfg.tx_range_m.max(engine.radio().nominal_range_m()) + 0.5;
+    let mut candidates: Vec<(NodeId, Vec2)> = Vec::new();
+    let mut candidate_total: u64 = 0;
+    let mut index_refreshes: u64 = 0;
+
+    // Vulnerable-window MAC collision state: a reception is withheld
+    // from the neighbor table until `packet_time` has elapsed without
+    // a second arrival — an overlap destroys *both* packets.
     let packet_time = SimTime::from_secs_f64(cfg.packet_time_s);
     let mut last_arrival: Vec<Option<SimTime>> = vec![None; n];
+    let mut pending: Vec<Option<PendingRx>> = vec![None; n];
     let mut collisions: u64 = 0;
+
+    let wall_start = std::time::Instant::now();
     sim.run_until(sim_end, |now, ev, sched| match ev {
         Ev::Hello(tx) => {
-            for (j, m) in mobility.iter_mut().enumerate() {
-                positions[j] = m.position_at(now);
+            let txi = tx.index();
+            if !packet_time.is_zero() {
+                // The node is about to read its own table: commit a
+                // deferred reception whose window has closed.
+                commit_pending(
+                    &mut pending[txi],
+                    &mut tables[txi],
+                    now,
+                    packet_time,
+                    false,
+                    &mut deliveries,
+                );
             }
-            let hello = nodes[tx.index()].prepare_broadcast(now, &mut tables[tx.index()]);
+            let hello = nodes[txi].prepare_broadcast(now, &mut tables[txi]);
             hello_broadcasts += 1;
-            for d in engine.broadcast(tx, &positions, now) {
-                let r = d.receiver.index();
-                if !packet_time.is_zero() {
-                    let collided = last_arrival[r]
-                        .is_some_and(|prev| now.saturating_sub(prev) < packet_time);
-                    last_arrival[r] = Some(now);
-                    if collided {
-                        collisions += 1;
+            let delivered = if let Some(index) = index.as_mut() {
+                if now.saturating_sub(last_refresh) >= refresh_period {
+                    for (j, m) in mobility.iter_mut().enumerate() {
+                        positions[j] = m.position_at(now);
+                    }
+                    index.update_all(&positions);
+                    last_refresh = now;
+                    index_refreshes += 1;
+                }
+                positions[txi] = mobility[txi].position_at(now);
+                index.update(txi, positions[txi]);
+                let staleness = now.saturating_sub(last_refresh).as_secs_f64();
+                let radius = base_range
+                    + 2.0 * speed_bound * staleness
+                    + slack_teleport_pad(cfg, speed_bound, staleness);
+                let mut ids = index.query_within(positions[txi], radius);
+                // Id order keeps stateful loss models on the exact
+                // query sequence of the brute-force scan.
+                ids.sort_unstable();
+                candidates.clear();
+                for i in ids {
+                    if i == txi {
                         continue;
                     }
+                    positions[i] = mobility[i].position_at(now);
+                    index.update(i, positions[i]);
+                    candidates.push((NodeId::new(i as u32), positions[i]));
                 }
-                deliveries += 1;
-                tables[r].record(now, d.rx_power, &hello);
+                candidate_total += candidates.len() as u64;
+                engine.broadcast_among(tx, positions[txi], &candidates, now)
+            } else {
+                for (j, m) in mobility.iter_mut().enumerate() {
+                    positions[j] = m.position_at(now);
+                }
+                candidate_total += (n - 1) as u64;
+                engine.broadcast(tx, &positions, now)
+            };
+            for d in delivered {
+                let r = d.receiver.index();
+                if packet_time.is_zero() {
+                    deliveries += 1;
+                    tables[r].record(now, d.rx_power, &hello);
+                    continue;
+                }
+                commit_pending(
+                    &mut pending[r],
+                    &mut tables[r],
+                    now,
+                    packet_time,
+                    false,
+                    &mut deliveries,
+                );
+                let collided = last_arrival[r]
+                    .is_some_and(|prev| now.saturating_sub(prev) < packet_time);
+                last_arrival[r] = Some(now);
+                if collided {
+                    // The earlier packet is still uncommitted iff it
+                    // arrived inside the window; destroy it too.
+                    if pending[r].take().is_some() {
+                        collisions += 1;
+                    }
+                    collisions += 1;
+                } else {
+                    pending[r] = Some(PendingRx {
+                        at: now,
+                        power: d.rx_power,
+                        hello,
+                    });
+                }
             }
             // Listen-before-decide: the paper's nodes compare their M
             // "with those of its neighbors", so no role decision is
             // taken until every neighbor has had one full broadcast
             // interval to introduce itself.
             if now >= bi {
-                if let Some(tr) = nodes[tx.index()].evaluate(now, &mut tables[tx.index()]) {
+                if let Some(tr) = nodes[txi].evaluate(now, &mut tables[txi]) {
                     log.record(tr);
                 }
             }
@@ -393,7 +620,7 @@ pub fn run_scenario_observed(
             // floor), calm ones keep the base interval.
             let next = if cfg.adaptive_bi_min_s > 0.0 {
                 const PIVOT_DB2: f64 = 2.0;
-                let m = nodes[tx.index()].metric();
+                let m = nodes[txi].metric();
                 let secs = (cfg.bi_s * PIVOT_DB2 / (PIVOT_DB2 + m))
                     .clamp(cfg.adaptive_bi_min_s, cfg.bi_s);
                 SimTime::from_secs_f64(secs)
@@ -405,6 +632,26 @@ pub fn run_scenario_observed(
         Ev::Sample => {
             for (j, m) in mobility.iter_mut().enumerate() {
                 positions[j] = m.position_at(now);
+            }
+            if let Some(index) = index.as_mut() {
+                // The sampler evaluated everyone anyway: fold the free
+                // full refresh into the index.
+                index.update_all(&positions);
+                last_refresh = now;
+                index_refreshes += 1;
+            }
+            if !packet_time.is_zero() {
+                // Sampling reads every table: commit closed windows.
+                for r in 0..n {
+                    commit_pending(
+                        &mut pending[r],
+                        &mut tables[r],
+                        now,
+                        packet_time,
+                        false,
+                        &mut deliveries,
+                    );
+                }
             }
             observer(SampleView {
                 now,
@@ -425,6 +672,21 @@ pub fn run_scenario_observed(
             sched.schedule_in(bi, Ev::Sample);
         }
     });
+    if !packet_time.is_zero() {
+        // End of run: nothing can overlap a still-pending reception
+        // any more, so every one of them survived its window.
+        for r in 0..n {
+            commit_pending(
+                &mut pending[r],
+                &mut tables[r],
+                sim_end,
+                packet_time,
+                true,
+                &mut deliveries,
+            );
+        }
+    }
+    let wall_clock_ms = wall_start.elapsed().as_secs_f64() * 1e3;
 
     let shares = log.clusterhead_time_shares(n, warmup, sim_end.max(warmup + SimTime::SECOND));
     let ch_time_gini = mobic_metrics::gini(&shares);
@@ -456,6 +718,18 @@ pub fn run_scenario_observed(
         ch_time_gini,
         distinct_clusterheads,
         role_transitions: log.transitions().to_vec(),
+        perf: RunPerf {
+            events: sim.events_processed(),
+            hello_events: hello_broadcasts,
+            indexed: use_indexed,
+            mean_candidates: if hello_broadcasts == 0 {
+                0.0
+            } else {
+                candidate_total as f64 / hello_broadcasts as f64
+            },
+            index_refreshes,
+            wall_clock_ms,
+        },
     })
 }
 
@@ -630,12 +904,31 @@ mod tests {
         assert_eq!(clean.mac_collisions, 0);
         cfg.packet_time_s = 0.02; // generous window to force collisions
         let noisy = run_scenario(&cfg, 13).unwrap();
-        assert!(noisy.mac_collisions > 0, "no collisions observed");
+        // A vulnerable-window overlap destroys BOTH packets, so
+        // collisions always come in groups of at least two.
+        assert!(noisy.mac_collisions >= 2, "no collisions observed");
         assert_eq!(
             noisy.deliveries + noisy.mac_collisions,
             clean.deliveries,
             "collisions must partition the same reception set"
         );
+        assert!(noisy.deliveries < clean.deliveries);
+    }
+
+    #[test]
+    fn extreme_collision_window_keeps_partition_invariant() {
+        // A window as long as the broadcast interval makes nearly
+        // every reception overlap another, exercising pending-chain
+        // destruction and the end-of-run flush; the partition between
+        // committed and destroyed receptions must never double-count.
+        let mut cfg = small(AlgorithmKind::Mobic);
+        cfg.n_nodes = 3;
+        cfg.sim_time_s = 30.0;
+        cfg.packet_time_s = 0.0;
+        let clean = run_scenario(&cfg, 5).unwrap();
+        cfg.packet_time_s = 2.0; // window == BI: maximal overlap
+        let noisy = run_scenario(&cfg, 5).unwrap();
+        assert_eq!(noisy.deliveries + noisy.mac_collisions, clean.deliveries);
     }
 
     #[test]
@@ -691,6 +984,58 @@ mod tests {
             .filter(|t| t.at >= warmup && t.is_clusterhead_change())
             .count();
         assert_eq!(recount, r.clusterhead_changes);
+    }
+
+    #[test]
+    fn fast_path_taken_by_default_for_deterministic_propagation() {
+        let cfg = small(AlgorithmKind::Mobic);
+        let r = run_scenario(&cfg, 3).unwrap();
+        assert!(r.perf.indexed, "free space must take the indexed path");
+        assert_eq!(r.perf.hello_events, r.hello_broadcasts);
+        assert!(r.perf.events >= r.hello_broadcasts);
+        assert!(r.perf.index_refreshes > 0);
+        assert!(r.perf.mean_candidates > 0.0 && r.perf.mean_candidates <= 11.0);
+    }
+
+    #[test]
+    fn stochastic_propagation_falls_back_to_brute_force() {
+        let mut cfg = small(AlgorithmKind::Mobic);
+        cfg.propagation = PropagationKind::ShadowedFreeSpace { sigma_db: 4.0 };
+        cfg.sim_time_s = 30.0;
+        let r = run_scenario(&cfg, 3).unwrap();
+        assert!(!r.perf.indexed);
+        assert_eq!(r.perf.index_refreshes, 0);
+        assert_eq!(r.perf.mean_candidates, 11.0); // always n − 1
+    }
+
+    #[test]
+    fn fast_path_off_matches_on_exactly() {
+        let mut cfg = small(AlgorithmKind::Mobic);
+        cfg.fast_path = FastPath::Off;
+        let brute = run_scenario(&cfg, 17).unwrap();
+        assert!(!brute.perf.indexed);
+        cfg.fast_path = FastPath::On;
+        let fast = run_scenario(&cfg, 17).unwrap();
+        assert!(fast.perf.indexed);
+        assert_eq!(fast.deliveries, brute.deliveries);
+        assert_eq!(fast.hello_broadcasts, brute.hello_broadcasts);
+        assert_eq!(fast.final_roles, brute.final_roles);
+        assert_eq!(fast.cluster_series, brute.cluster_series);
+        assert_eq!(fast.role_transitions.len(), brute.role_transitions.len());
+        assert_eq!(fast.mean_aggregate_metric, brute.mean_aggregate_metric);
+        // The indexed path should actually prune work at this density.
+        assert!(fast.perf.mean_candidates <= brute.perf.mean_candidates);
+    }
+
+    #[test]
+    fn forced_fast_path_with_stochastic_propagation_is_rejected() {
+        let mut cfg = small(AlgorithmKind::Mobic);
+        cfg.fast_path = FastPath::On;
+        cfg.propagation = PropagationKind::NakagamiFreeSpace { m: 3.0 };
+        assert!(matches!(
+            run_scenario(&cfg, 0),
+            Err(ConfigError::FastPathUnsupported { .. })
+        ));
     }
 
     #[test]

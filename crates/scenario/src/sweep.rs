@@ -11,8 +11,11 @@ use crate::{run_scenario, ConfigError, RunResult, ScenarioConfig};
 ///
 /// # Errors
 ///
-/// Returns the first configuration error; all configs are validated
-/// up front so no work is wasted on a doomed batch.
+/// Returns the first configuration error. All configs are validated
+/// up front so no work is wasted on a doomed batch; should a worker's
+/// `run_scenario` still fail at runtime, its error is propagated back
+/// (in input order) instead of panicking inside the scoped thread and
+/// aborting the whole process.
 pub fn run_batch(jobs: &[(ScenarioConfig, u64)]) -> Result<Vec<RunResult>, ConfigError> {
     for (cfg, _) in jobs {
         cfg.validate()?;
@@ -22,8 +25,9 @@ pub fn run_batch(jobs: &[(ScenarioConfig, u64)]) -> Result<Vec<RunResult>, Confi
         .unwrap_or(4)
         .min(jobs.len().max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut results: Vec<Option<RunResult>> = (0..jobs.len()).map(|_| None).collect();
-    let slots: Vec<std::sync::Mutex<&mut Option<RunResult>>> =
+    let mut results: Vec<Option<Result<RunResult, ConfigError>>> =
+        (0..jobs.len()).map(|_| None).collect();
+    let slots: Vec<std::sync::Mutex<&mut Option<Result<RunResult, ConfigError>>>> =
         results.iter_mut().map(std::sync::Mutex::new).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -33,16 +37,16 @@ pub fn run_batch(jobs: &[(ScenarioConfig, u64)]) -> Result<Vec<RunResult>, Confi
                     break;
                 }
                 let (cfg, seed) = &jobs[i];
-                let result = run_scenario(cfg, *seed).expect("configs validated up front");
+                let result = run_scenario(cfg, *seed);
                 **slots[i].lock().expect("slot poisoned") = Some(result);
             });
         }
     });
     drop(slots);
-    Ok(results
+    results
         .into_iter()
         .map(|r| r.expect("every job completed"))
-        .collect())
+        .collect()
 }
 
 /// Aggregated outcome of one sweep cell (one algorithm at one

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, tier-1 build+tests, and a smoke run of
+# the brute-vs-indexed scaling bench (which asserts result equality,
+# so a regression in either event-loop path fails the script).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== fmt =="
+cargo fmt --all --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: build + tests =="
+cargo build --release
+cargo test -q
+
+echo "== scaling smoke (brute vs indexed equality + speedup) =="
+MOBIC_FAST=1 MOBIC_SCALING_NS=50,200 \
+    cargo run --release -p mobic-bench --bin bench_scaling
+
+echo "CI OK"

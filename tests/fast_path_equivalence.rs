@@ -1,0 +1,152 @@
+//! The spatial-index fast path must be bit-identical to the
+//! brute-force event loop: same `(cfg, seed)` ⇒ same `RunResult`
+//! (deliveries, transitions, series, roles — everything but the perf
+//! block), for every mobility model and for stateful loss models.
+
+use mobic::scenario::{
+    run_scenario, FastPath, LossKind, MobilityKind, PropagationKind, RunResult, ScenarioConfig,
+};
+
+/// Every mobility model the runner supports.
+fn all_mobility_kinds() -> [MobilityKind; 8] {
+    [
+        MobilityKind::RandomWaypoint,
+        MobilityKind::RandomWalk { epoch_s: 10.0 },
+        MobilityKind::GaussMarkov { alpha: 0.8 },
+        MobilityKind::Rpgm {
+            groups: 4,
+            member_radius_m: 40.0,
+        },
+        MobilityKind::Highway {
+            lanes: 4,
+            bidirectional: true,
+        },
+        MobilityKind::ConferenceHall { booths: 5 },
+        MobilityKind::Manhattan {
+            block_m: 100.0,
+            p_turn: 0.5,
+        },
+        MobilityKind::Stationary,
+    ]
+}
+
+/// Asserts every measurement matches; `perf` is deliberately excluded
+/// (it records *how* the run executed, which legitimately differs).
+fn assert_identical(a: &RunResult, b: &RunResult, ctx: &str) {
+    assert_eq!(a.deliveries, b.deliveries, "deliveries {ctx}");
+    assert_eq!(a.hello_broadcasts, b.hello_broadcasts, "hellos {ctx}");
+    assert_eq!(a.mac_collisions, b.mac_collisions, "collisions {ctx}");
+    assert_eq!(
+        a.clusterhead_changes_total, b.clusterhead_changes_total,
+        "CS total {ctx}"
+    );
+    assert_eq!(a.clusterhead_changes, b.clusterhead_changes, "CS {ctx}");
+    assert_eq!(a.affiliation_changes, b.affiliation_changes, "affiliation {ctx}");
+    assert_eq!(a.avg_clusters, b.avg_clusters, "avg clusters {ctx}");
+    assert_eq!(a.gateway_fraction, b.gateway_fraction, "gateways {ctx}");
+    assert_eq!(
+        a.mean_aggregate_metric, b.mean_aggregate_metric,
+        "metric {ctx}"
+    );
+    assert_eq!(a.cluster_series, b.cluster_series, "series {ctx}");
+    assert_eq!(a.final_roles, b.final_roles, "roles {ctx}");
+    assert_eq!(a.transitions_by_kind, b.transitions_by_kind, "kinds {ctx}");
+    assert_eq!(a.ch_time_gini, b.ch_time_gini, "gini {ctx}");
+    assert_eq!(
+        a.distinct_clusterheads, b.distinct_clusterheads,
+        "distinct CHs {ctx}"
+    );
+    assert_eq!(a.role_transitions, b.role_transitions, "transitions {ctx}");
+}
+
+/// A shortened `paper_table1` so the full cross product stays fast.
+fn paper_short() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper_table1();
+    cfg.sim_time_s = 120.0;
+    cfg
+}
+
+#[test]
+fn indexed_loop_is_bit_identical_across_mobility_and_seeds() {
+    for mobility in all_mobility_kinds() {
+        for seed in 0..5 {
+            let mut cfg = paper_short();
+            cfg.mobility = mobility;
+            cfg.fast_path = FastPath::Off;
+            let brute = run_scenario(&cfg, seed).unwrap();
+            cfg.fast_path = FastPath::On;
+            let fast = run_scenario(&cfg, seed).unwrap();
+            assert!(fast.perf.indexed, "{mobility:?} seed {seed}");
+            assert!(!brute.perf.indexed);
+            assert_identical(&fast, &brute, &format!("{mobility:?} seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn indexed_loop_matches_with_stateful_loss_models() {
+    // Bernoulli and Gilbert–Elliott consume RNG per queried link, so
+    // any divergence in candidate order or membership shows up here.
+    for loss in [LossKind::Bernoulli { p: 0.2 }, LossKind::BurstyPreset] {
+        for seed in [0, 7] {
+            let mut cfg = paper_short();
+            cfg.loss = loss;
+            cfg.fast_path = FastPath::Off;
+            let brute = run_scenario(&cfg, seed).unwrap();
+            cfg.fast_path = FastPath::On;
+            let fast = run_scenario(&cfg, seed).unwrap();
+            assert_identical(&fast, &brute, &format!("{loss:?} seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn indexed_loop_matches_with_mac_collisions_and_adaptive_bi() {
+    let mut cfg = paper_short();
+    cfg.packet_time_s = 0.01;
+    cfg.adaptive_bi_min_s = 0.5;
+    cfg.fast_path = FastPath::Off;
+    let brute = run_scenario(&cfg, 3).unwrap();
+    cfg.fast_path = FastPath::On;
+    let fast = run_scenario(&cfg, 3).unwrap();
+    assert!(brute.mac_collisions > 0, "collision model not exercised");
+    assert_identical(&fast, &brute, "collisions + adaptive BI");
+}
+
+#[test]
+fn auto_falls_back_to_brute_force_for_stochastic_propagation() {
+    for propagation in [
+        PropagationKind::ShadowedFreeSpace { sigma_db: 4.0 },
+        PropagationKind::NakagamiFreeSpace { m: 3.0 },
+    ] {
+        let mut cfg = paper_short();
+        cfg.sim_time_s = 60.0;
+        cfg.propagation = propagation;
+        cfg.fast_path = FastPath::Auto;
+        let auto = run_scenario(&cfg, 2).unwrap();
+        assert!(!auto.perf.indexed, "{propagation:?} must fall back");
+        cfg.fast_path = FastPath::Off;
+        let off = run_scenario(&cfg, 2).unwrap();
+        assert_identical(&auto, &off, &format!("{propagation:?} fallback"));
+    }
+}
+
+#[test]
+fn deterministic_propagation_variants_all_take_the_fast_path() {
+    for propagation in [
+        PropagationKind::FreeSpace,
+        PropagationKind::TwoRayGround,
+        PropagationKind::LogDistance { exponent: 3.0 },
+        PropagationKind::ShadowedFreeSpace { sigma_db: 0.0 },
+    ] {
+        let mut cfg = paper_short();
+        cfg.sim_time_s = 60.0;
+        cfg.propagation = propagation;
+        cfg.fast_path = FastPath::Off;
+        let brute = run_scenario(&cfg, 4).unwrap();
+        cfg.fast_path = FastPath::Auto;
+        let fast = run_scenario(&cfg, 4).unwrap();
+        assert!(fast.perf.indexed, "{propagation:?} should be indexed");
+        assert_identical(&fast, &brute, &format!("{propagation:?}"));
+    }
+}

@@ -64,6 +64,64 @@ proptest! {
     }
 
     #[test]
+    fn grid_index_exact_on_cell_and_field_boundaries(
+        // Points snapped onto multiples of the cell size — including
+        // the field edges and corners — exercise the bucket-boundary
+        // arithmetic (which cell owns x == k·cell?) where off-by-one
+        // errors in `cell_coords` would hide at generic coordinates.
+        cols in prop::collection::vec((0u32..=10, 0u32..=10), 1..50),
+        qcx in 0u32..=10,
+        qcy in 0u32..=10,
+        radius_cells in 0u32..=4,
+        cell in 10.0..100.0f64,
+    ) {
+        let field = Rect::square(10.0 * cell);
+        let positions: Vec<Vec2> = cols
+            .iter()
+            .map(|&(cx, cy)| Vec2::new(f64::from(cx) * cell, f64::from(cy) * cell))
+            .collect();
+        let idx = GridIndex::build(field, cell, &positions);
+        let q = Vec2::new(f64::from(qcx) * cell, f64::from(qcy) * cell);
+        // Snapped geometry makes every inter-point distance an exact
+        // multiple structure: the boundary case `distance == radius`
+        // occurs constantly instead of almost never.
+        let radius = f64::from(radius_cells) * cell;
+        let mut fast = idx.query_within(q, radius);
+        fast.sort_unstable();
+        let slow: Vec<usize> = positions
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance(q) <= radius)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn grid_index_update_all_preserves_query_equivalence(
+        pts in prop::collection::vec((0.0..400.0f64, 0.0..400.0f64), 1..40),
+        moved in prop::collection::vec((-50.0..450.0f64, -50.0..450.0f64), 1..40),
+        cell in 5.0..150.0f64,
+        radius in 0.0..250.0f64,
+    ) {
+        // Incremental maintenance (the runner's fast path) must agree
+        // with a fresh build, including points moved out of the field.
+        let n = pts.len().min(moved.len());
+        let before: Vec<Vec2> = pts[..n].iter().map(|&(x, y)| Vec2::new(x, y)).collect();
+        let after: Vec<Vec2> = moved[..n].iter().map(|&(x, y)| Vec2::new(x, y)).collect();
+        let mut idx = GridIndex::build(Rect::square(400.0), cell, &before);
+        idx.update_all(&after);
+        let rebuilt = GridIndex::build(Rect::square(400.0), cell, &after);
+        for (i, q) in after.iter().enumerate() {
+            let mut a = idx.query_within(*q, radius);
+            let mut b = rebuilt.query_within(*q, radius);
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b, "query around moved point {}", i);
+        }
+    }
+
+    #[test]
     fn random_waypoint_never_escapes_field(
         seed in any::<u64>(),
         w in 10.0..800.0f64,
