@@ -17,7 +17,7 @@
 use std::time::Instant;
 
 use mobic_metrics::AsciiTable;
-use mobic_scenario::{run_scenario, FastPath, RunResult, ScenarioConfig};
+use mobic_scenario::{manifest_for, run_scenario, FastPath, RunResult, ScenarioConfig};
 use serde::Serialize;
 
 /// One population-size cell of the scaling comparison.
@@ -70,6 +70,7 @@ fn timed(cfg: &ScenarioConfig, seed: u64) -> (RunResult, f64) {
 fn main() {
     let seed = 1u64;
     let mut rows = Vec::new();
+    let mut manifests = Vec::new();
     let mut table = AsciiTable::new(["n", "field (m)", "brute (ms)", "indexed (ms)", "speedup", "cand/hello"]);
     println!("== BENCH_scaling: brute-force vs spatial-index event loop ==\n");
     for n in populations() {
@@ -88,6 +89,12 @@ fn main() {
             "n={n}"
         );
         let speedup = brute_ms / indexed_ms;
+        // One manifest per executed run: the brute and indexed cells
+        // differ only in `fast_path`, which the config echo captures.
+        cfg.fast_path = FastPath::Off;
+        manifests.push(manifest_for(&cfg, seed, &brute));
+        cfg.fast_path = FastPath::On;
+        manifests.push(manifest_for(&cfg, seed, &fast));
         table.row([
             format!("{n}"),
             format!("{:.0}", cfg.field_w_m),
@@ -112,5 +119,9 @@ fn main() {
     match mobic_metrics::report::write_json(&rows, &path) {
         Ok(()) => println!("(wrote {})", path.display()),
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+    match mobic_trace::write_manifests(&path, &manifests) {
+        Ok(p) => println!("(wrote {})", p.display()),
+        Err(e) => eprintln!("warning: could not write manifest: {e}"),
     }
 }

@@ -29,7 +29,10 @@ fn main() {
     if let Err(e) = mobic_metrics::report::write_json(&flat, dir.join("fig4.json")) {
         eprintln!("warning: could not write JSON: {e}");
     }
-    println!("(wrote results/fig4.csv and results/fig4.json)");
+    if let Err(e) = mobic_trace::write_manifests(dir.join("fig4.json"), &table.manifests) {
+        eprintln!("warning: could not write manifest: {e}");
+    }
+    println!("(wrote results/fig4.csv, results/fig4.json and results/fig4.manifest.json)");
 
     // The monotone-decrease check the paper's discussion makes.
     let i_lcc = 0;

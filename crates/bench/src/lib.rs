@@ -24,7 +24,8 @@ use std::path::PathBuf;
 
 use mobic_core::AlgorithmKind;
 use mobic_metrics::{report, AsciiTable};
-use mobic_scenario::{run_batch, summarize_cs, ScenarioConfig, SweepOutcome};
+use mobic_scenario::{run_batch_manifested, summarize_cs, ScenarioConfig, SweepOutcome};
+use mobic_trace::{write_manifests, RunManifest};
 
 /// Number of seeds per experiment cell (`MOBIC_SEEDS`, default 5).
 #[must_use]
@@ -64,6 +65,10 @@ pub struct SweepTable {
     pub algorithms: Vec<AlgorithmKind>,
     /// Rows: (x, one outcome per algorithm).
     pub rows: Vec<(f64, Vec<SweepOutcome>)>,
+    /// One reproducibility manifest per underlying run, in job order
+    /// (`xs × algorithms × seeds`); [`publish`](Self::publish) writes
+    /// them next to the results JSON.
+    pub manifests: Vec<RunManifest>,
 }
 
 impl SweepTable {
@@ -93,7 +98,8 @@ impl SweepTable {
                 }
             }
         }
-        let results = run_batch(&jobs).expect("experiment configs must be valid");
+        let (results, manifests) =
+            run_batch_manifested(&jobs).expect("experiment configs must be valid");
         let mut rows = Vec::new();
         let mut idx = 0;
         for &x in xs {
@@ -109,6 +115,7 @@ impl SweepTable {
             x_label: x_label.to_string(),
             algorithms: algorithms.to_vec(),
             rows,
+            manifests,
         }
     }
 
@@ -171,7 +178,12 @@ impl SweepTable {
         if let Err(e) = report::write_json(&flat, dir.join(format!("{name}.json"))) {
             eprintln!("warning: could not write JSON: {e}");
         }
-        println!("(wrote results/{name}.csv and results/{name}.json)\n");
+        if let Err(e) = write_manifests(dir.join(format!("{name}.json")), &self.manifests) {
+            eprintln!("warning: could not write manifest: {e}");
+        }
+        println!(
+            "(wrote results/{name}.csv, results/{name}.json and results/{name}.manifest.json)\n"
+        );
     }
 
     /// The mean CS for (x, algorithm), if present.
@@ -307,6 +319,20 @@ mod tests {
         // doesn't panic and respects membership.
         let _ = crossover_x(&t, AlgorithmKind::Lcc, AlgorithmKind::Mobic);
         assert_eq!(crossover_x(&t, AlgorithmKind::LowestId, AlgorithmKind::Mobic), None);
+    }
+
+    #[test]
+    fn sweep_carries_one_manifest_per_run() {
+        let t = tiny_table();
+        // 2 xs × 2 algorithms × 2 seeds.
+        assert_eq!(t.manifests.len(), 8);
+        assert!(t
+            .manifests
+            .iter()
+            .all(|m| m.schema == mobic_trace::MANIFEST_SCHEMA));
+        // Job order is xs-major: the first seeds-len chunk shares a config.
+        assert_eq!(t.manifests[0].config_hash, t.manifests[1].config_hash);
+        assert_ne!(t.manifests[0].seed, t.manifests[1].seed);
     }
 
     #[test]

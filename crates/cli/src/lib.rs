@@ -31,6 +31,10 @@ pub enum Command {
         seed: u64,
         /// Emit machine-readable JSON instead of a human summary.
         json: bool,
+        /// Write a JSONL event trace (plus a manifest next to it).
+        trace: Option<String>,
+        /// Print wall-clock phase timings to stderr.
+        profile: bool,
     },
     /// Sweep the transmission range.
     Sweep {
@@ -42,6 +46,10 @@ pub enum Command {
         algorithms: Vec<AlgorithmKind>,
         /// Seeds per cell.
         seeds: u64,
+        /// Directory for per-run JSONL traces and the sweep manifest.
+        trace: Option<String>,
+        /// Print accumulated wall-clock phase timings to stderr.
+        profile: bool,
     },
     /// Print Table 1.
     Table1,
@@ -93,6 +101,12 @@ RUN / SWEEP OPTIONS (defaults = the paper's Table 1):
                            manhattan:<block> | static        [rwp]
   --history <alpha>        EWMA metric smoothing (0..1)
   --json                   machine-readable output (run)
+
+OBSERVABILITY:
+  --trace <path>           write a JSONL event trace; for `run` a file,
+                           for `sweep` a directory (one file per run).
+                           A run manifest is written next to it.
+  --profile                print wall-clock phase timings to stderr
 "
 }
 
@@ -115,6 +129,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut seed = 42u64;
             let mut seeds = 5u64;
             let mut json = false;
+            let mut trace: Option<String> = None;
+            let mut profile = false;
             let mut tx_values = sweep_points(10.0, 250.0, 25.0);
             let mut algorithms = vec![AlgorithmKind::Lcc, AlgorithmKind::Mobic];
             let mut i = 0;
@@ -126,6 +142,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 };
                 match flag {
                     "--json" => json = true,
+                    "--profile" => profile = true,
+                    "--trace" => {
+                        let path = value()?;
+                        if path.is_empty() || path.starts_with("--") {
+                            return Err(err(format!(
+                                "--trace expects a path, got {path:?}"
+                            )));
+                        }
+                        trace = Some(path.clone());
+                    }
                     "--algorithm" => config.algorithm = parse_algorithm(value()?)?,
                     "--algorithms" => {
                         algorithms = value()?
@@ -156,7 +182,13 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 .validate()
                 .map_err(|e| err(format!("invalid scenario: {e}")))?;
             if cmd == "run" {
-                Ok(Command::Run { config, seed, json })
+                Ok(Command::Run {
+                    config,
+                    seed,
+                    json,
+                    trace,
+                    profile,
+                })
             } else {
                 if algorithms.is_empty() {
                     return Err(err("--algorithms must name at least one algorithm"));
@@ -166,6 +198,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     tx_values,
                     algorithms,
                     seeds: seeds.max(1),
+                    trace,
+                    profile,
                 })
             }
         }
@@ -278,17 +312,28 @@ mod tests {
 
     #[test]
     fn run_defaults_are_table1() {
-        let Command::Run { config, seed, json } = parse_ok("run") else {
+        let Command::Run {
+            config,
+            seed,
+            json,
+            trace,
+            profile,
+        } = parse_ok("run")
+        else {
             panic!("expected run");
         };
         assert_eq!(config, ScenarioConfig::paper_table1());
         assert_eq!(seed, 42);
         assert!(!json);
+        assert_eq!(trace, None);
+        assert!(!profile);
     }
 
     #[test]
     fn run_with_overrides() {
-        let Command::Run { config, seed, json } = parse_ok(
+        let Command::Run {
+            config, seed, json, ..
+        } = parse_ok(
             "run --algorithm mobic --nodes 30 --field 1000x500 --speed 10 \
              --pause 30 --tx 100 --time 300 --seed 7 --history 0.7 --json",
         ) else {
@@ -371,6 +416,31 @@ mod tests {
         assert!(parse_err("sweep --tx-sweep 10:5:1").0.contains("to >= from"));
         assert!(parse_err("frobnicate").0.contains("unknown command"));
         assert!(parse_err("run --mobility rpgm").0.contains("argument"));
+        assert!(parse_err("run --trace").0.contains("--trace"));
+        assert!(parse_err("run --trace --json").0.contains("path"));
+    }
+
+    #[test]
+    fn trace_and_profile_parse_on_both_commands() {
+        let Command::Run { trace, profile, .. } =
+            parse_ok("run --trace out/run.jsonl --profile")
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(trace.as_deref(), Some("out/run.jsonl"));
+        assert!(profile);
+        let Command::Sweep { trace, profile, .. } = parse_ok("sweep --trace traces/ --profile")
+        else {
+            panic!("expected sweep");
+        };
+        assert_eq!(trace.as_deref(), Some("traces/"));
+        assert!(profile);
+        // Defaults stay off for sweep too.
+        let Command::Sweep { trace, profile, .. } = parse_ok("sweep") else {
+            panic!("expected sweep");
+        };
+        assert_eq!(trace, None);
+        assert!(!profile);
     }
 
     #[test]
@@ -381,7 +451,15 @@ mod tests {
 
     #[test]
     fn usage_mentions_every_command() {
-        for needle in ["run", "sweep", "table1", "--mobility", "--tx-sweep"] {
+        for needle in [
+            "run",
+            "sweep",
+            "table1",
+            "--mobility",
+            "--tx-sweep",
+            "--trace",
+            "--profile",
+        ] {
             assert!(usage().contains(needle), "usage lacks {needle}");
         }
     }

@@ -1,9 +1,14 @@
 //! The `mobic-cli` binary: run and sweep MANET clustering scenarios
 //! from the command line. See `mobic-cli help`.
 
+use std::path::Path;
+
 use mobic_cli::{parse, usage, Command};
 use mobic_metrics::AsciiTable;
-use mobic_scenario::{params, run_batch, run_scenario, summarize_cs};
+use mobic_scenario::{
+    manifest_for, params, run_batch, run_scenario, run_scenario_traced, summarize_cs,
+};
+use mobic_trace::{write_manifests, JsonlSink, PhaseTimings};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,8 +31,32 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
     match cmd {
         Command::Help => print!("{}", usage()),
         Command::Table1 => print!("{}", params::render_table1()),
-        Command::Run { config, seed, json } => {
-            let result = run_scenario(&config, seed)?;
+        Command::Run {
+            config,
+            seed,
+            json,
+            trace,
+            profile,
+        } => {
+            let result = if let Some(path) = &trace {
+                let mut sink = JsonlSink::create(path)?;
+                let result = run_scenario_traced(&config, seed, &mut sink)?;
+                let events = sink.lines();
+                sink.finish()?;
+                let manifest = manifest_for(&config, seed, &result);
+                let mpath = write_manifests(Path::new(path), &[manifest])?;
+                eprintln!(
+                    "trace: {events} events -> {path}; manifest -> {}",
+                    mpath.display()
+                );
+                result
+            } else {
+                run_scenario(&config, seed)?
+            };
+            if profile {
+                // stderr so `--json` stdout stays machine-readable.
+                eprintln!("{}", result.perf.phase_ms);
+            }
             if json {
                 println!("{}", serde_json::to_string_pretty(&result)?);
             } else {
@@ -55,6 +84,8 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             tx_values,
             algorithms,
             seeds,
+            trace,
+            profile,
         } => {
             let seed_list: Vec<u64> = (0..seeds).collect();
             let mut header = vec!["Tx (m)".to_string()];
@@ -63,6 +94,8 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 header.push(format!("{} clusters", alg.name()));
             }
             let mut table = AsciiTable::new(header);
+            let mut manifests = Vec::new();
+            let mut phase_total = PhaseTimings::default();
             for &tx in &tx_values {
                 let mut row = vec![format!("{tx:.0}")];
                 for &alg in &algorithms {
@@ -70,7 +103,31 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                         .iter()
                         .map(|&s| (config.with_algorithm(alg).with_tx_range(tx), s))
                         .collect();
-                    let runs = run_batch(&jobs)?;
+                    let runs = if let Some(dir) = &trace {
+                        // Traced sweeps run sequentially: one JSONL
+                        // file per (algorithm, tx, seed) cell member.
+                        let dir = Path::new(dir);
+                        let mut runs = Vec::with_capacity(jobs.len());
+                        for (cfg, s) in &jobs {
+                            let file = dir.join(format!(
+                                "trace_{}_tx{tx:.0}_seed{s}.jsonl",
+                                alg.name()
+                            ));
+                            let mut sink = JsonlSink::create(&file)?;
+                            let r = run_scenario_traced(cfg, *s, &mut sink)?;
+                            sink.finish()?;
+                            manifests.push(manifest_for(cfg, *s, &r));
+                            runs.push(r);
+                        }
+                        runs
+                    } else {
+                        run_batch(&jobs)?
+                    };
+                    if profile {
+                        for r in &runs {
+                            phase_total.accumulate(&r.perf.phase_ms);
+                        }
+                    }
                     let out = summarize_cs(tx, &runs);
                     row.push(format!("{:.1}", out.mean_cs));
                     row.push(format!("{:.1}", out.mean_clusters));
@@ -78,6 +135,17 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 table.row(row);
             }
             print!("{}", table.render());
+            if let Some(dir) = &trace {
+                let mpath = write_manifests(&Path::new(dir).join("sweep.json"), &manifests)?;
+                eprintln!(
+                    "traces: {} files -> {dir}; manifest -> {}",
+                    manifests.len(),
+                    mpath.display()
+                );
+            }
+            if profile {
+                eprintln!("accumulated over all runs:\n{phase_total}");
+            }
         }
     }
     Ok(())

@@ -79,6 +79,57 @@ fn sweep_prints_table_rows() {
 }
 
 #[test]
+fn run_trace_writes_jsonl_and_manifest() {
+    let dir = std::env::temp_dir().join("mobic-cli-trace-test");
+    std::fs::remove_dir_all(&dir).ok();
+    let trace = dir.join("run.jsonl");
+    let invoke = || {
+        let out = cli()
+            .args([
+                "run", "--nodes", "8", "--time", "30", "--tx", "200", "--seed", "5", "--trace",
+            ])
+            .arg(&trace)
+            .output()
+            .expect("spawn");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        std::fs::read(&trace).expect("trace file written")
+    };
+    let a = invoke();
+    let b = invoke();
+    assert_eq!(a, b, "same seed must yield a byte-identical trace");
+    let text = String::from_utf8(a).unwrap();
+    assert!(text.lines().count() > 0);
+    for line in text.lines().take(50) {
+        let v: serde_json::Value = serde_json::from_str(line).expect("JSONL line");
+        assert!(v["kind"].is_string());
+        assert!(v["t_us"].is_u64());
+    }
+    let manifest = std::fs::read_to_string(dir.join("run.manifest.json"))
+        .expect("manifest written next to trace");
+    let parsed: serde_json::Value = serde_json::from_str(&manifest).unwrap();
+    assert_eq!(parsed[0]["seed"], 5);
+    assert!(parsed[0]["config_hash"].as_str().unwrap().starts_with("fnv1a64:"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn profile_goes_to_stderr_keeping_json_stdout_clean() {
+    let out = cli()
+        .args([
+            "run", "--nodes", "8", "--time", "30", "--tx", "200", "--seed", "3", "--json",
+            "--profile",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let _: serde_json::Value = serde_json::from_str(&stdout).expect("stdout is pure JSON");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("phase wall-clock timings"), "{stderr}");
+    assert!(stderr.contains("event loop"));
+}
+
+#[test]
 fn bad_arguments_fail_with_usage_on_stderr() {
     let out = cli().args(["run", "--algorithm", "bogus"]).output().expect("spawn");
     assert!(!out.status.success());

@@ -77,6 +77,27 @@ impl<P: Propagation, L: LossModel> DeliveryEngine<P, L> {
         positions: &[Vec2],
         at: SimTime,
     ) -> Vec<Delivery> {
+        let mut lost = Vec::new();
+        self.broadcast_observed(tx, positions, at, &mut lost)
+    }
+
+    /// Like [`broadcast`](Self::broadcast), but also reports into
+    /// `lost` every receiver that was inside radio range yet dropped
+    /// the packet at the loss model — the signal the observability
+    /// layer's `hello_lost` trace event carries. `lost` is cleared
+    /// first; with a lossless model it stays empty and costs nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx` indexes outside `positions`.
+    pub fn broadcast_observed(
+        &mut self,
+        tx: NodeId,
+        positions: &[Vec2],
+        at: SimTime,
+        lost: &mut Vec<NodeId>,
+    ) -> Vec<Delivery> {
+        lost.clear();
         let tx_pos = positions[tx.index()];
         let mut out = Vec::new();
         for (i, &pos) in positions.iter().enumerate() {
@@ -90,6 +111,8 @@ impl<P: Propagation, L: LossModel> DeliveryEngine<P, L> {
                         receiver: rx,
                         rx_power: power,
                     });
+                } else {
+                    lost.push(rx);
                 }
             }
         }
@@ -163,6 +186,23 @@ impl<P: Propagation, L: LossModel> DeliveryEngine<P, L> {
         candidates: &[(NodeId, Vec2)],
         at: SimTime,
     ) -> Vec<Delivery> {
+        let mut lost = Vec::new();
+        self.broadcast_among_observed(tx, tx_pos, candidates, at, &mut lost)
+    }
+
+    /// Like [`broadcast_among`](Self::broadcast_among), but also
+    /// reports loss-model drops into `lost` (cleared first) — see
+    /// [`broadcast_observed`](Self::broadcast_observed). Same
+    /// correctness contract and debug assertions as
+    /// [`broadcast_among`](Self::broadcast_among).
+    pub fn broadcast_among_observed(
+        &mut self,
+        tx: NodeId,
+        tx_pos: Vec2,
+        candidates: &[(NodeId, Vec2)],
+        at: SimTime,
+        lost: &mut Vec<NodeId>,
+    ) -> Vec<Delivery> {
         debug_assert!(
             self.radio.propagation().is_deterministic(),
             "broadcast_among requires a deterministic propagation model: \
@@ -172,6 +212,7 @@ impl<P: Propagation, L: LossModel> DeliveryEngine<P, L> {
             candidates.windows(2).all(|w| w[0].0 < w[1].0),
             "candidates must be sorted by ascending id"
         );
+        lost.clear();
         let mut out = Vec::new();
         for &(rx, pos) in candidates {
             if rx == tx {
@@ -183,6 +224,8 @@ impl<P: Propagation, L: LossModel> DeliveryEngine<P, L> {
                         receiver: rx,
                         rx_power: power,
                     });
+                } else {
+                    lost.push(rx);
                 }
             }
         }
@@ -327,6 +370,45 @@ mod tests {
             let among =
                 among_engine.broadcast_among(NodeId::new(0), positions[0], &candidates, at);
             assert_eq!(among, brute, "step={step}");
+        }
+    }
+
+    #[test]
+    fn observed_broadcast_reports_in_range_losses_only() {
+        let radio = Radio::with_range(FreeSpace::at_frequency(914.0e6), 100.0);
+        let loss = Bernoulli::new(1.0, SeedSplitter::new(1).stream("l", 0));
+        let mut e = DeliveryEngine::new(radio, loss);
+        let positions = vec![Vec2::ZERO, Vec2::new(10.0, 0.0), Vec2::new(500.0, 0.0)];
+        let mut lost = vec![NodeId::new(99)]; // stale content must be cleared
+        let rx = e.broadcast_observed(NodeId::new(0), &positions, SimTime::ZERO, &mut lost);
+        assert!(rx.is_empty());
+        // n1 was in range and dropped; out-of-range n2 is not a "loss".
+        assert_eq!(lost, vec![NodeId::new(1)]);
+    }
+
+    #[test]
+    fn observed_among_matches_plain_among_deliveries() {
+        let positions = vec![Vec2::ZERO, Vec2::new(10.0, 0.0), Vec2::new(20.0, 0.0)];
+        let candidates: Vec<(NodeId, Vec2)> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (NodeId::new(i as u32), p))
+            .collect();
+        let mk = || {
+            let radio = Radio::with_range(FreeSpace::at_frequency(914.0e6), 100.0);
+            let loss = Bernoulli::new(0.5, SeedSplitter::new(7).stream("l", 0));
+            DeliveryEngine::new(radio, loss)
+        };
+        let (mut a, mut b) = (mk(), mk());
+        let mut lost = Vec::new();
+        for step in 0..20u64 {
+            let at = SimTime::from_secs_f64(step as f64);
+            let plain = a.broadcast_among(NodeId::new(0), positions[0], &candidates, at);
+            let observed =
+                b.broadcast_among_observed(NodeId::new(0), positions[0], &candidates, at, &mut lost);
+            assert_eq!(plain, observed, "step={step}");
+            // Every in-range candidate either delivered or was lost.
+            assert_eq!(observed.len() + lost.len(), 2, "step={step}");
         }
     }
 

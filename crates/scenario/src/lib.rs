@@ -35,5 +35,8 @@ mod runner;
 mod sweep;
 
 pub use config::{ConfigError, FastPath, LossKind, MobilityKind, PropagationKind, ScenarioConfig};
-pub use runner::{run_scenario, run_scenario_observed, RunPerf, RunResult, SampleView};
-pub use sweep::{run_batch, summarize_cs, SweepOutcome};
+pub use runner::{
+    manifest_for, run_scenario, run_scenario_instrumented, run_scenario_observed,
+    run_scenario_traced, RunPerf, RunResult, SampleView,
+};
+pub use sweep::{run_batch, run_batch_manifested, summarize_cs, SweepOutcome};

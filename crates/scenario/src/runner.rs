@@ -52,6 +52,10 @@ use mobic_radio::{
     Dbm, FreeSpace, LogDistance, Nakagami, Propagation, Radio, Shadowed, TwoRayGround,
 };
 use mobic_sim::{rng::SeedSplitter, SimTime, Simulation};
+use mobic_trace::{
+    config_hash, ManifestCounters, NullSink, PhaseClock, PhaseTimings, RunManifest, TraceEvent,
+    TraceSink,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::{ConfigError, FastPath, LossKind, MobilityKind, PropagationKind, ScenarioConfig};
@@ -130,6 +134,11 @@ pub struct RunPerf {
     /// serialized: identical runs must produce identical JSON.
     #[serde(skip)]
     pub wall_clock_ms: f64,
+    /// Wall-clock breakdown into setup / event-loop / aggregation
+    /// phases (`mobic-cli --profile` renders it). Excluded from
+    /// serialization for the same reason as `wall_clock_ms`.
+    #[serde(skip)]
+    pub phase_ms: PhaseTimings,
 }
 
 /// Simulation events.
@@ -373,20 +382,37 @@ struct PendingRx {
 
 /// Commits a deferred reception once its vulnerable window has closed.
 /// `force` commits unconditionally — used at end of run, when no
-/// further arrival can overlap the pending packet.
+/// further arrival can overlap the pending packet. A committed
+/// reception is a successful delivery, so this is also where the
+/// `hello_rx` trace event fires (stamped with the *arrival* time the
+/// neighbor table sees).
+#[allow(clippy::too_many_arguments)] // internal hot-path helper
 fn commit_pending(
     slot: &mut Option<PendingRx>,
     table: &mut ClusterTable,
+    rx: u32,
     now: SimTime,
     packet_time: SimTime,
     force: bool,
     deliveries: &mut u64,
+    tracing: bool,
+    sink: &mut dyn TraceSink,
 ) {
     if let Some(p) = *slot {
         if force || now.saturating_sub(p.at) >= packet_time {
             *slot = None;
             *deliveries += 1;
             table.record(p.at, p.power, &p.hello);
+            if tracing {
+                sink.record(
+                    p.at,
+                    &TraceEvent::HelloRx {
+                        tx: p.hello.sender.value(),
+                        rx,
+                        rx_power_dbm: p.power.dbm(),
+                    },
+                );
+            }
         }
     }
 }
@@ -414,7 +440,7 @@ pub struct SampleView<'a> {
 ///
 /// Returns a [`ConfigError`] if the configuration is invalid.
 pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> Result<RunResult, ConfigError> {
-    run_scenario_observed(cfg, seed, |_| {})
+    run_scenario_instrumented(cfg, seed, |_| {}, &mut NullSink)
 }
 
 /// Like [`run_scenario`], but invokes `observer` at every sampling
@@ -429,9 +455,53 @@ pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> Result<RunResult, Config
 pub fn run_scenario_observed(
     cfg: &ScenarioConfig,
     seed: u64,
+    observer: impl FnMut(SampleView<'_>),
+) -> Result<RunResult, ConfigError> {
+    run_scenario_instrumented(cfg, seed, observer, &mut NullSink)
+}
+
+/// Like [`run_scenario`], but emits every structured
+/// [`TraceEvent`] of the run into `sink` — hello tx/rx, loss drops,
+/// MAC collisions, head elections/resignations, cluster merges, and
+/// index refreshes, each stamped with the simulation time.
+///
+/// Tracing is purely observational: the [`RunResult`] is bit-identical
+/// to an untraced run of the same `(cfg, seed)`, and with
+/// [`NullSink`] the loop skips event construction entirely (checked
+/// once via [`TraceSink::enabled`]).
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] if the configuration is invalid. Sink
+/// I/O errors never interrupt the run — fallible sinks latch them
+/// (see [`mobic_trace::JsonlSink::finish`]).
+pub fn run_scenario_traced(
+    cfg: &ScenarioConfig,
+    seed: u64,
+    sink: &mut dyn TraceSink,
+) -> Result<RunResult, ConfigError> {
+    run_scenario_instrumented(cfg, seed, |_| {}, sink)
+}
+
+/// The fully instrumented runner: sampling-time `observer` *and*
+/// structured event `sink`. [`run_scenario`],
+/// [`run_scenario_observed`] and [`run_scenario_traced`] are thin
+/// wrappers over this.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] if the configuration is invalid.
+pub fn run_scenario_instrumented(
+    cfg: &ScenarioConfig,
+    seed: u64,
     mut observer: impl FnMut(SampleView<'_>),
+    sink: &mut dyn TraceSink,
 ) -> Result<RunResult, ConfigError> {
     cfg.validate()?;
+    let mut phase_clock = PhaseClock::start();
+    // One capability check up front: with a disabled sink the loop
+    // never constructs an event, so tracing is zero-cost when off.
+    let tracing = sink.enabled();
     let n = cfg.n_nodes as usize;
     let splitter = SeedSplitter::new(seed);
     let field = Rect::new(cfg.field_w_m, cfg.field_h_m);
@@ -517,7 +587,11 @@ pub fn run_scenario_observed(
     let mut last_arrival: Vec<Option<SimTime>> = vec![None; n];
     let mut pending: Vec<Option<PendingRx>> = vec![None; n];
     let mut collisions: u64 = 0;
+    // In-range receivers dropped by the loss model on the last
+    // broadcast (reused buffer; empty unless a loss model is active).
+    let mut lost: Vec<NodeId> = Vec::new();
 
+    let setup_ms = phase_clock.lap_ms();
     let wall_start = std::time::Instant::now();
     sim.run_until(sim_end, |now, ev, sched| match ev {
         Ev::Hello(tx) => {
@@ -528,14 +602,26 @@ pub fn run_scenario_observed(
                 commit_pending(
                     &mut pending[txi],
                     &mut tables[txi],
+                    tx.value(),
                     now,
                     packet_time,
                     false,
                     &mut deliveries,
+                    tracing,
+                    sink,
                 );
             }
             let hello = nodes[txi].prepare_broadcast(now, &mut tables[txi]);
             hello_broadcasts += 1;
+            if tracing {
+                sink.record(
+                    now,
+                    &TraceEvent::HelloTx {
+                        node: tx.value(),
+                        seq: hello.seq,
+                    },
+                );
+            }
             let delivered = if let Some(index) = index.as_mut() {
                 if now.saturating_sub(last_refresh) >= refresh_period {
                     for (j, m) in mobility.iter_mut().enumerate() {
@@ -544,6 +630,9 @@ pub fn run_scenario_observed(
                     index.update_all(&positions);
                     last_refresh = now;
                     index_refreshes += 1;
+                    if tracing {
+                        sink.record(now, &TraceEvent::IndexRefresh { nodes: n as u32 });
+                    }
                 }
                 positions[txi] = mobility[txi].position_at(now);
                 index.update(txi, positions[txi]);
@@ -565,28 +654,52 @@ pub fn run_scenario_observed(
                     candidates.push((NodeId::new(i as u32), positions[i]));
                 }
                 candidate_total += candidates.len() as u64;
-                engine.broadcast_among(tx, positions[txi], &candidates, now)
+                engine.broadcast_among_observed(tx, positions[txi], &candidates, now, &mut lost)
             } else {
                 for (j, m) in mobility.iter_mut().enumerate() {
                     positions[j] = m.position_at(now);
                 }
                 candidate_total += (n - 1) as u64;
-                engine.broadcast(tx, &positions, now)
+                engine.broadcast_observed(tx, &positions, now, &mut lost)
             };
+            if tracing {
+                for &dropped in &lost {
+                    sink.record(
+                        now,
+                        &TraceEvent::HelloLost {
+                            tx: tx.value(),
+                            rx: dropped.value(),
+                        },
+                    );
+                }
+            }
             for d in delivered {
                 let r = d.receiver.index();
                 if packet_time.is_zero() {
                     deliveries += 1;
                     tables[r].record(now, d.rx_power, &hello);
+                    if tracing {
+                        sink.record(
+                            now,
+                            &TraceEvent::HelloRx {
+                                tx: tx.value(),
+                                rx: d.receiver.value(),
+                                rx_power_dbm: d.rx_power.dbm(),
+                            },
+                        );
+                    }
                     continue;
                 }
                 commit_pending(
                     &mut pending[r],
                     &mut tables[r],
+                    d.receiver.value(),
                     now,
                     packet_time,
                     false,
                     &mut deliveries,
+                    tracing,
+                    sink,
                 );
                 let collided = last_arrival[r]
                     .is_some_and(|prev| now.saturating_sub(prev) < packet_time);
@@ -594,10 +707,28 @@ pub fn run_scenario_observed(
                 if collided {
                     // The earlier packet is still uncommitted iff it
                     // arrived inside the window; destroy it too.
-                    if pending[r].take().is_some() {
+                    if let Some(p) = pending[r].take() {
                         collisions += 1;
+                        if tracing {
+                            sink.record(
+                                now,
+                                &TraceEvent::MacCollision {
+                                    tx: p.hello.sender.value(),
+                                    rx: d.receiver.value(),
+                                },
+                            );
+                        }
                     }
                     collisions += 1;
+                    if tracing {
+                        sink.record(
+                            now,
+                            &TraceEvent::MacCollision {
+                                tx: tx.value(),
+                                rx: d.receiver.value(),
+                            },
+                        );
+                    }
                 } else {
                     pending[r] = Some(PendingRx {
                         at: now,
@@ -612,6 +743,29 @@ pub fn run_scenario_observed(
             // interval to introduce itself.
             if now >= bi {
                 if let Some(tr) = nodes[txi].evaluate(now, &mut tables[txi]) {
+                    if tracing {
+                        let node = tr.node.value();
+                        match (tr.from, tr.to) {
+                            // A head stepping down into another head's
+                            // cluster is a cluster merge.
+                            (Role::Clusterhead, Role::Member { ch }) => sink.record(
+                                now,
+                                &TraceEvent::ClusterMerge {
+                                    node,
+                                    into: ch.value(),
+                                },
+                            ),
+                            (Role::Clusterhead, _) => {
+                                sink.record(now, &TraceEvent::HeadResigned { node });
+                            }
+                            (_, Role::Clusterhead) => {
+                                sink.record(now, &TraceEvent::HeadElected { node });
+                            }
+                            // Member/undecided affiliation shuffles are
+                            // in `role_transitions`; not traced.
+                            _ => {}
+                        }
+                    }
                     log.record(tr);
                 }
             }
@@ -639,6 +793,9 @@ pub fn run_scenario_observed(
                 index.update_all(&positions);
                 last_refresh = now;
                 index_refreshes += 1;
+                if tracing {
+                    sink.record(now, &TraceEvent::IndexRefresh { nodes: n as u32 });
+                }
             }
             if !packet_time.is_zero() {
                 // Sampling reads every table: commit closed windows.
@@ -646,10 +803,13 @@ pub fn run_scenario_observed(
                     commit_pending(
                         &mut pending[r],
                         &mut tables[r],
+                        r as u32,
                         now,
                         packet_time,
                         false,
                         &mut deliveries,
+                        tracing,
+                        sink,
                     );
                 }
             }
@@ -679,14 +839,18 @@ pub fn run_scenario_observed(
             commit_pending(
                 &mut pending[r],
                 &mut tables[r],
+                r as u32,
                 sim_end,
                 packet_time,
                 true,
                 &mut deliveries,
+                tracing,
+                sink,
             );
         }
     }
     let wall_clock_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+    let event_loop_ms = phase_clock.lap_ms();
 
     let shares = log.clusterhead_time_shares(n, warmup, sim_end.max(warmup + SimTime::SECOND));
     let ch_time_gini = mobic_metrics::gini(&shares);
@@ -698,6 +862,7 @@ pub fn run_scenario_observed(
             *transitions_by_kind.entry(kind).or_insert(0) += 1;
         }
     }
+    let aggregate_ms = phase_clock.lap_ms();
 
     Ok(RunResult {
         algorithm: cfg.algorithm,
@@ -729,8 +894,57 @@ pub fn run_scenario_observed(
             },
             index_refreshes,
             wall_clock_ms,
+            phase_ms: PhaseTimings {
+                setup_ms,
+                event_loop_ms,
+                aggregate_ms,
+            },
         },
     })
+}
+
+/// Build the [`RunManifest`] describing a finished run.
+///
+/// The manifest pairs the exact inputs (config echo + content hash +
+/// seed) with the run's headline counters so a `results/*.json`
+/// artifact can be audited without re-running the simulation. It is
+/// a pure function of `(cfg, seed, result)` — no timestamps, no
+/// host-specific data — so identical runs produce byte-identical
+/// manifests.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_scenario::{manifest_for, run_scenario, ScenarioConfig};
+///
+/// let mut cfg = ScenarioConfig::paper_table1();
+/// cfg.n_nodes = 8;
+/// cfg.sim_time_s = 20.0;
+/// let result = run_scenario(&cfg, 7).unwrap();
+/// let manifest = manifest_for(&cfg, 7, &result);
+/// assert_eq!(manifest.seed, 7);
+/// assert_eq!(manifest.counters.hello_broadcasts, result.hello_broadcasts);
+/// ```
+pub fn manifest_for(cfg: &ScenarioConfig, seed: u64, result: &RunResult) -> RunManifest {
+    let config_json = serde_json::to_value(cfg).expect("ScenarioConfig serializes");
+    let canonical = serde_json::to_string(&config_json).expect("Value serializes");
+    RunManifest {
+        schema: mobic_trace::MANIFEST_SCHEMA,
+        crate_version: env!("CARGO_PKG_VERSION").to_string(),
+        config_hash: config_hash(canonical.as_bytes()),
+        config: config_json,
+        seed,
+        algorithm: cfg.algorithm.name().to_string(),
+        indexed: result.perf.indexed,
+        counters: ManifestCounters {
+            events: result.perf.events,
+            hello_broadcasts: result.hello_broadcasts,
+            deliveries: result.deliveries,
+            mac_collisions: result.mac_collisions,
+            index_refreshes: result.perf.index_refreshes,
+            clusterhead_changes_total: result.clusterhead_changes_total,
+        },
+    }
 }
 
 /// Compact role label for transition-kind keys.
@@ -1044,5 +1258,128 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         let back: RunResult = serde_json::from_str(&json).unwrap();
         assert_eq!(back.clusterhead_changes, r.clusterhead_changes);
+    }
+
+    /// In-memory sink tallying events by kind, for counter identities.
+    #[derive(Default)]
+    struct CountingSink {
+        tx: u64,
+        rx: u64,
+        lost: u64,
+        collisions: u64,
+        elected: u64,
+        resigned: u64,
+        merged: u64,
+        refreshes: u64,
+    }
+
+    impl TraceSink for CountingSink {
+        fn record(&mut self, _at: SimTime, event: &TraceEvent) {
+            match event {
+                TraceEvent::HelloTx { .. } => self.tx += 1,
+                TraceEvent::HelloRx { .. } => self.rx += 1,
+                TraceEvent::HelloLost { .. } => self.lost += 1,
+                TraceEvent::MacCollision { .. } => self.collisions += 1,
+                TraceEvent::HeadElected { .. } => self.elected += 1,
+                TraceEvent::HeadResigned { .. } => self.resigned += 1,
+                TraceEvent::ClusterMerge { .. } => self.merged += 1,
+                TraceEvent::IndexRefresh { .. } => self.refreshes += 1,
+            }
+        }
+    }
+
+    #[test]
+    fn traced_event_counts_match_result_counters() {
+        let mut cfg = small(AlgorithmKind::Mobic);
+        cfg.loss = LossKind::Bernoulli { p: 0.2 };
+        cfg.packet_time_s = 0.005;
+        let mut sink = CountingSink::default();
+        let r = run_scenario_traced(&cfg, 19, &mut sink).unwrap();
+        assert_eq!(sink.tx, r.hello_broadcasts);
+        assert_eq!(sink.rx, r.deliveries);
+        assert_eq!(sink.collisions, r.mac_collisions);
+        assert_eq!(sink.refreshes, r.perf.index_refreshes);
+        assert_eq!(
+            sink.elected + sink.resigned + sink.merged,
+            r.clusterhead_changes_total,
+            "head elections + resignations + merges must equal total CH changes"
+        );
+        assert!(sink.lost > 0, "Bernoulli loss must surface hello_lost events");
+    }
+
+    #[test]
+    fn lossless_runs_emit_no_loss_events() {
+        let cfg = small(AlgorithmKind::Mobic);
+        let mut sink = CountingSink::default();
+        run_scenario_traced(&cfg, 19, &mut sink).unwrap();
+        assert_eq!(sink.lost, 0);
+        assert_eq!(sink.collisions, 0);
+    }
+
+    #[test]
+    fn tracing_never_perturbs_the_run() {
+        // The observational guarantee: serialized RunResult is
+        // byte-identical whether the run is untraced, null-sinked,
+        // or fully traced.
+        let mut cfg = small(AlgorithmKind::Mobic);
+        cfg.loss = LossKind::Bernoulli { p: 0.3 };
+        cfg.packet_time_s = 0.005;
+        let plain = serde_json::to_string(&run_scenario(&cfg, 23).unwrap()).unwrap();
+        let nulled =
+            serde_json::to_string(&run_scenario_traced(&cfg, 23, &mut NullSink).unwrap()).unwrap();
+        let mut sink = CountingSink::default();
+        let traced = serde_json::to_string(&run_scenario_traced(&cfg, 23, &mut sink).unwrap())
+            .unwrap();
+        assert_eq!(plain, nulled);
+        assert_eq!(plain, traced);
+    }
+
+    #[test]
+    fn jsonl_traces_are_byte_identical_across_invocations() {
+        let mut cfg = small(AlgorithmKind::Mobic);
+        cfg.loss = LossKind::Bernoulli { p: 0.1 };
+        let capture = |c: &ScenarioConfig| {
+            let mut sink = mobic_trace::JsonlSink::new(Vec::new());
+            run_scenario_traced(c, 29, &mut sink).unwrap();
+            sink.finish().unwrap()
+        };
+        let a = capture(&cfg);
+        let b = capture(&cfg);
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "same (cfg, seed) must yield identical traces");
+    }
+
+    #[test]
+    fn phase_timings_are_populated_and_skipped_by_serde() {
+        let r = run_scenario(&small(AlgorithmKind::Mobic), 3).unwrap();
+        assert!(r.perf.phase_ms.total_ms() > 0.0);
+        assert!(r.perf.phase_ms.event_loop_ms > 0.0);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(!json.contains("phase_ms"), "phase timings must not serialize");
+        assert!(!json.contains("wall_clock_ms"));
+    }
+
+    #[test]
+    fn manifest_is_deterministic_and_echoes_the_run() {
+        let cfg = small(AlgorithmKind::Mobic);
+        let r = run_scenario(&cfg, 41).unwrap();
+        let a = manifest_for(&cfg, 41, &r);
+        let b = manifest_for(&cfg, 41, &r);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+        assert_eq!(a.schema, mobic_trace::MANIFEST_SCHEMA);
+        assert_eq!(a.seed, 41);
+        assert_eq!(a.algorithm, "mobic");
+        assert!(a.config_hash.starts_with("fnv1a64:"));
+        assert_eq!(a.counters.hello_broadcasts, r.hello_broadcasts);
+        assert_eq!(a.counters.deliveries, r.deliveries);
+        assert_eq!(a.counters.events, r.perf.events);
+        // A different config must hash differently.
+        let mut other = cfg;
+        other.n_nodes += 1;
+        let r2 = run_scenario(&other, 41).unwrap();
+        assert_ne!(manifest_for(&other, 41, &r2).config_hash, a.config_hash);
     }
 }

@@ -1,9 +1,10 @@
 //! Multi-run parameter sweeps with thread-level parallelism.
 
 use mobic_metrics::OnlineStats;
+use mobic_trace::RunManifest;
 use serde::{Deserialize, Serialize};
 
-use crate::{run_scenario, ConfigError, RunResult, ScenarioConfig};
+use crate::{manifest_for, run_scenario, ConfigError, RunResult, ScenarioConfig};
 
 /// Runs every `(config, seed)` job, using all available cores, and
 /// returns results **in input order** (the parallelism is
@@ -47,6 +48,28 @@ pub fn run_batch(jobs: &[(ScenarioConfig, u64)]) -> Result<Vec<RunResult>, Confi
         .into_iter()
         .map(|r| r.expect("every job completed"))
         .collect()
+}
+
+/// Like [`run_batch`], but additionally returns one [`RunManifest`]
+/// per job (in the same input order), ready to be written next to the
+/// batch's results artifact via [`mobic_trace::write_manifests`].
+///
+/// Manifests are pure functions of each `(config, seed, result)`
+/// triple, so the parallel execution stays unobservable here too.
+///
+/// # Errors
+///
+/// Propagates errors exactly as [`run_batch`] does.
+pub fn run_batch_manifested(
+    jobs: &[(ScenarioConfig, u64)],
+) -> Result<(Vec<RunResult>, Vec<RunManifest>), ConfigError> {
+    let results = run_batch(jobs)?;
+    let manifests = jobs
+        .iter()
+        .zip(&results)
+        .map(|((cfg, seed), r)| manifest_for(cfg, *seed, r))
+        .collect();
+    Ok((results, manifests))
 }
 
 /// Aggregated outcome of one sweep cell (one algorithm at one
@@ -138,6 +161,23 @@ mod tests {
     #[test]
     fn empty_batch_is_fine() {
         assert!(run_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn manifested_batch_pairs_each_job_with_its_manifest() {
+        let jobs: Vec<(ScenarioConfig, u64)> = (0..4)
+            .map(|s| (tiny(AlgorithmKind::Mobic, 150.0 + 25.0 * s as f64), 100 + s))
+            .collect();
+        let (results, manifests) = run_batch_manifested(&jobs).unwrap();
+        assert_eq!(results.len(), jobs.len());
+        assert_eq!(manifests.len(), jobs.len());
+        for (i, m) in manifests.iter().enumerate() {
+            assert_eq!(m.seed, jobs[i].1, "job {i}");
+            assert_eq!(m.counters.deliveries, results[i].deliveries, "job {i}");
+            assert_eq!(m.counters.hello_broadcasts, results[i].hello_broadcasts);
+        }
+        // Distinct configs hash distinctly.
+        assert_ne!(manifests[0].config_hash, manifests[1].config_hash);
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! The typed vocabulary of traceable simulation events.
+
+use serde::{Deserialize, Serialize};
+
+/// One structured event inside a simulation run.
+///
+/// Node identities are raw dense indices (`NodeId::value`) so the
+/// trace format stays self-contained and stable. Serialized with an
+/// adjacent `kind` tag in `snake_case`, e.g.
+/// `{"kind":"hello_rx","tx":3,"rx":7,"rx_power_dbm":-82.5}`; the
+/// [`JsonlSink`](crate::JsonlSink) prefixes each record with the
+/// simulation timestamp.
+///
+/// Semantics mirror the `RunResult` counters exactly:
+///
+/// * one [`HelloTx`](Self::HelloTx) per `hello_broadcasts`,
+/// * one [`HelloRx`](Self::HelloRx) per committed delivery (with the
+///   vulnerable-window MAC model, a reception is only "received" once
+///   its window closes without an overlap),
+/// * one [`MacCollision`](Self::MacCollision) per destroyed reception
+///   (`mac_collisions`),
+/// * [`HeadElected`](Self::HeadElected) + [`HeadResigned`](Self::HeadResigned)
+///   + [`ClusterMerge`](Self::ClusterMerge) together count every
+///   clusterhead change (`clusterhead_changes_total`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum TraceEvent {
+    /// A node broadcast its periodic hello.
+    HelloTx {
+        /// The broadcasting node.
+        node: u32,
+        /// The hello's per-sender sequence number.
+        seq: u64,
+    },
+    /// A hello was successfully received (committed to the receiver's
+    /// neighbor table).
+    HelloRx {
+        /// The transmitting node.
+        tx: u32,
+        /// The receiving node.
+        rx: u32,
+        /// Measured received power in dBm (the `RxPr` the MOBIC
+        /// metric is built from).
+        rx_power_dbm: f64,
+    },
+    /// A hello reached a receiver in radio range but was dropped by
+    /// the packet-loss model.
+    HelloLost {
+        /// The transmitting node.
+        tx: u32,
+        /// The receiver that lost the packet.
+        rx: u32,
+    },
+    /// A reception was destroyed by the vulnerable-window MAC
+    /// collision model (overlaps destroy *both* packets, so these
+    /// come in groups of at least two per overlap).
+    MacCollision {
+        /// The originator of the destroyed packet.
+        tx: u32,
+        /// The receiver at which the overlap happened.
+        rx: u32,
+    },
+    /// A node became a clusterhead.
+    HeadElected {
+        /// The newly elected clusterhead.
+        node: u32,
+    },
+    /// A clusterhead gave up its role without joining another cluster
+    /// (it fell back to undecided).
+    HeadResigned {
+        /// The resigning clusterhead.
+        node: u32,
+    },
+    /// A clusterhead stepped down and joined another head's cluster —
+    /// the two clusters merged (the LCC contention outcome).
+    ClusterMerge {
+        /// The head that stepped down.
+        node: u32,
+        /// The surviving clusterhead it now belongs to.
+        into: u32,
+    },
+    /// The spatial-index fast path refreshed every approximate
+    /// position (never emitted on the brute-force path).
+    IndexRefresh {
+        /// Number of index entries refreshed (the population size).
+        nodes: u32,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_with_snake_case_kind_tag() {
+        let ev = TraceEvent::HelloTx { node: 3, seq: 9 };
+        let json = serde_json::to_string(&ev).unwrap();
+        assert_eq!(json, r#"{"kind":"hello_tx","node":3,"seq":9}"#);
+        let back: TraceEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        let events = [
+            TraceEvent::HelloTx { node: 1, seq: 2 },
+            TraceEvent::HelloRx { tx: 1, rx: 2, rx_power_dbm: -80.0 },
+            TraceEvent::HelloLost { tx: 1, rx: 2 },
+            TraceEvent::MacCollision { tx: 1, rx: 2 },
+            TraceEvent::HeadElected { node: 4 },
+            TraceEvent::HeadResigned { node: 4 },
+            TraceEvent::ClusterMerge { node: 4, into: 5 },
+            TraceEvent::IndexRefresh { nodes: 50 },
+        ];
+        for ev in events {
+            let json = serde_json::to_string(&ev).unwrap();
+            let back: TraceEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, ev, "{json}");
+        }
+    }
+}

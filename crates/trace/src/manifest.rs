@@ -1,0 +1,198 @@
+//! Per-run reproducibility manifests.
+//!
+//! Every `results/*.json` artifact the experiment binaries write is
+//! accompanied by a `*.manifest.json` file: one [`RunManifest`] per
+//! simulation run that contributed to the artifact, recording the
+//! exact configuration (echoed verbatim and content-hashed), the
+//! seed, the crate version, the fast-path decision, and the headline
+//! counters. Given a manifest, anyone can re-run the cell and check
+//! the counters — no spelunking through experiment source required.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+/// Version of the manifest format itself ([`RunManifest::schema`]).
+pub const MANIFEST_SCHEMA: u32 = 1;
+
+/// The deterministic counters a re-run must reproduce exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ManifestCounters {
+    /// Discrete events processed by the simulation core.
+    pub events: u64,
+    /// Hello broadcasts sent.
+    pub hello_broadcasts: u64,
+    /// Successful hello deliveries.
+    pub deliveries: u64,
+    /// Receptions destroyed by the MAC collision model.
+    pub mac_collisions: u64,
+    /// Spatial-index full refresh passes (0 on the brute-force path).
+    pub index_refreshes: u64,
+    /// Clusterhead changes over the whole run (including the initial
+    /// election) — the headline reproducibility check.
+    pub clusterhead_changes_total: u64,
+}
+
+/// Everything needed to independently re-derive one simulation run.
+///
+/// Contains **no timestamps and no wall-clock data**: two manifests of
+/// the same `(config, seed)` on any machine are byte-identical, so
+/// manifests can be diffed to verify a reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Manifest format version ([`MANIFEST_SCHEMA`]).
+    pub schema: u32,
+    /// Version of the workspace that produced the run.
+    pub crate_version: String,
+    /// Content hash of the canonical config JSON (see
+    /// [`config_hash`]) — a quick identity check before diffing the
+    /// full echo.
+    pub config_hash: String,
+    /// The full scenario configuration, echoed verbatim.
+    pub config: serde_json::Value,
+    /// The master seed of the run.
+    pub seed: u64,
+    /// The clustering algorithm that ran (redundant with `config`,
+    /// convenient for grepping).
+    pub algorithm: String,
+    /// Whether the spatial-index fast path was taken.
+    pub indexed: bool,
+    /// The deterministic counters of the run.
+    pub counters: ManifestCounters,
+}
+
+/// 64-bit FNV-1a — the stable, dependency-free content hash used for
+/// [`config_hash`]. Not cryptographic; it only needs to distinguish
+/// configs and stay identical across platforms and releases.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Hashes a canonical (single-line `serde_json`) config string into
+/// the manifest's `config_hash` field, e.g.
+/// `"fnv1a64:b1c3f00ddeadbeef"`.
+#[must_use]
+pub fn config_hash(canonical_json: &str) -> String {
+    format!("fnv1a64:{:016x}", fnv1a64(canonical_json.as_bytes()))
+}
+
+/// The manifest path that accompanies a results artifact:
+/// `results/fig3.json` → `results/fig3.manifest.json`.
+#[must_use]
+pub fn manifest_path_for(results_path: impl AsRef<Path>) -> PathBuf {
+    let path = results_path.as_ref();
+    let stem = path
+        .file_stem()
+        .map_or_else(|| "results".into(), |s| s.to_string_lossy().into_owned());
+    path.with_file_name(format!("{stem}.manifest.json"))
+}
+
+/// Writes the manifest array for a results artifact next to it (see
+/// [`manifest_path_for`]), creating parent directories, and returns
+/// the path written.
+///
+/// # Errors
+///
+/// Returns I/O errors; serialization of a [`RunManifest`] cannot
+/// fail.
+pub fn write_manifests(
+    results_path: impl AsRef<Path>,
+    manifests: &[RunManifest],
+) -> io::Result<PathBuf> {
+    let path = manifest_path_for(results_path);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let json = serde_json::to_string_pretty(manifests)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn config_hash_is_prefixed_and_stable() {
+        let h = config_hash("{\"n_nodes\":50}");
+        assert!(h.starts_with("fnv1a64:"), "{h}");
+        assert_eq!(h.len(), "fnv1a64:".len() + 16);
+        assert_eq!(h, config_hash("{\"n_nodes\":50}"));
+        assert_ne!(h, config_hash("{\"n_nodes\":51}"));
+    }
+
+    #[test]
+    fn manifest_path_swaps_extension() {
+        assert_eq!(
+            manifest_path_for("results/fig3.json"),
+            PathBuf::from("results/fig3.manifest.json")
+        );
+        assert_eq!(
+            manifest_path_for("BENCH_scaling.json"),
+            PathBuf::from("BENCH_scaling.manifest.json")
+        );
+    }
+
+    fn sample() -> RunManifest {
+        RunManifest {
+            schema: MANIFEST_SCHEMA,
+            crate_version: "0.1.0".to_string(),
+            config_hash: config_hash("{}"),
+            config: serde_json::json!({ "n_nodes": 50 }),
+            seed: 42,
+            algorithm: "mobic".to_string(),
+            indexed: true,
+            counters: ManifestCounters {
+                events: 100,
+                hello_broadcasts: 90,
+                deliveries: 80,
+                mac_collisions: 0,
+                index_refreshes: 10,
+                clusterhead_changes_total: 3,
+            },
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_and_is_deterministic() {
+        let m = sample();
+        let a = serde_json::to_string_pretty(&m).unwrap();
+        let b = serde_json::to_string_pretty(&m.clone()).unwrap();
+        assert_eq!(a, b);
+        let back: RunManifest = serde_json::from_str(&a).unwrap();
+        assert_eq!(back, m);
+        assert!(a.contains("\"schema\": 1"));
+    }
+
+    #[test]
+    fn write_manifests_lands_next_to_results() {
+        let dir = std::env::temp_dir().join("mobic-trace-manifest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let results = dir.join("fig9.json");
+        let written = write_manifests(&results, &[sample()]).unwrap();
+        assert_eq!(written, dir.join("fig9.manifest.json"));
+        let text = std::fs::read_to_string(&written).unwrap();
+        assert!(text.contains("config_hash"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,148 @@
+//! Scoped wall-clock phase profiling.
+
+use std::fmt;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// Wall-clock durations of one run's phases, in milliseconds.
+///
+/// Carried inside `RunResult.perf` but always `#[serde(skip)]`-ed
+/// there: wall-clock numbers describe *how fast* a run executed,
+/// never *what* it computed, and identical `(config, seed)` runs must
+/// keep byte-identical JSON artifacts.
+///
+/// The phases partition `run_scenario`:
+///
+/// * **setup** — config validation, mobility/radio/loss construction,
+///   initial event scheduling, index build;
+/// * **event loop** — the discrete-event loop itself (plus the final
+///   pending-reception flush);
+/// * **aggregate** — folding logs and series into the final metrics.
+///
+/// Reporting (printing tables, writing files) happens in the caller
+/// and is timed there when requested (`mobic-cli --profile`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    /// Scenario construction before the first event.
+    pub setup_ms: f64,
+    /// The discrete-event loop.
+    pub event_loop_ms: f64,
+    /// Metric aggregation after the last event.
+    pub aggregate_ms: f64,
+}
+
+impl PhaseTimings {
+    /// Sum of all phases.
+    #[must_use]
+    pub fn total_ms(&self) -> f64 {
+        self.setup_ms + self.event_loop_ms + self.aggregate_ms
+    }
+
+    /// Accumulates another run's timings (for sweep-level summaries).
+    pub fn accumulate(&mut self, other: &PhaseTimings) {
+        self.setup_ms += other.setup_ms;
+        self.event_loop_ms += other.event_loop_ms;
+        self.aggregate_ms += other.aggregate_ms;
+    }
+}
+
+impl fmt::Display for PhaseTimings {
+    /// Renders an aligned, human-readable phase table.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "phase wall-clock timings:")?;
+        writeln!(f, "  setup       {:>10.2} ms", self.setup_ms)?;
+        writeln!(f, "  event loop  {:>10.2} ms", self.event_loop_ms)?;
+        writeln!(f, "  aggregation {:>10.2} ms", self.aggregate_ms)?;
+        write!(f, "  total       {:>10.2} ms", self.total_ms())
+    }
+}
+
+/// A restartable stopwatch for timing consecutive phases.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_trace::{PhaseClock, PhaseTimings};
+///
+/// let mut clock = PhaseClock::start();
+/// let mut phases = PhaseTimings::default();
+/// // ... set the scenario up ...
+/// phases.setup_ms = clock.lap_ms();
+/// // ... run the event loop ...
+/// phases.event_loop_ms = clock.lap_ms();
+/// assert!(phases.total_ms() >= 0.0);
+/// ```
+#[derive(Debug)]
+pub struct PhaseClock {
+    t0: Instant,
+}
+
+impl PhaseClock {
+    /// Starts timing the first phase now.
+    #[must_use]
+    pub fn start() -> Self {
+        PhaseClock { t0: Instant::now() }
+    }
+
+    /// Ends the current phase, returning its duration in
+    /// milliseconds, and starts timing the next one.
+    pub fn lap_ms(&mut self) -> f64 {
+        let now = Instant::now();
+        let ms = now.duration_since(self.t0).as_secs_f64() * 1e3;
+        self.t0 = now;
+        ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laps_are_non_negative_and_restart() {
+        let mut c = PhaseClock::start();
+        let a = c.lap_ms();
+        let b = c.lap_ms();
+        assert!(a >= 0.0);
+        assert!(b >= 0.0);
+    }
+
+    #[test]
+    fn totals_and_accumulation() {
+        let mut t = PhaseTimings {
+            setup_ms: 1.0,
+            event_loop_ms: 2.0,
+            aggregate_ms: 3.0,
+        };
+        assert!((t.total_ms() - 6.0).abs() < 1e-12);
+        t.accumulate(&PhaseTimings {
+            setup_ms: 0.5,
+            event_loop_ms: 0.5,
+            aggregate_ms: 0.5,
+        });
+        assert!((t.total_ms() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_lists_every_phase() {
+        let text = PhaseTimings::default().to_string();
+        for needle in ["setup", "event loop", "aggregation", "total"] {
+            assert!(text.contains(needle), "missing {needle}: {text}");
+        }
+    }
+
+    #[test]
+    fn timings_are_serializable_on_their_own() {
+        // `RunResult.perf` skips them, but sweep summaries may still
+        // want to persist aggregates explicitly.
+        let t = PhaseTimings {
+            setup_ms: 1.0,
+            event_loop_ms: 2.0,
+            aggregate_ms: 3.0,
+        };
+        let json = serde_json::to_string(&t).unwrap();
+        let back: PhaseTimings = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

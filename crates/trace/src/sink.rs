@@ -1,0 +1,203 @@
+//! Trace sinks: where emitted events go.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use mobic_sim::SimTime;
+use serde::Serialize;
+
+use crate::TraceEvent;
+
+/// A destination for structured simulation events.
+///
+/// The simulation loop holds a `&mut dyn TraceSink` and consults
+/// [`enabled`](Self::enabled) **once per run**: when it returns
+/// `false` the loop skips event construction entirely, so a disabled
+/// sink costs nothing on the hot path. Implementations must therefore
+/// keep `enabled` constant for the lifetime of the sink.
+pub trait TraceSink {
+    /// Whether this sink wants events at all. Defaults to `true`;
+    /// [`NullSink`] overrides it to `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event stamped with the simulation time it
+    /// describes. Must be infallible on the hot path — sinks that can
+    /// fail (I/O) latch their first error and surface it when
+    /// finished.
+    fn record(&mut self, at: SimTime, event: &TraceEvent);
+}
+
+/// The zero-cost disabled sink: reports `enabled() == false` and
+/// discards anything recorded anyway.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _at: SimTime, _event: &TraceEvent) {}
+}
+
+/// One trace line as serialized: the timestamp in integer
+/// microseconds, then the flattened event with its `kind` tag.
+#[derive(Serialize)]
+struct Line<'a> {
+    t_us: u64,
+    #[serde(flatten)]
+    event: &'a TraceEvent,
+}
+
+/// A sink that appends one compact JSON object per event to any
+/// [`Write`] target — the on-disk trace format (`*.jsonl`).
+///
+/// Lines are appended in processing order; every field is a pure
+/// function of `(config, seed)`, so identical runs produce
+/// byte-identical files (asserted by the `trace_determinism` suite).
+///
+/// I/O errors cannot interrupt the simulation: the first error is
+/// latched, subsequent records become no-ops, and the error surfaces
+/// from [`finish`](Self::finish).
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    out: W,
+    lines: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer. Callers with raw `File`s should wrap them in a
+    /// [`BufWriter`] (or use [`JsonlSink::create`]) — the sink writes
+    /// one small chunk per event.
+    #[must_use]
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            out,
+            lines: 0,
+            error: None,
+        }
+    }
+
+    /// Number of lines successfully recorded so far.
+    #[must_use]
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the first I/O error encountered while recording, or
+    /// the flush error.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates (truncating) a trace file at `path`, with parent
+    /// directories, buffered for per-event appends.
+    ///
+    /// # Errors
+    ///
+    /// Returns directory-creation and file-creation errors.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, at: SimTime, event: &TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = Line {
+            t_us: at.as_micros(),
+            event,
+        };
+        let result = serde_json::to_writer(&mut self.out, &line)
+            .map_err(io::Error::from)
+            .and_then(|()| self.out.write_all(b"\n"));
+        match result {
+            Ok(()) => self.lines += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled_and_silent() {
+        let mut s = NullSink;
+        assert!(!s.enabled());
+        s.record(SimTime::ZERO, &TraceEvent::HelloTx { node: 0, seq: 0 });
+    }
+
+    #[test]
+    fn jsonl_lines_carry_timestamp_then_kind() {
+        let mut sink = JsonlSink::new(Vec::new());
+        assert!(sink.enabled());
+        sink.record(
+            SimTime::from_secs(2),
+            &TraceEvent::HelloRx {
+                tx: 1,
+                rx: 2,
+                rx_power_dbm: -80.0,
+            },
+        );
+        assert_eq!(sink.lines(), 1);
+        let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+        assert_eq!(
+            text,
+            "{\"t_us\":2000000,\"kind\":\"hello_rx\",\"tx\":1,\"rx\":2,\"rx_power_dbm\":-80.0}\n"
+        );
+    }
+
+    #[test]
+    fn identical_event_streams_serialize_identically() {
+        let run = || {
+            let mut sink = JsonlSink::new(Vec::new());
+            for i in 0..10u32 {
+                sink.record(
+                    SimTime::from_micros(u64::from(i) * 7),
+                    &TraceEvent::HelloTx {
+                        node: i,
+                        seq: u64::from(i),
+                    },
+                );
+            }
+            sink.finish().unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn create_writes_a_real_file() {
+        let dir = std::env::temp_dir().join("mobic-trace-sink-test");
+        let path = dir.join("t.jsonl");
+        let mut sink = JsonlSink::create(&path).unwrap();
+        sink.record(SimTime::ZERO, &TraceEvent::IndexRefresh { nodes: 5 });
+        sink.finish().unwrap().into_inner().unwrap().sync_all().ok();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("index_refresh"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

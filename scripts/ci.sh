@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# CI gate: formatting, lints, tier-1 build+tests, and a smoke run of
-# the brute-vs-indexed scaling bench (which asserts result equality,
-# so a regression in either event-loop path fails the script).
+# CI gate: formatting, lints, docs, tier-1 build+tests, and a smoke
+# run of the brute-vs-indexed scaling bench (which asserts result
+# equality, so a regression in either event-loop path fails the
+# script).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,6 +11,12 @@ cargo fmt --all --check
 
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustdoc (broken links and missing docs are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "== doctests =="
+cargo test --doc -q
 
 echo "== tier-1: build + tests =="
 cargo build --release

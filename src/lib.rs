@@ -16,6 +16,7 @@
 //! * [`metrics`] — cluster-stability metrics and reporting,
 //! * [`scenario`] — scenario configs and the end-to-end runner,
 //! * [`routing`] — cluster-based routing extension,
+//! * [`trace`] — event tracing, phase profiling, and run manifests,
 //! * [`viz`] — SVG/terminal visualization of cluster snapshots.
 //!
 //! # Quickstart
@@ -42,4 +43,5 @@ pub use mobic_radio as radio;
 pub use mobic_routing as routing;
 pub use mobic_scenario as scenario;
 pub use mobic_sim as sim;
+pub use mobic_trace as trace;
 pub use mobic_viz as viz;

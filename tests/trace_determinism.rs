@@ -1,0 +1,164 @@
+//! The observability layer's two contracts, checked end to end:
+//!
+//! 1. **Determinism** — a JSONL trace and a manifest are pure
+//!    functions of `(config, seed)`: re-running yields byte-identical
+//!    bytes, across mobility models, loss models, and the MAC
+//!    collision window.
+//! 2. **Non-interference** — tracing never perturbs the simulation:
+//!    the `RunResult` of a traced run (null or real sink) serializes
+//!    byte-identically to an untraced run.
+
+use mobic::scenario::{
+    manifest_for, run_scenario, run_scenario_traced, LossKind, MobilityKind, ScenarioConfig,
+};
+use mobic::trace::{JsonlSink, NullSink, TraceEvent, TraceSink};
+use mobic::sim::SimTime;
+
+fn base() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper_table1();
+    cfg.n_nodes = 15;
+    cfg.sim_time_s = 60.0;
+    cfg.tx_range_m = 200.0;
+    cfg
+}
+
+/// The three observability-relevant regimes: clean channel, lossy
+/// channel, and lossy channel with a MAC vulnerable window.
+fn regimes() -> Vec<ScenarioConfig> {
+    let clean = base();
+    let mut lossy = base();
+    lossy.loss = LossKind::Bernoulli { p: 0.2 };
+    let mut mac = base();
+    mac.loss = LossKind::Bernoulli { p: 0.1 };
+    mac.packet_time_s = 0.005;
+    vec![clean, lossy, mac]
+}
+
+fn capture_trace(cfg: &ScenarioConfig, seed: u64) -> Vec<u8> {
+    let mut sink = JsonlSink::new(Vec::new());
+    run_scenario_traced(cfg, seed, &mut sink).expect("valid config");
+    sink.finish().expect("in-memory sink cannot fail")
+}
+
+#[test]
+fn traces_are_byte_identical_for_identical_runs() {
+    for cfg in regimes() {
+        let a = capture_trace(&cfg, 99);
+        let b = capture_trace(&cfg, 99);
+        assert!(!a.is_empty(), "{:?}", cfg.loss);
+        assert_eq!(a, b, "trace must be a pure function of (cfg, seed)");
+    }
+}
+
+#[test]
+fn traces_differ_across_seeds() {
+    let cfg = base();
+    assert_ne!(capture_trace(&cfg, 1), capture_trace(&cfg, 2));
+}
+
+#[test]
+fn every_trace_line_is_valid_json_with_monotone_potential() {
+    // Lines parse, carry a kind tag, and timestamps never exceed the
+    // simulation horizon. (Timestamps are *per event description*, so
+    // deferred hello_rx lines may be stamped earlier than a neighbor
+    // line — monotonicity is not promised, validity is.)
+    let mut cfg = base();
+    cfg.loss = LossKind::Bernoulli { p: 0.1 };
+    cfg.packet_time_s = 0.005;
+    let bytes = capture_trace(&cfg, 5);
+    let text = String::from_utf8(bytes).unwrap();
+    let horizon_us = (cfg.sim_time_s * 1e6) as u64;
+    let mut lines = 0u64;
+    for line in text.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON line");
+        let t = v["t_us"].as_u64().expect("t_us present");
+        assert!(t <= horizon_us, "timestamp {t} past horizon");
+        assert!(v["kind"].is_string(), "kind tag present");
+        lines += 1;
+    }
+    assert!(lines > 0);
+}
+
+#[test]
+fn null_sink_and_real_sink_leave_the_result_bit_identical() {
+    for mobility in [
+        MobilityKind::RandomWaypoint,
+        MobilityKind::GaussMarkov { alpha: 0.8 },
+        MobilityKind::Rpgm {
+            groups: 3,
+            member_radius_m: 30.0,
+        },
+        MobilityKind::Stationary,
+    ] {
+        let mut cfg = base();
+        cfg.mobility = mobility;
+        let plain = serde_json::to_string(&run_scenario(&cfg, 31).unwrap()).unwrap();
+        let nulled = serde_json::to_string(
+            &run_scenario_traced(&cfg, 31, &mut NullSink).unwrap(),
+        )
+        .unwrap();
+        let mut sink = JsonlSink::new(Vec::new());
+        let traced =
+            serde_json::to_string(&run_scenario_traced(&cfg, 31, &mut sink).unwrap()).unwrap();
+        assert_eq!(plain, nulled, "{mobility:?}");
+        assert_eq!(plain, traced, "{mobility:?}");
+    }
+}
+
+/// Counts events by kind without retaining them.
+#[derive(Default)]
+struct Counter {
+    tx: u64,
+    rx: u64,
+    collisions: u64,
+    head_changes: u64,
+    refreshes: u64,
+}
+
+impl TraceSink for Counter {
+    fn record(&mut self, _at: SimTime, event: &TraceEvent) {
+        match event {
+            TraceEvent::HelloTx { .. } => self.tx += 1,
+            TraceEvent::HelloRx { .. } => self.rx += 1,
+            TraceEvent::MacCollision { .. } => self.collisions += 1,
+            TraceEvent::HeadElected { .. }
+            | TraceEvent::HeadResigned { .. }
+            | TraceEvent::ClusterMerge { .. } => self.head_changes += 1,
+            TraceEvent::IndexRefresh { .. } => self.refreshes += 1,
+            TraceEvent::HelloLost { .. } => {}
+        }
+    }
+}
+
+#[test]
+fn trace_event_counts_reconcile_with_result_counters() {
+    for cfg in regimes() {
+        let mut counter = Counter::default();
+        let r = run_scenario_traced(&cfg, 17, &mut counter).unwrap();
+        assert_eq!(counter.tx, r.hello_broadcasts, "{:?}", cfg.loss);
+        assert_eq!(counter.rx, r.deliveries, "{:?}", cfg.loss);
+        assert_eq!(counter.collisions, r.mac_collisions, "{:?}", cfg.loss);
+        assert_eq!(counter.refreshes, r.perf.index_refreshes, "{:?}", cfg.loss);
+        assert_eq!(
+            counter.head_changes, r.clusterhead_changes_total,
+            "{:?}",
+            cfg.loss
+        );
+    }
+}
+
+#[test]
+fn manifests_are_byte_identical_for_identical_runs() {
+    let cfg = base();
+    let capture = || {
+        let r = run_scenario(&cfg, 12).unwrap();
+        serde_json::to_string_pretty(&manifest_for(&cfg, 12, &r)).unwrap()
+    };
+    let a = capture();
+    let b = capture();
+    assert_eq!(a, b);
+    // And the echoed config actually round-trips back to the input.
+    let m: mobic::trace::RunManifest = serde_json::from_str(&a).unwrap();
+    let back: ScenarioConfig = serde_json::from_value(m.config).unwrap();
+    assert_eq!(back, cfg);
+}
