@@ -1,0 +1,238 @@
+//! **BENCH_hotpath** — allocation discipline and per-event cost of the
+//! event loop, plus the dirty-set incremental-reclustering speedup.
+//!
+//! A counting global allocator tallies every heap allocation of the
+//! process. Each cell is measured with a *two-horizon diff*: the same
+//! `(cfg, seed)` runs once to `T1` and once to `T2 > T1`; because the
+//! event stream over `[0, T1]` is identical in both runs, setup and
+//! bootstrap costs cancel and
+//!
+//! ```text
+//! steady-state allocs/event = (A(T2) − A(T1)) / (E(T2) − E(T1))
+//! ```
+//!
+//! isolates the loop's steady-state behavior. Two cells:
+//!
+//! * **mobile** — RandomWaypoint/MOBIC at n = `MOBIC_HOTPATH_N`
+//!   (default 200): reports ns/event under `recluster: full` vs
+//!   `incremental` (the headline speedup) and the steady-state
+//!   allocation rate (nonzero here: motion keeps creating genuinely
+//!   new neighbor entries);
+//! * **stationary** — a converged static network, where the loop's
+//!   zero-allocation claim is exact: in release builds the cell must
+//!   measure **0 allocations per steady-state event**.
+//!
+//! Every full/incremental pair is asserted equal field-by-field — the
+//! skip optimization must be invisible in the results.
+//!
+//! Environment: `MOBIC_HOTPATH_N` (default 200), `MOBIC_FAST` (shrink
+//! horizons). `--smoke` runs a small fast version and enforces the
+//! zero-allocation assertion (CI's steady-state gate).
+//!
+//! Writes `results/BENCH_hotpath.json`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use mobic_metrics::AsciiTable;
+use mobic_scenario::{
+    manifest_for, run_scenario, MobilityKind, Recluster, RunResult, ScenarioConfig,
+};
+use serde::Serialize;
+
+/// `System`, with every allocation counted. Deallocations are free of
+/// interest here; `realloc` and `alloc_zeroed` count because growing a
+/// `Vec` mid-loop is exactly the bug this benchmark polices.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// One measured cell of the report.
+#[derive(Debug, Serialize)]
+struct HotpathRow {
+    cell: &'static str,
+    n: u32,
+    recluster: &'static str,
+    /// Steady-state wall-clock cost per event (two-horizon diff).
+    ns_per_event: f64,
+    /// Steady-state heap allocations per event (two-horizon diff).
+    allocs_per_event: f64,
+    /// Skip counter of the long-horizon run.
+    elections_skipped: u64,
+    /// Events processed by the long-horizon run.
+    events: u64,
+}
+
+struct Measured {
+    result: RunResult,
+    allocs: u64,
+    ns: f64,
+}
+
+fn measured(cfg: &ScenarioConfig, seed: u64) -> Measured {
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    let result = run_scenario(cfg, seed).expect("hotpath configs are valid");
+    let ns = t0.elapsed().as_nanos() as f64;
+    let allocs = ALLOCS.load(Ordering::Relaxed) - a0;
+    Measured { result, allocs, ns }
+}
+
+/// Runs `cfg` to both horizons and returns
+/// (allocs/event, ns/event, long-horizon measurement) for the
+/// steady-state window `(t1, t2]`.
+fn steady_state(cfg: &ScenarioConfig, seed: u64, t1: f64, t2: f64) -> (f64, f64, Measured) {
+    let mut short = *cfg;
+    short.sim_time_s = t1;
+    let mut long = *cfg;
+    long.sim_time_s = t2;
+    let a = measured(&short, seed);
+    let b = measured(&long, seed);
+    let events = b.result.perf.events - a.result.perf.events;
+    assert!(events > 0, "horizons too close: no steady-state window");
+    let allocs = b.allocs.saturating_sub(a.allocs);
+    (
+        allocs as f64 / events as f64,
+        (b.ns - a.ns).max(0.0) / events as f64,
+        b,
+    )
+}
+
+/// Field-by-field equality of the measurements the skip could perturb.
+fn assert_identical(full: &RunResult, incr: &RunResult, label: &str) {
+    assert_eq!(full.final_roles, incr.final_roles, "{label}: roles");
+    assert_eq!(full.deliveries, incr.deliveries, "{label}: deliveries");
+    assert_eq!(full.cluster_series, incr.cluster_series, "{label}: series");
+    assert_eq!(
+        full.clusterhead_changes_total, incr.clusterhead_changes_total,
+        "{label}: CS"
+    );
+    assert_eq!(
+        full.role_transitions, incr.role_transitions,
+        "{label}: transitions"
+    );
+}
+
+fn base_config(n: u32, mobility: MobilityKind) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper_table1();
+    cfg.n_nodes = n;
+    // Constant paper density: area ∝ n (50 nodes ↔ 670 m side).
+    let side = 670.0 * (f64::from(n) / 50.0).sqrt();
+    cfg.field_w_m = side;
+    cfg.field_h_m = side;
+    cfg.mobility = mobility;
+    cfg.warmup_s = 5.0;
+    cfg
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let fast = smoke || std::env::var_os("MOBIC_FAST").is_some();
+    let n: u32 = if smoke {
+        40
+    } else {
+        std::env::var("MOBIC_HOTPATH_N")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200)
+    };
+    let (t1, t2) = if fast { (30.0, 60.0) } else { (60.0, 180.0) };
+    let seed = 1u64;
+    let mut rows = Vec::new();
+    let mut manifests = Vec::new();
+    let mut table = AsciiTable::new([
+        "cell",
+        "recluster",
+        "ns/event",
+        "allocs/event",
+        "skipped",
+    ]);
+    println!("== BENCH_hotpath: steady-state allocations and incremental reclustering ==\n");
+
+    let cells = [
+        ("mobile", base_config(n, MobilityKind::RandomWaypoint)),
+        ("stationary", base_config(n, MobilityKind::Stationary)),
+    ];
+    for (cell, cfg) in cells {
+        let mut by_mode = Vec::new();
+        for (mode, label) in [(Recluster::Full, "full"), (Recluster::Incremental, "incremental")] {
+            let mut c = cfg;
+            c.recluster = mode;
+            let (allocs_per_event, ns_per_event, long) = steady_state(&c, seed, t1, t2);
+            table.row([
+                cell.to_string(),
+                label.to_string(),
+                format!("{ns_per_event:.0}"),
+                format!("{allocs_per_event:.3}"),
+                format!("{}", long.result.perf.phase_ms.elections_skipped),
+            ]);
+            rows.push(HotpathRow {
+                cell,
+                n,
+                recluster: label,
+                ns_per_event,
+                allocs_per_event,
+                elections_skipped: long.result.perf.phase_ms.elections_skipped,
+                events: long.result.perf.events,
+            });
+            let mut c2 = c;
+            c2.sim_time_s = t2;
+            manifests.push(manifest_for(&c2, seed, &long.result));
+            by_mode.push((allocs_per_event, long.result));
+        }
+        let (_, full_r) = &by_mode[0];
+        let (incr_allocs, incr_r) = &by_mode[1];
+        assert_identical(full_r, incr_r, cell);
+        assert_eq!(full_r.perf.phase_ms.elections_skipped, 0, "{cell}: full must not skip");
+        // The tentpole claim: once a static network has converged, the
+        // loop allocates nothing at all. Debug builds re-prove every
+        // skip on a heap-allocated clone, so the gate is release-only.
+        if cell == "stationary" && !cfg!(debug_assertions) {
+            assert_eq!(
+                *incr_allocs, 0.0,
+                "stationary steady state must be allocation-free"
+            );
+            println!("(stationary steady state: 0 allocations/event)");
+        }
+    }
+    println!("{}", table.render());
+
+    if smoke {
+        println!("smoke OK: results identical, steady state allocation-free");
+        return;
+    }
+    let path = mobic_bench::results_dir().join("BENCH_hotpath.json");
+    match mobic_metrics::report::write_json(&rows, &path) {
+        Ok(()) => println!("(wrote {})", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+    match mobic_trace::write_manifests(&path, &manifests) {
+        Ok(p) => println!("(wrote {})", p.display()),
+        Err(e) => eprintln!("warning: could not write manifest: {e}"),
+    }
+}

@@ -18,7 +18,7 @@
 use std::fmt;
 
 use mobic_core::AlgorithmKind;
-use mobic_scenario::{MobilityKind, ScenarioConfig};
+use mobic_scenario::{MobilityKind, Recluster, ScenarioConfig};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,6 +100,8 @@ RUN / SWEEP OPTIONS (defaults = the paper's Table 1):
                            highway:<lanes> | conference:<booths> |
                            manhattan:<block> | static        [rwp]
   --history <alpha>        EWMA metric smoothing (0..1)
+  --recluster <incremental|full>  skip provably no-op elections
+                           (results identical either way) [incremental]
   --json                   machine-readable output (run)
 
 OBSERVABILITY:
@@ -174,6 +176,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--seeds" => seeds = parse_num(value()?, "--seeds")?,
                     "--mobility" => config.mobility = parse_mobility(value()?)?,
                     "--history" => config.history_alpha = Some(parse_num(value()?, "--history")?),
+                    "--recluster" => config.recluster = parse_recluster(value()?)?,
                     other => return Err(err(format!("unknown option {other}"))),
                 }
                 i += 1;
@@ -216,6 +219,16 @@ fn parse_algorithm(s: impl AsRef<str>) -> Result<AlgorithmKind, CliError> {
         "wca" => Ok(AlgorithmKind::Wca),
         other => Err(err(format!(
             "unknown algorithm {other}; expected lowest-id|lcc|highest-degree|mobic|wca"
+        ))),
+    }
+}
+
+fn parse_recluster(s: impl AsRef<str>) -> Result<Recluster, CliError> {
+    match s.as_ref() {
+        "incremental" => Ok(Recluster::Incremental),
+        "full" => Ok(Recluster::Full),
+        other => Err(err(format!(
+            "unknown recluster mode {other}; expected incremental|full"
         ))),
     }
 }
@@ -444,6 +457,24 @@ mod tests {
     }
 
     #[test]
+    fn recluster_modes_parse() {
+        let Command::Run { config, .. } = parse_ok("run --recluster full") else {
+            panic!("expected run");
+        };
+        assert_eq!(config.recluster, Recluster::Full);
+        let Command::Run { config, .. } = parse_ok("run --recluster incremental") else {
+            panic!("expected run");
+        };
+        assert_eq!(config.recluster, Recluster::Incremental);
+        // The default stays incremental.
+        let Command::Run { config, .. } = parse_ok("run") else {
+            panic!("expected run");
+        };
+        assert_eq!(config.recluster, Recluster::Incremental);
+        assert!(parse_err("run --recluster sometimes").0.contains("sometimes"));
+    }
+
+    #[test]
     fn invalid_scenarios_are_rejected_at_parse_time() {
         assert!(parse_err("run --nodes 0").0.contains("invalid scenario"));
         assert!(parse_err("run --speed -1").0.contains("invalid scenario"));
@@ -459,6 +490,7 @@ mod tests {
             "--tx-sweep",
             "--trace",
             "--profile",
+            "--recluster",
         ] {
             assert!(usage().contains(needle), "usage lacks {needle}");
         }

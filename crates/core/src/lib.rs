@@ -69,10 +69,12 @@ pub mod centralized;
 pub mod invariants;
 pub mod metric;
 mod node;
+mod node_table;
 mod role;
 mod weight;
 
 pub use node::{AlgorithmKind, ClusterConfig, ClusterNode};
+pub use node_table::NodeTable;
 pub use role::{ClusterAdvert, Role, RoleTag, RoleTransition};
 pub use weight::Weight;
 

@@ -168,6 +168,12 @@ pub fn table_mobility<P>(
 
 /// [`table_mobility`] with an explicit [`MetricAggregation`] — the
 /// robust-aggregation ablation entry point.
+///
+/// `Var0` and `MaxSq` stream over the table without allocating, in the
+/// same id order (and therefore the same floating-point operation
+/// order) as folding a collected sample vector — this runs once per
+/// hello broadcast, on the zero-allocation hot path. `MedianSq` needs
+/// the full sample set to sort and still collects.
 #[must_use]
 pub fn table_mobility_with<P>(
     table: &NeighborTable<P>,
@@ -175,18 +181,44 @@ pub fn table_mobility_with<P>(
     max_age: SimTime,
     how: MetricAggregation,
 ) -> AggregateMetric {
-    let mut samples = Vec::new();
+    if how == MetricAggregation::MedianSq {
+        let mut samples = Vec::new();
+        for (_, entry) in table.iter() {
+            if let Some((old, new)) = entry.successive_pair() {
+                if now.saturating_sub(new.at) <= max_age {
+                    samples.push(relative_mobility(old.power, new.power));
+                }
+            }
+        }
+        return AggregateMetric {
+            value: aggregate_with(&samples, how),
+            samples: samples.len(),
+        };
+    }
+    let mut sum_sq = 0.0;
+    let mut max_sq = 0.0f64;
+    let mut n = 0usize;
     for (_, entry) in table.iter() {
         if let Some((old, new)) = entry.successive_pair() {
             if now.saturating_sub(new.at) <= max_age {
-                samples.push(relative_mobility(old.power, new.power));
+                let s = relative_mobility(old.power, new.power);
+                let sq = s * s;
+                sum_sq += sq;
+                max_sq = max_sq.max(sq);
+                n += 1;
             }
         }
     }
-    AggregateMetric {
-        value: aggregate_with(&samples, how),
-        samples: samples.len(),
-    }
+    let value = if n == 0 {
+        0.0
+    } else {
+        match how {
+            MetricAggregation::Var0 => sum_sq / n as f64,
+            MetricAggregation::MaxSq => max_sq,
+            MetricAggregation::MedianSq => unreachable!("handled above"),
+        }
+    };
+    AggregateMetric { value, samples: n }
 }
 
 /// Exponentially weighted moving average over successive aggregate
@@ -403,6 +435,38 @@ mod tests {
         assert_eq!(med.value, 4.0);
         let max = table_mobility_with(&t, s(2), s(3), MetricAggregation::MaxSq);
         assert_eq!(max.value, 81.0);
+    }
+
+    #[test]
+    fn streaming_aggregation_bitwise_matches_collected_fold() {
+        // table_mobility_with streams Var0/MaxSq; the result must be
+        // bit-identical to collecting the samples and folding them,
+        // since RunResult bytes depend on it.
+        let mut t: NeighborTable<()> = NeighborTable::new(SimTime::from_secs(100));
+        let s = SimTime::from_secs;
+        for (i, delta) in [0.3, -7.1, 2.44, 11.02, -0.001, 5.5].iter().enumerate() {
+            let id = i as u32 + 1;
+            t.record(s(0), Dbm::new(-60.0), &hello(id, 0));
+            t.record(s(2), Dbm::new(-60.0 + delta), &hello(id, 1));
+        }
+        let mut samples = Vec::new();
+        for (_, entry) in t.iter() {
+            let (old, new) = entry.successive_pair().unwrap();
+            samples.push(relative_mobility(old.power, new.power));
+        }
+        for how in [
+            MetricAggregation::Var0,
+            MetricAggregation::MaxSq,
+            MetricAggregation::MedianSq,
+        ] {
+            let got = table_mobility_with(&t, s(2), s(3), how);
+            assert_eq!(got.samples, samples.len(), "{how:?}");
+            assert_eq!(
+                got.value.to_bits(),
+                aggregate_with(&samples, how).to_bits(),
+                "{how:?}"
+            );
+        }
     }
 
     #[test]

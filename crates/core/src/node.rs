@@ -283,7 +283,7 @@ impl ClusterNode {
         now: SimTime,
         table: &mut ClusterTable,
     ) -> mobic_net::Hello<ClusterAdvert> {
-        table.expire(now);
+        table.expire_count(now);
         let agg = table_mobility_with(table, now, self.cfg.metric_max_age, self.cfg.aggregation);
         self.metric_samples = agg.samples;
         self.metric_value = match &mut self.smoother {
@@ -313,7 +313,7 @@ impl ClusterNode {
     /// (expiring stale entries first). Returns the role transition if
     /// the role changed.
     pub fn evaluate(&mut self, now: SimTime, table: &mut ClusterTable) -> Option<RoleTransition> {
-        table.expire(now);
+        table.expire_count(now);
         let old_role = self.role;
         let new_role = if self.cfg.algorithm.is_lcc_style() {
             self.evaluate_lcc(now, table)
@@ -472,17 +472,20 @@ impl ClusterNode {
     /// deferral for MOBIC ("reclustering is deferred for CCI to allow
     /// for incidental contacts between passing nodes").
     fn resolve_contention(&mut self, now: SimTime, me: Weight, table: &ClusterTable) -> Role {
-        // Track when each contending clusterhead first appeared.
-        let contenders: Vec<(NodeId, Weight)> = table
-            .iter()
-            .filter(|(_, e)| e.payload.role == RoleTag::Clusterhead)
-            .map(|(id, e)| (id, Weight::new(e.payload.primary, id)))
-            .collect();
-        let current: std::collections::BTreeSet<NodeId> =
-            contenders.iter().map(|&(id, _)| id).collect();
-        self.contention.retain(|id, _| current.contains(id));
-        for &(id, _) in &contenders {
-            self.contention.entry(id).or_insert(now);
+        // Track when each contending clusterhead first appeared. The
+        // contender set is read straight off the table (id order) with
+        // no intermediate collection: the only allocation left is the
+        // `contention` map node for a genuinely new contender, so a
+        // stable clusterhead re-evaluates allocation-free.
+        self.contention.retain(|id, _| {
+            table
+                .get(*id)
+                .is_some_and(|e| e.payload.role == RoleTag::Clusterhead)
+        });
+        for (id, e) in table.iter() {
+            if e.payload.role == RoleTag::Clusterhead {
+                self.contention.entry(id).or_insert(now);
+            }
         }
         let deferral = if matches!(
             self.cfg.algorithm,
@@ -495,7 +498,11 @@ impl ClusterNode {
         // Resolve every contention whose deferral has elapsed: the
         // higher weight resigns and joins the winner.
         let mut winner: Option<(NodeId, Weight)> = None;
-        for &(id, w) in &contenders {
+        for (id, e) in table.iter() {
+            if e.payload.role != RoleTag::Clusterhead {
+                continue;
+            }
+            let w = Weight::new(e.payload.primary, id);
             let since = self.contention[&id];
             if now.saturating_sub(since) >= deferral && w < me {
                 match winner {
@@ -507,6 +514,39 @@ impl ClusterNode {
         match winner {
             Some((ch, _)) => Role::Member { ch },
             None => Role::Clusterhead,
+        }
+    }
+
+    /// `true` if re-running [`evaluate`](Self::evaluate) against an
+    /// *unchanged* neighbor table is guaranteed to produce no role
+    /// transition and no observable state change — the soundness
+    /// predicate behind dirty-set incremental reclustering. "Unchanged"
+    /// means: no entry appeared, expired, or changed its advert payload
+    /// since the last evaluation (power-history refreshes with an
+    /// unchanged advert don't count; elections never read power
+    /// samples).
+    ///
+    /// Per role and algorithm family:
+    ///
+    /// * plain algorithms (Lowest-ID, Highest-Degree) are pure
+    ///   functions of the table — always stable;
+    /// * an LCC-style member only checks that its clusterhead is still
+    ///   alive in the table — stable;
+    /// * an LCC-style clusterhead with an **empty** contention map saw
+    ///   no rival clusterheads at its last evaluation, and a clean
+    ///   table cannot have produced one — stable. With pending
+    ///   contention the CCI deferral is time-dependent — not stable;
+    /// * an undecided LCC-style node's patience window is
+    ///   time-dependent — never stable.
+    #[must_use]
+    pub fn election_is_stable(&self) -> bool {
+        if !self.cfg.algorithm.is_lcc_style() {
+            return true;
+        }
+        match self.role {
+            Role::Undecided => false,
+            Role::Member { .. } => true,
+            Role::Clusterhead => self.contention.is_empty(),
         }
     }
 }

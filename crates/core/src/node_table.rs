@@ -1,0 +1,267 @@
+//! Structure-of-arrays storage for per-node clustering state, plus
+//! the dirty-set bookkeeping behind incremental reclustering.
+//!
+//! The scenario runner owns one [`ClusterNode`] state machine and one
+//! [`ClusterTable`] per node. Keeping them in parallel vectors (rather
+//! than a vector of per-node structs) keeps each access pattern dense:
+//! the sampling pass walks only roles, the gateway count walks only
+//! tables, and the hot hello path touches exactly one slot of each.
+//!
+//! [`NodeTable`] also tracks a per-node *dirty* flag: whether anything
+//! an election can observe changed in the node's neighbor table since
+//! its last evaluation. A record that adds a neighbor or changes a
+//! stored advert dirties the slot; a pure power-history refresh does
+//! not (elections never read power samples — the metric is computed in
+//! `prepare_broadcast`, before evaluation). Combined with
+//! [`ClusterNode::election_is_stable`], a clean slot can provably skip
+//! its election, which is the incremental-reclustering fast path.
+
+use mobic_net::{Hello, NodeId, RecordOutcome};
+use mobic_radio::Dbm;
+use mobic_sim::SimTime;
+
+use crate::{ClusterAdvert, ClusterConfig, ClusterNode, ClusterTable, RoleTransition};
+
+/// Per-node clustering state in structure-of-arrays layout with
+/// dirty-set election tracking. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct NodeTable {
+    nodes: Vec<ClusterNode>,
+    tables: Vec<ClusterTable>,
+    /// `dirty[i]`: node `i`'s table changed in an election-relevant
+    /// way since its last evaluation. Starts all-true so every node's
+    /// first election always runs.
+    dirty: Vec<bool>,
+}
+
+impl NodeTable {
+    /// Creates state for nodes `0..n`, every slot dirty.
+    #[must_use]
+    pub fn new(n: usize, cfg: ClusterConfig, neighbor_timeout: SimTime) -> Self {
+        NodeTable {
+            nodes: (0..n)
+                .map(|i| ClusterNode::new(NodeId::new(i as u32), cfg))
+                .collect(),
+            tables: (0..n)
+                .map(|_| ClusterTable::new(neighbor_timeout))
+                .collect(),
+            dirty: vec![true; n],
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the table holds no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All cluster state machines, indexed by `NodeId::index`.
+    #[must_use]
+    pub fn nodes(&self) -> &[ClusterNode] {
+        &self.nodes
+    }
+
+    /// All neighbor tables, indexed by `NodeId::index`.
+    #[must_use]
+    pub fn tables(&self) -> &[ClusterTable] {
+        &self.tables
+    }
+
+    /// Node `i`'s state machine.
+    #[must_use]
+    pub fn node(&self, i: usize) -> &ClusterNode {
+        &self.nodes[i]
+    }
+
+    /// Node `i`'s neighbor table.
+    #[must_use]
+    pub fn table(&self, i: usize) -> &ClusterTable {
+        &self.tables[i]
+    }
+
+    /// `true` if node `i`'s election inputs changed since its last
+    /// evaluation.
+    #[must_use]
+    pub fn is_dirty(&self, i: usize) -> bool {
+        self.dirty[i]
+    }
+
+    /// Records a received hello into node `i`'s table, flagging the
+    /// slot dirty iff the record changed election-visible state (new
+    /// neighbor or changed advert).
+    pub fn record(&mut self, i: usize, at: SimTime, power: Dbm, hello: &Hello<ClusterAdvert>) {
+        let outcome: RecordOutcome = self.tables[i].record_outcome(at, power, hello);
+        if outcome.election_relevant() {
+            self.dirty[i] = true;
+        }
+    }
+
+    /// Expires stale neighbors from node `i`'s table at `now`,
+    /// flagging the slot dirty if anything was removed. Call this at
+    /// the node's hello instant, *before* the skip decision: entry
+    /// expiry is the one table mutation that doesn't go through
+    /// [`record`](Self::record).
+    pub fn expire(&mut self, i: usize, now: SimTime) {
+        if self.tables[i].expire_count(now) > 0 {
+            self.dirty[i] = true;
+        }
+    }
+
+    /// Runs node `i`'s [`ClusterNode::prepare_broadcast`] against its
+    /// own table.
+    pub fn prepare_broadcast(&mut self, i: usize, now: SimTime) -> Hello<ClusterAdvert> {
+        self.nodes[i].prepare_broadcast(now, &mut self.tables[i])
+    }
+
+    /// Runs node `i`'s clustering evaluation and clears its dirty
+    /// flag: after the call, the node's role is consistent with its
+    /// table, so an unchanged table needs no re-evaluation (subject to
+    /// [`ClusterNode::election_is_stable`]).
+    pub fn evaluate(&mut self, i: usize, now: SimTime) -> Option<RoleTransition> {
+        self.dirty[i] = false;
+        self.nodes[i].evaluate(now, &mut self.tables[i])
+    }
+
+    /// `true` if node `i`'s election is provably a no-op right now:
+    /// its table is clean since the last evaluation *and* its state
+    /// machine is time-independent in its current role
+    /// ([`ClusterNode::election_is_stable`]). Skipping is then
+    /// bit-identical to evaluating —
+    /// [`debug_assert_skip_sound`](Self::debug_assert_skip_sound)
+    /// re-proves it on every skip in debug builds.
+    #[must_use]
+    pub fn can_skip_election(&self, i: usize) -> bool {
+        !self.dirty[i] && self.nodes[i].election_is_stable()
+    }
+
+    /// Debug-build proof obligation for a skipped election: actually
+    /// evaluates a clone of node `i` and panics if the "provably
+    /// no-op" election would have produced a transition after all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if evaluating node `i` would change its role.
+    #[cfg(debug_assertions)]
+    pub fn debug_assert_skip_sound(&self, i: usize, now: SimTime) {
+        let mut node = self.nodes[i].clone();
+        let mut table = self.tables[i].clone();
+        let tr = node.evaluate(now, &mut table);
+        assert!(
+            tr.is_none(),
+            "skipped election for node {i} would have transitioned: {tr:?}"
+        );
+        assert_eq!(
+            node.role(),
+            self.nodes[i].role(),
+            "skipped election for node {i} is not a role no-op"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AlgorithmKind, Role, RoleTag};
+
+    fn nt(n: usize, alg: AlgorithmKind) -> NodeTable {
+        NodeTable::new(
+            n,
+            ClusterConfig::paper_default(alg),
+            SimTime::from_secs(3),
+        )
+    }
+
+    fn hello(sender: u32, seq: u64, primary: f64, role: RoleTag, ch: Option<u32>) -> Hello<ClusterAdvert> {
+        Hello {
+            sender: NodeId::new(sender),
+            seq,
+            payload: ClusterAdvert {
+                primary,
+                role,
+                ch: ch.map(NodeId::new),
+            },
+        }
+    }
+
+    #[test]
+    fn starts_fully_dirty_and_evaluate_cleans() {
+        let mut t = nt(3, AlgorithmKind::Mobic);
+        assert!((0..3).all(|i| t.is_dirty(i)));
+        t.evaluate(0, SimTime::from_secs(1));
+        assert!(!t.is_dirty(0));
+        assert!(t.is_dirty(1));
+    }
+
+    #[test]
+    fn record_dirties_only_on_election_relevant_change() {
+        let mut t = nt(2, AlgorithmKind::Mobic);
+        let s = SimTime::from_secs;
+        t.evaluate(0, s(1));
+        // New neighbor: dirty.
+        t.record(0, s(2), Dbm::new(-60.0), &hello(1, 0, 0.0, RoleTag::Undecided, None));
+        assert!(t.is_dirty(0));
+        t.evaluate(0, s(2));
+        // Same advert, fresh seq: power refresh only → clean.
+        t.record(0, s(4), Dbm::new(-59.0), &hello(1, 1, 0.0, RoleTag::Undecided, None));
+        assert!(!t.is_dirty(0));
+        // Changed advert: dirty again.
+        t.record(0, s(6), Dbm::new(-59.0), &hello(1, 2, 0.0, RoleTag::Clusterhead, Some(1)));
+        assert!(t.is_dirty(0));
+        // Stale duplicate: ignored, stays as-is after evaluation.
+        t.evaluate(0, s(6));
+        t.record(0, s(7), Dbm::new(-59.0), &hello(1, 2, 9.9, RoleTag::Undecided, None));
+        assert!(!t.is_dirty(0));
+    }
+
+    #[test]
+    fn expire_dirties_when_entries_die() {
+        let mut t = nt(2, AlgorithmKind::Mobic);
+        let s = SimTime::from_secs;
+        t.record(0, s(1), Dbm::new(-60.0), &hello(1, 0, 0.0, RoleTag::Undecided, None));
+        t.evaluate(0, s(1));
+        t.expire(0, s(2)); // nothing stale yet
+        assert!(!t.is_dirty(0));
+        t.expire(0, s(60)); // TP long gone
+        assert!(t.is_dirty(0));
+        assert_eq!(t.table(0).degree(), 0);
+    }
+
+    #[test]
+    fn skip_is_sound_whenever_claimed() {
+        // Drive a 2-node interaction through every phase and check the
+        // debug proof on each claimed skip.
+        let mut t = nt(2, AlgorithmKind::Mobic);
+        let s = SimTime::from_secs;
+        for round in 0..8u64 {
+            let now = s(2 * round + 2);
+            for i in 0..2 {
+                t.expire(i, now);
+                let h = t.prepare_broadcast(i, now);
+                let other = 1 - i;
+                t.record(other, now, Dbm::new(-60.0), &h);
+                if t.can_skip_election(i) {
+                    t.debug_assert_skip_sound(i, now);
+                } else {
+                    t.evaluate(i, now);
+                }
+            }
+        }
+        // The pair converged: the lower id heads, the other joined.
+        assert_eq!(t.node(0).role(), Role::Clusterhead);
+        assert_eq!(t.node(1).role(), Role::Member { ch: NodeId::new(0) });
+        // Converged and clean ⇒ both skippable, and provably so. The
+        // proof must run at an instant where expiry has nothing to do
+        // (the runner expires before every skip decision): within TP
+        // of the last hellos, here.
+        for i in 0..2 {
+            assert!(t.can_skip_election(i), "node {i}");
+            t.debug_assert_skip_sound(i, s(17));
+        }
+    }
+}

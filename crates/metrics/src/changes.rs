@@ -50,6 +50,17 @@ impl TransitionLog {
         TransitionLog::default()
     }
 
+    /// Like [`new`](Self::new), but pre-sized for `capacity`
+    /// transitions (a reasonable prior is a few per node: the initial
+    /// election flips about one node per cluster, steady state adds
+    /// churn on top).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        TransitionLog {
+            transitions: Vec::with_capacity(capacity),
+        }
+    }
+
     /// Appends a transition (they must arrive in time order; the
     /// clustering engine guarantees this).
     ///

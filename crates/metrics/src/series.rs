@@ -39,6 +39,18 @@ impl TimeSeries {
         }
     }
 
+    /// Like [`new`](Self::new), but pre-sized for `capacity` samples —
+    /// a sampler with a known cadence and horizon can size its series
+    /// exactly and never reallocate while recording.
+    #[must_use]
+    pub fn with_capacity(name: impl Into<String>, capacity: usize) -> Self {
+        TimeSeries {
+            name: name.into(),
+            times: Vec::with_capacity(capacity),
+            values: Vec::with_capacity(capacity),
+        }
+    }
+
     /// The series name.
     #[must_use]
     pub fn name(&self) -> &str {

@@ -63,6 +63,37 @@ impl<P: Propagation, L: LossModel> DeliveryEngine<P, L> {
         &self.radio
     }
 
+    /// The one true delivery decision, shared by every broadcast
+    /// variant: skip the transmitter, ask the radio whether `rx`
+    /// hears anything, then ask the loss model whether the packet
+    /// survives. Exactly one loss-model query per in-range candidate,
+    /// in call order — stateful loss models depend on this.
+    #[inline]
+    fn consider(
+        &mut self,
+        tx: NodeId,
+        tx_pos: Vec2,
+        rx: NodeId,
+        rx_pos: Vec2,
+        at: SimTime,
+        out: &mut Vec<Delivery>,
+        lost: &mut Vec<NodeId>,
+    ) {
+        if rx == tx {
+            return;
+        }
+        if let Some(power) = self.radio.receive(tx_pos.distance(rx_pos)) {
+            if self.loss.delivered(tx, rx, at) {
+                out.push(Delivery {
+                    receiver: rx,
+                    rx_power: power,
+                });
+            } else {
+                lost.push(rx);
+            }
+        }
+    }
+
     /// Delivers a broadcast from `tx` to every node in `positions`
     /// that (a) measures power at or above the receive threshold and
     /// (b) survives the loss model. The transmitter itself never
@@ -97,26 +128,35 @@ impl<P: Propagation, L: LossModel> DeliveryEngine<P, L> {
         at: SimTime,
         lost: &mut Vec<NodeId>,
     ) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        self.broadcast_into(tx, positions, at, &mut out, lost);
+        out
+    }
+
+    /// Allocation-free [`broadcast`](Self::broadcast): writes
+    /// deliveries into `out` and loss-model drops into `lost`, both
+    /// caller-owned scratch buffers that are cleared first (stale
+    /// content never leaks into the result). Once the buffers have
+    /// grown to the network's high-water mark, repeated calls allocate
+    /// nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx` indexes outside `positions`.
+    pub fn broadcast_into(
+        &mut self,
+        tx: NodeId,
+        positions: &[Vec2],
+        at: SimTime,
+        out: &mut Vec<Delivery>,
+        lost: &mut Vec<NodeId>,
+    ) {
+        out.clear();
         lost.clear();
         let tx_pos = positions[tx.index()];
-        let mut out = Vec::new();
         for (i, &pos) in positions.iter().enumerate() {
-            if i == tx.index() {
-                continue;
-            }
-            let rx = NodeId::new(i as u32);
-            if let Some(power) = self.radio.receive(tx_pos.distance(pos)) {
-                if self.loss.delivered(tx, rx, at) {
-                    out.push(Delivery {
-                        receiver: rx,
-                        rx_power: power,
-                    });
-                } else {
-                    lost.push(rx);
-                }
-            }
+            self.consider(tx, tx_pos, NodeId::new(i as u32), pos, at, out, lost);
         }
-        out
     }
 
     /// Like [`broadcast`](Self::broadcast), but pre-filters candidate
@@ -145,19 +185,17 @@ impl<P: Propagation, L: LossModel> DeliveryEngine<P, L> {
         // see the exact same query sequence.
         candidates.sort_unstable();
         let mut out = Vec::new();
+        let mut lost = Vec::new();
         for i in candidates {
-            if i == tx.index() {
-                continue;
-            }
-            let rx = NodeId::new(i as u32);
-            if let Some(power) = self.radio.receive(tx_pos.distance(index.position(i))) {
-                if self.loss.delivered(tx, rx, at) {
-                    out.push(Delivery {
-                        receiver: rx,
-                        rx_power: power,
-                    });
-                }
-            }
+            self.consider(
+                tx,
+                tx_pos,
+                NodeId::new(i as u32),
+                index.position(i),
+                at,
+                &mut out,
+                &mut lost,
+            );
         }
         out
     }
@@ -203,6 +241,26 @@ impl<P: Propagation, L: LossModel> DeliveryEngine<P, L> {
         at: SimTime,
         lost: &mut Vec<NodeId>,
     ) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        self.broadcast_among_into(tx, tx_pos, candidates, at, &mut out, lost);
+        out
+    }
+
+    /// Allocation-free [`broadcast_among`](Self::broadcast_among):
+    /// writes deliveries into `out` and loss-model drops into `lost`,
+    /// both cleared first. Same correctness contract and debug
+    /// assertions as [`broadcast_among`](Self::broadcast_among); once
+    /// the buffers have grown to the neighborhood's high-water mark,
+    /// repeated calls allocate nothing.
+    pub fn broadcast_among_into(
+        &mut self,
+        tx: NodeId,
+        tx_pos: Vec2,
+        candidates: &[(NodeId, Vec2)],
+        at: SimTime,
+        out: &mut Vec<Delivery>,
+        lost: &mut Vec<NodeId>,
+    ) {
         debug_assert!(
             self.radio.propagation().is_deterministic(),
             "broadcast_among requires a deterministic propagation model: \
@@ -212,24 +270,11 @@ impl<P: Propagation, L: LossModel> DeliveryEngine<P, L> {
             candidates.windows(2).all(|w| w[0].0 < w[1].0),
             "candidates must be sorted by ascending id"
         );
+        out.clear();
         lost.clear();
-        let mut out = Vec::new();
         for &(rx, pos) in candidates {
-            if rx == tx {
-                continue;
-            }
-            if let Some(power) = self.radio.receive(tx_pos.distance(pos)) {
-                if self.loss.delivered(tx, rx, at) {
-                    out.push(Delivery {
-                        receiver: rx,
-                        rx_power: power,
-                    });
-                } else {
-                    lost.push(rx);
-                }
-            }
+            self.consider(tx, tx_pos, rx, pos, at, out, lost);
         }
-        out
     }
 }
 
@@ -409,6 +454,121 @@ mod tests {
             assert_eq!(plain, observed, "step={step}");
             // Every in-range candidate either delivered or was lost.
             assert_eq!(observed.len() + lost.len(), 2, "step={step}");
+        }
+    }
+
+    #[test]
+    fn into_variants_clear_dirty_scratch_and_match_allocating_paths() {
+        // Deterministic sweep: a deliberately filthy scratch pair must
+        // never leak stale entries, across both _into variants.
+        let positions = vec![
+            Vec2::ZERO,
+            Vec2::new(10.0, 0.0),
+            Vec2::new(95.0, 0.0),
+            Vec2::new(400.0, 0.0),
+        ];
+        let candidates: Vec<(NodeId, Vec2)> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (NodeId::new(i as u32), p))
+            .collect();
+        let mk = || {
+            let radio = Radio::with_range(FreeSpace::at_frequency(914.0e6), 100.0);
+            let loss = Bernoulli::new(0.5, SeedSplitter::new(11).stream("l", 0));
+            DeliveryEngine::new(radio, loss)
+        };
+        let (mut alloc_e, mut into_e, mut among_e) = (mk(), mk(), mk());
+        let mut out = vec![
+            Delivery {
+                receiver: NodeId::new(77),
+                rx_power: Dbm::new(0.0),
+            };
+            13
+        ];
+        let mut lost = vec![NodeId::new(88); 9];
+        for step in 0..30u64 {
+            let at = SimTime::from_secs_f64(step as f64);
+            let mut expected_lost = vec![NodeId::new(55)];
+            let expected =
+                alloc_e.broadcast_observed(NodeId::new(0), &positions, at, &mut expected_lost);
+            into_e.broadcast_into(NodeId::new(0), &positions, at, &mut out, &mut lost);
+            assert_eq!(out, expected, "step={step}");
+            assert_eq!(lost, expected_lost, "step={step}");
+            // Leave the scratch dirty for the next iteration on purpose:
+            // the next call must clear it.
+            out.push(Delivery {
+                receiver: NodeId::new(66),
+                rx_power: Dbm::new(-1.0),
+            });
+            lost.push(NodeId::new(66));
+            // The among variant consumes the same loss stream in the
+            // same order, so it must agree delivery-for-delivery.
+            among_e.broadcast_among_into(
+                NodeId::new(0),
+                positions[0],
+                &candidates,
+                at,
+                &mut out,
+                &mut lost,
+            );
+            assert_eq!(out, expected, "among step={step}");
+            assert_eq!(lost, expected_lost, "among step={step}");
+        }
+    }
+
+    proptest::proptest! {
+        /// `broadcast_into` with an arbitrarily dirty, pre-populated
+        /// scratch matches the allocating `broadcast_observed` exactly:
+        /// same deliveries in the same order, same losses, and the same
+        /// loss-model call sequence (checked by running a stateful
+        /// Bernoulli stream through both paths).
+        #[test]
+        fn prop_broadcast_into_matches_allocating(
+            xs in proptest::collection::vec(0.0f64..700.0, 2..24),
+            ys in proptest::collection::vec(0.0f64..700.0, 2..24),
+            stale_out in 0usize..8,
+            stale_lost in 0usize..8,
+            seed in 0u64..1000,
+            tx in 0usize..24,
+        ) {
+            let n = xs.len().min(ys.len());
+            let tx = tx % n;
+            let positions: Vec<Vec2> = xs
+                .iter()
+                .zip(&ys)
+                .take(n)
+                .map(|(&x, &y)| Vec2::new(x, y))
+                .collect();
+            let mk = || {
+                let radio = Radio::with_range(FreeSpace::at_frequency(914.0e6), 100.0);
+                let loss = Bernoulli::new(0.5, SeedSplitter::new(seed).stream("l", 0));
+                DeliveryEngine::new(radio, loss)
+            };
+            let (mut reference, mut scratch_e) = (mk(), mk());
+            let mut out = vec![
+                Delivery { receiver: NodeId::new(200), rx_power: Dbm::new(3.0) };
+                stale_out
+            ];
+            let mut lost = vec![NodeId::new(201); stale_lost];
+            for step in 0..4u64 {
+                let at = SimTime::from_secs_f64(step as f64);
+                let mut expected_lost = Vec::new();
+                let expected = reference.broadcast_observed(
+                    NodeId::new(tx as u32),
+                    &positions,
+                    at,
+                    &mut expected_lost,
+                );
+                scratch_e.broadcast_into(
+                    NodeId::new(tx as u32),
+                    &positions,
+                    at,
+                    &mut out,
+                    &mut lost,
+                );
+                proptest::prop_assert_eq!(&out, &expected, "step={}", step);
+                proptest::prop_assert_eq!(&lost, &expected_lost, "step={}", step);
+            }
         }
     }
 

@@ -33,5 +33,5 @@ mod packet;
 
 pub use delivery::{Delivery, DeliveryEngine};
 pub use ident::NodeId;
-pub use neighbor::{NeighborEntry, NeighborTable, PowerSample};
+pub use neighbor::{NeighborEntry, NeighborTable, PowerSample, RecordOutcome};
 pub use packet::Hello;

@@ -43,6 +43,33 @@ impl<P> NeighborEntry<P> {
     }
 }
 
+/// What a [`NeighborTable::record_outcome`] call did to the table —
+/// in particular whether it changed anything a clusterhead election
+/// can observe. Elections read only entry *presence* and the attached
+/// advert payload, never the power history, so a pure power refresh
+/// with an unchanged advert is election-irrelevant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordOutcome {
+    /// A brand-new neighbor appeared.
+    New,
+    /// An existing neighbor was refreshed.
+    Updated {
+        /// `true` if the hello's payload differs from the stored one.
+        advert_changed: bool,
+    },
+    /// Out-of-order or duplicate hello; the table is untouched.
+    Ignored,
+}
+
+impl RecordOutcome {
+    /// `true` if the record changed state an election can observe
+    /// (a new entry, or an updated advert payload).
+    #[must_use]
+    pub fn election_relevant(self) -> bool {
+        matches!(self, RecordOutcome::New | RecordOutcome::Updated { advert_changed: true })
+    }
+}
+
 /// A node's view of its 1-hop neighborhood.
 ///
 /// Records each successfully received [`Hello`] together with its
@@ -130,6 +157,46 @@ impl<P> NeighborTable<P> {
         }
     }
 
+    /// Like [`record`](Self::record), but reports what the call did —
+    /// the signal incremental reclustering uses to decide whether a
+    /// node's election inputs changed. Identical table mutations to
+    /// `record` for every input.
+    pub fn record_outcome(&mut self, at: SimTime, power: Dbm, hello: &Hello<P>) -> RecordOutcome
+    where
+        P: Clone + PartialEq,
+    {
+        let sample = PowerSample {
+            at,
+            power,
+            seq: hello.seq,
+        };
+        match self.entries.get_mut(&hello.sender) {
+            Some(e) => {
+                if hello.seq <= e.last.seq {
+                    return RecordOutcome::Ignored;
+                }
+                e.prev = Some(e.last);
+                e.last = sample;
+                let advert_changed = e.payload != hello.payload;
+                if advert_changed {
+                    e.payload = hello.payload.clone();
+                }
+                RecordOutcome::Updated { advert_changed }
+            }
+            None => {
+                self.entries.insert(
+                    hello.sender,
+                    NeighborEntry {
+                        last: sample,
+                        prev: None,
+                        payload: hello.payload.clone(),
+                    },
+                );
+                RecordOutcome::New
+            }
+        }
+    }
+
     /// Removes entries whose last hello is older than the timeout
     /// relative to `now`, returning the expired neighbor ids.
     pub fn expire(&mut self, now: SimTime) -> Vec<NodeId> {
@@ -144,6 +211,18 @@ impl<P> NeighborTable<P> {
             self.entries.remove(id);
         }
         dead
+    }
+
+    /// Allocation-free [`expire`](Self::expire): removes the same
+    /// entries for the same `now` but returns only how many died,
+    /// never building the id list. The hot loop uses this; `expire`
+    /// remains for callers that need to know *who* vanished.
+    pub fn expire_count(&mut self, now: SimTime) -> usize {
+        let timeout = self.timeout;
+        let before = self.entries.len();
+        self.entries
+            .retain(|_, e| now.saturating_sub(e.last.at) <= timeout);
+        before - self.entries.len()
     }
 
     /// The entry for `id`, if present.
@@ -299,5 +378,61 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_timeout_panics() {
         let _: NeighborTable<()> = NeighborTable::new(SimTime::ZERO);
+    }
+
+    #[test]
+    fn record_outcome_classifies_every_case_and_mutates_like_record() {
+        let mut a = table();
+        let mut b = table();
+        let steps = [
+            (1u64, 1, 0, 0.5), // new neighbor
+            (2, 1, 1, 0.5),    // refresh, advert unchanged
+            (3, 1, 2, 0.7),    // refresh, advert changed
+            (4, 1, 2, 0.9),    // duplicate seq → ignored
+            (5, 2, 0, 0.1),    // second neighbor
+        ];
+        let expected = [
+            RecordOutcome::New,
+            RecordOutcome::Updated {
+                advert_changed: false,
+            },
+            RecordOutcome::Updated {
+                advert_changed: true,
+            },
+            RecordOutcome::Ignored,
+            RecordOutcome::New,
+        ];
+        for (&(t, id, seq, payload), &want) in steps.iter().zip(&expected) {
+            let h = hello(id, seq, payload);
+            let at = SimTime::from_secs(t);
+            a.record(at, Dbm::new(-70.0), &h);
+            let got = b.record_outcome(at, Dbm::new(-70.0), &h);
+            assert_eq!(got, want, "t={t}");
+            assert_eq!(got.election_relevant(), !matches!(got, RecordOutcome::Updated { advert_changed: false } | RecordOutcome::Ignored));
+        }
+        // Both tables saw the identical mutations.
+        for id in [1u32, 2] {
+            assert_eq!(a.get(NodeId::new(id)), b.get(NodeId::new(id)), "id={id}");
+        }
+    }
+
+    #[test]
+    fn expire_count_matches_expire() {
+        let mk = || {
+            let mut t = table();
+            t.record(SimTime::from_secs(1), Dbm::new(-70.0), &hello(1, 0, 0.0));
+            t.record(SimTime::from_secs(2), Dbm::new(-70.0), &hello(2, 0, 0.0));
+            t.record(SimTime::from_secs(4), Dbm::new(-70.0), &hello(3, 0, 0.0));
+            t
+        };
+        for now_s in [3.0, 4.0, 4.5, 5.5, 100.0] {
+            let now = SimTime::from_secs_f64(now_s);
+            let (mut a, mut b) = (mk(), mk());
+            let dead = a.expire(now);
+            assert_eq!(b.expire_count(now), dead.len(), "now={now_s}");
+            let left_a: Vec<u32> = a.iter().map(|(id, _)| id.value()).collect();
+            let left_b: Vec<u32> = b.iter().map(|(id, _)| id.value()).collect();
+            assert_eq!(left_a, left_b, "now={now_s}");
+        }
     }
 }

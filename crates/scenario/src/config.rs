@@ -119,6 +119,20 @@ pub enum FastPath {
     Off,
 }
 
+/// Whether the scenario runner may skip clustering evaluations it can
+/// prove are no-ops (dirty-set incremental reclustering).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Recluster {
+    /// Skip a node's election when its neighbor table is unchanged
+    /// since the last evaluation and its state machine is provably
+    /// time-independent in its current role. The default: results are
+    /// bit-identical to `Full`, just cheaper.
+    #[default]
+    Incremental,
+    /// Run every election unconditionally (reference behavior).
+    Full,
+}
+
 /// Which packet-loss model applies on top of range filtering.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum LossKind {
@@ -207,6 +221,11 @@ pub struct ScenarioConfig {
     /// bit-identical either way.
     #[serde(default)]
     pub fast_path: FastPath,
+    /// Whether the event loop may skip provably no-op clustering
+    /// evaluations. Defaults to [`Recluster::Incremental`]; results
+    /// are bit-identical either way.
+    #[serde(default)]
+    pub recluster: Recluster,
 }
 
 impl ScenarioConfig {
@@ -238,6 +257,7 @@ impl ScenarioConfig {
             adaptive_bi_min_s: 0.0,
             packet_time_s: 0.0,
             fast_path: FastPath::Auto,
+            recluster: Recluster::Incremental,
         }
     }
 
@@ -663,6 +683,20 @@ mod tests {
         json.as_object_mut().unwrap().remove("fast_path");
         let back: ScenarioConfig = serde_json::from_value(json).unwrap();
         assert_eq!(back.fast_path, FastPath::Auto);
+    }
+
+    #[test]
+    fn recluster_defaults_to_incremental_and_deserializes_when_absent() {
+        assert_eq!(
+            ScenarioConfig::paper_table1().recluster,
+            Recluster::Incremental
+        );
+        // Configs serialized before the field existed must still load.
+        let mut json: serde_json::Value =
+            serde_json::to_value(ScenarioConfig::paper_table1()).unwrap();
+        json.as_object_mut().unwrap().remove("recluster");
+        let back: ScenarioConfig = serde_json::from_value(json).unwrap();
+        assert_eq!(back.recluster, Recluster::Incremental);
     }
 
     #[test]

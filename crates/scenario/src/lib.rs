@@ -34,7 +34,9 @@ pub mod params;
 mod runner;
 mod sweep;
 
-pub use config::{ConfigError, FastPath, LossKind, MobilityKind, PropagationKind, ScenarioConfig};
+pub use config::{
+    ConfigError, FastPath, LossKind, MobilityKind, PropagationKind, Recluster, ScenarioConfig,
+};
 pub use runner::{
     manifest_for, run_scenario, run_scenario_instrumented, run_scenario_observed,
     run_scenario_traced, RunPerf, RunResult, SampleView,

@@ -39,7 +39,7 @@
 //! `fast_path_equivalence` suite). Stochastic propagation models fall
 //! back to brute force; [`FastPath`] in the config selects the policy.
 
-use mobic_core::{ClusterAdvert, ClusterConfig, ClusterNode, ClusterTable, Role};
+use mobic_core::{ClusterAdvert, ClusterConfig, ClusterNode, ClusterTable, NodeTable, Role};
 use mobic_geom::{GridIndex, Rect, Vec2};
 use mobic_metrics::{TimeSeries, TransitionLog};
 use mobic_mobility::{
@@ -47,7 +47,7 @@ use mobic_mobility::{
     Manhattan, ManhattanParams, Mobility, RandomWalk, RandomWalkParams, RandomWaypoint,
     RandomWaypointParams, RpgmGroup, RpgmParams, Stationary,
 };
-use mobic_net::{loss, loss::LossModel, DeliveryEngine, Hello, NodeId};
+use mobic_net::{loss, loss::LossModel, Delivery, DeliveryEngine, Hello, NodeId};
 use mobic_radio::{
     Dbm, FreeSpace, LogDistance, Nakagami, Propagation, Radio, Shadowed, TwoRayGround,
 };
@@ -58,7 +58,9 @@ use mobic_trace::{
 };
 use serde::{Deserialize, Serialize};
 
-use crate::{ConfigError, FastPath, LossKind, MobilityKind, PropagationKind, ScenarioConfig};
+use crate::{
+    ConfigError, FastPath, LossKind, MobilityKind, PropagationKind, Recluster, ScenarioConfig,
+};
 
 /// Everything measured in one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -389,8 +391,8 @@ struct PendingRx {
 #[allow(clippy::too_many_arguments)] // internal hot-path helper
 fn commit_pending(
     slot: &mut Option<PendingRx>,
-    table: &mut ClusterTable,
-    rx: u32,
+    node_table: &mut NodeTable,
+    rx: usize,
     now: SimTime,
     packet_time: SimTime,
     force: bool,
@@ -402,19 +404,35 @@ fn commit_pending(
         if force || now.saturating_sub(p.at) >= packet_time {
             *slot = None;
             *deliveries += 1;
-            table.record(p.at, p.power, &p.hello);
+            node_table.record(rx, p.at, p.power, &p.hello);
             if tracing {
                 sink.record(
                     p.at,
                     &TraceEvent::HelloRx {
                         tx: p.hello.sender.value(),
-                        rx,
+                        rx: rx as u32,
                         rx_power_dbm: p.power.dbm(),
                     },
                 );
             }
         }
     }
+}
+
+/// The event loop's reusable buffers, sized once during setup so the
+/// loop itself never allocates. Each is cleared (never shrunk) at its
+/// point of use; the `_into` delivery APIs own the clearing of the
+/// first two.
+struct Scratch {
+    /// Successful receptions of the current broadcast.
+    delivered: Vec<Delivery>,
+    /// In-range receivers dropped by the loss model on the current
+    /// broadcast (empty unless a loss model is active).
+    lost: Vec<NodeId>,
+    /// Raw candidate indices from the spatial-index range query.
+    ids: Vec<usize>,
+    /// Candidate `(id, exact position)` pairs handed to the engine.
+    candidates: Vec<(NodeId, Vec2)>,
 }
 
 /// A read-only view of the simulation state handed to observers at
@@ -522,21 +540,21 @@ pub fn run_scenario_instrumented(
         metric_quantum: cfg.metric_quantum,
         undecided_patience: SimTime::from_secs_f64(cfg.undecided_patience_s),
     };
-    let mut nodes: Vec<ClusterNode> = (0..n)
-        .map(|i| ClusterNode::new(NodeId::new(i as u32), ccfg))
-        .collect();
-    let mut tables: Vec<ClusterTable> = (0..n)
-        .map(|_| ClusterTable::new(SimTime::from_secs_f64(cfg.tp_s)))
-        .collect();
+    let mut node_table = NodeTable::new(n, ccfg, SimTime::from_secs_f64(cfg.tp_s));
 
-    let mut log = TransitionLog::new();
-    let mut cluster_series = TimeSeries::new("clusters");
-    let mut gateway_series = TimeSeries::new("gateway-fraction");
-    let mut metric_series = TimeSeries::new("mean-aggregate-metric");
+    // Pre-size every growth-prone container from the config so the
+    // event loop appends without reallocating: the series see one
+    // sample per broadcast interval, the transition log a few entries
+    // per node, the event queue one hello per node plus the sampler.
+    let samples = (cfg.sim_time_s / cfg.bi_s) as usize + 2;
+    let mut log = TransitionLog::with_capacity(4 * n);
+    let mut cluster_series = TimeSeries::with_capacity("clusters", samples);
+    let mut gateway_series = TimeSeries::with_capacity("gateway-fraction", samples);
+    let mut metric_series = TimeSeries::with_capacity("mean-aggregate-metric", samples);
     let mut hello_broadcasts: u64 = 0;
     let mut deliveries: u64 = 0;
 
-    let mut sim: Simulation<Ev> = Simulation::new();
+    let mut sim: Simulation<Ev> = Simulation::with_capacity(n + 2);
     {
         use rand::Rng;
         let mut off_rng = splitter.stream("hello-offset", 0);
@@ -576,9 +594,14 @@ pub fn run_scenario_instrumented(
     // tolerance and boundary rounding so the candidate disk always
     // contains the reception disk.
     let base_range = cfg.tx_range_m.max(engine.radio().nominal_range_m()) + 0.5;
-    let mut candidates: Vec<(NodeId, Vec2)> = Vec::new();
     let mut candidate_total: u64 = 0;
     let mut index_refreshes: u64 = 0;
+
+    // Dirty-set incremental reclustering (see `NodeTable`): skip a
+    // node's election when it is provably a no-op. Bit-identical to
+    // evaluating — debug builds re-prove every skip.
+    let incremental = cfg.recluster == Recluster::Incremental;
+    let mut elections_skipped: u64 = 0;
 
     // Vulnerable-window MAC collision state: a reception is withheld
     // from the neighbor table until `packet_time` has elapsed without
@@ -587,9 +610,12 @@ pub fn run_scenario_instrumented(
     let mut last_arrival: Vec<Option<SimTime>> = vec![None; n];
     let mut pending: Vec<Option<PendingRx>> = vec![None; n];
     let mut collisions: u64 = 0;
-    // In-range receivers dropped by the loss model on the last
-    // broadcast (reused buffer; empty unless a loss model is active).
-    let mut lost: Vec<NodeId> = Vec::new();
+    let mut scratch = Scratch {
+        delivered: Vec::with_capacity(n),
+        lost: Vec::with_capacity(n),
+        ids: Vec::with_capacity(n),
+        candidates: Vec::with_capacity(n),
+    };
 
     let setup_ms = phase_clock.lap_ms();
     let wall_start = std::time::Instant::now();
@@ -601,8 +627,8 @@ pub fn run_scenario_instrumented(
                 // deferred reception whose window has closed.
                 commit_pending(
                     &mut pending[txi],
-                    &mut tables[txi],
-                    tx.value(),
+                    &mut node_table,
+                    txi,
                     now,
                     packet_time,
                     false,
@@ -611,7 +637,12 @@ pub fn run_scenario_instrumented(
                     sink,
                 );
             }
-            let hello = nodes[txi].prepare_broadcast(now, &mut tables[txi]);
+            // Expire through the dirty-tracking entry point *before*
+            // the broadcast: entry death is election-relevant, and the
+            // skip decision below must see it. `prepare_broadcast`'s
+            // own expiry at the same instant is then a no-op.
+            node_table.expire(txi, now);
+            let hello = node_table.prepare_broadcast(txi, now);
             hello_broadcasts += 1;
             if tracing {
                 sink.record(
@@ -622,7 +653,7 @@ pub fn run_scenario_instrumented(
                     },
                 );
             }
-            let delivered = if let Some(index) = index.as_mut() {
+            if let Some(index) = index.as_mut() {
                 if now.saturating_sub(last_refresh) >= refresh_period {
                     for (j, m) in mobility.iter_mut().enumerate() {
                         positions[j] = m.position_at(now);
@@ -640,30 +671,44 @@ pub fn run_scenario_instrumented(
                 let radius = base_range
                     + 2.0 * speed_bound * staleness
                     + slack_teleport_pad(cfg, speed_bound, staleness);
-                let mut ids = index.query_within(positions[txi], radius);
+                scratch.ids.clear();
+                index.for_each_within(positions[txi], radius, |i| scratch.ids.push(i));
                 // Id order keeps stateful loss models on the exact
                 // query sequence of the brute-force scan.
-                ids.sort_unstable();
-                candidates.clear();
-                for i in ids {
+                scratch.ids.sort_unstable();
+                scratch.candidates.clear();
+                for &i in &scratch.ids {
                     if i == txi {
                         continue;
                     }
                     positions[i] = mobility[i].position_at(now);
                     index.update(i, positions[i]);
-                    candidates.push((NodeId::new(i as u32), positions[i]));
+                    scratch.candidates.push((NodeId::new(i as u32), positions[i]));
                 }
-                candidate_total += candidates.len() as u64;
-                engine.broadcast_among_observed(tx, positions[txi], &candidates, now, &mut lost)
+                candidate_total += scratch.candidates.len() as u64;
+                engine.broadcast_among_into(
+                    tx,
+                    positions[txi],
+                    &scratch.candidates,
+                    now,
+                    &mut scratch.delivered,
+                    &mut scratch.lost,
+                );
             } else {
                 for (j, m) in mobility.iter_mut().enumerate() {
                     positions[j] = m.position_at(now);
                 }
                 candidate_total += (n - 1) as u64;
-                engine.broadcast_observed(tx, &positions, now, &mut lost)
-            };
+                engine.broadcast_into(
+                    tx,
+                    &positions,
+                    now,
+                    &mut scratch.delivered,
+                    &mut scratch.lost,
+                );
+            }
             if tracing {
-                for &dropped in &lost {
+                for &dropped in &scratch.lost {
                     sink.record(
                         now,
                         &TraceEvent::HelloLost {
@@ -673,11 +718,11 @@ pub fn run_scenario_instrumented(
                     );
                 }
             }
-            for d in delivered {
+            for &d in &scratch.delivered {
                 let r = d.receiver.index();
                 if packet_time.is_zero() {
                     deliveries += 1;
-                    tables[r].record(now, d.rx_power, &hello);
+                    node_table.record(r, now, d.rx_power, &hello);
                     if tracing {
                         sink.record(
                             now,
@@ -692,8 +737,8 @@ pub fn run_scenario_instrumented(
                 }
                 commit_pending(
                     &mut pending[r],
-                    &mut tables[r],
-                    d.receiver.value(),
+                    &mut node_table,
+                    r,
                     now,
                     packet_time,
                     false,
@@ -742,7 +787,14 @@ pub fn run_scenario_instrumented(
             // taken until every neighbor has had one full broadcast
             // interval to introduce itself.
             if now >= bi {
-                if let Some(tr) = nodes[txi].evaluate(now, &mut tables[txi]) {
+                if incremental && node_table.can_skip_election(txi) {
+                    // Clean table + time-independent state machine: the
+                    // election is provably a no-op. Debug builds run it
+                    // on a clone anyway and panic on any divergence.
+                    elections_skipped += 1;
+                    #[cfg(debug_assertions)]
+                    node_table.debug_assert_skip_sound(txi, now);
+                } else if let Some(tr) = node_table.evaluate(txi, now) {
                     if tracing {
                         let node = tr.node.value();
                         match (tr.from, tr.to) {
@@ -774,7 +826,7 @@ pub fn run_scenario_instrumented(
             // floor), calm ones keep the base interval.
             let next = if cfg.adaptive_bi_min_s > 0.0 {
                 const PIVOT_DB2: f64 = 2.0;
-                let m = nodes[txi].metric();
+                let m = node_table.node(txi).metric();
                 let secs = (cfg.bi_s * PIVOT_DB2 / (PIVOT_DB2 + m))
                     .clamp(cfg.adaptive_bi_min_s, cfg.bi_s);
                 SimTime::from_secs_f64(secs)
@@ -802,8 +854,8 @@ pub fn run_scenario_instrumented(
                 for r in 0..n {
                     commit_pending(
                         &mut pending[r],
-                        &mut tables[r],
-                        r as u32,
+                        &mut node_table,
+                        r,
                         now,
                         packet_time,
                         false,
@@ -816,18 +868,24 @@ pub fn run_scenario_instrumented(
             observer(SampleView {
                 now,
                 positions: &positions,
-                nodes: &nodes,
-                tables: &tables,
+                nodes: node_table.nodes(),
+                tables: node_table.tables(),
             });
-            let clusters = nodes.iter().filter(|nd| nd.role().is_clusterhead()).count();
-            cluster_series.push(now, clusters as f64);
-            let gateways = nodes
+            let clusters = node_table
+                .nodes()
                 .iter()
-                .zip(&tables)
+                .filter(|nd| nd.role().is_clusterhead())
+                .count();
+            cluster_series.push(now, clusters as f64);
+            let gateways = node_table
+                .nodes()
+                .iter()
+                .zip(node_table.tables())
                 .filter(|(nd, t)| nd.is_gateway(t))
                 .count();
             gateway_series.push(now, gateways as f64 / n as f64);
-            let mean_metric = nodes.iter().map(ClusterNode::metric).sum::<f64>() / n as f64;
+            let mean_metric =
+                node_table.nodes().iter().map(ClusterNode::metric).sum::<f64>() / n as f64;
             metric_series.push(now, mean_metric);
             sched.schedule_in(bi, Ev::Sample);
         }
@@ -838,8 +896,8 @@ pub fn run_scenario_instrumented(
         for r in 0..n {
             commit_pending(
                 &mut pending[r],
-                &mut tables[r],
-                r as u32,
+                &mut node_table,
+                r,
                 sim_end,
                 packet_time,
                 true,
@@ -855,13 +913,21 @@ pub fn run_scenario_instrumented(
     let shares = log.clusterhead_time_shares(n, warmup, sim_end.max(warmup + SimTime::SECOND));
     let ch_time_gini = mobic_metrics::gini(&shares);
     let distinct_clusterheads = log.distinct_clusterheads();
-    let mut transitions_by_kind = std::collections::BTreeMap::new();
+    // Interned kind labels: counting happens on `&'static str` keys
+    // (`&str` and `String` order identically, so the one conversion at
+    // the end preserves the map's key order byte-for-byte).
+    let mut kind_counts = std::collections::BTreeMap::<&'static str, usize>::new();
     for tr in log.transitions() {
         if tr.at >= warmup {
-            let kind = format!("{}->{}", short_role(tr.from), short_role(tr.to));
-            *transitions_by_kind.entry(kind).or_insert(0) += 1;
+            *kind_counts
+                .entry(transition_kind_label(tr.from, tr.to))
+                .or_insert(0) += 1;
         }
     }
+    let transitions_by_kind = kind_counts
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
     let aggregate_ms = phase_clock.lap_ms();
 
     Ok(RunResult {
@@ -878,7 +944,7 @@ pub fn run_scenario_instrumented(
         hello_broadcasts,
         deliveries,
         mac_collisions: collisions,
-        final_roles: nodes.iter().map(ClusterNode::role).collect(),
+        final_roles: node_table.nodes().iter().map(ClusterNode::role).collect(),
         transitions_by_kind,
         ch_time_gini,
         distinct_clusterheads,
@@ -898,6 +964,7 @@ pub fn run_scenario_instrumented(
                 setup_ms,
                 event_loop_ms,
                 aggregate_ms,
+                elections_skipped,
             },
         },
     })
@@ -947,12 +1014,21 @@ pub fn manifest_for(cfg: &ScenarioConfig, seed: u64, result: &RunResult) -> RunM
     }
 }
 
-/// Compact role label for transition-kind keys.
-fn short_role(r: Role) -> &'static str {
-    match r {
-        Role::Undecided => "undecided",
-        Role::Clusterhead => "ch",
-        Role::Member { .. } => "member",
+/// Interned `from->to` label for transition-kind keys — the same
+/// strings `format!("{from}->{to}")` over the compact role names would
+/// produce, without allocating per transition.
+fn transition_kind_label(from: Role, to: Role) -> &'static str {
+    use Role::{Clusterhead, Member, Undecided};
+    match (from, to) {
+        (Undecided, Undecided) => "undecided->undecided",
+        (Undecided, Clusterhead) => "undecided->ch",
+        (Undecided, Member { .. }) => "undecided->member",
+        (Clusterhead, Undecided) => "ch->undecided",
+        (Clusterhead, Clusterhead) => "ch->ch",
+        (Clusterhead, Member { .. }) => "ch->member",
+        (Member { .. }, Undecided) => "member->undecided",
+        (Member { .. }, Clusterhead) => "member->ch",
+        (Member { .. }, Member { .. }) => "member->member",
     }
 }
 
@@ -1357,6 +1433,40 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         assert!(!json.contains("phase_ms"), "phase timings must not serialize");
         assert!(!json.contains("wall_clock_ms"));
+    }
+
+    #[test]
+    fn incremental_reclustering_matches_full_exactly() {
+        // The dirty-set skip must be invisible in every serialized
+        // byte of the result, across algorithm families and with a
+        // stateful loss model in play.
+        for alg in [AlgorithmKind::Mobic, AlgorithmKind::LowestId, AlgorithmKind::Wca] {
+            let mut cfg = small(alg);
+            cfg.loss = LossKind::Bernoulli { p: 0.2 };
+            cfg.recluster = Recluster::Full;
+            let full = serde_json::to_string(&run_scenario(&cfg, 37).unwrap()).unwrap();
+            cfg.recluster = Recluster::Incremental;
+            let incr = serde_json::to_string(&run_scenario(&cfg, 37).unwrap()).unwrap();
+            assert_eq!(full, incr, "{alg}");
+        }
+    }
+
+    #[test]
+    fn incremental_reclustering_actually_skips_on_calm_networks() {
+        // A stationary network converges and then every election is a
+        // provable no-op; under `Full` the counter must stay zero.
+        let mut cfg = small(AlgorithmKind::Lcc);
+        cfg.mobility = MobilityKind::Stationary;
+        cfg.sim_time_s = 120.0;
+        let incr = run_scenario(&cfg, 5).unwrap();
+        assert!(
+            incr.perf.phase_ms.elections_skipped > 0,
+            "stationary run skipped nothing"
+        );
+        cfg.recluster = Recluster::Full;
+        let full = run_scenario(&cfg, 5).unwrap();
+        assert_eq!(full.perf.phase_ms.elections_skipped, 0);
+        assert_eq!(full.final_roles, incr.final_roles);
     }
 
     #[test]

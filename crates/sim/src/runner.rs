@@ -22,6 +22,13 @@ impl<E> Scheduler<E> {
         }
     }
 
+    fn with_capacity(capacity: usize) -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            queue: EventQueue::with_capacity(capacity),
+        }
+    }
+
     /// The current simulation time.
     #[must_use]
     pub fn now(&self) -> SimTime {
@@ -93,6 +100,19 @@ impl<E> Simulation<E> {
     pub fn new() -> Self {
         Simulation {
             sched: Scheduler::new(),
+            processed: 0,
+        }
+    }
+
+    /// Like [`new`](Self::new), but with the event queue pre-sized for
+    /// `capacity` concurrently pending events. A self-rescheduling
+    /// workload whose steady-state queue depth is known up front (one
+    /// hello per node plus a sampler, for the MANET runner) never
+    /// reallocates the queue mid-run.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Simulation {
+            sched: Scheduler::with_capacity(capacity),
             processed: 0,
         }
     }

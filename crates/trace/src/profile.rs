@@ -30,6 +30,13 @@ pub struct PhaseTimings {
     pub event_loop_ms: f64,
     /// Metric aggregation after the last event.
     pub aggregate_ms: f64,
+    /// How many per-hello clustering evaluations the event loop proved
+    /// unnecessary and skipped (dirty-set incremental reclustering).
+    /// Not a duration, but it lives with the timings because it
+    /// explains them: a high skip count is *why* the event loop got
+    /// cheaper. Zero under `recluster: full`.
+    #[serde(default)]
+    pub elections_skipped: u64,
 }
 
 impl PhaseTimings {
@@ -44,6 +51,7 @@ impl PhaseTimings {
         self.setup_ms += other.setup_ms;
         self.event_loop_ms += other.event_loop_ms;
         self.aggregate_ms += other.aggregate_ms;
+        self.elections_skipped += other.elections_skipped;
     }
 }
 
@@ -54,7 +62,8 @@ impl fmt::Display for PhaseTimings {
         writeln!(f, "  setup       {:>10.2} ms", self.setup_ms)?;
         writeln!(f, "  event loop  {:>10.2} ms", self.event_loop_ms)?;
         writeln!(f, "  aggregation {:>10.2} ms", self.aggregate_ms)?;
-        write!(f, "  total       {:>10.2} ms", self.total_ms())
+        writeln!(f, "  total       {:>10.2} ms", self.total_ms())?;
+        write!(f, "  elections skipped {:>10}", self.elections_skipped)
     }
 }
 
@@ -114,20 +123,23 @@ mod tests {
             setup_ms: 1.0,
             event_loop_ms: 2.0,
             aggregate_ms: 3.0,
+            elections_skipped: 10,
         };
         assert!((t.total_ms() - 6.0).abs() < 1e-12);
         t.accumulate(&PhaseTimings {
             setup_ms: 0.5,
             event_loop_ms: 0.5,
             aggregate_ms: 0.5,
+            elections_skipped: 7,
         });
         assert!((t.total_ms() - 7.5).abs() < 1e-12);
+        assert_eq!(t.elections_skipped, 17);
     }
 
     #[test]
     fn display_lists_every_phase() {
         let text = PhaseTimings::default().to_string();
-        for needle in ["setup", "event loop", "aggregation", "total"] {
+        for needle in ["setup", "event loop", "aggregation", "total", "elections skipped"] {
             assert!(text.contains(needle), "missing {needle}: {text}");
         }
     }
@@ -140,9 +152,15 @@ mod tests {
             setup_ms: 1.0,
             event_loop_ms: 2.0,
             aggregate_ms: 3.0,
+            elections_skipped: 4,
         };
         let json = serde_json::to_string(&t).unwrap();
         let back: PhaseTimings = serde_json::from_str(&json).unwrap();
         assert_eq!(back, t);
+        // Pre-counter payloads still deserialize (the counter defaults).
+        let old: PhaseTimings =
+            serde_json::from_str(r#"{"setup_ms":1.0,"event_loop_ms":2.0,"aggregate_ms":3.0}"#)
+                .unwrap();
+        assert_eq!(old.elections_skipped, 0);
     }
 }

@@ -22,8 +22,14 @@ echo "== tier-1: build + tests =="
 cargo build --release
 cargo test -q
 
+echo "== benches compile =="
+cargo bench --workspace --no-run
+
 echo "== scaling smoke (brute vs indexed equality + speedup) =="
 MOBIC_FAST=1 MOBIC_SCALING_NS=50,200 \
     cargo run --release -p mobic-bench --bin bench_scaling
+
+echo "== hot-path smoke (steady state must be allocation-free) =="
+cargo run --release -p mobic-bench --bin bench_hotpath -- --smoke
 
 echo "CI OK"

@@ -1,0 +1,138 @@
+//! Dirty-set incremental reclustering must be invisible: for every
+//! `(cfg, seed)`, `recluster: incremental` and `recluster: full` yield
+//! byte-identical serialized `RunResult`s *and* byte-identical JSONL
+//! trace streams — across mobility models, algorithms, loss models,
+//! and the MAC collision path.
+
+use mobic::core::AlgorithmKind;
+use mobic::scenario::{
+    run_scenario, run_scenario_traced, LossKind, MobilityKind, Recluster, ScenarioConfig,
+};
+use mobic::trace::JsonlSink;
+
+/// Every mobility model the runner supports.
+fn all_mobility_kinds() -> [MobilityKind; 8] {
+    [
+        MobilityKind::RandomWaypoint,
+        MobilityKind::RandomWalk { epoch_s: 10.0 },
+        MobilityKind::GaussMarkov { alpha: 0.8 },
+        MobilityKind::Rpgm {
+            groups: 4,
+            member_radius_m: 40.0,
+        },
+        MobilityKind::Highway {
+            lanes: 4,
+            bidirectional: true,
+        },
+        MobilityKind::ConferenceHall { booths: 5 },
+        MobilityKind::Manhattan {
+            block_m: 100.0,
+            p_turn: 0.5,
+        },
+        MobilityKind::Stationary,
+    ]
+}
+
+/// A shortened `paper_table1` so the cross products stay fast.
+fn paper_short() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper_table1();
+    cfg.sim_time_s = 120.0;
+    cfg
+}
+
+/// Serialized result under the given recluster mode. JSON bytes catch
+/// everything serde sees — any float, count, or map divergence.
+fn result_bytes(cfg: &ScenarioConfig, seed: u64, mode: Recluster) -> String {
+    let mut c = *cfg;
+    c.recluster = mode;
+    serde_json::to_string(&run_scenario(&c, seed).unwrap()).unwrap()
+}
+
+/// Full JSONL trace under the given recluster mode.
+fn trace_bytes(cfg: &ScenarioConfig, seed: u64, mode: Recluster) -> Vec<u8> {
+    let mut c = *cfg;
+    c.recluster = mode;
+    let mut sink = JsonlSink::new(Vec::new());
+    run_scenario_traced(&c, seed, &mut sink).unwrap();
+    sink.finish().unwrap()
+}
+
+#[test]
+fn incremental_is_bit_identical_across_mobility_and_seeds() {
+    for mobility in all_mobility_kinds() {
+        for seed in 0..3 {
+            let mut cfg = paper_short();
+            cfg.mobility = mobility;
+            assert_eq!(
+                result_bytes(&cfg, seed, Recluster::Full),
+                result_bytes(&cfg, seed, Recluster::Incremental),
+                "{mobility:?} seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn incremental_is_bit_identical_across_algorithms() {
+    // Each algorithm family has its own stability proof (plain
+    // algorithms are table-pure; LCC-style ones depend on role and
+    // contention) — exercise all of them.
+    for alg in AlgorithmKind::ALL {
+        let mut cfg = paper_short();
+        cfg.algorithm = alg;
+        assert_eq!(
+            result_bytes(&cfg, 11, Recluster::Full),
+            result_bytes(&cfg, 11, Recluster::Incremental),
+            "{alg}"
+        );
+    }
+}
+
+#[test]
+fn incremental_matches_with_stateful_loss_and_collisions() {
+    // Stateful loss models consume RNG per queried link and the MAC
+    // window defers receptions: both paths must see identical record
+    // sequences whether or not elections were skipped.
+    for loss in [LossKind::Bernoulli { p: 0.2 }, LossKind::BurstyPreset] {
+        let mut cfg = paper_short();
+        cfg.loss = loss;
+        cfg.packet_time_s = 0.01;
+        assert_eq!(
+            result_bytes(&cfg, 7, Recluster::Full),
+            result_bytes(&cfg, 7, Recluster::Incremental),
+            "{loss:?}"
+        );
+    }
+}
+
+#[test]
+fn incremental_trace_streams_are_byte_identical() {
+    // The trace sees every hello, reception, election, and merge — a
+    // skipped election that should have fired would desync it.
+    for mobility in [MobilityKind::RandomWaypoint, MobilityKind::Stationary] {
+        let mut cfg = paper_short();
+        cfg.mobility = mobility;
+        cfg.loss = LossKind::Bernoulli { p: 0.1 };
+        let full = trace_bytes(&cfg, 13, Recluster::Full);
+        let incr = trace_bytes(&cfg, 13, Recluster::Incremental);
+        assert!(!full.is_empty());
+        assert_eq!(full, incr, "{mobility:?}");
+    }
+}
+
+#[test]
+fn incremental_actually_skips_where_it_can() {
+    // Not a correctness property, but the optimization must engage:
+    // a static network converges, after which nearly every election
+    // is provably skippable.
+    let mut cfg = paper_short();
+    cfg.mobility = MobilityKind::Stationary;
+    let r = run_scenario(&cfg, 5).unwrap();
+    assert!(
+        r.perf.phase_ms.elections_skipped > 0,
+        "stationary run skipped nothing"
+    );
+    cfg.recluster = Recluster::Full;
+    let full = run_scenario(&cfg, 5).unwrap();
+    assert_eq!(full.perf.phase_ms.elections_skipped, 0);
+}
