@@ -57,7 +57,11 @@ fn bench_metric(c: &mut Criterion) {
 
 fn bench_evaluate(c: &mut Criterion) {
     let now = SimTime::from_secs(10);
-    for alg in [AlgorithmKind::Lcc, AlgorithmKind::Mobic, AlgorithmKind::HighestDegree] {
+    for alg in [
+        AlgorithmKind::Lcc,
+        AlgorithmKind::Mobic,
+        AlgorithmKind::HighestDegree,
+    ] {
         c.bench_function(&format!("evaluate/20_neighbors_{}", alg.name()), |b| {
             b.iter_batched(
                 || {

@@ -127,11 +127,7 @@ fn bench_delivery(c: &mut Criterion) {
         let mut tx = 0u32;
         b.iter(|| {
             tx = (tx + 1) % 50;
-            black_box(
-                engine
-                    .broadcast(NodeId::new(tx), &pos, SimTime::ZERO)
-                    .len(),
-            )
+            black_box(engine.broadcast(NodeId::new(tx), &pos, SimTime::ZERO).len())
         });
     });
 }

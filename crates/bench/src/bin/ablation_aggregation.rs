@@ -20,7 +20,13 @@ use mobic_scenario::{run_batch, ScenarioConfig};
 fn main() {
     let seeds = seeds();
     println!("== Ablation: metric aggregation (670 x 670 m) ==\n");
-    let mut t = AsciiTable::new(["aggregate", "CS @50m", "CS @150m", "CS @250m", "gain @250m %"]);
+    let mut t = AsciiTable::new([
+        "aggregate",
+        "CS @50m",
+        "CS @150m",
+        "CS @250m",
+        "gain @250m %",
+    ]);
     let mut lcc250 = 0.0;
     // LCC reference.
     {

@@ -35,7 +35,12 @@ fn main() {
         } else {
             format!("{cci:.0}")
         };
-        t.row([label, cells[0].clone(), cells[1].clone(), format!("{clusters:.1}")]);
+        t.row([
+            label,
+            cells[0].clone(),
+            cells[1].clone(),
+            format!("{clusters:.1}"),
+        ]);
     }
     println!("{}", t.render());
     if let Err(e) = t.write_csv(mobic_bench::results_dir().join("ablation_cci.csv")) {

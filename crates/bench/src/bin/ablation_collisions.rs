@@ -26,7 +26,10 @@ fn main() {
     for packet_ms in [0.0, 0.25, 1.0, 5.0, 20.0] {
         let mut cs = [0.0f64; 2];
         let mut collided_frac = 0.0;
-        for (k, alg) in [AlgorithmKind::Lcc, AlgorithmKind::Mobic].into_iter().enumerate() {
+        for (k, alg) in [AlgorithmKind::Lcc, AlgorithmKind::Mobic]
+            .into_iter()
+            .enumerate()
+        {
             let mut cfg = apply_fast(ScenarioConfig::paper_table1())
                 .with_algorithm(alg)
                 .with_tx_range(250.0);

@@ -30,8 +30,7 @@ fn main() {
             let cs: OnlineStats = runs.iter().map(|r| r.clusterhead_changes as f64).collect();
             cells.push(format!("{:.1}", cs.mean()));
             if tx == 250.0 {
-                clusters250 =
-                    runs.iter().map(|r| r.avg_clusters).sum::<f64>() / runs.len() as f64;
+                clusters250 = runs.iter().map(|r| r.avg_clusters).sum::<f64>() / runs.len() as f64;
             }
         }
         t.row([

@@ -20,7 +20,10 @@ fn main() {
     let mut t = AsciiTable::new(["patience (s)", "lcc CS", "mobic CS", "mobic gain %"]);
     for patience in [0.0, 2.0, 4.0, 8.0, 16.0] {
         let mut cs = [0.0f64; 2];
-        for (k, alg) in [AlgorithmKind::Lcc, AlgorithmKind::Mobic].into_iter().enumerate() {
+        for (k, alg) in [AlgorithmKind::Lcc, AlgorithmKind::Mobic]
+            .into_iter()
+            .enumerate()
+        {
             let mut cfg = apply_fast(ScenarioConfig::paper_table1())
                 .with_algorithm(alg)
                 .with_tx_range(250.0);

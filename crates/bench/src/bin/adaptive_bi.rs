@@ -45,14 +45,17 @@ fn main() {
                 label,
                 format!("{:.1}", cs.mean()),
                 format!("{:.0}", hellos.mean()),
-                format!("{:+.1}", 100.0 * (hellos.mean() - fixed_hellos) / fixed_hellos),
+                format!(
+                    "{:+.1}",
+                    100.0 * (hellos.mean() - fixed_hellos) / fixed_hellos
+                ),
             ]);
         }
         println!("MaxSpeed = {speed} m/s:");
         println!("{}", t.render());
-        if let Err(e) = t.write_csv(
-            mobic_bench::results_dir().join(format!("adaptive_bi_{speed:.0}.csv")),
-        ) {
+        if let Err(e) =
+            t.write_csv(mobic_bench::results_dir().join(format!("adaptive_bi_{speed:.0}.csv")))
+        {
             eprintln!("warning: {e}");
         }
     }

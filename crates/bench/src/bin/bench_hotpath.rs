@@ -165,13 +165,7 @@ fn main() {
     let seed = 1u64;
     let mut rows = Vec::new();
     let mut manifests = Vec::new();
-    let mut table = AsciiTable::new([
-        "cell",
-        "recluster",
-        "ns/event",
-        "allocs/event",
-        "skipped",
-    ]);
+    let mut table = AsciiTable::new(["cell", "recluster", "ns/event", "allocs/event", "skipped"]);
     println!("== BENCH_hotpath: steady-state allocations and incremental reclustering ==\n");
 
     let cells = [
@@ -180,7 +174,10 @@ fn main() {
     ];
     for (cell, cfg) in cells {
         let mut by_mode = Vec::new();
-        for (mode, label) in [(Recluster::Full, "full"), (Recluster::Incremental, "incremental")] {
+        for (mode, label) in [
+            (Recluster::Full, "full"),
+            (Recluster::Incremental, "incremental"),
+        ] {
             let mut c = cfg;
             c.recluster = mode;
             let (allocs_per_event, ns_per_event, long) = steady_state(&c, seed, t1, t2);
@@ -208,7 +205,10 @@ fn main() {
         let (_, full_r) = &by_mode[0];
         let (incr_allocs, incr_r) = &by_mode[1];
         assert_identical(full_r, incr_r, cell);
-        assert_eq!(full_r.perf.phase_ms.elections_skipped, 0, "{cell}: full must not skip");
+        assert_eq!(
+            full_r.perf.phase_ms.elections_skipped, 0,
+            "{cell}: full must not skip"
+        );
         // The tentpole claim: once a static network has converged, the
         // loop allocates nothing at all. Debug builds re-prove every
         // skip on a heap-allocated clone, so the gate is release-only.

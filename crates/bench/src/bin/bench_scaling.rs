@@ -71,7 +71,14 @@ fn main() {
     let seed = 1u64;
     let mut rows = Vec::new();
     let mut manifests = Vec::new();
-    let mut table = AsciiTable::new(["n", "field (m)", "brute (ms)", "indexed (ms)", "speedup", "cand/hello"]);
+    let mut table = AsciiTable::new([
+        "n",
+        "field (m)",
+        "brute (ms)",
+        "indexed (ms)",
+        "speedup",
+        "cand/hello",
+    ]);
     println!("== BENCH_scaling: brute-force vs spatial-index event loop ==\n");
     for n in populations() {
         let mut cfg = cell_config(n);

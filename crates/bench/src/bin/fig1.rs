@@ -60,7 +60,8 @@ fn main() {
         t.row([
             ids[i].to_string(),
             label,
-            role.cluster_of(ids[i]).map_or("-".into(), |c| c.to_string()),
+            role.cluster_of(ids[i])
+                .map_or("-".into(), |c| c.to_string()),
             if gws[i] { "yes".into() } else { String::new() },
         ]);
     }

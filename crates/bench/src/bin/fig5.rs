@@ -20,7 +20,10 @@ fn main() {
         &seeds(),
         |tx| apply_fast(ScenarioConfig::paper_sparse()).with_tx_range(tx),
     );
-    table.publish("fig5", "Figure 5: clusterhead changes vs Tx (1000 x 1000 m)");
+    table.publish(
+        "fig5",
+        "Figure 5: clusterhead changes vs Tx (1000 x 1000 m)",
+    );
 
     if let Some(x) = peak_x(&table, AlgorithmKind::Lcc) {
         println!("LCC churn peaks at Tx ≈ {x:.0} m (paper: ~75 m)");

@@ -15,19 +15,13 @@ fn main() {
     let algs = [AlgorithmKind::Lcc, AlgorithmKind::Mobic];
     let speeds = [1.0, 20.0, 30.0];
     for (panel, pause) in [("a", 0.0), ("b", 30.0)] {
-        let table = SweepTable::run(
-            "MaxSpeed (m/s)",
-            &speeds,
-            &algs,
-            &seeds(),
-            |speed| {
-                let mut cfg = apply_fast(ScenarioConfig::paper_table1());
-                cfg.max_speed_mps = speed;
-                cfg.pause_s = pause;
-                cfg.tx_range_m = 250.0;
-                cfg
-            },
-        );
+        let table = SweepTable::run("MaxSpeed (m/s)", &speeds, &algs, &seeds(), |speed| {
+            let mut cfg = apply_fast(ScenarioConfig::paper_table1());
+            cfg.max_speed_mps = speed;
+            cfg.pause_s = pause;
+            cfg.tx_range_m = 250.0;
+            cfg
+        });
         table.publish(
             &format!("fig6{panel}"),
             &format!("Figure 6({panel}): CS vs MaxSpeed at Tx=250 m, PT={pause} s"),

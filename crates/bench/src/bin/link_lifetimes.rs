@@ -11,7 +11,9 @@
 
 use mobic_bench::seeds;
 use mobic_metrics::{AsciiTable, Histogram, SummaryStats};
-use mobic_mobility::{analysis::link_lifetimes, Mobility, RandomWaypoint, RandomWaypointParams, Trajectory};
+use mobic_mobility::{
+    analysis::link_lifetimes, Mobility, RandomWaypoint, RandomWaypointParams, Trajectory,
+};
 use mobic_scenario::ScenarioConfig;
 use mobic_sim::{rng::SeedSplitter, SimTime};
 
@@ -52,7 +54,14 @@ fn main() {
             all.extend(link_lifetimes(&trajs, tx, horizon));
         }
         if all.is_empty() {
-            t.row([format!("{tx:.0}"), "0".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            t.row([
+                format!("{tx:.0}"),
+                "0".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         }
         let stats = SummaryStats::from_samples(&all);

@@ -92,7 +92,11 @@ fn main() {
         let mean_m = idxs.iter().map(|&i| xs[i]).sum::<f64>() / idxs.len() as f64;
         let mean_b = idxs.iter().map(|&i| ys[i]).sum::<f64>() / idxs.len() as f64;
         t.row([
-            format!("Q{} ({})", q + 1, ["calmest", "calm", "mobile", "most mobile"][q]),
+            format!(
+                "Q{} ({})",
+                q + 1,
+                ["calmest", "calm", "mobile", "most mobile"][q]
+            ),
             format!("{mean_m:.2}"),
             format!("{mean_b:.2}"),
         ]);

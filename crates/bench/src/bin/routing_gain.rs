@@ -42,7 +42,10 @@ fn main() {
                 .with_algorithm(alg)
                 .with_tx_range(250.0);
             scenario.warmup_s = 30.0;
-            let exp = RoutingExperiment { scenario, flows: 10 };
+            let exp = RoutingExperiment {
+                scenario,
+                flows: 10,
+            };
             let stats = if clustered {
                 exp.run(&ClusterRouting, seed)
             } else {
@@ -66,7 +69,9 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
-    println!("(fwd/discovery = nodes forwarding each route request — the flooding-suppression win)");
+    println!(
+        "(fwd/discovery = nodes forwarding each route request — the flooding-suppression win)"
+    );
     println!("sanity: {} vs {}", Flooding.name(), ClusterRouting.name());
     if let Err(e) = t.write_csv(mobic_bench::results_dir().join("routing_gain.csv")) {
         eprintln!("warning: {e}");

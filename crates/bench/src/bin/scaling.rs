@@ -21,7 +21,10 @@ fn main() {
     });
 
     let f = (1000.0f64 * 1000.0) / (670.0 * 670.0);
-    println!("== X1: sqrt(f) scaling analysis (f = {f:.2}, sqrt(f) = {:.2}) ==\n", f.sqrt());
+    println!(
+        "== X1: sqrt(f) scaling analysis (f = {f:.2}, sqrt(f) = {:.2}) ==\n",
+        f.sqrt()
+    );
 
     let mut t = AsciiTable::new(["quantity", "670x670", "1000x1000", "ratio", "paper ratio"]);
     let peak_d = peak_x(&dense, AlgorithmKind::Lcc).unwrap_or(f64::NAN);
@@ -49,7 +52,10 @@ fn main() {
     // Cluster counts at those operating points ("~35 at the peak,
     // ~20 at the crossover" per the paper).
     let count_at = |table: &SweepTable, x: f64| -> Option<f64> {
-        let col = table.algorithms.iter().position(|&a| a == AlgorithmKind::Lcc)?;
+        let col = table
+            .algorithms
+            .iter()
+            .position(|&a| a == AlgorithmKind::Lcc)?;
         table
             .rows
             .iter()
@@ -65,10 +71,16 @@ fn main() {
         }
     }
 
-    if let Err(e) = dense.cs_table().write_csv(mobic_bench::results_dir().join("scaling_670.csv")) {
+    if let Err(e) = dense
+        .cs_table()
+        .write_csv(mobic_bench::results_dir().join("scaling_670.csv"))
+    {
         eprintln!("warning: {e}");
     }
-    if let Err(e) = sparse.cs_table().write_csv(mobic_bench::results_dir().join("scaling_1000.csv")) {
+    if let Err(e) = sparse
+        .cs_table()
+        .write_csv(mobic_bench::results_dir().join("scaling_1000.csv"))
+    {
         eprintln!("warning: {e}");
     }
     println!("(wrote results/scaling_670.csv and results/scaling_1000.csv)");

@@ -59,13 +59,22 @@ fn main() {
         ("random-waypoint (ref)", MobilityKind::RandomWaypoint),
         (
             "highway one-way (par. §5)",
-            MobilityKind::Highway { lanes: 4, bidirectional: false },
+            MobilityKind::Highway {
+                lanes: 4,
+                bidirectional: false,
+            },
         ),
         (
             "highway two-way (stress)",
-            MobilityKind::Highway { lanes: 4, bidirectional: true },
+            MobilityKind::Highway {
+                lanes: 4,
+                bidirectional: true,
+            },
         ),
-        ("conference 8 booths", MobilityKind::ConferenceHall { booths: 8 }),
+        (
+            "conference 8 booths",
+            MobilityKind::ConferenceHall { booths: 8 },
+        ),
         (
             "rpgm 5 groups",
             MobilityKind::Rpgm {

@@ -266,19 +266,13 @@ mod tests {
 
     fn tiny_table() -> SweepTable {
         let algs = [AlgorithmKind::Lcc, AlgorithmKind::Mobic];
-        SweepTable::run(
-            "Tx (m)",
-            &[150.0, 250.0],
-            &algs,
-            &[0, 1],
-            |tx| {
-                let mut c = ScenarioConfig::paper_table1();
-                c.n_nodes = 8;
-                c.sim_time_s = 40.0;
-                c.tx_range_m = tx;
-                c
-            },
-        )
+        SweepTable::run("Tx (m)", &[150.0, 250.0], &algs, &[0, 1], |tx| {
+            let mut c = ScenarioConfig::paper_table1();
+            c.n_nodes = 8;
+            c.sim_time_s = 40.0;
+            c.tx_range_m = tx;
+            c
+        })
     }
 
     #[test]
@@ -318,7 +312,10 @@ mod tests {
         // Crossover may or may not exist on a tiny run; just ensure it
         // doesn't panic and respects membership.
         let _ = crossover_x(&t, AlgorithmKind::Lcc, AlgorithmKind::Mobic);
-        assert_eq!(crossover_x(&t, AlgorithmKind::LowestId, AlgorithmKind::Mobic), None);
+        assert_eq!(
+            crossover_x(&t, AlgorithmKind::LowestId, AlgorithmKind::Mobic),
+            None
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use std::fmt;
 
 use mobic_core::AlgorithmKind;
-use mobic_scenario::{MobilityKind, Recluster, ScenarioConfig};
+use mobic_scenario::{AuditMode, FaultPlan, FaultTarget, MobilityKind, Recluster, ScenarioConfig};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +50,14 @@ pub enum Command {
         trace: Option<String>,
         /// Print accumulated wall-clock phase timings to stderr.
         profile: bool,
+        /// Directory for per-cell outcome JSON files (written
+        /// atomically, one per `(algorithm, tx)` cell).
+        out: Option<String>,
+        /// Skip cells whose outcome file already exists under `out`.
+        resume: bool,
+        /// Soft per-run wall-clock deadline in seconds; switches the
+        /// sweep to the supervised batch executor.
+        deadline_s: Option<f64>,
     },
     /// Print Table 1.
     Table1,
@@ -102,6 +110,12 @@ RUN / SWEEP OPTIONS (defaults = the paper's Table 1):
   --history <alpha>        EWMA metric smoothing (0..1)
   --recluster <incremental|full>  skip provably no-op elections
                            (results identical either way) [incremental]
+  --faults <k=v,...>       node-lifecycle fault plan, e.g.
+                           crashes=3,recoveries=2,recovery-after=10,
+                           late-joins=2,deaf=1,mute=1,spell=5,
+                           from=30,until=200,target=any|clusterhead
+  --audit <off|warn|strict>  periodic Theorem-1 invariant audit;
+                           warn = trace violations, strict = fail run [off]
   --json                   machine-readable output (run)
 
 OBSERVABILITY:
@@ -109,6 +123,16 @@ OBSERVABILITY:
                            for `sweep` a directory (one file per run).
                            A run manifest is written next to it.
   --profile                print wall-clock phase timings to stderr
+
+ROBUSTNESS (sweep only):
+  --out <dir>              write one JSON outcome file per sweep cell,
+                           atomically (temp file + rename)
+  --resume                 skip cells whose outcome file already
+                           exists under --out (resume an interrupted
+                           sweep)
+  --deadline <s>           supervised execution: per-run soft
+                           deadline; stuck or panicking runs become
+                           per-job errors instead of hanging the sweep
 "
 }
 
@@ -135,12 +159,17 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut profile = false;
             let mut tx_values = sweep_points(10.0, 250.0, 25.0);
             let mut algorithms = vec![AlgorithmKind::Lcc, AlgorithmKind::Mobic];
+            let mut out: Option<String> = None;
+            let mut resume = false;
+            let mut deadline_s: Option<f64> = None;
             let mut i = 0;
             while i < rest.len() {
                 let flag = rest[i].as_str();
                 let mut value = || -> Result<&String, CliError> {
                     i += 1;
-                    rest.get(i).copied().ok_or_else(|| err(format!("{flag} needs a value")))
+                    rest.get(i)
+                        .copied()
+                        .ok_or_else(|| err(format!("{flag} needs a value")))
                 };
                 match flag {
                     "--json" => json = true,
@@ -148,9 +177,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--trace" => {
                         let path = value()?;
                         if path.is_empty() || path.starts_with("--") {
-                            return Err(err(format!(
-                                "--trace expects a path, got {path:?}"
-                            )));
+                            return Err(err(format!("--trace expects a path, got {path:?}")));
                         }
                         trace = Some(path.clone());
                     }
@@ -177,6 +204,23 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--mobility" => config.mobility = parse_mobility(value()?)?,
                     "--history" => config.history_alpha = Some(parse_num(value()?, "--history")?),
                     "--recluster" => config.recluster = parse_recluster(value()?)?,
+                    "--faults" => config.faults = parse_faults(value()?)?,
+                    "--audit" => config.audit = parse_audit(value()?)?,
+                    "--out" => {
+                        let path = value()?;
+                        if path.is_empty() || path.starts_with("--") {
+                            return Err(err(format!("--out expects a directory, got {path:?}")));
+                        }
+                        out = Some(path.clone());
+                    }
+                    "--resume" => resume = true,
+                    "--deadline" => {
+                        let d: f64 = parse_num(value()?, "--deadline")?;
+                        if d <= 0.0 {
+                            return Err(err("--deadline must be positive"));
+                        }
+                        deadline_s = Some(d);
+                    }
                     other => return Err(err(format!("unknown option {other}"))),
                 }
                 i += 1;
@@ -196,6 +240,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 if algorithms.is_empty() {
                     return Err(err("--algorithms must name at least one algorithm"));
                 }
+                if resume && out.is_none() {
+                    return Err(err("--resume needs --out <dir> to find prior cell files"));
+                }
                 Ok(Command::Sweep {
                     config,
                     tx_values,
@@ -203,10 +250,15 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     seeds: seeds.max(1),
                     trace,
                     profile,
+                    out,
+                    resume,
+                    deadline_s,
                 })
             }
         }
-        other => Err(err(format!("unknown command {other}; try `mobic-cli help`"))),
+        other => Err(err(format!(
+            "unknown command {other}; try `mobic-cli help`"
+        ))),
     }
 }
 
@@ -233,8 +285,55 @@ fn parse_recluster(s: impl AsRef<str>) -> Result<Recluster, CliError> {
     }
 }
 
+fn parse_audit(s: impl AsRef<str>) -> Result<AuditMode, CliError> {
+    match s.as_ref() {
+        "off" => Ok(AuditMode::Off),
+        "warn" => Ok(AuditMode::Warn),
+        "strict" => Ok(AuditMode::Strict),
+        other => Err(err(format!(
+            "unknown audit mode {other}; expected off|warn|strict"
+        ))),
+    }
+}
+
+fn parse_faults(s: &str) -> Result<FaultPlan, CliError> {
+    let mut plan = FaultPlan::default();
+    for pair in s.split(',') {
+        let (key, val) = pair
+            .split_once('=')
+            .ok_or_else(|| err(format!("--faults expects k=v pairs, got {pair:?}")))?;
+        match key {
+            "crashes" => plan.crashes = parse_num(val, "--faults crashes")?,
+            "recoveries" => plan.recoveries = parse_num(val, "--faults recoveries")?,
+            "recovery-after" => {
+                plan.recovery_after_s = parse_num(val, "--faults recovery-after")?;
+            }
+            "late-joins" => plan.late_joins = parse_num(val, "--faults late-joins")?,
+            "deaf" => plan.deaf_spells = parse_num(val, "--faults deaf")?,
+            "mute" => plan.mute_spells = parse_num(val, "--faults mute")?,
+            "spell" => plan.spell_s = parse_num(val, "--faults spell")?,
+            "from" => plan.from_s = parse_num(val, "--faults from")?,
+            "until" => plan.until_s = parse_num(val, "--faults until")?,
+            "target" => {
+                plan.target = match val {
+                    "any" => FaultTarget::Any,
+                    "clusterhead" => FaultTarget::Clusterhead,
+                    other => {
+                        return Err(err(format!(
+                            "--faults target expects any|clusterhead, got {other:?}"
+                        )))
+                    }
+                };
+            }
+            other => return Err(err(format!("--faults: unknown key {other:?}"))),
+        }
+    }
+    Ok(plan)
+}
+
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, CliError> {
-    s.parse().map_err(|_| err(format!("{flag}: cannot parse {s:?}")))
+    s.parse()
+        .map_err(|_| err(format!("{flag}: cannot parse {s:?}")))
 }
 
 fn parse_field(s: &str) -> Result<(f64, f64), CliError> {
@@ -349,7 +448,8 @@ mod tests {
         } = parse_ok(
             "run --algorithm mobic --nodes 30 --field 1000x500 --speed 10 \
              --pause 30 --tx 100 --time 300 --seed 7 --history 0.7 --json",
-        ) else {
+        )
+        else {
             panic!("expected run");
         };
         assert_eq!(config.algorithm, AlgorithmKind::Mobic);
@@ -369,15 +469,27 @@ mod tests {
         for (arg, expect) in [
             ("rwp", MobilityKind::RandomWaypoint),
             ("static", MobilityKind::Stationary),
-            ("rpgm:5", MobilityKind::Rpgm { groups: 5, member_radius_m: 50.0 }),
+            (
+                "rpgm:5",
+                MobilityKind::Rpgm {
+                    groups: 5,
+                    member_radius_m: 50.0,
+                },
+            ),
             (
                 "highway:4",
-                MobilityKind::Highway { lanes: 4, bidirectional: true },
+                MobilityKind::Highway {
+                    lanes: 4,
+                    bidirectional: true,
+                },
             ),
             ("conference:8", MobilityKind::ConferenceHall { booths: 8 }),
             (
                 "manhattan:100",
-                MobilityKind::Manhattan { block_m: 100.0, p_turn: 0.5 },
+                MobilityKind::Manhattan {
+                    block_m: 100.0,
+                    p_turn: 0.5,
+                },
             ),
         ] {
             let Command::Run { config, .. } = parse_ok(&format!("run --mobility {arg}")) else {
@@ -426,7 +538,9 @@ mod tests {
         assert!(parse_err("run --algorithm bogus").0.contains("bogus"));
         assert!(parse_err("run --nodes").0.contains("--nodes"));
         assert!(parse_err("run --field 670").0.contains("WxH"));
-        assert!(parse_err("sweep --tx-sweep 10:5:1").0.contains("to >= from"));
+        assert!(parse_err("sweep --tx-sweep 10:5:1")
+            .0
+            .contains("to >= from"));
         assert!(parse_err("frobnicate").0.contains("unknown command"));
         assert!(parse_err("run --mobility rpgm").0.contains("argument"));
         assert!(parse_err("run --trace").0.contains("--trace"));
@@ -435,8 +549,7 @@ mod tests {
 
     #[test]
     fn trace_and_profile_parse_on_both_commands() {
-        let Command::Run { trace, profile, .. } =
-            parse_ok("run --trace out/run.jsonl --profile")
+        let Command::Run { trace, profile, .. } = parse_ok("run --trace out/run.jsonl --profile")
         else {
             panic!("expected run");
         };
@@ -471,13 +584,92 @@ mod tests {
             panic!("expected run");
         };
         assert_eq!(config.recluster, Recluster::Incremental);
-        assert!(parse_err("run --recluster sometimes").0.contains("sometimes"));
+        assert!(parse_err("run --recluster sometimes")
+            .0
+            .contains("sometimes"));
     }
 
     #[test]
     fn invalid_scenarios_are_rejected_at_parse_time() {
         assert!(parse_err("run --nodes 0").0.contains("invalid scenario"));
         assert!(parse_err("run --speed -1").0.contains("invalid scenario"));
+    }
+
+    #[test]
+    fn faults_and_audit_parse_on_run() {
+        let Command::Run { config, .. } = parse_ok(
+            "run --faults crashes=3,recoveries=2,recovery-after=12,late-joins=1,\
+             deaf=1,mute=2,spell=4,from=30,until=200,target=clusterhead --audit warn",
+        ) else {
+            panic!("expected run");
+        };
+        assert_eq!(config.faults.crashes, 3);
+        assert_eq!(config.faults.recoveries, 2);
+        assert_eq!(config.faults.recovery_after_s, 12.0);
+        assert_eq!(config.faults.late_joins, 1);
+        assert_eq!(config.faults.deaf_spells, 1);
+        assert_eq!(config.faults.mute_spells, 2);
+        assert_eq!(config.faults.spell_s, 4.0);
+        assert_eq!(config.faults.from_s, 30.0);
+        assert_eq!(config.faults.until_s, 200.0);
+        assert_eq!(config.faults.target, FaultTarget::Clusterhead);
+        assert_eq!(config.audit, AuditMode::Warn);
+        // Defaults stay off.
+        let Command::Run { config, .. } = parse_ok("run") else {
+            panic!("expected run");
+        };
+        assert!(config.faults.is_empty());
+        assert_eq!(config.audit, AuditMode::Off);
+    }
+
+    #[test]
+    fn bad_fault_specs_are_rejected() {
+        assert!(parse_err("run --faults crashes").0.contains("k=v"));
+        assert!(parse_err("run --faults frobs=3").0.contains("frobs"));
+        assert!(parse_err("run --faults target=everyone")
+            .0
+            .contains("clusterhead"));
+        assert!(parse_err("run --audit sometimes").0.contains("sometimes"));
+        // Invalid plans trip config validation at parse time.
+        assert!(parse_err("run --faults crashes=1,from=-5")
+            .0
+            .contains("invalid scenario"));
+    }
+
+    #[test]
+    fn sweep_robustness_flags_parse() {
+        let Command::Sweep {
+            out,
+            resume,
+            deadline_s,
+            ..
+        } = parse_ok("sweep --out cells/ --resume --deadline 30")
+        else {
+            panic!("expected sweep");
+        };
+        assert_eq!(out.as_deref(), Some("cells/"));
+        assert!(resume);
+        assert_eq!(deadline_s, Some(30.0));
+        // Defaults stay off.
+        let Command::Sweep {
+            out,
+            resume,
+            deadline_s,
+            ..
+        } = parse_ok("sweep")
+        else {
+            panic!("expected sweep");
+        };
+        assert_eq!(out, None);
+        assert!(!resume);
+        assert_eq!(deadline_s, None);
+    }
+
+    #[test]
+    fn resume_and_deadline_are_validated() {
+        assert!(parse_err("sweep --resume").0.contains("--out"));
+        assert!(parse_err("sweep --deadline 0").0.contains("positive"));
+        assert!(parse_err("sweep --out --resume").0.contains("directory"));
     }
 
     #[test]
@@ -491,6 +683,11 @@ mod tests {
             "--trace",
             "--profile",
             "--recluster",
+            "--faults",
+            "--audit",
+            "--out",
+            "--resume",
+            "--deadline",
         ] {
             assert!(usage().contains(needle), "usage lacks {needle}");
         }

@@ -2,13 +2,15 @@
 //! from the command line. See `mobic-cli help`.
 
 use std::path::Path;
+use std::time::Duration;
 
 use mobic_cli::{parse, usage, Command};
 use mobic_metrics::AsciiTable;
 use mobic_scenario::{
-    manifest_for, params, run_batch, run_scenario, run_scenario_traced, summarize_cs,
+    manifest_for, params, run_batch, run_batch_supervised, run_scenario, run_scenario_traced,
+    summarize_cs, Supervision, SweepOutcome,
 };
-use mobic_trace::{write_manifests, JsonlSink, PhaseTimings};
+use mobic_trace::{write_atomic, write_manifests, JsonlSink, PhaseTimings};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -71,7 +73,10 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 );
                 println!("affiliation changes {}", result.affiliation_changes);
                 println!("avg clusters        {:.2}", result.avg_clusters);
-                println!("gateway fraction    {:.1}%", 100.0 * result.gateway_fraction);
+                println!(
+                    "gateway fraction    {:.1}%",
+                    100.0 * result.gateway_fraction
+                );
                 println!("mean metric M       {:.3}", result.mean_aggregate_metric);
                 println!(
                     "hello traffic       {} broadcasts, {} deliveries",
@@ -86,6 +91,9 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             seeds,
             trace,
             profile,
+            out,
+            resume,
+            deadline_s,
         } => {
             let seed_list: Vec<u64> = (0..seeds).collect();
             let mut header = vec!["Tx (m)".to_string()];
@@ -96,23 +104,56 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             let mut table = AsciiTable::new(header);
             let mut manifests = Vec::new();
             let mut phase_total = PhaseTimings::default();
+            let out_dir = out.as_deref().map(Path::new);
             for &tx in &tx_values {
                 let mut row = vec![format!("{tx:.0}")];
                 for &alg in &algorithms {
+                    let cell_path =
+                        out_dir.map(|d| d.join(format!("cell_{}_tx{tx:.0}.json", alg.name())));
+                    if resume {
+                        // A parseable cell file is a finished cell;
+                        // a truncated or missing one reruns (writes
+                        // are atomic, so truncation means pre-atomic
+                        // tooling or manual editing).
+                        if let Some(cell) = cell_path
+                            .as_ref()
+                            .and_then(|p| std::fs::read_to_string(p).ok())
+                            .and_then(|text| serde_json::from_str::<SweepOutcome>(&text).ok())
+                        {
+                            eprintln!("resume: {} tx {tx:.0} already done, skipping", alg.name());
+                            row.push(format!("{:.1}", cell.mean_cs));
+                            row.push(format!("{:.1}", cell.mean_clusters));
+                            continue;
+                        }
+                    }
                     let jobs: Vec<_> = seed_list
                         .iter()
                         .map(|&s| (config.with_algorithm(alg).with_tx_range(tx), s))
                         .collect();
-                    let runs = if let Some(dir) = &trace {
+                    let runs = if let Some(limit) = deadline_s {
+                        // Supervised: a stuck or panicking run is
+                        // reported and dropped from the cell instead
+                        // of hanging or aborting the sweep.
+                        let sup = Supervision {
+                            soft_deadline: Some(Duration::from_secs_f64(limit)),
+                            ..Supervision::default()
+                        };
+                        let mut ok = Vec::with_capacity(jobs.len());
+                        for r in run_batch_supervised(&jobs, &sup) {
+                            match r {
+                                Ok(r) => ok.push(r),
+                                Err(e) => eprintln!("warning: {} tx {tx:.0}: {e}", alg.name()),
+                            }
+                        }
+                        ok
+                    } else if let Some(dir) = &trace {
                         // Traced sweeps run sequentially: one JSONL
                         // file per (algorithm, tx, seed) cell member.
                         let dir = Path::new(dir);
                         let mut runs = Vec::with_capacity(jobs.len());
                         for (cfg, s) in &jobs {
-                            let file = dir.join(format!(
-                                "trace_{}_tx{tx:.0}_seed{s}.jsonl",
-                                alg.name()
-                            ));
+                            let file =
+                                dir.join(format!("trace_{}_tx{tx:.0}_seed{s}.jsonl", alg.name()));
                             let mut sink = JsonlSink::create(&file)?;
                             let r = run_scenario_traced(cfg, *s, &mut sink)?;
                             sink.finish()?;
@@ -128,9 +169,21 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                             phase_total.accumulate(&r.perf.phase_ms);
                         }
                     }
-                    let out = summarize_cs(tx, &runs);
-                    row.push(format!("{:.1}", out.mean_cs));
-                    row.push(format!("{:.1}", out.mean_clusters));
+                    if runs.is_empty() {
+                        eprintln!(
+                            "warning: {} tx {tx:.0}: no run survived; cell skipped",
+                            alg.name()
+                        );
+                        row.push("-".to_string());
+                        row.push("-".to_string());
+                        continue;
+                    }
+                    let cell = summarize_cs(tx, &runs);
+                    if let Some(path) = &cell_path {
+                        write_atomic(path, serde_json::to_string_pretty(&cell)?)?;
+                    }
+                    row.push(format!("{:.1}", cell.mean_cs));
+                    row.push(format!("{:.1}", cell.mean_clusters));
                 }
                 table.row(row);
             }

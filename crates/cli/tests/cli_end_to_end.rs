@@ -30,12 +30,25 @@ fn table1_prints_the_paper_parameters() {
 fn run_produces_summary() {
     let out = cli()
         .args([
-            "run", "--algorithm", "mobic", "--nodes", "10", "--time", "40", "--tx", "200",
-            "--seed", "3",
+            "run",
+            "--algorithm",
+            "mobic",
+            "--nodes",
+            "10",
+            "--time",
+            "40",
+            "--tx",
+            "200",
+            "--seed",
+            "3",
         ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("clusterhead changes"));
     assert!(text.contains("algorithm           mobic"));
@@ -65,17 +78,36 @@ fn run_json_is_machine_readable_and_deterministic() {
 fn sweep_prints_table_rows() {
     let out = cli()
         .args([
-            "sweep", "--nodes", "10", "--time", "30", "--tx-sweep", "100:200:100",
-            "--seeds", "2", "--algorithms", "lcc,mobic",
+            "sweep",
+            "--nodes",
+            "10",
+            "--time",
+            "30",
+            "--tx-sweep",
+            "100:200:100",
+            "--seeds",
+            "2",
+            "--algorithms",
+            "lcc,mobic",
         ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("lcc CS"));
     assert!(text.contains("mobic CS"));
     // Two sweep rows: Tx = 100 and 200.
-    assert!(text.lines().filter(|l| l.trim_start().starts_with("100") || l.trim_start().starts_with("200")).count() >= 2, "{text}");
+    assert!(
+        text.lines()
+            .filter(|l| l.trim_start().starts_with("100") || l.trim_start().starts_with("200"))
+            .count()
+            >= 2,
+        "{text}"
+    );
 }
 
 #[test]
@@ -91,7 +123,11 @@ fn run_trace_writes_jsonl_and_manifest() {
             .arg(&trace)
             .output()
             .expect("spawn");
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         std::fs::read(&trace).expect("trace file written")
     };
     let a = invoke();
@@ -108,7 +144,10 @@ fn run_trace_writes_jsonl_and_manifest() {
         .expect("manifest written next to trace");
     let parsed: serde_json::Value = serde_json::from_str(&manifest).unwrap();
     assert_eq!(parsed[0]["seed"], 5);
-    assert!(parsed[0]["config_hash"].as_str().unwrap().starts_with("fnv1a64:"));
+    assert!(parsed[0]["config_hash"]
+        .as_str()
+        .unwrap()
+        .starts_with("fnv1a64:"));
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -116,7 +155,16 @@ fn run_trace_writes_jsonl_and_manifest() {
 fn profile_goes_to_stderr_keeping_json_stdout_clean() {
     let out = cli()
         .args([
-            "run", "--nodes", "8", "--time", "30", "--tx", "200", "--seed", "3", "--json",
+            "run",
+            "--nodes",
+            "8",
+            "--time",
+            "30",
+            "--tx",
+            "200",
+            "--seed",
+            "3",
+            "--json",
             "--profile",
         ])
         .output()
@@ -130,8 +178,92 @@ fn profile_goes_to_stderr_keeping_json_stdout_clean() {
 }
 
 #[test]
+fn run_with_faults_reports_fault_counters_in_json() {
+    let out = cli()
+        .args([
+            "run",
+            "--nodes",
+            "10",
+            "--time",
+            "60",
+            "--tx",
+            "200",
+            "--seed",
+            "3",
+            "--faults",
+            "crashes=2,from=10",
+            "--json",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let value: serde_json::Value =
+        serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).expect("valid JSON");
+    assert_eq!(value["faults"]["crashes"], 2, "{value}");
+}
+
+#[test]
+fn sweep_out_writes_cell_files_and_resume_skips_them() {
+    let dir = std::env::temp_dir().join("mobic-cli-resume-test");
+    std::fs::remove_dir_all(&dir).ok();
+    let invoke = |resume: bool| {
+        let mut cmd = cli();
+        cmd.args([
+            "sweep",
+            "--nodes",
+            "8",
+            "--time",
+            "30",
+            "--tx-sweep",
+            "150:150:50",
+            "--seeds",
+            "1",
+            "--algorithms",
+            "lcc",
+            "--out",
+        ])
+        .arg(&dir);
+        if resume {
+            cmd.arg("--resume");
+        }
+        cmd.output().expect("spawn")
+    };
+    let first = invoke(false);
+    assert!(
+        first.status.success(),
+        "{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let cell = dir.join("cell_lcc_tx150.json");
+    let text = std::fs::read_to_string(&cell).expect("cell file written");
+    let parsed: serde_json::Value = serde_json::from_str(&text).expect("cell is JSON");
+    assert_eq!(parsed["algorithm"], "lcc");
+    assert_eq!(parsed["x"], 150.0);
+
+    let second = invoke(true);
+    assert!(
+        second.status.success(),
+        "{}",
+        String::from_utf8_lossy(&second.stderr)
+    );
+    let stderr = String::from_utf8(second.stderr).unwrap();
+    assert!(stderr.contains("resume:"), "{stderr}");
+    // The resumed sweep still prints the full table from the cells.
+    let stdout = String::from_utf8(second.stdout).unwrap();
+    assert!(stdout.contains("lcc CS"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_arguments_fail_with_usage_on_stderr() {
-    let out = cli().args(["run", "--algorithm", "bogus"]).output().expect("spawn");
+    let out = cli()
+        .args(["run", "--algorithm", "bogus"])
+        .output()
+        .expect("spawn");
     assert!(!out.status.success());
     assert_eq!(out.status.code(), Some(2));
     let err = String::from_utf8(out.stderr).unwrap();

@@ -253,7 +253,10 @@ mod tests {
         for i in 0..n {
             if let Role::Member { ch } = roles[i] {
                 let ch_idx = weights.iter().position(|w| w.id() == ch).unwrap();
-                assert!(adj.are_neighbors(i, ch_idx), "member {i} cannot hear its CH");
+                assert!(
+                    adj.are_neighbors(i, ch_idx),
+                    "member {i} cannot hear its CH"
+                );
                 assert!(roles[ch_idx].is_clusterhead());
             }
         }
@@ -268,10 +271,7 @@ mod tests {
         adj.connect(0, 1);
         adj.connect(0, 2);
         adj.connect(1, 3);
-        let roles = lowest_id_clustering(
-            &[0, 1, 2, 3].map(NodeId::new),
-            &adj,
-        );
+        let roles = lowest_id_clustering(&[0, 1, 2, 3].map(NodeId::new), &adj);
         assert_eq!(roles[0], Role::Clusterhead);
         assert_eq!(roles[1], Role::Member { ch: NodeId::new(0) });
         assert_eq!(roles[2], Role::Member { ch: NodeId::new(0) });

@@ -79,10 +79,8 @@ pub fn check_theorem1(roles: &[Role], ids: &[NodeId], adj: &Adjacency) -> Vec<Vi
             Role::Member { ch } => match index_of(*ch) {
                 Some(ch_idx) if roles[ch_idx].is_clusterhead() => {
                     if !adj.are_neighbors(i, ch_idx) {
-                        violations.push(Violation::MemberCannotHearClusterhead {
-                            member: i,
-                            ch: *ch,
-                        });
+                        violations
+                            .push(Violation::MemberCannotHearClusterhead { member: i, ch: *ch });
                     }
                 }
                 _ => violations.push(Violation::DanglingAffiliation { member: i, ch: *ch }),
@@ -199,7 +197,10 @@ mod tests {
         ];
         let v = check_theorem1(&roles, &ids(2), &adj);
         assert_eq!(v.len(), 2);
-        assert!(matches!(v[0], Violation::DanglingAffiliation { member: 0, .. }));
+        assert!(matches!(
+            v[0],
+            Violation::DanglingAffiliation { member: 0, .. }
+        ));
     }
 
     #[test]

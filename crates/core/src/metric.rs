@@ -335,7 +335,10 @@ mod tests {
 
     #[test]
     fn aggregate_is_symmetric_in_sign() {
-        assert_eq!(aggregate_mobility([5.0, -5.0]), aggregate_mobility([5.0, 5.0]));
+        assert_eq!(
+            aggregate_mobility([5.0, -5.0]),
+            aggregate_mobility([5.0, 5.0])
+        );
     }
 
     #[test]

@@ -218,6 +218,23 @@ impl ClusterNode {
         }
     }
 
+    /// Wipes all protocol state back to a freshly booted
+    /// `Cluster_Undecided` node, as after a crash recovery: role,
+    /// metric, contention clocks, and history smoothing are gone, and
+    /// the patience window restarts at `now`. The hello sequence
+    /// counter is deliberately **kept** — a revived node must not
+    /// reuse sequence numbers, or neighbors holding an unexpired entry
+    /// for it would discard its first post-recovery hellos as stale
+    /// duplicates.
+    pub fn reset(&mut self, now: SimTime) {
+        self.role = Role::Undecided;
+        self.metric_value = 0.0;
+        self.metric_samples = 0;
+        self.smoother = self.cfg.history_alpha.map(MetricSmoother::new);
+        self.contention.clear();
+        self.undecided_since = Some(now);
+    }
+
     /// This node's id.
     #[must_use]
     pub fn id(&self) -> NodeId {
@@ -761,7 +778,15 @@ mod tests {
         assert_eq!(x.role(), Role::Clusterhead);
         // Keep the contender alive past CCI (4 s).
         hear(&mut t, t0 + bi, 3, 1, 0.0, RoleTag::Clusterhead, Some(3));
-        hear(&mut t, t0 + bi * 2, 3, 2, 0.0, RoleTag::Clusterhead, Some(3));
+        hear(
+            &mut t,
+            t0 + bi * 2,
+            3,
+            2,
+            0.0,
+            RoleTag::Clusterhead,
+            Some(3),
+        );
         let tr = x.evaluate(t0 + bi * 2, &mut t).unwrap();
         assert_eq!(x.role(), Role::Member { ch: n(3) });
         assert!(tr.is_clusterhead_change());
@@ -792,7 +817,7 @@ mod tests {
         let mut t = table();
         let t0 = SimTime::from_secs(2);
         calm.evaluate(t0, &mut t); // CH, M = 0
-        // Contender 1 (lower id!) but higher mobility M = 5.0.
+                                   // Contender 1 (lower id!) but higher mobility M = 5.0.
         hear(&mut t, t0, 1, 0, 5.0, RoleTag::Clusterhead, Some(1));
         // Past CCI, keep contender alive.
         let t1 = t0 + SimTime::from_secs(2);
@@ -951,15 +976,38 @@ mod tests {
     }
 
     #[test]
+    fn reset_wipes_role_state_but_keeps_sequence_numbers() {
+        let now = SimTime::from_secs(2);
+        let mut x = node(3, AlgorithmKind::Mobic);
+        let mut t = table();
+        hear(&mut t, now, 5, 0, 0.0, RoleTag::Undecided, None);
+        let _ = x.prepare_broadcast(now, &mut t);
+        let _ = x.prepare_broadcast(now + SimTime::from_secs(2), &mut t);
+        x.evaluate(now, &mut t);
+        assert_eq!(x.role(), Role::Clusterhead);
+        assert_eq!(x.next_seq(), 2);
+
+        let revive_at = SimTime::from_secs(30);
+        x.reset(revive_at);
+        assert_eq!(x.role(), Role::Undecided);
+        assert_eq!(x.metric(), 0.0);
+        assert_eq!(x.metric_samples(), 0);
+        assert!(!x.election_is_stable(), "patience window restarted");
+        // Sequence numbers continue — no stale-duplicate rejection.
+        assert_eq!(x.next_seq(), 2);
+        let h = x.prepare_broadcast(revive_at, &mut table());
+        assert_eq!(h.seq, 2);
+        assert_eq!(h.payload.role, RoleTag::Undecided);
+    }
+
+    #[test]
     fn evaluate_is_idempotent_when_nothing_changes() {
         let now = SimTime::from_secs(2);
         let mut x = node(3, AlgorithmKind::Mobic);
         let mut t = table();
         x.evaluate(now, &mut t);
         for k in 1..5 {
-            assert!(x
-                .evaluate(now + SimTime::from_secs(k), &mut t)
-                .is_none());
+            assert!(x.evaluate(now + SimTime::from_secs(k), &mut t).is_none());
         }
     }
 }

@@ -23,7 +23,8 @@ use mobic_sim::SimTime;
 use crate::{ClusterAdvert, ClusterConfig, ClusterNode, ClusterTable, RoleTransition};
 
 /// Per-node clustering state in structure-of-arrays layout with
-/// dirty-set election tracking. See the [module docs](self).
+/// dirty-set election tracking and node-lifecycle (fault-injection)
+/// flags. See the [module docs](self).
 #[derive(Debug, Clone)]
 pub struct NodeTable {
     nodes: Vec<ClusterNode>,
@@ -32,10 +33,22 @@ pub struct NodeTable {
     /// way since its last evaluation. Starts all-true so every node's
     /// first election always runs.
     dirty: Vec<bool>,
+    /// `alive[i]`: node `i` is up. Dead nodes neither transmit nor
+    /// receive nor hold elections; their neighbors expire them
+    /// naturally when the hellos stop. Starts all-true.
+    alive: Vec<bool>,
+    /// `deaf[i]`: node `i`'s receive side is impaired — deliveries to
+    /// it are dropped after the radio/loss stage.
+    deaf: Vec<bool>,
+    /// `mute[i]`: node `i`'s transmit side is impaired — it holds its
+    /// hellos (and its metric freezes, since the metric is computed at
+    /// broadcast time) but keeps receiving and evaluating.
+    mute: Vec<bool>,
 }
 
 impl NodeTable {
-    /// Creates state for nodes `0..n`, every slot dirty.
+    /// Creates state for nodes `0..n`, every slot dirty, every node
+    /// alive and unimpaired.
     #[must_use]
     pub fn new(n: usize, cfg: ClusterConfig, neighbor_timeout: SimTime) -> Self {
         NodeTable {
@@ -46,6 +59,9 @@ impl NodeTable {
                 .map(|_| ClusterTable::new(neighbor_timeout))
                 .collect(),
             dirty: vec![true; n],
+            alive: vec![true; n],
+            deaf: vec![false; n],
+            mute: vec![false; n],
         }
     }
 
@@ -90,6 +106,86 @@ impl NodeTable {
     #[must_use]
     pub fn is_dirty(&self, i: usize) -> bool {
         self.dirty[i]
+    }
+
+    /// `true` if node `i` is up.
+    #[must_use]
+    pub fn is_alive(&self, i: usize) -> bool {
+        self.alive[i]
+    }
+
+    /// The full liveness bitmap, indexed by `NodeId::index` — handed
+    /// to observers so sampling passes can skip dead nodes.
+    #[must_use]
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Number of nodes currently up.
+    #[must_use]
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// `true` if node `i`'s receive side is impaired.
+    #[must_use]
+    pub fn is_deaf(&self, i: usize) -> bool {
+        self.deaf[i]
+    }
+
+    /// `true` if node `i`'s transmit side is impaired.
+    #[must_use]
+    pub fn is_mute(&self, i: usize) -> bool {
+        self.mute[i]
+    }
+
+    /// `true` if node `i` can commit a reception right now: alive and
+    /// not deaf. Checked *after* the radio/loss stage so the loss
+    /// model's RNG consumption is identical with and without faults.
+    #[must_use]
+    pub fn can_receive(&self, i: usize) -> bool {
+        self.alive[i] && !self.deaf[i]
+    }
+
+    /// `true` if node `i` transmits its hellos: alive and not mute.
+    #[must_use]
+    pub fn can_transmit(&self, i: usize) -> bool {
+        self.alive[i] && !self.mute[i]
+    }
+
+    /// Takes node `i` down without ceremony — used both for fail-stop
+    /// crashes and for withholding late-joiners at setup. Clears any
+    /// impairments (they belong to the dead interface) and wipes the
+    /// node's neighbor table: a crashed node retains nothing.
+    pub fn set_down(&mut self, i: usize) {
+        self.alive[i] = false;
+        self.deaf[i] = false;
+        self.mute[i] = false;
+        self.tables[i].clear();
+        self.dirty[i] = true;
+    }
+
+    /// Brings node `i` up at `now` with protocol state factory-fresh:
+    /// the neighbor table stays empty and the role state machine is
+    /// [`ClusterNode::reset`] (keeping its hello sequence counter).
+    /// Used for crash recovery and late joins.
+    pub fn bring_up(&mut self, i: usize, now: SimTime) {
+        self.alive[i] = true;
+        self.deaf[i] = false;
+        self.mute[i] = false;
+        self.tables[i].clear();
+        self.nodes[i].reset(now);
+        self.dirty[i] = true;
+    }
+
+    /// Sets or clears node `i`'s receive-side impairment.
+    pub fn set_deaf(&mut self, i: usize, deaf: bool) {
+        self.deaf[i] = deaf;
+    }
+
+    /// Sets or clears node `i`'s transmit-side impairment.
+    pub fn set_mute(&mut self, i: usize, mute: bool) {
+        self.mute[i] = mute;
     }
 
     /// Records a received hello into node `i`'s table, flagging the
@@ -170,14 +266,16 @@ mod tests {
     use crate::{AlgorithmKind, Role, RoleTag};
 
     fn nt(n: usize, alg: AlgorithmKind) -> NodeTable {
-        NodeTable::new(
-            n,
-            ClusterConfig::paper_default(alg),
-            SimTime::from_secs(3),
-        )
+        NodeTable::new(n, ClusterConfig::paper_default(alg), SimTime::from_secs(3))
     }
 
-    fn hello(sender: u32, seq: u64, primary: f64, role: RoleTag, ch: Option<u32>) -> Hello<ClusterAdvert> {
+    fn hello(
+        sender: u32,
+        seq: u64,
+        primary: f64,
+        role: RoleTag,
+        ch: Option<u32>,
+    ) -> Hello<ClusterAdvert> {
         Hello {
             sender: NodeId::new(sender),
             seq,
@@ -204,18 +302,38 @@ mod tests {
         let s = SimTime::from_secs;
         t.evaluate(0, s(1));
         // New neighbor: dirty.
-        t.record(0, s(2), Dbm::new(-60.0), &hello(1, 0, 0.0, RoleTag::Undecided, None));
+        t.record(
+            0,
+            s(2),
+            Dbm::new(-60.0),
+            &hello(1, 0, 0.0, RoleTag::Undecided, None),
+        );
         assert!(t.is_dirty(0));
         t.evaluate(0, s(2));
         // Same advert, fresh seq: power refresh only → clean.
-        t.record(0, s(4), Dbm::new(-59.0), &hello(1, 1, 0.0, RoleTag::Undecided, None));
+        t.record(
+            0,
+            s(4),
+            Dbm::new(-59.0),
+            &hello(1, 1, 0.0, RoleTag::Undecided, None),
+        );
         assert!(!t.is_dirty(0));
         // Changed advert: dirty again.
-        t.record(0, s(6), Dbm::new(-59.0), &hello(1, 2, 0.0, RoleTag::Clusterhead, Some(1)));
+        t.record(
+            0,
+            s(6),
+            Dbm::new(-59.0),
+            &hello(1, 2, 0.0, RoleTag::Clusterhead, Some(1)),
+        );
         assert!(t.is_dirty(0));
         // Stale duplicate: ignored, stays as-is after evaluation.
         t.evaluate(0, s(6));
-        t.record(0, s(7), Dbm::new(-59.0), &hello(1, 2, 9.9, RoleTag::Undecided, None));
+        t.record(
+            0,
+            s(7),
+            Dbm::new(-59.0),
+            &hello(1, 2, 9.9, RoleTag::Undecided, None),
+        );
         assert!(!t.is_dirty(0));
     }
 
@@ -223,13 +341,51 @@ mod tests {
     fn expire_dirties_when_entries_die() {
         let mut t = nt(2, AlgorithmKind::Mobic);
         let s = SimTime::from_secs;
-        t.record(0, s(1), Dbm::new(-60.0), &hello(1, 0, 0.0, RoleTag::Undecided, None));
+        t.record(
+            0,
+            s(1),
+            Dbm::new(-60.0),
+            &hello(1, 0, 0.0, RoleTag::Undecided, None),
+        );
         t.evaluate(0, s(1));
         t.expire(0, s(2)); // nothing stale yet
         assert!(!t.is_dirty(0));
         t.expire(0, s(60)); // TP long gone
         assert!(t.is_dirty(0));
         assert_eq!(t.table(0).degree(), 0);
+    }
+
+    #[test]
+    fn lifecycle_flags_start_healthy_and_toggle() {
+        let mut t = nt(3, AlgorithmKind::Mobic);
+        let s = SimTime::from_secs;
+        assert!((0..3).all(|i| t.is_alive(i) && t.can_receive(i) && t.can_transmit(i)));
+        assert_eq!(t.alive_count(), 3);
+        assert_eq!(t.alive(), &[true, true, true]);
+
+        t.set_deaf(1, true);
+        assert!(!t.can_receive(1) && t.can_transmit(1));
+        t.set_mute(2, true);
+        assert!(t.can_receive(2) && !t.can_transmit(2));
+
+        // Crash wipes impairments and the neighbor table.
+        t.record(
+            1,
+            s(1),
+            Dbm::new(-60.0),
+            &hello(0, 0, 0.0, RoleTag::Undecided, None),
+        );
+        t.set_down(1);
+        assert!(!t.is_alive(1) && !t.is_deaf(1));
+        assert!(!t.can_receive(1) && !t.can_transmit(1));
+        assert_eq!(t.alive_count(), 2);
+        assert_eq!(t.table(1).degree(), 0, "crash wiped the table");
+
+        // Revival resets the role machine and restarts dirty.
+        t.evaluate(1, s(2));
+        t.bring_up(1, s(3));
+        assert!(t.is_alive(1) && t.is_dirty(1));
+        assert_eq!(t.node(1).role(), Role::Undecided);
     }
 
     #[test]

@@ -13,8 +13,7 @@ use serde::{Deserialize, Serialize};
 /// more clusterheads"; it is derived from the neighbor table (see
 /// [`ClusterNode::is_gateway`](crate::ClusterNode::is_gateway)) rather
 /// than elected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Role {
     /// Initial state, and the state re-entered when a member loses its
     /// clusterhead (the paper's `Cluster_Undecided`).
@@ -57,7 +56,6 @@ impl Role {
         }
     }
 }
-
 
 impl fmt::Display for Role {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -3,7 +3,9 @@
 //! jumps) and checking that its *local* invariants hold no matter
 //! what the network throws at it.
 
-use mobic_core::{AlgorithmKind, ClusterAdvert, ClusterConfig, ClusterNode, ClusterTable, Role, RoleTag};
+use mobic_core::{
+    AlgorithmKind, ClusterAdvert, ClusterConfig, ClusterNode, ClusterTable, Role, RoleTag,
+};
 use mobic_net::{Hello, NodeId};
 use mobic_radio::Dbm;
 use mobic_sim::SimTime;

@@ -201,7 +201,11 @@ fn reflect_axis(v: f64, lo: f64, hi: f64) -> (f64, bool) {
     let k = ((v - lo) / span).floor() as i64;
     let flipped = k.rem_euclid(2) != 0;
     let t = (v - lo).rem_euclid(2.0 * span);
-    let pos = if t <= span { lo + t } else { lo + 2.0 * span - t };
+    let pos = if t <= span {
+        lo + t
+    } else {
+        lo + 2.0 * span - t
+    };
     (pos, flipped)
 }
 
@@ -331,7 +335,9 @@ mod tests {
         let r = Rect::new(10.0, 10.0);
         assert!(r.wrap(Vec2::new(12.0, -3.0)).approx_eq(Vec2::new(2.0, 7.0)));
         assert!(r.wrap(Vec2::new(5.0, 5.0)).approx_eq(Vec2::new(5.0, 5.0)));
-        assert!(r.wrap(Vec2::new(-12.0, 23.0)).approx_eq(Vec2::new(8.0, 3.0)));
+        assert!(r
+            .wrap(Vec2::new(-12.0, 23.0))
+            .approx_eq(Vec2::new(8.0, 3.0)));
     }
 
     #[test]

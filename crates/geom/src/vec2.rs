@@ -367,9 +367,13 @@ mod tests {
 
     #[test]
     fn sum_of_vectors() {
-        let total: Vec2 = [Vec2::new(1.0, 0.0), Vec2::new(2.0, 3.0), Vec2::new(-1.0, 1.0)]
-            .into_iter()
-            .sum();
+        let total: Vec2 = [
+            Vec2::new(1.0, 0.0),
+            Vec2::new(2.0, 3.0),
+            Vec2::new(-1.0, 1.0),
+        ]
+        .into_iter()
+        .sum();
         assert_eq!(total, Vec2::new(2.0, 4.0));
     }
 

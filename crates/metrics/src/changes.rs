@@ -324,8 +324,7 @@ mod tests {
             // Node 1: CH from t=60 until the end.
             tr(60, 1, Role::Undecided, Role::Clusterhead),
         ]);
-        let shares =
-            log.clusterhead_time_shares(3, SimTime::ZERO, SimTime::from_secs(100));
+        let shares = log.clusterhead_time_shares(3, SimTime::ZERO, SimTime::from_secs(100));
         assert!((shares[0] - 0.5).abs() < 1e-12, "{shares:?}");
         assert!((shares[1] - 0.4).abs() < 1e-12, "{shares:?}");
         assert_eq!(shares[2], 0.0);
@@ -348,6 +347,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "window")]
     fn bad_rate_window_panics() {
-        let _ = TransitionLog::new().clusterhead_change_rate(SimTime::from_secs(5), SimTime::from_secs(5));
+        let _ = TransitionLog::new()
+            .clusterhead_change_rate(SimTime::from_secs(5), SimTime::from_secs(5));
     }
 }

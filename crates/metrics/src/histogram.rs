@@ -117,7 +117,11 @@ impl Histogram {
         let max = self.buckets.iter().copied().max().unwrap_or(0).max(1);
         let mut out = String::new();
         if self.underflow > 0 {
-            out.push_str(&format!("{:>16}  {}\n", format!("< {:.1}", self.lo), self.underflow));
+            out.push_str(&format!(
+                "{:>16}  {}\n",
+                format!("< {:.1}", self.lo),
+                self.underflow
+            ));
         }
         for (i, &n) in self.buckets.iter().enumerate() {
             let (a, b) = self.bucket_range(i);
@@ -131,7 +135,11 @@ impl Histogram {
             ));
         }
         if self.overflow > 0 {
-            out.push_str(&format!("{:>16}  {}\n", format!(">= {:.1}", self.hi), self.overflow));
+            out.push_str(&format!(
+                "{:>16}  {}\n",
+                format!(">= {:.1}", self.hi),
+                self.overflow
+            ));
         }
         out
     }

@@ -1,7 +1,10 @@
 //! Paper-style output: ASCII tables, CSV and JSON export.
+//!
+//! Every file this module writes goes through
+//! [`mobic_trace::write_atomic`] (temp file + rename), so a killed
+//! experiment never leaves a truncated `results/` artifact behind.
 
 use std::fmt::Write as _;
-use std::fs;
 use std::io;
 use std::path::Path;
 
@@ -126,41 +129,36 @@ impl AsciiTable {
         out
     }
 
-    /// Writes the CSV form to `path`, creating parent directories.
+    /// Writes the CSV form to `path` atomically (temp file + rename),
+    /// creating parent directories.
     ///
     /// # Errors
     ///
     /// Returns any I/O error from directory creation or the write.
     pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        let path = path.as_ref();
-        if let Some(parent) = path.parent() {
-            fs::create_dir_all(parent)?;
-        }
-        fs::write(path, self.to_csv())
+        mobic_trace::write_atomic(path, self.to_csv())
     }
 }
 
-/// Writes any serde-serializable value as pretty JSON to `path`,
-/// creating parent directories — how experiment binaries persist
-/// machine-readable results under `results/`.
+/// Writes any serde-serializable value as pretty JSON to `path`
+/// atomically (temp file + rename), creating parent directories — how
+/// experiment binaries persist machine-readable results under
+/// `results/`.
 ///
 /// # Errors
 ///
 /// Returns I/O errors and serialization failures (as
 /// `io::ErrorKind::InvalidData`).
 pub fn write_json<T: serde::Serialize>(value: &T, path: impl AsRef<Path>) -> io::Result<()> {
-    let path = path.as_ref();
-    if let Some(parent) = path.parent() {
-        fs::create_dir_all(parent)?;
-    }
     let json = serde_json::to_string_pretty(value)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    fs::write(path, json)
+    mobic_trace::write_atomic(path, json)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     #[test]
     fn renders_aligned_columns() {

@@ -237,9 +237,9 @@ impl SummaryStats {
 /// Two-sided 95 % critical values of Student's t distribution for
 /// `df = 1..=30`; larger dfs fall back to the normal 1.96.
 const T_CRIT_95: [f64; 30] = [
-    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
-    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
-    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
 ];
 
 /// The 95 % critical t-value for `df` degrees of freedom (normal
@@ -294,11 +294,15 @@ pub fn welch_t(a: &OnlineStats, b: &OnlineStats) -> (f64, f64, bool) {
     if se2 <= 0.0 {
         // Identical constants: significant iff the means differ at all.
         let differ = (a.mean() - b.mean()).abs() > 0.0;
-        return (if differ { f64::INFINITY } else { 0.0 }, na + nb - 2.0, differ);
+        return (
+            if differ { f64::INFINITY } else { 0.0 },
+            na + nb - 2.0,
+            differ,
+        );
     }
     let t = (a.mean() - b.mean()) / se2.sqrt();
-    let df = se2 * se2
-        / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0)).max(1e-300);
+    let df =
+        se2 * se2 / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0)).max(1e-300);
     let significant = t.abs() > t_critical_95(df.floor().max(1.0) as usize);
     (t, df, significant)
 }

@@ -51,7 +51,12 @@ impl LinkInterval {
 /// Panics if `range` is not positive/finite or either trajectory's
 /// generated horizon is shorter than `horizon`.
 #[must_use]
-pub fn link_intervals(a: &Trajectory, b: &Trajectory, range: f64, horizon: SimTime) -> Vec<LinkInterval> {
+pub fn link_intervals(
+    a: &Trajectory,
+    b: &Trajectory,
+    range: f64,
+    horizon: SimTime,
+) -> Vec<LinkInterval> {
     assert!(range > 0.0 && range.is_finite(), "invalid range {range}");
     assert!(
         a.horizon() >= horizon && b.horizon() >= horizon,
@@ -163,7 +168,11 @@ mod tests {
         b.push_velocity(Vec2::new(10.0, 0.0), secs(20));
         let ivs = link_intervals(&a, &b, 50.0, secs(20));
         assert_eq!(ivs.len(), 1);
-        assert!((ivs[0].from.as_secs_f64() - 6.0).abs() < 1e-6, "{:?}", ivs[0]);
+        assert!(
+            (ivs[0].from.as_secs_f64() - 6.0).abs() < 1e-6,
+            "{:?}",
+            ivs[0]
+        );
         assert!((ivs[0].to.as_secs_f64() - 14.0).abs() < 1e-6);
         assert!(!ivs[0].censored);
         assert!((ivs[0].duration_s() - 8.0).abs() < 1e-6);

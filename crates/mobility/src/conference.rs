@@ -106,10 +106,7 @@ impl ConferenceHall {
 /// Shrinks a rect by `margin` on all sides (clamping at degenerate).
 fn shrink(field: Rect, margin: f64) -> Rect {
     let m = margin.min(field.width() / 2.0).min(field.height() / 2.0);
-    Rect::from_corners(
-        field.min() + Vec2::new(m, m),
-        field.max() - Vec2::new(m, m),
-    )
+    Rect::from_corners(field.min() + Vec2::new(m, m), field.max() - Vec2::new(m, m))
 }
 
 /// One attendee walking between booths.

@@ -142,8 +142,8 @@ impl GaussMarkov {
         let root = (1.0 - a * a).sqrt();
         let ws = self.gauss();
         let wh = self.gauss();
-        self.speed = (a * self.speed + (1.0 - a) * p.mean_speed_mps + root * p.speed_sigma * ws)
-            .max(0.0);
+        self.speed =
+            (a * self.speed + (1.0 - a) * p.mean_speed_mps + root * p.speed_sigma * ws).max(0.0);
         self.heading = a * self.heading + (1.0 - a) * mean_heading + root * p.heading_sigma * wh;
         let velocity = Vec2::from_polar(self.speed, self.heading);
         // If the step would exit the field, clamp the endpoint and let
@@ -181,7 +181,9 @@ impl GaussMarkov {
 impl Mobility for GaussMarkov {
     fn position_at(&mut self, t: SimTime) -> Vec2 {
         self.ensure(t);
-        self.params.field.clamp(self.traj.sample(t).expect("extended").0)
+        self.params
+            .field
+            .clamp(self.traj.sample(t).expect("extended").0)
     }
 
     fn velocity_at(&mut self, t: SimTime) -> Vec2 {

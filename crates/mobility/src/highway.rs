@@ -163,8 +163,7 @@ impl Highway {
     fn extend_step(&mut self) {
         let p = self.params;
         let a = p.jitter_alpha;
-        self.jitter =
-            a * self.jitter + (1.0 - a * a).sqrt() * p.speed_jitter * self.gauss();
+        self.jitter = a * self.jitter + (1.0 - a * a).sqrt() * p.speed_jitter * self.gauss();
         let speed = (p.lane_speed_mps + self.jitter).max(0.0);
         let dir = p.lane_direction(self.lane);
         let velocity = Vec2::new(dir * speed, 0.0);
@@ -180,14 +179,22 @@ impl Highway {
             } else {
                 pos.x - p.field.min().x
             };
-            let t_edge = if speed > 0.0 { dist_to_edge / speed } else { dt };
+            let t_edge = if speed > 0.0 {
+                dist_to_edge / speed
+            } else {
+                dt
+            };
             let d_edge = SimTime::from_secs_f64(t_edge.clamp(0.0, dt));
             if !d_edge.is_zero() {
                 self.traj.push_velocity(velocity, d_edge);
             }
             // Teleport to the opposite edge: a zero-duration "jump"
             // realized by a fast move leg of one microsecond.
-            let entry_x = if dir > 0.0 { p.field.min().x } else { p.field.max().x };
+            let entry_x = if dir > 0.0 {
+                p.field.min().x
+            } else {
+                p.field.max().x
+            };
             let here = self.traj.last_position();
             let entry = Vec2::new(entry_x, here.y);
             let jump_speed = entry.distance(here) / SimTime::MICROSECOND.as_secs_f64();
@@ -213,7 +220,9 @@ impl Highway {
 impl Mobility for Highway {
     fn position_at(&mut self, t: SimTime) -> Vec2 {
         self.ensure(t);
-        self.params.field.clamp(self.traj.sample(t).expect("extended").0)
+        self.params
+            .field
+            .clamp(self.traj.sample(t).expect("extended").0)
     }
 
     fn velocity_at(&mut self, t: SimTime) -> Vec2 {
@@ -288,7 +297,10 @@ mod tests {
         let mut total = 0.0;
         let n = 500;
         for s in 0..n {
-            total += car.velocity_at(SimTime::from_millis(s * 1000 + 500)).x.abs();
+            total += car
+                .velocity_at(SimTime::from_millis(s * 1000 + 500))
+                .x
+                .abs();
         }
         let mean = total / n as f64;
         assert!((mean - 25.0).abs() < 3.0, "mean speed {mean}");

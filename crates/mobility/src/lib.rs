@@ -151,7 +151,10 @@ mod tests {
     #[test]
     fn boxed_mobility_delegates() {
         let mut boxed: Box<dyn Mobility> = Box::new(Stationary::new(Vec2::new(1.0, 2.0)));
-        assert_eq!(boxed.position_at(SimTime::from_secs(5)), Vec2::new(1.0, 2.0));
+        assert_eq!(
+            boxed.position_at(SimTime::from_secs(5)),
+            Vec2::new(1.0, 2.0)
+        );
         assert_eq!(boxed.velocity_at(SimTime::from_secs(5)), Vec2::ZERO);
     }
 }

@@ -264,7 +264,9 @@ fn remaining_in_field(params: &ManhattanParams, pos: Vec2, heading: Heading) -> 
 impl Mobility for Manhattan {
     fn position_at(&mut self, t: SimTime) -> Vec2 {
         self.ensure(t);
-        self.params.field.clamp(self.traj.sample(t).expect("extended").0)
+        self.params
+            .field
+            .clamp(self.traj.sample(t).expect("extended").0)
     }
 
     fn velocity_at(&mut self, t: SimTime) -> Vec2 {
@@ -321,8 +323,12 @@ mod tests {
         let p = params();
         let mut m = Manhattan::new(p, rng(2));
         let start = m.position_at(SimTime::ZERO);
-        let on_grid = |v: f64| (v.rem_euclid(p.block_m)).min(p.block_m - v.rem_euclid(p.block_m)) < 1e-6;
-        assert!(on_grid(start.x) && on_grid(start.y), "off-grid start: {start}");
+        let on_grid =
+            |v: f64| (v.rem_euclid(p.block_m)).min(p.block_m - v.rem_euclid(p.block_m)) < 1e-6;
+        assert!(
+            on_grid(start.x) && on_grid(start.y),
+            "off-grid start: {start}"
+        );
     }
 
     #[test]

@@ -49,7 +49,10 @@ impl RpgmParams {
             self.member_radius_m >= 0.0 && self.member_radius_m.is_finite(),
             "member radius must be finite and non-negative"
         );
-        assert!(!self.member_update.is_zero(), "member update period must be positive");
+        assert!(
+            !self.member_update.is_zero(),
+            "member update period must be positive"
+        );
     }
 }
 
@@ -119,12 +122,7 @@ impl RpgmGroup {
         self.member_seed_rng.fill(&mut seed);
         use rand_chacha::rand_core::SeedableRng;
         let rng = ChaCha12Rng::from_seed(seed);
-        Rpgm::new(
-            self.params,
-            Arc::clone(&self.center),
-            self.horizon,
-            rng,
-        )
+        Rpgm::new(self.params, Arc::clone(&self.center), self.horizon, rng)
     }
 
     /// How many members have been spawned.
@@ -294,7 +292,10 @@ mod tests {
             for i in 0..positions.len() {
                 for j in (i + 1)..positions.len() {
                     let d = positions[i].distance(positions[j]);
-                    assert!(d <= 2.0 * params().member_radius_m + 1e-9, "pair {i},{j}: {d}");
+                    assert!(
+                        d <= 2.0 * params().member_radius_m + 1e-9,
+                        "pair {i},{j}: {d}"
+                    );
                 }
             }
         }
@@ -329,7 +330,8 @@ mod tests {
         let period = params().member_update;
         let before = m.position_at(period - SimTime::MILLISECOND);
         let at = m.position_at(period);
-        let max_speed = params().max_speed_mps + 2.0 * params().member_radius_m / period.as_secs_f64();
+        let max_speed =
+            params().max_speed_mps + 2.0 * params().member_radius_m / period.as_secs_f64();
         assert!(
             before.distance(at) <= max_speed * 0.001 + 1e-6,
             "jump at boundary: {}",

@@ -194,7 +194,10 @@ mod tests {
         assert!(tr.is_empty());
         assert_eq!(tr.horizon(), SimTime::ZERO);
         assert_eq!(tr.last_position(), Vec2::new(5.0, 5.0));
-        assert_eq!(tr.sample(SimTime::ZERO), Some((Vec2::new(5.0, 5.0), Vec2::ZERO)));
+        assert_eq!(
+            tr.sample(SimTime::ZERO),
+            Some((Vec2::new(5.0, 5.0), Vec2::ZERO))
+        );
         assert_eq!(tr.sample(SimTime::MICROSECOND), None);
     }
 
@@ -288,6 +291,8 @@ mod tests {
         };
         assert_eq!(leg.duration(), SimTime::from_secs(2));
         assert!(leg.end_position().approx_eq(Vec2::new(4.0, 0.0)));
-        assert!(leg.position_at(SimTime::from_secs(2)).approx_eq(Vec2::new(2.0, 0.0)));
+        assert!(leg
+            .position_at(SimTime::from_secs(2))
+            .approx_eq(Vec2::new(2.0, 0.0)));
     }
 }

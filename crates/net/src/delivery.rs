@@ -102,12 +102,7 @@ impl<P: Propagation, L: LossModel> DeliveryEngine<P, L> {
     /// # Panics
     ///
     /// Panics if `tx` indexes outside `positions`.
-    pub fn broadcast(
-        &mut self,
-        tx: NodeId,
-        positions: &[Vec2],
-        at: SimTime,
-    ) -> Vec<Delivery> {
+    pub fn broadcast(&mut self, tx: NodeId, positions: &[Vec2], at: SimTime) -> Vec<Delivery> {
         let mut lost = Vec::new();
         self.broadcast_observed(tx, positions, at, &mut lost)
     }
@@ -321,7 +316,9 @@ mod tests {
     fn out_of_range_receives_nothing() {
         let mut e = engine();
         let positions = vec![Vec2::ZERO, Vec2::new(500.0, 0.0)];
-        assert!(e.broadcast(NodeId::new(0), &positions, SimTime::ZERO).is_empty());
+        assert!(e
+            .broadcast(NodeId::new(0), &positions, SimTime::ZERO)
+            .is_empty());
     }
 
     #[test]
@@ -341,7 +338,9 @@ mod tests {
         let loss = Bernoulli::new(1.0, SeedSplitter::new(1).stream("l", 0));
         let mut e = DeliveryEngine::new(radio, loss);
         let positions = vec![Vec2::ZERO, Vec2::new(10.0, 0.0)];
-        assert!(e.broadcast(NodeId::new(0), &positions, SimTime::ZERO).is_empty());
+        assert!(e
+            .broadcast(NodeId::new(0), &positions, SimTime::ZERO)
+            .is_empty());
     }
 
     #[test]
@@ -412,8 +411,7 @@ mod tests {
         for step in 0..20u64 {
             let at = SimTime::from_secs_f64(step as f64);
             let brute = brute_engine.broadcast(NodeId::new(0), &positions, at);
-            let among =
-                among_engine.broadcast_among(NodeId::new(0), positions[0], &candidates, at);
+            let among = among_engine.broadcast_among(NodeId::new(0), positions[0], &candidates, at);
             assert_eq!(among, brute, "step={step}");
         }
     }
@@ -449,8 +447,13 @@ mod tests {
         for step in 0..20u64 {
             let at = SimTime::from_secs_f64(step as f64);
             let plain = a.broadcast_among(NodeId::new(0), positions[0], &candidates, at);
-            let observed =
-                b.broadcast_among_observed(NodeId::new(0), positions[0], &candidates, at, &mut lost);
+            let observed = b.broadcast_among_observed(
+                NodeId::new(0),
+                positions[0],
+                &candidates,
+                at,
+                &mut lost,
+            );
             assert_eq!(plain, observed, "step={step}");
             // Every in-range candidate either delivered or was lost.
             assert_eq!(observed.len() + lost.len(), 2, "step={step}");

@@ -22,9 +22,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(a.to_string(), "n1");
 /// assert_eq!(a.index(), 1);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct NodeId(u32);
 

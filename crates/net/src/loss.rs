@@ -132,7 +132,10 @@ impl GilbertElliott {
             ("loss_good", loss_good),
             ("loss_bad", loss_bad),
         ] {
-            assert!((0.0..=1.0).contains(&p), "{name} must be in [0, 1], got {p}");
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} must be in [0, 1], got {p}"
+            );
         }
         GilbertElliott {
             p_gb,
@@ -165,7 +168,11 @@ impl LossModel for GilbertElliott {
         } else if flip < self.p_gb {
             *state = true;
         }
-        let loss = if *state { self.loss_bad } else { self.loss_good };
+        let loss = if *state {
+            self.loss_bad
+        } else {
+            self.loss_good
+        };
         self.rng.gen::<f64>() >= loss
     }
 }

@@ -66,7 +66,13 @@ impl RecordOutcome {
     /// (a new entry, or an updated advert payload).
     #[must_use]
     pub fn election_relevant(self) -> bool {
-        matches!(self, RecordOutcome::New | RecordOutcome::Updated { advert_changed: true })
+        matches!(
+            self,
+            RecordOutcome::New
+                | RecordOutcome::Updated {
+                    advert_changed: true
+                }
+        )
     }
 }
 
@@ -350,7 +356,10 @@ mod tests {
         // Exactly TP later: not expired (age must *exceed* TP).
         assert!(t.expire(SimTime::from_secs(4)).is_empty());
         assert!(t.contains(NodeId::new(1)));
-        assert_eq!(t.expire(SimTime::from_micros(4_000_001)), vec![NodeId::new(1)]);
+        assert_eq!(
+            t.expire(SimTime::from_micros(4_000_001)),
+            vec![NodeId::new(1)]
+        );
     }
 
     #[test]
@@ -408,7 +417,15 @@ mod tests {
             a.record(at, Dbm::new(-70.0), &h);
             let got = b.record_outcome(at, Dbm::new(-70.0), &h);
             assert_eq!(got, want, "t={t}");
-            assert_eq!(got.election_relevant(), !matches!(got, RecordOutcome::Updated { advert_changed: false } | RecordOutcome::Ignored));
+            assert_eq!(
+                got.election_relevant(),
+                !matches!(
+                    got,
+                    RecordOutcome::Updated {
+                        advert_changed: false
+                    } | RecordOutcome::Ignored
+                )
+            );
         }
         // Both tables saw the identical mutations.
         for id in [1u32, 2] {

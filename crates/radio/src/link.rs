@@ -148,7 +148,11 @@ impl<P: Propagation> Radio<P> {
     #[must_use]
     pub fn nominal_range_m(&self) -> f64 {
         let max_loss = self.budget.max_path_loss();
-        if self.propagation.mean_path_loss(crate::models::MIN_DISTANCE_M) > max_loss {
+        if self
+            .propagation
+            .mean_path_loss(crate::models::MIN_DISTANCE_M)
+            > max_loss
+        {
             return 0.0;
         }
         // Bracket: grow upper bound until loss exceeds budget.
@@ -185,7 +189,11 @@ mod tests {
     fn ns2_budget_constants() {
         let b = LinkBudget::ns2_default();
         assert!((b.tx_power.dbm() - 24.5).abs() < 0.01, "{}", b.tx_power);
-        assert!((b.rx_threshold.dbm() - -64.37).abs() < 0.01, "{}", b.rx_threshold);
+        assert!(
+            (b.rx_threshold.dbm() - -64.37).abs() < 0.01,
+            "{}",
+            b.rx_threshold
+        );
         assert!((b.max_path_loss().db() - 88.87).abs() < 0.05);
     }
 
@@ -203,7 +211,10 @@ mod tests {
         for target in [10.0, 50.0, 100.0, 250.0] {
             let radio = Radio::with_range(FreeSpace::at_frequency(914.0e6), target);
             let r = radio.nominal_range_m();
-            assert!((r - target).abs() < target * 1e-3, "target {target} got {r}");
+            assert!(
+                (r - target).abs() < target * 1e-3,
+                "target {target} got {r}"
+            );
         }
     }
 
@@ -212,7 +223,10 @@ mod tests {
         for target in [50.0, 150.0, 250.0] {
             let radio = Radio::with_range(TwoRayGround::ns2_default(), target);
             let r = radio.nominal_range_m();
-            assert!((r - target).abs() < target * 1e-3, "target {target} got {r}");
+            assert!(
+                (r - target).abs() < target * 1e-3,
+                "target {target} got {r}"
+            );
         }
     }
 

@@ -90,7 +90,10 @@ impl FreeSpace {
     /// Panics if `freq_hz` is not positive and finite.
     #[must_use]
     pub fn at_frequency(freq_hz: f64) -> Self {
-        assert!(freq_hz > 0.0 && freq_hz.is_finite(), "frequency must be positive");
+        assert!(
+            freq_hz > 0.0 && freq_hz.is_finite(),
+            "frequency must be positive"
+        );
         Self::new(SPEED_OF_LIGHT / freq_hz)
     }
 
@@ -149,7 +152,10 @@ impl TwoRayGround {
     #[must_use]
     pub fn new(wavelength_m: f64, tx_height_m: f64, rx_height_m: f64) -> Self {
         assert!(
-            tx_height_m > 0.0 && rx_height_m > 0.0 && tx_height_m.is_finite() && rx_height_m.is_finite(),
+            tx_height_m > 0.0
+                && rx_height_m > 0.0
+                && tx_height_m.is_finite()
+                && rx_height_m.is_finite(),
             "antenna heights must be positive and finite"
         );
         TwoRayGround {
@@ -170,8 +176,7 @@ impl TwoRayGround {
     /// from Friis to fourth-power decay.
     #[must_use]
     pub fn crossover_distance(&self) -> f64 {
-        4.0 * std::f64::consts::PI * self.tx_height_m * self.rx_height_m
-            / self.friis.wavelength()
+        4.0 * std::f64::consts::PI * self.tx_height_m * self.rx_height_m / self.friis.wavelength()
     }
 }
 
@@ -221,7 +226,10 @@ impl LogDistance {
     /// not positive.
     #[must_use]
     pub fn new(exponent: f64, reference_m: f64, reference_loss: Db) -> Self {
-        assert!(exponent >= 0.0 && exponent.is_finite(), "exponent must be non-negative");
+        assert!(
+            exponent >= 0.0 && exponent.is_finite(),
+            "exponent must be non-negative"
+        );
         assert!(
             reference_m > 0.0 && reference_m.is_finite(),
             "reference distance must be positive"
@@ -514,7 +522,11 @@ mod tests {
     fn two_ray_crossover_value() {
         // d_c = 4π·1.5·1.5/λ with λ = c/914 MHz ≈ 0.3280 m → ≈ 86.2 m.
         let m = TwoRayGround::ns2_default();
-        assert!((m.crossover_distance() - 86.2).abs() < 0.5, "{}", m.crossover_distance());
+        assert!(
+            (m.crossover_distance() - 86.2).abs() < 0.5,
+            "{}",
+            m.crossover_distance()
+        );
     }
 
     #[test]
@@ -542,7 +554,11 @@ mod tests {
         let dc = m.crossover_distance();
         let below = m.mean_path_loss(dc * 0.999).db();
         let above = m.mean_path_loss(dc * 1.001).db();
-        assert!((below - above).abs() < 0.5, "jump {} dB", (below - above).abs());
+        assert!(
+            (below - above).abs() < 0.5,
+            "jump {} dB",
+            (below - above).abs()
+        );
     }
 
     #[test]
@@ -559,7 +575,12 @@ mod tests {
         let fs = FreeSpace::at_frequency(914.0e6);
         assert!((m.mean_path_loss(1.0) - fs.mean_path_loss(1.0)).db().abs() < 1e-9);
         // With n=2 it matches Friis everywhere.
-        assert!((m.mean_path_loss(123.0) - fs.mean_path_loss(123.0)).db().abs() < 1e-9);
+        assert!(
+            (m.mean_path_loss(123.0) - fs.mean_path_loss(123.0))
+                .db()
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]
@@ -570,8 +591,15 @@ mod tests {
         let mut prev = (Db::new(-1e9), Db::new(-1e9), Db::new(-1e9));
         for i in 1..500 {
             let d = i as f64;
-            let cur = (fs.mean_path_loss(d), tr.mean_path_loss(d), ld.mean_path_loss(d));
-            assert!(cur.0 >= prev.0 && cur.1 >= prev.1 && cur.2 >= prev.2, "non-monotone at {d}");
+            let cur = (
+                fs.mean_path_loss(d),
+                tr.mean_path_loss(d),
+                ld.mean_path_loss(d),
+            );
+            assert!(
+                cur.0 >= prev.0 && cur.1 >= prev.1 && cur.2 >= prev.2,
+                "non-monotone at {d}"
+            );
             prev = cur;
         }
     }
@@ -621,7 +649,10 @@ mod tests {
             linear_sum += 10f64.powf((mean_pl - pl) / 10.0);
         }
         let mean_factor = linear_sum / f64::from(n);
-        assert!((mean_factor - 1.0).abs() < 0.05, "mean fading factor {mean_factor}");
+        assert!(
+            (mean_factor - 1.0).abs() < 0.05,
+            "mean fading factor {mean_factor}"
+        );
     }
 
     #[test]

@@ -52,7 +52,10 @@ impl Dbm {
     /// Panics if `mw` is negative or NaN.
     #[must_use]
     pub fn from_milliwatts(mw: f64) -> Self {
-        assert!(mw >= 0.0 && !mw.is_nan(), "power must be non-negative, got {mw}");
+        assert!(
+            mw >= 0.0 && !mw.is_nan(),
+            "power must be non-negative, got {mw}"
+        );
         Dbm(10.0 * mw.log10())
     }
 
@@ -150,7 +153,10 @@ impl Db {
     /// Panics if `ratio` is negative or NaN.
     #[must_use]
     pub fn from_linear(ratio: f64) -> Self {
-        assert!(ratio >= 0.0 && !ratio.is_nan(), "ratio must be non-negative");
+        assert!(
+            ratio >= 0.0 && !ratio.is_nan(),
+            "ratio must be non-negative"
+        );
         Db(10.0 * ratio.log10())
     }
 

@@ -11,7 +11,7 @@
 //! the paper's §5 conjecture: stabler clusters → longer-lived cluster
 //! routes and less rediscovery overhead.
 
-use mobic_scenario::{run_scenario_observed, ConfigError, ScenarioConfig};
+use mobic_scenario::{run_scenario_observed, RunError, ScenarioConfig};
 use mobic_sim::{rng::SeedSplitter, SimTime};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -66,18 +66,14 @@ impl RoutingExperiment {
     ///
     /// # Errors
     ///
-    /// Returns a [`ConfigError`] if the underlying scenario is
-    /// invalid.
+    /// Returns a [`RunError`] if the underlying scenario is invalid
+    /// or fails (e.g. a strict invariant audit trips).
     ///
     /// # Panics
     ///
     /// Panics if `flows` is zero or the scenario has fewer than two
     /// nodes.
-    pub fn run<D: Discovery>(
-        &self,
-        protocol: &D,
-        seed: u64,
-    ) -> Result<RoutingStats, ConfigError> {
+    pub fn run<D: Discovery>(&self, protocol: &D, seed: u64) -> Result<RoutingStats, RunError> {
         assert!(self.flows > 0, "need at least one flow");
         assert!(self.scenario.n_nodes >= 2, "need at least two nodes");
         let n = self.scenario.n_nodes as usize;
@@ -184,9 +180,7 @@ mod tests {
 
     #[test]
     fn flooding_experiment_runs() {
-        let stats = experiment(AlgorithmKind::Lcc)
-            .run(&Flooding, 3)
-            .unwrap();
+        let stats = experiment(AlgorithmKind::Lcc).run(&Flooding, 3).unwrap();
         assert!(stats.discoveries >= 4, "each flow discovers at least once");
         assert!(stats.availability > 0.0);
         assert_eq!(stats.protocol, "flooding");
@@ -220,8 +214,12 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let a = experiment(AlgorithmKind::Mobic).run(&ClusterRouting, 9).unwrap();
-        let b = experiment(AlgorithmKind::Mobic).run(&ClusterRouting, 9).unwrap();
+        let a = experiment(AlgorithmKind::Mobic)
+            .run(&ClusterRouting, 9)
+            .unwrap();
+        let b = experiment(AlgorithmKind::Mobic)
+            .run(&ClusterRouting, 9)
+            .unwrap();
         assert_eq!(a, b);
     }
 

@@ -152,7 +152,12 @@ impl ClusterTopology {
 
     /// BFS allowing only interior nodes satisfying `relay` (endpoints
     /// always allowed).
-    fn bfs_path(&self, src: usize, dst: usize, relay: impl Fn(usize) -> bool) -> Option<Vec<usize>> {
+    fn bfs_path(
+        &self,
+        src: usize,
+        dst: usize,
+        relay: impl Fn(usize) -> bool,
+    ) -> Option<Vec<usize>> {
         if src == dst {
             return Some(vec![src]);
         }
@@ -210,7 +215,11 @@ impl ClusterTopology {
 /// [`SampleView`](mobic_scenario::SampleView).
 #[must_use]
 pub fn topology_from_view(view: &mobic_scenario::SampleView<'_>, range: f64) -> ClusterTopology {
-    let roles: Vec<Role> = view.nodes.iter().map(mobic_core::ClusterNode::role).collect();
+    let roles: Vec<Role> = view
+        .nodes
+        .iter()
+        .map(mobic_core::ClusterNode::role)
+        .collect();
     ClusterTopology::new(view.positions, &roles, range)
 }
 

@@ -179,11 +179,7 @@ mod tests {
             Vec2::new(500.0, 0.0),
             Vec2::new(100.0, 0.0),
         ];
-        let t2 = ClusterTopology::new(
-            &positions,
-            &[ch(), member(0), ch()],
-            60.0,
-        );
+        let t2 = ClusterTopology::new(&positions, &[ch(), member(0), ch()], 60.0);
         assert!(!Flooding.still_valid(&t2, &route));
         assert!(!ClusterRouting.still_valid(&t2, &route));
     }
@@ -199,10 +195,7 @@ mod tests {
             &[ch(), member(0), member(4), member(4), ch()],
             60.0,
         );
-        assert!(
-            Flooding.still_valid(&t2, &route),
-            "physical path is intact"
-        );
+        assert!(Flooding.still_valid(&t2, &route), "physical path is intact");
         assert!(
             !ClusterRouting.still_valid(&t2, &route),
             "relay 2 resigned → cluster route must repair"

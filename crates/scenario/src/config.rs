@@ -133,6 +133,142 @@ pub enum Recluster {
     Full,
 }
 
+/// How the periodic in-run Theorem-1 audit reacts to violations
+/// (see `mobic-core::invariants`). The audit runs at every sampling
+/// instant after warmup and checks the *alive* population's cluster
+/// structure against a unit-disk adjacency at the nominal range.
+///
+/// Note that the distributed protocol violates Theorem 1 *transiently
+/// by design* (CCI deferral keeps contending heads adjacent for a
+/// while; members hold affiliations until the timeout period expires
+/// them), so `Warn` is an observability tool and `Strict` is meant
+/// for converged/stationary scenarios where the theorem must hold.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum AuditMode {
+    /// No auditing (the default): zero cost, byte-identical results.
+    #[default]
+    Off,
+    /// Count violations and emit each one as an
+    /// `invariant_violation` trace event; the run completes normally.
+    Warn,
+    /// Abort the run with a structured error (never a panic) at the
+    /// first sampling instant that observes any violation.
+    Strict,
+}
+
+impl AuditMode {
+    /// `true` for [`AuditMode::Off`] — used to skip serialization so
+    /// pre-audit configs keep their `config_hash`.
+    #[must_use]
+    pub fn is_off(&self) -> bool {
+        *self == AuditMode::Off
+    }
+}
+
+/// Who a scheduled crash or impairment hits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FaultTarget {
+    /// A uniformly random alive node (drawn from the dedicated
+    /// `"faults"` seed stream at fire time).
+    #[default]
+    Any,
+    /// The alive clusterhead with the most alive members (ties broken
+    /// by lowest id) — the worst-case crash for cluster healing. If no
+    /// clusterhead is alive when the fault fires, it is a no-op.
+    Clusterhead,
+}
+
+/// A deterministic, seeded node-lifecycle fault plan.
+///
+/// The plan is *generative*: it says how many faults of each kind to
+/// inject inside the window, and the runner derives every fire time
+/// and victim from the run's master seed (its own `"faults"` stream,
+/// so an empty plan leaves all other random streams — and therefore
+/// all existing results — bit-identical). Fault kinds:
+///
+/// * **crashes** — fail-stop: the node goes silent forever; neighbors
+///   expire it naturally after the timeout period.
+/// * **recoveries** — crash + revival after
+///   [`recovery_after_s`](Self::recovery_after_s): the node comes back
+///   with its neighbor table and role state wiped (hello sequence
+///   numbers continue, so unexpired neighbor entries accept its first
+///   new hellos).
+/// * **late joins** — the node is withheld at setup and first powers
+///   on at its scheduled join time.
+/// * **deaf / mute spells** — one-sided interface impairments lasting
+///   [`spell_s`](Self::spell_s): a deaf node's receptions are dropped,
+///   a mute node's transmissions are suppressed.
+///
+/// All fields have serde defaults, so partial plans deserialize and
+/// configs from before the field existed load unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct FaultPlan {
+    /// Number of permanent fail-stop crashes.
+    pub crashes: u32,
+    /// Number of crash-with-recovery faults.
+    pub recoveries: u32,
+    /// Downtime before a recovered node revives, in seconds.
+    pub recovery_after_s: f64,
+    /// Number of nodes withheld at setup that join mid-run.
+    pub late_joins: u32,
+    /// Number of deaf (rx-dropped) impairment spells.
+    pub deaf_spells: u32,
+    /// Number of mute (tx-suppressed) impairment spells.
+    pub mute_spells: u32,
+    /// Duration of each impairment spell, in seconds.
+    pub spell_s: f64,
+    /// Injection window start, in seconds.
+    pub from_s: f64,
+    /// Injection window end, in seconds; `0` means the end of the
+    /// simulation.
+    pub until_s: f64,
+    /// Victim selection policy for crashes, recoveries, and spells
+    /// (late-join victims are always drawn uniformly at setup).
+    pub target: FaultTarget,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            crashes: 0,
+            recoveries: 0,
+            recovery_after_s: 10.0,
+            late_joins: 0,
+            deaf_spells: 0,
+            mute_spells: 0,
+            spell_s: 5.0,
+            from_s: 0.0,
+            until_s: 0.0,
+            target: FaultTarget::Any,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// `true` if the plan schedules nothing. An empty plan is
+    /// guaranteed to leave the run bit-identical to a fault-free
+    /// build, and is skipped during serialization so pre-fault configs
+    /// keep their `config_hash`.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.crashes == 0
+            && self.recoveries == 0
+            && self.late_joins == 0
+            && self.deaf_spells == 0
+            && self.mute_spells == 0
+    }
+
+    /// Total number of scheduled fault *injections* (revivals and
+    /// restorations ride along and are not counted).
+    #[must_use]
+    pub fn injections(&self) -> u32 {
+        self.crashes + self.recoveries + self.late_joins + self.deaf_spells + self.mute_spells
+    }
+}
+
 /// Which packet-loss model applies on top of range filtering.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum LossKind {
@@ -226,6 +362,16 @@ pub struct ScenarioConfig {
     /// are bit-identical either way.
     #[serde(default)]
     pub recluster: Recluster,
+    /// Node-lifecycle fault injection plan. Defaults to the empty
+    /// plan, which is bit-identical to a fault-free run and omitted
+    /// from serialization (so existing configs keep their
+    /// `config_hash`).
+    #[serde(default, skip_serializing_if = "FaultPlan::is_empty")]
+    pub faults: FaultPlan,
+    /// Periodic in-run Theorem-1 invariant auditing. Defaults to
+    /// [`AuditMode::Off`] (zero cost, omitted from serialization).
+    #[serde(default, skip_serializing_if = "AuditMode::is_off")]
+    pub audit: AuditMode,
 }
 
 impl ScenarioConfig {
@@ -258,6 +404,8 @@ impl ScenarioConfig {
             packet_time_s: 0.0,
             fast_path: FastPath::Auto,
             recluster: Recluster::Incremental,
+            faults: FaultPlan::default(),
+            audit: AuditMode::Off,
         }
     }
 
@@ -368,7 +516,10 @@ impl ScenarioConfig {
                     value: alpha,
                 })
             }
-            MobilityKind::Rpgm { groups, member_radius_m } => {
+            MobilityKind::Rpgm {
+                groups,
+                member_radius_m,
+            } => {
                 if groups == 0 {
                     return Err(NonPositive {
                         field: "mobility.groups",
@@ -411,7 +562,9 @@ impl ScenarioConfig {
             _ => {}
         }
         match self.propagation {
-            PropagationKind::LogDistance { exponent } if !(exponent > 0.0 && exponent.is_finite()) => {
+            PropagationKind::LogDistance { exponent }
+                if !(exponent > 0.0 && exponent.is_finite()) =>
+            {
                 return Err(NonPositive {
                     field: "propagation.exponent",
                     value: exponent,
@@ -453,6 +606,51 @@ impl ScenarioConfig {
             return Err(FastPathUnsupported {
                 propagation: self.propagation,
             });
+        }
+        if !self.faults.is_empty() {
+            let fp = &self.faults;
+            for (name, v) in [
+                ("faults.recovery_after_s", fp.recovery_after_s),
+                ("faults.spell_s", fp.spell_s),
+                ("faults.from_s", fp.from_s),
+                ("faults.until_s", fp.until_s),
+            ] {
+                if !(v >= 0.0 && v.is_finite()) {
+                    return Err(Negative {
+                        field: name,
+                        value: v,
+                    });
+                }
+            }
+            if fp.recoveries > 0 && fp.recovery_after_s == 0.0 {
+                return Err(NonPositive {
+                    field: "faults.recovery_after_s",
+                    value: 0.0,
+                });
+            }
+            if fp.deaf_spells + fp.mute_spells > 0 && fp.spell_s == 0.0 {
+                return Err(NonPositive {
+                    field: "faults.spell_s",
+                    value: 0.0,
+                });
+            }
+            if fp.late_joins > self.n_nodes {
+                return Err(TooManyLateJoins {
+                    late_joins: fp.late_joins,
+                    n_nodes: self.n_nodes,
+                });
+            }
+            let until = if fp.until_s == 0.0 {
+                self.sim_time_s
+            } else {
+                fp.until_s
+            };
+            if fp.from_s >= until || fp.from_s >= self.sim_time_s {
+                return Err(FaultWindowEmpty {
+                    from: fp.from_s,
+                    until,
+                });
+            }
         }
         Ok(())
     }
@@ -518,6 +716,23 @@ pub enum ConfigError {
         /// The offending propagation model.
         propagation: PropagationKind,
     },
+    /// The fault plan withholds more late-joiners than there are
+    /// nodes.
+    TooManyLateJoins {
+        /// Configured number of late joins.
+        late_joins: u32,
+        /// Configured population size.
+        n_nodes: u32,
+    },
+    /// The fault-injection window contains no time: `from_s` is at or
+    /// past the effective window end (or past the simulation end).
+    FaultWindowEmpty {
+        /// Configured window start.
+        from: f64,
+        /// Effective window end (`until_s`, or `sim_time_s` when
+        /// `until_s` is 0).
+        until: f64,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -551,6 +766,14 @@ impl fmt::Display for ConfigError {
             ConfigError::FastPathUnsupported { propagation } => write!(
                 f,
                 "fast_path: On requires a deterministic propagation model, got {propagation:?}"
+            ),
+            ConfigError::TooManyLateJoins { late_joins, n_nodes } => write!(
+                f,
+                "faults.late_joins {late_joins} exceeds the population of {n_nodes} nodes"
+            ),
+            ConfigError::FaultWindowEmpty { from, until } => write!(
+                f,
+                "fault window [{from} s, {until} s) contains no simulated time"
             ),
         }
     }
@@ -618,17 +841,26 @@ mod tests {
     fn rejects_warmup_overrun() {
         let mut c = ScenarioConfig::paper_table1();
         c.warmup_s = 900.0;
-        assert!(matches!(c.validate(), Err(ConfigError::WarmupTooLong { .. })));
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::WarmupTooLong { .. })
+        ));
     }
 
     #[test]
     fn rejects_bad_probabilities() {
         let mut c = ScenarioConfig::paper_table1();
         c.loss = LossKind::Bernoulli { p: 1.5 };
-        assert!(matches!(c.validate(), Err(ConfigError::UnitInterval { .. })));
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::UnitInterval { .. })
+        ));
         let mut c = ScenarioConfig::paper_table1();
         c.history_alpha = Some(1.0);
-        assert!(matches!(c.validate(), Err(ConfigError::UnitInterval { .. })));
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::UnitInterval { .. })
+        ));
     }
 
     #[test]
@@ -641,7 +873,10 @@ mod tests {
         assert!(c.validate().is_err());
         c.mobility = MobilityKind::GaussMarkov { alpha: 2.0 };
         assert!(c.validate().is_err());
-        c.mobility = MobilityKind::Highway { lanes: 0, bidirectional: true };
+        c.mobility = MobilityKind::Highway {
+            lanes: 0,
+            bidirectional: true,
+        };
         assert!(c.validate().is_err());
     }
 
@@ -697,6 +932,125 @@ mod tests {
         json.as_object_mut().unwrap().remove("recluster");
         let back: ScenarioConfig = serde_json::from_value(json).unwrap();
         assert_eq!(back.recluster, Recluster::Incremental);
+    }
+
+    #[test]
+    fn faults_and_audit_default_off_and_deserialize_when_absent() {
+        let c = ScenarioConfig::paper_table1();
+        assert!(c.faults.is_empty());
+        assert_eq!(c.audit, AuditMode::Off);
+        // Configs serialized before the fields existed must still load.
+        let mut json: serde_json::Value = serde_json::to_value(c).unwrap();
+        let obj = json.as_object_mut().unwrap();
+        assert!(
+            !obj.contains_key("faults") && !obj.contains_key("audit"),
+            "inert fields must not be serialized (config_hash stability)"
+        );
+        obj.remove("faults");
+        obj.remove("audit");
+        let back: ScenarioConfig = serde_json::from_value(json).unwrap();
+        assert!(back.faults.is_empty());
+        assert_eq!(back.audit, AuditMode::Off);
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn partial_fault_plans_deserialize_with_field_defaults() {
+        let json = r#"{"crashes": 2, "target": "clusterhead"}"#;
+        let plan: FaultPlan = serde_json::from_str(json).unwrap();
+        assert_eq!(plan.crashes, 2);
+        assert_eq!(plan.target, FaultTarget::Clusterhead);
+        assert_eq!(plan.recoveries, 0);
+        assert_eq!(plan.recovery_after_s, 10.0);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.injections(), 2);
+    }
+
+    #[test]
+    fn non_empty_fault_plans_round_trip_through_config_json() {
+        let mut c = ScenarioConfig::paper_table1();
+        c.faults.crashes = 3;
+        c.faults.from_s = 30.0;
+        c.audit = AuditMode::Warn;
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("\"faults\""), "{json}");
+        assert!(json.contains("\"audit\""), "{json}");
+        let back: ScenarioConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn validates_fault_plans() {
+        let base = ScenarioConfig::paper_table1();
+
+        let mut c = base;
+        c.faults.recoveries = 1;
+        c.faults.recovery_after_s = 0.0;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NonPositive {
+                field: "faults.recovery_after_s",
+                ..
+            })
+        ));
+
+        let mut c = base;
+        c.faults.deaf_spells = 1;
+        c.faults.spell_s = 0.0;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NonPositive {
+                field: "faults.spell_s",
+                ..
+            })
+        ));
+
+        let mut c = base;
+        c.faults.late_joins = c.n_nodes + 1;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::TooManyLateJoins { .. })
+        ));
+
+        let mut c = base;
+        c.faults.crashes = 1;
+        c.faults.from_s = 1000.0; // past sim end
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::FaultWindowEmpty { .. })
+        ));
+
+        let mut c = base;
+        c.faults.crashes = 1;
+        c.faults.from_s = 50.0;
+        c.faults.until_s = 40.0;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::FaultWindowEmpty { .. })
+        ));
+
+        let mut c = base;
+        c.faults.crashes = 1;
+        c.faults.recovery_after_s = f64::NAN;
+        assert!(matches!(c.validate(), Err(ConfigError::Negative { .. })));
+
+        // A sane plan validates; an empty plan never blocks validation
+        // even with nonsense durations (the plan is inert).
+        let mut c = base;
+        c.faults.crashes = 2;
+        c.faults.recoveries = 1;
+        c.faults.late_joins = 3;
+        c.faults.from_s = 30.0;
+        assert_eq!(c.validate(), Ok(()));
+        let mut c = base;
+        c.faults.spell_s = 0.0;
+        assert_eq!(c.validate(), Ok(()));
+        assert!(ConfigError::FaultWindowEmpty {
+            from: 5.0,
+            until: 4.0
+        }
+        .to_string()
+        .contains("fault window"));
     }
 
     #[test]

@@ -35,10 +35,15 @@ mod runner;
 mod sweep;
 
 pub use config::{
-    ConfigError, FastPath, LossKind, MobilityKind, PropagationKind, Recluster, ScenarioConfig,
+    AuditMode, ConfigError, FastPath, FaultPlan, FaultTarget, LossKind, MobilityKind,
+    PropagationKind, Recluster, ScenarioConfig,
 };
 pub use runner::{
-    manifest_for, run_scenario, run_scenario_instrumented, run_scenario_observed,
-    run_scenario_traced, RunPerf, RunResult, SampleView,
+    config_hash_for, manifest_for, run_scenario, run_scenario_instrumented, run_scenario_observed,
+    run_scenario_traced, AuditSummary, FaultCounters, HealingStats, RunError, RunPerf, RunResult,
+    SampleView,
 };
-pub use sweep::{run_batch, run_batch_manifested, summarize_cs, SweepOutcome};
+pub use sweep::{
+    run_batch, run_batch_manifested, run_batch_supervised, summarize_cs, JobError, Supervision,
+    SweepOutcome,
+};

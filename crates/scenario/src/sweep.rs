@@ -1,34 +1,98 @@
-//! Multi-run parameter sweeps with thread-level parallelism.
+//! Multi-run parameter sweeps with thread-level parallelism, plus the
+//! supervised batch executor that survives panicking or stuck jobs.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
 
 use mobic_metrics::OnlineStats;
 use mobic_trace::RunManifest;
 use serde::{Deserialize, Serialize};
 
-use crate::{manifest_for, run_scenario, ConfigError, RunResult, ScenarioConfig};
+use crate::{config_hash_for, manifest_for, run_scenario, RunError, RunResult, ScenarioConfig};
+
+/// A batch job failure, carrying enough context to pinpoint the job
+/// without re-deriving it: its index in the input slice and the
+/// content hash of its configuration (as in run manifests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobError {
+    /// Index of the failing job in the input slice.
+    pub index: usize,
+    /// Canonical config hash of the failing job (see
+    /// [`config_hash_for`]).
+    pub config_hash: String,
+    /// What went wrong.
+    pub error: RunError,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job {} ({}): {}",
+            self.index, self.config_hash, self.error
+        )
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// Knobs for [`run_batch_supervised`].
+///
+/// `soft_deadline` is the production control; the two `*_on` fields
+/// are deliberate fault hooks used by the test suite and the CI smoke
+/// to prove the supervisor isolates misbehaving jobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Supervision {
+    /// Soft per-job wall-clock deadline. A job still running past it
+    /// is reported as [`RunError::TimedOut`] and its worker thread is
+    /// abandoned (it finishes in the background; its late result is
+    /// discarded). `None` disables the watchdog.
+    pub soft_deadline: Option<Duration>,
+    /// Fault hook: the job at this index panics instead of running.
+    pub panic_on: Option<usize>,
+    /// Fault hook: the job at this index sleeps this long before
+    /// running (used to trip the watchdog deterministically).
+    pub delay_on: Option<(usize, Duration)>,
+}
 
 /// Runs every `(config, seed)` job, using all available cores, and
 /// returns results **in input order** (the parallelism is
-/// unobservable).
+/// unobservable). An empty slice returns `Ok(vec![])` without
+/// spawning a single thread.
 ///
 /// # Errors
 ///
-/// Returns the first configuration error. All configs are validated
-/// up front so no work is wasted on a doomed batch; should a worker's
-/// `run_scenario` still fail at runtime, its error is propagated back
-/// (in input order) instead of panicking inside the scoped thread and
-/// aborting the whole process.
-pub fn run_batch(jobs: &[(ScenarioConfig, u64)]) -> Result<Vec<RunResult>, ConfigError> {
-    for (cfg, _) in jobs {
-        cfg.validate()?;
+/// Returns the first failing job as a [`JobError`] naming its index
+/// and config hash. All configs are validated up front so no work is
+/// wasted on a doomed batch; should a worker's `run_scenario` still
+/// fail at runtime (e.g. a strict audit), its error is propagated
+/// back (in input order) instead of panicking inside the scoped
+/// thread and aborting the whole process. For per-job error isolation
+/// — panics and stuck jobs included — use [`run_batch_supervised`].
+pub fn run_batch(jobs: &[(ScenarioConfig, u64)]) -> Result<Vec<RunResult>, JobError> {
+    if jobs.is_empty() {
+        return Ok(Vec::new());
+    }
+    for (i, (cfg, _)) in jobs.iter().enumerate() {
+        cfg.validate().map_err(|e| JobError {
+            index: i,
+            config_hash: config_hash_for(cfg),
+            error: e.into(),
+        })?;
     }
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
-        .min(jobs.len().max(1));
+        .min(jobs.len());
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut results: Vec<Option<Result<RunResult, ConfigError>>> =
+    let mut results: Vec<Option<Result<RunResult, RunError>>> =
         (0..jobs.len()).map(|_| None).collect();
-    let slots: Vec<std::sync::Mutex<&mut Option<Result<RunResult, ConfigError>>>> =
+    let slots: Vec<std::sync::Mutex<&mut Option<Result<RunResult, RunError>>>> =
         results.iter_mut().map(std::sync::Mutex::new).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -46,7 +110,14 @@ pub fn run_batch(jobs: &[(ScenarioConfig, u64)]) -> Result<Vec<RunResult>, Confi
     drop(slots);
     results
         .into_iter()
-        .map(|r| r.expect("every job completed"))
+        .enumerate()
+        .map(|(i, r)| {
+            r.expect("every job completed").map_err(|error| JobError {
+                index: i,
+                config_hash: config_hash_for(&jobs[i].0),
+                error,
+            })
+        })
         .collect()
 }
 
@@ -62,7 +133,7 @@ pub fn run_batch(jobs: &[(ScenarioConfig, u64)]) -> Result<Vec<RunResult>, Confi
 /// Propagates errors exactly as [`run_batch`] does.
 pub fn run_batch_manifested(
     jobs: &[(ScenarioConfig, u64)],
-) -> Result<(Vec<RunResult>, Vec<RunManifest>), ConfigError> {
+) -> Result<(Vec<RunResult>, Vec<RunManifest>), JobError> {
     let results = run_batch(jobs)?;
     let manifests = jobs
         .iter()
@@ -70,6 +141,143 @@ pub fn run_batch_manifested(
         .map(|((cfg, seed), r)| manifest_for(cfg, *seed, r))
         .collect();
     Ok((results, manifests))
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The supervised batch executor: every job runs under
+/// [`catch_unwind`] on its own worker thread, watched by a soft
+/// deadline, and **every** job gets a verdict — a panicking or stuck
+/// job becomes a per-job [`JobError`] while the healthy jobs' results
+/// return normally, in input order.
+///
+/// Contrast with [`run_batch`], which aborts the whole batch on the
+/// first failure and lets panics propagate: this is the entry point
+/// for long unattended sweeps where one poisoned cell must not take
+/// down the campaign. Timed-out worker threads are abandoned, not
+/// killed — they finish in the background and their late results are
+/// discarded, so a pathological job can hold memory until it
+/// completes, but never the batch.
+///
+/// An empty `jobs` slice returns an empty vector without spawning a
+/// single thread.
+pub fn run_batch_supervised(
+    jobs: &[(ScenarioConfig, u64)],
+    supervision: &Supervision,
+) -> Vec<Result<RunResult, JobError>> {
+    let n_jobs = jobs.len();
+    if n_jobs == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(n_jobs);
+    let job_error = |i: usize, error: RunError| JobError {
+        index: i,
+        config_hash: config_hash_for(&jobs[i].0),
+        error,
+    };
+    let (send, recv) = mpsc::channel::<(usize, Result<RunResult, RunError>)>();
+    let spawn_job = |i: usize| {
+        let (cfg, seed) = jobs[i]; // `ScenarioConfig` is `Copy`
+        let sender = send.clone();
+        let panics = supervision.panic_on == Some(i);
+        let delay = supervision
+            .delay_on
+            .and_then(|(j, d)| (j == i).then_some(d));
+        std::thread::spawn(move || {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(d) = delay {
+                    std::thread::sleep(d);
+                }
+                assert!(!panics, "supervision fault hook: deliberate panic");
+                run_scenario(&cfg, seed)
+            }));
+            let message = match outcome {
+                Ok(r) => r,
+                Err(payload) => Err(RunError::Panicked {
+                    message: panic_message(payload.as_ref()),
+                }),
+            };
+            // The supervisor may have already timed this job out and
+            // stopped listening; a dead channel is fine.
+            let _ = sender.send((i, message));
+        });
+    };
+
+    let mut results: Vec<Option<Result<RunResult, JobError>>> = (0..n_jobs).map(|_| None).collect();
+    // (job index, start instant) of every live worker.
+    let mut running: Vec<(usize, Instant)> = Vec::new();
+    let mut next = 0usize;
+    while results.iter().any(Option::is_none) {
+        while next < n_jobs && running.len() < workers {
+            spawn_job(next);
+            running.push((next, Instant::now()));
+            next += 1;
+        }
+        let message = match supervision.soft_deadline {
+            None => recv.recv().ok(),
+            Some(limit) => {
+                // Sleep until the first message or the earliest
+                // running job's deadline, whichever comes first.
+                let now = Instant::now();
+                let earliest = running
+                    .iter()
+                    .map(|&(_, started)| (started + limit).saturating_duration_since(now))
+                    .min()
+                    .unwrap_or(Duration::from_millis(10));
+                match recv.recv_timeout(earliest) {
+                    Ok(m) => Some(m),
+                    Err(mpsc::RecvTimeoutError::Timeout) => None,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        };
+        match message {
+            Some((i, r)) => {
+                running.retain(|&(j, _)| j != i);
+                if results[i].is_none() {
+                    // A late result for an already timed-out job is
+                    // discarded: the verdict stands.
+                    results[i] = Some(r.map_err(|e| job_error(i, e)));
+                }
+            }
+            None => {
+                let limit = supervision
+                    .soft_deadline
+                    .expect("timeouts only fire with a deadline");
+                let now = Instant::now();
+                let overdue: Vec<usize> = running
+                    .iter()
+                    .filter(|&&(_, started)| now.duration_since(started) >= limit)
+                    .map(|&(i, _)| i)
+                    .collect();
+                for i in overdue {
+                    running.retain(|&(j, _)| j != i);
+                    results[i] = Some(Err(job_error(
+                        i,
+                        RunError::TimedOut {
+                            limit_s: limit.as_secs_f64(),
+                        },
+                    )));
+                }
+            }
+        }
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every job received a verdict"))
+        .collect()
 }
 
 /// Aggregated outcome of one sweep cell (one algorithm at one
@@ -151,16 +359,24 @@ mod tests {
     }
 
     #[test]
-    fn batch_rejects_invalid_configs_upfront() {
+    fn batch_rejects_invalid_configs_upfront_with_context() {
         let mut bad = tiny(AlgorithmKind::Mobic, 100.0);
         bad.n_nodes = 0;
         let jobs = vec![(tiny(AlgorithmKind::Mobic, 100.0), 1), (bad, 2)];
-        assert!(run_batch(&jobs).is_err());
+        let err = run_batch(&jobs).unwrap_err();
+        assert_eq!(err.index, 1, "the error must name the failing job");
+        assert_eq!(err.config_hash, crate::config_hash_for(&bad));
+        assert!(matches!(err.error, RunError::Config(_)));
+        // The rendered error carries index and hash for log grepping.
+        let text = err.to_string();
+        assert!(text.contains("job 1"), "{text}");
+        assert!(text.contains("fnv1a64:"), "{text}");
     }
 
     #[test]
     fn empty_batch_is_fine() {
         assert!(run_batch(&[]).unwrap().is_empty());
+        assert!(run_batch_supervised(&[], &Supervision::default()).is_empty());
     }
 
     #[test]
@@ -183,9 +399,7 @@ mod tests {
     #[test]
     fn summarize_aggregates_across_seeds() {
         let cfg = tiny(AlgorithmKind::Lcc, 200.0);
-        let runs: Vec<RunResult> = (0..3)
-            .map(|s| run_scenario(&cfg, s).unwrap())
-            .collect();
+        let runs: Vec<RunResult> = (0..3).map(|s| run_scenario(&cfg, s).unwrap()).collect();
         let out = summarize_cs(200.0, &runs);
         assert_eq!(out.runs, 3);
         assert_eq!(out.cs_samples.len(), 3);
@@ -203,5 +417,92 @@ mod tests {
     #[should_panic(expected = "zero runs")]
     fn summarize_rejects_empty() {
         let _ = summarize_cs(0.0, &[]);
+    }
+
+    #[test]
+    fn sweep_outcomes_round_trip_through_json() {
+        // `SweepOutcome` doubles as the per-cell resume artifact, so
+        // a full serde round trip must preserve it.
+        let cfg = tiny(AlgorithmKind::Mobic, 200.0);
+        let runs: Vec<RunResult> = (0..2).map(|s| run_scenario(&cfg, s).unwrap()).collect();
+        let out = summarize_cs(200.0, &runs);
+        let json = serde_json::to_string(&out).unwrap();
+        let back: SweepOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.runs, out.runs);
+        assert_eq!(back.algorithm, out.algorithm);
+        assert_eq!(back.cs_samples, out.cs_samples);
+    }
+
+    #[test]
+    fn supervised_batch_matches_unsupervised_results() {
+        let jobs: Vec<(ScenarioConfig, u64)> = (0..5)
+            .map(|s| (tiny(AlgorithmKind::Mobic, 150.0 + 10.0 * s as f64), s))
+            .collect();
+        let plain = run_batch(&jobs).unwrap();
+        let supervised = run_batch_supervised(&jobs, &Supervision::default());
+        assert_eq!(supervised.len(), jobs.len());
+        for (i, r) in supervised.iter().enumerate() {
+            let r = r.as_ref().expect("healthy job");
+            assert_eq!(r.deliveries, plain[i].deliveries, "job {i}");
+            assert_eq!(r.final_roles, plain[i].final_roles, "job {i}");
+        }
+    }
+
+    #[test]
+    fn supervised_batch_isolates_a_panicking_job() {
+        let jobs: Vec<(ScenarioConfig, u64)> = (0..4)
+            .map(|s| (tiny(AlgorithmKind::Mobic, 200.0), s))
+            .collect();
+        let sup = Supervision {
+            panic_on: Some(2),
+            ..Supervision::default()
+        };
+        let results = run_batch_supervised(&jobs, &sup);
+        assert_eq!(results.len(), 4);
+        for (i, r) in results.iter().enumerate() {
+            if i == 2 {
+                let e = r.as_ref().unwrap_err();
+                assert_eq!(e.index, 2);
+                assert!(
+                    matches!(&e.error, RunError::Panicked { message } if message.contains("deliberate")),
+                    "{e}"
+                );
+            } else {
+                assert!(r.is_ok(), "job {i} must survive the panic");
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_batch_times_out_a_stuck_job_and_finishes_the_rest() {
+        let jobs: Vec<(ScenarioConfig, u64)> = (0..3)
+            .map(|s| (tiny(AlgorithmKind::Mobic, 200.0), s))
+            .collect();
+        let sup = Supervision {
+            soft_deadline: Some(std::time::Duration::from_secs(5)),
+            delay_on: Some((1, std::time::Duration::from_secs(60))),
+            ..Supervision::default()
+        };
+        let results = run_batch_supervised(&jobs, &sup);
+        let e = results[1].as_ref().unwrap_err();
+        assert_eq!(e.index, 1);
+        assert!(
+            matches!(e.error, RunError::TimedOut { limit_s } if (limit_s - 5.0).abs() < 1e-9),
+            "{e}"
+        );
+        assert!(results[0].is_ok());
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn supervised_batch_reports_config_errors_per_job() {
+        let mut bad = tiny(AlgorithmKind::Mobic, 100.0);
+        bad.n_nodes = 0;
+        let jobs = vec![(tiny(AlgorithmKind::Mobic, 100.0), 1), (bad, 2)];
+        let results = run_batch_supervised(&jobs, &Supervision::default());
+        assert!(results[0].is_ok(), "healthy job must complete");
+        let e = results[1].as_ref().unwrap_err();
+        assert_eq!(e.index, 1);
+        assert!(matches!(e.error, RunError::Config(_)));
     }
 }

@@ -193,7 +193,9 @@ mod tests {
         let mut expected: Vec<(u64, usize)> = Vec::new();
         let mut x: u64 = 12345;
         for i in 0..1000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let t = (x >> 33) % 50; // many collisions
             q.push(SimTime::from_micros(t), i);
             expected.push((t, i));

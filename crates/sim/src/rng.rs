@@ -127,7 +127,11 @@ mod tests {
     #[test]
     fn streams_are_reproducible() {
         let s = SeedSplitter::new(7);
-        let a: Vec<u64> = (0..8).map(|_| 0u64).zip(0..8).map(|_| s.stream("x", 3).gen()).collect();
+        let a: Vec<u64> = (0..8)
+            .map(|_| 0u64)
+            .zip(0..8)
+            .map(|_| s.stream("x", 3).gen())
+            .collect();
         let b: Vec<u64> = (0..8).map(|_| s.stream("x", 3).gen()).collect();
         // Every fresh stream with identical label+index starts identically.
         assert!(a.iter().all(|&v| v == a[0]));

@@ -273,7 +273,12 @@ mod tests {
     #[test]
     fn paper_constants_are_exact() {
         // BI=2s, TP=3s, CCI=4s, S=900s must all be exact multiples of 1us.
-        for (secs, micros) in [(2.0, 2_000_000), (3.0, 3_000_000), (4.0, 4_000_000), (900.0, 900_000_000)] {
+        for (secs, micros) in [
+            (2.0, 2_000_000),
+            (3.0, 3_000_000),
+            (4.0, 4_000_000),
+            (900.0, 900_000_000),
+        ] {
             assert_eq!(SimTime::from_secs_f64(secs).as_micros(), micros);
         }
     }

@@ -85,6 +85,62 @@ pub enum TraceEvent {
         /// Number of index entries refreshed (the population size).
         nodes: u32,
     },
+    /// A node left the network: a fail-stop crash from the fault plan
+    /// (dead nodes neither transmit nor receive nor hold elections;
+    /// neighbors expire them naturally).
+    NodeDown {
+        /// The crashed node.
+        node: u32,
+    },
+    /// A node (re)joined the network: a crash recovery (neighbor table
+    /// and role state wiped) or a scheduled late join.
+    NodeUp {
+        /// The node that came up.
+        node: u32,
+    },
+    /// One side of a node's interface failed: `mute` suppresses its
+    /// transmissions, otherwise its receptions are dropped (deaf).
+    NodeImpaired {
+        /// The impaired node.
+        node: u32,
+        /// `true` = mute spell (tx suppressed), `false` = deaf spell
+        /// (rx dropped).
+        mute: bool,
+    },
+    /// An interface impairment ended.
+    NodeRestored {
+        /// The restored node.
+        node: u32,
+        /// Which impairment ended (see [`NodeImpaired`](Self::NodeImpaired)).
+        mute: bool,
+    },
+    /// The periodic in-run audit (`audit: warn`) found a Theorem-1
+    /// violation in the current cluster structure.
+    InvariantViolation {
+        /// Which invariant was violated.
+        violation: ViolationKind,
+        /// The primary offending node.
+        node: u32,
+        /// The counterpart node, when the invariant relates two nodes
+        /// (the other head, or the claimed clusterhead).
+        other: Option<u32>,
+    },
+}
+
+/// The Theorem-1 invariant classes the in-run audit can report,
+/// mirroring `mobic-core::invariants::Violation` in a trace-stable
+/// form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ViolationKind {
+    /// Two clusterheads are within direct radio range.
+    AdjacentHeads,
+    /// A member is affiliated with a clusterhead it cannot hear.
+    MemberUnreachable,
+    /// A member points at a node that is not a clusterhead.
+    DanglingAffiliation,
+    /// A node is still undecided.
+    Undecided,
 }
 
 #[cfg(test)]
@@ -104,18 +160,58 @@ mod tests {
     fn every_variant_round_trips() {
         let events = [
             TraceEvent::HelloTx { node: 1, seq: 2 },
-            TraceEvent::HelloRx { tx: 1, rx: 2, rx_power_dbm: -80.0 },
+            TraceEvent::HelloRx {
+                tx: 1,
+                rx: 2,
+                rx_power_dbm: -80.0,
+            },
             TraceEvent::HelloLost { tx: 1, rx: 2 },
             TraceEvent::MacCollision { tx: 1, rx: 2 },
             TraceEvent::HeadElected { node: 4 },
             TraceEvent::HeadResigned { node: 4 },
             TraceEvent::ClusterMerge { node: 4, into: 5 },
             TraceEvent::IndexRefresh { nodes: 50 },
+            TraceEvent::NodeDown { node: 6 },
+            TraceEvent::NodeUp { node: 6 },
+            TraceEvent::NodeImpaired {
+                node: 7,
+                mute: true,
+            },
+            TraceEvent::NodeRestored {
+                node: 7,
+                mute: false,
+            },
+            TraceEvent::InvariantViolation {
+                violation: ViolationKind::AdjacentHeads,
+                node: 1,
+                other: Some(2),
+            },
+            TraceEvent::InvariantViolation {
+                violation: ViolationKind::Undecided,
+                node: 9,
+                other: None,
+            },
         ];
         for ev in events {
             let json = serde_json::to_string(&ev).unwrap();
             let back: TraceEvent = serde_json::from_str(&json).unwrap();
             assert_eq!(back, ev, "{json}");
         }
+    }
+
+    #[test]
+    fn fault_events_use_snake_case_kinds() {
+        let json = serde_json::to_string(&TraceEvent::NodeDown { node: 3 }).unwrap();
+        assert_eq!(json, r#"{"kind":"node_down","node":3}"#);
+        let json = serde_json::to_string(&TraceEvent::InvariantViolation {
+            violation: ViolationKind::MemberUnreachable,
+            node: 3,
+            other: Some(1),
+        })
+        .unwrap();
+        assert_eq!(
+            json,
+            r#"{"kind":"invariant_violation","violation":"member_unreachable","node":3,"other":1}"#
+        );
     }
 }

@@ -22,6 +22,11 @@
 //!   fast-path decision, and the headline counters. Experiment
 //!   binaries write one manifest array next to every `results/*.json`
 //!   file via [`write_manifests`].
+//! * **Atomic artifacts** — every results file in the workspace is
+//!   published through [`write_atomic`] (temp file in the destination
+//!   directory + rename), so a killed process never leaves a
+//!   truncated artifact behind and interrupted sweeps can resume by
+//!   trusting whatever cell files exist.
 //!
 //! # Determinism contract
 //!
@@ -55,12 +60,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod artifact;
 mod event;
 mod manifest;
 mod profile;
 mod sink;
 
-pub use event::TraceEvent;
+pub use artifact::write_atomic;
+pub use event::{TraceEvent, ViolationKind};
 pub use manifest::{
     config_hash, fnv1a64, manifest_path_for, write_manifests, ManifestCounters, RunManifest,
     MANIFEST_SCHEMA,

@@ -98,7 +98,9 @@ pub fn manifest_path_for(results_path: impl AsRef<Path>) -> PathBuf {
 
 /// Writes the manifest array for a results artifact next to it (see
 /// [`manifest_path_for`]), creating parent directories, and returns
-/// the path written.
+/// the path written. The write is atomic (see
+/// [`write_atomic`](crate::write_atomic)) so a killed process never
+/// leaves a truncated manifest.
 ///
 /// # Errors
 ///
@@ -109,14 +111,9 @@ pub fn write_manifests(
     manifests: &[RunManifest],
 ) -> io::Result<PathBuf> {
     let path = manifest_path_for(results_path);
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)?;
-        }
-    }
     let json = serde_json::to_string_pretty(manifests)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    std::fs::write(&path, json)?;
+    crate::write_atomic(&path, json)?;
     Ok(path)
 }
 

@@ -139,7 +139,13 @@ mod tests {
     #[test]
     fn display_lists_every_phase() {
         let text = PhaseTimings::default().to_string();
-        for needle in ["setup", "event loop", "aggregation", "total", "elections skipped"] {
+        for needle in [
+            "setup",
+            "event loop",
+            "aggregation",
+            "total",
+            "elections skipped",
+        ] {
             assert!(text.contains(needle), "missing {needle}: {text}");
         }
     }

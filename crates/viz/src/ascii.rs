@@ -24,10 +24,8 @@ impl ClusterScene {
         };
         for i in 0..self.len() {
             let p = self.positions[i];
-            let u = ((p.x - self.field.min().x) / self.field.width().max(1e-9))
-                .clamp(0.0, 1.0);
-            let v = ((p.y - self.field.min().y) / self.field.height().max(1e-9))
-                .clamp(0.0, 1.0);
+            let u = ((p.x - self.field.min().x) / self.field.width().max(1e-9)).clamp(0.0, 1.0);
+            let v = ((p.y - self.field.min().y) / self.field.height().max(1e-9)).clamp(0.0, 1.0);
             let col = ((u * (cols - 1) as f64).round() as usize).min(cols - 1);
             // Top row = max y (north up).
             let row = rows - 1 - ((v * (rows - 1) as f64).round() as usize).min(rows - 1);

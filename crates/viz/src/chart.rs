@@ -45,7 +45,11 @@ pub struct LineChart {
 impl LineChart {
     /// Creates an empty chart.
     #[must_use]
-    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
         LineChart {
             title: title.into(),
             x_label: x_label.into(),
@@ -96,7 +100,9 @@ impl LineChart {
     /// Panics if dimensions are not positive.
     #[must_use]
     pub fn to_svg(&self, width: f64, height: f64) -> String {
-        const PALETTE: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#17becf"];
+        const PALETTE: [&str; 6] = [
+            "#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#17becf",
+        ];
         let mut c = SvgCanvas::new(width, height);
         let (ml, mr, mt, mb) = (70.0, 20.0, 36.0, 56.0); // margins
         let plot_w = (width - ml - mr).max(1.0);
@@ -107,7 +113,11 @@ impl LineChart {
         };
         // Always include y = 0 and pad the top 5%.
         let y0 = y0raw.min(0.0);
-        let y1 = if y1raw > y0 { y1raw + 0.05 * (y1raw - y0) } else { y0 + 1.0 };
+        let y1 = if y1raw > y0 {
+            y1raw + 0.05 * (y1raw - y0)
+        } else {
+            y0 + 1.0
+        };
         let xspan = if x1 > x0 { x1 - x0 } else { 1.0 };
         let yspan = y1 - y0;
         let px = |x: f64| ml + (x - x0) / xspan * plot_w;
@@ -144,7 +154,14 @@ impl LineChart {
             }
             // Legend entry.
             let ly = mt + 14.0 + 16.0 * i as f64;
-            c.line(ml + plot_w - 108.0, ly - 4.0, ml + plot_w - 88.0, ly - 4.0, color, 2.0);
+            c.line(
+                ml + plot_w - 108.0,
+                ly - 4.0,
+                ml + plot_w - 88.0,
+                ly - 4.0,
+                color,
+                2.0,
+            );
             c.text(ml + plot_w - 48.0, ly, 11.0, &s.name);
         }
         c.finish()

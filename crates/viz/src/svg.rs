@@ -216,7 +216,13 @@ impl ClusterScene {
                     }
                 }
                 mobic_core::Role::Undecided => {
-                    canvas.circle(x, y, style.node_radius_px * 0.8, "white", Some(("black", 1.0)));
+                    canvas.circle(
+                        x,
+                        y,
+                        style.node_radius_px * 0.8,
+                        "white",
+                        Some(("black", 1.0)),
+                    );
                 }
             }
         }
@@ -235,7 +241,11 @@ mod tests {
         ClusterScene {
             field: Rect::square(100.0),
             tx_range_m: 40.0,
-            positions: vec![Vec2::new(20.0, 20.0), Vec2::new(50.0, 20.0), Vec2::new(80.0, 80.0)],
+            positions: vec![
+                Vec2::new(20.0, 20.0),
+                Vec2::new(50.0, 20.0),
+                Vec2::new(80.0, 80.0),
+            ],
             roles: vec![
                 Role::Clusterhead,
                 Role::Member { ch: NodeId::new(0) },
@@ -287,6 +297,10 @@ mod tests {
         let mut s = scene();
         s.field = Rect::new(200.0, 100.0);
         let svg = s.to_svg(&SvgStyle::default());
-        assert!(svg.contains(r#"width="640" height="320""#), "{}", &svg[..120]);
+        assert!(
+            svg.contains(r#"width="640" height="320""#),
+            "{}",
+            &svg[..120]
+        );
     }
 }

@@ -13,7 +13,10 @@ fn main() {
     let mut cfg = ScenarioConfig::paper_table1();
     cfg.field_w_m = 1000.0;
     cfg.field_h_m = 100.0; // a 1 km highway strip
-    cfg.mobility = MobilityKind::Highway { lanes: 4, bidirectional: false };
+    cfg.mobility = MobilityKind::Highway {
+        lanes: 4,
+        bidirectional: false,
+    };
     cfg.max_speed_mps = 25.0; // ~90 km/h lane speed
     cfg.tx_range_m = 150.0;
     cfg.sim_time_s = 300.0;

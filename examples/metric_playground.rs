@@ -47,14 +47,8 @@ fn main() {
                 "-"
             ),
             Some((qa, qb)) => {
-                let m_a = relative_mobility(
-                    mobic::radio::Dbm::new(qa),
-                    mobic::radio::Dbm::new(pa),
-                );
-                let m_b = relative_mobility(
-                    mobic::radio::Dbm::new(qb),
-                    mobic::radio::Dbm::new(pb),
-                );
+                let m_a = relative_mobility(mobic::radio::Dbm::new(qa), mobic::radio::Dbm::new(pa));
+                let m_b = relative_mobility(mobic::radio::Dbm::new(qb), mobic::radio::Dbm::new(pb));
                 let m_y = aggregate_mobility([m_a, m_b]);
                 println!(
                     "{:4}   {:6.1}  {:8.2} dBm  {:+8.2}   {:6.1}  {:8.2} dBm  {:+8.2}   {:6.2}",

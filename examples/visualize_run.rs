@@ -31,7 +31,10 @@ fn main() -> std::io::Result<()> {
         let scene = ClusterScene::from_view(&view, field, cfg.tx_range_m);
         cluster_counts.push(scene.clusterheads().len() as f64);
         let t = view.now.as_secs_f64();
-        if snapshot_times.iter().any(|&s| (t - s).abs() < cfg.bi_s / 2.0) {
+        if snapshot_times
+            .iter()
+            .any(|&s| (t - s).abs() < cfg.bi_s / 2.0)
+        {
             let path = out_dir.join(format!("clusters_t{t:04.0}.svg"));
             if std::fs::write(&path, scene.to_svg(&SvgStyle::default())).is_ok() {
                 written.push(path);

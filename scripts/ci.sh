@@ -32,4 +32,24 @@ MOBIC_FAST=1 MOBIC_SCALING_NS=50,200 \
 echo "== hot-path smoke (steady state must be allocation-free) =="
 cargo run --release -p mobic-bench --bin bench_hotpath -- --smoke
 
+echo "== fault-plan + supervision suite =="
+# The supervised-batch tests exercise the deliberate panic/delay
+# fault hooks: one job panics under catch_unwind and is reported as
+# RunError::Panicked while its siblings complete.
+cargo test --release --test failure_injection -q
+cargo test --release -p mobic-scenario sweep -q
+
+echo "== resume smoke (interrupted sweep continues from cell files) =="
+RESUME_DIR="$(mktemp -d)"
+trap 'rm -rf "$RESUME_DIR"' EXIT
+cargo run --release -p mobic-cli -- sweep \
+    --nodes 10 --time 30 --tx-sweep 150:200:50 --seeds 2 \
+    --algorithms lcc --out "$RESUME_DIR" >/dev/null
+test -f "$RESUME_DIR/cell_lcc_tx150.json"
+# Second pass must skip every finished cell.
+cargo run --release -p mobic-cli -- sweep \
+    --nodes 10 --time 30 --tx-sweep 150:200:50 --seeds 2 \
+    --algorithms lcc --out "$RESUME_DIR" --resume 2>&1 >/dev/null \
+    | grep -q "resume:"
+
 echo "CI OK"

@@ -18,9 +18,16 @@ fn base() -> ScenarioConfig {
 #[test]
 fn identical_runs_are_bitwise_identical() {
     let combos = [
-        (MobilityKind::RandomWaypoint, PropagationKind::FreeSpace, LossKind::None),
         (
-            MobilityKind::Rpgm { groups: 3, member_radius_m: 30.0 },
+            MobilityKind::RandomWaypoint,
+            PropagationKind::FreeSpace,
+            LossKind::None,
+        ),
+        (
+            MobilityKind::Rpgm {
+                groups: 3,
+                member_radius_m: 30.0,
+            },
             PropagationKind::TwoRayGround,
             LossKind::Bernoulli { p: 0.1 },
         ),
@@ -30,7 +37,10 @@ fn identical_runs_are_bitwise_identical() {
             LossKind::BurstyPreset,
         ),
         (
-            MobilityKind::Highway { lanes: 3, bidirectional: true },
+            MobilityKind::Highway {
+                lanes: 3,
+                bidirectional: true,
+            },
             PropagationKind::LogDistance { exponent: 3.0 },
             LossKind::None,
         ),
@@ -78,7 +88,10 @@ fn seed_changes_everything_config_changes_only_what_it_should() {
     let cfg = base();
     let a = run_scenario(&cfg, 1).unwrap();
     let b = run_scenario(&cfg, 2).unwrap();
-    assert_ne!(a.deliveries, b.deliveries, "different seeds, different worlds");
+    assert_ne!(
+        a.deliveries, b.deliveries,
+        "different seeds, different worlds"
+    );
 
     // Changing only the algorithm keeps the physical world identical:
     // same mobility + channel streams ⇒ same delivery count.

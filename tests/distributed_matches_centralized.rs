@@ -94,7 +94,10 @@ fn distributed_mobic_on_static_nodes_equals_lowest_id() {
         let a = run_scenario(&static_cfg(AlgorithmKind::Mobic, 25), seed).unwrap();
         let b = run_scenario(&static_cfg(AlgorithmKind::Lcc, 25), seed).unwrap();
         assert_eq!(a.final_roles, b.final_roles, "seed {seed}");
-        assert_eq!(a.mean_aggregate_metric, 0.0, "static nodes measure zero mobility");
+        assert_eq!(
+            a.mean_aggregate_metric, 0.0,
+            "static nodes measure zero mobility"
+        );
     }
 }
 
@@ -108,10 +111,7 @@ fn theorem1_invariants_hold_after_convergence() {
             let adj = Adjacency::unit_disk(&positions, cfg.tx_range_m);
             let ids: Vec<NodeId> = (0..cfg.n_nodes).map(NodeId::new).collect();
             let violations = check_theorem1(&result.final_roles, &ids, &adj);
-            assert!(
-                violations.is_empty(),
-                "{alg}, seed {seed}: {violations:?}"
-            );
+            assert!(violations.is_empty(), "{alg}, seed {seed}: {violations:?}");
             if let Some(d) = max_cluster_diameter(&result.final_roles, &ids, &adj) {
                 assert!(d <= 2, "{alg}, seed {seed}: cluster diameter {d} > 2");
             }

@@ -1,10 +1,19 @@
 //! Failure injection: pile every adverse channel effect on at once —
 //! log-normal shadowing, bursty loss, MAC collisions, high speed —
 //! and verify the whole stack stays sane (no panics, invariants hold,
-//! metrics remain finite, determinism survives).
+//! metrics remain finite, determinism survives). The second half adds
+//! node-lifecycle faults (crashes, recoveries, impairments) and the
+//! supervised batch executor on top of the hostile channel.
+
+use std::time::Duration;
 
 use mobic::core::AlgorithmKind;
-use mobic::scenario::{run_scenario, LossKind, MobilityKind, PropagationKind, ScenarioConfig};
+use mobic::scenario::{
+    run_batch_supervised, run_scenario, run_scenario_traced, FaultPlan, FaultTarget, LossKind,
+    MobilityKind, PropagationKind, RunError, ScenarioConfig, Supervision,
+};
+use mobic::trace::JsonlSink;
+use proptest::prelude::*;
 
 fn hostile() -> ScenarioConfig {
     let mut cfg = ScenarioConfig::paper_table1();
@@ -78,4 +87,125 @@ fn group_mobility_under_hostile_channel_runs() {
     };
     let r = run_scenario(&cfg, 3).expect("valid config");
     assert!(r.hello_broadcasts > 0);
+}
+
+#[test]
+fn clusterhead_crashes_heal_in_finite_time_for_every_algorithm() {
+    for alg in AlgorithmKind::ALL {
+        let mut cfg = hostile().with_algorithm(alg);
+        cfg.faults.crashes = 3;
+        cfg.faults.from_s = 40.0;
+        cfg.faults.until_s = 80.0; // leave 40 s of run for re-affiliation
+        cfg.faults.target = FaultTarget::Clusterhead;
+        let r = run_scenario(&cfg, 11).expect("valid config");
+        assert_eq!(r.faults.crashes, 3, "{alg}");
+        // Targeting the most-populated clusterhead guarantees orphans,
+        // so every crash opens a healing probe.
+        let h = r.healing.expect("clusterhead crashes must open probes");
+        assert!(h.probes >= 1 && h.probes <= 3, "{alg}: {h:?}");
+        assert_eq!(h.healed + h.unhealed, h.probes, "{alg}");
+        assert!(h.healed >= 1, "{alg}: nothing ever re-affiliated");
+        assert!(
+            h.mean_latency_s.is_finite() && h.mean_latency_s >= 0.0,
+            "{alg}"
+        );
+        assert!(h.max_latency_s.is_finite(), "{alg}");
+        assert!(h.max_latency_s + 1e-12 >= h.mean_latency_s, "{alg}");
+        // The survivors re-elected: the network still has structure.
+        assert!(r.avg_clusters >= 1.0, "{alg}");
+    }
+}
+
+#[test]
+fn killing_the_whole_population_degrades_gracefully() {
+    let mut cfg = hostile();
+    cfg.n_nodes = 6;
+    cfg.faults.crashes = 6;
+    cfg.faults.from_s = 30.0;
+    cfg.faults.until_s = 60.0;
+    let r = run_scenario(&cfg, 7).expect("valid config");
+    // Every crash finds a victim until nobody is left; the run still
+    // completes with finite metrics and the pre-crash traffic intact.
+    assert_eq!(r.faults.crashes, 6);
+    assert!(r.deliveries > 0);
+    assert!(r.mean_aggregate_metric.is_finite());
+    let (_, values) = r.cluster_series.samples();
+    assert!(values.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn empty_fault_plan_is_byte_identical_to_an_unconfigured_run() {
+    for seed in [2u64, 13] {
+        let baseline = hostile();
+        let mut explicit = hostile();
+        explicit.faults = FaultPlan::default();
+        let run = |cfg: &ScenarioConfig| {
+            let mut sink = JsonlSink::new(Vec::new());
+            let r = run_scenario_traced(cfg, seed, &mut sink).expect("valid config");
+            let json = serde_json::to_string(&r).expect("serializes");
+            (json, sink.finish().expect("in-memory sink"))
+        };
+        let (base_json, base_trace) = run(&baseline);
+        let (explicit_json, explicit_trace) = run(&explicit);
+        assert_eq!(base_json, explicit_json, "seed {seed}");
+        assert_eq!(base_trace, explicit_trace, "seed {seed}");
+        // Fault-free results carry no fault keys at all.
+        assert!(!base_json.contains("\"faults\""), "seed {seed}");
+        assert!(!base_json.contains("\"healing\""), "seed {seed}");
+        assert!(!base_json.contains("\"audit\""), "seed {seed}");
+    }
+}
+
+#[test]
+fn supervised_batch_isolates_panicking_and_stuck_jobs() {
+    let mut cfg = hostile();
+    cfg.n_nodes = 8;
+    cfg.sim_time_s = 30.0;
+    let jobs: Vec<(ScenarioConfig, u64)> = (0..4).map(|s| (cfg, s)).collect();
+    let sup = Supervision {
+        soft_deadline: Some(Duration::from_secs(5)),
+        panic_on: Some(0),
+        delay_on: Some((2, Duration::from_secs(60))),
+    };
+    let results = run_batch_supervised(&jobs, &sup);
+    assert_eq!(results.len(), 4);
+    let e0 = results[0].as_ref().unwrap_err();
+    assert_eq!(e0.index, 0);
+    assert!(matches!(e0.error, RunError::Panicked { .. }), "{e0}");
+    let e2 = results[2].as_ref().unwrap_err();
+    assert_eq!(e2.index, 2);
+    assert!(matches!(e2.error, RunError::TimedOut { .. }), "{e2}");
+    for i in [1usize, 3] {
+        let r = results[i].as_ref().expect("healthy jobs must finish");
+        assert!(r.deliveries > 0, "job {i}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // Wherever the panic lands, supervision converts exactly that job
+    // into `RunError::Panicked` and every other job completes.
+    #[test]
+    fn any_panicking_job_is_isolated(panic_at in 0usize..3) {
+        let mut cfg = ScenarioConfig::paper_table1();
+        cfg.n_nodes = 6;
+        cfg.sim_time_s = 20.0;
+        cfg.tx_range_m = 200.0;
+        let jobs: Vec<(ScenarioConfig, u64)> = (0..3).map(|s| (cfg, s)).collect();
+        let sup = Supervision {
+            panic_on: Some(panic_at),
+            ..Supervision::default()
+        };
+        let results = run_batch_supervised(&jobs, &sup);
+        for (i, r) in results.iter().enumerate() {
+            if i == panic_at {
+                let e = r.as_ref().unwrap_err();
+                prop_assert_eq!(e.index, panic_at);
+                prop_assert!(matches!(e.error, RunError::Panicked { .. }));
+            } else {
+                prop_assert!(r.is_ok(), "job {} must survive", i);
+            }
+        }
+    }
 }

@@ -41,7 +41,10 @@ fn assert_identical(a: &RunResult, b: &RunResult, ctx: &str) {
         "CS total {ctx}"
     );
     assert_eq!(a.clusterhead_changes, b.clusterhead_changes, "CS {ctx}");
-    assert_eq!(a.affiliation_changes, b.affiliation_changes, "affiliation {ctx}");
+    assert_eq!(
+        a.affiliation_changes, b.affiliation_changes,
+        "affiliation {ctx}"
+    );
     assert_eq!(a.avg_clusters, b.avg_clusters, "avg clusters {ctx}");
     assert_eq!(a.gateway_fraction, b.gateway_fraction, "gateways {ctx}");
     assert_eq!(

@@ -13,7 +13,10 @@ fn mean_cs(cfg: &ScenarioConfig, alg: AlgorithmKind, seeds: std::ops::Range<u64>
         .map(|s| (cfg.with_algorithm(alg), s))
         .collect();
     let runs = run_batch(&jobs).expect("valid config");
-    runs.iter().map(|r| r.clusterhead_changes as f64).sum::<f64>() / runs.len() as f64
+    runs.iter()
+        .map(|r| r.clusterhead_changes as f64)
+        .sum::<f64>()
+        / runs.len() as f64
 }
 
 fn paper_cfg(tx: f64, sim_time_s: f64) -> ScenarioConfig {
@@ -45,7 +48,11 @@ fn robust_median_aggregate_widens_the_gain() {
     med_cfg.metric_aggregation = mobic::core::metric::MetricAggregation::MedianSq;
     let jobs: Vec<_> = (0..4u64).map(|s| (med_cfg, s)).collect();
     let runs = run_batch(&jobs).expect("valid config");
-    let median = runs.iter().map(|r| r.clusterhead_changes as f64).sum::<f64>() / 4.0;
+    let median = runs
+        .iter()
+        .map(|r| r.clusterhead_changes as f64)
+        .sum::<f64>()
+        / 4.0;
     assert!(
         median < lcc * 0.9,
         "median-aggregate MOBIC ({median:.1}) should clearly beat LCC ({lcc:.1})"
@@ -60,8 +67,14 @@ fn churn_peaks_at_small_ranges_then_falls() {
     let low = at(10.0);
     let peak = at(50.0);
     let high = at(250.0);
-    assert!(peak > high, "peak ({peak:.1}) must exceed large-range churn ({high:.1})");
-    assert!(peak > low, "peak ({peak:.1}) must exceed tiny-range churn ({low:.1})");
+    assert!(
+        peak > high,
+        "peak ({peak:.1}) must exceed large-range churn ({high:.1})"
+    );
+    assert!(
+        peak > low,
+        "peak ({peak:.1}) must exceed tiny-range churn ({low:.1})"
+    );
 }
 
 #[test]
@@ -76,7 +89,12 @@ fn cluster_count_decreases_with_range() {
                 .collect();
             let lcc = run_batch(&jobs).unwrap();
             let jobs: Vec<_> = (0..3u64)
-                .map(|s| (cfg.with_tx_range(tx).with_algorithm(AlgorithmKind::Mobic), s))
+                .map(|s| {
+                    (
+                        cfg.with_tx_range(tx).with_algorithm(AlgorithmKind::Mobic),
+                        s,
+                    )
+                })
                 .collect();
             let mobic = run_batch(&jobs).unwrap();
             (
@@ -85,10 +103,16 @@ fn cluster_count_decreases_with_range() {
             )
         })
         .collect();
-    assert!(counts[0].0 > counts[1].0 && counts[1].0 > counts[2].0, "{counts:?}");
+    assert!(
+        counts[0].0 > counts[1].0 && counts[1].0 > counts[2].0,
+        "{counts:?}"
+    );
     for (lcc, mobic) in &counts {
         let rel = (lcc - mobic).abs() / lcc;
-        assert!(rel < 0.35, "algorithms should form similar cluster counts: {counts:?}");
+        assert!(
+            rel < 0.35,
+            "algorithms should form similar cluster counts: {counts:?}"
+        );
     }
 }
 
@@ -138,7 +162,10 @@ fn slower_nodes_mean_fewer_changes() {
     slow_cfg.max_speed_mps = 1.0;
     let slow = mean_cs(&slow_cfg, AlgorithmKind::Mobic, 0..3);
     let fast = mean_cs(&paper_cfg(250.0, 300.0), AlgorithmKind::Mobic, 0..3);
-    assert!(slow < fast, "slow ({slow:.1}) must be below fast ({fast:.1})");
+    assert!(
+        slow < fast,
+        "slow ({slow:.1}) must be below fast ({fast:.1})"
+    );
 }
 
 #[test]

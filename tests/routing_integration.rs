@@ -12,10 +12,7 @@ fn experiment(alg: AlgorithmKind) -> RoutingExperiment {
     scenario.sim_time_s = 120.0;
     scenario.tx_range_m = 250.0;
     scenario.algorithm = alg;
-    RoutingExperiment {
-        scenario,
-        flows: 6,
-    }
+    RoutingExperiment { scenario, flows: 6 }
 }
 
 #[test]
@@ -57,7 +54,11 @@ fn availability_is_high_in_dense_static_network() {
     let stats = exp.run(&Flooding, 3).unwrap();
     // Static and dense (Tx 250 m on 670 m field): essentially every
     // pair is connected, so availability ≈ 1 and routes never break.
-    assert!(stats.availability > 0.95, "availability {}", stats.availability);
+    assert!(
+        stats.availability > 0.95,
+        "availability {}",
+        stats.availability
+    );
     assert!(stats.route_lifetimes_s.is_empty());
     assert_eq!(stats.failed_discoveries, 0);
 }

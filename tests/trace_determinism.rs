@@ -11,8 +11,8 @@
 use mobic::scenario::{
     manifest_for, run_scenario, run_scenario_traced, LossKind, MobilityKind, ScenarioConfig,
 };
-use mobic::trace::{JsonlSink, NullSink, TraceEvent, TraceSink};
 use mobic::sim::SimTime;
+use mobic::trace::{JsonlSink, NullSink, TraceEvent, TraceSink};
 
 fn base() -> ScenarioConfig {
     let mut cfg = ScenarioConfig::paper_table1();
@@ -93,10 +93,8 @@ fn null_sink_and_real_sink_leave_the_result_bit_identical() {
         let mut cfg = base();
         cfg.mobility = mobility;
         let plain = serde_json::to_string(&run_scenario(&cfg, 31).unwrap()).unwrap();
-        let nulled = serde_json::to_string(
-            &run_scenario_traced(&cfg, 31, &mut NullSink).unwrap(),
-        )
-        .unwrap();
+        let nulled =
+            serde_json::to_string(&run_scenario_traced(&cfg, 31, &mut NullSink).unwrap()).unwrap();
         let mut sink = JsonlSink::new(Vec::new());
         let traced =
             serde_json::to_string(&run_scenario_traced(&cfg, 31, &mut sink).unwrap()).unwrap();
