@@ -49,7 +49,7 @@ fn render(csv: &str, svg: &str, title: &str, y_label: &str, columns: &[(usize, &
         Some((header, rows)) if !rows.is_empty() => {
             let chart = chart_from(title, "Tx (m)", y_label, &header, &rows, columns);
             let out = Path::new("results").join(svg);
-            match fs::write(&out, chart.to_svg(640.0, 420.0)) {
+            match mobic_trace::write_atomic(&out, chart.to_svg(640.0, 420.0)) {
                 Ok(()) => println!("wrote {}", out.display()),
                 Err(e) => eprintln!("cannot write {}: {e}", out.display()),
             }

@@ -188,6 +188,8 @@ impl NodeTable {
         self.mute[i] = mute;
     }
 
+    // lint:hot-path — per-hello entry points of the steady-state loop;
+    // everything below runs for every (hello, receiver) pair.
     /// Records a received hello into node `i`'s table, flagging the
     /// slot dirty iff the record changed election-visible state (new
     /// neighbor or changed advert).
@@ -235,6 +237,8 @@ impl NodeTable {
     pub fn can_skip_election(&self, i: usize) -> bool {
         !self.dirty[i] && self.nodes[i].election_is_stable()
     }
+    // lint:end-hot-path (`debug_assert_skip_sound` clones on purpose —
+    // it is debug-build-only proof machinery, not steady-state code)
 
     /// Debug-build proof obligation for a skipped election: actually
     /// evaluates a clone of node `i` and panics if the "provably

@@ -1,0 +1,106 @@
+//! `mobic-lint`: a zero-external-dependency static-analysis pass that
+//! proves the workspace's determinism, no-panic, and zero-allocation
+//! invariants at the source level.
+//!
+//! The runtime equivalence suites (`fast_path_equivalence`,
+//! `incremental_equivalence`, `trace_determinism`) catch a
+//! nondeterminism bug only after it fires on a covered path; this
+//! crate enforces the underlying invariants *statically*, before the
+//! code ever runs, and does so with nothing but the standard library —
+//! so it builds and executes even where the cargo registry is
+//! unreachable and clippy cannot.
+//!
+//! The pipeline is [`lexer`] (per-line code/comment shadows) →
+//! [`rules`] (scoped token rules + `lint:` directives) → [`deps`]
+//! (offline `Cargo.lock`/manifest policy) → [`report`] (human, JSON,
+//! fix-plan rendering). See `DESIGN.md` §8 for the rule catalog and
+//! suppression policy.
+
+#![warn(missing_docs)]
+
+pub mod deps;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use rules::{rules_for_path, scan_source, Finding, RuleId, ALL_RULES};
+
+use std::path::{Path, PathBuf};
+
+/// The result of scanning a workspace: every finding (suppressed ones
+/// included, so the exception inventory is auditable), plus scan
+/// metadata.
+#[derive(Debug)]
+pub struct Analysis {
+    /// All findings, in file-walk order.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Non-fatal notes (e.g. an absent `Cargo.lock`).
+    pub notes: Vec<String>,
+}
+
+impl Analysis {
+    /// `true` if no unsuppressed finding remains.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.iter().all(|f| f.suppressed)
+    }
+}
+
+/// Collects every `.rs` file under `root` that the scanner should
+/// look at, as workspace-relative paths with `/` separators, sorted
+/// for deterministic output.
+///
+/// `target/`, VCS metadata, and the lint fixtures are skipped here;
+/// finer-grained scoping (test trees, per-crate rule sets) happens in
+/// [`rules::rules_for_path`].
+pub fn discover_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    fn walk(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+            let name = name.as_deref().unwrap_or("");
+            if path.is_dir() {
+                if name.starts_with('.') || name == "target" || name == "fixtures" {
+                    continue;
+                }
+                walk(&path, root, out)?;
+            } else if name.ends_with(".rs") {
+                out.push(path.strip_prefix(root).unwrap_or(&path).to_path_buf());
+            }
+        }
+        Ok(())
+    }
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    Ok(out)
+}
+
+/// Runs the full analysis over a workspace root: every source rule on
+/// every discovered file, plus the `dep-policy` manifest checks.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Analysis> {
+    let mut findings = Vec::new();
+    let mut files_scanned = 0usize;
+    for rel in discover_sources(root)? {
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let applicable = rules::rules_for_path(&rel_str);
+        if applicable.is_empty() {
+            continue;
+        }
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        files_scanned += 1;
+        findings.extend(scan_source(&rel_str, &source, &applicable));
+    }
+    let (dep_findings, notes) = deps::check(root);
+    findings.extend(dep_findings);
+    Ok(Analysis {
+        findings,
+        files_scanned,
+        notes,
+    })
+}

@@ -1,0 +1,96 @@
+//! The `mobic-lint` command-line entry point.
+//!
+//! ```text
+//! mobic-lint [--root <path>] [--json | --fix-plan]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` unsuppressed findings, `2` usage or I/O
+//! error. The default root is found by walking up from the current
+//! directory to the first `Cargo.toml` that declares `[workspace]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+enum Mode {
+    Human,
+    Json,
+    FixPlan,
+}
+
+fn usage() -> &'static str {
+    "usage: mobic-lint [--root <path>] [--json | --fix-plan]\n\
+     \n\
+     Scans the workspace for violations of the determinism, no-panic,\n\
+     zero-alloc, artifact-write, and dependency-policy invariants.\n\
+     \n\
+       --root <path>  workspace root (default: nearest [workspace] manifest)\n\
+       --json         machine-readable output\n\
+       --fix-plan     markdown triage checklist grouped by rule\n"
+}
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut mode = Mode::Human;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => mode = Mode::Json,
+            "--fix-plan" => mode = Mode::FixPlan,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --root requires a path\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let Some(root) = root.or_else(find_workspace_root) else {
+        eprintln!("error: no workspace root found (pass --root <path>)");
+        return ExitCode::from(2);
+    };
+
+    let analysis = match mobic_lint::scan_workspace(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: scanning {} failed: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    match mode {
+        Mode::Human => print!("{}", mobic_lint::report::render_human(&analysis)),
+        Mode::Json => print!("{}", mobic_lint::report::render_json(&analysis)),
+        Mode::FixPlan => print!("{}", mobic_lint::report::render_fix_plan(&analysis)),
+    }
+
+    if analysis.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,231 @@
+//! Rendering of analysis results: human diagnostics, `--json` machine
+//! output, and the `--fix-plan` triage checklist.
+//!
+//! JSON is emitted by hand (the linter is zero-dependency, so no
+//! serde); the only subtlety is string escaping, which
+//! [`escape_json`] handles for the control/quote/backslash cases that
+//! can actually appear in paths and messages.
+
+use crate::rules::{Finding, RuleId, ALL_RULES};
+use crate::Analysis;
+use std::fmt::Write as _;
+
+/// Escapes a string for inclusion in a JSON string literal.
+#[must_use]
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders human-readable diagnostics, one block per finding, followed
+/// by a summary line. Suppressed findings are listed separately so the
+/// exception inventory stays visible in every run.
+#[must_use]
+pub fn render_human(analysis: &Analysis) -> String {
+    let mut out = String::new();
+    let active: Vec<&Finding> = analysis.findings.iter().filter(|f| !f.suppressed).collect();
+    let suppressed: Vec<&Finding> = analysis.findings.iter().filter(|f| f.suppressed).collect();
+
+    for f in &active {
+        let _ = writeln!(out, "error[{}]: {}", f.rule.name(), f.message);
+        let _ = writeln!(out, "  --> {}:{}", f.file, f.line);
+    }
+    if !suppressed.is_empty() {
+        let _ = writeln!(out, "suppressed findings ({}):", suppressed.len());
+        for f in &suppressed {
+            let _ = writeln!(
+                out,
+                "  {}:{} [{}] — {}",
+                f.file,
+                f.line,
+                f.rule.name(),
+                f.reason.as_deref().unwrap_or("(no reason recorded)")
+            );
+        }
+    }
+    for note in &analysis.notes {
+        let _ = writeln!(out, "note: {note}");
+    }
+    let _ = writeln!(
+        out,
+        "{} file(s) scanned, {} finding(s) ({} suppressed)",
+        analysis.files_scanned,
+        active.len(),
+        suppressed.len()
+    );
+    out
+}
+
+/// Renders the analysis as a single JSON object:
+/// `{"files_scanned": N, "findings": […], "suppressed": […], "notes": […]}`.
+#[must_use]
+pub fn render_json(analysis: &Analysis) -> String {
+    fn finding_json(f: &Finding) -> String {
+        let mut s = format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"",
+            f.rule.name(),
+            escape_json(&f.file),
+            f.line,
+            escape_json(&f.message)
+        );
+        if let Some(reason) = &f.reason {
+            let _ = write!(s, ",\"reason\":\"{}\"", escape_json(reason));
+        }
+        s.push('}');
+        s
+    }
+    let active: Vec<String> = analysis
+        .findings
+        .iter()
+        .filter(|f| !f.suppressed)
+        .map(finding_json)
+        .collect();
+    let suppressed: Vec<String> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.suppressed)
+        .map(finding_json)
+        .collect();
+    let notes: Vec<String> = analysis
+        .notes
+        .iter()
+        .map(|n| format!("\"{}\"", escape_json(n)))
+        .collect();
+    format!(
+        "{{\"files_scanned\":{},\"findings\":[{}],\"suppressed\":[{}],\"notes\":[{}]}}\n",
+        analysis.files_scanned,
+        active.join(","),
+        suppressed.join(","),
+        notes.join(",")
+    )
+}
+
+/// Renders a markdown triage checklist of unsuppressed findings,
+/// grouped by rule in catalog order (the `--fix-plan` mode).
+#[must_use]
+pub fn render_fix_plan(analysis: &Analysis) -> String {
+    let mut out = String::from("# mobic-lint fix plan\n");
+    let active: Vec<&Finding> = analysis.findings.iter().filter(|f| !f.suppressed).collect();
+    if active.is_empty() {
+        out.push_str("\nNo unsuppressed findings — the workspace is clean.\n");
+        return out;
+    }
+    for rule in ALL_RULES {
+        let of_rule: Vec<&&Finding> = active.iter().filter(|f| f.rule == rule).collect();
+        if of_rule.is_empty() {
+            continue;
+        }
+        let _ = write!(out, "\n## {} ({})\n\n", rule.name(), of_rule.len());
+        let _ = writeln!(out, "{}", rule_fix_hint(rule));
+        for f in of_rule {
+            let _ = writeln!(out, "- [ ] `{}:{}` — {}", f.file, f.line, f.message);
+        }
+    }
+    out
+}
+
+/// One-line remediation guidance per rule, shown in the fix plan.
+fn rule_fix_hint(rule: RuleId) -> &'static str {
+    match rule {
+        RuleId::NondeterministicIteration => {
+            "Replace with `BTreeMap`/`BTreeSet`, or sort before iterating."
+        }
+        RuleId::AmbientEntropy => {
+            "Draw randomness from a `SeedSplitter` stream; route timing through \
+             `mobic_trace::profile`."
+        }
+        RuleId::PanicInLib => "Return the typed error (`RunError`, `io::Error`) instead.",
+        RuleId::RawArtifactWrite => "Write through `mobic_trace::write_atomic` or a `TraceSink`.",
+        RuleId::HotPathAlloc => {
+            "Reuse a scratch buffer owned by the caller, or move the allocation out \
+             of the region."
+        }
+        RuleId::DepPolicy => "Unify the dependency requirements / fix the manifest license field.",
+        RuleId::Directive => "Fix the `lint:` directive syntax (these are never suppressible).",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Analysis {
+        Analysis {
+            findings: vec![
+                Finding {
+                    rule: RuleId::PanicInLib,
+                    file: "crates/net/src/x.rs".to_string(),
+                    line: 7,
+                    message: "`unwrap` in library code".to_string(),
+                    suppressed: false,
+                    reason: None,
+                },
+                Finding {
+                    rule: RuleId::AmbientEntropy,
+                    file: "crates/sim/src/y.rs".to_string(),
+                    line: 3,
+                    message: "wall-clock \"read\"".to_string(),
+                    suppressed: true,
+                    reason: Some("progress timer".to_string()),
+                },
+            ],
+            files_scanned: 2,
+            notes: vec!["a note".to_string()],
+        }
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_separates_suppressed() {
+        let json = render_json(&sample());
+        assert!(json.contains("\\\"read\\\""));
+        assert!(json.contains("\"findings\":[{\"rule\":\"panic-in-lib\""));
+        assert!(json.contains("\"suppressed\":[{\"rule\":\"ambient-entropy\""));
+        assert!(json.contains("\"reason\":\"progress timer\""));
+        assert!(json.contains("\"files_scanned\":2"));
+    }
+
+    #[test]
+    fn human_output_lists_both_tiers() {
+        let text = render_human(&sample());
+        assert!(text.contains("error[panic-in-lib]"));
+        assert!(text.contains("crates/net/src/x.rs:7"));
+        assert!(text.contains("suppressed findings (1):"));
+        assert!(text.contains("1 finding(s) (1 suppressed)"));
+    }
+
+    #[test]
+    fn fix_plan_groups_by_rule() {
+        let plan = render_fix_plan(&sample());
+        assert!(plan.contains("## panic-in-lib (1)"));
+        assert!(plan.contains("- [ ] `crates/net/src/x.rs:7`"));
+        assert!(!plan.contains("ambient-entropy (1)"), "suppressed excluded");
+    }
+
+    #[test]
+    fn clean_fix_plan_says_so() {
+        let clean = Analysis {
+            findings: Vec::new(),
+            files_scanned: 5,
+            notes: Vec::new(),
+        };
+        assert!(render_fix_plan(&clean).contains("clean"));
+    }
+
+    #[test]
+    fn control_chars_escape() {
+        assert_eq!(escape_json("a\nb\u{1}"), "a\\nb\\u0001");
+    }
+}

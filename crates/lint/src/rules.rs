@@ -1,0 +1,832 @@
+//! The rule catalog and the per-file scanning engine.
+//!
+//! Every rule is a named token search over the *code shadow* produced
+//! by [`crate::lexer`] (so literals and comments can never trigger a
+//! finding), scoped to the crates where the corresponding invariant is
+//! load-bearing. See `DESIGN.md` §8 for the rationale behind each
+//! rule and the suppression policy.
+
+use crate::lexer::{split_lines, Line};
+
+/// The stable identifier of a lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// `HashMap`/`HashSet` anywhere in a result-affecting crate:
+    /// their iteration order depends on the hasher's random state, so
+    /// any walk over one can silently break byte-identical replay.
+    NondeterministicIteration,
+    /// Ambient entropy or wall-clock reads (`thread_rng`,
+    /// `SystemTime`, `Instant`, `env::var`, …) outside the blessed
+    /// wall-clock module (`mobic_trace::profile`) and the operator
+    /// tooling crates (bench, cli).
+    AmbientEntropy,
+    /// `unwrap`/`expect`/`panic!`/`todo!` in library code of the
+    /// crates that own the typed `RunError` channel (scenario, net,
+    /// trace): failures there must be structured, never aborts.
+    PanicInLib,
+    /// Direct `File::create`/`fs::write`/`OpenOptions` outside
+    /// `mobic_trace`'s artifact/sink modules: every results artifact
+    /// must go through `write_atomic` so interrupted runs never leave
+    /// truncated files.
+    RawArtifactWrite,
+    /// Allocation inside a `// lint:hot-path` region: the steady-state
+    /// loop's zero-allocation guarantee (PR 3), proven statically.
+    HotPathAlloc,
+    /// `Cargo.lock`/manifest policy: no package resolved at two
+    /// versions, workspace licenses on the allowlist.
+    DepPolicy,
+    /// A malformed lint directive (unknown rule in `lint:allow`,
+    /// missing reason string). Not suppressible.
+    Directive,
+}
+
+impl RuleId {
+    /// The rule's kebab-case name as it appears in diagnostics and
+    /// `lint:allow(...)` directives.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::NondeterministicIteration => "nondeterministic-iteration",
+            RuleId::AmbientEntropy => "ambient-entropy",
+            RuleId::PanicInLib => "panic-in-lib",
+            RuleId::RawArtifactWrite => "raw-artifact-write",
+            RuleId::HotPathAlloc => "hot-path-alloc",
+            RuleId::DepPolicy => "dep-policy",
+            RuleId::Directive => "lint-directive",
+        }
+    }
+
+    /// Parses a rule name as written in a `lint:allow(...)` directive.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<RuleId> {
+        ALL_RULES.iter().copied().find(|r| r.name() == name)
+    }
+}
+
+/// Every rule, in catalog order.
+pub const ALL_RULES: [RuleId; 7] = [
+    RuleId::NondeterministicIteration,
+    RuleId::AmbientEntropy,
+    RuleId::PanicInLib,
+    RuleId::RawArtifactWrite,
+    RuleId::HotPathAlloc,
+    RuleId::DepPolicy,
+    RuleId::Directive,
+];
+
+/// One diagnostic produced by the analysis.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// `true` if a valid `lint:allow` directive covers this site.
+    pub suppressed: bool,
+    /// The mandatory reason string of the covering directive.
+    pub reason: Option<String>,
+}
+
+/// A token the scanner searches for, with identifier-boundary flags.
+struct Needle {
+    pat: &'static str,
+    /// Require a non-identifier char (or start of line) before the
+    /// match.
+    bound_left: bool,
+    /// Require a non-identifier char (or end of line) after the match.
+    bound_right: bool,
+    msg: &'static str,
+}
+
+const fn needle(
+    pat: &'static str,
+    bound_left: bool,
+    bound_right: bool,
+    msg: &'static str,
+) -> Needle {
+    Needle {
+        pat,
+        bound_left,
+        bound_right,
+        msg,
+    }
+}
+
+const ITERATION_NEEDLES: &[Needle] = &[
+    needle(
+        "HashMap",
+        true,
+        true,
+        "`HashMap` in a result-affecting crate: iteration order is hasher-dependent; \
+         use `BTreeMap` (or a sorted `Vec`)",
+    ),
+    needle(
+        "HashSet",
+        true,
+        true,
+        "`HashSet` in a result-affecting crate: iteration order is hasher-dependent; \
+         use `BTreeSet` (or a sorted `Vec`)",
+    ),
+];
+
+const ENTROPY_NEEDLES: &[Needle] = &[
+    needle(
+        "thread_rng",
+        true,
+        true,
+        "ambient RNG: all randomness must come from `SeedSplitter` streams",
+    ),
+    needle(
+        "from_entropy",
+        true,
+        true,
+        "ambient RNG seeding: all randomness must come from `SeedSplitter` streams",
+    ),
+    needle(
+        "getrandom",
+        true,
+        true,
+        "ambient RNG: all randomness must come from `SeedSplitter` streams",
+    ),
+    needle(
+        "SystemTime",
+        true,
+        true,
+        "wall-clock read: route timing through `mobic_trace::profile` \
+         (`PhaseClock`/`Stopwatch`), which is `#[serde(skip)]`-isolated from results",
+    ),
+    needle(
+        "Instant",
+        true,
+        true,
+        "wall-clock read: route timing through `mobic_trace::profile` \
+         (`PhaseClock`/`Stopwatch`), which is `#[serde(skip)]`-isolated from results",
+    ),
+    needle(
+        "env::var",
+        true,
+        false,
+        "environment read: results must be a function of `(config, seed)` only",
+    ),
+];
+
+const PANIC_NEEDLES: &[Needle] = &[
+    needle(
+        ".unwrap()",
+        false,
+        false,
+        "`unwrap` in library code: return the typed `RunError`/`io::Error` instead",
+    ),
+    needle(
+        ".expect(",
+        false,
+        false,
+        "`expect` in library code: return the typed `RunError`/`io::Error` instead",
+    ),
+    needle(
+        "panic!",
+        true,
+        false,
+        "`panic!` in library code: return the typed `RunError`/`io::Error` instead",
+    ),
+    needle("todo!", true, false, "`todo!` in library code"),
+    needle(
+        "unimplemented!",
+        true,
+        false,
+        "`unimplemented!` in library code",
+    ),
+];
+
+const WRITE_NEEDLES: &[Needle] = &[
+    needle(
+        "File::create",
+        true,
+        false,
+        "raw artifact write: route through `mobic_trace::write_atomic` \
+         (or a `TraceSink`) so interrupted runs never leave truncated files",
+    ),
+    needle(
+        "fs::write",
+        true,
+        false,
+        "raw artifact write: route through `mobic_trace::write_atomic` \
+         so interrupted runs never leave truncated files",
+    ),
+    needle(
+        "OpenOptions",
+        true,
+        true,
+        "raw artifact write: route through `mobic_trace::write_atomic` \
+         so interrupted runs never leave truncated files",
+    ),
+];
+
+const HOT_ALLOC_NEEDLES: &[Needle] = &[
+    needle(
+        "Vec::new",
+        true,
+        false,
+        "allocation in hot-path region: `Vec::new`",
+    ),
+    needle("vec!", true, false, "allocation in hot-path region: `vec!`"),
+    needle(
+        ".collect",
+        false,
+        true,
+        "allocation in hot-path region: `.collect()`",
+    ),
+    needle(
+        ".to_vec()",
+        false,
+        false,
+        "allocation in hot-path region: `.to_vec()`",
+    ),
+    needle(
+        ".to_string()",
+        false,
+        false,
+        "allocation in hot-path region: `.to_string()`",
+    ),
+    needle(
+        ".to_owned()",
+        false,
+        false,
+        "allocation in hot-path region: `.to_owned()`",
+    ),
+    needle(
+        "String::new",
+        true,
+        false,
+        "allocation in hot-path region: `String::new`",
+    ),
+    needle(
+        "String::from",
+        true,
+        false,
+        "allocation in hot-path region: `String::from`",
+    ),
+    needle(
+        "format!",
+        true,
+        false,
+        "allocation in hot-path region: `format!`",
+    ),
+    needle(
+        "Box::new",
+        true,
+        false,
+        "allocation in hot-path region: `Box::new`",
+    ),
+    needle(
+        "with_capacity",
+        true,
+        true,
+        "allocation in hot-path region: `with_capacity`",
+    ),
+];
+
+/// Crates whose code influences `RunResult` bytes; `HashMap`/`HashSet`
+/// are banned here outright.
+const RESULT_AFFECTING: &[&str] = &[
+    "geom", "sim", "mobility", "radio", "net", "core", "metrics", "scenario",
+];
+
+/// Crates that own the typed error channel; library panics are banned.
+const TYPED_ERROR_CRATES: &[&str] = &["scenario", "net", "trace"];
+
+/// Returns the rules that apply to a workspace-relative source path,
+/// or an empty vector for paths the scanner skips entirely (test
+/// trees, benches, fixtures).
+///
+/// The scoping encodes the workspace policy:
+///
+/// * test code may use `HashMap`, `unwrap`, wall clocks freely (it is
+///   additionally skipped at `#[cfg(test)]`-module granularity inside
+///   library files);
+/// * `crates/bench` and `crates/cli` are operator tooling — they may
+///   read the environment and the wall clock, but still may not write
+///   artifacts raw;
+/// * `crates/trace/src/profile.rs` is the one blessed wall-clock
+///   module, `crates/trace/src/artifact.rs` is the `write_atomic`
+///   implementation itself, and `crates/trace/src/sink.rs` owns the
+///   streaming JSONL sink (an append stream cannot be written
+///   atomically, and is not a results artifact).
+#[must_use]
+pub fn rules_for_path(rel: &str) -> Vec<RuleId> {
+    let rel = rel.replace('\\', "/");
+    // The linter does not scan itself: its source necessarily spells
+    // out directive syntax and rule tokens in prose, and it is neither
+    // result-affecting nor on any hot path. Its correctness is carried
+    // by its own unit and fixture tests instead.
+    let skip = rel.starts_with("tests/")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/fixtures/")
+        || rel.starts_with("crates/lint/")
+        || rel.starts_with("target/");
+    if skip {
+        return Vec::new();
+    }
+    let mut rules = vec![RuleId::HotPathAlloc, RuleId::Directive];
+
+    let in_crate = |name: &str| rel.starts_with(&format!("crates/{name}/src/"));
+
+    if RESULT_AFFECTING.iter().any(|c| in_crate(c)) {
+        rules.push(RuleId::NondeterministicIteration);
+    }
+    if TYPED_ERROR_CRATES.iter().any(|c| in_crate(c)) {
+        rules.push(RuleId::PanicInLib);
+    }
+    let entropy_exempt = rel.starts_with("crates/bench/")
+        || rel.starts_with("crates/cli/")
+        || rel == "crates/trace/src/profile.rs";
+    if !entropy_exempt {
+        rules.push(RuleId::AmbientEntropy);
+    }
+    let write_exempt = rel == "crates/trace/src/artifact.rs" || rel == "crates/trace/src/sink.rs";
+    if !write_exempt {
+        rules.push(RuleId::RawArtifactWrite);
+    }
+    rules.sort_unstable();
+    rules
+}
+
+/// A `lint:allow(rule): reason` directive parsed from a comment.
+#[derive(Debug, Clone)]
+struct Allow {
+    rule: RuleId,
+    reason: String,
+}
+
+/// Per-line directive state extracted before token scanning.
+#[derive(Default)]
+struct Directives {
+    /// Valid allows, by 0-based line index.
+    allows: Vec<Vec<Allow>>,
+    /// `lint:hot-path` region membership, by 0-based line index.
+    hot: Vec<bool>,
+    /// Directive-syntax findings (unknown rule, missing reason,
+    /// bad region nesting).
+    findings: Vec<Finding>,
+}
+
+/// Parses every directive in `lines` and computes hot-region
+/// membership. Region rules: regions may not nest, every opened
+/// region must be closed in the same file, and a stray close is an
+/// error. The marker lines themselves belong to the region, so a
+/// violation on the same line as the marker is still caught.
+///
+/// A directive must be the **first** token of its comment
+/// (`// lint:hot-path — rationale...`): a mid-sentence mention of the
+/// syntax in prose is inert, so documentation can discuss directives
+/// without triggering them.
+fn parse_directives(file: &str, lines: &[Line]) -> Directives {
+    let mut d = Directives {
+        allows: vec![Vec::new(); lines.len()],
+        hot: vec![false; lines.len()],
+        findings: Vec::new(),
+    };
+    let mut open: Option<usize> = None;
+    for (idx, line) in lines.iter().enumerate() {
+        // The comment shadow blanks the `//`/`/*` markers, so trimming
+        // leading whitespace (and doc-comment `!`/`/` leftovers never
+        // reach here — they are part of the marker) yields the text.
+        let comment = line.comment.trim_start();
+        if comment.starts_with("lint:end-hot-path") {
+            if open.is_none() {
+                d.findings.push(Finding {
+                    rule: RuleId::HotPathAlloc,
+                    file: file.to_string(),
+                    line: idx + 1,
+                    message: "`lint:end-hot-path` without an open `lint:hot-path` region"
+                        .to_string(),
+                    suppressed: false,
+                    reason: None,
+                });
+            }
+            d.hot[idx] = true;
+            open = None;
+        } else if comment.starts_with("lint:hot-path") {
+            if let Some(at) = open {
+                d.findings.push(Finding {
+                    rule: RuleId::HotPathAlloc,
+                    file: file.to_string(),
+                    line: idx + 1,
+                    message: format!(
+                        "nested `lint:hot-path` region (previous one opened on line {} \
+                         is still open)",
+                        at + 1
+                    ),
+                    suppressed: false,
+                    reason: None,
+                });
+            }
+            open = Some(idx);
+        }
+        if let Some(open_at) = open {
+            if idx >= open_at {
+                d.hot[idx] = true;
+            }
+        }
+        // `lint:allow(rule): reason` — at comment start only, one per
+        // comment (a trailing comment IS a comment of its own).
+        if let Some(rest) = comment.strip_prefix("lint:allow") {
+            'allow: {
+                let Some(stripped) = rest.strip_prefix('(') else {
+                    d.findings.push(directive_error(
+                        file,
+                        idx,
+                        "malformed `lint:allow`: expected `lint:allow(<rule>): <reason>`",
+                    ));
+                    break 'allow;
+                };
+                let Some(close) = stripped.find(')') else {
+                    d.findings.push(directive_error(
+                        file,
+                        idx,
+                        "malformed `lint:allow`: missing `)` after the rule name",
+                    ));
+                    break 'allow;
+                };
+                let name = stripped[..close].trim();
+                let after = &stripped[close + 1..];
+                let Some(rule) = RuleId::from_name(name) else {
+                    d.findings.push(directive_error(
+                        file,
+                        idx,
+                        &format!("unknown rule `{name}` in `lint:allow`"),
+                    ));
+                    break 'allow;
+                };
+                if rule == RuleId::Directive || rule == RuleId::DepPolicy {
+                    d.findings.push(directive_error(
+                        file,
+                        idx,
+                        &format!("rule `{name}` cannot be suppressed with `lint:allow`"),
+                    ));
+                    break 'allow;
+                }
+                let reason = after
+                    .strip_prefix(':')
+                    .map(str::trim)
+                    .unwrap_or("")
+                    .to_string();
+                if reason.is_empty() {
+                    d.findings.push(directive_error(
+                        file,
+                        idx,
+                        &format!(
+                            "`lint:allow({name})` is missing its mandatory reason string \
+                             (`lint:allow({name}): <why this site is exempt>`)"
+                        ),
+                    ));
+                } else {
+                    d.allows[idx].push(Allow { rule, reason });
+                }
+            }
+        }
+    }
+    if let Some(at) = open {
+        d.findings.push(Finding {
+            rule: RuleId::HotPathAlloc,
+            file: file.to_string(),
+            line: at + 1,
+            message: "`lint:hot-path` region is never closed (`lint:end-hot-path` missing)"
+                .to_string(),
+            suppressed: false,
+            reason: None,
+        });
+    }
+    d
+}
+
+fn directive_error(file: &str, idx: usize, msg: &str) -> Finding {
+    Finding {
+        rule: RuleId::Directive,
+        file: file.to_string(),
+        line: idx + 1,
+        message: msg.to_string(),
+        suppressed: false,
+        reason: None,
+    }
+}
+
+/// Marks the lines belonging to `#[cfg(test)]` modules, by brace
+/// counting over the code shadow. Heuristic but robust for
+/// rustfmt-formatted code: the attribute precedes a `mod … {` line; the
+/// region ends when the brace depth returns to the module's level.
+fn mark_test_lines(lines: &[Line]) -> Vec<bool> {
+    let mut is_test = vec![false; lines.len()];
+    let mut depth: i32 = 0;
+    let mut pending_attr = false;
+    // Brace depth at which the test module was opened.
+    let mut test_until: Option<i32> = None;
+    for (idx, line) in lines.iter().enumerate() {
+        let code = line.code.as_str();
+        if test_until.is_none() && pending_attr {
+            let trimmed = code.trim_start();
+            if trimmed.contains("mod ") || trimmed.starts_with("mod") {
+                test_until = Some(depth);
+                pending_attr = false;
+            } else if !trimmed.is_empty() && !trimmed.starts_with("#[") {
+                // The attribute belonged to something other than a
+                // module (a cfg-gated fn or use); elections stay live.
+                pending_attr = false;
+            }
+        }
+        if test_until.is_none() && code.contains("cfg(test") {
+            pending_attr = true;
+            // `#[cfg(test)] mod tests {` on one line.
+            if code.contains("mod ") {
+                test_until = Some(depth);
+                pending_attr = false;
+            }
+        }
+        if test_until.is_some() {
+            is_test[idx] = true;
+        }
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if let Some(d) = test_until {
+                        if depth <= d {
+                            test_until = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    is_test
+}
+
+/// `true` if `hay[i..]` starts with `pat` under the needle's
+/// identifier-boundary requirements.
+fn matches_at(hay: &[u8], i: usize, n: &Needle) -> bool {
+    let pat = n.pat.as_bytes();
+    if i + pat.len() > hay.len() || &hay[i..i + pat.len()] != pat {
+        return false;
+    }
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    if n.bound_left && i > 0 && is_ident(hay[i - 1]) {
+        return false;
+    }
+    if n.bound_right {
+        if let Some(&next) = hay.get(i + pat.len()) {
+            if is_ident(next) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Scans one line's code shadow for every needle in `set`, invoking
+/// `hit` once per distinct needle that matches (one finding per
+/// needle per line keeps diagnostics readable).
+fn scan_needles(code: &str, set: &[Needle], mut hit: impl FnMut(&Needle)) {
+    let hay = code.as_bytes();
+    for n in set {
+        if (0..hay.len()).any(|i| matches_at(hay, i, n)) {
+            hit(n);
+        }
+    }
+}
+
+/// Runs the given `rules` over one file's source text.
+///
+/// `file` is the workspace-relative path used in diagnostics. Test
+/// modules (`#[cfg(test)]`) are skipped for every rule except
+/// [`RuleId::HotPathAlloc`] region-syntax checks; suppression via
+/// `lint:allow(rule): reason` on the finding's line or the line above
+/// marks the finding `suppressed` without deleting it (so `--json`
+/// consumers can audit the exception inventory).
+#[must_use]
+pub fn scan_source(file: &str, source: &str, rules: &[RuleId]) -> Vec<Finding> {
+    let lines = split_lines(source);
+    let directives = parse_directives(file, &lines);
+    let is_test = mark_test_lines(&lines);
+    let mut findings = Vec::new();
+    if rules.contains(&RuleId::Directive) || rules.contains(&RuleId::HotPathAlloc) {
+        findings.extend(directives.findings.iter().cloned());
+    }
+
+    for (idx, line) in lines.iter().enumerate() {
+        if is_test[idx] {
+            continue;
+        }
+        let code = line.code.as_str();
+        let mut emit = |rule: RuleId, msg: &str| {
+            findings.push(Finding {
+                rule,
+                file: file.to_string(),
+                line: idx + 1,
+                message: msg.to_string(),
+                suppressed: false,
+                reason: None,
+            });
+        };
+        if rules.contains(&RuleId::NondeterministicIteration) {
+            scan_needles(code, ITERATION_NEEDLES, |n| {
+                emit(RuleId::NondeterministicIteration, n.msg);
+            });
+        }
+        if rules.contains(&RuleId::AmbientEntropy) {
+            scan_needles(code, ENTROPY_NEEDLES, |n| {
+                emit(RuleId::AmbientEntropy, n.msg)
+            });
+        }
+        if rules.contains(&RuleId::PanicInLib) {
+            scan_needles(code, PANIC_NEEDLES, |n| emit(RuleId::PanicInLib, n.msg));
+        }
+        if rules.contains(&RuleId::RawArtifactWrite) {
+            scan_needles(code, WRITE_NEEDLES, |n| {
+                emit(RuleId::RawArtifactWrite, n.msg)
+            });
+        }
+        if rules.contains(&RuleId::HotPathAlloc) && directives.hot[idx] {
+            scan_needles(code, HOT_ALLOC_NEEDLES, |n| {
+                emit(RuleId::HotPathAlloc, n.msg)
+            });
+        }
+    }
+
+    // Apply suppressions: an allow on the finding's own line or the
+    // line directly above covers it.
+    for f in &mut findings {
+        if f.rule == RuleId::Directive {
+            continue;
+        }
+        let idx = f.line - 1;
+        let candidates = directives.allows[idx].iter().chain(
+            idx.checked_sub(1)
+                .map_or([].iter(), |p| directives.allows[p].iter()),
+        );
+        for a in candidates {
+            if a.rule == f.rule {
+                f.suppressed = true;
+                f.reason = Some(a.reason.clone());
+                break;
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_file_rules() -> Vec<RuleId> {
+        vec![
+            RuleId::NondeterministicIteration,
+            RuleId::AmbientEntropy,
+            RuleId::PanicInLib,
+            RuleId::RawArtifactWrite,
+            RuleId::HotPathAlloc,
+            RuleId::Directive,
+        ]
+    }
+
+    #[test]
+    fn tokens_in_strings_and_comments_do_not_fire() {
+        let src = "fn f() {\n    let _ = \"HashMap thread_rng panic!()\"; // Instant::now\n}\n";
+        assert!(scan_source("x.rs", src, &all_file_rules()).is_empty());
+    }
+
+    #[test]
+    fn hashmap_fires_with_ident_boundaries() {
+        let src = "use std::collections::HashMap;\nstruct MyHashMapLike;\n";
+        let f = scan_source("x.rs", src, &all_file_rules());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 1);
+        assert_eq!(f[0].rule, RuleId::NondeterministicIteration);
+    }
+
+    #[test]
+    fn cfg_test_modules_are_skipped() {
+        let src = "\
+fn lib_code() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let x: Option<u32> = None;
+        x.unwrap();
+    }
+}
+";
+        assert!(scan_source("x.rs", src, &all_file_rules()).is_empty());
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_and_without_reason_errors() {
+        let ok =
+            "fn f() { x.unwrap() } // lint:allow(panic-in-lib): poisoned mutex is unrecoverable\n";
+        let f = scan_source("x.rs", ok, &all_file_rules());
+        assert_eq!(f.len(), 1);
+        assert!(f[0].suppressed);
+        assert_eq!(
+            f[0].reason.as_deref(),
+            Some("poisoned mutex is unrecoverable")
+        );
+
+        let bad = "fn f() { x.unwrap() } // lint:allow(panic-in-lib)\n";
+        let f = scan_source("x.rs", bad, &all_file_rules());
+        assert!(f.iter().any(|x| x.rule == RuleId::Directive));
+        assert!(f
+            .iter()
+            .any(|x| x.rule == RuleId::PanicInLib && !x.suppressed));
+    }
+
+    #[test]
+    fn allow_on_previous_line_covers() {
+        let src = "// lint:allow(ambient-entropy): operator-facing progress timer\nlet t = Instant::now();\n";
+        let f = scan_source("x.rs", src, &all_file_rules());
+        assert_eq!(f.len(), 1);
+        assert!(f[0].suppressed);
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_a_directive_error() {
+        let src = "// lint:allow(no-such-rule): whatever\n";
+        let f = scan_source("x.rs", src, &all_file_rules());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RuleId::Directive);
+    }
+
+    #[test]
+    fn hot_path_region_flags_allocs_inside_only() {
+        let src = "\
+let a: Vec<u32> = Vec::new();
+// lint:hot-path
+let b = v.iter().map(|x| x + 1).sum::<u32>();
+let c: Vec<u32> = v.iter().copied().collect();
+// lint:end-hot-path
+let d: Vec<u32> = xs.to_vec();
+";
+        let f = scan_source("x.rs", src, &all_file_rules());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 4);
+        assert_eq!(f[0].rule, RuleId::HotPathAlloc);
+    }
+
+    #[test]
+    fn unclosed_and_nested_regions_error() {
+        let unclosed = "// lint:hot-path\nlet x = 1;\n";
+        let f = scan_source("x.rs", unclosed, &all_file_rules());
+        assert!(
+            f.iter().any(|x| x.message.contains("never closed")),
+            "{f:?}"
+        );
+
+        let nested = "// lint:hot-path\n// lint:hot-path\n// lint:end-hot-path\n";
+        let f = scan_source("x.rs", nested, &all_file_rules());
+        assert!(f.iter().any(|x| x.message.contains("nested")), "{f:?}");
+
+        let stray = "// lint:end-hot-path\n";
+        let f = scan_source("x.rs", stray, &all_file_rules());
+        assert!(
+            f.iter().any(|x| x.message.contains("without an open")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn path_scoping_matches_the_policy() {
+        let loss = rules_for_path("crates/net/src/loss.rs");
+        assert!(loss.contains(&RuleId::NondeterministicIteration));
+        assert!(loss.contains(&RuleId::PanicInLib));
+        assert!(loss.contains(&RuleId::AmbientEntropy));
+
+        let bench = rules_for_path("crates/bench/src/lib.rs");
+        assert!(!bench.contains(&RuleId::AmbientEntropy));
+        assert!(bench.contains(&RuleId::RawArtifactWrite));
+
+        let profile = rules_for_path("crates/trace/src/profile.rs");
+        assert!(!profile.contains(&RuleId::AmbientEntropy));
+        assert!(profile.contains(&RuleId::PanicInLib));
+
+        let artifact = rules_for_path("crates/trace/src/artifact.rs");
+        assert!(!artifact.contains(&RuleId::RawArtifactWrite));
+
+        assert!(rules_for_path("crates/net/tests/table_model.rs").is_empty());
+        assert!(rules_for_path("tests/determinism.rs").is_empty());
+        assert!(rules_for_path("crates/lint/tests/fixtures/x.rs").is_empty());
+        assert!(rules_for_path("crates/lint/src/rules.rs").is_empty());
+    }
+
+    #[test]
+    fn expect_err_is_not_expect() {
+        let src = "let e = r.expect_err; let f = v.unwrap_or(3);\n";
+        assert!(scan_source("x.rs", src, &all_file_rules()).is_empty());
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: violates `ambient-entropy` four ways. Never compiled.
+use rand::thread_rng;
+use std::time::{Instant, SystemTime};
+
+pub fn jitter() -> f64 {
+    let t0 = Instant::now();
+    let _wall = SystemTime::now();
+    let _knob = std::env::var("MOBIC_JITTER");
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,13 @@
+// Fixture: the clean twin of `ambient_entropy_bad.rs` — seeded
+// streams only, timing through the blessed profile types. Never
+// compiled.
+use mobic_sim::rng::SeedSplitter;
+use mobic_trace::Stopwatch;
+
+pub fn jitter(seed: u64) -> f64 {
+    let _rng = SeedSplitter::new(seed).stream("jitter", 0);
+    let sw = Stopwatch::start();
+    // "Instant::now" in a string literal must not fire.
+    let _msg = "no Instant::now or thread_rng here";
+    sw.elapsed_ms()
+}

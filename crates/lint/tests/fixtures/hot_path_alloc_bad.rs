@@ -1,0 +1,16 @@
+// Fixture: violates `hot-path-alloc` inside a marked region; the
+// identical allocations outside the region are fine. Never compiled.
+pub fn cold_setup(n: usize) -> Vec<u32> {
+    let mut v = Vec::with_capacity(n);
+    v.extend(0..n as u32);
+    v
+}
+
+// lint:hot-path
+pub fn per_event(xs: &[u32]) -> Vec<u32> {
+    let doubled: Vec<u32> = xs.iter().map(|x| x * 2).collect();
+    let mut extra = vec![0u32; 4];
+    extra.extend_from_slice(&doubled);
+    extra
+}
+// lint:end-hot-path

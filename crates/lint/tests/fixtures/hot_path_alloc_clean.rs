@@ -1,0 +1,18 @@
+// Fixture: the clean twin of `hot_path_alloc_bad.rs` — the region
+// reuses caller-owned scratch; allocation happens outside. Never
+// compiled.
+pub fn cold_setup(n: usize) -> Vec<u32> {
+    let mut scratch = Vec::with_capacity(n);
+    scratch.extend(0..n as u32);
+    scratch
+}
+
+// lint:hot-path
+pub fn per_event(xs: &[u32], scratch: &mut Vec<u32>) -> u32 {
+    scratch.clear();
+    for &x in xs {
+        scratch.push(x * 2);
+    }
+    scratch.iter().sum()
+}
+// lint:end-hot-path

@@ -1,0 +1,7 @@
+// Fixture: a nested `lint:hot-path` open is a region-syntax error.
+// Never compiled.
+// lint:hot-path
+pub fn outer() {}
+// lint:hot-path
+pub fn inner() {}
+// lint:end-hot-path

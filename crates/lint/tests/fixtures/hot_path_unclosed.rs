@@ -1,0 +1,6 @@
+// Fixture: an unclosed `lint:hot-path` region is a region-syntax
+// error, and a stray close is another. Never compiled.
+// lint:end-hot-path
+pub fn stray() {}
+// lint:hot-path
+pub fn never_closed() {}

@@ -1,0 +1,13 @@
+// Fixture: violates `nondeterministic-iteration` (scanned as if it
+// lived in a result-affecting crate). Never compiled.
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &x in xs {
+        seen.insert(x);
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts.len() + seen.len()
+}

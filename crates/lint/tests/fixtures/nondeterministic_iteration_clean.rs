@@ -1,0 +1,16 @@
+// Fixture: the clean twin of `nondeterministic_iteration_bad.rs` —
+// ordered containers, plus the tokens appearing only in literals and
+// comments (which must not fire). Never compiled.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+    for &x in xs {
+        seen.insert(x);
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    // A HashMap mentioned in a comment is fine.
+    let _msg = "so is a HashSet inside a string literal";
+    counts.len() + seen.len()
+}

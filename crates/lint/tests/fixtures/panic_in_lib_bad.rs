@@ -1,0 +1,12 @@
+// Fixture: violates `panic-in-lib` on every needle. Never compiled.
+pub fn load(path: &str) -> String {
+    let text = std::fs::read_to_string(path).unwrap();
+    let first = text.lines().next().expect("at least one line");
+    if first.is_empty() {
+        panic!("empty header");
+    }
+    if first.starts_with('#') {
+        todo!();
+    }
+    unimplemented!()
+}

@@ -1,0 +1,21 @@
+// Fixture: the clean twin of `panic_in_lib_bad.rs` — typed errors in
+// library code; a test module may assert freely. Never compiled.
+pub fn load(path: &str) -> std::io::Result<String> {
+    let text = std::fs::read_to_string(path)?;
+    let first = text
+        .lines()
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "empty file"))?;
+    // `unwrap_or` and `expect_err` are not panics.
+    let _level = first.parse::<u32>().unwrap_or(0);
+    Ok(first.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

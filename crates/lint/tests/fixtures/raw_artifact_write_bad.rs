@@ -1,0 +1,9 @@
+// Fixture: violates `raw-artifact-write` three ways. Never compiled.
+use std::fs::{File, OpenOptions};
+
+pub fn persist(path: &str, data: &[u8]) -> std::io::Result<()> {
+    let _f = File::create(path)?;
+    std::fs::write(path, data)?;
+    let _g = OpenOptions::new().append(true).open(path)?;
+    Ok(())
+}

@@ -1,0 +1,7 @@
+// Fixture: the clean twin of `raw_artifact_write_bad.rs` — all
+// artifact output goes through the atomic writer. Never compiled.
+pub fn persist(path: &str, data: &[u8]) -> std::io::Result<()> {
+    // Reads are always fine; only writes are policed.
+    let _existing = std::fs::read(path).ok();
+    mobic_trace::write_atomic(path, data)
+}

@@ -1,0 +1,200 @@
+//! Per-rule fixture coverage: every rule has a violating fixture that
+//! must produce unsuppressed findings (so the binary would exit
+//! nonzero on it) and a clean twin that must produce none.
+
+use mobic_lint::{deps, rules_for_path, scan_source, Finding, RuleId};
+
+/// Scans a fixture as if it lived at `as_path`, so the path-scoped
+/// rule set matches the rule under test.
+fn scan_fixture(source: &str, as_path: &str) -> Vec<Finding> {
+    let rules = rules_for_path(as_path);
+    assert!(
+        !rules.is_empty(),
+        "fixture path {as_path} must map to a non-empty rule set"
+    );
+    scan_source(as_path, source, &rules)
+}
+
+fn unsuppressed(findings: &[Finding], rule: RuleId) -> usize {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule && !f.suppressed)
+        .count()
+}
+
+#[test]
+fn nondeterministic_iteration_fixture_pair() {
+    let bad = scan_fixture(
+        include_str!("fixtures/nondeterministic_iteration_bad.rs"),
+        "crates/core/src/fixture.rs",
+    );
+    // Two container types across several lines; at minimum the two
+    // `use`-line hits.
+    assert!(
+        unsuppressed(&bad, RuleId::NondeterministicIteration) >= 2,
+        "{bad:?}"
+    );
+
+    let clean = scan_fixture(
+        include_str!("fixtures/nondeterministic_iteration_clean.rs"),
+        "crates/core/src/fixture.rs",
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn ambient_entropy_fixture_pair() {
+    let bad = scan_fixture(
+        include_str!("fixtures/ambient_entropy_bad.rs"),
+        "crates/sim/src/fixture.rs",
+    );
+    // thread_rng, Instant (x2 incl. elapsed binding line), SystemTime,
+    // env::var — at least 4 distinct sites.
+    assert!(unsuppressed(&bad, RuleId::AmbientEntropy) >= 4, "{bad:?}");
+
+    let clean = scan_fixture(
+        include_str!("fixtures/ambient_entropy_clean.rs"),
+        "crates/sim/src/fixture.rs",
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn panic_in_lib_fixture_pair() {
+    let bad = scan_fixture(
+        include_str!("fixtures/panic_in_lib_bad.rs"),
+        "crates/net/src/fixture.rs",
+    );
+    // unwrap, expect, panic!, todo!, unimplemented! — five sites.
+    assert!(unsuppressed(&bad, RuleId::PanicInLib) >= 5, "{bad:?}");
+
+    let clean = scan_fixture(
+        include_str!("fixtures/panic_in_lib_clean.rs"),
+        "crates/net/src/fixture.rs",
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn raw_artifact_write_fixture_pair() {
+    let bad = scan_fixture(
+        include_str!("fixtures/raw_artifact_write_bad.rs"),
+        "crates/metrics/src/fixture.rs",
+    );
+    assert!(unsuppressed(&bad, RuleId::RawArtifactWrite) >= 3, "{bad:?}");
+
+    let clean = scan_fixture(
+        include_str!("fixtures/raw_artifact_write_clean.rs"),
+        "crates/metrics/src/fixture.rs",
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn hot_path_alloc_fixture_pair() {
+    let bad = scan_fixture(
+        include_str!("fixtures/hot_path_alloc_bad.rs"),
+        "crates/geom/src/fixture.rs",
+    );
+    // `.collect`, `vec!`, and the return-type `Vec` builder inside the
+    // region; `with_capacity` outside must NOT fire.
+    assert!(unsuppressed(&bad, RuleId::HotPathAlloc) >= 2, "{bad:?}");
+    assert!(
+        bad.iter().all(|f| f.line >= 9),
+        "nothing outside the region may fire: {bad:?}"
+    );
+
+    let clean = scan_fixture(
+        include_str!("fixtures/hot_path_alloc_clean.rs"),
+        "crates/geom/src/fixture.rs",
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn suppression_fixture_covers_the_grammar() {
+    let findings = scan_fixture(
+        include_str!("fixtures/suppression.rs"),
+        "crates/net/src/fixture.rs",
+    );
+    let suppressed: Vec<&Finding> = findings.iter().filter(|f| f.suppressed).collect();
+    // Cases 1 and 2: suppressed, each carrying its reason.
+    assert_eq!(suppressed.len(), 2, "{findings:?}");
+    assert!(suppressed.iter().all(|f| f
+        .reason
+        .as_deref()
+        .is_some_and(|r| r.contains("suppression"))));
+    // Case 3: reasonless allow → directive error + live finding.
+    assert!(findings
+        .iter()
+        .any(|f| f.rule == RuleId::Directive && f.message.contains("mandatory reason")));
+    // Case 4: unknown rule → directive error.
+    assert!(findings
+        .iter()
+        .any(|f| f.rule == RuleId::Directive && f.message.contains("unknown rule")));
+    // The reasonless and unknown-rule unwraps stay live.
+    assert_eq!(
+        unsuppressed(&findings, RuleId::PanicInLib),
+        2,
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn hot_path_region_syntax_fixtures() {
+    let nested = scan_fixture(
+        include_str!("fixtures/hot_path_nested.rs"),
+        "crates/geom/src/fixture.rs",
+    );
+    assert!(nested
+        .iter()
+        .any(|f| f.rule == RuleId::HotPathAlloc && f.message.contains("nested")));
+
+    let unclosed = scan_fixture(
+        include_str!("fixtures/hot_path_unclosed.rs"),
+        "crates/geom/src/fixture.rs",
+    );
+    assert!(unclosed
+        .iter()
+        .any(|f| f.rule == RuleId::HotPathAlloc && f.message.contains("without an open")));
+    assert!(unclosed
+        .iter()
+        .any(|f| f.rule == RuleId::HotPathAlloc && f.message.contains("never closed")));
+}
+
+#[test]
+fn dep_policy_lockfile_fixtures() {
+    let dup = deps::parse_lockfile(include_str!("fixtures/Cargo_dup.lock"));
+    assert_eq!(dup.len(), 4);
+    let findings = deps::duplicate_version_findings("Cargo.lock", &dup);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].message.contains("rand"));
+
+    let clean = deps::parse_lockfile(include_str!("fixtures/Cargo_clean.lock"));
+    assert!(deps::duplicate_version_findings("Cargo.lock", &clean).is_empty());
+}
+
+#[test]
+fn violating_fixtures_would_exit_nonzero() {
+    // The binary exits nonzero iff `Analysis::is_clean()` is false;
+    // prove the link for one representative fixture of each polarity.
+    let bad = mobic_lint::Analysis {
+        findings: scan_fixture(
+            include_str!("fixtures/panic_in_lib_bad.rs"),
+            "crates/net/src/fixture.rs",
+        ),
+        files_scanned: 1,
+        notes: vec![],
+    };
+    assert!(!bad.is_clean());
+
+    let clean = mobic_lint::Analysis {
+        findings: scan_fixture(
+            include_str!("fixtures/panic_in_lib_clean.rs"),
+            "crates/net/src/fixture.rs",
+        ),
+        files_scanned: 1,
+        notes: vec![],
+    };
+    assert!(clean.is_clean());
+}

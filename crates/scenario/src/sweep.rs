@@ -3,10 +3,10 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use mobic_metrics::OnlineStats;
-use mobic_trace::RunManifest;
+use mobic_trace::{RunManifest, Stopwatch};
 use serde::{Deserialize, Serialize};
 
 use crate::{config_hash_for, manifest_for, run_scenario, RunError, RunResult, ScenarioConfig};
@@ -103,7 +103,12 @@ pub fn run_batch(jobs: &[(ScenarioConfig, u64)]) -> Result<Vec<RunResult>, JobEr
                 }
                 let (cfg, seed) = &jobs[i];
                 let result = run_scenario(cfg, *seed);
-                **slots[i].lock().expect("slot poisoned") = Some(result);
+                // A poisoned slot only means another worker panicked
+                // mid-store; the `Option` write below is still sound,
+                // so recover the guard instead of propagating.
+                **slots[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
             });
         }
     });
@@ -112,7 +117,16 @@ pub fn run_batch(jobs: &[(ScenarioConfig, u64)]) -> Result<Vec<RunResult>, JobEr
         .into_iter()
         .enumerate()
         .map(|(i, r)| {
-            r.expect("every job completed").map_err(|error| JobError {
+            // Scoped threads fill every slot before the scope returns;
+            // an empty one would mean a worker died without reporting,
+            // which surfaces as a structured error rather than an
+            // abort of the whole batch.
+            r.unwrap_or_else(|| {
+                Err(RunError::Panicked {
+                    message: "worker thread exited without storing a result".to_string(),
+                })
+            })
+            .map_err(|error| JobError {
                 index: i,
                 config_hash: config_hash_for(&jobs[i].0),
                 error,
@@ -216,13 +230,13 @@ pub fn run_batch_supervised(
     };
 
     let mut results: Vec<Option<Result<RunResult, JobError>>> = (0..n_jobs).map(|_| None).collect();
-    // (job index, start instant) of every live worker.
-    let mut running: Vec<(usize, Instant)> = Vec::new();
+    // (job index, per-job stopwatch) of every live worker.
+    let mut running: Vec<(usize, Stopwatch)> = Vec::new();
     let mut next = 0usize;
     while results.iter().any(Option::is_none) {
         while next < n_jobs && running.len() < workers {
             spawn_job(next);
-            running.push((next, Instant::now()));
+            running.push((next, Stopwatch::start()));
             next += 1;
         }
         let message = match supervision.soft_deadline {
@@ -230,10 +244,9 @@ pub fn run_batch_supervised(
             Some(limit) => {
                 // Sleep until the first message or the earliest
                 // running job's deadline, whichever comes first.
-                let now = Instant::now();
                 let earliest = running
                     .iter()
-                    .map(|&(_, started)| (started + limit).saturating_duration_since(now))
+                    .map(|&(_, started)| started.remaining_of(limit))
                     .min()
                     .unwrap_or(Duration::from_millis(10));
                 match recv.recv_timeout(earliest) {
@@ -253,13 +266,16 @@ pub fn run_batch_supervised(
                 }
             }
             None => {
-                let limit = supervision
-                    .soft_deadline
-                    .expect("timeouts only fire with a deadline");
-                let now = Instant::now();
+                // Timeouts only fire with a deadline configured; a
+                // `None` message without one means the channel closed
+                // (impossible while we hold `send`, but the fallback
+                // below turns it into per-job errors, not an abort).
+                let Some(limit) = supervision.soft_deadline else {
+                    break;
+                };
                 let overdue: Vec<usize> = running
                     .iter()
-                    .filter(|&&(_, started)| now.duration_since(started) >= limit)
+                    .filter(|&&(_, started)| started.remaining_of(limit).is_zero())
                     .map(|&(i, _)| i)
                     .collect();
                 for i in overdue {
@@ -276,7 +292,20 @@ pub fn run_batch_supervised(
     }
     results
         .into_iter()
-        .map(|r| r.expect("every job received a verdict"))
+        .enumerate()
+        .map(|(i, r)| {
+            // Every job normally has a verdict by now; the only way to
+            // miss one is the supervisor channel closing early, which
+            // becomes a structured per-job error.
+            r.unwrap_or_else(|| {
+                Err(job_error(
+                    i,
+                    RunError::Panicked {
+                        message: "supervisor channel closed before a verdict arrived".to_string(),
+                    },
+                ))
+            })
+        })
         .collect()
 }
 

@@ -72,5 +72,5 @@ pub use manifest::{
     config_hash, fnv1a64, manifest_path_for, write_manifests, ManifestCounters, RunManifest,
     MANIFEST_SCHEMA,
 };
-pub use profile::{PhaseClock, PhaseTimings};
+pub use profile::{PhaseClock, PhaseTimings, Stopwatch};
 pub use sink::{JsonlSink, NullSink, TraceSink};

@@ -1,7 +1,15 @@
 //! Scoped wall-clock phase profiling.
+//!
+//! This module is the workspace's **only** blessed home for wall-clock
+//! reads (`mobic-lint`'s `ambient-entropy` rule bans `Instant` and
+//! `SystemTime` everywhere else outside the operator tooling crates).
+//! Everything measured here flows exclusively into `#[serde(skip)]`
+//! fields — wall-clock numbers describe how fast a run executed, never
+//! what it computed, so they must not reach serialized `RunResult`
+//! artifacts.
 
 use std::fmt;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
@@ -104,9 +112,71 @@ impl PhaseClock {
     }
 }
 
+/// A one-shot elapsed-time reader for deadlines and coarse run
+/// timing.
+///
+/// Where [`PhaseClock`] times consecutive phases, `Stopwatch` answers
+/// "how long since I started?" — the shape supervision deadlines
+/// (`run_batch_supervised`) and the runner's total wall-clock counter
+/// need. Keeping both here means no other crate has to name `Instant`
+/// directly.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use mobic_trace::Stopwatch;
+///
+/// let sw = Stopwatch::start();
+/// assert!(sw.elapsed() >= Duration::ZERO);
+/// assert!(sw.elapsed_ms() >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    t0: Instant,
+}
+
+impl Stopwatch {
+    /// Starts the stopwatch now.
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch { t0: Instant::now() }
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.t0.elapsed()
+    }
+
+    /// Elapsed time in milliseconds.
+    #[must_use]
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// How much of a budget of `total` remains, saturating at zero.
+    /// The supervision loop uses this to turn an absolute deadline
+    /// into successive `recv_timeout` windows.
+    #[must_use]
+    pub fn remaining_of(&self, total: Duration) -> Duration {
+        total.saturating_sub(self.elapsed())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stopwatch_elapsed_grows_and_budget_saturates() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b >= a);
+        assert_eq!(sw.remaining_of(Duration::ZERO), Duration::ZERO);
+        assert!(sw.remaining_of(Duration::from_secs(3600)) > Duration::ZERO);
+    }
 
     #[test]
     fn laps_are_non_negative_and_restart() {

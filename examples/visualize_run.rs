@@ -36,7 +36,7 @@ fn main() -> std::io::Result<()> {
             .any(|&s| (t - s).abs() < cfg.bi_s / 2.0)
         {
             let path = out_dir.join(format!("clusters_t{t:04.0}.svg"));
-            if std::fs::write(&path, scene.to_svg(&SvgStyle::default())).is_ok() {
+            if mobic::trace::write_atomic(&path, scene.to_svg(&SvgStyle::default())).is_ok() {
                 written.push(path);
             }
         }
