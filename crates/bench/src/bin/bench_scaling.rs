@@ -1,40 +1,95 @@
-//! **BENCH_scaling** — end-to-end event-loop scaling: brute-force vs
-//! spatial-index fast path at constant paper density.
+//! **BENCH_scaling** — end-to-end event-loop scaling at constant
+//! paper density: brute-force vs spatial-index fast path vs the
+//! sharded parallel engine.
 //!
 //! For each population size the field grows with `√n` so node density
 //! (and therefore mean degree) matches Table 1's 50 nodes on 670 m ×
-//! 670 m. Each cell runs the identical `(cfg, seed)` once with
-//! `fast_path: Off` and once with `On`, asserts the results are
-//! identical, and records the end-to-end speedup.
+//! 670 m. Each cell runs the identical `(cfg, seed)`:
 //!
-//! Environment:
-//! * `MOBIC_SCALING_NS` — comma-separated populations (default
-//!   `100,200,400,800`),
-//! * `MOBIC_FAST` — shrink simulated time from 60 s to 20 s.
+//! * `fast_path: Off` (the reference scan) — only up to `n = 2000`,
+//!   where the `O(n²)` cost stops being informative and starts being
+//!   prohibitive;
+//! * `fast_path: On` (indexed, sequential engine);
+//! * `engine: sharded` (indexed + sharded parallel loop).
+//!
+//! and asserts the serialized results of every executed variant are
+//! **byte-identical** before recording the speedups.
+//!
+//! Flags / environment:
+//! * `--smoke` — tiny populations (`50,200`) and 20 s of simulated
+//!   time, for CI;
+//! * `--large` — append the `n = 100_000` cell;
+//! * `--stretch` — append the `n = 1_000_000` cell (indexed + sharded
+//!   only; expect minutes);
+//! * `MOBIC_SCALING_NS` — comma-separated populations (overrides the
+//!   defaults, composes with `--large`/`--stretch`),
+//! * `MOBIC_FAST` — shrink simulated time from 60 s to 20 s,
+//! * `MOBIC_SHARDS` — shard count for the sharded cells (default 0 =
+//!   the engine's fixed fallback).
 //!
 //! Writes `results/BENCH_scaling.json`.
 
 use std::time::Instant;
 
 use mobic_metrics::AsciiTable;
-use mobic_scenario::{manifest_for, run_scenario, FastPath, RunResult, ScenarioConfig};
+use mobic_scenario::{manifest_for, run_scenario, Engine, FastPath, RunResult, ScenarioConfig};
 use serde::Serialize;
+
+/// Brute-force cells stop here: beyond it the `O(n²)` scan dominates
+/// wall-clock without adding information (the equality proof already
+/// ran at every smaller n).
+const BRUTE_CAP: u32 = 2000;
+
+/// Above this population the simulated time is clamped to 20 s so the
+/// large/stretch cells finish; scaling is per-event, so the shorter
+/// horizon does not distort the comparison.
+const LARGE_N: u32 = 100_000;
 
 /// One population-size cell of the scaling comparison.
 #[derive(Debug, Serialize)]
 struct ScalingRow {
     n: u32,
     field_m: f64,
-    brute_ms: f64,
+    /// `None` when the brute-force reference was skipped (n > cap).
+    brute_ms: Option<f64>,
     indexed_ms: f64,
-    speedup: f64,
+    sharded_ms: f64,
+    /// brute / indexed; `None` without a brute cell.
+    speedup_index: Option<f64>,
+    /// indexed / sharded (end-to-end, includes worker fork-join).
+    speedup_sharded: f64,
     mean_candidates: f64,
     index_refreshes: u64,
     events: u64,
 }
 
-fn populations() -> Vec<u32> {
-    std::env::var("MOBIC_SCALING_NS")
+struct Args {
+    smoke: bool,
+    large: bool,
+    stretch: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        large: false,
+        stretch: false,
+    };
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--large" => args.large = true,
+            "--stretch" => args.stretch = true,
+            other => {
+                eprintln!("ignoring unknown argument {other:?} (known: --smoke --large --stretch)");
+            }
+        }
+    }
+    args
+}
+
+fn populations(args: &Args) -> Vec<u32> {
+    let mut ns: Vec<u32> = std::env::var("MOBIC_SCALING_NS")
         .ok()
         .map(|v| {
             v.split(',')
@@ -42,23 +97,40 @@ fn populations() -> Vec<u32> {
                 .collect()
         })
         .filter(|ns: &Vec<u32>| !ns.is_empty())
-        .unwrap_or_else(|| vec![100, 200, 400, 800])
+        .unwrap_or_else(|| {
+            if args.smoke {
+                vec![50, 200]
+            } else {
+                vec![100, 200, 400, 800]
+            }
+        });
+    if args.large {
+        ns.push(100_000);
+    }
+    if args.stretch {
+        ns.push(1_000_000);
+    }
+    ns
 }
 
-fn cell_config(n: u32) -> ScenarioConfig {
+fn cell_config(n: u32, args: &Args) -> ScenarioConfig {
     let mut cfg = ScenarioConfig::paper_table1();
     cfg.n_nodes = n;
     // Constant density: area ∝ n, so side ∝ √n (50 nodes ↔ 670 m).
     let side = 670.0 * (f64::from(n) / 50.0).sqrt();
     cfg.field_w_m = side;
     cfg.field_h_m = side;
-    cfg.sim_time_s = if std::env::var_os("MOBIC_FAST").is_some() {
-        20.0
-    } else {
-        60.0
-    };
+    let fast = args.smoke || std::env::var_os("MOBIC_FAST").is_some();
+    cfg.sim_time_s = if fast || n >= LARGE_N { 20.0 } else { 60.0 };
     cfg.warmup_s = 5.0;
     cfg
+}
+
+fn shard_count() -> u32 {
+    std::env::var("MOBIC_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
 }
 
 fn timed(cfg: &ScenarioConfig, seed: u64) -> (RunResult, f64) {
@@ -67,8 +139,14 @@ fn timed(cfg: &ScenarioConfig, seed: u64) -> (RunResult, f64) {
     (r, t0.elapsed().as_secs_f64() * 1e3)
 }
 
+fn json_of(r: &RunResult) -> String {
+    serde_json::to_string(r).expect("RunResult serializes")
+}
+
 fn main() {
+    let args = parse_args();
     let seed = 1u64;
+    let shards = shard_count();
     let mut rows = Vec::new();
     let mut manifests = Vec::new();
     let mut table = AsciiTable::new([
@@ -76,46 +154,70 @@ fn main() {
         "field (m)",
         "brute (ms)",
         "indexed (ms)",
-        "speedup",
+        "sharded (ms)",
+        "idx speedup",
+        "shard speedup",
         "cand/hello",
     ]);
-    println!("== BENCH_scaling: brute-force vs spatial-index event loop ==\n");
-    for n in populations() {
-        let mut cfg = cell_config(n);
-        cfg.fast_path = FastPath::Off;
-        let (brute, brute_ms) = timed(&cfg, seed);
+    println!("== BENCH_scaling: brute vs indexed vs sharded event loop ==\n");
+    for n in populations(&args) {
+        let mut cfg = cell_config(n, &args);
+
         cfg.fast_path = FastPath::On;
         let (fast, indexed_ms) = timed(&cfg, seed);
-        assert!(fast.perf.indexed && !brute.perf.indexed);
-        // The whole point: identical results, different cost.
-        assert_eq!(fast.deliveries, brute.deliveries, "n={n}");
-        assert_eq!(fast.final_roles, brute.final_roles, "n={n}");
-        assert_eq!(fast.cluster_series, brute.cluster_series, "n={n}");
-        assert_eq!(
-            fast.clusterhead_changes_total, brute.clusterhead_changes_total,
-            "n={n}"
-        );
-        let speedup = brute_ms / indexed_ms;
-        // One manifest per executed run: the brute and indexed cells
-        // differ only in `fast_path`, which the config echo captures.
-        cfg.fast_path = FastPath::Off;
-        manifests.push(manifest_for(&cfg, seed, &brute));
-        cfg.fast_path = FastPath::On;
+        assert!(fast.perf.indexed, "n={n}");
         manifests.push(manifest_for(&cfg, seed, &fast));
+
+        cfg.engine = Engine::Sharded;
+        cfg.shards = shards;
+        let (sharded, sharded_ms) = timed(&cfg, seed);
+        // The tentpole contract, end to end: the sharded engine's
+        // serialized result is byte-identical to the sequential one.
+        assert_eq!(json_of(&fast), json_of(&sharded), "n={n}");
+        manifests.push(manifest_for(&cfg, seed, &sharded));
+        cfg.engine = Engine::Sequential;
+        cfg.shards = 0;
+
+        let brute = if n <= BRUTE_CAP {
+            cfg.fast_path = FastPath::Off;
+            let (brute, brute_ms) = timed(&cfg, seed);
+            assert!(!brute.perf.indexed, "n={n}");
+            // Brute force takes a different candidate path, so the
+            // perf echo differs; everything physical must agree.
+            assert_eq!(fast.deliveries, brute.deliveries, "n={n}");
+            assert_eq!(fast.final_roles, brute.final_roles, "n={n}");
+            assert_eq!(fast.cluster_series, brute.cluster_series, "n={n}");
+            assert_eq!(
+                fast.clusterhead_changes_total, brute.clusterhead_changes_total,
+                "n={n}"
+            );
+            manifests.push(manifest_for(&cfg, seed, &brute));
+            cfg.fast_path = FastPath::On;
+            Some(brute_ms)
+        } else {
+            None
+        };
+
+        let speedup_index = brute.map(|b| b / indexed_ms);
+        let speedup_sharded = indexed_ms / sharded_ms;
         table.row([
             format!("{n}"),
             format!("{:.0}", cfg.field_w_m),
-            format!("{brute_ms:.1}"),
+            brute.map_or_else(|| "-".to_string(), |b| format!("{b:.1}")),
             format!("{indexed_ms:.1}"),
-            format!("{speedup:.2}x"),
+            format!("{sharded_ms:.1}"),
+            speedup_index.map_or_else(|| "-".to_string(), |s| format!("{s:.2}x")),
+            format!("{speedup_sharded:.2}x"),
             format!("{:.1}", fast.perf.mean_candidates),
         ]);
         rows.push(ScalingRow {
             n,
             field_m: cfg.field_w_m,
-            brute_ms,
+            brute_ms: brute,
             indexed_ms,
-            speedup,
+            sharded_ms,
+            speedup_index,
+            speedup_sharded,
             mean_candidates: fast.perf.mean_candidates,
             index_refreshes: fast.perf.index_refreshes,
             events: fast.perf.events,

@@ -18,7 +18,9 @@
 use std::fmt;
 
 use mobic_core::AlgorithmKind;
-use mobic_scenario::{AuditMode, FaultPlan, FaultTarget, MobilityKind, Recluster, ScenarioConfig};
+use mobic_scenario::{
+    AuditMode, Engine, FaultPlan, FaultTarget, MobilityKind, Recluster, ScenarioConfig,
+};
 
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -116,6 +118,10 @@ RUN / SWEEP OPTIONS (defaults = the paper's Table 1):
                            from=30,until=200,target=any|clusterhead
   --audit <off|warn|strict>  periodic Theorem-1 invariant audit;
                            warn = trace violations, strict = fail run [off]
+  --engine <sequential|sharded>  event-loop engine; results are
+                           byte-identical either way        [sequential]
+  --shards <n>             worker shards for --engine sharded;
+                           0 = fixed fallback (4)           [0]
   --json                   machine-readable output (run)
 
 OBSERVABILITY:
@@ -206,6 +212,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--recluster" => config.recluster = parse_recluster(value()?)?,
                     "--faults" => config.faults = parse_faults(value()?)?,
                     "--audit" => config.audit = parse_audit(value()?)?,
+                    "--engine" => config.engine = parse_engine(value()?)?,
+                    "--shards" => config.shards = parse_num(value()?, "--shards")?,
                     "--out" => {
                         let path = value()?;
                         if path.is_empty() || path.starts_with("--") {
@@ -281,6 +289,16 @@ fn parse_recluster(s: impl AsRef<str>) -> Result<Recluster, CliError> {
         "full" => Ok(Recluster::Full),
         other => Err(err(format!(
             "unknown recluster mode {other}; expected incremental|full"
+        ))),
+    }
+}
+
+fn parse_engine(s: impl AsRef<str>) -> Result<Engine, CliError> {
+    match s.as_ref() {
+        "sequential" => Ok(Engine::Sequential),
+        "sharded" => Ok(Engine::Sharded),
+        other => Err(err(format!(
+            "unknown engine {other}; expected sequential|sharded"
         ))),
     }
 }
@@ -590,6 +608,27 @@ mod tests {
     }
 
     #[test]
+    fn engine_modes_parse() {
+        let Command::Run { config, .. } = parse_ok("run --engine sharded --shards 8") else {
+            panic!("expected run");
+        };
+        assert_eq!(config.engine, Engine::Sharded);
+        assert_eq!(config.shards, 8);
+        let Command::Run { config, .. } = parse_ok("run --engine sequential") else {
+            panic!("expected run");
+        };
+        assert_eq!(config.engine, Engine::Sequential);
+        // The default stays sequential with auto shard count.
+        let Command::Run { config, .. } = parse_ok("run") else {
+            panic!("expected run");
+        };
+        assert_eq!(config.engine, Engine::Sequential);
+        assert_eq!(config.shards, 0);
+        assert!(parse_err("run --engine turbo").0.contains("turbo"));
+        assert!(parse_err("run --shards many").0.contains("--shards"));
+    }
+
+    #[test]
     fn invalid_scenarios_are_rejected_at_parse_time() {
         assert!(parse_err("run --nodes 0").0.contains("invalid scenario"));
         assert!(parse_err("run --speed -1").0.contains("invalid scenario"));
@@ -685,6 +724,8 @@ mod tests {
             "--recluster",
             "--faults",
             "--audit",
+            "--engine",
+            "--shards",
             "--out",
             "--resume",
             "--deadline",

@@ -178,6 +178,31 @@ impl GridIndex {
         out
     }
 
+    /// Total number of grid cells (`cols × rows`).
+    #[must_use]
+    pub fn n_cells(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// The flat index (`row * cols + col`) of the cell owning point
+    /// `p`.
+    ///
+    /// Ownership is a **partition**: every representable point maps to
+    /// exactly one cell in `0..n_cells()`. Cells are half-open on
+    /// their lower edges — a point exactly on an interior border
+    /// belongs to the cell whose origin it touches (truncation toward
+    /// zero) — the last column/row additionally own the field's
+    /// right/top edge, and points outside the field are clamped onto
+    /// it before bucketing. Shard ownership in the scenario runner
+    /// leans on this: `cell_index(p) % n_shards` must assign every
+    /// node exactly one shard, with no point unowned or doubly owned,
+    /// even for positions exactly on a border, a corner, or off the
+    /// field entirely.
+    #[must_use]
+    pub fn cell_index(&self, p: Vec2) -> usize {
+        self.cell_of(p)
+    }
+
     fn cell_coords(&self, p: Vec2) -> (usize, usize) {
         let q = self.field.clamp(p) - self.field.min();
         let col = ((q.x / self.cell_size) as usize).min(self.cols - 1);
@@ -326,6 +351,55 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_cell_size_panics() {
         let _ = GridIndex::build(Rect::new(10.0, 10.0), 0.0, &[]);
+    }
+
+    #[test]
+    fn cell_index_partition_on_borders_and_corners() {
+        // Regression for shard ownership: positions exactly on a cell
+        // border, on the field edge, or outside the field must each
+        // resolve to exactly one in-range owning cell.
+        let idx = GridIndex::build(Rect::new(100.0, 100.0), 10.0, &[]);
+        assert_eq!(idx.n_cells(), 100);
+        // Interior borders: half-open below, so the border point
+        // belongs to the cell whose origin it touches.
+        assert_eq!(idx.cell_index(Vec2::new(10.0, 0.0)), 1);
+        assert_eq!(idx.cell_index(Vec2::new(0.0, 10.0)), 10);
+        assert_eq!(idx.cell_index(Vec2::new(10.0, 10.0)), 11);
+        // Immediately below a border: still the lower cell.
+        assert_eq!(idx.cell_index(Vec2::new(10.0 - 1e-9, 10.0 - 1e-9)), 0);
+        // All four field corners are owned; the far edges fold into
+        // the last column/row instead of indexing out of range.
+        assert_eq!(idx.cell_index(Vec2::new(0.0, 0.0)), 0);
+        assert_eq!(idx.cell_index(Vec2::new(100.0, 0.0)), 9);
+        assert_eq!(idx.cell_index(Vec2::new(0.0, 100.0)), 90);
+        assert_eq!(idx.cell_index(Vec2::new(100.0, 100.0)), 99);
+        // Off-field positions clamp onto the nearest edge cell.
+        assert_eq!(idx.cell_index(Vec2::new(-5.0, -5.0)), 0);
+        assert_eq!(idx.cell_index(Vec2::new(1e12, -1.0)), 9);
+        assert_eq!(idx.cell_index(Vec2::new(1e12, 1e12)), 99);
+    }
+
+    #[test]
+    fn cell_index_partition_exhaustive_lattice() {
+        // A fine lattice including exact border multiples on a
+        // non-square field whose extent is not a multiple of the cell
+        // size: every point gets exactly one valid owning cell, and
+        // the owner agrees with the bucket build/update path.
+        let field = Rect::new(70.0, 30.0);
+        let idx = GridIndex::build(field, 7.5, &[]);
+        assert_eq!(idx.n_cells(), 10 * 4);
+        for i in 0..=140 {
+            for j in 0..=60 {
+                let p = Vec2::new(f64::from(i) * 0.5, f64::from(j) * 0.5);
+                let c = idx.cell_index(p);
+                assert!(c < idx.n_cells(), "{p:?} escaped the grid: {c}");
+                // Bucketing must use the same owner: a one-point index
+                // finds the point when querying its own position.
+                let one = GridIndex::build(field, 7.5, &[p]);
+                assert_eq!(one.cell_index(p), c);
+                assert_eq!(one.query_within(p, 0.0), vec![0]);
+            }
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! The pipeline is [`lexer`] (per-line code/comment shadows) →
 //! [`rules`] (scoped token rules + `lint:` directives) → [`deps`]
 //! (offline `Cargo.lock`/manifest policy) → [`report`] (human, JSON,
-//! fix-plan rendering). See `DESIGN.md` §8 for the rule catalog and
+//! fix-plan rendering). See `DESIGN.md` §9 for the rule catalog and
 //! suppression policy.
 
 #![warn(missing_docs)]

@@ -3,7 +3,7 @@
 //! Every rule is a named token search over the *code shadow* produced
 //! by [`crate::lexer`] (so literals and comments can never trigger a
 //! finding), scoped to the crates where the corresponding invariant is
-//! load-bearing. See `DESIGN.md` §8 for the rationale behind each
+//! load-bearing. See `DESIGN.md` §9 for the rationale behind each
 //! rule and the suppression policy.
 
 use crate::lexer::{split_lines, Line};
@@ -172,6 +172,13 @@ const ENTROPY_NEEDLES: &[Needle] = &[
         false,
         "environment read: results must be a function of `(config, seed)` only",
     ),
+    needle(
+        "available_parallelism",
+        true,
+        true,
+        "host-parallelism read: shard/worker counts that affect results must come \
+         from config (`shards`) or a fixed constant, never from the machine",
+    ),
 ];
 
 const PANIC_NEEDLES: &[Needle] = &[
@@ -315,7 +322,14 @@ const TYPED_ERROR_CRATES: &[&str] = &["scenario", "net", "trace"];
 ///   module, `crates/trace/src/artifact.rs` is the `write_atomic`
 ///   implementation itself, and `crates/trace/src/sink.rs` owns the
 ///   streaming JSONL sink (an append stream cannot be written
-///   atomically, and is not a results artifact).
+///   atomically, and is not a results artifact);
+/// * `crates/scenario/src/sweep.rs` is the blessed batch executor: it
+///   sizes its *job-level* worker pool from the host
+///   (`available_parallelism`), which can never affect per-run bytes
+///   because each job is an independent `(config, seed)` run. The
+///   sharded engine (`crates/scenario/src/shard.rs`) is deliberately
+///   **not** exempt — its shard count shapes the event loop, so it
+///   must stay a pure function of the config.
 #[must_use]
 pub fn rules_for_path(rel: &str) -> Vec<RuleId> {
     let rel = rel.replace('\\', "/");
@@ -344,7 +358,8 @@ pub fn rules_for_path(rel: &str) -> Vec<RuleId> {
     }
     let entropy_exempt = rel.starts_with("crates/bench/")
         || rel.starts_with("crates/cli/")
-        || rel == "crates/trace/src/profile.rs";
+        || rel == "crates/trace/src/profile.rs"
+        || rel == "crates/scenario/src/sweep.rs";
     if !entropy_exempt {
         rules.push(RuleId::AmbientEntropy);
     }
@@ -818,10 +833,29 @@ let d: Vec<u32> = xs.to_vec();
         let artifact = rules_for_path("crates/trace/src/artifact.rs");
         assert!(!artifact.contains(&RuleId::RawArtifactWrite));
 
+        // The batch executor may size its job pool from the host; the
+        // sharded engine's worker module may not.
+        let sweep = rules_for_path("crates/scenario/src/sweep.rs");
+        assert!(!sweep.contains(&RuleId::AmbientEntropy));
+        assert!(sweep.contains(&RuleId::NondeterministicIteration));
+        assert!(sweep.contains(&RuleId::PanicInLib));
+        let shard = rules_for_path("crates/scenario/src/shard.rs");
+        assert!(shard.contains(&RuleId::AmbientEntropy));
+        assert!(shard.contains(&RuleId::PanicInLib));
+        assert!(shard.contains(&RuleId::NondeterministicIteration));
+
         assert!(rules_for_path("crates/net/tests/table_model.rs").is_empty());
         assert!(rules_for_path("tests/determinism.rs").is_empty());
         assert!(rules_for_path("crates/lint/tests/fixtures/x.rs").is_empty());
         assert!(rules_for_path("crates/lint/src/rules.rs").is_empty());
+    }
+
+    #[test]
+    fn available_parallelism_is_ambient_entropy() {
+        let src = "let n = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);\n";
+        let f = scan_source("x.rs", src, &[RuleId::AmbientEntropy]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RuleId::AmbientEntropy);
     }
 
     #[test]

@@ -81,7 +81,13 @@ use mobic_sim::SimTime;
 /// time return the same position (models extend an internal trajectory
 /// lazily, they never resample the past). Queries may be made at any
 /// non-decreasing *or* decreasing time within the extended horizon.
-pub trait Mobility {
+/// `Send` is a supertrait so models can be parked on worker threads
+/// for trajectory pre-extension (the sharded engine's lookahead
+/// windows). Models own only seeded RNG state and plain data, so this
+/// costs nothing; combined with consistency it makes pre-extension
+/// invisible — extending the horizon early, on any thread, can never
+/// change what a later query returns.
+pub trait Mobility: Send {
     /// Position of the node at simulation time `t` (meters).
     fn position_at(&mut self, t: SimTime) -> Vec2;
 

@@ -30,8 +30,10 @@ mod ident;
 pub mod loss;
 mod neighbor;
 mod packet;
+mod scratch;
 
 pub use delivery::{Delivery, DeliveryEngine};
 pub use ident::NodeId;
 pub use neighbor::{NeighborEntry, NeighborTable, PowerSample, RecordOutcome};
 pub use packet::Hello;
+pub use scratch::Scratch;

@@ -1,0 +1,84 @@
+//! Reusable delivery scratch buffers.
+//!
+//! The scenario runner's hot path must not allocate: every broadcast
+//! reuses the same buffers for the receiver set, the loss set, the
+//! spatial-index candidate ids, and the candidate `(id, position)`
+//! pairs. [`Scratch`] bundles those four buffers so the runner can
+//! keep one per shard — workers never share a buffer, and the
+//! sequential engine is simply the one-shard case.
+
+use mobic_geom::Vec2;
+
+use crate::{Delivery, NodeId};
+
+/// Per-shard scratch space for broadcast delivery.
+///
+/// The `_into` delivery APIs ([`DeliveryEngine::broadcast_into`]
+/// [`DeliveryEngine::broadcast_among_into`](crate::DeliveryEngine::broadcast_among_into))
+/// own the clearing of `delivered` and `lost`; `ids` and `candidates`
+/// are cleared by the caller per broadcast. Buffers are pre-sized
+/// once at setup so steady-state use never allocates (a capacity
+/// ceiling keeps huge populations from pre-committing gigabytes — see
+/// [`Scratch::with_capacity`]).
+///
+/// [`DeliveryEngine::broadcast_into`]: crate::DeliveryEngine::broadcast_into
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// Successful receptions of the current broadcast.
+    pub delivered: Vec<Delivery>,
+    /// Receivers in radio range that the loss model dropped.
+    pub lost: Vec<NodeId>,
+    /// Dense point ids returned by the spatial index query.
+    pub ids: Vec<usize>,
+    /// Candidate receivers as `(id, position)` pairs, in id order.
+    pub candidates: Vec<(NodeId, Vec2)>,
+}
+
+impl Scratch {
+    /// Creates scratch buffers each pre-sized for `cap` entries.
+    ///
+    /// Callers pick `cap` as the worst-case receiver count (every
+    /// node in range). For very large populations, cap the value —
+    /// the buffers grow amortized past it, which trades a handful of
+    /// one-time reallocations for not pre-committing `O(n)` memory
+    /// per shard at n = 1M.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        Scratch {
+            delivered: Vec::with_capacity(cap),
+            lost: Vec::with_capacity(cap),
+            ids: Vec::with_capacity(cap),
+            candidates: Vec::with_capacity(cap),
+        }
+    }
+
+    /// One scratch per shard (at least one), each pre-sized for `cap`
+    /// entries.
+    #[must_use]
+    pub fn per_shard(n_shards: usize, cap: usize) -> Vec<Scratch> {
+        (0..n_shards.max(1))
+            .map(|_| Scratch::with_capacity(cap))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_capacity_presizes_all_buffers() {
+        let s = Scratch::with_capacity(64);
+        assert!(s.delivered.capacity() >= 64);
+        assert!(s.lost.capacity() >= 64);
+        assert!(s.ids.capacity() >= 64);
+        assert!(s.candidates.capacity() >= 64);
+        assert!(s.delivered.is_empty() && s.lost.is_empty());
+    }
+
+    #[test]
+    fn per_shard_always_yields_at_least_one() {
+        assert_eq!(Scratch::per_shard(0, 8).len(), 1);
+        assert_eq!(Scratch::per_shard(4, 8).len(), 4);
+    }
+}

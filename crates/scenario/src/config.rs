@@ -133,6 +133,39 @@ pub enum Recluster {
     Full,
 }
 
+/// Which event-loop engine executes the run.
+///
+/// Both engines are required to produce **byte-identical** results —
+/// `RunResult` JSON and JSONL traces — for every `(config, seed)`;
+/// the sharded engine only changes *where* work happens (per-shard
+/// event heaps, worker-thread trajectory pre-extension at lookahead
+/// windows), never *what* is computed. See DESIGN.md § "Sharded
+/// execution" and `tests/sharded_equivalence.rs`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Engine {
+    /// Single event heap, everything on the caller's thread (the
+    /// reference behavior and the default).
+    #[default]
+    Sequential,
+    /// Spatially sharded event storage ([`GridIndex`] cell ownership,
+    /// re-assigned at hello-interval windows) with worker-thread
+    /// trajectory pre-extension and a deterministic merge.
+    ///
+    /// [`GridIndex`]: mobic_geom::GridIndex
+    Sharded,
+}
+
+impl Engine {
+    /// `true` for the default sequential engine (used to keep the
+    /// field out of serialized configs, so config hashes of existing
+    /// scenarios are unchanged).
+    #[must_use]
+    pub fn is_sequential(&self) -> bool {
+        *self == Engine::Sequential
+    }
+}
+
 /// How the periodic in-run Theorem-1 audit reacts to violations
 /// (see `mobic-core::invariants`). The audit runs at every sampling
 /// instant after warmup and checks the *alive* population's cluster
@@ -372,6 +405,23 @@ pub struct ScenarioConfig {
     /// [`AuditMode::Off`] (zero cost, omitted from serialization).
     #[serde(default, skip_serializing_if = "AuditMode::is_off")]
     pub audit: AuditMode,
+    /// Which event loop executes the run. Defaults to
+    /// [`Engine::Sequential`] (omitted from serialization, so existing
+    /// configs keep their `config_hash`); [`Engine::Sharded`] must be
+    /// byte-identical and exists purely for wall-clock scaling.
+    #[serde(default, skip_serializing_if = "Engine::is_sequential")]
+    pub engine: Engine,
+    /// Worker-shard count for the sharded engine; `0` (the default,
+    /// omitted from serialization) picks a fixed fallback so results
+    /// never depend on the host's core count. Ignored by the
+    /// sequential engine. Clamped to `[1, n_nodes]` at run time.
+    #[serde(default, skip_serializing_if = "shards_is_zero")]
+    pub shards: u32,
+}
+
+/// `skip_serializing_if` helper for [`ScenarioConfig::shards`].
+fn shards_is_zero(v: &u32) -> bool {
+    *v == 0
 }
 
 impl ScenarioConfig {
@@ -406,6 +456,8 @@ impl ScenarioConfig {
             recluster: Recluster::Incremental,
             faults: FaultPlan::default(),
             audit: AuditMode::Off,
+            engine: Engine::Sequential,
+            shards: 0,
         }
     }
 
@@ -952,6 +1004,43 @@ mod tests {
         assert!(back.faults.is_empty());
         assert_eq!(back.audit, AuditMode::Off);
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn engine_defaults_sequential_and_deserializes_when_absent() {
+        let c = ScenarioConfig::paper_table1();
+        assert_eq!(c.engine, Engine::Sequential);
+        assert!(c.engine.is_sequential());
+        assert_eq!(c.shards, 0);
+        // Configs serialized before the fields existed must still load,
+        // and the defaults must stay invisible to serialization so the
+        // config_hash of every existing scenario is unchanged.
+        let mut json: serde_json::Value = serde_json::to_value(c).unwrap();
+        let obj = json.as_object_mut().unwrap();
+        assert!(
+            !obj.contains_key("engine") && !obj.contains_key("shards"),
+            "default engine fields must not be serialized (config_hash stability)"
+        );
+        obj.remove("engine");
+        obj.remove("shards");
+        let back: ScenarioConfig = serde_json::from_value(json).unwrap();
+        assert_eq!(back.engine, Engine::Sequential);
+        assert_eq!(back.shards, 0);
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn sharded_engine_round_trips_in_snake_case() {
+        let mut c = ScenarioConfig::paper_table1();
+        c.engine = Engine::Sharded;
+        c.shards = 4;
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains(r#""engine":"sharded""#), "{json}");
+        assert!(json.contains(r#""shards":4"#), "{json}");
+        let back: ScenarioConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+        assert!(!back.engine.is_sequential());
+        c.validate().unwrap();
     }
 
     #[test]

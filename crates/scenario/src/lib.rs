@@ -32,10 +32,11 @@
 mod config;
 pub mod params;
 mod runner;
+mod shard;
 mod sweep;
 
 pub use config::{
-    AuditMode, ConfigError, FastPath, FaultPlan, FaultTarget, LossKind, MobilityKind,
+    AuditMode, ConfigError, Engine, FastPath, FaultPlan, FaultTarget, LossKind, MobilityKind,
     PropagationKind, Recluster, ScenarioConfig,
 };
 pub use runner::{

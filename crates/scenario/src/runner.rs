@@ -63,11 +63,11 @@ use mobic_mobility::{
     Manhattan, ManhattanParams, Mobility, RandomWalk, RandomWalkParams, RandomWaypoint,
     RandomWaypointParams, RpgmGroup, RpgmParams, Stationary,
 };
-use mobic_net::{loss, loss::LossModel, Delivery, DeliveryEngine, Hello, NodeId};
+use mobic_net::{loss, loss::LossModel, DeliveryEngine, Hello, NodeId, Scratch};
 use mobic_radio::{
     Dbm, FreeSpace, LogDistance, Nakagami, Propagation, Radio, Shadowed, TwoRayGround,
 };
-use mobic_sim::{rng::SeedSplitter, SimTime, Simulation};
+use mobic_sim::{rng::SeedSplitter, EventKey, Queue, ShardedEventQueue, SimTime, Simulation};
 use mobic_trace::{
     config_hash, ManifestCounters, NullSink, PhaseClock, PhaseTimings, RunManifest, TraceEvent,
     TraceSink, ViolationKind,
@@ -75,8 +75,8 @@ use mobic_trace::{
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    AuditMode, ConfigError, FastPath, FaultTarget, LossKind, MobilityKind, PropagationKind,
-    Recluster, ScenarioConfig,
+    shard, AuditMode, ConfigError, Engine, FastPath, FaultTarget, LossKind, MobilityKind,
+    PropagationKind, Recluster, ScenarioConfig,
 };
 
 /// Everything measured in one simulation run.
@@ -418,7 +418,7 @@ fn violation_event(v: &mobic_core::invariants::Violation, ids: &[NodeId]) -> Tra
 }
 
 /// Builds the per-node mobility models for a scenario.
-fn build_mobility(
+pub(crate) fn build_mobility(
     cfg: &ScenarioConfig,
     field: Rect,
     splitter: &SeedSplitter,
@@ -698,20 +698,31 @@ fn commit_pending(
     }
 }
 
-/// The event loop's reusable buffers, sized once during setup so the
-/// loop itself never allocates. Each is cleared (never shrunk) at its
-/// point of use; the `_into` delivery APIs own the clearing of the
-/// first two.
-struct Scratch {
-    /// Successful receptions of the current broadcast.
-    delivered: Vec<Delivery>,
-    /// In-range receivers dropped by the loss model on the current
-    /// broadcast (empty unless a loss model is active).
-    lost: Vec<NodeId>,
-    /// Raw candidate indices from the spatial-index range query.
-    ids: Vec<usize>,
-    /// Candidate `(id, exact position)` pairs handed to the engine.
-    candidates: Vec<(NodeId, Vec2)>,
+/// Scratch buffers (see [`mobic_net::Scratch`]) are pre-sized for the
+/// worst case — every node a candidate — up to this ceiling. Beyond
+/// it they start at the ceiling and grow amortized: large-n hardening
+/// so an n = 1M run does not pre-commit `O(n × shards)` memory for
+/// buffers whose steady-state occupancy is the neighborhood size. At
+/// paper scales (n ≤ 4096) pre-sizing is exact and the loop never
+/// allocates, preserving PR 3's zero-alloc guarantee as measured by
+/// `bench_hotpath`.
+const SCRATCH_PRESIZE_MAX: usize = 4096;
+
+/// Event-kind discriminants for [`route_ev`] (diagnostic only — never
+/// part of the queue's pop order; see [`ShardedEventQueue`]).
+const EV_KIND_HELLO: u8 = 0;
+const EV_KIND_SAMPLE: u8 = 1;
+const EV_KIND_FAULT: u8 = 2;
+
+/// Shard-routing key for the runner's events: hellos belong to their
+/// transmitting node (and thus to that node's spatial shard); the
+/// sampler and fault injections are engine-wide and live on shard 0.
+fn route_ev(ev: &Ev) -> EventKey {
+    match ev {
+        Ev::Hello(tx) => EventKey::node(tx.value(), EV_KIND_HELLO),
+        Ev::Sample => EventKey::global(EV_KIND_SAMPLE),
+        Ev::Fault(_) => EventKey::global(EV_KIND_FAULT),
+    }
 }
 
 /// A read-only view of the simulation state handed to observers at
@@ -797,10 +808,56 @@ pub fn run_scenario_traced(
 pub fn run_scenario_instrumented(
     cfg: &ScenarioConfig,
     seed: u64,
-    mut observer: impl FnMut(SampleView<'_>),
+    observer: impl FnMut(SampleView<'_>),
     sink: &mut dyn TraceSink,
 ) -> Result<RunResult, RunError> {
     cfg.validate()?;
+    // Queue depth: one hello per node, the sampler, headroom for a
+    // same-instant reschedule, plus every planned fault injection.
+    let queue_cap = cfg.n_nodes as usize + 2 + cfg.faults.injections() as usize;
+    match cfg.engine {
+        Engine::Sequential => run_engine(
+            cfg,
+            seed,
+            observer,
+            sink,
+            Simulation::with_capacity(queue_cap),
+            1,
+        ),
+        Engine::Sharded => {
+            let n_shards = shard::effective_shards(cfg);
+            let queue = ShardedEventQueue::with_capacity(
+                queue_cap,
+                n_shards,
+                route_ev as fn(&Ev) -> EventKey,
+            );
+            run_engine(
+                cfg,
+                seed,
+                observer,
+                sink,
+                Simulation::with_queue(queue),
+                n_shards,
+            )
+        }
+    }
+}
+
+/// The engine-generic run loop: everything after config validation,
+/// parameterized over the event-queue shape. The sequential engine
+/// passes a plain [`mobic_sim::EventQueue`]-backed simulation and one
+/// shard; the sharded engine passes a [`ShardedEventQueue`] plus its
+/// shard count. Results are byte-identical by construction — the
+/// queue's pop order is queue-shape independent, event processing
+/// stays on this thread, and workers only pre-extend trajectories.
+fn run_engine<Q: Queue<Ev>>(
+    cfg: &ScenarioConfig,
+    seed: u64,
+    mut observer: impl FnMut(SampleView<'_>),
+    sink: &mut dyn TraceSink,
+    mut sim: Simulation<Ev, Q>,
+    n_shards: u32,
+) -> Result<RunResult, RunError> {
     let mut phase_clock = PhaseClock::start();
     // One capability check up front: with a disabled sink the loop
     // never constructs an event, so tracing is zero-cost when off.
@@ -839,8 +896,6 @@ pub fn run_scenario_instrumented(
     let mut hello_broadcasts: u64 = 0;
     let mut deliveries: u64 = 0;
 
-    let mut sim: Simulation<Ev> =
-        Simulation::with_capacity(n + 2 + cfg.faults.injections() as usize);
     {
         use rand::Rng;
         let mut off_rng = splitter.stream("hello-offset", 0);
@@ -962,164 +1017,68 @@ pub fn run_scenario_instrumented(
     let mut last_arrival: Vec<Option<SimTime>> = vec![None; n];
     let mut pending: Vec<Option<PendingRx>> = vec![None; n];
     let mut collisions: u64 = 0;
-    let mut scratch = Scratch {
-        delivered: Vec::with_capacity(n),
-        lost: Vec::with_capacity(n),
-        ids: Vec::with_capacity(n),
-        candidates: Vec::with_capacity(n),
-    };
+    // One scratch per shard so delivery buffers are never shared; the
+    // sequential engine is the one-shard case and indexes scratch 0
+    // everywhere, exactly the old single-buffer behavior.
+    let mut scratches = Scratch::per_shard(n_shards as usize, n.min(SCRATCH_PRESIZE_MAX));
+    let mut shard_of: Vec<u32> = vec![0; n];
 
     let setup_ms = phase_clock.lap_ms();
     let wall_start = mobic_trace::Stopwatch::start();
-    sim.run_until(sim_end, |now, ev, sched| match ev {
-        // lint:hot-path — the steady-state hello arm: after warmup the
-        // event loop is almost exclusively this; every per-event `Vec`
-        // lives in `scratch` (PR 3's zero-alloc guarantee, proven
-        // statically here and dynamically by `bench_hotpath`).
-        Ev::Hello(tx) => {
-            if abort.is_some() {
-                // A strict audit tripped: drain the queue without
-                // rescheduling so the loop terminates.
-                return;
-            }
-            let txi = tx.index();
-            if !node_table.is_alive(txi) {
-                // Dead (or not-yet-joined) node: keep its hello clock
-                // ticking at the base interval so a later revival
-                // re-enters the protocol, but touch nothing else — no
-                // RNG draws, no table reads, no counters.
-                sched.schedule_in(bi, Ev::Hello(tx));
-                return;
-            }
-            if !packet_time.is_zero() {
-                // The node is about to read its own table: commit a
-                // deferred reception whose window has closed.
-                commit_pending(
-                    &mut pending[txi],
-                    &mut node_table,
-                    txi,
-                    now,
-                    packet_time,
-                    false,
-                    &mut deliveries,
-                    tracing,
-                    sink,
-                );
-            }
-            // Expire through the dirty-tracking entry point *before*
-            // the broadcast: entry death is election-relevant, and the
-            // skip decision below must see it. `prepare_broadcast`'s
-            // own expiry at the same instant is then a no-op.
-            node_table.expire(txi, now);
-            // A mute (tx-impaired) node holds this hello — no sequence
-            // number consumed, no metric stamped, nothing on the air —
-            // but it keeps listening and still runs its election below.
-            if node_table.can_transmit(txi) {
-                let hello = node_table.prepare_broadcast(txi, now);
-                hello_broadcasts += 1;
-                if tracing {
-                    sink.record(
-                        now,
-                        &TraceEvent::HelloTx {
-                            node: tx.value(),
-                            seq: hello.seq,
-                        },
-                    );
+    // Drive loop (DESIGN.md § "Sharded execution"). The sequential
+    // engine takes exactly one iteration with the horizon at
+    // `sim_end` — structurally the historical single `run_until`
+    // call. The sharded engine advances one conservative lookahead
+    // window at a time; between windows it re-assigns spatial shard
+    // ownership from grid cells (the halo exchange), pushes the owner
+    // map into the queue (placement only — pop order is provably
+    // unaffected), and pre-extends every trajectory to the horizon on
+    // one scoped worker per shard. All event processing and state
+    // mutation stay on this thread in deterministic `(time, seq)`
+    // order, and trajectory pre-extension is invisible by the
+    // mobility contract, so results are byte-identical across
+    // engines, shard counts, and owner maps.
+    let is_sharded = cfg.engine == Engine::Sharded;
+    let window = shard::lookahead_window(cfg);
+    let mut window_start = SimTime::ZERO;
+    loop {
+        let horizon = if is_sharded {
+            (window_start + window).min(sim_end)
+        } else {
+            sim_end
+        };
+        if is_sharded {
+            shard::assign_shards(&mut shard_of, index.as_ref(), &positions, n_shards);
+            sim.queue_mut().assign_owners(&shard_of);
+            shard::extend_trajectories(&mut mobility, &shard_of, n_shards, horizon);
+        }
+        sim.run_until(horizon, |now, ev, sched| match ev {
+            // lint:hot-path — the steady-state hello arm: after warmup the
+            // event loop is almost exclusively this; every per-event `Vec`
+            // lives in `scratch` (PR 3's zero-alloc guarantee, proven
+            // statically here and dynamically by `bench_hotpath`).
+            Ev::Hello(tx) => {
+                if abort.is_some() {
+                    // A strict audit tripped: drain the queue without
+                    // rescheduling so the loop terminates.
+                    return;
                 }
-                if let Some(index) = index.as_mut() {
-                    if now.saturating_sub(last_refresh) >= refresh_period {
-                        for (j, m) in mobility.iter_mut().enumerate() {
-                            positions[j] = m.position_at(now);
-                        }
-                        index.update_all(&positions);
-                        last_refresh = now;
-                        index_refreshes += 1;
-                        if tracing {
-                            sink.record(now, &TraceEvent::IndexRefresh { nodes: n as u32 });
-                        }
-                    }
-                    positions[txi] = mobility[txi].position_at(now);
-                    index.update(txi, positions[txi]);
-                    let staleness = now.saturating_sub(last_refresh).as_secs_f64();
-                    let radius = base_range
-                        + 2.0 * speed_bound * staleness
-                        + slack_teleport_pad(cfg, speed_bound, staleness);
-                    scratch.ids.clear();
-                    index.for_each_within(positions[txi], radius, |i| scratch.ids.push(i));
-                    // Id order keeps stateful loss models on the exact
-                    // query sequence of the brute-force scan.
-                    scratch.ids.sort_unstable();
-                    scratch.candidates.clear();
-                    for &i in &scratch.ids {
-                        if i == txi {
-                            continue;
-                        }
-                        positions[i] = mobility[i].position_at(now);
-                        index.update(i, positions[i]);
-                        scratch
-                            .candidates
-                            .push((NodeId::new(i as u32), positions[i]));
-                    }
-                    candidate_total += scratch.candidates.len() as u64;
-                    engine.broadcast_among_into(
-                        tx,
-                        positions[txi],
-                        &scratch.candidates,
-                        now,
-                        &mut scratch.delivered,
-                        &mut scratch.lost,
-                    );
-                } else {
-                    for (j, m) in mobility.iter_mut().enumerate() {
-                        positions[j] = m.position_at(now);
-                    }
-                    candidate_total += (n - 1) as u64;
-                    engine.broadcast_into(
-                        tx,
-                        &positions,
-                        now,
-                        &mut scratch.delivered,
-                        &mut scratch.lost,
-                    );
+                let txi = tx.index();
+                if !node_table.is_alive(txi) {
+                    // Dead (or not-yet-joined) node: keep its hello clock
+                    // ticking at the base interval so a later revival
+                    // re-enters the protocol, but touch nothing else — no
+                    // RNG draws, no table reads, no counters.
+                    sched.schedule_in(bi, Ev::Hello(tx));
+                    return;
                 }
-                if tracing {
-                    for &dropped in &scratch.lost {
-                        sink.record(
-                            now,
-                            &TraceEvent::HelloLost {
-                                tx: tx.value(),
-                                rx: dropped.value(),
-                            },
-                        );
-                    }
-                }
-                for &d in &scratch.delivered {
-                    let r = d.receiver.index();
-                    if !node_table.can_receive(r) {
-                        // Dead or deaf receivers are filtered *after* the
-                        // radio and loss stages, so the loss-model RNG
-                        // sequence is exactly the fault-free one.
-                        continue;
-                    }
-                    if packet_time.is_zero() {
-                        deliveries += 1;
-                        node_table.record(r, now, d.rx_power, &hello);
-                        if tracing {
-                            sink.record(
-                                now,
-                                &TraceEvent::HelloRx {
-                                    tx: tx.value(),
-                                    rx: d.receiver.value(),
-                                    rx_power_dbm: d.rx_power.dbm(),
-                                },
-                            );
-                        }
-                        continue;
-                    }
+                if !packet_time.is_zero() {
+                    // The node is about to read its own table: commit a
+                    // deferred reception whose window has closed.
                     commit_pending(
-                        &mut pending[r],
+                        &mut pending[txi],
                         &mut node_table,
-                        r,
+                        txi,
                         now,
                         packet_time,
                         false,
@@ -1127,345 +1086,475 @@ pub fn run_scenario_instrumented(
                         tracing,
                         sink,
                     );
-                    let collided =
-                        last_arrival[r].is_some_and(|prev| now.saturating_sub(prev) < packet_time);
-                    last_arrival[r] = Some(now);
-                    if collided {
-                        // The earlier packet is still uncommitted iff it
-                        // arrived inside the window; destroy it too.
-                        if let Some(p) = pending[r].take() {
+                }
+                // Expire through the dirty-tracking entry point *before*
+                // the broadcast: entry death is election-relevant, and the
+                // skip decision below must see it. `prepare_broadcast`'s
+                // own expiry at the same instant is then a no-op.
+                node_table.expire(txi, now);
+                // A mute (tx-impaired) node holds this hello — no sequence
+                // number consumed, no metric stamped, nothing on the air —
+                // but it keeps listening and still runs its election below.
+                if node_table.can_transmit(txi) {
+                    // Shard-local delivery buffers, indexed by the
+                    // transmitter's owning shard (always 0 sequentially).
+                    let scratch = &mut scratches[shard_of[txi] as usize];
+                    let hello = node_table.prepare_broadcast(txi, now);
+                    hello_broadcasts += 1;
+                    if tracing {
+                        sink.record(
+                            now,
+                            &TraceEvent::HelloTx {
+                                node: tx.value(),
+                                seq: hello.seq,
+                            },
+                        );
+                    }
+                    if let Some(index) = index.as_mut() {
+                        if now.saturating_sub(last_refresh) >= refresh_period {
+                            for (j, m) in mobility.iter_mut().enumerate() {
+                                positions[j] = m.position_at(now);
+                            }
+                            index.update_all(&positions);
+                            last_refresh = now;
+                            index_refreshes += 1;
+                            if tracing {
+                                sink.record(now, &TraceEvent::IndexRefresh { nodes: n as u32 });
+                            }
+                        }
+                        positions[txi] = mobility[txi].position_at(now);
+                        index.update(txi, positions[txi]);
+                        let staleness = now.saturating_sub(last_refresh).as_secs_f64();
+                        let radius = base_range
+                            + 2.0 * speed_bound * staleness
+                            + slack_teleport_pad(cfg, speed_bound, staleness);
+                        scratch.ids.clear();
+                        index.for_each_within(positions[txi], radius, |i| scratch.ids.push(i));
+                        // Id order keeps stateful loss models on the exact
+                        // query sequence of the brute-force scan.
+                        scratch.ids.sort_unstable();
+                        scratch.candidates.clear();
+                        for &i in &scratch.ids {
+                            if i == txi {
+                                continue;
+                            }
+                            positions[i] = mobility[i].position_at(now);
+                            index.update(i, positions[i]);
+                            scratch
+                                .candidates
+                                .push((NodeId::new(i as u32), positions[i]));
+                        }
+                        candidate_total += scratch.candidates.len() as u64;
+                        engine.broadcast_among_into(
+                            tx,
+                            positions[txi],
+                            &scratch.candidates,
+                            now,
+                            &mut scratch.delivered,
+                            &mut scratch.lost,
+                        );
+                    } else {
+                        for (j, m) in mobility.iter_mut().enumerate() {
+                            positions[j] = m.position_at(now);
+                        }
+                        candidate_total += (n - 1) as u64;
+                        engine.broadcast_into(
+                            tx,
+                            &positions,
+                            now,
+                            &mut scratch.delivered,
+                            &mut scratch.lost,
+                        );
+                    }
+                    if tracing {
+                        for &dropped in &scratch.lost {
+                            sink.record(
+                                now,
+                                &TraceEvent::HelloLost {
+                                    tx: tx.value(),
+                                    rx: dropped.value(),
+                                },
+                            );
+                        }
+                    }
+                    for &d in &scratch.delivered {
+                        let r = d.receiver.index();
+                        if !node_table.can_receive(r) {
+                            // Dead or deaf receivers are filtered *after* the
+                            // radio and loss stages, so the loss-model RNG
+                            // sequence is exactly the fault-free one.
+                            continue;
+                        }
+                        if packet_time.is_zero() {
+                            deliveries += 1;
+                            node_table.record(r, now, d.rx_power, &hello);
+                            if tracing {
+                                sink.record(
+                                    now,
+                                    &TraceEvent::HelloRx {
+                                        tx: tx.value(),
+                                        rx: d.receiver.value(),
+                                        rx_power_dbm: d.rx_power.dbm(),
+                                    },
+                                );
+                            }
+                            continue;
+                        }
+                        commit_pending(
+                            &mut pending[r],
+                            &mut node_table,
+                            r,
+                            now,
+                            packet_time,
+                            false,
+                            &mut deliveries,
+                            tracing,
+                            sink,
+                        );
+                        let collided = last_arrival[r]
+                            .is_some_and(|prev| now.saturating_sub(prev) < packet_time);
+                        last_arrival[r] = Some(now);
+                        if collided {
+                            // The earlier packet is still uncommitted iff it
+                            // arrived inside the window; destroy it too.
+                            if let Some(p) = pending[r].take() {
+                                collisions += 1;
+                                if tracing {
+                                    sink.record(
+                                        now,
+                                        &TraceEvent::MacCollision {
+                                            tx: p.hello.sender.value(),
+                                            rx: d.receiver.value(),
+                                        },
+                                    );
+                                }
+                            }
                             collisions += 1;
                             if tracing {
                                 sink.record(
                                     now,
                                     &TraceEvent::MacCollision {
-                                        tx: p.hello.sender.value(),
+                                        tx: tx.value(),
                                         rx: d.receiver.value(),
                                     },
                                 );
                             }
-                        }
-                        collisions += 1;
-                        if tracing {
-                            sink.record(
-                                now,
-                                &TraceEvent::MacCollision {
-                                    tx: tx.value(),
-                                    rx: d.receiver.value(),
-                                },
-                            );
-                        }
-                    } else {
-                        pending[r] = Some(PendingRx {
-                            at: now,
-                            power: d.rx_power,
-                            hello,
-                        });
-                    }
-                }
-            }
-            // Listen-before-decide: the paper's nodes compare their M
-            // "with those of its neighbors", so no role decision is
-            // taken until every neighbor has had one full broadcast
-            // interval to introduce itself.
-            if now >= bi {
-                if incremental && node_table.can_skip_election(txi) {
-                    // Clean table + time-independent state machine: the
-                    // election is provably a no-op. Debug builds run it
-                    // on a clone anyway and panic on any divergence.
-                    elections_skipped += 1;
-                    #[cfg(debug_assertions)]
-                    node_table.debug_assert_skip_sound(txi, now);
-                } else if let Some(tr) = node_table.evaluate(txi, now) {
-                    if tracing {
-                        let node = tr.node.value();
-                        match (tr.from, tr.to) {
-                            // A head stepping down into another head's
-                            // cluster is a cluster merge.
-                            (Role::Clusterhead, Role::Member { ch }) => sink.record(
-                                now,
-                                &TraceEvent::ClusterMerge {
-                                    node,
-                                    into: ch.value(),
-                                },
-                            ),
-                            (Role::Clusterhead, _) => {
-                                sink.record(now, &TraceEvent::HeadResigned { node });
-                            }
-                            (_, Role::Clusterhead) => {
-                                sink.record(now, &TraceEvent::HeadElected { node });
-                            }
-                            // Member/undecided affiliation shuffles are
-                            // in `role_transitions`; not traced.
-                            _ => {}
-                        }
-                    }
-                    log.record(tr);
-                }
-            }
-            // §5 extension: mobility-adaptive hello pacing — mobile
-            // neighborhoods refresh faster (down to the configured
-            // floor), calm ones keep the base interval.
-            let next = if cfg.adaptive_bi_min_s > 0.0 {
-                const PIVOT_DB2: f64 = 2.0;
-                let m = node_table.node(txi).metric();
-                let secs =
-                    (cfg.bi_s * PIVOT_DB2 / (PIVOT_DB2 + m)).clamp(cfg.adaptive_bi_min_s, cfg.bi_s);
-                SimTime::from_secs_f64(secs)
-            } else {
-                bi
-            };
-            sched.schedule_in(next, Ev::Hello(tx));
-        }
-        // lint:end-hot-path (sampling and fault arms run a handful of
-        // times per simulated second — cold by comparison)
-        Ev::Sample => {
-            if abort.is_some() {
-                return;
-            }
-            for (j, m) in mobility.iter_mut().enumerate() {
-                positions[j] = m.position_at(now);
-            }
-            if let Some(index) = index.as_mut() {
-                // The sampler evaluated everyone anyway: fold the free
-                // full refresh into the index.
-                index.update_all(&positions);
-                last_refresh = now;
-                index_refreshes += 1;
-                if tracing {
-                    sink.record(now, &TraceEvent::IndexRefresh { nodes: n as u32 });
-                }
-            }
-            if !packet_time.is_zero() {
-                // Sampling reads every table: commit closed windows.
-                for r in 0..n {
-                    commit_pending(
-                        &mut pending[r],
-                        &mut node_table,
-                        r,
-                        now,
-                        packet_time,
-                        false,
-                        &mut deliveries,
-                        tracing,
-                        sink,
-                    );
-                }
-            }
-            observer(SampleView {
-                now,
-                positions: &positions,
-                nodes: node_table.nodes(),
-                tables: node_table.tables(),
-                alive: node_table.alive(),
-            });
-            // The series measure the *live* network. With every node
-            // alive (no fault plan) the filters are pass-throughs and
-            // the arithmetic — same iteration order, same divisor — is
-            // bit-identical to the unfiltered version.
-            let alive = node_table.alive();
-            let alive_n = node_table.alive_count();
-            let clusters = node_table
-                .nodes()
-                .iter()
-                .enumerate()
-                .filter(|(i, nd)| alive[*i] && nd.role().is_clusterhead())
-                .count();
-            cluster_series.push(now, clusters as f64);
-            let gateways = node_table
-                .nodes()
-                .iter()
-                .zip(node_table.tables())
-                .enumerate()
-                .filter(|(i, (nd, t))| alive[*i] && nd.is_gateway(t))
-                .count();
-            let gateway_fraction = if alive_n == 0 {
-                0.0
-            } else {
-                gateways as f64 / alive_n as f64
-            };
-            gateway_series.push(now, gateway_fraction);
-            let metric_sum = node_table
-                .nodes()
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| alive[*i])
-                .map(|(_, nd)| nd.metric())
-                .sum::<f64>();
-            let mean_metric = if alive_n == 0 {
-                0.0
-            } else {
-                metric_sum / alive_n as f64
-            };
-            metric_series.push(now, mean_metric);
-            // Cluster-healing probes: a probe opened by a clusterhead
-            // crash resolves once every surviving orphan has found a
-            // live clusterhead (or become one); orphans that crash
-            // drop out of their probe.
-            probes.retain_mut(|p| {
-                p.orphans
-                    .retain(|&o| node_table.is_alive(o) && !reaffiliated(&node_table, o));
-                if p.orphans.is_empty() {
-                    let latency = now.saturating_sub(p.started).as_secs_f64();
-                    probes_healed += 1;
-                    healing_latency_sum += latency;
-                    healing_latency_max = healing_latency_max.max(latency);
-                    false
-                } else {
-                    true
-                }
-            });
-            // Periodic Theorem-1 audit of the live topology. The
-            // protocol violates Theorem 1 *transiently* by design (CCI
-            // deferral, TP affiliation holding), so `warn` observes
-            // and `strict` is meant for converged/stationary
-            // scenarios where a violation is a genuine defect.
-            if audit_on && now >= warmup {
-                audit_checks += 1;
-                let mut ids = Vec::with_capacity(alive_n);
-                let mut roles = Vec::with_capacity(alive_n);
-                let mut pos = Vec::with_capacity(alive_n);
-                for (i, nd) in node_table.nodes().iter().enumerate() {
-                    if alive[i] {
-                        ids.push(NodeId::new(i as u32));
-                        roles.push(nd.role());
-                        pos.push(positions[i]);
-                    }
-                }
-                let adj = mobic_core::centralized::Adjacency::unit_disk(&pos, cfg.tx_range_m);
-                let violations = mobic_core::invariants::check_theorem1(&roles, &ids, &adj);
-                audit_violations += violations.len() as u64;
-                if !violations.is_empty() {
-                    if tracing {
-                        for v in &violations {
-                            sink.record(now, &violation_event(v, &ids));
-                        }
-                    }
-                    if cfg.audit == AuditMode::Strict {
-                        // Structured failure, never a panic: flag the
-                        // run and let the queue drain.
-                        abort = Some((now, violations.len()));
-                        return;
-                    }
-                }
-            }
-            sched.schedule_in(bi, Ev::Sample);
-        }
-        Ev::Fault(action) => {
-            if abort.is_some() {
-                return;
-            }
-            // Fault events are only scheduled when a plan exists, so
-            // the stream is always there; a missing one would mean a
-            // scheduling bug, and dropping the event is strictly
-            // safer than aborting the run.
-            let Some(rng) = fault_rng.as_mut() else {
-                return;
-            };
-            match action {
-                FaultAction::Crash { revive_after } => {
-                    let Some(v) = pick_victim(&node_table, cfg.faults.target, rng) else {
-                        return; // nobody left alive to crash
-                    };
-                    // A clusterhead crash opens a healing probe over
-                    // its current live members.
-                    if node_table.node(v).role() == Role::Clusterhead {
-                        let ch = NodeId::new(v as u32);
-                        let orphans: Vec<usize> = (0..n)
-                            .filter(|&j| {
-                                j != v
-                                    && node_table.is_alive(j)
-                                    && node_table.node(j).role() == (Role::Member { ch })
-                            })
-                            .collect();
-                        if !orphans.is_empty() {
-                            probes_created += 1;
-                            probes.push(HealingProbe {
-                                started: now,
-                                orphans,
+                        } else {
+                            pending[r] = Some(PendingRx {
+                                at: now,
+                                power: d.rx_power,
+                                hello,
                             });
                         }
                     }
-                    node_table.set_down(v);
-                    pending[v] = None;
-                    last_arrival[v] = None;
-                    fault_counters.crashes += 1;
-                    if tracing {
-                        sink.record(now, &TraceEvent::NodeDown { node: v as u32 });
-                    }
-                    if let Some(after) = revive_after {
-                        sched.schedule_in(after, Ev::Fault(FaultAction::Revive { node: v }));
+                }
+                // Listen-before-decide: the paper's nodes compare their M
+                // "with those of its neighbors", so no role decision is
+                // taken until every neighbor has had one full broadcast
+                // interval to introduce itself.
+                if now >= bi {
+                    if incremental && node_table.can_skip_election(txi) {
+                        // Clean table + time-independent state machine: the
+                        // election is provably a no-op. Debug builds run it
+                        // on a clone anyway and panic on any divergence.
+                        elections_skipped += 1;
+                        #[cfg(debug_assertions)]
+                        node_table.debug_assert_skip_sound(txi, now);
+                    } else if let Some(tr) = node_table.evaluate(txi, now) {
+                        if tracing {
+                            let node = tr.node.value();
+                            match (tr.from, tr.to) {
+                                // A head stepping down into another head's
+                                // cluster is a cluster merge.
+                                (Role::Clusterhead, Role::Member { ch }) => sink.record(
+                                    now,
+                                    &TraceEvent::ClusterMerge {
+                                        node,
+                                        into: ch.value(),
+                                    },
+                                ),
+                                (Role::Clusterhead, _) => {
+                                    sink.record(now, &TraceEvent::HeadResigned { node });
+                                }
+                                (_, Role::Clusterhead) => {
+                                    sink.record(now, &TraceEvent::HeadElected { node });
+                                }
+                                // Member/undecided affiliation shuffles are
+                                // in `role_transitions`; not traced.
+                                _ => {}
+                            }
+                        }
+                        log.record(tr);
                     }
                 }
-                FaultAction::Revive { node } | FaultAction::Join { node } => {
-                    if node_table.is_alive(node) {
-                        return;
-                    }
-                    node_table.bring_up(node, now);
-                    if matches!(action, FaultAction::Revive { .. }) {
-                        fault_counters.recoveries += 1;
-                    } else {
-                        fault_counters.late_joins += 1;
-                    }
+                // §5 extension: mobility-adaptive hello pacing — mobile
+                // neighborhoods refresh faster (down to the configured
+                // floor), calm ones keep the base interval.
+                let next = if cfg.adaptive_bi_min_s > 0.0 {
+                    const PIVOT_DB2: f64 = 2.0;
+                    let m = node_table.node(txi).metric();
+                    let secs = (cfg.bi_s * PIVOT_DB2 / (PIVOT_DB2 + m))
+                        .clamp(cfg.adaptive_bi_min_s, cfg.bi_s);
+                    SimTime::from_secs_f64(secs)
+                } else {
+                    bi
+                };
+                sched.schedule_in(next, Ev::Hello(tx));
+            }
+            // lint:end-hot-path (sampling and fault arms run a handful of
+            // times per simulated second — cold by comparison)
+            Ev::Sample => {
+                if abort.is_some() {
+                    return;
+                }
+                for (j, m) in mobility.iter_mut().enumerate() {
+                    positions[j] = m.position_at(now);
+                }
+                if let Some(index) = index.as_mut() {
+                    // The sampler evaluated everyone anyway: fold the free
+                    // full refresh into the index.
+                    index.update_all(&positions);
+                    last_refresh = now;
+                    index_refreshes += 1;
                     if tracing {
-                        sink.record(now, &TraceEvent::NodeUp { node: node as u32 });
+                        sink.record(now, &TraceEvent::IndexRefresh { nodes: n as u32 });
                     }
                 }
-                FaultAction::Impair { mute } => {
-                    let Some(v) = pick_victim(&node_table, cfg.faults.target, rng) else {
-                        return;
-                    };
-                    if mute {
-                        node_table.set_mute(v, true);
-                        fault_counters.mute_spells += 1;
-                    } else {
-                        node_table.set_deaf(v, true);
-                        fault_counters.deaf_spells += 1;
-                    }
-                    if tracing {
-                        sink.record(
+                if !packet_time.is_zero() {
+                    // Sampling reads every table: commit closed windows.
+                    for r in 0..n {
+                        commit_pending(
+                            &mut pending[r],
+                            &mut node_table,
+                            r,
                             now,
-                            &TraceEvent::NodeImpaired {
-                                node: v as u32,
-                                mute,
-                            },
+                            packet_time,
+                            false,
+                            &mut deliveries,
+                            tracing,
+                            sink,
                         );
                     }
-                    sched.schedule_in(
-                        SimTime::from_secs_f64(cfg.faults.spell_s),
-                        Ev::Fault(FaultAction::Restore { node: v, mute }),
-                    );
                 }
-                FaultAction::Restore { node, mute } => {
-                    // A crash in the meantime already wiped the flag;
-                    // restore only what is still impaired.
-                    let impaired = node_table.is_alive(node)
-                        && if mute {
-                            node_table.is_mute(node)
-                        } else {
-                            node_table.is_deaf(node)
+                observer(SampleView {
+                    now,
+                    positions: &positions,
+                    nodes: node_table.nodes(),
+                    tables: node_table.tables(),
+                    alive: node_table.alive(),
+                });
+                // The series measure the *live* network. With every node
+                // alive (no fault plan) the filters are pass-throughs and
+                // the arithmetic — same iteration order, same divisor — is
+                // bit-identical to the unfiltered version.
+                let alive = node_table.alive();
+                let alive_n = node_table.alive_count();
+                let clusters = node_table
+                    .nodes()
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, nd)| alive[*i] && nd.role().is_clusterhead())
+                    .count();
+                cluster_series.push(now, clusters as f64);
+                let gateways = node_table
+                    .nodes()
+                    .iter()
+                    .zip(node_table.tables())
+                    .enumerate()
+                    .filter(|(i, (nd, t))| alive[*i] && nd.is_gateway(t))
+                    .count();
+                let gateway_fraction = if alive_n == 0 {
+                    0.0
+                } else {
+                    gateways as f64 / alive_n as f64
+                };
+                gateway_series.push(now, gateway_fraction);
+                let metric_sum = node_table
+                    .nodes()
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| alive[*i])
+                    .map(|(_, nd)| nd.metric())
+                    .sum::<f64>();
+                let mean_metric = if alive_n == 0 {
+                    0.0
+                } else {
+                    metric_sum / alive_n as f64
+                };
+                metric_series.push(now, mean_metric);
+                // Cluster-healing probes: a probe opened by a clusterhead
+                // crash resolves once every surviving orphan has found a
+                // live clusterhead (or become one); orphans that crash
+                // drop out of their probe.
+                probes.retain_mut(|p| {
+                    p.orphans
+                        .retain(|&o| node_table.is_alive(o) && !reaffiliated(&node_table, o));
+                    if p.orphans.is_empty() {
+                        let latency = now.saturating_sub(p.started).as_secs_f64();
+                        probes_healed += 1;
+                        healing_latency_sum += latency;
+                        healing_latency_max = healing_latency_max.max(latency);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                // Periodic Theorem-1 audit of the live topology. The
+                // protocol violates Theorem 1 *transiently* by design (CCI
+                // deferral, TP affiliation holding), so `warn` observes
+                // and `strict` is meant for converged/stationary
+                // scenarios where a violation is a genuine defect.
+                if audit_on && now >= warmup {
+                    audit_checks += 1;
+                    let mut ids = Vec::with_capacity(alive_n);
+                    let mut roles = Vec::with_capacity(alive_n);
+                    let mut pos = Vec::with_capacity(alive_n);
+                    for (i, nd) in node_table.nodes().iter().enumerate() {
+                        if alive[i] {
+                            ids.push(NodeId::new(i as u32));
+                            roles.push(nd.role());
+                            pos.push(positions[i]);
+                        }
+                    }
+                    let adj = mobic_core::centralized::Adjacency::unit_disk(&pos, cfg.tx_range_m);
+                    let violations = mobic_core::invariants::check_theorem1(&roles, &ids, &adj);
+                    audit_violations += violations.len() as u64;
+                    if !violations.is_empty() {
+                        if tracing {
+                            for v in &violations {
+                                sink.record(now, &violation_event(v, &ids));
+                            }
+                        }
+                        if cfg.audit == AuditMode::Strict {
+                            // Structured failure, never a panic: flag the
+                            // run and let the queue drain.
+                            abort = Some((now, violations.len()));
+                            return;
+                        }
+                    }
+                }
+                sched.schedule_in(bi, Ev::Sample);
+            }
+            Ev::Fault(action) => {
+                if abort.is_some() {
+                    return;
+                }
+                // Fault events are only scheduled when a plan exists, so
+                // the stream is always there; a missing one would mean a
+                // scheduling bug, and dropping the event is strictly
+                // safer than aborting the run.
+                let Some(rng) = fault_rng.as_mut() else {
+                    return;
+                };
+                match action {
+                    FaultAction::Crash { revive_after } => {
+                        let Some(v) = pick_victim(&node_table, cfg.faults.target, rng) else {
+                            return; // nobody left alive to crash
                         };
-                    if !impaired {
-                        return;
+                        // A clusterhead crash opens a healing probe over
+                        // its current live members.
+                        if node_table.node(v).role() == Role::Clusterhead {
+                            let ch = NodeId::new(v as u32);
+                            let orphans: Vec<usize> = (0..n)
+                                .filter(|&j| {
+                                    j != v
+                                        && node_table.is_alive(j)
+                                        && node_table.node(j).role() == (Role::Member { ch })
+                                })
+                                .collect();
+                            if !orphans.is_empty() {
+                                probes_created += 1;
+                                probes.push(HealingProbe {
+                                    started: now,
+                                    orphans,
+                                });
+                            }
+                        }
+                        node_table.set_down(v);
+                        pending[v] = None;
+                        last_arrival[v] = None;
+                        fault_counters.crashes += 1;
+                        if tracing {
+                            sink.record(now, &TraceEvent::NodeDown { node: v as u32 });
+                        }
+                        if let Some(after) = revive_after {
+                            sched.schedule_in(after, Ev::Fault(FaultAction::Revive { node: v }));
+                        }
                     }
-                    if mute {
-                        node_table.set_mute(node, false);
-                    } else {
-                        node_table.set_deaf(node, false);
+                    FaultAction::Revive { node } | FaultAction::Join { node } => {
+                        if node_table.is_alive(node) {
+                            return;
+                        }
+                        node_table.bring_up(node, now);
+                        if matches!(action, FaultAction::Revive { .. }) {
+                            fault_counters.recoveries += 1;
+                        } else {
+                            fault_counters.late_joins += 1;
+                        }
+                        if tracing {
+                            sink.record(now, &TraceEvent::NodeUp { node: node as u32 });
+                        }
                     }
-                    if tracing {
-                        sink.record(
-                            now,
-                            &TraceEvent::NodeRestored {
-                                node: node as u32,
-                                mute,
-                            },
+                    FaultAction::Impair { mute } => {
+                        let Some(v) = pick_victim(&node_table, cfg.faults.target, rng) else {
+                            return;
+                        };
+                        if mute {
+                            node_table.set_mute(v, true);
+                            fault_counters.mute_spells += 1;
+                        } else {
+                            node_table.set_deaf(v, true);
+                            fault_counters.deaf_spells += 1;
+                        }
+                        if tracing {
+                            sink.record(
+                                now,
+                                &TraceEvent::NodeImpaired {
+                                    node: v as u32,
+                                    mute,
+                                },
+                            );
+                        }
+                        sched.schedule_in(
+                            SimTime::from_secs_f64(cfg.faults.spell_s),
+                            Ev::Fault(FaultAction::Restore { node: v, mute }),
                         );
+                    }
+                    FaultAction::Restore { node, mute } => {
+                        // A crash in the meantime already wiped the flag;
+                        // restore only what is still impaired.
+                        let impaired = node_table.is_alive(node)
+                            && if mute {
+                                node_table.is_mute(node)
+                            } else {
+                                node_table.is_deaf(node)
+                            };
+                        if !impaired {
+                            return;
+                        }
+                        if mute {
+                            node_table.set_mute(node, false);
+                        } else {
+                            node_table.set_deaf(node, false);
+                        }
+                        if tracing {
+                            sink.record(
+                                now,
+                                &TraceEvent::NodeRestored {
+                                    node: node as u32,
+                                    mute,
+                                },
+                            );
+                        }
                     }
                 }
             }
+        });
+        window_start = horizon;
+        if horizon >= sim_end {
+            break;
         }
-    });
+    }
     if !packet_time.is_zero() {
         // End of run: nothing can overlap a still-pending reception
         // any more, so every one of them survived its window.
@@ -1661,6 +1750,32 @@ mod tests {
         c.tx_range_m = 250.0;
         c.algorithm = alg;
         c
+    }
+
+    #[test]
+    fn route_ev_keys_match_event_ownership() {
+        let k = route_ev(&Ev::Hello(NodeId::new(7)));
+        assert_eq!((k.node, k.kind), (7, EV_KIND_HELLO));
+        assert!(!k.is_global());
+        assert!(route_ev(&Ev::Sample).is_global());
+        assert_eq!(route_ev(&Ev::Sample).kind, EV_KIND_SAMPLE);
+        assert!(route_ev(&Ev::Fault(FaultAction::Crash { revive_after: None })).is_global());
+    }
+
+    #[test]
+    fn sharded_engine_is_byte_identical_across_shard_counts() {
+        // The unit-level guarantee behind tests/sharded_equivalence:
+        // serialized RunResults match the sequential engine exactly,
+        // for the auto (0), degenerate (1), and multi-shard cases.
+        let cfg = small(AlgorithmKind::Mobic);
+        let want = serde_json::to_string(&run_scenario(&cfg, 3).unwrap()).unwrap();
+        for shards in [0u32, 1, 2, 5] {
+            let mut c = cfg;
+            c.engine = Engine::Sharded;
+            c.shards = shards;
+            let got = serde_json::to_string(&run_scenario(&c, 3).unwrap()).unwrap();
+            assert_eq!(want, got, "shards={shards}");
+        }
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Spatial sharding for the parallel event loop.
+//!
+//! The sharded engine keeps *all* event processing and state
+//! mutation on the driving thread, in exactly the sequential order
+//! (see [`mobic_sim::ShardedEventQueue`] for the merge-determinism
+//! argument). What runs on worker threads is the one part of the hot
+//! path that is pure and embarrassingly parallel: **trajectory
+//! pre-extension**. At each lookahead window boundary the runner
+//!
+//! 1. re-assigns shard ownership spatially — each node's owning
+//!    [`GridIndex`] cell, modulo the shard count (the halo exchange:
+//!    nodes migrate between shards as they move between cells);
+//! 2. pushes the new owner map into the sharded queue (placement
+//!    only — pop order is provably unaffected);
+//! 3. forks one scoped worker per shard, each extending its nodes'
+//!    mobility trajectories to the window horizon, so the event loop
+//!    itself never waits on trajectory construction.
+//!
+//! The lookahead window is the conservative bound from distributed
+//! discrete-event simulation: the minimum latency of any
+//! self-rescheduling event (the hello interval, or the adaptive-BI
+//! floor when adaptive pacing is on). No event processed inside a
+//! window can need state beyond the horizon the workers prepared.
+//!
+//! Determinism: workers receive no RNG ambient state and no clock —
+//! each mobility model owns its seeded stream, and the trajectory
+//! contract (lazy, append-only, query-order independent) makes early
+//! extension invisible to every later query. Worker count and shard
+//! assignment therefore cannot influence results, which the
+//! `sharded_equivalence` integration tests pin byte-for-byte.
+
+use mobic_geom::{GridIndex, Vec2};
+use mobic_mobility::Mobility;
+use mobic_sim::SimTime;
+
+use crate::{Engine, ScenarioConfig};
+
+/// Fixed fallback shard count when `shards: 0` is configured.
+///
+/// Deliberately a constant, not the host's core count: results are
+/// identical either way, but artifacts (manifests, configs) should
+/// not silently encode the machine they ran on, and the lint rules
+/// ban ambient parallelism reads in result-affecting crates. Callers
+/// that want machine-sized shards (the CLI, benches) pass an explicit
+/// count.
+pub(crate) const DEFAULT_SHARDS: u32 = 4;
+
+/// The shard count a run will actually use: 1 for the sequential
+/// engine; otherwise the configured count (0 = [`DEFAULT_SHARDS`])
+/// clamped to `[1, n_nodes]`.
+pub(crate) fn effective_shards(cfg: &ScenarioConfig) -> u32 {
+    if cfg.engine != Engine::Sharded {
+        return 1;
+    }
+    let requested = if cfg.shards == 0 {
+        DEFAULT_SHARDS
+    } else {
+        cfg.shards
+    };
+    requested.clamp(1, cfg.n_nodes.max(1))
+}
+
+/// The conservative lookahead window: the minimum latency of any
+/// self-rescheduling event. Hello events re-arm at the beat interval
+/// (or down to the adaptive floor when adaptive pacing is enabled);
+/// the sampler re-arms at the beat interval. A positive floor of one
+/// clock tick guards against degenerate configs stalling the window
+/// loop.
+pub(crate) fn lookahead_window(cfg: &ScenarioConfig) -> SimTime {
+    let hello_floor = if cfg.adaptive_bi_min_s > 0.0 {
+        cfg.adaptive_bi_min_s.min(cfg.bi_s)
+    } else {
+        cfg.bi_s
+    };
+    SimTime::from_secs_f64(hello_floor).max(SimTime::MICROSECOND)
+}
+
+/// Re-computes spatial shard ownership: `shard_of[i]` becomes node
+/// `i`'s owning grid cell modulo the shard count (the cell lookup is
+/// a partition — see [`GridIndex::cell_index`] — so every node gets
+/// exactly one shard). Without an index (brute-force delivery path)
+/// ownership falls back to round-robin over node ids, which is just
+/// as valid: placement can never affect results, only load balance.
+pub(crate) fn assign_shards(
+    shard_of: &mut [u32],
+    index: Option<&GridIndex>,
+    positions: &[Vec2],
+    n_shards: u32,
+) {
+    let n_shards = n_shards.max(1);
+    match index {
+        Some(idx) => {
+            for (i, s) in shard_of.iter_mut().enumerate() {
+                let cell = positions.get(i).map_or(i, |&p| idx.cell_index(p));
+                *s = (cell % n_shards as usize) as u32;
+            }
+        }
+        None => {
+            for (i, s) in shard_of.iter_mut().enumerate() {
+                *s = (i % n_shards as usize) as u32;
+            }
+        }
+    }
+}
+
+/// Pre-extends every mobility trajectory to `horizon` on one scoped
+/// worker thread per shard.
+///
+/// Pure fork-join: workers borrow disjoint subsets of the models
+/// (partitioned by `shard_of`), each issues a single
+/// `position_at(horizon)` query per node to force lazy trajectory
+/// construction out to the horizon, and the scope joins before the
+/// event loop resumes. No state other than the trajectories changes,
+/// and the trajectory contract makes the extension itself invisible.
+pub(crate) fn extend_trajectories(
+    models: &mut [Box<dyn Mobility>],
+    shard_of: &[u32],
+    n_shards: u32,
+    horizon: SimTime,
+) {
+    if models.is_empty() {
+        return;
+    }
+    if n_shards <= 1 {
+        for m in models.iter_mut() {
+            let _ = m.position_at(horizon);
+        }
+        return;
+    }
+    let mut buckets: Vec<Vec<&mut Box<dyn Mobility>>> =
+        (0..n_shards as usize).map(|_| Vec::new()).collect();
+    for (i, m) in models.iter_mut().enumerate() {
+        let s = shard_of
+            .get(i)
+            .map_or(0, |&s| s as usize % n_shards as usize);
+        buckets[s].push(m);
+    }
+    // Run shard 0's bucket on the calling thread while the scoped
+    // workers handle the rest; the scope joins them all before
+    // returning control to the event loop.
+    let mut iter = buckets.into_iter();
+    let home = iter.next();
+    std::thread::scope(|scope| {
+        for bucket in iter {
+            if bucket.is_empty() {
+                continue;
+            }
+            scope.spawn(move || {
+                for m in bucket {
+                    let _ = m.position_at(horizon);
+                }
+            });
+        }
+        if let Some(bucket) = home {
+            for m in bucket {
+                let _ = m.position_at(horizon);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobic_geom::Rect;
+    use mobic_sim::rng::SeedSplitter;
+
+    #[test]
+    fn effective_shards_sequential_is_one() {
+        let mut cfg = ScenarioConfig::paper_table1();
+        cfg.shards = 8;
+        assert_eq!(effective_shards(&cfg), 1);
+    }
+
+    #[test]
+    fn effective_shards_clamps_and_defaults() {
+        let mut cfg = ScenarioConfig::paper_table1();
+        cfg.engine = Engine::Sharded;
+        assert_eq!(effective_shards(&cfg), DEFAULT_SHARDS);
+        cfg.shards = 3;
+        assert_eq!(effective_shards(&cfg), 3);
+        cfg.shards = 10_000;
+        assert_eq!(effective_shards(&cfg), cfg.n_nodes);
+        cfg.n_nodes = 0;
+        assert_eq!(effective_shards(&cfg), 1);
+    }
+
+    #[test]
+    fn lookahead_window_tracks_hello_floor() {
+        let mut cfg = ScenarioConfig::paper_table1();
+        assert_eq!(lookahead_window(&cfg), SimTime::from_secs_f64(cfg.bi_s));
+        cfg.adaptive_bi_min_s = 0.25;
+        assert_eq!(lookahead_window(&cfg), SimTime::from_secs_f64(0.25));
+        cfg.bi_s = 0.0;
+        cfg.adaptive_bi_min_s = 0.0;
+        assert_eq!(lookahead_window(&cfg), SimTime::MICROSECOND);
+    }
+
+    #[test]
+    fn assign_shards_is_a_partition_with_and_without_index() {
+        let positions = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(669.9, 669.9),
+            Vec2::new(335.0, 335.0),
+            Vec2::new(670.0, 0.0), // field edge
+        ];
+        let idx = GridIndex::build(Rect::new(670.0, 670.0), 250.0, &positions);
+        let mut spatial = vec![u32::MAX; positions.len()];
+        assign_shards(&mut spatial, Some(&idx), &positions, 3);
+        for &s in &spatial {
+            assert!(s < 3);
+        }
+        // Spatial locality: nodes in the same cell share a shard.
+        assert_eq!(spatial[0], (idx.cell_index(positions[0]) % 3) as u32);
+        let mut rr = vec![u32::MAX; positions.len()];
+        assign_shards(&mut rr, None, &positions, 3);
+        assert_eq!(rr, vec![0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn trajectory_pre_extension_is_invisible() {
+        // Two identically seeded model sets: one pre-extended in
+        // shard buckets on worker threads, one queried lazily. Every
+        // later position query must agree exactly.
+        let cfg = ScenarioConfig::paper_table1();
+        let field = Rect::new(cfg.field_w_m, cfg.field_h_m);
+        let build = || {
+            let splitter = SeedSplitter::new(42);
+            crate::runner::build_mobility(&cfg, field, &splitter)
+        };
+        let mut eager = build();
+        let mut lazy = build();
+        let shard_of: Vec<u32> = (0..eager.len() as u32).map(|i| i % 4).collect();
+        extend_trajectories(&mut eager, &shard_of, 4, SimTime::from_secs(90));
+        for t in [0u64, 13, 45, 90, 30] {
+            let at = SimTime::from_secs(t);
+            for (a, b) in eager.iter_mut().zip(lazy.iter_mut()) {
+                assert_eq!(a.position_at(at), b.position_at(at));
+                assert_eq!(a.velocity_at(at), b.velocity_at(at));
+            }
+        }
+    }
+}

@@ -7,6 +7,9 @@
 //! * [`SimTime`] — an exact, integer-microsecond simulation clock;
 //! * [`EventQueue`] — a priority queue of timestamped events with
 //!   deterministic FIFO tie-breaking;
+//! * [`ShardedEventQueue`] — per-shard event heaps behind the same
+//!   [`Queue`] interface, whose merged pop order is provably identical
+//!   to [`EventQueue`] (see its docs for the tie-break analysis);
 //! * [`Simulation`] — a run loop driving a user-supplied handler;
 //! * [`rng`] — seeded, labeled random-number streams so every component
 //!   (placement, mobility, loss, …) draws from an independent stream
@@ -18,7 +21,10 @@
 //! bit-for-bit reproducible: the queue breaks ties by insertion order,
 //! the clock is integer arithmetic, and the RNG streams are a fixed
 //! algorithm ([`rand_chacha::ChaCha12Rng`]) independent of `rand`'s
-//! unstable `StdRng` choice.
+//! unstable `StdRng` choice. The contract is queue-shape independent:
+//! every [`Queue`] implementation must pop identical push sequences in
+//! an identical order, so swapping [`EventQueue`] for
+//! [`ShardedEventQueue`] cannot change a simulation's results.
 //!
 //! # Examples
 //!
@@ -47,6 +53,6 @@ pub mod rng;
 mod runner;
 mod time;
 
-pub use queue::EventQueue;
+pub use queue::{EventKey, EventQueue, Queue, ShardedEventQueue};
 pub use runner::{Scheduler, Simulation};
 pub use time::SimTime;

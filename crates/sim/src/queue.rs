@@ -1,9 +1,49 @@
-//! The timestamped event queue.
+//! The timestamped event queue: the sequential [`EventQueue`], the
+//! [`Queue`] abstraction over event storage, and the per-shard
+//! [`ShardedEventQueue`] whose merged pop order is provably identical
+//! to the sequential queue.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::SimTime;
+
+/// The storage interface a [`Simulation`](crate::Simulation) drives:
+/// push timestamped events, pop them in deterministic
+/// earliest-first order.
+///
+/// Two implementations exist: [`EventQueue`] (one heap, the
+/// reference) and [`ShardedEventQueue`] (per-shard heaps with a
+/// deterministic merge). The contract is that for any identical
+/// sequence of `push`/`pop` calls, every implementation returns the
+/// events in exactly the same order — the simulation result must not
+/// depend on which queue backs it.
+pub trait Queue<E> {
+    /// Schedules `event` at `time`.
+    fn push(&mut self, time: SimTime, event: E);
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    fn pop(&mut self) -> Option<(SimTime, E)>;
+
+    /// The timestamp of the earliest pending event.
+    fn peek_time(&self) -> Option<SimTime>;
+
+    /// Number of pending events.
+    fn len(&self) -> usize;
+
+    /// `true` if no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Re-assigns shard ownership (`owners[node] = shard`) for
+    /// implementations that partition events by owner. Placement is
+    /// storage-only — it can never change pop order — so the default
+    /// is a no-op and single-heap queues ignore it.
+    fn assign_owners(&mut self, owners: &[u32]) {
+        let _ = owners;
+    }
+}
 
 /// A future-event list: a min-priority queue of `(SimTime, E)` pairs.
 ///
@@ -124,6 +164,229 @@ impl<E> Default for EventQueue<E> {
     }
 }
 
+impl<E> Queue<E> for EventQueue<E> {
+    fn push(&mut self, time: SimTime, event: E) {
+        EventQueue::push(self, time, event);
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        EventQueue::pop(self)
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        EventQueue::peek_time(self)
+    }
+
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+}
+
+/// Routing identity of an event in a [`ShardedEventQueue`]: the
+/// owning node (or [`EventKey::GLOBAL`]) plus a small event-kind
+/// discriminant.
+///
+/// The key decides *where* an event is stored (which shard heap),
+/// never *when* it pops — pop order is governed solely by the merge
+/// key `(time, seq)`; see the [`ShardedEventQueue`] docs for why the
+/// `node`/`kind` components must stay out of the ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventKey {
+    /// Owning node index, or [`EventKey::GLOBAL`] for engine-wide
+    /// events (samplers, fault injections) that no single node owns.
+    pub node: u32,
+    /// Event-kind discriminant, carried for diagnostics and shard
+    /// accounting. Deliberately **not** part of the pop order.
+    pub kind: u8,
+}
+
+impl EventKey {
+    /// Sentinel `node` value for engine-wide events; they always
+    /// enqueue on shard 0.
+    pub const GLOBAL: u32 = u32::MAX;
+
+    /// Key for an event owned by `node`.
+    #[must_use]
+    pub fn node(node: u32, kind: u8) -> Self {
+        EventKey { node, kind }
+    }
+
+    /// Key for an engine-wide event.
+    #[must_use]
+    pub fn global(kind: u8) -> Self {
+        EventKey {
+            node: Self::GLOBAL,
+            kind,
+        }
+    }
+
+    /// `true` for engine-wide events.
+    #[must_use]
+    pub fn is_global(&self) -> bool {
+        self.node == Self::GLOBAL
+    }
+}
+
+/// Per-shard future-event lists with a deterministic merge: events
+/// are stored in one binary heap per shard (routed by an
+/// [`EventKey`]-producing router plus an owner map), and `pop`
+/// returns the global minimum across shards.
+///
+/// # Merge determinism: why the tie-break is `(time, seq)`
+///
+/// The sequential [`EventQueue`] breaks `SimTime` ties with a global
+/// insertion counter. A sharded queue must reproduce that order
+/// *exactly*, or sharded runs stop being byte-identical. The obvious
+/// "shard-independent" composite key `(time, node, kind, per-shard
+/// seq)` does **not** work:
+///
+/// * per-shard counters are incomparable across shards, and
+/// * a static `node`/`kind` rank reorders same-instant events whose
+///   sequential order depends on *when they were scheduled*.
+///   Counterexample: node B's hello at t = 3 schedules B's next hello
+///   for t = 10; node A's hello at t = 5 schedules A's (adaptive
+///   pacing can land both on the same microsecond). The insertion
+///   counter pops B first — it was scheduled first — while any
+///   node-ordered key pops A < B. Divergence.
+///
+/// The resolution is that scheduling is already centralized: every
+/// `push` happens on the single deterministic commit thread, in the
+/// same order the sequential engine would perform it. The queue can
+/// therefore allocate one **shared** `seq` across all shards — the
+/// exact values the sequential counter would hand out — and
+/// merge-pop the global minimum `(time, seq)`. Shard placement (the
+/// owner map, spatial or otherwise) then provably cannot affect pop
+/// order, which is what lets an embedder rebalance ownership at
+/// window boundaries for free. The tests in this module pin the
+/// property: identical push sequences through [`EventQueue`] and
+/// `ShardedEventQueue` pop identically under every owner map and
+/// shard count.
+pub struct ShardedEventQueue<E, R> {
+    shards: Vec<BinaryHeap<Entry<E>>>,
+    /// `owners[node] = shard`; nodes beyond the map (or before any
+    /// [`assign_owners`](Queue::assign_owners) call) fall back to
+    /// `node % n_shards` round-robin placement.
+    owners: Vec<u32>,
+    router: R,
+    next_seq: u64,
+    len: usize,
+}
+
+impl<E, R: Fn(&E) -> EventKey> ShardedEventQueue<E, R> {
+    /// Creates an empty queue with `n_shards` shard heaps (at least
+    /// one) and the given event router.
+    #[must_use]
+    pub fn new(n_shards: u32, router: R) -> Self {
+        Self::with_capacity(0, n_shards, router)
+    }
+
+    /// Like [`new`](Self::new), but pre-sizing each shard heap for an
+    /// even share of `cap` pending events.
+    #[must_use]
+    pub fn with_capacity(cap: usize, n_shards: u32, router: R) -> Self {
+        let n = (n_shards as usize).max(1);
+        let per_shard = cap / n + 1;
+        ShardedEventQueue {
+            shards: (0..n)
+                .map(|_| BinaryHeap::with_capacity(per_shard))
+                .collect(),
+            owners: Vec::new(),
+            router,
+            next_seq: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of shard heaps.
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard heap that `key` routes to under the current owner
+    /// map: shard 0 for global events, the owner-map entry (modulo
+    /// the shard count, defensively) for owned nodes, round-robin for
+    /// nodes the map does not cover.
+    #[must_use]
+    pub fn shard_for(&self, key: EventKey) -> usize {
+        if key.is_global() {
+            return 0;
+        }
+        let n = self.shards.len();
+        match self.owners.get(key.node as usize) {
+            Some(&s) => s as usize % n,
+            None => key.node as usize % n,
+        }
+    }
+}
+
+// Manual impl: `router` is usually a fn pointer or closure, which has
+// no useful `Debug`; show the structural state instead.
+impl<E, R> std::fmt::Debug for ShardedEventQueue<E, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEventQueue")
+            .field("n_shards", &self.shards.len())
+            .field("len", &self.len)
+            .field("next_seq", &self.next_seq)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<E, R: Fn(&E) -> EventKey> Queue<E> for ShardedEventQueue<E, R> {
+    fn push(&mut self, time: SimTime, event: E) {
+        // One shared sequence counter across all shards: pushes happen
+        // in the same (deterministic, single-threaded) order as the
+        // sequential engine's, so `seq` values — and therefore the
+        // merged pop order — match the sequential queue exactly.
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let shard = self.shard_for((self.router)(&event));
+        self.shards[shard].push(Entry { time, seq, event });
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        // Merge step: the global minimum `(time, seq)` over the shard
+        // heads. `seq` values are globally unique, so the minimum is
+        // unambiguous.
+        let mut best: Option<(SimTime, u64, usize)> = None;
+        for (i, heap) in self.shards.iter().enumerate() {
+            if let Some(head) = heap.peek() {
+                let better = match best {
+                    None => true,
+                    Some((t, s, _)) => (head.time, head.seq) < (t, s),
+                };
+                if better {
+                    best = Some((head.time, head.seq, i));
+                }
+            }
+        }
+        let (_, _, shard) = best?;
+        self.len -= 1;
+        self.shards[shard].pop().map(|e| (e.time, e.event))
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.shards
+            .iter()
+            .filter_map(|h| h.peek().map(|e| (e.time, e.seq)))
+            .min()
+            .map(|(t, _)| t)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn assign_owners(&mut self, owners: &[u32]) {
+        // Placement-only: events already queued stay on the shard
+        // they were pushed to (pop order cannot tell the difference);
+        // future pushes follow the new map.
+        self.owners.clear();
+        self.owners.extend_from_slice(owners);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,5 +468,174 @@ mod tests {
             let (qt, qi) = q.pop().unwrap();
             assert_eq!((qt.as_micros(), qi), (t, i));
         }
+    }
+
+    // ---- sharded queue ----
+
+    /// Test event: `(node-or-global, kind)` — the router reads it
+    /// directly.
+    type TestEv = (u32, u8);
+
+    fn route(ev: &TestEv) -> EventKey {
+        if ev.0 == EventKey::GLOBAL {
+            EventKey::global(ev.1)
+        } else {
+            EventKey::node(ev.0, ev.1)
+        }
+    }
+
+    fn sharded(n_shards: u32) -> ShardedEventQueue<TestEv, fn(&TestEv) -> EventKey> {
+        ShardedEventQueue::new(n_shards, route)
+    }
+
+    /// A deterministic LCG-driven schedule with many time collisions,
+    /// mixed node/global events, and interleaved pops.
+    fn adversarial_script(len: usize) -> Vec<(u64, TestEv, bool)> {
+        let mut x: u64 = 99991;
+        let mut script = Vec::with_capacity(len);
+        for i in 0..len {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let t = (x >> 33) % 17; // heavy collisions
+            let node = if x % 11 == 0 {
+                EventKey::GLOBAL
+            } else {
+                (x % 23) as u32
+            };
+            let kind = (x % 3) as u8;
+            let pop_now = x % 5 == 0 && i > 3;
+            script.push((t, (node, kind), pop_now));
+        }
+        script
+    }
+
+    /// The central property: for every shard count and owner map, the
+    /// sharded queue pops the exact sequence the sequential queue
+    /// does — including interleaved pushes and pops.
+    #[test]
+    fn sharded_pop_order_identical_to_sequential() {
+        let script = adversarial_script(600);
+        let owner_maps: [Option<fn(u32) -> u32>; 4] = [
+            None,                   // round-robin fallback
+            Some(|_| 0),            // everything on one shard
+            Some(|n| n % 7),        // arbitrary (clamped internally)
+            Some(|n| (23 - n) % 5), // reversed-ish
+        ];
+        for n_shards in [1u32, 2, 3, 8, 64] {
+            for map in owner_maps {
+                let mut seq = EventQueue::new();
+                let mut sh = sharded(n_shards);
+                if let Some(f) = map {
+                    let owners: Vec<u32> = (0..23).map(f).collect();
+                    sh.assign_owners(&owners);
+                }
+                for &(t, ev, pop_now) in &script {
+                    let time = SimTime::from_micros(t);
+                    seq.push(time, ev);
+                    Queue::push(&mut sh, time, ev);
+                    if pop_now {
+                        assert_eq!(Queue::pop(&mut sh), seq.pop());
+                    }
+                }
+                loop {
+                    let a = seq.pop();
+                    let b = Queue::pop(&mut sh);
+                    assert_eq!(a, b, "shards={n_shards}");
+                    if a.is_none() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-assigning owners mid-stream moves only *future* pushes; the
+    /// pop order never changes.
+    #[test]
+    fn owner_reassignment_is_invisible_to_pop_order() {
+        let script = adversarial_script(300);
+        let mut seq = EventQueue::new();
+        let mut sh = sharded(4);
+        for (i, &(t, ev, _)) in script.iter().enumerate() {
+            let time = SimTime::from_micros(t);
+            seq.push(time, ev);
+            Queue::push(&mut sh, time, ev);
+            if i % 50 == 7 {
+                // Rotate the whole map — the halo-exchange shape.
+                let owners: Vec<u32> = (0..23).map(|n| (n + i as u32) % 4).collect();
+                sh.assign_owners(&owners);
+            }
+        }
+        loop {
+            let a = seq.pop();
+            assert_eq!(a, Queue::pop(&mut sh));
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn global_events_route_to_shard_zero() {
+        let sh = sharded(4);
+        assert_eq!(sh.shard_for(EventKey::global(1)), 0);
+        assert!(EventKey::global(2).is_global());
+        assert!(!EventKey::node(3, 0).is_global());
+        // Owned nodes fall back to round-robin without a map.
+        assert_eq!(sh.shard_for(EventKey::node(6, 0)), 2);
+    }
+
+    #[test]
+    fn shard_for_honors_and_clamps_owner_map() {
+        let mut sh = sharded(3);
+        sh.assign_owners(&[2, 2, 0, 9]); // 9 is out of range → % 3
+        assert_eq!(sh.shard_for(EventKey::node(0, 0)), 2);
+        assert_eq!(sh.shard_for(EventKey::node(2, 0)), 0);
+        assert_eq!(sh.shard_for(EventKey::node(3, 0)), 0);
+        // Beyond the map: round-robin.
+        assert_eq!(sh.shard_for(EventKey::node(7, 0)), 1);
+    }
+
+    #[test]
+    fn sharded_len_peek_and_empty() {
+        let mut sh = sharded(2);
+        assert!(Queue::is_empty(&sh));
+        assert_eq!(Queue::peek_time(&sh), None);
+        Queue::push(&mut sh, SimTime::from_secs(5), (1, 0));
+        Queue::push(&mut sh, SimTime::from_secs(2), (EventKey::GLOBAL, 1));
+        assert_eq!(Queue::len(&sh), 2);
+        assert_eq!(Queue::peek_time(&sh), Some(SimTime::from_secs(2)));
+        assert_eq!(
+            Queue::pop(&mut sh),
+            Some((SimTime::from_secs(2), (EventKey::GLOBAL, 1)))
+        );
+        assert_eq!(Queue::pop(&mut sh), Some((SimTime::from_secs(5), (1, 0))));
+        assert_eq!(Queue::pop(&mut sh), None);
+        assert!(Queue::is_empty(&sh));
+    }
+
+    /// FIFO across *kinds* at the same instant follows insertion
+    /// order, not kind rank — the counterexample from the type docs.
+    #[test]
+    fn same_instant_kind_order_is_insertion_order() {
+        let t = SimTime::from_secs(1);
+        let mut sh = sharded(4);
+        // A "fault"-ish global event pushed between two node hellos.
+        Queue::push(&mut sh, t, (5, 0));
+        Queue::push(&mut sh, t, (EventKey::GLOBAL, 2));
+        Queue::push(&mut sh, t, (1, 0));
+        assert_eq!(Queue::pop(&mut sh), Some((t, (5, 0))));
+        assert_eq!(Queue::pop(&mut sh), Some((t, (EventKey::GLOBAL, 2))));
+        assert_eq!(Queue::pop(&mut sh), Some((t, (1, 0))));
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let mut sh: ShardedEventQueue<TestEv, fn(&TestEv) -> EventKey> =
+            ShardedEventQueue::new(0, route);
+        assert_eq!(sh.n_shards(), 1);
+        Queue::push(&mut sh, SimTime::ZERO, (0, 0));
+        assert_eq!(Queue::pop(&mut sh), Some((SimTime::ZERO, (0, 0))));
     }
 }

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# CI gate: formatting, lints, docs, tier-1 build+tests, and a smoke
-# run of the brute-vs-indexed scaling bench (which asserts result
-# equality, so a regression in either event-loop path fails the
-# script).
+# CI gate: formatting, lints, docs, tier-1 build+tests, a sharded-
+# equivalence smoke, and a smoke run of the brute-vs-indexed-vs-sharded
+# scaling bench (which asserts result equality, so a regression in any
+# event-loop path fails the script).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -51,9 +51,11 @@ cargo test -q
 echo "== benches compile =="
 cargo bench --workspace --no-run
 
-echo "== scaling smoke (brute vs indexed equality + speedup) =="
-MOBIC_FAST=1 MOBIC_SCALING_NS=50,200 \
-    cargo run --release -p mobic-bench --bin bench_scaling
+echo "== sharded-equivalence smoke (2 shards must be byte-identical) =="
+cargo test --release --test sharded_equivalence -q smoke_two_shards_byte_identical
+
+echo "== scaling smoke (brute vs indexed vs sharded equality + speedup) =="
+MOBIC_SHARDS=2 cargo run --release -p mobic-bench --bin bench_scaling -- --smoke
 
 echo "== hot-path smoke (steady state must be allocation-free) =="
 cargo run --release -p mobic-bench --bin bench_hotpath -- --smoke

@@ -1,0 +1,184 @@
+//! The sharded parallel engine must be invisible: for every
+//! `(cfg, seed)`, `engine: sharded` yields byte-identical serialized
+//! `RunResult`s *and* byte-identical JSONL trace streams vs the
+//! sequential engine — across mobility models, algorithms, loss
+//! models, the MAC collision path, fault plans, and every shard
+//! count (including the degenerate 1-shard case and the host's core
+//! count).
+
+use mobic::core::AlgorithmKind;
+use mobic::scenario::{
+    run_scenario, run_scenario_traced, Engine, FaultPlan, LossKind, MobilityKind, ScenarioConfig,
+};
+use mobic::trace::JsonlSink;
+
+/// Every mobility model the runner supports.
+fn all_mobility_kinds() -> [MobilityKind; 8] {
+    [
+        MobilityKind::RandomWaypoint,
+        MobilityKind::RandomWalk { epoch_s: 10.0 },
+        MobilityKind::GaussMarkov { alpha: 0.8 },
+        MobilityKind::Rpgm {
+            groups: 4,
+            member_radius_m: 40.0,
+        },
+        MobilityKind::Highway {
+            lanes: 4,
+            bidirectional: true,
+        },
+        MobilityKind::ConferenceHall { booths: 5 },
+        MobilityKind::Manhattan {
+            block_m: 100.0,
+            p_turn: 0.5,
+        },
+        MobilityKind::Stationary,
+    ]
+}
+
+/// A shortened `paper_table1` so the cross products stay fast.
+fn paper_short() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper_table1();
+    cfg.sim_time_s = 120.0;
+    cfg
+}
+
+/// Serialized result under the given engine. JSON bytes catch
+/// everything serde sees — any float, count, or map divergence.
+fn result_bytes(cfg: &ScenarioConfig, seed: u64, engine: Engine, shards: u32) -> String {
+    let mut c = *cfg;
+    c.engine = engine;
+    c.shards = shards;
+    serde_json::to_string(&run_scenario(&c, seed).unwrap()).unwrap()
+}
+
+/// Full JSONL trace under the given engine.
+fn trace_bytes(cfg: &ScenarioConfig, seed: u64, engine: Engine, shards: u32) -> Vec<u8> {
+    let mut c = *cfg;
+    c.engine = engine;
+    c.shards = shards;
+    let mut sink = JsonlSink::new(Vec::new());
+    run_scenario_traced(&c, seed, &mut sink).unwrap();
+    sink.finish().unwrap()
+}
+
+#[test]
+fn sharded_is_byte_identical_across_mobility_and_seeds() {
+    for mobility in all_mobility_kinds() {
+        for seed in 0..3 {
+            let mut cfg = paper_short();
+            cfg.mobility = mobility;
+            assert_eq!(
+                result_bytes(&cfg, seed, Engine::Sequential, 0),
+                result_bytes(&cfg, seed, Engine::Sharded, 0),
+                "{mobility:?} seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_is_byte_identical_across_algorithms() {
+    // Each algorithm family stresses a different slice of the event
+    // loop (table-pure elections vs role/contention state) — all of
+    // them must be engine-independent.
+    for alg in AlgorithmKind::ALL {
+        let mut cfg = paper_short();
+        cfg.algorithm = alg;
+        assert_eq!(
+            result_bytes(&cfg, 11, Engine::Sequential, 0),
+            result_bytes(&cfg, 11, Engine::Sharded, 0),
+            "{alg}"
+        );
+    }
+}
+
+#[test]
+fn sharded_matches_with_stateful_loss_and_collisions() {
+    // Stateful loss models consume RNG per queried link and the MAC
+    // window defers receptions across events: any reordering of
+    // same-instant events between engines would desync both.
+    for loss in [LossKind::Bernoulli { p: 0.2 }, LossKind::BurstyPreset] {
+        let mut cfg = paper_short();
+        cfg.loss = loss;
+        cfg.packet_time_s = 0.01;
+        assert_eq!(
+            result_bytes(&cfg, 7, Engine::Sequential, 0),
+            result_bytes(&cfg, 7, Engine::Sharded, 0),
+            "{loss:?}"
+        );
+    }
+}
+
+#[test]
+fn sharded_matches_with_fault_plan_and_adaptive_pacing() {
+    // Fault injections are global events interleaved with hellos at
+    // seeded fire times, and adaptive pacing makes hello re-arm
+    // latencies non-uniform — together the hardest case for any
+    // tie-break scheme that is not exactly the sequential one.
+    let mut cfg = paper_short();
+    cfg.faults = FaultPlan {
+        crashes: 3,
+        recoveries: 2,
+        late_joins: 2,
+        deaf_spells: 1,
+        mute_spells: 1,
+        ..FaultPlan::default()
+    };
+    cfg.adaptive_bi_min_s = 0.5;
+    cfg.packet_time_s = 0.005;
+    for seed in [1, 19] {
+        assert_eq!(
+            result_bytes(&cfg, seed, Engine::Sequential, 0),
+            result_bytes(&cfg, seed, Engine::Sharded, 0),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn sharded_trace_streams_are_byte_identical() {
+    // The trace sees every hello, reception, loss drop, election, and
+    // index refresh in emission order — the strictest observable of
+    // event ordering the runner has.
+    for mobility in [MobilityKind::RandomWaypoint, MobilityKind::Stationary] {
+        let mut cfg = paper_short();
+        cfg.mobility = mobility;
+        cfg.loss = LossKind::Bernoulli { p: 0.1 };
+        let seq = trace_bytes(&cfg, 13, Engine::Sequential, 0);
+        let sh = trace_bytes(&cfg, 13, Engine::Sharded, 0);
+        assert!(!seq.is_empty());
+        assert_eq!(seq, sh, "{mobility:?}");
+    }
+}
+
+#[test]
+fn shard_count_sweep_all_agree() {
+    // 1 shard (degenerate: sharded bookkeeping, sequential layout),
+    // 2, 4, and the host's core count — placement must be invisible.
+    let ncpu = std::thread::available_parallelism().map_or(2, |c| c.get() as u32);
+    let cfg = paper_short();
+    let want = result_bytes(&cfg, 23, Engine::Sequential, 0);
+    for shards in [1, 2, 4, ncpu] {
+        assert_eq!(
+            want,
+            result_bytes(&cfg, 23, Engine::Sharded, shards),
+            "shards={shards}"
+        );
+    }
+}
+
+#[test]
+fn smoke_two_shards_byte_identical() {
+    // The CI smoke: one small cell, 2 shards, results and traces.
+    let mut cfg = paper_short();
+    cfg.n_nodes = 16;
+    cfg.sim_time_s = 60.0;
+    assert_eq!(
+        result_bytes(&cfg, 3, Engine::Sequential, 0),
+        result_bytes(&cfg, 3, Engine::Sharded, 2),
+    );
+    assert_eq!(
+        trace_bytes(&cfg, 3, Engine::Sequential, 0),
+        trace_bytes(&cfg, 3, Engine::Sharded, 2),
+    );
+}
