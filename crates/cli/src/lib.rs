@@ -6,7 +6,9 @@
 //! * `run` — simulate one scenario and print (or JSON-dump) the
 //!   results;
 //! * `sweep` — sweep the transmission range for several algorithms,
-//!   print the paper-style CS table;
+//!   print the paper-style CS table (locally, or through a
+//!   `mobic-sweepd` service with `--server`);
+//! * `drain` — gracefully shut down a `mobic-sweepd` service;
 //! * `table1` — print the paper's simulation parameters.
 //!
 //! No external argument-parsing dependency: the grammar is small and a
@@ -60,6 +62,15 @@ pub enum Command {
         /// Soft per-run wall-clock deadline in seconds; switches the
         /// sweep to the supervised batch executor.
         deadline_s: Option<f64>,
+        /// Submit the sweep to a `mobic-sweepd` service at this
+        /// address instead of running locally; the client tails
+        /// progress and renders the same table from cached cells.
+        server: Option<String>,
+    },
+    /// Gracefully shut down a `mobic-sweepd` service (`POST /drain`).
+    Drain {
+        /// Service address, e.g. `127.0.0.1:7700`.
+        addr: String,
     },
     /// Print Table 1.
     Table1,
@@ -91,6 +102,7 @@ pub fn usage() -> &'static str {
 USAGE:
   mobic-cli run   [OPTIONS]          simulate one scenario
   mobic-cli sweep [OPTIONS]          sweep Tx for several algorithms
+  mobic-cli drain --server <addr>    gracefully stop a mobic-sweepd
   mobic-cli table1                   print the paper's Table 1
   mobic-cli help                     this text
 
@@ -139,6 +151,14 @@ ROBUSTNESS (sweep only):
   --deadline <s>           supervised execution: per-run soft
                            deadline; stuck or panicking runs become
                            per-job errors instead of hanging the sweep
+
+SERVICE (sweep/drain):
+  --server <addr>          submit the sweep to a mobic-sweepd service
+                           (e.g. 127.0.0.1:7700) and tail its progress;
+                           cells already in the service cache are never
+                           recomputed. Incompatible with --out,
+                           --resume, --trace and --deadline (the
+                           service owns persistence and supervision).
 "
 }
 
@@ -155,6 +175,15 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "table1" => Ok(Command::Table1),
+        "drain" => {
+            let rest: Vec<&String> = it.collect();
+            match rest.as_slice() {
+                [flag, addr] if flag.as_str() == "--server" && !addr.starts_with("--") => {
+                    Ok(Command::Drain { addr: addr.clone() })
+                }
+                _ => Err(err("drain expects exactly `--server <addr>`")),
+            }
+        }
         "run" | "sweep" => {
             let rest: Vec<&String> = it.collect();
             let mut config = ScenarioConfig::paper_table1();
@@ -168,6 +197,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut out: Option<String> = None;
             let mut resume = false;
             let mut deadline_s: Option<f64> = None;
+            let mut server: Option<String> = None;
             let mut i = 0;
             while i < rest.len() {
                 let flag = rest[i].as_str();
@@ -222,6 +252,13 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         out = Some(path.clone());
                     }
                     "--resume" => resume = true,
+                    "--server" => {
+                        let addr = value()?;
+                        if addr.is_empty() || addr.starts_with("--") {
+                            return Err(err(format!("--server expects an address, got {addr:?}")));
+                        }
+                        server = Some(addr.clone());
+                    }
                     "--deadline" => {
                         let d: f64 = parse_num(value()?, "--deadline")?;
                         if d <= 0.0 {
@@ -237,6 +274,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 .validate()
                 .map_err(|e| err(format!("invalid scenario: {e}")))?;
             if cmd == "run" {
+                if server.is_some() {
+                    return Err(err("--server applies to sweep only"));
+                }
                 Ok(Command::Run {
                     config,
                     seed,
@@ -251,6 +291,14 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 if resume && out.is_none() {
                     return Err(err("--resume needs --out <dir> to find prior cell files"));
                 }
+                if server.is_some()
+                    && (out.is_some() || resume || trace.is_some() || deadline_s.is_some())
+                {
+                    return Err(err(
+                        "--server owns persistence and supervision; it cannot be \
+                         combined with --out, --resume, --trace or --deadline",
+                    ));
+                }
                 Ok(Command::Sweep {
                     config,
                     tx_values,
@@ -261,6 +309,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     out,
                     resume,
                     deadline_s,
+                    server,
                 })
             }
         }
@@ -729,8 +778,54 @@ mod tests {
             "--out",
             "--resume",
             "--deadline",
+            "drain",
+            "--server",
         ] {
             assert!(usage().contains(needle), "usage lacks {needle}");
         }
+    }
+
+    #[test]
+    fn server_mode_parses_on_sweep_only() {
+        let Command::Sweep { server, .. } = parse_ok("sweep --server 127.0.0.1:7700") else {
+            panic!("expected sweep");
+        };
+        assert_eq!(server.as_deref(), Some("127.0.0.1:7700"));
+        // Defaults stay local.
+        let Command::Sweep { server, .. } = parse_ok("sweep") else {
+            panic!("expected sweep");
+        };
+        assert_eq!(server, None);
+        assert!(parse_err("run --server 127.0.0.1:7700")
+            .0
+            .contains("sweep only"));
+        assert!(parse_err("sweep --server").0.contains("--server"));
+        assert!(parse_err("sweep --server --profile").0.contains("address"));
+    }
+
+    #[test]
+    fn server_mode_rejects_local_persistence_flags() {
+        for line in [
+            "sweep --server 127.0.0.1:7700 --out cells/",
+            "sweep --server 127.0.0.1:7700 --out cells/ --resume",
+            "sweep --server 127.0.0.1:7700 --trace traces/",
+            "sweep --server 127.0.0.1:7700 --deadline 30",
+        ] {
+            assert!(parse_err(line).0.contains("--server"), "{line}");
+        }
+    }
+
+    #[test]
+    fn drain_parses_and_validates() {
+        assert_eq!(
+            parse_ok("drain --server 127.0.0.1:7700"),
+            Command::Drain {
+                addr: "127.0.0.1:7700".to_string()
+            }
+        );
+        assert!(parse_err("drain").0.contains("--server"));
+        assert!(parse_err("drain --server").0.contains("--server"));
+        assert!(parse_err("drain 127.0.0.1:7700").0.contains("--server"));
+        assert!(parse_err("drain --server --now").0.contains("--server"));
     }
 }

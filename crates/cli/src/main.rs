@@ -5,11 +5,13 @@ use std::path::Path;
 use std::time::Duration;
 
 use mobic_cli::{parse, usage, Command};
+use mobic_core::AlgorithmKind;
 use mobic_metrics::AsciiTable;
 use mobic_scenario::{
     manifest_for, params, run_batch, run_batch_supervised, run_scenario, run_scenario_traced,
-    summarize_cs, Supervision, SweepOutcome,
+    summarize_cs, ScenarioConfig, Supervision, SweepOutcome, SweepSpec,
 };
+use mobic_sweepd::http;
 use mobic_trace::{write_atomic, write_manifests, JsonlSink, PhaseTimings};
 
 fn main() {
@@ -84,6 +86,13 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 );
             }
         }
+        Command::Drain { addr } => {
+            let (status, body) = http::request(&addr, "POST", "/drain", "")?;
+            if status != 200 {
+                return Err(format!("drain failed ({status}): {body}").into());
+            }
+            eprintln!("server {addr} draining (in-flight cells finish, then it exits)");
+        }
         Command::Sweep {
             config,
             tx_values,
@@ -94,7 +103,11 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             out,
             resume,
             deadline_s,
+            server,
         } => {
+            if let Some(addr) = &server {
+                return sweep_via_server(addr, &config, &tx_values, &algorithms, seeds);
+            }
             let seed_list: Vec<u64> = (0..seeds).collect();
             let mut header = vec!["Tx (m)".to_string()];
             for alg in &algorithms {
@@ -118,7 +131,7 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                         if let Some(cell) = cell_path
                             .as_ref()
                             .and_then(|p| std::fs::read_to_string(p).ok())
-                            .and_then(|text| serde_json::from_str::<SweepOutcome>(&text).ok())
+                            .and_then(|text| SweepOutcome::from_json(&text))
                         {
                             eprintln!("resume: {} tx {tx:.0} already done, skipping", alg.name());
                             row.push(format!("{:.1}", cell.mean_cs));
@@ -180,7 +193,10 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                     }
                     let cell = summarize_cs(tx, &runs);
                     if let Some(path) = &cell_path {
-                        write_atomic(path, serde_json::to_string_pretty(&cell)?)?;
+                        // `to_json_pretty` is the same canonical
+                        // serialization the sweepd cache stores, so
+                        // an `--out` dir doubles as a warm cache.
+                        write_atomic(path, cell.to_json_pretty())?;
                     }
                     row.push(format!("{:.1}", cell.mean_cs));
                     row.push(format!("{:.1}", cell.mean_clusters));
@@ -201,5 +217,115 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
+    Ok(())
+}
+
+/// Submits the sweep to a `mobic-sweepd` service, tails its progress,
+/// and renders the same CS table from the (cached or freshly
+/// computed) cells. The cells come back byte-identical to a local
+/// `mobic-cli sweep`, so the rendered table is identical too.
+fn sweep_via_server(
+    addr: &str,
+    config: &ScenarioConfig,
+    tx_values: &[f64],
+    algorithms: &[AlgorithmKind],
+    seeds: u64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let spec = SweepSpec {
+        base: *config,
+        tx_values: tx_values.to_vec(),
+        algorithms: algorithms.to_vec(),
+        seeds,
+        fault_panic_attempts: 0,
+    };
+    let (status, body) = http::request(addr, "POST", "/sweep", &spec.to_json())?;
+    if status != 200 {
+        return Err(format!("server rejected the sweep ({status}): {body}").into());
+    }
+    let response: serde_json::Value = serde_json::from_str(&body)?;
+    let keys: Vec<String> = response["cells"]
+        .as_array()
+        .map(|a| {
+            a.iter()
+                .filter_map(|v| v.as_str().map(String::from))
+                .collect()
+        })
+        .unwrap_or_default();
+    if keys.len() != tx_values.len() * algorithms.len() {
+        return Err(format!(
+            "server returned {} cell keys, expected {}",
+            keys.len(),
+            tx_values.len() * algorithms.len()
+        )
+        .into());
+    }
+    eprintln!(
+        "server accepted {} cells ({} from cache, {} queued)",
+        keys.len(),
+        response["cached"],
+        response["queued"]
+    );
+    let mut cells: Vec<Option<SweepOutcome>> = vec![None; keys.len()];
+    let mut last_progress = String::new();
+    loop {
+        let mut pending = 0usize;
+        for (i, key) in keys.iter().enumerate() {
+            if cells[i].is_some() {
+                continue;
+            }
+            let (status, body) = http::request(addr, "GET", &format!("/cell/{key}"), "")?;
+            match status {
+                200 => {
+                    cells[i] = Some(
+                        SweepOutcome::from_json(&body)
+                            .ok_or_else(|| format!("cell {key}: unparseable response"))?,
+                    );
+                }
+                404 => pending += 1,
+                _ => return Err(format!("cell {key} failed on the server: {body}").into()),
+            }
+        }
+        if pending == 0 {
+            break;
+        }
+        if let Ok((200, status_body)) = http::request(addr, "GET", "/status", "") {
+            if let Ok(v) = serde_json::from_str::<serde_json::Value>(&status_body) {
+                let progress = format!(
+                    "server: {} queued, {} running, {} cells pending",
+                    v["queued"], v["running"], pending
+                );
+                if progress != last_progress {
+                    eprintln!("{progress}");
+                    last_progress = progress;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    let mut header = vec!["Tx (m)".to_string()];
+    for alg in algorithms {
+        header.push(format!("{} CS", alg.name()));
+        header.push(format!("{} clusters", alg.name()));
+    }
+    let mut table = AsciiTable::new(header);
+    for (ti, tx) in tx_values.iter().enumerate() {
+        let mut row = vec![format!("{tx:.0}")];
+        for ai in 0..algorithms.len() {
+            // Key order mirrors the spec's expansion: tx outer,
+            // algorithm inner.
+            match &cells[ti * algorithms.len() + ai] {
+                Some(cell) => {
+                    row.push(format!("{:.1}", cell.mean_cs));
+                    row.push(format!("{:.1}", cell.mean_clusters));
+                }
+                None => {
+                    row.push("-".to_string());
+                    row.push("-".to_string());
+                }
+            }
+        }
+        table.row(row);
+    }
+    print!("{}", table.render());
     Ok(())
 }

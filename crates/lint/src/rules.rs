@@ -329,7 +329,13 @@ const TYPED_ERROR_CRATES: &[&str] = &["scenario", "net", "trace"];
 ///   because each job is an independent `(config, seed)` run. The
 ///   sharded engine (`crates/scenario/src/shard.rs`) is deliberately
 ///   **not** exempt — its shard count shapes the event loop, so it
-///   must stay a pure function of the config.
+///   must stay a pure function of the config;
+/// * `crates/sweepd` is the sweep orchestration service — operator
+///   infrastructure like bench/cli, blessed for wall-clock and
+///   host-parallelism reads for the same reason as `sweep.rs` (its
+///   worker pool schedules independent cells; result bytes come from
+///   `run_scenario` alone). It still may not write artifacts raw:
+///   its cell cache must go through `write_atomic`.
 #[must_use]
 pub fn rules_for_path(rel: &str) -> Vec<RuleId> {
     let rel = rel.replace('\\', "/");
@@ -358,6 +364,7 @@ pub fn rules_for_path(rel: &str) -> Vec<RuleId> {
     }
     let entropy_exempt = rel.starts_with("crates/bench/")
         || rel.starts_with("crates/cli/")
+        || rel.starts_with("crates/sweepd/")
         || rel == "crates/trace/src/profile.rs"
         || rel == "crates/scenario/src/sweep.rs";
     if !entropy_exempt {
@@ -843,6 +850,14 @@ let d: Vec<u32> = xs.to_vec();
         assert!(shard.contains(&RuleId::AmbientEntropy));
         assert!(shard.contains(&RuleId::PanicInLib));
         assert!(shard.contains(&RuleId::NondeterministicIteration));
+
+        // The sweep service is operator infrastructure: clocks and
+        // host parallelism are fine, raw artifact writes are not.
+        let sweepd = rules_for_path("crates/sweepd/src/server.rs");
+        assert!(!sweepd.contains(&RuleId::AmbientEntropy));
+        assert!(sweepd.contains(&RuleId::RawArtifactWrite));
+        assert!(!sweepd.contains(&RuleId::PanicInLib));
+        assert!(!sweepd.contains(&RuleId::NondeterministicIteration));
 
         assert!(rules_for_path("crates/net/tests/table_model.rs").is_empty());
         assert!(rules_for_path("tests/determinism.rs").is_empty());

@@ -1,0 +1,16 @@
+// Fixture: exercised under a `crates/sweepd/src/` path, where the
+// ambient-entropy rule is off — service code may read the wall clock
+// and the host's parallelism (worker pools schedule independent
+// cells; result bytes come from `run_scenario` alone). Never
+// compiled.
+use std::time::Instant;
+
+pub fn pool_size() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
+pub fn poll_deadline() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,8 @@
+// Fixture: the one rule that stays ON for sweepd — raw artifact
+// writes. A cache cell written without `write_atomic` could be left
+// truncated by a crash and then served. Never compiled.
+pub fn store_cell(path: &str, json: &str) -> std::io::Result<()> {
+    std::fs::write(path, json)?;
+    let _f = std::fs::File::create(path)?;
+    Ok(())
+}

@@ -112,6 +112,36 @@ fn hot_path_alloc_fixture_pair() {
 }
 
 #[test]
+fn sweepd_path_fixture_pair() {
+    // Clocks and host parallelism are blessed under `crates/sweepd/`
+    // (operator infrastructure), so the "clean" fixture is full of
+    // tokens that would fire anywhere result-affecting…
+    let clean = scan_fixture(
+        include_str!("fixtures/sweepd_blessed_clean.rs"),
+        "crates/sweepd/src/fixture.rs",
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+    // …and the same source under a result-affecting path proves the
+    // exemption is the path, not the tokens.
+    let elsewhere = scan_fixture(
+        include_str!("fixtures/sweepd_blessed_clean.rs"),
+        "crates/sim/src/fixture.rs",
+    );
+    assert!(
+        unsuppressed(&elsewhere, RuleId::AmbientEntropy) >= 2,
+        "{elsewhere:?}"
+    );
+
+    // Raw artifact writes stay banned for sweepd: the cell cache must
+    // go through `write_atomic`.
+    let bad = scan_fixture(
+        include_str!("fixtures/sweepd_raw_write_bad.rs"),
+        "crates/sweepd/src/fixture.rs",
+    );
+    assert!(unsuppressed(&bad, RuleId::RawArtifactWrite) >= 2, "{bad:?}");
+}
+
+#[test]
 fn suppression_fixture_covers_the_grammar() {
     let findings = scan_fixture(
         include_str!("fixtures/suppression.rs"),

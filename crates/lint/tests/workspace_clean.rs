@@ -77,6 +77,30 @@ fn hot_path_regions_are_annotated_where_promised() {
 }
 
 #[test]
+fn sweepd_has_zero_external_dependencies() {
+    // The sweep service must build with the standard library plus
+    // workspace crates only (hand-rolled HTTP, no serde of its own),
+    // so it runs where the registry is unreachable.
+    let root = workspace_root();
+    let manifest =
+        std::fs::read_to_string(root.join("crates/sweepd/Cargo.toml")).expect("sweepd manifest");
+    let mut in_deps = false;
+    for raw in manifest.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if in_deps && !line.is_empty() {
+            assert!(
+                line.starts_with("mobic-"),
+                "crates/sweepd may only depend on workspace crates, found: {line}"
+            );
+        }
+    }
+}
+
+#[test]
 fn linter_has_zero_external_dependencies() {
     // The `[dependencies]` table of crates/lint must stay empty: that
     // is what lets the lint stage run where the registry is not

@@ -18,6 +18,16 @@
 //!   paper itself considers only MAC-successful receptions, which is
 //!   the default ([`loss::NoLoss`]).
 //!
+//! The delivery engine has two equivalent evaluation paths — a
+//! brute-force scan over all nodes and a grid-spatial-index path that
+//! only examines a padded range query (the runner's `fast_path`
+//! knob) — and, alongside the allocating convenience methods, an
+//! `_into` family (`broadcast_into`, `broadcast_among_into`) that
+//! writes deliveries and loss drops into caller-owned scratch buffers
+//! so the steady-state hot path allocates nothing. Both choices are
+//! execution details: receiver sets and measured powers are
+//! byte-identical across them.
+//!
 //! The crate is deliberately independent of the clustering layer: the
 //! hello payload is a type parameter, so `mobic-core` defines its own
 //! advert structure without a dependency cycle.

@@ -8,6 +8,19 @@
 //! discrete-event loop for the configured simulation time, producing a
 //! [`RunResult`] with every metric the figures need.
 //!
+//! Every run is a pure function of `(config, seed)`. The config's
+//! *execution* knobs — `fast_path` (spatial-index delivery),
+//! `recluster` (dirty-set incremental elections), `engine`/`shards`
+//! (the sharded parallel event loop) — change how that function is
+//! evaluated, never its value: each is covered by an equivalence test
+//! asserting byte-identical results and traces. Above single runs,
+//! the sweep layer provides parallel batches,
+//! the supervised executor ([`run_batch_supervised`]) that turns
+//! panicking or stuck jobs into typed [`JobError`]s, and the
+//! [`SweepSpec`]/[`SweepCell`] grid expansion with content-addressed
+//! cell keys ([`cell_key`]) shared by `mobic-cli sweep` and the
+//! `mobic-sweepd` service.
+//!
 //! # Examples
 //!
 //! Reproduce one data point of Figure 3 (in miniature):
@@ -45,6 +58,6 @@ pub use runner::{
     SampleView,
 };
 pub use sweep::{
-    run_batch, run_batch_manifested, run_batch_supervised, summarize_cs, JobError, Supervision,
-    SweepOutcome,
+    cell_key, run_batch, run_batch_manifested, run_batch_supervised, run_cell, summarize_cs,
+    JobError, SpecError, Supervision, SweepCell, SweepOutcome, SweepSpec,
 };

@@ -1,10 +1,13 @@
-//! Multi-run parameter sweeps with thread-level parallelism, plus the
-//! supervised batch executor that survives panicking or stuck jobs.
+//! Multi-run parameter sweeps with thread-level parallelism, the
+//! supervised batch executor that survives panicking or stuck jobs,
+//! and the sweep-spec layer (grid expansion + content-addressed cell
+//! keys) shared by `mobic-cli sweep` and the `mobic-sweepd` service.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::time::Duration;
 
+use mobic_core::AlgorithmKind;
 use mobic_metrics::OnlineStats;
 use mobic_trace::{RunManifest, Stopwatch};
 use serde::{Deserialize, Serialize};
@@ -360,6 +363,210 @@ pub fn summarize_cs(x: f64, runs: &[RunResult]) -> SweepOutcome {
     }
 }
 
+impl SweepOutcome {
+    /// The canonical serialization of a sweep cell — the **exact**
+    /// bytes `mobic-cli sweep --out` writes and the `mobic-sweepd`
+    /// cache stores/serves, so "cached cell" and "directly computed
+    /// cell" can be compared with `==` on strings.
+    #[must_use]
+    pub fn to_json_pretty(&self) -> String {
+        // Plain data; serialization is infallible in practice, and an
+        // empty string (which never parses back) beats aborting a
+        // sweep should that ever change.
+        serde_json::to_string_pretty(self).unwrap_or_default()
+    }
+
+    /// Parses a cell file's contents. Returns `None` for anything that
+    /// is not a complete, well-formed cell — a truncated or corrupted
+    /// file is indistinguishable from a missing one, which is what
+    /// makes resume/cache logic safe: damaged cells are recomputed,
+    /// never served.
+    #[must_use]
+    pub fn from_json(text: &str) -> Option<SweepOutcome> {
+        serde_json::from_str(text).ok()
+    }
+}
+
+/// Content address of one sweep cell: the FNV-1a hash of the cell's
+/// canonical config JSON (same canonicalization as
+/// [`config_hash_for`]) concatenated with its seed list.
+///
+/// Two cells collide only if they agree on **every** config field
+/// (algorithm and swept value included — both live inside
+/// [`ScenarioConfig`]) *and* run the same seeds — in which case they
+/// are the same computation and sharing the cached result is the
+/// point. Distinctness over the paper's experiment grids is asserted
+/// exhaustively in `tests/sweepd_cache.rs`.
+#[must_use]
+pub fn cell_key(config: &ScenarioConfig, seeds: &[u64]) -> String {
+    let value = serde_json::to_value(config).unwrap_or(serde_json::Value::Null);
+    let mut keyed = serde_json::to_string(&value).unwrap_or_default();
+    for s in seeds {
+        keyed.push(',');
+        keyed.push_str(&s.to_string());
+    }
+    mobic_trace::config_hash(&keyed)
+}
+
+/// A malformed or invalid sweep spec (bad JSON, empty grid, or a cell
+/// whose scenario fails validation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid sweep spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A declarative sweep: the JSON payload of `POST /sweep` on
+/// `mobic-sweepd`, and the same grid `mobic-cli sweep` expands
+/// locally.
+///
+/// Expansion order is fixed (outer loop over `tx_values`, inner loop
+/// over `algorithms`, seeds `0..seeds` per cell) so a spec's cell
+/// list — and therefore the order of keys in a submit response — is
+/// deterministic and identical to the CLI's own sweep loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Base scenario; each cell overrides `tx_range_m` and
+    /// `algorithm`.
+    pub base: ScenarioConfig,
+    /// Swept transmission ranges in meters (the x-axis).
+    pub tx_values: Vec<f64>,
+    /// Algorithms compared at every x.
+    pub algorithms: Vec<AlgorithmKind>,
+    /// Seeds per cell: every cell runs master seeds `0..seeds`.
+    pub seeds: u64,
+    /// Deliberate fault hook for the service's retry path: each cell's
+    /// first `fault_panic_attempts` executions panic inside the
+    /// supervised batch before running cleanly. Test/CI only; omitted
+    /// from serialization when zero, so real specs are unaffected.
+    /// The hook is **not** part of any cell's content address — a
+    /// cell's identity is `(config, seeds)` alone.
+    #[serde(default, skip_serializing_if = "u32_is_zero")]
+    pub fault_panic_attempts: u32,
+}
+
+/// `skip_serializing_if` helper for [`SweepSpec::fault_panic_attempts`].
+fn u32_is_zero(v: &u32) -> bool {
+    *v == 0
+}
+
+impl SweepSpec {
+    /// Checks the grid is non-empty and every expanded cell config
+    /// validates.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming the first problem.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.tx_values.is_empty() {
+            return Err(SpecError("tx_values must be non-empty".to_string()));
+        }
+        if self.algorithms.is_empty() {
+            return Err(SpecError("algorithms must be non-empty".to_string()));
+        }
+        if self.seeds == 0 {
+            return Err(SpecError("seeds must be at least 1".to_string()));
+        }
+        for cell in self.cells() {
+            cell.config
+                .validate()
+                .map_err(|e| SpecError(format!("cell {}: {e}", cell.key())))?;
+        }
+        Ok(())
+    }
+
+    /// Expands the grid into cells, in the canonical order (see the
+    /// type docs).
+    #[must_use]
+    pub fn cells(&self) -> Vec<SweepCell> {
+        let seeds: Vec<u64> = (0..self.seeds).collect();
+        let mut cells = Vec::with_capacity(self.tx_values.len() * self.algorithms.len());
+        for &tx in &self.tx_values {
+            for &alg in &self.algorithms {
+                cells.push(SweepCell {
+                    config: self.base.with_algorithm(alg).with_tx_range(tx),
+                    x: tx,
+                    seeds: seeds.clone(),
+                });
+            }
+        }
+        cells
+    }
+
+    /// Serializes the spec as the `POST /sweep` JSON payload.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_default()
+    }
+
+    /// Parses and validates a spec from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] for malformed JSON or an invalid grid.
+    pub fn from_json(text: &str) -> Result<SweepSpec, SpecError> {
+        let spec: SweepSpec =
+            serde_json::from_str(text).map_err(|e| SpecError(format!("bad JSON: {e}")))?;
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+/// One expanded sweep cell: a fully-resolved scenario (algorithm and
+/// tx already applied) plus the seed list it aggregates over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// The cell's complete scenario configuration.
+    pub config: ScenarioConfig,
+    /// The swept x-value (redundant with `config.tx_range_m`, kept
+    /// explicit because [`SweepOutcome::x`] echoes it).
+    pub x: f64,
+    /// Master seeds aggregated by this cell.
+    pub seeds: Vec<u64>,
+}
+
+impl SweepCell {
+    /// The cell's content address (see [`cell_key`]).
+    #[must_use]
+    pub fn key(&self) -> String {
+        cell_key(&self.config, &self.seeds)
+    }
+
+    /// The pre-service (`mobic-cli sweep --out`) file name of this
+    /// cell — `cell_<algorithm>_tx<x>.json` — which the sweepd cache
+    /// also recognizes so an old `--out` directory warms it.
+    #[must_use]
+    pub fn legacy_file_name(&self) -> String {
+        format!("cell_{}_tx{:.0}.json", self.config.algorithm.name(), self.x)
+    }
+}
+
+/// Computes one cell under supervision: runs every seed, then
+/// aggregates with [`summarize_cs`]. The result is identical — byte
+/// for byte once serialized via [`SweepOutcome::to_json_pretty`] — to
+/// what `mobic-cli sweep` computes for the same cell, because both
+/// paths run the same `(config, seed)` jobs through `run_scenario`
+/// and the same aggregation.
+///
+/// # Errors
+///
+/// Returns the first failing seed's [`JobError`] (config, panic,
+/// timeout, or strict-audit verdicts); the cell has no partial
+/// outcome — callers retry or park it.
+pub fn run_cell(cell: &SweepCell, supervision: &Supervision) -> Result<SweepOutcome, JobError> {
+    let jobs: Vec<(ScenarioConfig, u64)> = cell.seeds.iter().map(|&s| (cell.config, s)).collect();
+    let mut runs = Vec::with_capacity(jobs.len());
+    for r in run_batch_supervised(&jobs, supervision) {
+        runs.push(r?);
+    }
+    Ok(summarize_cs(cell.x, &runs))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -521,6 +728,153 @@ mod tests {
         );
         assert!(results[0].is_ok());
         assert!(results[2].is_ok());
+    }
+
+    fn tiny_spec() -> SweepSpec {
+        let mut base = ScenarioConfig::paper_table1();
+        base.n_nodes = 8;
+        base.sim_time_s = 30.0;
+        SweepSpec {
+            base,
+            tx_values: vec![150.0, 200.0],
+            algorithms: vec![AlgorithmKind::Lcc, AlgorithmKind::Mobic],
+            seeds: 2,
+            fault_panic_attempts: 0,
+        }
+    }
+
+    #[test]
+    fn spec_expands_tx_outer_alg_inner_with_all_seeds() {
+        let spec = tiny_spec();
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 4);
+        // Order must match the CLI sweep loop: tx outer, algorithm
+        // inner.
+        let expect = [
+            (150.0, AlgorithmKind::Lcc),
+            (150.0, AlgorithmKind::Mobic),
+            (200.0, AlgorithmKind::Lcc),
+            (200.0, AlgorithmKind::Mobic),
+        ];
+        for (cell, (tx, alg)) in cells.iter().zip(expect) {
+            assert_eq!(cell.x, tx);
+            assert_eq!(cell.config.tx_range_m, tx);
+            assert_eq!(cell.config.algorithm, alg);
+            assert_eq!(cell.seeds, vec![0, 1]);
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_json_and_validates() {
+        let spec = tiny_spec();
+        let json = spec.to_json();
+        let back = SweepSpec::from_json(&json).unwrap();
+        assert_eq!(back, spec);
+        // The fault hook is test-only and must not appear in real
+        // specs' serialization (it would be noise in operator logs).
+        assert!(!json.contains("fault_panic_attempts"), "{json}");
+
+        let mut faulty = spec.clone();
+        faulty.fault_panic_attempts = 1;
+        let json = faulty.to_json();
+        assert!(json.contains("fault_panic_attempts"), "{json}");
+        assert_eq!(SweepSpec::from_json(&json).unwrap(), faulty);
+    }
+
+    #[test]
+    fn spec_rejects_empty_grids_and_bad_cells() {
+        let mut spec = tiny_spec();
+        spec.tx_values.clear();
+        assert!(spec.validate().is_err());
+
+        let mut spec = tiny_spec();
+        spec.algorithms.clear();
+        assert!(spec.validate().is_err());
+
+        let mut spec = tiny_spec();
+        spec.seeds = 0;
+        assert!(spec.validate().is_err());
+
+        let mut spec = tiny_spec();
+        spec.base.n_nodes = 0;
+        let err = spec.validate().unwrap_err();
+        assert!(err.to_string().contains("cell fnv1a64:"), "{err}");
+
+        assert!(SweepSpec::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn cell_keys_are_distinct_across_the_grid_and_stable() {
+        let spec = tiny_spec();
+        let cells = spec.cells();
+        let keys: Vec<String> = cells.iter().map(SweepCell::key).collect();
+        for (i, a) in keys.iter().enumerate() {
+            assert!(a.starts_with("fnv1a64:"), "{a}");
+            for (j, b) in keys.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b, "cells {i} and {j} collide");
+                }
+            }
+        }
+        // Same cell, same key — and the seed list is part of the
+        // address, so more seeds means a different cell.
+        assert_eq!(keys[0], cells[0].key());
+        let mut wider = cells[0].clone();
+        wider.seeds.push(2);
+        assert_ne!(keys[0], wider.key());
+    }
+
+    #[test]
+    fn legacy_file_name_matches_the_cli_naming() {
+        let spec = tiny_spec();
+        let names: Vec<String> = spec
+            .cells()
+            .iter()
+            .map(SweepCell::legacy_file_name)
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "cell_lcc_tx150.json",
+                "cell_mobic_tx150.json",
+                "cell_lcc_tx200.json",
+                "cell_mobic_tx200.json",
+            ]
+        );
+    }
+
+    #[test]
+    fn run_cell_matches_the_manual_batch_plus_summarize_path() {
+        let spec = tiny_spec();
+        let cell = &spec.cells()[1]; // mobic @ 150 m
+        let via_cell = run_cell(cell, &Supervision::default()).unwrap();
+        let jobs: Vec<(ScenarioConfig, u64)> =
+            cell.seeds.iter().map(|&s| (cell.config, s)).collect();
+        let runs = run_batch(&jobs).unwrap();
+        let manual = summarize_cs(cell.x, &runs);
+        // Byte-identity of the serialized artifacts is the standing
+        // contract between the CLI and the sweepd cache.
+        assert_eq!(via_cell.to_json_pretty(), manual.to_json_pretty());
+        assert_eq!(
+            SweepOutcome::from_json(&manual.to_json_pretty())
+                .unwrap()
+                .to_json_pretty(),
+            manual.to_json_pretty()
+        );
+        assert!(SweepOutcome::from_json("{\"x\": 150.0").is_none());
+    }
+
+    #[test]
+    fn run_cell_propagates_a_panicking_seed_as_a_job_error() {
+        let spec = tiny_spec();
+        let cell = &spec.cells()[0];
+        let sup = Supervision {
+            panic_on: Some(0),
+            ..Supervision::default()
+        };
+        let err = run_cell(cell, &sup).unwrap_err();
+        assert_eq!(err.index, 0);
+        assert!(matches!(err.error, RunError::Panicked { .. }));
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! The `mobic-sweepd` binary: bind, announce, serve until drained.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use mobic_sweepd::{Server, ServerConfig};
+
+const USAGE: &str = "mobic-sweepd — sweep orchestration service (MOBIC reproduction)
+
+USAGE:
+  mobic-sweepd [OPTIONS]
+
+OPTIONS:
+  --addr <host:port>   listen address; port 0 = ephemeral [127.0.0.1:7700]
+  --cache <dir>        cell cache directory (created if missing; a
+                       `mobic-cli sweep --out` dir works as a warm
+                       start)                              [cache]
+  --workers <n>        worker threads; 0 = one per core    [0]
+  --retries <n>        extra attempts per failing cell     [2]
+  --deadline <s>       soft per-run wall-clock deadline (supervised
+                       execution; stuck runs become verdicts)
+  --help               this text
+
+ENDPOINTS:
+  POST /sweep          submit a sweep spec (JSON)
+  GET  /status         queue/worker/cache counters (JSON)
+  GET  /cell/<key>     one cell's outcome JSON / verdict / 404
+  POST /drain          finish in-flight cells, then exit
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse(&args) {
+        Ok(Some(cfg)) => cfg,
+        Ok(None) => {
+            print!("{USAGE}");
+            return;
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let server = match Server::bind(&cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot start on {}: {e}", cfg.addr);
+            std::process::exit(1);
+        }
+    };
+    // The announce line is the startup handshake: scripts/ci.sh (and
+    // operators' tmux panes) grep it for the resolved address, so it
+    // must be flushed even when stdout is a pipe or file.
+    let mut stdout = std::io::stdout();
+    let _ = writeln!(
+        stdout,
+        "mobic-sweepd listening on {} (cache: {}, workers: {})",
+        server.addr(),
+        cfg.cache_dir.display(),
+        server.worker_count()
+    );
+    let _ = stdout.flush();
+    if let Err(e) = server.run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Parses the argument vector; `Ok(None)` means `--help`.
+fn parse(args: &[String]) -> Result<Option<ServerConfig>, String> {
+    let mut cfg = ServerConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = || -> Result<&String, String> {
+            i += 1;
+            args.get(i).ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag {
+            "--help" | "-h" | "help" => return Ok(None),
+            "--addr" => cfg.addr = value()?.clone(),
+            "--cache" => cfg.cache_dir = PathBuf::from(value()?),
+            "--workers" => {
+                cfg.workers = value()?
+                    .parse()
+                    .map_err(|_| "--workers: expected a number".to_string())?;
+            }
+            "--retries" => {
+                cfg.retry_budget = value()?
+                    .parse()
+                    .map_err(|_| "--retries: expected a number".to_string())?;
+            }
+            "--deadline" => {
+                let s: f64 = value()?
+                    .parse()
+                    .map_err(|_| "--deadline: expected seconds".to_string())?;
+                if s <= 0.0 {
+                    return Err("--deadline must be positive".to_string());
+                }
+                cfg.deadline = Some(Duration::from_secs_f64(s));
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+        i += 1;
+    }
+    Ok(Some(cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_line(line: &str) -> Result<Option<ServerConfig>, String> {
+        let args: Vec<String> = line.split_whitespace().map(String::from).collect();
+        parse(&args)
+    }
+
+    #[test]
+    fn defaults_and_overrides() {
+        let cfg = parse_line("").unwrap().unwrap();
+        assert_eq!(cfg.addr, "127.0.0.1:7700");
+        assert_eq!(cfg.workers, 0);
+        assert_eq!(cfg.retry_budget, 2);
+        assert_eq!(cfg.deadline, None);
+
+        let cfg = parse_line("--addr 0.0.0.0:81 --cache c --workers 3 --retries 1 --deadline 30")
+            .unwrap()
+            .unwrap();
+        assert_eq!(cfg.addr, "0.0.0.0:81");
+        assert_eq!(cfg.cache_dir, PathBuf::from("c"));
+        assert_eq!(cfg.workers, 3);
+        assert_eq!(cfg.retry_budget, 1);
+        assert_eq!(cfg.deadline, Some(Duration::from_secs(30)));
+    }
+
+    #[test]
+    fn help_and_errors() {
+        assert!(parse_line("--help").unwrap().is_none());
+        assert!(parse_line("--workers").is_err());
+        assert!(parse_line("--workers lots").is_err());
+        assert!(parse_line("--deadline 0").is_err());
+        assert!(parse_line("--frobnicate").is_err());
+    }
+}

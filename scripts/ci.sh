@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # CI gate: formatting, lints, docs, tier-1 build+tests, a sharded-
-# equivalence smoke, and a smoke run of the brute-vs-indexed-vs-sharded
+# equivalence smoke, a smoke run of the brute-vs-indexed-vs-sharded
 # scaling bench (which asserts result equality, so a regression in any
-# event-loop path fails the script).
+# event-loop path fails the script), and a live mobic-sweepd service
+# smoke (submit, full cache hit on resubmit, graceful drain).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -79,5 +80,38 @@ cargo run --release -p mobic-cli -- sweep \
     --nodes 10 --time 30 --tx-sweep 150:200:50 --seeds 2 \
     --algorithms lcc --out "$RESUME_DIR" --resume 2>&1 >/dev/null \
     | grep -q "resume:"
+
+echo "== sweepd service smoke (submit, 100% cache hit on resubmit, drain) =="
+SWEEPD_DIR="$(mktemp -d)"
+SWEEPD_LOG="$SWEEPD_DIR/sweepd.log"
+SWEEPD_PID=""
+cleanup() {
+    if [ -n "$SWEEPD_PID" ]; then kill "$SWEEPD_PID" 2>/dev/null || true; fi
+    rm -rf "$RESUME_DIR" "$SWEEPD_DIR"
+}
+trap cleanup EXIT
+cargo build --release -q -p mobic-sweepd -p mobic-cli
+# Ephemeral port: the announce line carries the resolved address.
+./target/release/mobic-sweepd --addr 127.0.0.1:0 \
+    --cache "$SWEEPD_DIR/cache" --workers 2 >"$SWEEPD_LOG" &
+SWEEPD_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" "$SWEEPD_LOG" 2>/dev/null && break
+    sleep 0.1
+done
+ADDR="$(sed -n 's/^mobic-sweepd listening on \([^ ]*\).*/\1/p' "$SWEEPD_LOG")"
+test -n "$ADDR"
+./target/release/mobic-cli sweep --server "$ADDR" \
+    --nodes 10 --time 30 --tx-sweep 150:200:50 --seeds 2 \
+    --algorithms lcc >/dev/null
+# The identical spec resubmitted must be answered entirely from the
+# cache: two cells cached, zero queued, zero scenario runs.
+./target/release/mobic-cli sweep --server "$ADDR" \
+    --nodes 10 --time 30 --tx-sweep 150:200:50 --seeds 2 \
+    --algorithms lcc 2>&1 >/dev/null \
+    | grep -q "(2 from cache, 0 queued)"
+./target/release/mobic-cli drain --server "$ADDR" 2>/dev/null
+wait "$SWEEPD_PID"
+SWEEPD_PID=""
 
 echo "CI OK"

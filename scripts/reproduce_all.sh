@@ -2,6 +2,16 @@
 # Regenerates every table/figure/ablation of the MOBIC reproduction.
 # Outputs land in results/ (CSV + JSON) and results/logs/ (console).
 # Environment: MOBIC_SEEDS=<n> (default 5), MOBIC_FAST=1 for 180 s runs.
+#
+# Iterating on the sweep-shaped experiments (fig3/fig4/fig5-style
+# grids)? Run them through the mobic-sweepd service instead, so
+# revisited grids answer from the content-addressed cell cache with
+# zero recomputation:
+#   cargo run --release -p mobic-sweepd -- --cache results/cache &
+#   cargo run --release -p mobic-cli -- sweep --server 127.0.0.1:7700 \
+#       --tx-sweep 10:250:25 --algorithms lcc,mobic --seeds "${MOBIC_SEEDS:-5}"
+# See docs/OPERATIONS.md ("The sweep service") and EXPERIMENTS.md
+# ("Sweep campaigns through the service") for full recipes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 mkdir -p results/logs

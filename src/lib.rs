@@ -17,7 +17,9 @@
 //! * [`scenario`] — scenario configs and the end-to-end runner,
 //! * [`routing`] — cluster-based routing extension,
 //! * [`trace`] — event tracing, phase profiling, and run manifests,
-//! * [`viz`] — SVG/terminal visualization of cluster snapshots.
+//! * [`viz`] — SVG/terminal visualization of cluster snapshots,
+//! * [`sweepd`] — the sweep orchestration service (content-addressed
+//!   cell cache + supervised worker pool + HTTP API).
 //!
 //! # Quickstart
 //!
@@ -43,5 +45,6 @@ pub use mobic_radio as radio;
 pub use mobic_routing as routing;
 pub use mobic_scenario as scenario;
 pub use mobic_sim as sim;
+pub use mobic_sweepd as sweepd;
 pub use mobic_trace as trace;
 pub use mobic_viz as viz;
