@@ -25,9 +25,19 @@
 //! Every full/incremental pair is asserted equal field-by-field — the
 //! skip optimization must be invisible in the results.
 //!
+//! A third section compares the **hot-path microarchitecture** knobs
+//! on the mobile cell: heap vs calendar scheduler, scalar vs
+//! vectorized delivery kernel (under lossless delivery), and per-edge
+//! vs batched loss-RNG draws (under Bernoulli loss). Every variant's
+//! serialized `RunResult` is byte-compared against its cell baseline —
+//! the knobs must buy time, never change results.
+//!
 //! Environment: `MOBIC_HOTPATH_N` (default 200), `MOBIC_FAST` (shrink
-//! horizons). `--smoke` runs a small fast version and enforces the
-//! zero-allocation assertion (CI's steady-state gate).
+//! horizons), `MOBIC_SCHEDULER` (`heap`|`calendar`, the scheduler for
+//! the recluster cells — CI smokes the whole suite under `calendar`).
+//! `--smoke` runs a small fast version and enforces the
+//! zero-allocation assertion (CI's steady-state gate); `--json` emits
+//! the full report as JSON on stdout instead of ASCII tables.
 //!
 //! Writes `results/BENCH_hotpath.json`.
 
@@ -37,7 +47,8 @@ use std::time::Instant;
 
 use mobic_metrics::AsciiTable;
 use mobic_scenario::{
-    manifest_for, run_scenario, MobilityKind, Recluster, RunResult, ScenarioConfig,
+    manifest_for, run_scenario, DeliveryPath, LossKind, MobilityKind, Recluster, RunResult,
+    ScenarioConfig, Scheduler,
 };
 use serde::Serialize;
 
@@ -86,6 +97,29 @@ struct HotpathRow {
     elections_skipped: u64,
     /// Events processed by the long-horizon run.
     events: u64,
+}
+
+/// One microarchitecture comparison row: a (scheduler, delivery)
+/// variant of a fixed cell.
+#[derive(Debug, Serialize)]
+struct MicroarchRow {
+    cell: &'static str,
+    n: u32,
+    scheduler: &'static str,
+    delivery: &'static str,
+    /// Steady-state wall-clock cost per event (two-horizon diff).
+    ns_per_event: f64,
+    /// Steady-state heap allocations per event (two-horizon diff).
+    allocs_per_event: f64,
+    /// Events processed by the long-horizon run.
+    events: u64,
+}
+
+/// The full machine-readable report (`--json`, and the JSON artifact).
+#[derive(Debug, Serialize)]
+struct HotpathReport {
+    recluster: Vec<HotpathRow>,
+    microarch: Vec<MicroarchRow>,
 }
 
 struct Measured {
@@ -152,6 +186,7 @@ fn base_config(n: u32, mobility: MobilityKind) -> ScenarioConfig {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let json = std::env::args().any(|a| a == "--json");
     let fast = smoke || std::env::var_os("MOBIC_FAST").is_some();
     let n: u32 = if smoke {
         40
@@ -161,17 +196,27 @@ fn main() {
             .and_then(|v| v.parse().ok())
             .unwrap_or(200)
     };
+    let scheduler = match std::env::var("MOBIC_SCHEDULER").as_deref() {
+        Ok("calendar") => Scheduler::Calendar,
+        Ok("heap") | Err(_) => Scheduler::Heap,
+        Ok(other) => panic!("MOBIC_SCHEDULER must be heap|calendar, got {other:?}"),
+    };
     let (t1, t2) = if fast { (30.0, 60.0) } else { (60.0, 180.0) };
     let seed = 1u64;
     let mut rows = Vec::new();
     let mut manifests = Vec::new();
     let mut table = AsciiTable::new(["cell", "recluster", "ns/event", "allocs/event", "skipped"]);
-    println!("== BENCH_hotpath: steady-state allocations and incremental reclustering ==\n");
+    if !json {
+        println!("== BENCH_hotpath: steady-state allocations and incremental reclustering ==\n");
+    }
 
-    let cells = [
+    let mut cells = [
         ("mobile", base_config(n, MobilityKind::RandomWaypoint)),
         ("stationary", base_config(n, MobilityKind::Stationary)),
     ];
+    for (_, cfg) in &mut cells {
+        cfg.scheduler = scheduler;
+    }
     for (cell, cfg) in cells {
         let mut by_mode = Vec::new();
         for (mode, label) in [
@@ -217,22 +262,102 @@ fn main() {
                 *incr_allocs, 0.0,
                 "stationary steady state must be allocation-free"
             );
-            println!("(stationary steady state: 0 allocations/event)");
+            if !json {
+                println!("(stationary steady state: 0 allocations/event)");
+            }
         }
     }
-    println!("{}", table.render());
+    if !json {
+        println!("{}", table.render());
+    }
 
+    // Microarchitecture comparison: heap vs calendar scheduler and
+    // scalar vs vectorized delivery on the mobile cell. The lossless
+    // sub-cell isolates the propagation kernel; the Bernoulli sub-cell
+    // adds per-edge vs batched loss-RNG draws. Each variant must
+    // serialize byte-identically to its cell baseline.
+    let mut microarch = Vec::new();
+    let mut mtable = AsciiTable::new(["cell", "scheduler", "delivery", "ns/event", "allocs/event"]);
+    let loss_cells: [(&'static str, LossKind); 2] = [
+        ("microarch", LossKind::None),
+        ("microarch-loss", LossKind::Bernoulli { p: 0.1 }),
+    ];
+    for (cell, loss) in loss_cells {
+        let mut cfg = base_config(n, MobilityKind::RandomWaypoint);
+        cfg.recluster = Recluster::Incremental;
+        cfg.loss = loss;
+        let mut baseline: Option<String> = None;
+        for (sched, sched_label) in [(Scheduler::Heap, "heap"), (Scheduler::Calendar, "calendar")] {
+            for (delivery, delivery_label) in [
+                (DeliveryPath::Scalar, "scalar"),
+                (DeliveryPath::Auto, "vectorized"),
+            ] {
+                let mut c = cfg;
+                c.scheduler = sched;
+                c.delivery = delivery;
+                let (allocs_per_event, ns_per_event, long) = steady_state(&c, seed, t1, t2);
+                let bytes = serde_json::to_string(&long.result).expect("results serialize");
+                match &baseline {
+                    None => baseline = Some(bytes),
+                    Some(want) => assert_eq!(
+                        want, &bytes,
+                        "{cell}: {sched_label}/{delivery_label} diverged from baseline"
+                    ),
+                }
+                mtable.row([
+                    cell.to_string(),
+                    sched_label.to_string(),
+                    delivery_label.to_string(),
+                    format!("{ns_per_event:.0}"),
+                    format!("{allocs_per_event:.3}"),
+                ]);
+                microarch.push(MicroarchRow {
+                    cell,
+                    n,
+                    scheduler: sched_label,
+                    delivery: delivery_label,
+                    ns_per_event,
+                    allocs_per_event,
+                    events: long.result.perf.events,
+                });
+            }
+        }
+    }
+    if !json {
+        println!("{}", mtable.render());
+    }
+
+    let report = HotpathReport {
+        recluster: rows,
+        microarch,
+    };
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serializes")
+        );
+    }
     if smoke {
-        println!("smoke OK: results identical, steady state allocation-free");
+        if !json {
+            println!("smoke OK: results identical across variants, steady state allocation-free");
+        }
         return;
     }
     let path = mobic_bench::results_dir().join("BENCH_hotpath.json");
-    match mobic_metrics::report::write_json(&rows, &path) {
-        Ok(()) => println!("(wrote {})", path.display()),
+    match mobic_metrics::report::write_json(&report, &path) {
+        Ok(()) => {
+            if !json {
+                println!("(wrote {})", path.display());
+            }
+        }
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
     }
     match mobic_trace::write_manifests(&path, &manifests) {
-        Ok(p) => println!("(wrote {})", p.display()),
+        Ok(p) => {
+            if !json {
+                println!("(wrote {})", p.display());
+            }
+        }
         Err(e) => eprintln!("warning: could not write manifest: {e}"),
     }
 }

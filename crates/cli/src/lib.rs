@@ -21,7 +21,8 @@ use std::fmt;
 
 use mobic_core::AlgorithmKind;
 use mobic_scenario::{
-    AuditMode, Engine, FaultPlan, FaultTarget, MobilityKind, Recluster, ScenarioConfig,
+    AuditMode, DeliveryPath, Engine, FaultPlan, FaultTarget, MobilityKind, Recluster,
+    ScenarioConfig, Scheduler,
 };
 
 /// A parsed command line.
@@ -134,6 +135,12 @@ RUN / SWEEP OPTIONS (defaults = the paper's Table 1):
                            byte-identical either way        [sequential]
   --shards <n>             worker shards for --engine sharded;
                            0 = fixed fallback (4)           [0]
+  --scheduler <heap|calendar>  future-event-list shape; results are
+                           byte-identical either way        [heap]
+  --delivery <auto|scalar>  broadcast delivery path; auto takes the
+                           vectorized kernel when the propagation
+                           model permits, scalar pins the per-edge
+                           path; byte-identical either way  [auto]
   --json                   machine-readable output (run)
 
 OBSERVABILITY:
@@ -244,6 +251,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--audit" => config.audit = parse_audit(value()?)?,
                     "--engine" => config.engine = parse_engine(value()?)?,
                     "--shards" => config.shards = parse_num(value()?, "--shards")?,
+                    "--scheduler" => config.scheduler = parse_scheduler(value()?)?,
+                    "--delivery" => config.delivery = parse_delivery(value()?)?,
                     "--out" => {
                         let path = value()?;
                         if path.is_empty() || path.starts_with("--") {
@@ -348,6 +357,26 @@ fn parse_engine(s: impl AsRef<str>) -> Result<Engine, CliError> {
         "sharded" => Ok(Engine::Sharded),
         other => Err(err(format!(
             "unknown engine {other}; expected sequential|sharded"
+        ))),
+    }
+}
+
+fn parse_scheduler(s: impl AsRef<str>) -> Result<Scheduler, CliError> {
+    match s.as_ref() {
+        "heap" => Ok(Scheduler::Heap),
+        "calendar" => Ok(Scheduler::Calendar),
+        other => Err(err(format!(
+            "unknown scheduler {other}; expected heap|calendar"
+        ))),
+    }
+}
+
+fn parse_delivery(s: impl AsRef<str>) -> Result<DeliveryPath, CliError> {
+    match s.as_ref() {
+        "auto" => Ok(DeliveryPath::Auto),
+        "scalar" => Ok(DeliveryPath::Scalar),
+        other => Err(err(format!(
+            "unknown delivery path {other}; expected auto|scalar"
         ))),
     }
 }
@@ -678,6 +707,33 @@ mod tests {
     }
 
     #[test]
+    fn scheduler_and_delivery_modes_parse() {
+        let Command::Run { config, .. } = parse_ok("run --scheduler calendar --delivery scalar")
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(config.scheduler, Scheduler::Calendar);
+        assert_eq!(config.delivery, DeliveryPath::Scalar);
+        // Both knobs compose with the sharded engine.
+        let Command::Run { config, .. } =
+            parse_ok("run --engine sharded --scheduler calendar --delivery auto")
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(config.engine, Engine::Sharded);
+        assert_eq!(config.scheduler, Scheduler::Calendar);
+        assert_eq!(config.delivery, DeliveryPath::Auto);
+        // Defaults stay heap + auto.
+        let Command::Run { config, .. } = parse_ok("run") else {
+            panic!("expected run");
+        };
+        assert_eq!(config.scheduler, Scheduler::Heap);
+        assert_eq!(config.delivery, DeliveryPath::Auto);
+        assert!(parse_err("run --scheduler wheel").0.contains("wheel"));
+        assert!(parse_err("run --delivery simd").0.contains("simd"));
+    }
+
+    #[test]
     fn invalid_scenarios_are_rejected_at_parse_time() {
         assert!(parse_err("run --nodes 0").0.contains("invalid scenario"));
         assert!(parse_err("run --speed -1").0.contains("invalid scenario"));
@@ -775,6 +831,8 @@ mod tests {
             "--audit",
             "--engine",
             "--shards",
+            "--scheduler",
+            "--delivery",
             "--out",
             "--resume",
             "--deadline",

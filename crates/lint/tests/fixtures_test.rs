@@ -112,6 +112,25 @@ fn hot_path_alloc_fixture_pair() {
 }
 
 #[test]
+fn hot_path_calendar_fixture_pair() {
+    // The calendar-queue push/pop shape: the bad twin grows the wheel
+    // and formats a label inside the region (`Vec::new`, `format!`,
+    // `.collect` → at least 3 sites); the clean twin pre-sizes at
+    // construction and only moves entries between existing buffers.
+    let bad = scan_fixture(
+        include_str!("fixtures/hot_path_calendar_bad.rs"),
+        "crates/sim/src/fixture.rs",
+    );
+    assert!(unsuppressed(&bad, RuleId::HotPathAlloc) >= 3, "{bad:?}");
+
+    let clean = scan_fixture(
+        include_str!("fixtures/hot_path_calendar_clean.rs"),
+        "crates/sim/src/fixture.rs",
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
 fn sweepd_path_fixture_pair() {
     // Clocks and host parallelism are blessed under `crates/sweepd/`
     // (operator infrastructure), so the "clean" fixture is full of

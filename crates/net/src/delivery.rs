@@ -4,7 +4,7 @@ use mobic_geom::{GridIndex, Vec2};
 use mobic_radio::{Dbm, Propagation, Radio};
 use mobic_sim::SimTime;
 
-use crate::{loss::LossModel, NodeId};
+use crate::{loss::LossModel, scratch::KernelScratch, NodeId};
 
 /// One successful reception of a broadcast.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,19 +48,46 @@ pub struct Delivery {
 pub struct DeliveryEngine<P, L> {
     radio: Radio<P>,
     loss: L,
+    kernel: KernelScratch,
+    force_scalar: bool,
 }
 
 impl<P: Propagation, L: LossModel> DeliveryEngine<P, L> {
     /// Creates an engine from a radio and a loss model.
     #[must_use]
     pub fn new(radio: Radio<P>, loss: L) -> Self {
-        DeliveryEngine { radio, loss }
+        DeliveryEngine {
+            radio,
+            loss,
+            kernel: KernelScratch::default(),
+            force_scalar: false,
+        }
     }
 
     /// The radio.
     #[must_use]
     pub fn radio(&self) -> &Radio<P> {
         &self.radio
+    }
+
+    /// Forces the scalar per-candidate delivery path even when the
+    /// propagation model would permit the vectorized kernel.
+    ///
+    /// The two paths are byte-identical by contract (same receiver
+    /// sets, same powers, same loss-stream consumption) — this switch
+    /// exists so equivalence tests and benchmarks can pin one side.
+    pub fn set_force_scalar(&mut self, force_scalar: bool) {
+        self.force_scalar = force_scalar;
+    }
+
+    /// Whether broadcasts will take the vectorized kernel: requires a
+    /// deterministic propagation model (stochastic shadowing draws
+    /// per-packet RNG inside `path_loss`, which only the scalar path
+    /// consumes in the documented order) and no
+    /// [`set_force_scalar`](Self::set_force_scalar) override.
+    #[must_use]
+    pub fn uses_kernel(&self) -> bool {
+        !self.force_scalar && self.radio.propagation().is_deterministic()
     }
 
     /// The one true delivery decision, shared by every broadcast
@@ -89,6 +116,106 @@ impl<P: Propagation, L: LossModel> DeliveryEngine<P, L> {
                 out.push(Delivery {
                     receiver: rx,
                     rx_power: power,
+                });
+            } else {
+                lost.push(rx);
+            }
+        }
+    }
+    // lint:end-hot-path
+
+    /// The vectorized kernel over a dense position table: fills the
+    /// distance lanes in node order, runs the batched
+    /// path-loss/threshold pass, compacts the in-range candidates
+    /// (skipping the transmitter, like [`consider`](Self::consider)
+    /// does), then hands off to [`kernel_commit`](Self::kernel_commit).
+    // lint:hot-path — vectorized delivery kernel (dense variant); lane
+    // fills reuse grown buffers, steady state allocates nothing.
+    fn kernel_broadcast(
+        &mut self,
+        tx: NodeId,
+        tx_pos: Vec2,
+        positions: &[Vec2],
+        at: SimTime,
+        out: &mut Vec<Delivery>,
+        lost: &mut Vec<NodeId>,
+    ) {
+        let DeliveryEngine { radio, kernel, .. } = self;
+        kernel.dist.clear();
+        kernel.dist.reserve(positions.len());
+        for &pos in positions {
+            kernel.dist.push(tx_pos.distance(pos));
+        }
+        radio.receive_batch(&kernel.dist, &mut kernel.power, &mut kernel.mask);
+        kernel.in_range.clear();
+        kernel.in_power.clear();
+        for i in 0..positions.len() {
+            let hit = kernel.mask[i / 64] >> (i % 64) & 1 == 1;
+            if hit && i != tx.index() {
+                kernel.in_range.push(NodeId::new(i as u32));
+                kernel.in_power.push(kernel.power[i]);
+            }
+        }
+        self.kernel_commit(tx, at, out, lost);
+    }
+
+    /// The vectorized kernel over a pre-filtered candidate list — the
+    /// `broadcast_among` counterpart of
+    /// [`kernel_broadcast`](Self::kernel_broadcast). Lane `i` is
+    /// `candidates[i]`, so candidate order (and with it the loss-stream
+    /// order) is exactly the scalar scan's.
+    fn kernel_among(
+        &mut self,
+        tx: NodeId,
+        tx_pos: Vec2,
+        candidates: &[(NodeId, Vec2)],
+        at: SimTime,
+        out: &mut Vec<Delivery>,
+        lost: &mut Vec<NodeId>,
+    ) {
+        let DeliveryEngine { radio, kernel, .. } = self;
+        kernel.dist.clear();
+        kernel.dist.reserve(candidates.len());
+        for &(_, pos) in candidates {
+            kernel.dist.push(tx_pos.distance(pos));
+        }
+        radio.receive_batch(&kernel.dist, &mut kernel.power, &mut kernel.mask);
+        kernel.in_range.clear();
+        kernel.in_power.clear();
+        for (i, &(rx, _)) in candidates.iter().enumerate() {
+            let hit = kernel.mask[i / 64] >> (i % 64) & 1 == 1;
+            if hit && rx != tx {
+                kernel.in_range.push(rx);
+                kernel.in_power.push(kernel.power[i]);
+            }
+        }
+        self.kernel_commit(tx, at, out, lost);
+    }
+
+    /// Kernel tail shared by both variants: one batched loss query
+    /// over the compacted in-range set (consuming the loss model's RNG
+    /// in exactly the scalar order — see
+    /// [`LossModel::delivered_batch`]), then commit deliveries and
+    /// drops in candidate order.
+    fn kernel_commit(
+        &mut self,
+        tx: NodeId,
+        at: SimTime,
+        out: &mut Vec<Delivery>,
+        lost: &mut Vec<NodeId>,
+    ) {
+        let DeliveryEngine { loss, kernel, .. } = self;
+        loss.delivered_batch(tx, &kernel.in_range, at, &mut kernel.verdicts);
+        for ((&rx, &p), &ok) in kernel
+            .in_range
+            .iter()
+            .zip(&kernel.in_power)
+            .zip(&kernel.verdicts)
+        {
+            if ok {
+                out.push(Delivery {
+                    receiver: rx,
+                    rx_power: Dbm::new(p),
                 });
             } else {
                 lost.push(rx);
@@ -153,8 +280,12 @@ impl<P: Propagation, L: LossModel> DeliveryEngine<P, L> {
         out.clear();
         lost.clear();
         let tx_pos = positions[tx.index()];
-        for (i, &pos) in positions.iter().enumerate() {
-            self.consider(tx, tx_pos, NodeId::new(i as u32), pos, at, out, lost);
+        if self.uses_kernel() {
+            self.kernel_broadcast(tx, tx_pos, positions, at, out, lost);
+        } else {
+            for (i, &pos) in positions.iter().enumerate() {
+                self.consider(tx, tx_pos, NodeId::new(i as u32), pos, at, out, lost);
+            }
         }
     }
     // lint:end-hot-path
@@ -273,8 +404,12 @@ impl<P: Propagation, L: LossModel> DeliveryEngine<P, L> {
         );
         out.clear();
         lost.clear();
-        for &(rx, pos) in candidates {
-            self.consider(tx, tx_pos, rx, pos, at, out, lost);
+        if self.uses_kernel() {
+            self.kernel_among(tx, tx_pos, candidates, at, out, lost);
+        } else {
+            for &(rx, pos) in candidates {
+                self.consider(tx, tx_pos, rx, pos, at, out, lost);
+            }
         }
     }
     // lint:end-hot-path
@@ -588,5 +723,119 @@ mod tests {
         let positions = vec![Vec2::ZERO, Vec2::new(30.0, 40.0)]; // d = 50
         let rx = e.broadcast(NodeId::new(0), &positions, SimTime::ZERO);
         assert_eq!(rx[0].rx_power, e.radio().rx_power(50.0));
+    }
+
+    #[test]
+    fn kernel_selects_exactly_the_scalar_candidate_set_at_range_boundaries() {
+        // Positions packed around the nominal 100 m range boundary
+        // (just inside, exactly at, just outside) plus co-located and
+        // far nodes: the kernel's bitmask pass must select exactly the
+        // candidates the scalar path would, with bit-identical powers.
+        let positions: Vec<Vec2> = vec![
+            Vec2::ZERO, // transmitter
+            Vec2::new(99.999_999, 0.0),
+            Vec2::new(100.0, 0.0),
+            Vec2::new(100.000_001, 0.0),
+            Vec2::new(0.0, 100.0),
+            Vec2::ZERO,            // co-located with tx
+            Vec2::new(60.0, 80.0), // d = 100 via both axes
+            Vec2::new(400.0, 0.0),
+            Vec2::new(0.0, 99.999_999),
+        ];
+        let mk = |force_scalar: bool| {
+            let mut e = engine();
+            e.set_force_scalar(force_scalar);
+            e
+        };
+        let (mut scalar, mut kernel) = (mk(true), mk(false));
+        assert!(!scalar.uses_kernel());
+        assert!(kernel.uses_kernel());
+        for tx in 0..positions.len() as u32 {
+            let expected = scalar.broadcast(NodeId::new(tx), &positions, SimTime::ZERO);
+            let got = kernel.broadcast(NodeId::new(tx), &positions, SimTime::ZERO);
+            assert_eq!(got, expected, "tx={tx}");
+        }
+    }
+
+    #[test]
+    fn kernel_among_matches_scalar_with_stateful_loss() {
+        // Same loss stream, kernel vs forced-scalar, across repeated
+        // broadcasts on both _into variants: deliveries, drops, and
+        // RNG consumption must stay in lockstep.
+        let positions: Vec<Vec2> = (0..24)
+            .map(|i| {
+                let t = i as f64;
+                Vec2::new((t * 137.0) % 300.0, (t * 71.0) % 300.0)
+            })
+            .collect();
+        let candidates: Vec<(NodeId, Vec2)> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (NodeId::new(i as u32), p))
+            .collect();
+        let mk = |force_scalar: bool| {
+            let radio = Radio::with_range(FreeSpace::at_frequency(914.0e6), 100.0);
+            let loss = Bernoulli::new(0.4, SeedSplitter::new(13).stream("l", 0));
+            let mut e = DeliveryEngine::new(radio, loss);
+            e.set_force_scalar(force_scalar);
+            e
+        };
+        let (mut scalar, mut kernel) = (mk(true), mk(false));
+        let (mut s_out, mut s_lost) = (Vec::new(), Vec::new());
+        let (mut k_out, mut k_lost) = (Vec::new(), Vec::new());
+        for step in 0..40u64 {
+            let at = SimTime::from_secs_f64(step as f64);
+            let tx = NodeId::new((step % 24) as u32);
+            if step % 2 == 0 {
+                scalar.broadcast_into(tx, &positions, at, &mut s_out, &mut s_lost);
+                kernel.broadcast_into(tx, &positions, at, &mut k_out, &mut k_lost);
+            } else {
+                let tx_pos = positions[tx.index()];
+                scalar.broadcast_among_into(tx, tx_pos, &candidates, at, &mut s_out, &mut s_lost);
+                kernel.broadcast_among_into(tx, tx_pos, &candidates, at, &mut k_out, &mut k_lost);
+            }
+            assert_eq!(k_out, s_out, "step={step}");
+            assert_eq!(k_lost, s_lost, "step={step}");
+        }
+    }
+
+    proptest::proptest! {
+        /// The vectorized kernel matches the forced-scalar path exactly
+        /// — same deliveries in the same order, same losses, same loss
+        /// stream — over arbitrary geometries and loss seeds.
+        #[test]
+        fn prop_kernel_matches_scalar(
+            xs in proptest::collection::vec(0.0f64..700.0, 2..24),
+            ys in proptest::collection::vec(0.0f64..700.0, 2..24),
+            seed in 0u64..1000,
+            p_loss in 0.0f64..1.0,
+            tx in 0usize..24,
+        ) {
+            let n = xs.len().min(ys.len());
+            let tx = tx % n;
+            let positions: Vec<Vec2> = xs
+                .iter()
+                .zip(&ys)
+                .take(n)
+                .map(|(&x, &y)| Vec2::new(x, y))
+                .collect();
+            let mk = |force_scalar: bool| {
+                let radio = Radio::with_range(FreeSpace::at_frequency(914.0e6), 100.0);
+                let loss = Bernoulli::new(p_loss, SeedSplitter::new(seed).stream("l", 0));
+                let mut e = DeliveryEngine::new(radio, loss);
+                e.set_force_scalar(force_scalar);
+                e
+            };
+            let (mut scalar, mut kernel) = (mk(true), mk(false));
+            let (mut s_out, mut s_lost) = (Vec::new(), Vec::new());
+            let (mut k_out, mut k_lost) = (Vec::new(), Vec::new());
+            for step in 0..4u64 {
+                let at = SimTime::from_secs_f64(step as f64);
+                scalar.broadcast_into(NodeId::new(tx as u32), &positions, at, &mut s_out, &mut s_lost);
+                kernel.broadcast_into(NodeId::new(tx as u32), &positions, at, &mut k_out, &mut k_lost);
+                proptest::prop_assert_eq!(&k_out, &s_out, "step={}", step);
+                proptest::prop_assert_eq!(&k_lost, &s_lost, "step={}", step);
+            }
+        }
     }
 }

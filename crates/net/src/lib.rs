@@ -24,9 +24,14 @@
 //! knob) — and, alongside the allocating convenience methods, an
 //! `_into` family (`broadcast_into`, `broadcast_among_into`) that
 //! writes deliveries and loss drops into caller-owned scratch buffers
-//! so the steady-state hot path allocates nothing. Both choices are
-//! execution details: receiver sets and measured powers are
-//! byte-identical across them.
+//! so the steady-state hot path allocates nothing. With a
+//! deterministic propagation model the `_into` family additionally
+//! evaluates through a **vectorized kernel**: contiguous distance
+//! lanes, one batched path-loss/threshold pass producing an in-range
+//! bitmask, and one batched loss-model query per broadcast
+//! ([`loss::LossModel::delivered_batch`]) instead of a query per edge.
+//! All of these choices are execution details: receiver sets, measured
+//! powers, and loss-stream consumption are byte-identical across them.
 //!
 //! The crate is deliberately independent of the clustering layer: the
 //! hello payload is a type parameter, so `mobic-core` defines its own

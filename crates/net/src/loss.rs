@@ -22,17 +22,60 @@ pub trait LossModel {
     /// Returns `true` if the packet from `tx` is delivered to `rx`
     /// at time `at`.
     fn delivered(&mut self, tx: NodeId, rx: NodeId, at: SimTime) -> bool;
+
+    /// Batched [`delivered`](Self::delivered): one verdict per receiver
+    /// in `rxs`, written into `verdicts` (cleared first) in order.
+    ///
+    /// The default delegates receiver-by-receiver to the scalar method,
+    /// so it is byte-identical by construction. An override must
+    /// consume the model's RNG in **exactly** the same quantity and
+    /// order as that loop — the delivery engine's kernel path and the
+    /// scalar path share one loss stream, and whole-run equivalence
+    /// rests on the two consuming it identically.
+    fn delivered_batch(
+        &mut self,
+        tx: NodeId,
+        rxs: &[NodeId],
+        at: SimTime,
+        verdicts: &mut Vec<bool>,
+    ) {
+        verdicts.clear();
+        verdicts.reserve(rxs.len());
+        for &rx in rxs {
+            verdicts.push(self.delivered(tx, rx, at));
+        }
+    }
 }
 
 impl<L: LossModel + ?Sized> LossModel for Box<L> {
     fn delivered(&mut self, tx: NodeId, rx: NodeId, at: SimTime) -> bool {
         (**self).delivered(tx, rx, at)
     }
+
+    fn delivered_batch(
+        &mut self,
+        tx: NodeId,
+        rxs: &[NodeId],
+        at: SimTime,
+        verdicts: &mut Vec<bool>,
+    ) {
+        (**self).delivered_batch(tx, rxs, at, verdicts);
+    }
 }
 
 impl<L: LossModel + ?Sized> LossModel for &mut L {
     fn delivered(&mut self, tx: NodeId, rx: NodeId, at: SimTime) -> bool {
         (**self).delivered(tx, rx, at)
+    }
+
+    fn delivered_batch(
+        &mut self,
+        tx: NodeId,
+        rxs: &[NodeId],
+        at: SimTime,
+        verdicts: &mut Vec<bool>,
+    ) {
+        (**self).delivered_batch(tx, rxs, at, verdicts);
     }
 }
 
@@ -44,6 +87,18 @@ pub struct NoLoss;
 impl LossModel for NoLoss {
     fn delivered(&mut self, _tx: NodeId, _rx: NodeId, _at: SimTime) -> bool {
         true
+    }
+
+    fn delivered_batch(
+        &mut self,
+        _tx: NodeId,
+        rxs: &[NodeId],
+        _at: SimTime,
+        verdicts: &mut Vec<bool>,
+    ) {
+        // No RNG to keep in step with: the scalar loop draws nothing.
+        verdicts.clear();
+        verdicts.resize(rxs.len(), true);
     }
 }
 
@@ -69,6 +124,10 @@ impl LossModel for NoLoss {
 pub struct Bernoulli {
     p_loss: f64,
     rng: ChaCha12Rng,
+    /// Scratch for the batched path: one uniform per candidate, drawn
+    /// in candidate order, then thresholded in a separate branch-free
+    /// pass. Reused across broadcasts.
+    draws: Vec<f64>,
 }
 
 impl Bernoulli {
@@ -83,7 +142,11 @@ impl Bernoulli {
             (0.0..=1.0).contains(&p_loss),
             "loss probability must be in [0, 1], got {p_loss}"
         );
-        Bernoulli { p_loss, rng }
+        Bernoulli {
+            p_loss,
+            rng,
+            draws: Vec::new(),
+        }
     }
 
     /// The loss probability.
@@ -97,6 +160,30 @@ impl LossModel for Bernoulli {
     fn delivered(&mut self, _tx: NodeId, _rx: NodeId, _at: SimTime) -> bool {
         self.rng.gen::<f64>() >= self.p_loss
     }
+
+    // lint:hot-path — batched loss draws, one broadcast per call.
+    fn delivered_batch(
+        &mut self,
+        _tx: NodeId,
+        rxs: &[NodeId],
+        _at: SimTime,
+        verdicts: &mut Vec<bool>,
+    ) {
+        // One fill pass of `gen::<f64>()` per candidate, in candidate
+        // order — the identical RNG consumption to the scalar loop —
+        // followed by a branch-free threshold pass.
+        self.draws.clear();
+        self.draws.reserve(rxs.len());
+        for _ in rxs {
+            self.draws.push(self.rng.gen::<f64>());
+        }
+        verdicts.clear();
+        verdicts.reserve(rxs.len());
+        for &u in &self.draws {
+            verdicts.push(u >= self.p_loss);
+        }
+    }
+    // lint:end-hot-path
 }
 
 /// Gilbert–Elliott two-state burst-loss model, with independent state
@@ -158,6 +245,11 @@ impl GilbertElliott {
     }
 }
 
+// `delivered_batch` deliberately keeps the default scalar loop: each
+// edge draws twice (transition, then loss) and the second draw's
+// meaning depends on per-link state updated by the first, so there is
+// no independent "fill uniforms, then threshold" split to batch. The
+// default loop *is* the canonical consumption order.
 impl LossModel for GilbertElliott {
     fn delivered(&mut self, tx: NodeId, rx: NodeId, _at: SimTime) -> bool {
         let state = self.bad.entry((tx, rx)).or_insert(false);
@@ -289,5 +381,57 @@ mod tests {
                 b.delivered(n(0), n(1), SimTime::from_secs(i))
             );
         }
+    }
+
+    /// Runs the same broadcast sequence through the scalar loop and
+    /// through `delivered_batch` and asserts both the verdicts and the
+    /// post-sequence RNG state agree (the latter checked by continuing
+    /// each model scalar afterwards).
+    fn assert_batch_parity<L: LossModel>(mut scalar: L, mut batched: L) {
+        let mut verdicts = vec![true; 3]; // stale content must be cleared
+        for round in 0..40u64 {
+            let at = SimTime::from_secs(round);
+            let tx = n((round % 5) as u32);
+            let rxs: Vec<NodeId> = (0..(round % 7)).map(|i| n(10 + i as u32)).collect();
+            let expected: Vec<bool> = rxs.iter().map(|&rx| scalar.delivered(tx, rx, at)).collect();
+            batched.delivered_batch(tx, &rxs, at, &mut verdicts);
+            assert_eq!(verdicts, expected, "round {round}");
+        }
+        // Identical residual RNG state: the next scalar draws agree.
+        for i in 0..50 {
+            assert_eq!(
+                scalar.delivered(n(0), n(1), SimTime::from_secs(i)),
+                batched.delivered(n(0), n(1), SimTime::from_secs(i)),
+                "post-batch draw {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn bernoulli_batch_consumes_rng_like_scalar() {
+        assert_batch_parity(Bernoulli::new(0.5, rng(7)), Bernoulli::new(0.5, rng(7)));
+    }
+
+    #[test]
+    fn no_loss_batch_is_all_true() {
+        assert_batch_parity(NoLoss, NoLoss);
+        let mut verdicts = vec![false; 1];
+        NoLoss.delivered_batch(n(0), &[n(1), n(2)], SimTime::ZERO, &mut verdicts);
+        assert_eq!(verdicts, vec![true, true]);
+    }
+
+    #[test]
+    fn gilbert_elliott_batch_keeps_default_scalar_order() {
+        let mk = || GilbertElliott::mildly_bursty(rng(8));
+        assert_batch_parity(mk(), mk());
+    }
+
+    #[test]
+    fn boxed_dyn_forwards_batch_to_override() {
+        // The Box forwarding impl must reach Bernoulli's override (and
+        // thus its RNG discipline), not the trait default on the box.
+        let scalar: Box<dyn LossModel> = Box::new(Bernoulli::new(0.4, rng(9)));
+        let batched: Box<dyn LossModel> = Box::new(Bernoulli::new(0.4, rng(9)));
+        assert_batch_parity(scalar, batched);
     }
 }

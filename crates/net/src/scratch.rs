@@ -62,6 +62,33 @@ impl Scratch {
     }
 }
 
+/// Scratch lanes for the vectorized delivery kernel (the
+/// [`DeliveryEngine`](crate::DeliveryEngine)'s batched path).
+///
+/// The kernel splits a broadcast into structure-of-arrays passes —
+/// distance lanes, a batched path-loss/threshold pass producing an
+/// in-range bitmask, a compaction of the surviving candidates, and one
+/// batched loss-model query — and every pass writes into these reused
+/// buffers. The engine owns one `KernelScratch`; after the first few
+/// broadcasts grow the lanes to the neighborhood's high-water mark,
+/// steady-state use allocates nothing.
+#[derive(Debug, Default)]
+pub(crate) struct KernelScratch {
+    /// Transmitter→candidate distances, one lane per candidate in
+    /// candidate order.
+    pub dist: Vec<f64>,
+    /// Received power per candidate lane (dBm).
+    pub power: Vec<f64>,
+    /// In-range bitmask over candidate lanes (bit `i` = lane `i`).
+    pub mask: Vec<u64>,
+    /// In-range receivers, compacted in candidate order.
+    pub in_range: Vec<crate::NodeId>,
+    /// Received power per `in_range` entry (compacted with it).
+    pub in_power: Vec<f64>,
+    /// Loss-model verdicts, one per `in_range` entry.
+    pub verdicts: Vec<bool>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

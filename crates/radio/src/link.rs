@@ -140,6 +140,42 @@ impl<P: Propagation> Radio<P> {
         (p >= self.budget.rx_threshold).then_some(p)
     }
 
+    /// Batched [`receive`](Self::receive) over a slice of distance
+    /// lanes: fills `power[i]` with the received power (dBm) at
+    /// `distances_m[i]` and sets bit `i` of the `mask` bitmask iff that
+    /// power meets the receive threshold — exactly the lanes for which
+    /// the scalar `receive` would return `Some`. Both output vectors
+    /// are cleared and resized to fit, reusing their allocations across
+    /// calls.
+    ///
+    /// Only valid for deterministic propagation models, where
+    /// `path_loss` coincides with `mean_path_loss` (debug-asserted);
+    /// callers must check [`Propagation::is_deterministic`] and keep
+    /// stochastic models on the scalar path. The per-lane arithmetic is
+    /// `((tx_power + tx_gain) + rx_gain) - loss`, the same operation
+    /// sequence as [`Self::rx_power`], with the gain sum hoisted out of
+    /// the loop — each lane is bit-identical to the scalar call.
+    pub fn receive_batch(&self, distances_m: &[f64], power: &mut Vec<f64>, mask: &mut Vec<u64>) {
+        debug_assert!(
+            self.propagation.is_deterministic(),
+            "receive_batch requires a deterministic propagation model"
+        );
+        let gain_sum = (self.budget.tx_power + self.budget.tx_gain + self.budget.rx_gain).dbm();
+        let threshold = self.budget.rx_threshold.dbm();
+        // lint:hot-path receive-batch kernel: amortized-zero-alloc resizes only
+        power.clear();
+        power.resize(distances_m.len(), 0.0);
+        self.propagation.mean_path_loss_slice(distances_m, power);
+        mask.clear();
+        mask.resize(distances_m.len().div_ceil(64), 0);
+        for (i, lane) in power.iter_mut().enumerate() {
+            let p = gain_sum - *lane;
+            *lane = p;
+            mask[i / 64] |= u64::from(p >= threshold) << (i % 64);
+        }
+        // lint:end-hot-path
+    }
+
     /// The nominal communication range: the distance at which the
     /// *mean* received power equals the receive threshold, found by
     /// bisection over the (monotone) mean path loss.
@@ -306,5 +342,64 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn with_range_rejects_zero() {
         let _ = Radio::with_range(FreeSpace::at_frequency(914.0e6), 0.0);
+    }
+
+    #[test]
+    fn receive_batch_matches_scalar_at_range_boundaries() {
+        // Lanes straddling the nominal range, including the exact
+        // boundary and degenerate distances: the bitmask must select
+        // exactly the scalar path's receiver set, and every power lane
+        // must be bit-identical to the scalar rx_power.
+        let radios: Vec<Radio<Box<dyn Propagation>>> = vec![
+            Radio::with_range(Box::new(FreeSpace::at_frequency(914.0e6)), 100.0),
+            Radio::with_range(Box::new(TwoRayGround::ns2_default()), 250.0),
+            Radio::with_range(
+                Box::new(LogDistance::calibrated_to_friis(914.0e6, 4.0)),
+                100.0,
+            ),
+        ];
+        let mut power = Vec::new();
+        let mut mask = Vec::new();
+        for radio in &radios {
+            let r = radio.nominal_range_m();
+            let distances: Vec<f64> = (0..130)
+                .map(|i| r * (i as f64) / 64.0)
+                .chain([0.0, r - 1e-9, r, r + 1e-9, r * 10.0])
+                .collect();
+            radio.receive_batch(&distances, &mut power, &mut mask);
+            assert_eq!(power.len(), distances.len());
+            assert_eq!(mask.len(), distances.len().div_ceil(64));
+            for (i, &d) in distances.iter().enumerate() {
+                let bit = mask[i / 64] >> (i % 64) & 1 == 1;
+                assert_eq!(bit, radio.receive(d).is_some(), "mask lane at d = {d}");
+                assert_eq!(
+                    power[i].to_bits(),
+                    radio.rx_power(d).dbm().to_bits(),
+                    "power lane at d = {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn receive_batch_reuses_buffers_and_handles_empty() {
+        let radio = Radio::with_range(FreeSpace::at_frequency(914.0e6), 100.0);
+        let mut power = vec![f64::NAN; 7];
+        let mut mask = vec![u64::MAX; 3];
+        radio.receive_batch(&[], &mut power, &mut mask);
+        assert!(power.is_empty());
+        assert!(mask.is_empty());
+        // A second, larger call after a smaller one must not keep
+        // stale lanes or mask bits around.
+        radio.receive_batch(&[50.0], &mut power, &mut mask);
+        let lanes: Vec<f64> = (0..65).map(|i| 90.0 + i as f64 * 0.25).collect();
+        radio.receive_batch(&lanes, &mut power, &mut mask);
+        assert_eq!(power.len(), 65);
+        assert_eq!(mask.len(), 2);
+        for (i, &d) in lanes.iter().enumerate() {
+            let bit = mask[i / 64] >> (i % 64) & 1 == 1;
+            assert_eq!(bit, radio.receive(d).is_some(), "lane at d = {d}");
+        }
+        assert_eq!(mask[1] >> 1, 0, "bits beyond the lane count stay clear");
     }
 }

@@ -42,6 +42,29 @@ pub trait Propagation {
     fn is_deterministic(&self) -> bool {
         true
     }
+
+    /// Batched [`mean_path_loss`](Self::mean_path_loss): writes the raw
+    /// dB loss of each distance lane in `distances_m` into the matching
+    /// lane of `out`.
+    ///
+    /// The default delegates lane-by-lane to the scalar method, so the
+    /// output is byte-identical to per-candidate calls by construction;
+    /// the value of the method is that a `dyn Propagation` caller pays
+    /// one virtual dispatch per broadcast instead of one per candidate,
+    /// and a monomorphized override can expose a branch-free loop the
+    /// compiler can autovectorize. Overrides must stay bitwise identical
+    /// to the scalar calls — the delivery-kernel equivalence tests pin
+    /// this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices have different lengths.
+    fn mean_path_loss_slice(&self, distances_m: &[f64], out: &mut [f64]) {
+        assert_eq!(distances_m.len(), out.len(), "lane count mismatch");
+        for (o, &d) in out.iter_mut().zip(distances_m) {
+            *o = self.mean_path_loss(d).db();
+        }
+    }
 }
 
 /// Friis free-space propagation: `Pr/Pt = (λ / 4πd)²`, the
@@ -467,6 +490,10 @@ impl<P: Propagation + ?Sized> Propagation for &P {
     fn is_deterministic(&self) -> bool {
         (**self).is_deterministic()
     }
+
+    fn mean_path_loss_slice(&self, distances_m: &[f64], out: &mut [f64]) {
+        (**self).mean_path_loss_slice(distances_m, out);
+    }
 }
 
 impl<P: Propagation + ?Sized> Propagation for Box<P> {
@@ -480,6 +507,10 @@ impl<P: Propagation + ?Sized> Propagation for Box<P> {
 
     fn is_deterministic(&self) -> bool {
         (**self).is_deterministic()
+    }
+
+    fn mean_path_loss_slice(&self, distances_m: &[f64], out: &mut [f64]) {
+        (**self).mean_path_loss_slice(distances_m, out);
     }
 }
 
@@ -516,6 +547,24 @@ mod tests {
     fn zero_distance_is_guarded() {
         let fs = FreeSpace::at_frequency(914.0e6);
         assert_eq!(fs.mean_path_loss(0.0), fs.mean_path_loss(MIN_DISTANCE_M));
+    }
+
+    #[test]
+    fn slice_loss_is_bit_identical_to_scalar_calls() {
+        let distances: Vec<f64> = (0..257).map(|i| i as f64 * 3.7).collect();
+        let models: Vec<Box<dyn Propagation>> = vec![
+            Box::new(FreeSpace::at_frequency(914.0e6)),
+            Box::new(TwoRayGround::new(0.328, 1.5, 1.5)),
+            Box::new(LogDistance::new(3.0, 1.0, Db::new(31.7))),
+        ];
+        let mut out = vec![0.0; distances.len()];
+        for model in &models {
+            model.mean_path_loss_slice(&distances, &mut out);
+            for (&d, &lane) in distances.iter().zip(&out) {
+                let scalar = model.mean_path_loss(d).db();
+                assert_eq!(scalar.to_bits(), lane.to_bits(), "d = {d}");
+            }
+        }
     }
 
     #[test]

@@ -166,6 +166,71 @@ impl Engine {
     }
 }
 
+/// Which future-event-list structure backs the event loop.
+///
+/// Like [`Engine`], this is an execution knob: both schedulers must
+/// pop events in exactly the same `(time, seq)` order, so results and
+/// traces are **byte-identical** for every `(config, seed)` — pinned
+/// by `tests/scheduler_equivalence.rs`. The calendar queue only
+/// changes the constant factor of push/pop for the near-periodic
+/// hello workload. Composes with both engines: under
+/// [`Engine::Sharded`] each shard store becomes a calendar.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Scheduler {
+    /// Binary-heap future-event list (the reference behavior and the
+    /// default).
+    #[default]
+    Heap,
+    /// Bucketed calendar queue with the bucket width derived from
+    /// `bi_s` and capacity from `n_nodes` — O(1) amortized push/pop
+    /// for the self-rescheduling hello workload.
+    Calendar,
+}
+
+impl Scheduler {
+    /// `true` for the default heap scheduler (used to keep the field
+    /// out of serialized configs, so config hashes of existing
+    /// scenarios are unchanged).
+    #[must_use]
+    pub fn is_heap(&self) -> bool {
+        *self == Scheduler::Heap
+    }
+}
+
+/// Which per-candidate delivery computation the broadcast path uses.
+///
+/// Another execution knob with a byte-identity contract: the
+/// vectorized kernel computes the identical per-candidate float
+/// sequence (distance → mean path loss → received power → threshold)
+/// as the scalar `consider()` stage, batches loss-model draws in the
+/// same candidate order, and commits deliveries in the same order —
+/// so `Auto` and `Scalar` runs are byte-identical (also pinned by
+/// `tests/scheduler_equivalence.rs`). Stochastic propagation models
+/// always take the scalar route regardless of this knob, because
+/// their per-candidate RNG draws are inherently sequential.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum DeliveryPath {
+    /// Use the chunked branch-free kernel with batched loss draws
+    /// whenever the propagation model is deterministic (the default).
+    #[default]
+    Auto,
+    /// Always use the per-candidate scalar stage (reference
+    /// behavior).
+    Scalar,
+}
+
+impl DeliveryPath {
+    /// `true` for the default auto path (used to keep the field out
+    /// of serialized configs, so config hashes of existing scenarios
+    /// are unchanged).
+    #[must_use]
+    pub fn is_auto(&self) -> bool {
+        *self == DeliveryPath::Auto
+    }
+}
+
 /// How the periodic in-run Theorem-1 audit reacts to violations
 /// (see `mobic-core::invariants`). The audit runs at every sampling
 /// instant after warmup and checks the *alive* population's cluster
@@ -417,6 +482,19 @@ pub struct ScenarioConfig {
     /// sequential engine. Clamped to `[1, n_nodes]` at run time.
     #[serde(default, skip_serializing_if = "shards_is_zero")]
     pub shards: u32,
+    /// Which future-event-list structure backs the event loop.
+    /// Defaults to [`Scheduler::Heap`] (omitted from serialization, so
+    /// existing configs keep their `config_hash`);
+    /// [`Scheduler::Calendar`] must be byte-identical and exists
+    /// purely for per-event cost.
+    #[serde(default, skip_serializing_if = "Scheduler::is_heap")]
+    pub scheduler: Scheduler,
+    /// Which per-candidate delivery computation broadcasts use.
+    /// Defaults to [`DeliveryPath::Auto`] (omitted from serialization,
+    /// so existing configs keep their `config_hash`); results are
+    /// bit-identical either way.
+    #[serde(default, skip_serializing_if = "DeliveryPath::is_auto")]
+    pub delivery: DeliveryPath,
 }
 
 /// `skip_serializing_if` helper for [`ScenarioConfig::shards`].
@@ -458,6 +536,8 @@ impl ScenarioConfig {
             audit: AuditMode::Off,
             engine: Engine::Sequential,
             shards: 0,
+            scheduler: Scheduler::Heap,
+            delivery: DeliveryPath::Auto,
         }
     }
 
@@ -1040,6 +1120,45 @@ mod tests {
         let back: ScenarioConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);
         assert!(!back.engine.is_sequential());
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn scheduler_and_delivery_default_and_deserialize_when_absent() {
+        let c = ScenarioConfig::paper_table1();
+        assert_eq!(c.scheduler, Scheduler::Heap);
+        assert!(c.scheduler.is_heap());
+        assert_eq!(c.delivery, DeliveryPath::Auto);
+        assert!(c.delivery.is_auto());
+        // Configs serialized before the fields existed must still load,
+        // and the defaults must stay invisible to serialization so the
+        // config_hash of every existing scenario is unchanged.
+        let mut json: serde_json::Value = serde_json::to_value(c).unwrap();
+        let obj = json.as_object_mut().unwrap();
+        assert!(
+            !obj.contains_key("scheduler") && !obj.contains_key("delivery"),
+            "default microarchitecture fields must not be serialized (config_hash stability)"
+        );
+        obj.remove("scheduler");
+        obj.remove("delivery");
+        let back: ScenarioConfig = serde_json::from_value(json).unwrap();
+        assert_eq!(back.scheduler, Scheduler::Heap);
+        assert_eq!(back.delivery, DeliveryPath::Auto);
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn calendar_scheduler_round_trips_in_snake_case() {
+        let mut c = ScenarioConfig::paper_table1();
+        c.scheduler = Scheduler::Calendar;
+        c.delivery = DeliveryPath::Scalar;
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains(r#""scheduler":"calendar""#), "{json}");
+        assert!(json.contains(r#""delivery":"scalar""#), "{json}");
+        let back: ScenarioConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+        assert!(!back.scheduler.is_heap());
+        assert!(!back.delivery.is_auto());
         c.validate().unwrap();
     }
 

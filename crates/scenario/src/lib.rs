@@ -11,9 +11,11 @@
 //! Every run is a pure function of `(config, seed)`. The config's
 //! *execution* knobs — `fast_path` (spatial-index delivery),
 //! `recluster` (dirty-set incremental elections), `engine`/`shards`
-//! (the sharded parallel event loop) — change how that function is
-//! evaluated, never its value: each is covered by an equivalence test
-//! asserting byte-identical results and traces. Above single runs,
+//! (the sharded parallel event loop), `scheduler` (calendar-queue
+//! future-event list), and `delivery` (vectorized propagation kernel
+//! with batched loss draws) — change how that function is evaluated,
+//! never its value: each is covered by an equivalence test asserting
+//! byte-identical results and traces. Above single runs,
 //! the sweep layer provides parallel batches,
 //! the supervised executor ([`run_batch_supervised`]) that turns
 //! panicking or stuck jobs into typed [`JobError`]s, and the
@@ -49,8 +51,8 @@ mod shard;
 mod sweep;
 
 pub use config::{
-    AuditMode, ConfigError, Engine, FastPath, FaultPlan, FaultTarget, LossKind, MobilityKind,
-    PropagationKind, Recluster, ScenarioConfig,
+    AuditMode, ConfigError, DeliveryPath, Engine, FastPath, FaultPlan, FaultTarget, LossKind,
+    MobilityKind, PropagationKind, Recluster, ScenarioConfig, Scheduler,
 };
 pub use runner::{
     config_hash_for, manifest_for, run_scenario, run_scenario_instrumented, run_scenario_observed,

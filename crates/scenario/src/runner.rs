@@ -67,7 +67,10 @@ use mobic_net::{loss, loss::LossModel, DeliveryEngine, Hello, NodeId, Scratch};
 use mobic_radio::{
     Dbm, FreeSpace, LogDistance, Nakagami, Propagation, Radio, Shadowed, TwoRayGround,
 };
-use mobic_sim::{rng::SeedSplitter, EventKey, Queue, ShardedEventQueue, SimTime, Simulation};
+use mobic_sim::{
+    rng::SeedSplitter, CalendarQueue, CalendarStore, EventKey, Queue, ShardedEventQueue, SimTime,
+    Simulation,
+};
 use mobic_trace::{
     config_hash, ManifestCounters, NullSink, PhaseClock, PhaseTimings, RunManifest, TraceEvent,
     TraceSink, ViolationKind,
@@ -75,8 +78,8 @@ use mobic_trace::{
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    shard, AuditMode, ConfigError, Engine, FastPath, FaultTarget, LossKind, MobilityKind,
-    PropagationKind, Recluster, ScenarioConfig,
+    shard, AuditMode, ConfigError, DeliveryPath, Engine, FastPath, FaultTarget, LossKind,
+    MobilityKind, PropagationKind, Recluster, ScenarioConfig, Scheduler,
 };
 
 /// Everything measured in one simulation run.
@@ -815,8 +818,13 @@ pub fn run_scenario_instrumented(
     // Queue depth: one hello per node, the sampler, headroom for a
     // same-instant reschedule, plus every planned fault injection.
     let queue_cap = cfg.n_nodes as usize + 2 + cfg.faults.injections() as usize;
-    match cfg.engine {
-        Engine::Sequential => run_engine(
+    // Calendar bucket-width profile: the event population is
+    // near-periodic at the broadcast interval, so one calendar year is
+    // sized to two intervals (see [`CalendarQueue`]) and reschedules
+    // at `+bi` always land in-year.
+    let bi_hint = SimTime::from_secs_f64(cfg.bi_s);
+    match (cfg.engine, cfg.scheduler) {
+        (Engine::Sequential, Scheduler::Heap) => run_engine(
             cfg,
             seed,
             observer,
@@ -824,12 +832,33 @@ pub fn run_scenario_instrumented(
             Simulation::with_capacity(queue_cap),
             1,
         ),
-        Engine::Sharded => {
+        (Engine::Sequential, Scheduler::Calendar) => {
+            let queue = CalendarQueue::with_profile(queue_cap, bi_hint);
+            run_engine(cfg, seed, observer, sink, Simulation::with_queue(queue), 1)
+        }
+        (Engine::Sharded, Scheduler::Heap) => {
             let n_shards = shard::effective_shards(cfg);
             let queue = ShardedEventQueue::with_capacity(
                 queue_cap,
                 n_shards,
                 route_ev as fn(&Ev) -> EventKey,
+            );
+            run_engine(
+                cfg,
+                seed,
+                observer,
+                sink,
+                Simulation::with_queue(queue),
+                n_shards,
+            )
+        }
+        (Engine::Sharded, Scheduler::Calendar) => {
+            let n_shards = shard::effective_shards(cfg);
+            let queue = ShardedEventQueue::<Ev, _, CalendarStore<Ev>>::with_store(
+                queue_cap,
+                n_shards,
+                route_ev as fn(&Ev) -> EventKey,
+                bi_hint,
             );
             run_engine(
                 cfg,
@@ -872,6 +901,10 @@ fn run_engine<Q: Queue<Ev>>(
     let mut mobility = build_mobility(cfg, field, &splitter);
     let radio = Radio::with_range(build_propagation(cfg, &splitter), cfg.tx_range_m);
     let mut engine = DeliveryEngine::new(radio, build_loss(cfg, &splitter));
+    // `delivery: scalar` pins the per-candidate path; `auto` lets the
+    // engine take the vectorized kernel whenever the propagation model
+    // is deterministic. Byte-identical either way.
+    engine.set_force_scalar(cfg.delivery == DeliveryPath::Scalar);
 
     let ccfg = ClusterConfig {
         algorithm: cfg.algorithm,

@@ -1,0 +1,726 @@
+//! Calendar-queue event storage: a bucketed future-event list with
+//! O(1) amortized enqueue/dequeue for near-periodic workloads.
+//!
+//! The hello traffic that dominates a MANET run is near-periodic by
+//! construction — every node reschedules itself one broadcast interval
+//! ahead (or a bounded fraction of it, under adaptive pacing) — which
+//! is the textbook case for a calendar queue (Brown 1988): hash each
+//! event into a bucket by `time / width`, keep a cursor on the bucket
+//! whose time window is current, and both ends of the queue touch only
+//! a handful of entries per operation instead of the `log n` sift of a
+//! binary heap.
+//!
+//! # Ordering contract
+//!
+//! [`CalendarQueue`] implements [`Queue`] and must pop the exact
+//! `(time, seq)` order of [`EventQueue`](crate::EventQueue): earliest
+//! time first, FIFO (insertion order) within a time. The structure
+//! guarantees it because
+//!
+//! * slots partition time: every entry in slot `s` has a strictly
+//!   earlier timestamp than every entry in slot `s + 1`, so scanning
+//!   slots in ascending order visits timestamps in ascending order;
+//! * within the due slot the scan selects the minimum `(time, seq)`
+//!   key exactly, over the whole bucket; and
+//! * entries beyond the current calendar year (the overflow day-list)
+//!   are compared by the same key before any bucketed candidate is
+//!   accepted.
+//!
+//! Bucket *placement* (width, bucket count, resize policy) can
+//! therefore change constant factors only, never pop order — the same
+//! argument that makes shard placement invisible for
+//! [`ShardedEventQueue`](crate::ShardedEventQueue).
+
+use crate::queue::{Entry, EntryStore, Queue};
+use crate::SimTime;
+
+/// Fallback bucket width (1 ms) when no period hint is available.
+const DEFAULT_WIDTH_US: u64 = 1_000;
+
+/// Minimum bucket count; also the floor the shrink policy stops at.
+const MIN_BUCKETS: usize = 8;
+
+/// Where [`CalendarStore::locate_min`] found the minimum entry.
+#[derive(Debug, Clone, Copy)]
+enum Place {
+    /// `(bucket index, index within the bucket)`.
+    Bucket(usize, usize),
+    /// The cached overflow minimum.
+    Overflow,
+}
+
+/// Bucketed storage for [`Entry`] values: the calendar proper.
+///
+/// One of these backs a whole [`CalendarQueue`]; as an [`EntryStore`]
+/// it can also back each shard of a
+/// [`ShardedEventQueue`](crate::ShardedEventQueue) (see
+/// [`ShardedCalendarQueue`]).
+///
+/// * **Buckets.** `buckets[slot & (n - 1)]` holds the entries whose
+///   slot (`time_µs / width_µs`) is congruent modulo the bucket count
+///   `n` (a power of two). Entries within a bucket are unsorted; the
+///   due-slot scan finds the exact minimum key.
+/// * **Lazy rotation.** A `scan_slot` cursor remembers where the last
+///   pop left off; each pop walks forward at most one calendar year
+///   (`n` slots) before falling back to a direct search, and jumps
+///   straight to the popped entry's slot, so empty stretches are
+///   skipped without bookkeeping on push.
+/// * **Overflow day-list.** Entries more than one year ahead of the
+///   cursor would alias into in-year buckets and be rescanned every
+///   lap; they go to a side list instead, with a cached minimum that
+///   every pop compares against.
+/// * **Resize.** When the population drifts past 2× the bucket count
+///   the calendar doubles; when it drops below a quarter it halves
+///   (down to [`MIN_BUCKETS`]). The width is fixed at construction —
+///   for the near-periodic MANET workload the event *period* does not
+///   drift, only the population does.
+#[derive(Debug, Clone)]
+pub struct CalendarStore<E> {
+    /// Power-of-two bucket array; index = `slot & (buckets.len()-1)`.
+    buckets: Vec<Vec<Entry<E>>>,
+    /// Bucket width in microseconds (fixed at construction).
+    width_us: u64,
+    /// Slot the next pop starts scanning from. Invariant: every stored
+    /// entry has `slot >= scan_slot` (push rewinds the cursor when an
+    /// earlier entry arrives).
+    scan_slot: u64,
+    /// Far-future entries (slot ≥ one year past the cursor at push
+    /// time), unordered.
+    overflow: Vec<Entry<E>>,
+    /// Cached minimum of `overflow`: `(time, seq, index)`.
+    overflow_min: Option<(SimTime, u64, usize)>,
+    len: usize,
+}
+
+impl<E> CalendarStore<E> {
+    /// Creates a calendar pre-sized for about `cap` concurrently
+    /// pending entries, with the bucket width derived from
+    /// `period_hint` (the expected event period — `bi_s` for the MANET
+    /// runner).
+    ///
+    /// The bucket count is `cap` rounded up to a power of two (at
+    /// least [`MIN_BUCKETS`]) and the width is chosen so one calendar
+    /// year spans **two** periods: a self-rescheduling event lands
+    /// mid-year instead of exactly one year ahead, so steady-state
+    /// traffic never touches the overflow list. Each bucket is
+    /// pre-reserved for its expected share of `cap` — after warm-up
+    /// the hot path performs no allocation at all.
+    #[must_use]
+    pub fn with_profile(cap: usize, period_hint: SimTime) -> Self {
+        let n_buckets = cap.max(MIN_BUCKETS).next_power_of_two();
+        let hint_us = period_hint.as_micros();
+        let width_us = if hint_us == 0 {
+            DEFAULT_WIDTH_US
+        } else {
+            (hint_us.saturating_mul(2) / n_buckets as u64).max(1)
+        };
+        let per_bucket = 2 * cap / n_buckets + 2;
+        CalendarStore {
+            buckets: (0..n_buckets)
+                .map(|_| Vec::with_capacity(per_bucket))
+                .collect(),
+            width_us,
+            scan_slot: 0,
+            overflow: Vec::with_capacity(cap / 4 + 1),
+            overflow_min: None,
+            len: 0,
+        }
+    }
+
+    /// Number of buckets (power of two); exposed for resize tests.
+    #[must_use]
+    pub fn n_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Bucket width in microseconds; exposed for derivation tests.
+    #[must_use]
+    pub fn width_us(&self) -> u64 {
+        self.width_us
+    }
+
+    /// Number of entries currently on the overflow day-list.
+    #[must_use]
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+
+    #[inline]
+    fn slot_of(&self, time: SimTime) -> u64 {
+        time.as_micros() / self.width_us
+    }
+
+    // lint:hot-path — calendar push/pop: bucket insert, due-slot scan,
+    // and overflow comparison must not allocate (bucket growth is
+    // amortized into warm-up; structural resizes happen in `rebuild`,
+    // outside this region).
+
+    #[inline]
+    fn insert_entry(&mut self, entry: Entry<E>) {
+        let slot = self.slot_of(entry.time);
+        // An entry behind the cursor would never be scanned: rewind.
+        // Safe for everything already stored (their slots only ever
+        // exceed the new, smaller cursor).
+        if slot < self.scan_slot {
+            self.scan_slot = slot;
+        }
+        let n = self.buckets.len() as u64;
+        if slot - self.scan_slot >= n {
+            // More than a calendar year ahead: day-list, with the
+            // cached minimum kept current.
+            let key = (entry.time, entry.seq);
+            let idx = self.overflow.len();
+            if self.overflow_min.map_or(true, |(t, s, _)| key < (t, s)) {
+                self.overflow_min = Some((entry.time, entry.seq, idx));
+            }
+            self.overflow.push(entry);
+        } else {
+            let mask = n - 1;
+            self.buckets[(slot & mask) as usize].push(entry);
+        }
+        self.len += 1;
+    }
+
+    /// Finds the minimum `(time, seq)` key and where it lives, without
+    /// mutating anything. Walks at most one calendar year from the
+    /// cursor, comparing the overflow minimum at every step, then
+    /// falls back to a direct search.
+    fn locate_min(&self) -> Option<((SimTime, u64), Place)> {
+        if self.len == 0 {
+            return None;
+        }
+        let w = self.width_us;
+        let mask = self.buckets.len() as u64 - 1;
+        let ov = self.overflow_min.map(|(t, s, _)| (t, s));
+        let mut slot = self.scan_slot;
+        for _ in 0..self.buckets.len() {
+            if let Some((t, s)) = ov {
+                // Entries in earlier slots have strictly earlier
+                // times, so an overflow entry due before this slot
+                // beats every remaining bucketed entry.
+                if t.as_micros() / w < slot {
+                    return Some(((t, s), Place::Overflow));
+                }
+            }
+            let b = (slot & mask) as usize;
+            let mut best: Option<((SimTime, u64), usize)> = None;
+            for (i, e) in self.buckets[b].iter().enumerate() {
+                // Exact due test: aliased entries from later years
+                // share the bucket but not the slot.
+                if e.time.as_micros() / w == slot {
+                    let key = e.key();
+                    if best.map_or(true, |(bk, _)| key < bk) {
+                        best = Some((key, i));
+                    }
+                }
+            }
+            if let Some((key, i)) = best {
+                if let Some((t, s)) = ov {
+                    if (t, s) < key {
+                        return Some(((t, s), Place::Overflow));
+                    }
+                }
+                return Some((key, Place::Bucket(b, i)));
+            }
+            if let Some((t, s)) = ov {
+                if t.as_micros() / w == slot {
+                    return Some(((t, s), Place::Overflow));
+                }
+            }
+            slot = slot.saturating_add(1);
+        }
+        // A full lap found nothing due: the queue is sparse (every
+        // bucketed entry is beyond the current year). Search directly.
+        self.direct_min()
+    }
+
+    /// Global minimum over every bucket and the overflow list — the
+    /// sparse-queue fallback after an empty lap.
+    fn direct_min(&self) -> Option<((SimTime, u64), Place)> {
+        let mut best: Option<((SimTime, u64), Place)> = None;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            for (i, e) in bucket.iter().enumerate() {
+                let key = e.key();
+                if best.map_or(true, |(bk, _)| key < bk) {
+                    best = Some((key, Place::Bucket(b, i)));
+                }
+            }
+        }
+        if let Some((t, s, _)) = self.overflow_min {
+            if best.map_or(true, |(bk, _)| (t, s) < bk) {
+                best = Some(((t, s), Place::Overflow));
+            }
+        }
+        best
+    }
+
+    fn take_min_entry(&mut self) -> Option<Entry<E>> {
+        let ((time, _), place) = self.locate_min()?;
+        // The popped entry is the global minimum, so no remaining
+        // entry has an earlier slot: jump the cursor there. This is
+        // the lazy rotation — empty stretches are never revisited.
+        self.scan_slot = self.slot_of(time);
+        self.len -= 1;
+        Some(match place {
+            Place::Bucket(b, i) => self.buckets[b].swap_remove(i),
+            Place::Overflow => {
+                let (_, _, i) = self.overflow_min.take().unwrap_or((time, 0, 0));
+                let e = self.overflow.swap_remove(i);
+                self.refresh_overflow_min();
+                e
+            }
+        })
+    }
+
+    /// Recomputes the cached overflow minimum after a removal.
+    fn refresh_overflow_min(&mut self) {
+        self.overflow_min = None;
+        for (i, e) in self.overflow.iter().enumerate() {
+            let key = e.key();
+            if self.overflow_min.map_or(true, |(t, s, _)| key < (t, s)) {
+                self.overflow_min = Some((e.time, e.seq, i));
+            }
+        }
+    }
+
+    // lint:end-hot-path
+
+    /// Grows or shrinks the bucket array when the population drifts
+    /// past the load-factor band `[n/4, 2n]`. Called outside the
+    /// alloc-free region: a steady-state population never drifts, so
+    /// resizes are confined to warm-up and tear-down.
+    fn maybe_resize(&mut self) {
+        let n = self.buckets.len();
+        if self.len > 2 * n {
+            self.rebuild(n * 2);
+        } else if self.len < n / 4 && n > MIN_BUCKETS {
+            self.rebuild(n / 2);
+        }
+    }
+
+    /// Redistributes every entry over `new_n` buckets (power of two).
+    /// The width is unchanged, so slots — and therefore pop order —
+    /// are unchanged; only the aliasing pattern and the overflow
+    /// horizon move.
+    fn rebuild(&mut self, new_n: usize) {
+        let mut pending: Vec<Entry<E>> = Vec::with_capacity(self.len);
+        for bucket in &mut self.buckets {
+            pending.append(bucket);
+        }
+        pending.append(&mut self.overflow);
+        self.buckets = (0..new_n)
+            .map(|_| Vec::with_capacity(2 * self.len / new_n + 2))
+            .collect();
+        self.overflow_min = None;
+        self.len = 0;
+        for entry in pending {
+            self.insert_entry(entry);
+        }
+    }
+}
+
+impl<E> EntryStore<E> for CalendarStore<E> {
+    fn new_store(cap: usize, period_hint: SimTime) -> Self {
+        CalendarStore::with_profile(cap, period_hint)
+    }
+
+    fn insert(&mut self, entry: Entry<E>) {
+        self.insert_entry(entry);
+        self.maybe_resize();
+    }
+
+    fn min_key(&self) -> Option<(SimTime, u64)> {
+        self.locate_min().map(|(key, _)| key)
+    }
+
+    fn take_min(&mut self) -> Option<Entry<E>> {
+        let e = self.take_min_entry();
+        self.maybe_resize();
+        e
+    }
+
+    fn store_len(&self) -> usize {
+        self.len
+    }
+}
+
+/// A calendar-queue future-event list: drop-in alternative to
+/// [`EventQueue`](crate::EventQueue) with O(1) amortized push/pop for
+/// near-periodic workloads, and an identical pop order.
+///
+/// Selected by the scenario runner's `scheduler: calendar` knob; see
+/// the [module docs](self) for the ordering argument.
+///
+/// # Examples
+///
+/// ```
+/// use mobic_sim::{CalendarQueue, SimTime};
+///
+/// let mut q = CalendarQueue::new(SimTime::from_secs(2));
+/// q.push(SimTime::from_secs(2), "b");
+/// q.push(SimTime::from_secs(1), "a");
+/// q.push(SimTime::from_secs(2), "c");
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1), "a")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2), "b")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CalendarQueue<E> {
+    store: CalendarStore<E>,
+    next_seq: u64,
+}
+
+impl<E> CalendarQueue<E> {
+    /// Creates an empty queue with the bucket width derived from
+    /// `period_hint` (the expected event period) and a default-sized
+    /// calendar.
+    #[must_use]
+    pub fn new(period_hint: SimTime) -> Self {
+        Self::with_profile(0, period_hint)
+    }
+
+    /// Creates an empty queue pre-sized for `cap` concurrently pending
+    /// events — see [`CalendarStore::with_profile`] for the bucket
+    /// count and width derivation.
+    #[must_use]
+    pub fn with_profile(cap: usize, period_hint: SimTime) -> Self {
+        CalendarQueue {
+            store: CalendarStore::with_profile(cap, period_hint),
+            next_seq: 0,
+        }
+    }
+
+    /// The backing calendar, for structure tests.
+    #[must_use]
+    pub fn store(&self) -> &CalendarStore<E> {
+        &self.store
+    }
+
+    // lint:hot-path — scheduler enqueue/dequeue.
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.store.insert_entry(Entry { time, seq, event });
+        self.store.maybe_resize();
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let e = self.store.take_min_entry();
+        self.store.maybe_resize();
+        e.map(|e| (e.time, e.event))
+    }
+
+    /// The timestamp of the earliest pending event.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.store.locate_min().map(|((t, _), _)| t)
+    }
+
+    // lint:end-hot-path
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.store.len
+    }
+
+    /// `true` if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.store.len == 0
+    }
+}
+
+impl<E> Queue<E> for CalendarQueue<E> {
+    fn push(&mut self, time: SimTime, event: E) {
+        CalendarQueue::push(self, time, event);
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        CalendarQueue::pop(self)
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        CalendarQueue::peek_time(self)
+    }
+
+    fn len(&self) -> usize {
+        CalendarQueue::len(self)
+    }
+}
+
+/// A [`ShardedEventQueue`](crate::ShardedEventQueue) whose shards are
+/// [`CalendarStore`]s — the `engine: sharded` × `scheduler: calendar`
+/// composition. Construct with
+/// [`ShardedEventQueue::with_store`](crate::ShardedEventQueue::with_store).
+pub type ShardedCalendarQueue<E, R> = crate::ShardedEventQueue<E, R, CalendarStore<E>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventQueue;
+
+    /// Mirror every push/pop against the reference heap queue and
+    /// assert identical pops.
+    fn assert_matches_reference(
+        q: &mut CalendarQueue<u64>,
+        script: impl IntoIterator<Item = (u64, bool)>,
+    ) {
+        let mut reference = EventQueue::new();
+        for (i, (t, pop_now)) in script.into_iter().enumerate() {
+            let time = SimTime::from_micros(t);
+            q.push(time, i as u64);
+            reference.push(time, i as u64);
+            assert_eq!(q.peek_time(), reference.peek_time());
+            if pop_now {
+                assert_eq!(q.pop(), reference.pop());
+            }
+        }
+        loop {
+            assert_eq!(q.peek_time(), reference.peek_time());
+            let a = q.pop();
+            assert_eq!(a, reference.pop());
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn fifo_within_same_instant_burst() {
+        // Everything at one instant: pure FIFO, all in one bucket.
+        let mut q = CalendarQueue::with_profile(16, SimTime::from_secs(2));
+        assert_matches_reference(&mut q, (0..200).map(|_| (1_000_000, false)));
+    }
+
+    #[test]
+    fn near_periodic_workload_stays_in_year() {
+        // The MANET shape: `cap` nodes rescheduling one period ahead.
+        let period = SimTime::from_secs(2);
+        let mut q = CalendarQueue::with_profile(32, period);
+        let mut reference = EventQueue::new();
+        for i in 0..32u64 {
+            let t = SimTime::from_micros(i * 62_500); // spread over one period
+            q.push(t, i);
+            reference.push(t, i);
+        }
+        for round in 0..200u64 {
+            let (t, ev) = q.pop().expect("queue drained early");
+            assert_eq!(reference.pop(), Some((t, ev)));
+            if round < 168 {
+                q.push(t + period, ev);
+                reference.push(t + period, ev);
+            }
+            // Steady-state reschedules land mid-year, not on the
+            // overflow day-list.
+            assert_eq!(q.store().overflow_len(), 0);
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_future_events_take_the_overflow_day_list() {
+        let mut q = CalendarQueue::with_profile(8, SimTime::from_secs(2));
+        let year_us = q.store().width_us() * q.store().n_buckets() as u64;
+        let mut reference = EventQueue::new();
+        // A near event plus events far beyond the first year.
+        for (i, t) in [0u64, 10 * year_us, 3 * year_us, 10 * year_us, year_us + 1]
+            .into_iter()
+            .enumerate()
+        {
+            q.push(SimTime::from_micros(t), i as u64);
+            reference.push(SimTime::from_micros(t), i as u64);
+        }
+        assert!(
+            q.store().overflow_len() >= 3,
+            "{:?}",
+            q.store().overflow_len()
+        );
+        loop {
+            let a = q.pop();
+            assert_eq!(a, reference.pop());
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_entry_wins_ties_against_buckets() {
+        // FIFO must hold when overflow entries share an instant with a
+        // bucketed one: the overflow pair was pushed first, so it pops
+        // first even though the bucketed entry's scan finds it "due".
+        let mut q = CalendarQueue::with_profile(8, SimTime::from_micros(1000));
+        let year_us = q.store().width_us() * q.store().n_buckets() as u64;
+        assert_eq!(year_us, 2000);
+        let far = SimTime::from_micros(2 * year_us);
+        let mut reference = EventQueue::new();
+        for (i, t) in [far, SimTime::ZERO, far, far + SimTime::MICROSECOND]
+            .into_iter()
+            .enumerate()
+        {
+            q.push(t, i as u64);
+            reference.push(t, i as u64);
+        }
+        assert_eq!(q.store().overflow_len(), 3);
+        // Drain the near event and the first `far` one; the cursor
+        // jumps to `far`'s slot, so a fresh push at the same instant
+        // now lands in a bucket while two overflow entries remain.
+        assert_eq!(q.pop(), reference.pop());
+        assert_eq!(q.pop(), reference.pop());
+        q.push(far, 99);
+        reference.push(far, 99);
+        assert!(q.store().overflow_len() >= 1);
+        loop {
+            let a = q.pop();
+            assert_eq!(a, reference.pop());
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn rewound_cursor_finds_bucketed_far_entries_by_direct_search() {
+        // A cursor rewind can leave a *bucketed* entry more than one
+        // year ahead of the cursor; the empty-lap fallback must find
+        // it by direct search.
+        let mut q = CalendarQueue::with_profile(8, SimTime::from_micros(1000));
+        // width 250 µs, 8 buckets → year = 2000 µs.
+        q.push(SimTime::from_micros(4000), 0u64); // slot 16 → overflow
+        assert_eq!(q.pop(), Some((SimTime::from_micros(4000), 0)));
+        // Cursor now at slot 16: slot 20 is within the year → bucket.
+        q.push(SimTime::from_micros(5000), 1u64);
+        assert_eq!(q.store().overflow_len(), 0);
+        // Rewind the cursor to slot 2; entry 1 is now 18 slots ahead.
+        q.push(SimTime::from_micros(500), 2u64);
+        assert_eq!(q.pop(), Some((SimTime::from_micros(500), 2)));
+        assert_eq!(q.pop(), Some((SimTime::from_micros(5000), 1)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn resize_boundaries_preserve_order() {
+        // Push far past 2× the initial bucket count (grow), then drain
+        // to near-empty (shrink), asserting order throughout.
+        let mut q = CalendarQueue::with_profile(0, SimTime::from_millis(4));
+        assert_eq!(q.store().n_buckets(), MIN_BUCKETS);
+        let mut x: u64 = 7;
+        let script: Vec<(u64, bool)> = (0..4000)
+            .map(|i| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((x >> 33) % 100_000, i > 3500 && x % 2 == 0)
+            })
+            .collect();
+        assert_matches_reference(&mut q, script);
+        // Grow happened…
+        assert!(q.store().n_buckets() > MIN_BUCKETS);
+        // …and draining shrank the calendar back down.
+        assert_eq!(q.store().n_buckets(), MIN_BUCKETS);
+    }
+
+    #[test]
+    fn earlier_push_rewinds_the_cursor() {
+        let mut q = CalendarQueue::new(SimTime::from_millis(1));
+        q.push(SimTime::from_secs(50), 1u64);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(50), 1)));
+        // The cursor now sits at t = 50 s; a push behind it must still
+        // be found (the runner never does this, but the queue contract
+        // does not forbid it).
+        q.push(SimTime::from_secs(10), 2u64);
+        q.push(SimTime::from_secs(60), 3u64);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(10), 2)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(60), 3)));
+    }
+
+    #[test]
+    fn sparse_queue_uses_direct_search() {
+        // Huge gaps between events: the one-lap scan gives up and the
+        // direct search must find the minimum (and jump the cursor).
+        let mut q = CalendarQueue::with_profile(4, SimTime::from_micros(16));
+        let mut reference = EventQueue::new();
+        for (i, t) in [3_600_000_000u64, 1_000_000, 7_200_000_000]
+            .iter()
+            .enumerate()
+        {
+            q.push(SimTime::from_micros(*t), i as u64);
+            reference.push(SimTime::from_micros(*t), i as u64);
+        }
+        loop {
+            let a = q.pop();
+            assert_eq!(a, reference.pop());
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn width_derivation_spans_two_periods() {
+        let q: CalendarQueue<()> = CalendarQueue::with_profile(40, SimTime::from_secs(2));
+        let store = q.store();
+        assert_eq!(store.n_buckets(), 64);
+        // One calendar year = n_buckets × width ≈ 2 × the period.
+        assert_eq!(store.width_us() * store.n_buckets() as u64, 4_000_000);
+        // No hint: fallback width.
+        let d: CalendarQueue<()> = CalendarQueue::new(SimTime::ZERO);
+        assert_eq!(d.store().width_us(), DEFAULT_WIDTH_US);
+    }
+
+    /// LCG-scripted workload with the shapes that stress a calendar:
+    /// same-instant bursts (heavy collisions in a tiny time domain),
+    /// far-future spikes (overflow day-list + direct search), and
+    /// interleaved pops (cursor motion, resize on drain).
+    fn lcg_script(seed: u64, len: usize) -> Vec<(u64, bool)> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|i| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let base = (x >> 33) % 50;
+                let t = match x % 7 {
+                    0 => base * 1_000_000_000, // far-future spike
+                    1 | 2 => base * 1_000,
+                    _ => base, // burst domain
+                };
+                (t, x % 3 == 0 && i > 2)
+            })
+            .collect()
+    }
+
+    proptest::proptest! {
+        /// The satellite property: for any seed, workload length, and
+        /// calendar profile (including degenerate cap 0 / no hint),
+        /// `CalendarQueue` pops the exact `EventQueue` order.
+        #[test]
+        fn prop_calendar_pop_order_matches_event_queue(
+            seed in proptest::prelude::any::<u64>(),
+            len in 1usize..400,
+            cap in 0usize..80,
+            hint_us in 0u64..5_000,
+        ) {
+            let mut q = CalendarQueue::with_profile(cap, SimTime::from_micros(hint_us));
+            assert_matches_reference(&mut q, lcg_script(seed, len));
+        }
+    }
+
+    #[test]
+    fn len_empty_and_peek_track_the_reference() {
+        let mut q = CalendarQueue::new(SimTime::from_secs(1));
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_secs(5), 0u64);
+        q.push(SimTime::from_secs(2), 1u64);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), 1)));
+        assert_eq!(q.len(), 1);
+    }
+}

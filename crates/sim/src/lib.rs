@@ -7,9 +7,14 @@
 //! * [`SimTime`] — an exact, integer-microsecond simulation clock;
 //! * [`EventQueue`] — a priority queue of timestamped events with
 //!   deterministic FIFO tie-breaking;
-//! * [`ShardedEventQueue`] — per-shard event heaps behind the same
+//! * [`CalendarQueue`] — a bucketed calendar queue with O(1) amortized
+//!   push/pop for near-periodic workloads, popping in exactly the same
+//!   order (see the [`calendar`] module docs for the argument);
+//! * [`ShardedEventQueue`] — per-shard event storage behind the same
 //!   [`Queue`] interface, whose merged pop order is provably identical
-//!   to [`EventQueue`] (see its docs for the tie-break analysis);
+//!   to [`EventQueue`] (see its docs for the tie-break analysis); each
+//!   shard is an [`EntryStore`] — a binary heap by default, or a
+//!   [`CalendarStore`] via [`ShardedCalendarQueue`];
 //! * [`Simulation`] — a run loop driving a user-supplied handler;
 //! * [`rng`] — seeded, labeled random-number streams so every component
 //!   (placement, mobility, loss, …) draws from an independent stream
@@ -48,11 +53,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calendar;
 mod queue;
 pub mod rng;
 mod runner;
 mod time;
 
-pub use queue::{EventKey, EventQueue, Queue, ShardedEventQueue};
+pub use calendar::{CalendarQueue, CalendarStore, ShardedCalendarQueue};
+pub use queue::{Entry, EntryStore, EventKey, EventQueue, Queue, ShardedEventQueue};
 pub use runner::{Scheduler, Simulation};
 pub use time::SimTime;

@@ -71,11 +71,25 @@ pub struct EventQueue<E> {
     next_seq: u64,
 }
 
+/// A scheduled event together with its merge key `(time, seq)`.
+///
+/// Opaque outside this crate: entries are minted by the queues (which
+/// own the shared sequence counter) and handed to an [`EntryStore`]
+/// for storage. The fields stay private so no embedder can forge a
+/// sequence number and break the FIFO tie-break contract.
 #[derive(Debug, Clone)]
-struct Entry<E> {
-    time: SimTime,
-    seq: u64,
-    event: E,
+pub struct Entry<E> {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) event: E,
+}
+
+impl<E> Entry<E> {
+    /// The `(time, seq)` merge key that governs pop order.
+    #[must_use]
+    pub fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
+    }
 }
 
 // Manual ordering: earliest time first, then lowest sequence number.
@@ -182,6 +196,58 @@ impl<E> Queue<E> for EventQueue<E> {
     }
 }
 
+/// Storage backing one shard of a [`ShardedEventQueue`]: a container
+/// of [`Entry`] values that can always surface its minimum
+/// `(time, seq)` key.
+///
+/// The store decides *how* entries are kept (binary heap, calendar
+/// buckets, …), never *which* entry is the minimum — the merge key is
+/// fixed, so swapping stores can change constant factors only, not
+/// pop order. Implemented by `BinaryHeap<Entry<E>>` (the reference)
+/// and [`CalendarStore`](crate::CalendarStore) (bucketed, O(1)
+/// amortized for near-periodic workloads).
+pub trait EntryStore<E> {
+    /// Creates a store pre-sized for about `cap` concurrently pending
+    /// entries. `period_hint` is the expected event period (the hello
+    /// broadcast interval for the MANET runner); bucketed stores
+    /// derive their bucket width from it, heaps ignore it.
+    fn new_store(cap: usize, period_hint: SimTime) -> Self;
+
+    /// Adds an entry.
+    fn insert(&mut self, entry: Entry<E>);
+
+    /// The `(time, seq)` key of the minimum entry, or `None` if empty.
+    fn min_key(&self) -> Option<(SimTime, u64)>;
+
+    /// Removes and returns the minimum entry.
+    fn take_min(&mut self) -> Option<Entry<E>>;
+
+    /// Number of stored entries.
+    fn store_len(&self) -> usize;
+}
+
+impl<E> EntryStore<E> for BinaryHeap<Entry<E>> {
+    fn new_store(cap: usize, _period_hint: SimTime) -> Self {
+        BinaryHeap::with_capacity(cap)
+    }
+
+    fn insert(&mut self, entry: Entry<E>) {
+        self.push(entry);
+    }
+
+    fn min_key(&self) -> Option<(SimTime, u64)> {
+        self.peek().map(Entry::key)
+    }
+
+    fn take_min(&mut self) -> Option<Entry<E>> {
+        self.pop()
+    }
+
+    fn store_len(&self) -> usize {
+        self.len()
+    }
+}
+
 /// Routing identity of an event in a [`ShardedEventQueue`]: the
 /// owning node (or [`EventKey::GLOBAL`]) plus a small event-kind
 /// discriminant.
@@ -261,8 +327,8 @@ impl EventKey {
 /// property: identical push sequences through [`EventQueue`] and
 /// `ShardedEventQueue` pop identically under every owner map and
 /// shard count.
-pub struct ShardedEventQueue<E, R> {
-    shards: Vec<BinaryHeap<Entry<E>>>,
+pub struct ShardedEventQueue<E, R, S = BinaryHeap<Entry<E>>> {
+    shards: Vec<S>,
     /// `owners[node] = shard`; nodes beyond the map (or before any
     /// [`assign_owners`](Queue::assign_owners) call) fall back to
     /// `node % n_shards` round-robin placement.
@@ -284,20 +350,38 @@ impl<E, R: Fn(&E) -> EventKey> ShardedEventQueue<E, R> {
     /// even share of `cap` pending events.
     #[must_use]
     pub fn with_capacity(cap: usize, n_shards: u32, router: R) -> Self {
+        Self::with_store(cap, n_shards, router, SimTime::ZERO)
+    }
+}
+
+impl<E, R: Fn(&E) -> EventKey, S: EntryStore<E>> ShardedEventQueue<E, R, S> {
+    /// Creates an empty queue over `n_shards` stores of type `S` (at
+    /// least one), each pre-sized for an even share of `cap` pending
+    /// events. `period_hint` is forwarded to
+    /// [`EntryStore::new_store`] (bucket-width derivation for
+    /// calendar stores; ignored by heaps).
+    ///
+    /// The owner map is pre-reserved for `cap` nodes so the first
+    /// [`assign_owners`](Queue::assign_owners) call — and every
+    /// rebalance after it — reuses the same allocation (`cap` is the
+    /// runner's node-count-derived queue depth, which bounds the
+    /// owner-map length).
+    #[must_use]
+    pub fn with_store(cap: usize, n_shards: u32, router: R, period_hint: SimTime) -> Self {
         let n = (n_shards as usize).max(1);
         let per_shard = cap / n + 1;
         ShardedEventQueue {
             shards: (0..n)
-                .map(|_| BinaryHeap::with_capacity(per_shard))
+                .map(|_| S::new_store(per_shard, period_hint))
                 .collect(),
-            owners: Vec::new(),
+            owners: Vec::with_capacity(cap),
             router,
             next_seq: 0,
             len: 0,
         }
     }
 
-    /// Number of shard heaps.
+    /// Number of shard stores.
     #[must_use]
     pub fn n_shards(&self) -> usize {
         self.shards.len()
@@ -322,7 +406,7 @@ impl<E, R: Fn(&E) -> EventKey> ShardedEventQueue<E, R> {
 
 // Manual impl: `router` is usually a fn pointer or closure, which has
 // no useful `Debug`; show the structural state instead.
-impl<E, R> std::fmt::Debug for ShardedEventQueue<E, R> {
+impl<E, R, S> std::fmt::Debug for ShardedEventQueue<E, R, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedEventQueue")
             .field("n_shards", &self.shards.len())
@@ -332,7 +416,7 @@ impl<E, R> std::fmt::Debug for ShardedEventQueue<E, R> {
     }
 }
 
-impl<E, R: Fn(&E) -> EventKey> Queue<E> for ShardedEventQueue<E, R> {
+impl<E, R: Fn(&E) -> EventKey, S: EntryStore<E>> Queue<E> for ShardedEventQueue<E, R, S> {
     fn push(&mut self, time: SimTime, event: E) {
         // One shared sequence counter across all shards: pushes happen
         // in the same (deterministic, single-threaded) order as the
@@ -341,7 +425,7 @@ impl<E, R: Fn(&E) -> EventKey> Queue<E> for ShardedEventQueue<E, R> {
         let seq = self.next_seq;
         self.next_seq += 1;
         let shard = self.shard_for((self.router)(&event));
-        self.shards[shard].push(Entry { time, seq, event });
+        self.shards[shard].insert(Entry { time, seq, event });
         self.len += 1;
     }
 
@@ -350,26 +434,26 @@ impl<E, R: Fn(&E) -> EventKey> Queue<E> for ShardedEventQueue<E, R> {
         // heads. `seq` values are globally unique, so the minimum is
         // unambiguous.
         let mut best: Option<(SimTime, u64, usize)> = None;
-        for (i, heap) in self.shards.iter().enumerate() {
-            if let Some(head) = heap.peek() {
+        for (i, store) in self.shards.iter().enumerate() {
+            if let Some((t, s)) = store.min_key() {
                 let better = match best {
                     None => true,
-                    Some((t, s, _)) => (head.time, head.seq) < (t, s),
+                    Some((bt, bs, _)) => (t, s) < (bt, bs),
                 };
                 if better {
-                    best = Some((head.time, head.seq, i));
+                    best = Some((t, s, i));
                 }
             }
         }
         let (_, _, shard) = best?;
         self.len -= 1;
-        self.shards[shard].pop().map(|e| (e.time, e.event))
+        self.shards[shard].take_min().map(|e| (e.time, e.event))
     }
 
     fn peek_time(&self) -> Option<SimTime> {
         self.shards
             .iter()
-            .filter_map(|h| h.peek().map(|e| (e.time, e.seq)))
+            .filter_map(EntryStore::min_key)
             .min()
             .map(|(t, _)| t)
     }
@@ -381,7 +465,10 @@ impl<E, R: Fn(&E) -> EventKey> Queue<E> for ShardedEventQueue<E, R> {
     fn assign_owners(&mut self, owners: &[u32]) {
         // Placement-only: events already queued stay on the shard
         // they were pushed to (pop order cannot tell the difference);
-        // future pushes follow the new map.
+        // future pushes follow the new map. `clear` + `extend` reuses
+        // the pre-reserved allocation, so per-window rebalances are
+        // allocation-free once the map has reached its high-water
+        // length.
         self.owners.clear();
         self.owners.extend_from_slice(owners);
     }
@@ -510,9 +597,37 @@ mod tests {
         script
     }
 
+    /// Runs `script` through the reference [`EventQueue`] and the
+    /// queue under test in lockstep, asserting identical pops.
+    fn assert_script_parity<Q: Queue<TestEv>>(
+        script: &[(u64, TestEv, bool)],
+        mut q: Q,
+        label: &str,
+    ) {
+        let mut seq = EventQueue::new();
+        for &(t, ev, pop_now) in script {
+            let time = SimTime::from_micros(t);
+            seq.push(time, ev);
+            q.push(time, ev);
+            if pop_now {
+                assert_eq!(q.pop(), seq.pop(), "{label}");
+            }
+        }
+        loop {
+            let a = seq.pop();
+            let b = q.pop();
+            assert_eq!(a, b, "{label}");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
     /// The central property: for every shard count and owner map, the
     /// sharded queue pops the exact sequence the sequential queue
-    /// does — including interleaved pushes and pops.
+    /// does — including interleaved pushes and pops. The same script
+    /// runs over calendar-backed shards, pinning the calendar store to
+    /// the identical order.
     #[test]
     fn sharded_pop_order_identical_to_sequential() {
         let script = adversarial_script(600);
@@ -524,30 +639,60 @@ mod tests {
         ];
         for n_shards in [1u32, 2, 3, 8, 64] {
             for map in owner_maps {
-                let mut seq = EventQueue::new();
+                let owners: Option<Vec<u32>> = map.map(|f| (0..23).map(f).collect());
                 let mut sh = sharded(n_shards);
-                if let Some(f) = map {
-                    let owners: Vec<u32> = (0..23).map(f).collect();
-                    sh.assign_owners(&owners);
+                let mut cal: crate::ShardedCalendarQueue<TestEv, fn(&TestEv) -> EventKey> =
+                    ShardedEventQueue::with_store(8, n_shards, route, SimTime::from_micros(16));
+                if let Some(owners) = &owners {
+                    sh.assign_owners(owners);
+                    cal.assign_owners(owners);
                 }
-                for &(t, ev, pop_now) in &script {
-                    let time = SimTime::from_micros(t);
-                    seq.push(time, ev);
-                    Queue::push(&mut sh, time, ev);
-                    if pop_now {
-                        assert_eq!(Queue::pop(&mut sh), seq.pop());
-                    }
-                }
-                loop {
-                    let a = seq.pop();
-                    let b = Queue::pop(&mut sh);
-                    assert_eq!(a, b, "shards={n_shards}");
-                    if a.is_none() {
-                        break;
-                    }
-                }
+                assert_script_parity(&script, sh, &format!("heap shards={n_shards}"));
+                assert_script_parity(&script, cal, &format!("calendar shards={n_shards}"));
             }
         }
+    }
+
+    /// The plain [`CalendarQueue`](crate::CalendarQueue) pops the
+    /// adversarial script identically to the reference queue, across
+    /// profiles that exercise tiny/huge widths and forced resizes.
+    #[test]
+    fn calendar_pop_order_identical_to_sequential() {
+        let script = adversarial_script(600);
+        for (cap, hint_us) in [(0, 0), (4, 8), (64, 17), (600, 1_000_000)] {
+            let q = crate::CalendarQueue::with_profile(cap, SimTime::from_micros(hint_us));
+            assert_script_parity(&script, q, &format!("calendar cap={cap} hint={hint_us}"));
+        }
+    }
+
+    /// The capacity audit: shard stores and the owner map keep their
+    /// allocations across `assign_owners` rebalances, so per-window
+    /// refreshes are free once warm.
+    #[test]
+    fn capacity_is_carried_across_owner_refreshes() {
+        let mut sh = sharded(4);
+        // `with_capacity` is routed through `with_store`, which also
+        // pre-reserves the owner map.
+        let mut pre: ShardedEventQueue<TestEv, fn(&TestEv) -> EventKey> =
+            ShardedEventQueue::with_capacity(23, 4, route);
+        assert!(pre.owners.capacity() >= 23);
+        for round in 0..10u32 {
+            let owners: Vec<u32> = (0..23).map(|n| (n + round) % 4).collect();
+            sh.assign_owners(&owners);
+            pre.assign_owners(&owners);
+        }
+        let warm = sh.owners.capacity();
+        let pre_cap = pre.owners.capacity();
+        let heap_caps: Vec<usize> = pre.shards.iter().map(BinaryHeap::capacity).collect();
+        for round in 10..30u32 {
+            let owners: Vec<u32> = (0..23).map(|n| (n + round) % 4).collect();
+            sh.assign_owners(&owners);
+            pre.assign_owners(&owners);
+        }
+        assert_eq!(sh.owners.capacity(), warm);
+        assert_eq!(pre.owners.capacity(), pre_cap);
+        let after: Vec<usize> = pre.shards.iter().map(BinaryHeap::capacity).collect();
+        assert_eq!(after, heap_caps, "rebalancing must not touch shard storage");
     }
 
     /// Re-assigning owners mid-stream moves only *future* pushes; the

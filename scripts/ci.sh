@@ -55,11 +55,17 @@ cargo bench --workspace --no-run
 echo "== sharded-equivalence smoke (2 shards must be byte-identical) =="
 cargo test --release --test sharded_equivalence -q smoke_two_shards_byte_identical
 
+echo "== scheduler-equivalence smoke (calendar + kernel must be byte-identical) =="
+cargo test --release --test scheduler_equivalence -q smoke_calendar_byte_identical
+
 echo "== scaling smoke (brute vs indexed vs sharded equality + speedup) =="
 MOBIC_SHARDS=2 cargo run --release -p mobic-bench --bin bench_scaling -- --smoke
 
 echo "== hot-path smoke (steady state must be allocation-free) =="
 cargo run --release -p mobic-bench --bin bench_hotpath -- --smoke
+# The same gate under the calendar scheduler: zero-alloc steady state
+# and variant byte-identity must hold for the bucketed queue too.
+MOBIC_SCHEDULER=calendar cargo run --release -p mobic-bench --bin bench_hotpath -- --smoke
 
 echo "== fault-plan + supervision suite =="
 # The supervised-batch tests exercise the deliberate panic/delay

@@ -1,0 +1,230 @@
+//! The hot-path microarchitecture knobs must be invisible: for every
+//! `(cfg, seed)`, `scheduler: calendar` (the bucketed calendar-queue
+//! future-event list) and `delivery: auto` (the vectorized propagation
+//! kernel with batched loss draws) yield byte-identical serialized
+//! `RunResult`s *and* byte-identical JSONL trace streams vs the
+//! default heap scheduler and the pinned scalar delivery path —
+//! across mobility models, algorithms, loss models, the MAC collision
+//! path, fault plans, and both engines.
+
+use mobic::core::AlgorithmKind;
+use mobic::scenario::{
+    run_scenario, run_scenario_traced, DeliveryPath, Engine, FaultPlan, LossKind, MobilityKind,
+    PropagationKind, ScenarioConfig, Scheduler,
+};
+use mobic::trace::JsonlSink;
+
+/// Every mobility model the runner supports.
+fn all_mobility_kinds() -> [MobilityKind; 8] {
+    [
+        MobilityKind::RandomWaypoint,
+        MobilityKind::RandomWalk { epoch_s: 10.0 },
+        MobilityKind::GaussMarkov { alpha: 0.8 },
+        MobilityKind::Rpgm {
+            groups: 4,
+            member_radius_m: 40.0,
+        },
+        MobilityKind::Highway {
+            lanes: 4,
+            bidirectional: true,
+        },
+        MobilityKind::ConferenceHall { booths: 5 },
+        MobilityKind::Manhattan {
+            block_m: 100.0,
+            p_turn: 0.5,
+        },
+        MobilityKind::Stationary,
+    ]
+}
+
+/// A shortened `paper_table1` so the cross products stay fast.
+fn paper_short() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper_table1();
+    cfg.sim_time_s = 120.0;
+    cfg
+}
+
+/// Serialized result under the given scheduler/delivery pair. JSON
+/// bytes catch everything serde sees — any float, count, or map
+/// divergence.
+fn result_bytes(
+    cfg: &ScenarioConfig,
+    seed: u64,
+    scheduler: Scheduler,
+    delivery: DeliveryPath,
+) -> String {
+    let mut c = *cfg;
+    c.scheduler = scheduler;
+    c.delivery = delivery;
+    serde_json::to_string(&run_scenario(&c, seed).unwrap()).unwrap()
+}
+
+/// Full JSONL trace under the given scheduler/delivery pair.
+fn trace_bytes(
+    cfg: &ScenarioConfig,
+    seed: u64,
+    scheduler: Scheduler,
+    delivery: DeliveryPath,
+) -> Vec<u8> {
+    let mut c = *cfg;
+    c.scheduler = scheduler;
+    c.delivery = delivery;
+    let mut sink = JsonlSink::new(Vec::new());
+    run_scenario_traced(&c, seed, &mut sink).unwrap();
+    sink.finish().unwrap()
+}
+
+/// The full 2×2 of (scheduler, delivery) against the baseline
+/// (heap, scalar): every cell must serialize identically.
+fn assert_all_variants_identical(cfg: &ScenarioConfig, seed: u64, label: &str) {
+    let want = result_bytes(cfg, seed, Scheduler::Heap, DeliveryPath::Scalar);
+    for scheduler in [Scheduler::Heap, Scheduler::Calendar] {
+        for delivery in [DeliveryPath::Scalar, DeliveryPath::Auto] {
+            assert_eq!(
+                want,
+                result_bytes(cfg, seed, scheduler, delivery),
+                "{label}: {scheduler:?}/{delivery:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn calendar_is_byte_identical_across_mobility_and_seeds() {
+    for mobility in all_mobility_kinds() {
+        for seed in 0..3 {
+            let mut cfg = paper_short();
+            cfg.mobility = mobility;
+            assert_eq!(
+                result_bytes(&cfg, seed, Scheduler::Heap, DeliveryPath::Auto),
+                result_bytes(&cfg, seed, Scheduler::Calendar, DeliveryPath::Auto),
+                "{mobility:?} seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn kernel_is_byte_identical_across_mobility() {
+    // The delivery knob isolated from the scheduler knob: scalar vs
+    // vectorized kernel, heap queue on both sides.
+    for mobility in all_mobility_kinds() {
+        let mut cfg = paper_short();
+        cfg.mobility = mobility;
+        assert_eq!(
+            result_bytes(&cfg, 5, Scheduler::Heap, DeliveryPath::Scalar),
+            result_bytes(&cfg, 5, Scheduler::Heap, DeliveryPath::Auto),
+            "{mobility:?}"
+        );
+    }
+}
+
+#[test]
+fn all_variants_agree_across_algorithms() {
+    // Each algorithm family stresses a different slice of the event
+    // loop — all must be scheduler- and kernel-independent.
+    for alg in AlgorithmKind::ALL {
+        let mut cfg = paper_short();
+        cfg.algorithm = alg;
+        assert_all_variants_identical(&cfg, 11, &alg.to_string());
+    }
+}
+
+#[test]
+fn calendar_matches_with_stateful_loss_and_collisions() {
+    // Stateful loss models consume RNG per queried link (the batched
+    // draw path must stay in lockstep with the scalar one), and the
+    // MAC window defers receptions across events — any pop reordering
+    // between queue shapes would desync both.
+    for loss in [LossKind::Bernoulli { p: 0.2 }, LossKind::BurstyPreset] {
+        let mut cfg = paper_short();
+        cfg.loss = loss;
+        cfg.packet_time_s = 0.01;
+        assert_all_variants_identical(&cfg, 7, &format!("{loss:?}"));
+    }
+}
+
+#[test]
+fn stochastic_propagation_stays_scalar_and_identical() {
+    // Shadowing draws per-packet RNG inside `path_loss`: the kernel
+    // must bow out (delivery: auto falls back to scalar), so auto and
+    // scalar agree even here.
+    let mut cfg = paper_short();
+    cfg.propagation = PropagationKind::ShadowedFreeSpace { sigma_db: 4.0 };
+    assert_all_variants_identical(&cfg, 17, "shadowed");
+}
+
+#[test]
+fn calendar_matches_with_fault_plan_and_adaptive_pacing() {
+    // Fault injections interleave global events with hellos at seeded
+    // fire times, and adaptive pacing makes hello re-arm latencies
+    // non-uniform — reschedules land at awkward offsets within (and
+    // occasionally beyond) a calendar year, the hardest case for
+    // bucket rotation.
+    let mut cfg = paper_short();
+    cfg.faults = FaultPlan {
+        crashes: 3,
+        recoveries: 2,
+        late_joins: 2,
+        deaf_spells: 1,
+        mute_spells: 1,
+        ..FaultPlan::default()
+    };
+    cfg.adaptive_bi_min_s = 0.5;
+    cfg.packet_time_s = 0.005;
+    for seed in [1, 19] {
+        assert_all_variants_identical(&cfg, seed, &format!("seed {seed}"));
+    }
+}
+
+#[test]
+fn calendar_composes_with_the_sharded_engine() {
+    // scheduler × engine: per-shard calendar stores behind the sharded
+    // merge must still pop in the sequential order.
+    let mut cfg = paper_short();
+    cfg.loss = LossKind::Bernoulli { p: 0.1 };
+    let want = result_bytes(&cfg, 29, Scheduler::Heap, DeliveryPath::Auto);
+    for engine in [Engine::Sequential, Engine::Sharded] {
+        let mut c = cfg;
+        c.engine = engine;
+        c.shards = 2;
+        assert_eq!(
+            want,
+            result_bytes(&c, 29, Scheduler::Calendar, DeliveryPath::Auto),
+            "{engine:?}"
+        );
+    }
+}
+
+#[test]
+fn calendar_trace_streams_are_byte_identical() {
+    // The trace sees every hello, reception, loss drop, election, and
+    // index refresh in emission order — the strictest observable of
+    // event ordering the runner has.
+    for mobility in [MobilityKind::RandomWaypoint, MobilityKind::Stationary] {
+        let mut cfg = paper_short();
+        cfg.mobility = mobility;
+        cfg.loss = LossKind::Bernoulli { p: 0.1 };
+        let heap = trace_bytes(&cfg, 13, Scheduler::Heap, DeliveryPath::Scalar);
+        let cal = trace_bytes(&cfg, 13, Scheduler::Calendar, DeliveryPath::Auto);
+        assert!(!heap.is_empty());
+        assert_eq!(heap, cal, "{mobility:?}");
+    }
+}
+
+#[test]
+fn smoke_calendar_byte_identical() {
+    // The CI smoke: one small cell, calendar scheduler + vectorized
+    // kernel vs the all-default path, results and traces.
+    let mut cfg = paper_short();
+    cfg.n_nodes = 16;
+    cfg.sim_time_s = 60.0;
+    assert_eq!(
+        result_bytes(&cfg, 3, Scheduler::Heap, DeliveryPath::Scalar),
+        result_bytes(&cfg, 3, Scheduler::Calendar, DeliveryPath::Auto),
+    );
+    assert_eq!(
+        trace_bytes(&cfg, 3, Scheduler::Heap, DeliveryPath::Scalar),
+        trace_bytes(&cfg, 3, Scheduler::Calendar, DeliveryPath::Auto),
+    );
+}
