@@ -40,6 +40,11 @@ pub enum Command {
         trace: Option<String>,
         /// Print wall-clock phase timings to stderr.
         profile: bool,
+        /// Snapshot directory for crash-safe checkpointing: resume
+        /// from the newest valid snapshot found there, and (when the
+        /// config's checkpoint cadence is on) keep writing rotated
+        /// snapshots into it.
+        checkpoint_dir: Option<String>,
     },
     /// Sweep the transmission range.
     Sweep {
@@ -149,6 +154,16 @@ OBSERVABILITY:
                            A run manifest is written next to it.
   --profile                print wall-clock phase timings to stderr
 
+CHECKPOINTING (run only; see OPERATIONS.md):
+  --checkpoint-dir <dir>   resume from the newest valid snapshot in
+                           <dir> (corrupt or foreign snapshots are
+                           skipped); results are byte-identical to an
+                           uninterrupted run
+  --checkpoint-every <s>   write a rotated snapshot into the directory
+                           roughly every <s> wall-clock seconds
+                           (requires --checkpoint-dir)
+  --checkpoint-keep <n>    rotated snapshots to keep          [2]
+
 ROBUSTNESS (sweep only):
   --out <dir>              write one JSON outcome file per sweep cell,
                            atomically (temp file + rename)
@@ -205,6 +220,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut resume = false;
             let mut deadline_s: Option<f64> = None;
             let mut server: Option<String> = None;
+            let mut checkpoint_dir: Option<String> = None;
             let mut i = 0;
             while i < rest.len() {
                 let flag = rest[i].as_str();
@@ -275,6 +291,25 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         }
                         deadline_s = Some(d);
                     }
+                    "--checkpoint-dir" => {
+                        let dir = value()?;
+                        if dir.is_empty() || dir.starts_with("--") {
+                            return Err(err(format!(
+                                "--checkpoint-dir expects a directory, got {dir:?}"
+                            )));
+                        }
+                        checkpoint_dir = Some(dir.clone());
+                    }
+                    "--checkpoint-every" => {
+                        let every: f64 = parse_num(value()?, "--checkpoint-every")?;
+                        if every <= 0.0 {
+                            return Err(err("--checkpoint-every must be positive"));
+                        }
+                        config.checkpoint.every_s = every;
+                    }
+                    "--checkpoint-keep" => {
+                        config.checkpoint.keep = parse_num(value()?, "--checkpoint-keep")?;
+                    }
                     other => return Err(err(format!("unknown option {other}"))),
                 }
                 i += 1;
@@ -286,14 +321,25 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 if server.is_some() {
                     return Err(err("--server applies to sweep only"));
                 }
+                if !config.checkpoint.is_off() && checkpoint_dir.is_none() {
+                    return Err(err(
+                        "--checkpoint-every needs --checkpoint-dir <dir> to put snapshots in",
+                    ));
+                }
                 Ok(Command::Run {
                     config,
                     seed,
                     json,
                     trace,
                     profile,
+                    checkpoint_dir,
                 })
             } else {
+                if checkpoint_dir.is_some() || !config.checkpoint.is_off() {
+                    return Err(err(
+                        "--checkpoint-* applies to run only (sweepd checkpoints its own cells)",
+                    ));
+                }
                 if algorithms.is_empty() {
                     return Err(err("--algorithms must name at least one algorithm"));
                 }
@@ -526,6 +572,7 @@ mod tests {
             json,
             trace,
             profile,
+            checkpoint_dir,
         } = parse_ok("run")
         else {
             panic!("expected run");
@@ -535,6 +582,7 @@ mod tests {
         assert!(!json);
         assert_eq!(trace, None);
         assert!(!profile);
+        assert_eq!(checkpoint_dir, None);
     }
 
     #[test]
@@ -817,6 +865,58 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_flags_parse_on_run() {
+        let Command::Run {
+            config,
+            checkpoint_dir,
+            ..
+        } = parse_ok("run --checkpoint-dir ckpts/ --checkpoint-every 30 --checkpoint-keep 4")
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(checkpoint_dir.as_deref(), Some("ckpts/"));
+        assert_eq!(config.checkpoint.every_s, 30.0);
+        assert_eq!(config.checkpoint.keep, 4);
+        // Resume-only: a directory without a cadence is fine (look for
+        // snapshots, never write new ones).
+        let Command::Run {
+            config,
+            checkpoint_dir,
+            ..
+        } = parse_ok("run --checkpoint-dir ckpts/")
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(checkpoint_dir.as_deref(), Some("ckpts/"));
+        assert!(config.checkpoint.is_off());
+    }
+
+    #[test]
+    fn checkpoint_flags_are_validated() {
+        assert!(parse_err("run --checkpoint-every 30")
+            .0
+            .contains("--checkpoint-dir"));
+        assert!(parse_err("run --checkpoint-every 0").0.contains("positive"));
+        assert!(parse_err("run --checkpoint-every -5")
+            .0
+            .contains("positive"));
+        assert!(parse_err("run --checkpoint-dir --json")
+            .0
+            .contains("directory"));
+        assert!(
+            parse_err("run --checkpoint-dir c/ --checkpoint-every 30 --checkpoint-keep 0")
+                .0
+                .contains("invalid scenario")
+        );
+        assert!(parse_err("sweep --checkpoint-dir ckpts/")
+            .0
+            .contains("run only"));
+        assert!(parse_err("sweep --checkpoint-every 30")
+            .0
+            .contains("run only"));
+    }
+
+    #[test]
     fn usage_mentions_every_command() {
         for needle in [
             "run",
@@ -838,6 +938,9 @@ mod tests {
             "--deadline",
             "drain",
             "--server",
+            "--checkpoint-dir",
+            "--checkpoint-every",
+            "--checkpoint-keep",
         ] {
             assert!(usage().contains(needle), "usage lacks {needle}");
         }

@@ -8,11 +8,12 @@ use mobic_cli::{parse, usage, Command};
 use mobic_core::AlgorithmKind;
 use mobic_metrics::AsciiTable;
 use mobic_scenario::{
-    manifest_for, params, run_batch, run_batch_supervised, run_scenario, run_scenario_traced,
-    summarize_cs, ScenarioConfig, Supervision, SweepOutcome, SweepSpec,
+    latest_snapshot, manifest_for, params, run_batch, run_batch_supervised, run_scenario,
+    run_scenario_checkpointed, run_scenario_traced, summarize_cs, RunResult, ScenarioConfig,
+    Supervision, SweepOutcome, SweepSpec,
 };
 use mobic_sweepd::http;
-use mobic_trace::{write_atomic, write_manifests, JsonlSink, PhaseTimings};
+use mobic_trace::{write_atomic, write_manifests, JsonlSink, NullSink, PhaseTimings};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,8 +42,11 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             json,
             trace,
             profile,
+            checkpoint_dir,
         } => {
-            let result = if let Some(path) = &trace {
+            let result = if let Some(dir) = &checkpoint_dir {
+                run_with_checkpoints(&config, seed, Path::new(dir), trace.as_deref())?
+            } else if let Some(path) = &trace {
                 let mut sink = JsonlSink::create(path)?;
                 let result = run_scenario_traced(&config, seed, &mut sink)?;
                 let events = sink.lines();
@@ -218,6 +222,77 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     Ok(())
+}
+
+/// Runs one scenario with crash recovery: resumes from the newest
+/// valid snapshot in `dir` (corrupt or foreign snapshots are skipped
+/// with a warning, never restored) and, when the config's checkpoint
+/// cadence is on, keeps writing rotated snapshots. The result — and
+/// the trace file, when tracing — is byte-identical to an
+/// uninterrupted run.
+fn run_with_checkpoints(
+    config: &ScenarioConfig,
+    seed: u64,
+    dir: &Path,
+    trace: Option<&str>,
+) -> Result<RunResult, Box<dyn std::error::Error>> {
+    let (snap, rejected) = latest_snapshot(dir);
+    if rejected > 0 {
+        eprintln!(
+            "checkpoint: skipped {rejected} corrupt snapshot(s) in {}",
+            dir.display()
+        );
+    }
+    // Never hand a foreign snapshot to the runner: a stale directory
+    // (different scenario or seed) degrades to a cold start.
+    let snap = snap.filter(|s| match s.compatible_with(config, seed) {
+        Ok(()) => true,
+        Err(reason) => {
+            eprintln!("checkpoint: ignoring snapshot ({reason}); cold start");
+            false
+        }
+    });
+    // A snapshot from an untraced run cannot resume a traced one
+    // byte-exactly (no cursor to truncate the trace to).
+    let snap = snap.filter(|s| {
+        if trace.is_some() && s.trace_cursor().is_none() {
+            eprintln!("checkpoint: snapshot has no trace cursor; cold start for a traced run");
+            false
+        } else {
+            true
+        }
+    });
+    if let Some(s) = &snap {
+        eprintln!(
+            "checkpoint: resuming at event {} (t = {:.1} s)",
+            s.events_processed(),
+            s.sim_now().as_secs_f64()
+        );
+    }
+    if let Some(path) = trace {
+        let mut sink = match snap.as_ref().and_then(|s| s.trace_cursor()) {
+            Some(cursor) => JsonlSink::resume(path, cursor)?,
+            None => JsonlSink::create(path)?,
+        };
+        let result = run_scenario_checkpointed(config, seed, dir, snap, &mut sink)?;
+        let events = sink.lines();
+        sink.finish()?;
+        let manifest = manifest_for(config, seed, &result);
+        let mpath = write_manifests(Path::new(path), &[manifest])?;
+        eprintln!(
+            "trace: {events} events -> {path}; manifest -> {}",
+            mpath.display()
+        );
+        Ok(result)
+    } else {
+        Ok(run_scenario_checkpointed(
+            config,
+            seed,
+            dir,
+            snap,
+            &mut NullSink,
+        )?)
+    }
 }
 
 /// Submits the sweep to a `mobic-sweepd` service, tails its progress,

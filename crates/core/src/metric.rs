@@ -240,7 +240,7 @@ pub fn table_mobility_with<P>(
 /// assert_eq!(s.update(0.0), 5.0);
 /// assert_eq!(s.update(0.0), 2.5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MetricSmoother {
     alpha: f64,
     state: Option<f64>,

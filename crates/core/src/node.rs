@@ -177,7 +177,7 @@ impl ClusterConfig {
 /// // Node 0 has the lowest id among undecided neighbors → clusterhead.
 /// assert_eq!(n0.role(), Role::Clusterhead);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ClusterNode {
     id: NodeId,
     cfg: ClusterConfig,

@@ -19,13 +19,14 @@
 use mobic_net::{Hello, NodeId, RecordOutcome};
 use mobic_radio::Dbm;
 use mobic_sim::SimTime;
+use serde::{Deserialize, Serialize};
 
 use crate::{ClusterAdvert, ClusterConfig, ClusterNode, ClusterTable, RoleTransition};
 
 /// Per-node clustering state in structure-of-arrays layout with
 /// dirty-set election tracking and node-lifecycle (fault-injection)
 /// flags. See the [module docs](self).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NodeTable {
     nodes: Vec<ClusterNode>,
     tables: Vec<ClusterTable>,

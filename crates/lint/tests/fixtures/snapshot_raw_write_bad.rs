@@ -1,0 +1,20 @@
+// Fixture: a checkpoint writer that violates `raw-artifact-write`.
+// A snapshot is the artifact a crashed run resumes from — a torn one
+// is worse than none, so raw writes are banned here too. Never compiled.
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+
+pub fn save_snapshot(dir: &std::path::Path, seq: u64, payload: &[u8]) -> std::io::Result<()> {
+    let path = dir.join(format!("ckpt-{seq:020}.ckpt"));
+    let mut f = File::create(&path)?;
+    f.write_all(payload)?;
+    Ok(())
+}
+
+pub fn rotate(dir: &std::path::Path, header: &str, payload: &[u8]) -> std::io::Result<()> {
+    let path = dir.join("ckpt-latest.ckpt");
+    std::fs::write(&path, header)?;
+    let mut f = OpenOptions::new().append(true).open(&path)?;
+    f.write_all(payload)?;
+    Ok(())
+}

@@ -1,0 +1,24 @@
+// Fixture: the clean twin of `snapshot_raw_write_bad.rs` — the header
+// and payload are assembled in memory and land on disk through one
+// `write_atomic` call, so a kill mid-write leaves either the previous
+// snapshot or none, never a truncated one. Never compiled.
+pub fn save_snapshot(dir: &std::path::Path, seq: u64, payload: &[u8]) -> std::io::Result<()> {
+    let path = dir.join(format!("ckpt-{seq:020}.ckpt"));
+    let header = format!("{{\"schema\":1,\"len\":{}}}\n", payload.len());
+    let mut bytes = header.into_bytes();
+    bytes.extend_from_slice(payload);
+    mobic_trace::write_atomic(&path, &bytes)
+}
+
+pub fn prune(dir: &std::path::Path, keep: usize) -> std::io::Result<()> {
+    // Listing and deleting stale snapshots is fine; only writes are
+    // policed, and removal cannot tear a file.
+    let mut names: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    names.sort();
+    for old in names.iter().rev().skip(keep) {
+        std::fs::remove_file(old)?;
+    }
+    Ok(())
+}

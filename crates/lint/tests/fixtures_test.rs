@@ -91,6 +91,27 @@ fn raw_artifact_write_fixture_pair() {
 }
 
 #[test]
+fn snapshot_raw_write_fixture_pair() {
+    // Checkpoint snapshots are restart-critical artifacts: a torn
+    // `.ckpt` silently degrades a resume to a cold start, so the
+    // raw-artifact-write rule must cover the snapshot-writer shape
+    // under `crates/scenario/` (header + payload, rotation) exactly as
+    // it covers result/trace writers.
+    let bad = scan_fixture(
+        include_str!("fixtures/snapshot_raw_write_bad.rs"),
+        "crates/scenario/src/fixture.rs",
+    );
+    // File::create, fs::write, OpenOptions append — three sites.
+    assert!(unsuppressed(&bad, RuleId::RawArtifactWrite) >= 3, "{bad:?}");
+
+    let clean = scan_fixture(
+        include_str!("fixtures/snapshot_raw_write_clean.rs"),
+        "crates/scenario/src/fixture.rs",
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
 fn hot_path_alloc_fixture_pair() {
     let bad = scan_fixture(
         include_str!("fixtures/hot_path_alloc_bad.rs"),

@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use mobic_core::RoleTransition;
 use mobic_net::NodeId;
 use mobic_sim::SimTime;
+use serde::{Deserialize, Serialize};
 
 /// Collects every role transition of a run and answers the paper's
 /// stability questions.
@@ -38,7 +39,7 @@ use mobic_sim::SimTime;
 /// assert_eq!(log.clusterhead_changes(), 1);
 /// assert_eq!(log.clusterhead_changes_after(SimTime::from_secs(10)), 0);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TransitionLog {
     transitions: Vec<RoleTransition>,
 }

@@ -70,6 +70,28 @@ impl<P: Propagation, L: LossModel> DeliveryEngine<P, L> {
         &self.radio
     }
 
+    /// Mutable access to the radio, for checkpoint capture/restore of
+    /// stochastic propagation state (see
+    /// [`Propagation::save_state`](mobic_radio::Propagation::save_state)).
+    /// Propagation parameters themselves are rebuild-from-config; only
+    /// the live RNG position flows through here.
+    pub fn radio_mut(&mut self) -> &mut Radio<P> {
+        &mut self.radio
+    }
+
+    /// The loss model.
+    #[must_use]
+    pub fn loss(&self) -> &L {
+        &self.loss
+    }
+
+    /// Mutable access to the loss model, for checkpoint
+    /// capture/restore of its live state (see
+    /// [`LossModel::save_state`]).
+    pub fn loss_mut(&mut self) -> &mut L {
+        &mut self.loss
+    }
+
     /// Forces the scalar per-candidate delivery path even when the
     /// propagation model would permit the vectorized kernel.
     ///

@@ -4,11 +4,12 @@ use std::collections::BTreeMap;
 
 use mobic_radio::Dbm;
 use mobic_sim::SimTime;
+use serde::{Deserialize, Serialize};
 
 use crate::{Hello, NodeId};
 
 /// One timestamped received-power measurement.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PowerSample {
     /// When the hello was received.
     pub at: SimTime,
@@ -19,7 +20,7 @@ pub struct PowerSample {
 }
 
 /// Everything a node knows about one neighbor.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NeighborEntry<P> {
     /// Most recent measurement.
     pub last: PowerSample,
@@ -102,7 +103,7 @@ impl RecordOutcome {
 /// let (old, new) = entry.successive_pair().unwrap();
 /// assert!(new.power > old.power); // neighbor approaching
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NeighborTable<P> {
     timeout: SimTime,
     entries: BTreeMap<NodeId, NeighborEntry<P>>,

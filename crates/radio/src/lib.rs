@@ -51,7 +51,9 @@ mod models;
 mod units;
 
 pub use link::{LinkBudget, Radio};
-pub use models::{FreeSpace, LogDistance, Nakagami, Propagation, Shadowed, TwoRayGround};
+pub use models::{
+    FreeSpace, LogDistance, Nakagami, Propagation, PropagationState, Shadowed, TwoRayGround,
+};
 pub use units::{Db, Dbm, Milliwatts};
 
 /// Speed of light in vacuum (m/s), used by Friis' formula.

@@ -231,6 +231,54 @@ impl DeliveryPath {
     }
 }
 
+/// Periodic crash-safe checkpointing of long runs (see
+/// `run_scenario_checkpointed` and OPERATIONS.md § "Checkpointing and
+/// crash recovery").
+///
+/// When on, a rotated snapshot (`ckpt-<events>.ckpt`) is published
+/// atomically roughly every `every_s` *wall-clock* seconds; a crashed
+/// run resumes from the newest snapshot that passes its integrity
+/// hash and produces byte-identical results. The snapshot *content*
+/// is a pure function of `(config, seed, events)` — only the firing
+/// instants depend on wall-clock, so checkpointing is an execution
+/// knob like `engine` or `scheduler`: off by default, omitted from
+/// serialization, and excluded from the snapshot compatibility gate.
+///
+/// The directory snapshots land in is *not* part of the config — it
+/// is an invocation concern (a CLI flag, a sweep-worker path), like
+/// trace and result paths.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct CheckpointPolicy {
+    /// Wall-clock seconds between snapshots; `0` (the default)
+    /// disables checkpointing.
+    pub every_s: f64,
+    /// How many rotated snapshots to keep (newest first). At least
+    /// one must be kept when checkpointing is on; two (the default)
+    /// survive a crash *during* a snapshot write on filesystems
+    /// without atomic rename durability.
+    pub keep: u32,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy {
+            every_s: 0.0,
+            keep: 2,
+        }
+    }
+}
+
+impl CheckpointPolicy {
+    /// `true` when checkpointing is disabled (used to keep the field
+    /// out of serialized configs, so config hashes of existing
+    /// scenarios are unchanged).
+    #[must_use]
+    pub fn is_off(&self) -> bool {
+        self.every_s == 0.0
+    }
+}
+
 /// How the periodic in-run Theorem-1 audit reacts to violations
 /// (see `mobic-core::invariants`). The audit runs at every sampling
 /// instant after warmup and checks the *alive* population's cluster
@@ -495,6 +543,12 @@ pub struct ScenarioConfig {
     /// bit-identical either way.
     #[serde(default, skip_serializing_if = "DeliveryPath::is_auto")]
     pub delivery: DeliveryPath,
+
+    /// Periodic crash-safe checkpointing. Defaults to off (omitted
+    /// from serialization, so existing configs keep their
+    /// `config_hash`); results are bit-identical either way.
+    #[serde(default, skip_serializing_if = "CheckpointPolicy::is_off")]
+    pub checkpoint: CheckpointPolicy,
 }
 
 /// `skip_serializing_if` helper for [`ScenarioConfig::shards`].
@@ -538,6 +592,7 @@ impl ScenarioConfig {
             shards: 0,
             scheduler: Scheduler::Heap,
             delivery: DeliveryPath::Auto,
+            checkpoint: CheckpointPolicy::default(),
         }
     }
 
@@ -783,6 +838,18 @@ impl ScenarioConfig {
                     until,
                 });
             }
+        }
+        if !(self.checkpoint.every_s >= 0.0 && self.checkpoint.every_s.is_finite()) {
+            return Err(Negative {
+                field: "checkpoint.every_s",
+                value: self.checkpoint.every_s,
+            });
+        }
+        if !self.checkpoint.is_off() && self.checkpoint.keep == 0 {
+            return Err(NonPositive {
+                field: "checkpoint.keep",
+                value: 0.0,
+            });
         }
         Ok(())
     }
@@ -1145,6 +1212,66 @@ mod tests {
         assert_eq!(back.scheduler, Scheduler::Heap);
         assert_eq!(back.delivery, DeliveryPath::Auto);
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn checkpoint_defaults_off_and_deserializes_when_absent() {
+        let c = ScenarioConfig::paper_table1();
+        assert!(c.checkpoint.is_off());
+        assert_eq!(c.checkpoint, CheckpointPolicy::default());
+        // Configs serialized before the field existed must still load,
+        // and the off default must stay invisible to serialization so
+        // the config_hash of every existing scenario is unchanged.
+        let mut json: serde_json::Value = serde_json::to_value(c).unwrap();
+        let obj = json.as_object_mut().unwrap();
+        assert!(
+            !obj.contains_key("checkpoint"),
+            "default checkpoint policy must not be serialized (config_hash stability)"
+        );
+        obj.remove("checkpoint");
+        let back: ScenarioConfig = serde_json::from_value(json).unwrap();
+        assert!(back.checkpoint.is_off());
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_validates() {
+        let mut c = ScenarioConfig::paper_table1();
+        c.checkpoint = CheckpointPolicy {
+            every_s: 30.0,
+            keep: 3,
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains(r#""checkpoint""#), "{json}");
+        let back: ScenarioConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+        c.validate().unwrap();
+
+        c.checkpoint.keep = 0;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NonPositive {
+                field: "checkpoint.keep",
+                ..
+            })
+        ));
+        c.checkpoint = CheckpointPolicy {
+            every_s: -1.0,
+            keep: 2,
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::Negative {
+                field: "checkpoint.every_s",
+                ..
+            })
+        ));
+        // keep is ignored while checkpointing is off.
+        c.checkpoint = CheckpointPolicy {
+            every_s: 0.0,
+            keep: 0,
+        };
+        c.validate().unwrap();
     }
 
     #[test]

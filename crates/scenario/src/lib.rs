@@ -48,18 +48,25 @@ mod config;
 pub mod params;
 mod runner;
 mod shard;
+mod snapshot;
 mod sweep;
 
 pub use config::{
-    AuditMode, ConfigError, DeliveryPath, Engine, FastPath, FaultPlan, FaultTarget, LossKind,
-    MobilityKind, PropagationKind, Recluster, ScenarioConfig, Scheduler,
+    AuditMode, CheckpointPolicy, ConfigError, DeliveryPath, Engine, FastPath, FaultPlan,
+    FaultTarget, LossKind, MobilityKind, PropagationKind, Recluster, ScenarioConfig, Scheduler,
 };
 pub use runner::{
-    config_hash_for, manifest_for, run_scenario, run_scenario_instrumented, run_scenario_observed,
-    run_scenario_traced, AuditSummary, FaultCounters, HealingStats, RunError, RunPerf, RunResult,
-    SampleView,
+    config_hash_for, manifest_for, run_scenario, run_scenario_checkpointed,
+    run_scenario_instrumented, run_scenario_observed, run_scenario_resumed, run_scenario_traced,
+    run_scenario_until, AuditSummary, FaultCounters, HealingStats, RunError, RunOutcome, RunPerf,
+    RunResult, SampleView,
+};
+pub use snapshot::{
+    latest_snapshot, load_snapshot, save_snapshot, semantic_config_hash, write_rotated,
+    SimSnapshot, SnapshotError, SNAPSHOT_SCHEMA,
 };
 pub use sweep::{
-    cell_key, run_batch, run_batch_manifested, run_batch_supervised, run_cell, summarize_cs,
+    cell_key, run_batch, run_batch_manifested, run_batch_supervised, run_batch_supervised_stats,
+    run_cell, run_cell_recoverable, run_cell_stats, summarize_cs, BatchStats, CellRecovery,
     JobError, SpecError, Supervision, SweepCell, SweepOutcome, SweepSpec,
 };

@@ -69,14 +69,16 @@ use mobic_radio::{
 };
 use mobic_sim::{
     rng::SeedSplitter, CalendarQueue, CalendarStore, EventKey, Queue, ShardedEventQueue, SimTime,
-    Simulation,
+    Simulation, SnapshotQueue,
 };
 use mobic_trace::{
     config_hash, ManifestCounters, NullSink, PhaseClock, PhaseTimings, RunManifest, TraceEvent,
     TraceSink, ViolationKind,
 };
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
+use crate::snapshot::{self, SimSnapshot};
 use crate::{
     shard, AuditMode, ConfigError, DeliveryPath, Engine, FastPath, FaultTarget, LossKind,
     MobilityKind, PropagationKind, Recluster, ScenarioConfig, Scheduler,
@@ -234,6 +236,13 @@ pub enum RunError {
         /// Number of violations in that pass.
         violations: usize,
     },
+    /// A resume was attempted from a snapshot that belongs to a
+    /// different `(config, seed)` — restoring it would silently
+    /// produce a hybrid run, so it is refused up front.
+    SnapshotMismatch {
+        /// What disagreed (seed or semantic config hash).
+        reason: String,
+    },
 }
 
 impl From<ConfigError> for RunError {
@@ -254,6 +263,9 @@ impl std::fmt::Display for RunError {
                 f,
                 "strict invariant audit failed at t = {at_s} s ({violations} violation(s))"
             ),
+            RunError::SnapshotMismatch { reason } => {
+                write!(f, "snapshot does not belong to this run: {reason}")
+            }
         }
     }
 }
@@ -296,8 +308,43 @@ pub struct RunPerf {
     pub phase_ms: PhaseTimings,
 }
 
-/// Simulation events.
-enum Ev {
+/// How a checkpoint-aware run ended: normally, or suspended into a
+/// resumable [`SimSnapshot`] by an event-budget stop
+/// (see [`run_scenario_until`]).
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// The run reached its simulated horizon; here is the result.
+    Done(Box<RunResult>),
+    /// The run was suspended between events; resuming the snapshot
+    /// with [`run_scenario_resumed`] completes it byte-identically.
+    Suspended(Box<SimSnapshot>),
+}
+
+/// The engine's checkpoint trigger: never, after an exact event count
+/// (kill-point testing), or periodically on wall-clock cadence with
+/// rotated snapshot files (crash safety for long runs).
+#[derive(Debug, Clone, Copy)]
+enum CheckpointPlan<'a> {
+    /// Run to completion; never capture.
+    None,
+    /// Suspend after exactly this many processed events.
+    StopAfter(u64),
+    /// Write a rotated snapshot into `dir` roughly every `every_s`
+    /// wall-clock seconds, keeping the newest `keep` files.
+    Periodic {
+        /// Wall-clock cadence in seconds.
+        every_s: f64,
+        /// Snapshot directory.
+        dir: &'a Path,
+        /// Rotation depth.
+        keep: u32,
+    },
+}
+
+/// Simulation events. Serializable because checkpoints persist the
+/// pending event queue verbatim.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub(crate) enum Ev {
     /// Node `i` broadcasts its hello (and then evaluates clustering).
     Hello(NodeId),
     /// Periodic metric sampling.
@@ -310,8 +357,8 @@ enum Ev {
 /// victims are drawn at fire time (so the target policy sees the
 /// current cluster structure); revivals, joins and restores name their
 /// node up front.
-#[derive(Debug, Clone, Copy)]
-enum FaultAction {
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub(crate) enum FaultAction {
     /// Fail-stop crash of a victim drawn at fire time; optionally
     /// schedules that victim's revival.
     Crash { revive_after: Option<SimTime> },
@@ -329,7 +376,8 @@ enum FaultAction {
 /// An open cluster-healing measurement: started when a clusterhead
 /// crashed with members, resolved when every surviving orphan has
 /// re-affiliated.
-struct HealingProbe {
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct HealingProbe {
     /// The crash instant.
     started: SimTime,
     /// Indices of the crashed head's members still unhealed.
@@ -654,8 +702,8 @@ fn slack_teleport_pad(cfg: &ScenarioConfig, speed_bound: f64, staleness_s: f64) 
 
 /// A reception withheld from the neighbor table while its vulnerable
 /// window is open (MAC collision model, `packet_time_s > 0`).
-#[derive(Debug, Clone, Copy)]
-struct PendingRx {
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub(crate) struct PendingRx {
     /// Arrival time — the timestamp the table sees on commit.
     at: SimTime,
     /// Measured received power.
@@ -814,6 +862,141 @@ pub fn run_scenario_instrumented(
     observer: impl FnMut(SampleView<'_>),
     sink: &mut dyn TraceSink,
 ) -> Result<RunResult, RunError> {
+    match dispatch(cfg, seed, observer, sink, None, CheckpointPlan::None)? {
+        RunOutcome::Done(result) => Ok(*result),
+        // A `None` plan never trips the stop predicate.
+        RunOutcome::Suspended(_) => unreachable!("suspended without a checkpoint plan"),
+    }
+}
+
+/// Runs a scenario until exactly `stop_after` events have been
+/// processed, then suspends between events into a [`SimSnapshot`] —
+/// the "kill the run at event N" primitive behind the checkpoint
+/// equivalence suites and the CLI's `--checkpoint-stop-after`.
+///
+/// Returns [`RunOutcome::Done`] when the whole run takes fewer than
+/// `stop_after` events, [`RunOutcome::Suspended`] otherwise. Resuming
+/// the snapshot with [`run_scenario_resumed`] yields a [`RunResult`]
+/// (and, for cursor-capable sinks, a JSONL trace) byte-identical to
+/// the uninterrupted run.
+///
+/// # Errors
+///
+/// Propagates errors exactly as [`run_scenario`] does.
+pub fn run_scenario_until(
+    cfg: &ScenarioConfig,
+    seed: u64,
+    stop_after: u64,
+    sink: &mut dyn TraceSink,
+) -> Result<RunOutcome, RunError> {
+    dispatch(
+        cfg,
+        seed,
+        |_| {},
+        sink,
+        None,
+        CheckpointPlan::StopAfter(stop_after),
+    )
+}
+
+/// Completes a suspended run from `snapshot`, producing the same
+/// [`RunResult`] bytes an uninterrupted run of `(cfg, seed)` would
+/// have produced.
+///
+/// The snapshot must belong to this `(cfg, seed)`: the seed and the
+/// *semantic* config hash (execution knobs canonicalized away — see
+/// [`crate::snapshot::semantic_config_hash`]) are checked before any
+/// state is restored, so a heap-scheduler snapshot may resume under
+/// the calendar scheduler but never under a different scenario.
+///
+/// # Errors
+///
+/// Returns [`RunError::SnapshotMismatch`] when the snapshot belongs
+/// to a different `(cfg, seed)`; otherwise propagates errors exactly
+/// as [`run_scenario`] does.
+pub fn run_scenario_resumed(
+    cfg: &ScenarioConfig,
+    seed: u64,
+    snapshot: SimSnapshot,
+    sink: &mut dyn TraceSink,
+) -> Result<RunResult, RunError> {
+    snapshot
+        .compatible_with(cfg, seed)
+        .map_err(|reason| RunError::SnapshotMismatch { reason })?;
+    match dispatch(
+        cfg,
+        seed,
+        |_| {},
+        sink,
+        Some(Box::new(snapshot)),
+        CheckpointPlan::None,
+    )? {
+        RunOutcome::Done(result) => Ok(*result),
+        RunOutcome::Suspended(_) => unreachable!("suspended without a checkpoint plan"),
+    }
+}
+
+/// Runs a scenario with periodic crash-safe checkpointing: roughly
+/// every `cfg.checkpoint.every_s` wall-clock seconds a rotated
+/// snapshot (`ckpt-<events>.ckpt`, newest `cfg.checkpoint.keep` kept)
+/// is published atomically into `dir`, and an optional `resume`
+/// snapshot continues an interrupted run. With checkpointing off in
+/// the config this is exactly [`run_scenario_traced`] plus the resume
+/// gate.
+///
+/// Checkpoint *content* is deterministic; only *when* a periodic
+/// snapshot fires depends on wall-clock, so which `ckpt-*.ckpt` files
+/// exist may differ between machines while any one of them resumes to
+/// the same bytes.
+///
+/// # Errors
+///
+/// Returns [`RunError::SnapshotMismatch`] when `resume` belongs to a
+/// different `(cfg, seed)`; otherwise propagates errors exactly as
+/// [`run_scenario`] does. Snapshot write failures never abort the run.
+pub fn run_scenario_checkpointed(
+    cfg: &ScenarioConfig,
+    seed: u64,
+    dir: &Path,
+    resume: Option<SimSnapshot>,
+    sink: &mut dyn TraceSink,
+) -> Result<RunResult, RunError> {
+    let resume = match resume {
+        Some(s) => {
+            s.compatible_with(cfg, seed)
+                .map_err(|reason| RunError::SnapshotMismatch { reason })?;
+            Some(Box::new(s))
+        }
+        None => None,
+    };
+    let plan = if cfg.checkpoint.is_off() {
+        CheckpointPlan::None
+    } else {
+        CheckpointPlan::Periodic {
+            every_s: cfg.checkpoint.every_s,
+            dir,
+            keep: cfg.checkpoint.keep,
+        }
+    };
+    match dispatch(cfg, seed, |_| {}, sink, resume, plan)? {
+        RunOutcome::Done(result) => Ok(*result),
+        // Periodic plans checkpoint and continue; they never suspend.
+        RunOutcome::Suspended(_) => unreachable!("periodic plans never suspend"),
+    }
+}
+
+/// Validates, then routes to the engine-generic loop with the queue
+/// shape the config asks for, threading the resume snapshot and the
+/// checkpoint plan through. Every public runner entry point funnels
+/// here.
+fn dispatch(
+    cfg: &ScenarioConfig,
+    seed: u64,
+    observer: impl FnMut(SampleView<'_>),
+    sink: &mut dyn TraceSink,
+    resume: Option<Box<SimSnapshot>>,
+    plan: CheckpointPlan<'_>,
+) -> Result<RunOutcome, RunError> {
     cfg.validate()?;
     // Queue depth: one hello per node, the sampler, headroom for a
     // same-instant reschedule, plus every planned fault injection.
@@ -831,10 +1014,21 @@ pub fn run_scenario_instrumented(
             sink,
             Simulation::with_capacity(queue_cap),
             1,
+            resume,
+            plan,
         ),
         (Engine::Sequential, Scheduler::Calendar) => {
             let queue = CalendarQueue::with_profile(queue_cap, bi_hint);
-            run_engine(cfg, seed, observer, sink, Simulation::with_queue(queue), 1)
+            run_engine(
+                cfg,
+                seed,
+                observer,
+                sink,
+                Simulation::with_queue(queue),
+                1,
+                resume,
+                plan,
+            )
         }
         (Engine::Sharded, Scheduler::Heap) => {
             let n_shards = shard::effective_shards(cfg);
@@ -850,6 +1044,8 @@ pub fn run_scenario_instrumented(
                 sink,
                 Simulation::with_queue(queue),
                 n_shards,
+                resume,
+                plan,
             )
         }
         (Engine::Sharded, Scheduler::Calendar) => {
@@ -867,6 +1063,8 @@ pub fn run_scenario_instrumented(
                 sink,
                 Simulation::with_queue(queue),
                 n_shards,
+                resume,
+                plan,
             )
         }
     }
@@ -879,14 +1077,17 @@ pub fn run_scenario_instrumented(
 /// shard count. Results are byte-identical by construction — the
 /// queue's pop order is queue-shape independent, event processing
 /// stays on this thread, and workers only pre-extend trajectories.
-fn run_engine<Q: Queue<Ev>>(
+#[allow(clippy::too_many_arguments)] // the one internal funnel point
+fn run_engine<Q: SnapshotQueue<Ev>>(
     cfg: &ScenarioConfig,
     seed: u64,
     mut observer: impl FnMut(SampleView<'_>),
     sink: &mut dyn TraceSink,
     mut sim: Simulation<Ev, Q>,
     n_shards: u32,
-) -> Result<RunResult, RunError> {
+    resume: Option<Box<SimSnapshot>>,
+    plan: CheckpointPlan<'_>,
+) -> Result<RunOutcome, RunError> {
     let mut phase_clock = PhaseClock::start();
     // One capability check up front: with a disabled sink the loop
     // never constructs an event, so tracing is zero-cost when off.
@@ -929,15 +1130,21 @@ fn run_engine<Q: Queue<Ev>>(
     let mut hello_broadcasts: u64 = 0;
     let mut deliveries: u64 = 0;
 
-    {
+    // On resume, the snapshot's queue already carries every pending
+    // hello/sample/fault entry, and the fault-plan schedule below was
+    // drawn by the original run — re-running either would double-book
+    // events. The skipped streams ("hello-offset", the fault setup
+    // draws) are setup-only: no live stream position depends on them.
+    let resuming = resume.is_some();
+    if !resuming {
         use rand::Rng;
         let mut off_rng = splitter.stream("hello-offset", 0);
         for i in 0..n {
             let offset = SimTime::from_secs_f64(off_rng.gen::<f64>() * cfg.bi_s);
             sim.schedule_at(offset, Ev::Hello(NodeId::new(i as u32)));
         }
+        sim.schedule_at(bi, Ev::Sample);
     }
-    sim.schedule_at(bi, Ev::Sample);
 
     // Node-lifecycle fault injection (see `FaultPlan`): fire times and
     // late-join victims come from the dedicated "faults" seed stream,
@@ -954,7 +1161,7 @@ fn run_engine<Q: Queue<Ev>>(
     let mut audit_checks: u64 = 0;
     let mut audit_violations: u64 = 0;
     let mut abort: Option<(SimTime, usize)> = None;
-    if let Some(rng) = fault_rng.as_mut() {
+    if let Some(rng) = fault_rng.as_mut().filter(|_| !resuming) {
         use rand::Rng;
         let plan = cfg.faults;
         let from = plan.from_s;
@@ -1056,6 +1263,57 @@ fn run_engine<Q: Queue<Ev>>(
     let mut scratches = Scratch::per_shard(n_shards as usize, n.min(SCRATCH_PRESIZE_MAX));
     let mut shard_of: Vec<u32> = vec![0; n];
 
+    // Restore from a snapshot (DESIGN.md § "Checkpoint/restore"):
+    // explicit state is copied back verbatim; derived state — mobility
+    // trajectories, the spatial index, scratch buffers, shard owners —
+    // is rebuilt from `(cfg, seed)` plus the restored inputs; and the
+    // event queue is re-armed entry by entry with its original
+    // sequence numbers, so pop order continues exactly where the
+    // captured run left off regardless of which queue implementation
+    // wrote the snapshot.
+    let mut window_start = SimTime::ZERO;
+    if let Some(snap) = resume {
+        let s = *snap;
+        node_table = s.node_table;
+        positions = s.positions;
+        if let Some(index) = index.as_mut() {
+            index.update_all(&positions);
+        }
+        last_refresh = s.last_refresh;
+        last_arrival = s.last_arrival;
+        pending = s.pending;
+        hello_broadcasts = s.hello_broadcasts;
+        deliveries = s.deliveries;
+        collisions = s.mac_collisions;
+        candidate_total = s.candidate_total;
+        index_refreshes = s.index_refreshes;
+        elections_skipped = s.elections_skipped;
+        log = s.log;
+        cluster_series = s.cluster_series;
+        gateway_series = s.gateway_series;
+        metric_series = s.metric_series;
+        fault_counters = s.faults;
+        probes = s.probes;
+        probes_created = s.probes_created;
+        probes_healed = s.probes_healed;
+        healing_latency_sum = s.healing_latency_sum;
+        healing_latency_max = s.healing_latency_max;
+        audit_checks = s.audit_checks;
+        audit_violations = s.audit_violations;
+        abort = s.abort;
+        if let (Some(rng), Some((hi, lo))) = (fault_rng.as_mut(), s.fault_rng_word_pos) {
+            rng.set_word_pos((u128::from(hi) << 64) | u128::from(lo));
+        }
+        engine.loss_mut().restore_state(&s.loss);
+        engine.radio().propagation().restore_state(&s.propagation);
+        for (t, q_seq, ev) in s.queue {
+            sim.queue_mut().restore_entry(t, q_seq, ev);
+        }
+        sim.queue_mut().set_next_seq(s.next_seq);
+        sim.restore_progress(s.now, s.events_processed);
+        window_start = s.window_start;
+    }
+
     let setup_ms = phase_clock.lap_ms();
     let wall_start = mobic_trace::Stopwatch::start();
     // Drive loop (DESIGN.md § "Sharded execution"). The sequential
@@ -1073,7 +1331,25 @@ fn run_engine<Q: Queue<Ev>>(
     // engines, shard counts, and owner maps.
     let is_sharded = cfg.engine == Engine::Sharded;
     let window = shard::lookahead_window(cfg);
-    let mut window_start = SimTime::ZERO;
+    // Checkpoint trigger state. `StopAfter` pins an exact processed-
+    // event index (the kill point of the equivalence suites);
+    // `Periodic` fires on wall-clock cadence, re-checked every 1024
+    // events so the hot loop pays one mask-and-compare. An absent
+    // trigger never fires.
+    let stop_after: Option<u64> = match plan {
+        CheckpointPlan::StopAfter(at) => Some(at),
+        _ => None,
+    };
+    let periodic_ms = match plan {
+        CheckpointPlan::Periodic { every_s, .. } => every_s * 1000.0,
+        _ => f64::INFINITY,
+    };
+    let mut next_due_ms = periodic_ms;
+    // Processed-event index of the last periodic snapshot: the stop
+    // predicate runs *before* popping an event, so without this guard
+    // a cadence shorter than one event's wall time would re-fire at
+    // the same index forever.
+    let mut last_periodic: Option<u64> = None;
     loop {
         let horizon = if is_sharded {
             (window_start + window).min(sim_end)
@@ -1085,69 +1361,275 @@ fn run_engine<Q: Queue<Ev>>(
             sim.queue_mut().assign_owners(&shard_of);
             shard::extend_trajectories(&mut mobility, &shard_of, n_shards, horizon);
         }
-        sim.run_until(horizon, |now, ev, sched| match ev {
-            // lint:hot-path — the steady-state hello arm: after warmup the
-            // event loop is almost exclusively this; every per-event `Vec`
-            // lives in `scratch` (PR 3's zero-alloc guarantee, proven
-            // statically here and dynamically by `bench_hotpath`).
-            Ev::Hello(tx) => {
-                if abort.is_some() {
-                    // A strict audit tripped: drain the queue without
-                    // rescheduling so the loop terminates.
-                    return;
-                }
-                let txi = tx.index();
-                if !node_table.is_alive(txi) {
-                    // Dead (or not-yet-joined) node: keep its hello clock
-                    // ticking at the base interval so a later revival
-                    // re-enters the protocol, but touch nothing else — no
-                    // RNG draws, no table reads, no counters.
-                    sched.schedule_in(bi, Ev::Hello(tx));
-                    return;
-                }
-                if !packet_time.is_zero() {
-                    // The node is about to read its own table: commit a
-                    // deferred reception whose window has closed.
-                    commit_pending(
-                        &mut pending[txi],
-                        &mut node_table,
-                        txi,
-                        now,
-                        packet_time,
-                        false,
-                        &mut deliveries,
-                        tracing,
-                        sink,
-                    );
-                }
-                // Expire through the dirty-tracking entry point *before*
-                // the broadcast: entry death is election-relevant, and the
-                // skip decision below must see it. `prepare_broadcast`'s
-                // own expiry at the same instant is then a no-op.
-                node_table.expire(txi, now);
-                // A mute (tx-impaired) node holds this hello — no sequence
-                // number consumed, no metric stamped, nothing on the air —
-                // but it keeps listening and still runs its election below.
-                if node_table.can_transmit(txi) {
-                    // Shard-local delivery buffers, indexed by the
-                    // transmitter's owning shard (always 0 sequentially).
-                    let scratch = &mut scratches[shard_of[txi] as usize];
-                    let hello = node_table.prepare_broadcast(txi, now);
-                    hello_broadcasts += 1;
-                    if tracing {
-                        sink.record(
-                            now,
-                            &TraceEvent::HelloTx {
-                                node: tx.value(),
-                                seq: hello.seq,
-                            },
-                        );
-                    }
-                    if let Some(index) = index.as_mut() {
-                        if now.saturating_sub(last_refresh) >= refresh_period {
-                            for (j, m) in mobility.iter_mut().enumerate() {
-                                positions[j] = m.position_at(now);
+        loop {
+            let stopped = sim.run_until_stoppable(
+                horizon,
+                |now, ev, sched| match ev {
+                    // lint:hot-path — the steady-state hello arm: after warmup the
+                    // event loop is almost exclusively this; every per-event `Vec`
+                    // lives in `scratch` (PR 3's zero-alloc guarantee, proven
+                    // statically here and dynamically by `bench_hotpath`).
+                    Ev::Hello(tx) => {
+                        if abort.is_some() {
+                            // A strict audit tripped: drain the queue without
+                            // rescheduling so the loop terminates.
+                            return;
+                        }
+                        let txi = tx.index();
+                        if !node_table.is_alive(txi) {
+                            // Dead (or not-yet-joined) node: keep its hello clock
+                            // ticking at the base interval so a later revival
+                            // re-enters the protocol, but touch nothing else — no
+                            // RNG draws, no table reads, no counters.
+                            sched.schedule_in(bi, Ev::Hello(tx));
+                            return;
+                        }
+                        if !packet_time.is_zero() {
+                            // The node is about to read its own table: commit a
+                            // deferred reception whose window has closed.
+                            commit_pending(
+                                &mut pending[txi],
+                                &mut node_table,
+                                txi,
+                                now,
+                                packet_time,
+                                false,
+                                &mut deliveries,
+                                tracing,
+                                sink,
+                            );
+                        }
+                        // Expire through the dirty-tracking entry point *before*
+                        // the broadcast: entry death is election-relevant, and the
+                        // skip decision below must see it. `prepare_broadcast`'s
+                        // own expiry at the same instant is then a no-op.
+                        node_table.expire(txi, now);
+                        // A mute (tx-impaired) node holds this hello — no sequence
+                        // number consumed, no metric stamped, nothing on the air —
+                        // but it keeps listening and still runs its election below.
+                        if node_table.can_transmit(txi) {
+                            // Shard-local delivery buffers, indexed by the
+                            // transmitter's owning shard (always 0 sequentially).
+                            let scratch = &mut scratches[shard_of[txi] as usize];
+                            let hello = node_table.prepare_broadcast(txi, now);
+                            hello_broadcasts += 1;
+                            if tracing {
+                                sink.record(
+                                    now,
+                                    &TraceEvent::HelloTx {
+                                        node: tx.value(),
+                                        seq: hello.seq,
+                                    },
+                                );
                             }
+                            if let Some(index) = index.as_mut() {
+                                if now.saturating_sub(last_refresh) >= refresh_period {
+                                    for (j, m) in mobility.iter_mut().enumerate() {
+                                        positions[j] = m.position_at(now);
+                                    }
+                                    index.update_all(&positions);
+                                    last_refresh = now;
+                                    index_refreshes += 1;
+                                    if tracing {
+                                        sink.record(
+                                            now,
+                                            &TraceEvent::IndexRefresh { nodes: n as u32 },
+                                        );
+                                    }
+                                }
+                                positions[txi] = mobility[txi].position_at(now);
+                                index.update(txi, positions[txi]);
+                                let staleness = now.saturating_sub(last_refresh).as_secs_f64();
+                                let radius = base_range
+                                    + 2.0 * speed_bound * staleness
+                                    + slack_teleport_pad(cfg, speed_bound, staleness);
+                                scratch.ids.clear();
+                                index.for_each_within(positions[txi], radius, |i| {
+                                    scratch.ids.push(i)
+                                });
+                                // Id order keeps stateful loss models on the exact
+                                // query sequence of the brute-force scan.
+                                scratch.ids.sort_unstable();
+                                scratch.candidates.clear();
+                                for &i in &scratch.ids {
+                                    if i == txi {
+                                        continue;
+                                    }
+                                    positions[i] = mobility[i].position_at(now);
+                                    index.update(i, positions[i]);
+                                    scratch
+                                        .candidates
+                                        .push((NodeId::new(i as u32), positions[i]));
+                                }
+                                candidate_total += scratch.candidates.len() as u64;
+                                engine.broadcast_among_into(
+                                    tx,
+                                    positions[txi],
+                                    &scratch.candidates,
+                                    now,
+                                    &mut scratch.delivered,
+                                    &mut scratch.lost,
+                                );
+                            } else {
+                                for (j, m) in mobility.iter_mut().enumerate() {
+                                    positions[j] = m.position_at(now);
+                                }
+                                candidate_total += (n - 1) as u64;
+                                engine.broadcast_into(
+                                    tx,
+                                    &positions,
+                                    now,
+                                    &mut scratch.delivered,
+                                    &mut scratch.lost,
+                                );
+                            }
+                            if tracing {
+                                for &dropped in &scratch.lost {
+                                    sink.record(
+                                        now,
+                                        &TraceEvent::HelloLost {
+                                            tx: tx.value(),
+                                            rx: dropped.value(),
+                                        },
+                                    );
+                                }
+                            }
+                            for &d in &scratch.delivered {
+                                let r = d.receiver.index();
+                                if !node_table.can_receive(r) {
+                                    // Dead or deaf receivers are filtered *after* the
+                                    // radio and loss stages, so the loss-model RNG
+                                    // sequence is exactly the fault-free one.
+                                    continue;
+                                }
+                                if packet_time.is_zero() {
+                                    deliveries += 1;
+                                    node_table.record(r, now, d.rx_power, &hello);
+                                    if tracing {
+                                        sink.record(
+                                            now,
+                                            &TraceEvent::HelloRx {
+                                                tx: tx.value(),
+                                                rx: d.receiver.value(),
+                                                rx_power_dbm: d.rx_power.dbm(),
+                                            },
+                                        );
+                                    }
+                                    continue;
+                                }
+                                commit_pending(
+                                    &mut pending[r],
+                                    &mut node_table,
+                                    r,
+                                    now,
+                                    packet_time,
+                                    false,
+                                    &mut deliveries,
+                                    tracing,
+                                    sink,
+                                );
+                                let collided = last_arrival[r]
+                                    .is_some_and(|prev| now.saturating_sub(prev) < packet_time);
+                                last_arrival[r] = Some(now);
+                                if collided {
+                                    // The earlier packet is still uncommitted iff it
+                                    // arrived inside the window; destroy it too.
+                                    if let Some(p) = pending[r].take() {
+                                        collisions += 1;
+                                        if tracing {
+                                            sink.record(
+                                                now,
+                                                &TraceEvent::MacCollision {
+                                                    tx: p.hello.sender.value(),
+                                                    rx: d.receiver.value(),
+                                                },
+                                            );
+                                        }
+                                    }
+                                    collisions += 1;
+                                    if tracing {
+                                        sink.record(
+                                            now,
+                                            &TraceEvent::MacCollision {
+                                                tx: tx.value(),
+                                                rx: d.receiver.value(),
+                                            },
+                                        );
+                                    }
+                                } else {
+                                    pending[r] = Some(PendingRx {
+                                        at: now,
+                                        power: d.rx_power,
+                                        hello,
+                                    });
+                                }
+                            }
+                        }
+                        // Listen-before-decide: the paper's nodes compare their M
+                        // "with those of its neighbors", so no role decision is
+                        // taken until every neighbor has had one full broadcast
+                        // interval to introduce itself.
+                        if now >= bi {
+                            if incremental && node_table.can_skip_election(txi) {
+                                // Clean table + time-independent state machine: the
+                                // election is provably a no-op. Debug builds run it
+                                // on a clone anyway and panic on any divergence.
+                                elections_skipped += 1;
+                                #[cfg(debug_assertions)]
+                                node_table.debug_assert_skip_sound(txi, now);
+                            } else if let Some(tr) = node_table.evaluate(txi, now) {
+                                if tracing {
+                                    let node = tr.node.value();
+                                    match (tr.from, tr.to) {
+                                        // A head stepping down into another head's
+                                        // cluster is a cluster merge.
+                                        (Role::Clusterhead, Role::Member { ch }) => sink.record(
+                                            now,
+                                            &TraceEvent::ClusterMerge {
+                                                node,
+                                                into: ch.value(),
+                                            },
+                                        ),
+                                        (Role::Clusterhead, _) => {
+                                            sink.record(now, &TraceEvent::HeadResigned { node });
+                                        }
+                                        (_, Role::Clusterhead) => {
+                                            sink.record(now, &TraceEvent::HeadElected { node });
+                                        }
+                                        // Member/undecided affiliation shuffles are
+                                        // in `role_transitions`; not traced.
+                                        _ => {}
+                                    }
+                                }
+                                log.record(tr);
+                            }
+                        }
+                        // §5 extension: mobility-adaptive hello pacing — mobile
+                        // neighborhoods refresh faster (down to the configured
+                        // floor), calm ones keep the base interval.
+                        let next = if cfg.adaptive_bi_min_s > 0.0 {
+                            const PIVOT_DB2: f64 = 2.0;
+                            let m = node_table.node(txi).metric();
+                            let secs = (cfg.bi_s * PIVOT_DB2 / (PIVOT_DB2 + m))
+                                .clamp(cfg.adaptive_bi_min_s, cfg.bi_s);
+                            SimTime::from_secs_f64(secs)
+                        } else {
+                            bi
+                        };
+                        sched.schedule_in(next, Ev::Hello(tx));
+                    }
+                    // lint:end-hot-path (sampling and fault arms run a handful of
+                    // times per simulated second — cold by comparison)
+                    Ev::Sample => {
+                        if abort.is_some() {
+                            return;
+                        }
+                        for (j, m) in mobility.iter_mut().enumerate() {
+                            positions[j] = m.position_at(now);
+                        }
+                        if let Some(index) = index.as_mut() {
+                            // The sampler evaluated everyone anyway: fold the free
+                            // full refresh into the index.
                             index.update_all(&positions);
                             last_refresh = now;
                             index_refreshes += 1;
@@ -1155,434 +1637,323 @@ fn run_engine<Q: Queue<Ev>>(
                                 sink.record(now, &TraceEvent::IndexRefresh { nodes: n as u32 });
                             }
                         }
-                        positions[txi] = mobility[txi].position_at(now);
-                        index.update(txi, positions[txi]);
-                        let staleness = now.saturating_sub(last_refresh).as_secs_f64();
-                        let radius = base_range
-                            + 2.0 * speed_bound * staleness
-                            + slack_teleport_pad(cfg, speed_bound, staleness);
-                        scratch.ids.clear();
-                        index.for_each_within(positions[txi], radius, |i| scratch.ids.push(i));
-                        // Id order keeps stateful loss models on the exact
-                        // query sequence of the brute-force scan.
-                        scratch.ids.sort_unstable();
-                        scratch.candidates.clear();
-                        for &i in &scratch.ids {
-                            if i == txi {
-                                continue;
-                            }
-                            positions[i] = mobility[i].position_at(now);
-                            index.update(i, positions[i]);
-                            scratch
-                                .candidates
-                                .push((NodeId::new(i as u32), positions[i]));
-                        }
-                        candidate_total += scratch.candidates.len() as u64;
-                        engine.broadcast_among_into(
-                            tx,
-                            positions[txi],
-                            &scratch.candidates,
-                            now,
-                            &mut scratch.delivered,
-                            &mut scratch.lost,
-                        );
-                    } else {
-                        for (j, m) in mobility.iter_mut().enumerate() {
-                            positions[j] = m.position_at(now);
-                        }
-                        candidate_total += (n - 1) as u64;
-                        engine.broadcast_into(
-                            tx,
-                            &positions,
-                            now,
-                            &mut scratch.delivered,
-                            &mut scratch.lost,
-                        );
-                    }
-                    if tracing {
-                        for &dropped in &scratch.lost {
-                            sink.record(
-                                now,
-                                &TraceEvent::HelloLost {
-                                    tx: tx.value(),
-                                    rx: dropped.value(),
-                                },
-                            );
-                        }
-                    }
-                    for &d in &scratch.delivered {
-                        let r = d.receiver.index();
-                        if !node_table.can_receive(r) {
-                            // Dead or deaf receivers are filtered *after* the
-                            // radio and loss stages, so the loss-model RNG
-                            // sequence is exactly the fault-free one.
-                            continue;
-                        }
-                        if packet_time.is_zero() {
-                            deliveries += 1;
-                            node_table.record(r, now, d.rx_power, &hello);
-                            if tracing {
-                                sink.record(
+                        if !packet_time.is_zero() {
+                            // Sampling reads every table: commit closed windows.
+                            for r in 0..n {
+                                commit_pending(
+                                    &mut pending[r],
+                                    &mut node_table,
+                                    r,
                                     now,
-                                    &TraceEvent::HelloRx {
-                                        tx: tx.value(),
-                                        rx: d.receiver.value(),
-                                        rx_power_dbm: d.rx_power.dbm(),
-                                    },
+                                    packet_time,
+                                    false,
+                                    &mut deliveries,
+                                    tracing,
+                                    sink,
                                 );
                             }
-                            continue;
                         }
-                        commit_pending(
-                            &mut pending[r],
-                            &mut node_table,
-                            r,
+                        observer(SampleView {
                             now,
-                            packet_time,
-                            false,
-                            &mut deliveries,
-                            tracing,
-                            sink,
-                        );
-                        let collided = last_arrival[r]
-                            .is_some_and(|prev| now.saturating_sub(prev) < packet_time);
-                        last_arrival[r] = Some(now);
-                        if collided {
-                            // The earlier packet is still uncommitted iff it
-                            // arrived inside the window; destroy it too.
-                            if let Some(p) = pending[r].take() {
-                                collisions += 1;
+                            positions: &positions,
+                            nodes: node_table.nodes(),
+                            tables: node_table.tables(),
+                            alive: node_table.alive(),
+                        });
+                        // The series measure the *live* network. With every node
+                        // alive (no fault plan) the filters are pass-throughs and
+                        // the arithmetic — same iteration order, same divisor — is
+                        // bit-identical to the unfiltered version.
+                        let alive = node_table.alive();
+                        let alive_n = node_table.alive_count();
+                        let clusters = node_table
+                            .nodes()
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, nd)| alive[*i] && nd.role().is_clusterhead())
+                            .count();
+                        cluster_series.push(now, clusters as f64);
+                        let gateways = node_table
+                            .nodes()
+                            .iter()
+                            .zip(node_table.tables())
+                            .enumerate()
+                            .filter(|(i, (nd, t))| alive[*i] && nd.is_gateway(t))
+                            .count();
+                        let gateway_fraction = if alive_n == 0 {
+                            0.0
+                        } else {
+                            gateways as f64 / alive_n as f64
+                        };
+                        gateway_series.push(now, gateway_fraction);
+                        let metric_sum = node_table
+                            .nodes()
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| alive[*i])
+                            .map(|(_, nd)| nd.metric())
+                            .sum::<f64>();
+                        let mean_metric = if alive_n == 0 {
+                            0.0
+                        } else {
+                            metric_sum / alive_n as f64
+                        };
+                        metric_series.push(now, mean_metric);
+                        // Cluster-healing probes: a probe opened by a clusterhead
+                        // crash resolves once every surviving orphan has found a
+                        // live clusterhead (or become one); orphans that crash
+                        // drop out of their probe.
+                        probes.retain_mut(|p| {
+                            p.orphans.retain(|&o| {
+                                node_table.is_alive(o) && !reaffiliated(&node_table, o)
+                            });
+                            if p.orphans.is_empty() {
+                                let latency = now.saturating_sub(p.started).as_secs_f64();
+                                probes_healed += 1;
+                                healing_latency_sum += latency;
+                                healing_latency_max = healing_latency_max.max(latency);
+                                false
+                            } else {
+                                true
+                            }
+                        });
+                        // Periodic Theorem-1 audit of the live topology. The
+                        // protocol violates Theorem 1 *transiently* by design (CCI
+                        // deferral, TP affiliation holding), so `warn` observes
+                        // and `strict` is meant for converged/stationary
+                        // scenarios where a violation is a genuine defect.
+                        if audit_on && now >= warmup {
+                            audit_checks += 1;
+                            let mut ids = Vec::with_capacity(alive_n);
+                            let mut roles = Vec::with_capacity(alive_n);
+                            let mut pos = Vec::with_capacity(alive_n);
+                            for (i, nd) in node_table.nodes().iter().enumerate() {
+                                if alive[i] {
+                                    ids.push(NodeId::new(i as u32));
+                                    roles.push(nd.role());
+                                    pos.push(positions[i]);
+                                }
+                            }
+                            let adj =
+                                mobic_core::centralized::Adjacency::unit_disk(&pos, cfg.tx_range_m);
+                            let violations =
+                                mobic_core::invariants::check_theorem1(&roles, &ids, &adj);
+                            audit_violations += violations.len() as u64;
+                            if !violations.is_empty() {
+                                if tracing {
+                                    for v in &violations {
+                                        sink.record(now, &violation_event(v, &ids));
+                                    }
+                                }
+                                if cfg.audit == AuditMode::Strict {
+                                    // Structured failure, never a panic: flag the
+                                    // run and let the queue drain.
+                                    abort = Some((now, violations.len()));
+                                    return;
+                                }
+                            }
+                        }
+                        sched.schedule_in(bi, Ev::Sample);
+                    }
+                    Ev::Fault(action) => {
+                        if abort.is_some() {
+                            return;
+                        }
+                        // Fault events are only scheduled when a plan exists, so
+                        // the stream is always there; a missing one would mean a
+                        // scheduling bug, and dropping the event is strictly
+                        // safer than aborting the run.
+                        let Some(rng) = fault_rng.as_mut() else {
+                            return;
+                        };
+                        match action {
+                            FaultAction::Crash { revive_after } => {
+                                let Some(v) = pick_victim(&node_table, cfg.faults.target, rng)
+                                else {
+                                    return; // nobody left alive to crash
+                                };
+                                // A clusterhead crash opens a healing probe over
+                                // its current live members.
+                                if node_table.node(v).role() == Role::Clusterhead {
+                                    let ch = NodeId::new(v as u32);
+                                    let orphans: Vec<usize> = (0..n)
+                                        .filter(|&j| {
+                                            j != v
+                                                && node_table.is_alive(j)
+                                                && node_table.node(j).role()
+                                                    == (Role::Member { ch })
+                                        })
+                                        .collect();
+                                    if !orphans.is_empty() {
+                                        probes_created += 1;
+                                        probes.push(HealingProbe {
+                                            started: now,
+                                            orphans,
+                                        });
+                                    }
+                                }
+                                node_table.set_down(v);
+                                pending[v] = None;
+                                last_arrival[v] = None;
+                                fault_counters.crashes += 1;
+                                if tracing {
+                                    sink.record(now, &TraceEvent::NodeDown { node: v as u32 });
+                                }
+                                if let Some(after) = revive_after {
+                                    sched.schedule_in(
+                                        after,
+                                        Ev::Fault(FaultAction::Revive { node: v }),
+                                    );
+                                }
+                            }
+                            FaultAction::Revive { node } | FaultAction::Join { node } => {
+                                if node_table.is_alive(node) {
+                                    return;
+                                }
+                                node_table.bring_up(node, now);
+                                if matches!(action, FaultAction::Revive { .. }) {
+                                    fault_counters.recoveries += 1;
+                                } else {
+                                    fault_counters.late_joins += 1;
+                                }
+                                if tracing {
+                                    sink.record(now, &TraceEvent::NodeUp { node: node as u32 });
+                                }
+                            }
+                            FaultAction::Impair { mute } => {
+                                let Some(v) = pick_victim(&node_table, cfg.faults.target, rng)
+                                else {
+                                    return;
+                                };
+                                if mute {
+                                    node_table.set_mute(v, true);
+                                    fault_counters.mute_spells += 1;
+                                } else {
+                                    node_table.set_deaf(v, true);
+                                    fault_counters.deaf_spells += 1;
+                                }
                                 if tracing {
                                     sink.record(
                                         now,
-                                        &TraceEvent::MacCollision {
-                                            tx: p.hello.sender.value(),
-                                            rx: d.receiver.value(),
+                                        &TraceEvent::NodeImpaired {
+                                            node: v as u32,
+                                            mute,
+                                        },
+                                    );
+                                }
+                                sched.schedule_in(
+                                    SimTime::from_secs_f64(cfg.faults.spell_s),
+                                    Ev::Fault(FaultAction::Restore { node: v, mute }),
+                                );
+                            }
+                            FaultAction::Restore { node, mute } => {
+                                // A crash in the meantime already wiped the flag;
+                                // restore only what is still impaired.
+                                let impaired = node_table.is_alive(node)
+                                    && if mute {
+                                        node_table.is_mute(node)
+                                    } else {
+                                        node_table.is_deaf(node)
+                                    };
+                                if !impaired {
+                                    return;
+                                }
+                                if mute {
+                                    node_table.set_mute(node, false);
+                                } else {
+                                    node_table.set_deaf(node, false);
+                                }
+                                if tracing {
+                                    sink.record(
+                                        now,
+                                        &TraceEvent::NodeRestored {
+                                            node: node as u32,
+                                            mute,
                                         },
                                     );
                                 }
                             }
-                            collisions += 1;
-                            if tracing {
-                                sink.record(
-                                    now,
-                                    &TraceEvent::MacCollision {
-                                        tx: tx.value(),
-                                        rx: d.receiver.value(),
-                                    },
-                                );
-                            }
-                        } else {
-                            pending[r] = Some(PendingRx {
-                                at: now,
-                                power: d.rx_power,
-                                hello,
-                            });
                         }
                     }
-                }
-                // Listen-before-decide: the paper's nodes compare their M
-                // "with those of its neighbors", so no role decision is
-                // taken until every neighbor has had one full broadcast
-                // interval to introduce itself.
-                if now >= bi {
-                    if incremental && node_table.can_skip_election(txi) {
-                        // Clean table + time-independent state machine: the
-                        // election is provably a no-op. Debug builds run it
-                        // on a clone anyway and panic on any divergence.
-                        elections_skipped += 1;
-                        #[cfg(debug_assertions)]
-                        node_table.debug_assert_skip_sound(txi, now);
-                    } else if let Some(tr) = node_table.evaluate(txi, now) {
-                        if tracing {
-                            let node = tr.node.value();
-                            match (tr.from, tr.to) {
-                                // A head stepping down into another head's
-                                // cluster is a cluster merge.
-                                (Role::Clusterhead, Role::Member { ch }) => sink.record(
-                                    now,
-                                    &TraceEvent::ClusterMerge {
-                                        node,
-                                        into: ch.value(),
-                                    },
-                                ),
-                                (Role::Clusterhead, _) => {
-                                    sink.record(now, &TraceEvent::HeadResigned { node });
-                                }
-                                (_, Role::Clusterhead) => {
-                                    sink.record(now, &TraceEvent::HeadElected { node });
-                                }
-                                // Member/undecided affiliation shuffles are
-                                // in `role_transitions`; not traced.
-                                _ => {}
-                            }
-                        }
-                        log.record(tr);
+                },
+                |processed| match stop_after {
+                    Some(at) => processed == at,
+                    None => {
+                        processed & 0x3FF == 0
+                            && last_periodic != Some(processed)
+                            && wall_start.elapsed_ms() >= next_due_ms
                     }
-                }
-                // §5 extension: mobility-adaptive hello pacing — mobile
-                // neighborhoods refresh faster (down to the configured
-                // floor), calm ones keep the base interval.
-                let next = if cfg.adaptive_bi_min_s > 0.0 {
-                    const PIVOT_DB2: f64 = 2.0;
-                    let m = node_table.node(txi).metric();
-                    let secs = (cfg.bi_s * PIVOT_DB2 / (PIVOT_DB2 + m))
-                        .clamp(cfg.adaptive_bi_min_s, cfg.bi_s);
-                    SimTime::from_secs_f64(secs)
-                } else {
-                    bi
-                };
-                sched.schedule_in(next, Ev::Hello(tx));
+                },
+            );
+            if !stopped {
+                break;
             }
-            // lint:end-hot-path (sampling and fault arms run a handful of
-            // times per simulated second — cold by comparison)
-            Ev::Sample => {
-                if abort.is_some() {
-                    return;
-                }
-                for (j, m) in mobility.iter_mut().enumerate() {
-                    positions[j] = m.position_at(now);
-                }
-                if let Some(index) = index.as_mut() {
-                    // The sampler evaluated everyone anyway: fold the free
-                    // full refresh into the index.
-                    index.update_all(&positions);
-                    last_refresh = now;
-                    index_refreshes += 1;
-                    if tracing {
-                        sink.record(now, &TraceEvent::IndexRefresh { nodes: n as u32 });
-                    }
-                }
-                if !packet_time.is_zero() {
-                    // Sampling reads every table: commit closed windows.
-                    for r in 0..n {
-                        commit_pending(
-                            &mut pending[r],
-                            &mut node_table,
-                            r,
-                            now,
-                            packet_time,
-                            false,
-                            &mut deliveries,
-                            tracing,
-                            sink,
-                        );
-                    }
-                }
-                observer(SampleView {
-                    now,
-                    positions: &positions,
-                    nodes: node_table.nodes(),
-                    tables: node_table.tables(),
-                    alive: node_table.alive(),
-                });
-                // The series measure the *live* network. With every node
-                // alive (no fault plan) the filters are pass-throughs and
-                // the arithmetic — same iteration order, same divisor — is
-                // bit-identical to the unfiltered version.
-                let alive = node_table.alive();
-                let alive_n = node_table.alive_count();
-                let clusters = node_table
-                    .nodes()
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, nd)| alive[*i] && nd.role().is_clusterhead())
-                    .count();
-                cluster_series.push(now, clusters as f64);
-                let gateways = node_table
-                    .nodes()
-                    .iter()
-                    .zip(node_table.tables())
-                    .enumerate()
-                    .filter(|(i, (nd, t))| alive[*i] && nd.is_gateway(t))
-                    .count();
-                let gateway_fraction = if alive_n == 0 {
-                    0.0
-                } else {
-                    gateways as f64 / alive_n as f64
-                };
-                gateway_series.push(now, gateway_fraction);
-                let metric_sum = node_table
-                    .nodes()
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| alive[*i])
-                    .map(|(_, nd)| nd.metric())
-                    .sum::<f64>();
-                let mean_metric = if alive_n == 0 {
-                    0.0
-                } else {
-                    metric_sum / alive_n as f64
-                };
-                metric_series.push(now, mean_metric);
-                // Cluster-healing probes: a probe opened by a clusterhead
-                // crash resolves once every surviving orphan has found a
-                // live clusterhead (or become one); orphans that crash
-                // drop out of their probe.
-                probes.retain_mut(|p| {
-                    p.orphans
-                        .retain(|&o| node_table.is_alive(o) && !reaffiliated(&node_table, o));
-                    if p.orphans.is_empty() {
-                        let latency = now.saturating_sub(p.started).as_secs_f64();
-                        probes_healed += 1;
-                        healing_latency_sum += latency;
-                        healing_latency_max = healing_latency_max.max(latency);
-                        false
-                    } else {
-                        true
-                    }
-                });
-                // Periodic Theorem-1 audit of the live topology. The
-                // protocol violates Theorem 1 *transiently* by design (CCI
-                // deferral, TP affiliation holding), so `warn` observes
-                // and `strict` is meant for converged/stationary
-                // scenarios where a violation is a genuine defect.
-                if audit_on && now >= warmup {
-                    audit_checks += 1;
-                    let mut ids = Vec::with_capacity(alive_n);
-                    let mut roles = Vec::with_capacity(alive_n);
-                    let mut pos = Vec::with_capacity(alive_n);
-                    for (i, nd) in node_table.nodes().iter().enumerate() {
-                        if alive[i] {
-                            ids.push(NodeId::new(i as u32));
-                            roles.push(nd.role());
-                            pos.push(positions[i]);
-                        }
-                    }
-                    let adj = mobic_core::centralized::Adjacency::unit_disk(&pos, cfg.tx_range_m);
-                    let violations = mobic_core::invariants::check_theorem1(&roles, &ids, &adj);
-                    audit_violations += violations.len() as u64;
-                    if !violations.is_empty() {
-                        if tracing {
-                            for v in &violations {
-                                sink.record(now, &violation_event(v, &ids));
-                            }
-                        }
-                        if cfg.audit == AuditMode::Strict {
-                            // Structured failure, never a panic: flag the
-                            // run and let the queue drain.
-                            abort = Some((now, violations.len()));
-                            return;
-                        }
-                    }
-                }
-                sched.schedule_in(bi, Ev::Sample);
+            // A checkpoint fires *between* events: flush the trace so
+            // its cursor is durable, drain the queue into canonical
+            // `(time, seq)` order, lift the complete live state into a
+            // snapshot, and re-arm the queue (original seqs preserved)
+            // so a periodic run continues unperturbed.
+            if tracing {
+                sink.sync();
             }
-            Ev::Fault(action) => {
-                if abort.is_some() {
-                    return;
-                }
-                // Fault events are only scheduled when a plan exists, so
-                // the stream is always there; a missing one would mean a
-                // scheduling bug, and dropping the event is strictly
-                // safer than aborting the run.
-                let Some(rng) = fault_rng.as_mut() else {
-                    return;
-                };
-                match action {
-                    FaultAction::Crash { revive_after } => {
-                        let Some(v) = pick_victim(&node_table, cfg.faults.target, rng) else {
-                            return; // nobody left alive to crash
-                        };
-                        // A clusterhead crash opens a healing probe over
-                        // its current live members.
-                        if node_table.node(v).role() == Role::Clusterhead {
-                            let ch = NodeId::new(v as u32);
-                            let orphans: Vec<usize> = (0..n)
-                                .filter(|&j| {
-                                    j != v
-                                        && node_table.is_alive(j)
-                                        && node_table.node(j).role() == (Role::Member { ch })
-                                })
-                                .collect();
-                            if !orphans.is_empty() {
-                                probes_created += 1;
-                                probes.push(HealingProbe {
-                                    started: now,
-                                    orphans,
-                                });
-                            }
-                        }
-                        node_table.set_down(v);
-                        pending[v] = None;
-                        last_arrival[v] = None;
-                        fault_counters.crashes += 1;
-                        if tracing {
-                            sink.record(now, &TraceEvent::NodeDown { node: v as u32 });
-                        }
-                        if let Some(after) = revive_after {
-                            sched.schedule_in(after, Ev::Fault(FaultAction::Revive { node: v }));
-                        }
-                    }
-                    FaultAction::Revive { node } | FaultAction::Join { node } => {
-                        if node_table.is_alive(node) {
-                            return;
-                        }
-                        node_table.bring_up(node, now);
-                        if matches!(action, FaultAction::Revive { .. }) {
-                            fault_counters.recoveries += 1;
-                        } else {
-                            fault_counters.late_joins += 1;
-                        }
-                        if tracing {
-                            sink.record(now, &TraceEvent::NodeUp { node: node as u32 });
-                        }
-                    }
-                    FaultAction::Impair { mute } => {
-                        let Some(v) = pick_victim(&node_table, cfg.faults.target, rng) else {
-                            return;
-                        };
-                        if mute {
-                            node_table.set_mute(v, true);
-                            fault_counters.mute_spells += 1;
-                        } else {
-                            node_table.set_deaf(v, true);
-                            fault_counters.deaf_spells += 1;
-                        }
-                        if tracing {
-                            sink.record(
-                                now,
-                                &TraceEvent::NodeImpaired {
-                                    node: v as u32,
-                                    mute,
-                                },
-                            );
-                        }
-                        sched.schedule_in(
-                            SimTime::from_secs_f64(cfg.faults.spell_s),
-                            Ev::Fault(FaultAction::Restore { node: v, mute }),
-                        );
-                    }
-                    FaultAction::Restore { node, mute } => {
-                        // A crash in the meantime already wiped the flag;
-                        // restore only what is still impaired.
-                        let impaired = node_table.is_alive(node)
-                            && if mute {
-                                node_table.is_mute(node)
-                            } else {
-                                node_table.is_deaf(node)
-                            };
-                        if !impaired {
-                            return;
-                        }
-                        if mute {
-                            node_table.set_mute(node, false);
-                        } else {
-                            node_table.set_deaf(node, false);
-                        }
-                        if tracing {
-                            sink.record(
-                                now,
-                                &TraceEvent::NodeRestored {
-                                    node: node as u32,
-                                    mute,
-                                },
-                            );
-                        }
-                    }
-                }
+            let entries = sim.queue_mut().drain_canonical();
+            for &(t, q_seq, ev) in &entries {
+                sim.queue_mut().restore_entry(t, q_seq, ev);
             }
-        });
+            let snap = SimSnapshot {
+                config_hash: snapshot::semantic_config_hash(cfg),
+                seed,
+                now: sim.now(),
+                events_processed: sim.events_processed(),
+                next_seq: sim.queue_mut().next_seq(),
+                queue: entries,
+                window_start,
+                node_table: node_table.clone(),
+                positions: positions.clone(),
+                last_refresh,
+                fault_rng_word_pos: fault_rng.as_ref().map(|r| {
+                    let pos = r.get_word_pos();
+                    ((pos >> 64) as u64, pos as u64)
+                }),
+                loss: engine.loss().save_state(),
+                propagation: engine.radio().propagation().save_state(),
+                last_arrival: last_arrival.clone(),
+                pending: pending.clone(),
+                hello_broadcasts,
+                deliveries,
+                mac_collisions: collisions,
+                candidate_total,
+                index_refreshes,
+                elections_skipped,
+                log: log.clone(),
+                cluster_series: cluster_series.clone(),
+                gateway_series: gateway_series.clone(),
+                metric_series: metric_series.clone(),
+                faults: fault_counters,
+                probes: probes.clone(),
+                probes_created,
+                probes_healed,
+                healing_latency_sum,
+                healing_latency_max,
+                audit_checks,
+                audit_violations,
+                abort,
+                trace: if tracing { sink.cursor() } else { None },
+            };
+            match plan {
+                CheckpointPlan::StopAfter(_) => {
+                    return Ok(RunOutcome::Suspended(Box::new(snap)));
+                }
+                CheckpointPlan::Periodic { dir, keep, .. } => {
+                    // A failed snapshot write must not kill a healthy
+                    // run — it only costs resume granularity.
+                    let _ = snapshot::write_rotated(&snap, dir, keep);
+                    last_periodic = Some(sim.events_processed());
+                    next_due_ms = wall_start.elapsed_ms() + periodic_ms;
+                }
+                CheckpointPlan::None => unreachable!("stop trigger fired without a plan"),
+            }
+        }
         window_start = horizon;
         if horizon >= sim_end {
             break;
@@ -1650,7 +2021,7 @@ fn run_engine<Q: Queue<Ev>>(
         violations: audit_violations,
     });
 
-    Ok(RunResult {
+    Ok(RunOutcome::Done(Box::new(RunResult {
         algorithm: cfg.algorithm,
         seed,
         tx_range_m: cfg.tx_range_m,
@@ -1690,7 +2061,7 @@ fn run_engine<Q: Queue<Ev>>(
                 elections_skipped,
             },
         },
-    })
+    })))
 }
 
 /// Build the [`RunManifest`] describing a finished run.
@@ -2472,5 +2843,160 @@ mod tests {
             text.contains("\"kind\":\"node_down\""),
             "trace missing node_down"
         );
+    }
+
+    /// Suspends a run after `after` events, panicking if it finished
+    /// first (callers pick kill points well inside the run).
+    fn suspend_at(cfg: &ScenarioConfig, seed: u64, after: u64) -> crate::SimSnapshot {
+        match run_scenario_until(cfg, seed, after, &mut NullSink).unwrap() {
+            RunOutcome::Suspended(snap) => *snap,
+            RunOutcome::Done(_) => panic!("run completed before event {after}"),
+        }
+    }
+
+    #[test]
+    fn kill_and_resume_is_byte_identical() {
+        let cfg = small(AlgorithmKind::Mobic);
+        let want = serde_json::to_string(&run_scenario(&cfg, 7).unwrap()).unwrap();
+        for after in [1u64, 17, 150, 350] {
+            let snap = suspend_at(&cfg, 7, after);
+            assert_eq!(snap.events_processed(), after);
+            let resumed = run_scenario_resumed(&cfg, 7, snap, &mut NullSink).unwrap();
+            assert_eq!(
+                serde_json::to_string(&resumed).unwrap(),
+                want,
+                "kill at event {after}"
+            );
+        }
+    }
+
+    #[test]
+    fn kill_and_resume_preserves_trace_bytes() {
+        let cfg = small(AlgorithmKind::Mobic);
+        let mut full = mobic_trace::JsonlSink::new(Vec::new());
+        run_scenario_traced(&cfg, 5, &mut full).unwrap();
+        let reference = full.finish().unwrap();
+
+        // Interrupted run: trace into one buffer up to the kill point,
+        // then replay the checkpoint cursor onto a fresh sink seeded
+        // with the durable prefix (the in-memory analog of
+        // JsonlSink::resume truncating the file tail).
+        let mut head = mobic_trace::JsonlSink::new(Vec::new());
+        let snap = match run_scenario_until(&cfg, 5, 150, &mut head).unwrap() {
+            RunOutcome::Suspended(snap) => *snap,
+            RunOutcome::Done(_) => panic!("run completed before the kill point"),
+        };
+        let cursor = snap.trace_cursor().expect("traced run has a cursor");
+        let mut bytes = head.finish().unwrap();
+        bytes.truncate(usize::try_from(cursor.bytes).unwrap());
+        let mut tail = mobic_trace::JsonlSink::new(Vec::new());
+        run_scenario_resumed(&cfg, 5, snap, &mut tail).unwrap();
+        bytes.extend_from_slice(&tail.finish().unwrap());
+        assert_eq!(bytes, reference);
+    }
+
+    #[test]
+    fn resume_crosses_engines_and_schedulers() {
+        // A snapshot is queue-implementation-agnostic: suspend under
+        // the default heap/sequential pair, resume under every other
+        // engine × scheduler combination — bytes must not move.
+        let cfg = small(AlgorithmKind::Mobic);
+        let want = serde_json::to_string(&run_scenario(&cfg, 11).unwrap()).unwrap();
+        for (engine, shards, scheduler) in [
+            (Engine::Sequential, 0u32, Scheduler::Calendar),
+            (Engine::Sharded, 2, Scheduler::Heap),
+            (Engine::Sharded, 3, Scheduler::Calendar),
+        ] {
+            let snap = suspend_at(&cfg, 11, 200);
+            let mut resume_cfg = cfg;
+            resume_cfg.engine = engine;
+            resume_cfg.shards = shards;
+            resume_cfg.scheduler = scheduler;
+            let resumed = run_scenario_resumed(&resume_cfg, 11, snap, &mut NullSink).unwrap();
+            assert_eq!(
+                serde_json::to_string(&resumed).unwrap(),
+                want,
+                "resume under {engine:?}/{shards}/{scheduler:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn kill_and_resume_covers_faults_and_stateful_channel() {
+        // The hard state: a live fault RNG stream mid-plan, Gilbert–
+        // Elliott loss channels mid-burst, and shadowing draws — all
+        // must restore positionally for byte-identity.
+        let mut cfg = small(AlgorithmKind::Mobic);
+        cfg.faults.crashes = 2;
+        cfg.faults.recoveries = 1;
+        cfg.faults.deaf_spells = 1;
+        cfg.loss = LossKind::BurstyPreset;
+        cfg.propagation = PropagationKind::ShadowedFreeSpace { sigma_db: 4.0 };
+        cfg.fast_path = FastPath::Off; // stochastic propagation
+        let want = serde_json::to_string(&run_scenario(&cfg, 13).unwrap()).unwrap();
+        for after in [50u64, 300] {
+            let snap = suspend_at(&cfg, 13, after);
+            let resumed = run_scenario_resumed(&cfg, 13, snap, &mut NullSink).unwrap();
+            assert_eq!(
+                serde_json::to_string(&resumed).unwrap(),
+                want,
+                "kill at event {after}"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_gate_rejects_foreign_snapshots() {
+        let cfg = small(AlgorithmKind::Mobic);
+        let snap = suspend_at(&cfg, 7, 100);
+        // Wrong seed.
+        assert!(matches!(
+            run_scenario_resumed(&cfg, 8, snap.clone(), &mut NullSink),
+            Err(RunError::SnapshotMismatch { .. })
+        ));
+        // Semantically different config.
+        let mut other = cfg;
+        other.algorithm = AlgorithmKind::Lcc;
+        assert!(matches!(
+            run_scenario_resumed(&other, 7, snap, &mut NullSink),
+            Err(RunError::SnapshotMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn stop_beyond_the_horizon_completes_normally() {
+        let cfg = small(AlgorithmKind::Mobic);
+        let want = serde_json::to_string(&run_scenario(&cfg, 7).unwrap()).unwrap();
+        match run_scenario_until(&cfg, 7, u64::MAX, &mut NullSink).unwrap() {
+            RunOutcome::Done(result) => {
+                assert_eq!(serde_json::to_string(&*result).unwrap(), want);
+            }
+            RunOutcome::Suspended(_) => panic!("unreachable stop point must not suspend"),
+        }
+    }
+
+    #[test]
+    fn checkpointed_run_writes_snapshots_and_resumes() {
+        // End-to-end through run_scenario_checkpointed: a pathological
+        // cadence (checkpoint constantly) still finishes with the
+        // reference bytes, leaves at most `keep` valid snapshots
+        // behind, and the newest one resumes to the same bytes.
+        let mut cfg = small(AlgorithmKind::Mobic);
+        cfg.checkpoint = crate::CheckpointPolicy {
+            every_s: 1e-9,
+            keep: 2,
+        };
+        let dir = std::env::temp_dir().join("mobic-runner-ckpt-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let plain = small(AlgorithmKind::Mobic);
+        let want = serde_json::to_string(&run_scenario(&plain, 7).unwrap()).unwrap();
+        let r = run_scenario_checkpointed(&cfg, 7, &dir, None, &mut NullSink).unwrap();
+        assert_eq!(serde_json::to_string(&r).unwrap(), want);
+        let (snap, rejected) = crate::latest_snapshot(&dir);
+        let snap = snap.expect("periodic checkpoints were written");
+        assert_eq!(rejected, 0);
+        let resumed = run_scenario_checkpointed(&cfg, 7, &dir, Some(snap), &mut NullSink).unwrap();
+        assert_eq!(serde_json::to_string(&resumed).unwrap(), want);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,594 @@
+//! Versioned mid-run snapshots: crash-safe checkpointing with
+//! byte-identical resume.
+//!
+//! A [`SimSnapshot`] captures the *complete* live state of a run at an
+//! event boundary — the canonical event queue, the node table, every
+//! stateful RNG stream position, loss/propagation model state, metric
+//! accumulators, fault-plan progress, and the trace cursor — such that
+//! [`run_scenario_resumed`](crate::run_scenario_resumed) continues it
+//! to a [`RunResult`](crate::RunResult) whose JSON (and JSONL trace)
+//! is **byte-identical** to an uninterrupted run of the same
+//! `(config, seed)`.
+//!
+//! # What is *not* captured
+//!
+//! Derived state is rebuilt, not stored:
+//!
+//! * **Mobility** — `position_at(t)` is a pure function of
+//!   `(params, seed, t)`; resume rebuilds the models from the config
+//!   and lazily re-extends trajectories to identical values.
+//! * **Spatial index / shard maps / scratch buffers** — recomputed
+//!   from the snapshotted positions.
+//! * **Setup-only RNG streams** (placement, hello offsets, group
+//!   assignment) — consumed only before the first event; a resumed run
+//!   skips the setup draws entirely.
+//!
+//! # Canonical queue order
+//!
+//! The event queue is serialized as `(time, seq, event)` triples in
+//! ascending `(time, seq)` order — the total order every scheduler
+//! implementation observes. Restore re-inserts entries through the
+//! [`SnapshotQueue`](mobic_sim::SnapshotQueue) trait, so a snapshot
+//! taken under the binary-heap scheduler restores into the calendar
+//! queue (or the sharded engine) and vice versa: the snapshot is
+//! queue-implementation-agnostic.
+//!
+//! # On-disk format
+//!
+//! One header line of JSON — `{"schema":1,"hash":"fnv1a64:…","len":N}`
+//! — then `\n`, then the JSON payload. The FNV-1a hash covers the
+//! payload bytes; [`load_snapshot`] verifies schema, length, and hash
+//! before deserializing, so a torn or bit-rotten file yields a typed
+//! [`SnapshotError`] instead of silently corrupt state. Files are
+//! published with [`write_atomic`], so a crash mid-write never leaves
+//! a half-snapshot under the final name.
+
+use std::path::{Path, PathBuf};
+use std::{fmt, fs, io};
+
+use mobic_core::NodeTable;
+use mobic_geom::Vec2;
+use mobic_metrics::{TimeSeries, TransitionLog};
+use mobic_net::loss::LossState;
+use mobic_radio::PropagationState;
+use mobic_sim::SimTime;
+use mobic_trace::{fnv1a64, write_atomic, TraceCursor};
+use serde::{Deserialize, Serialize};
+
+use crate::config::CheckpointPolicy;
+use crate::runner::{config_hash_for, Ev, FaultCounters, HealingProbe, PendingRx};
+use crate::{DeliveryPath, Engine, Recluster, ScenarioConfig, Scheduler};
+
+/// On-disk snapshot schema version. Bumped on any incompatible change
+/// to [`SimSnapshot`]'s serialized shape; [`load_snapshot`] refuses
+/// other versions with [`SnapshotError::Schema`].
+pub const SNAPSHOT_SCHEMA: u32 = 1;
+
+/// Complete mid-run state of a scenario at an event boundary.
+///
+/// Produced by [`run_scenario_until`](crate::run_scenario_until) (and
+/// periodically by [`run_scenario_checkpointed`](crate::run_scenario_checkpointed));
+/// consumed by [`run_scenario_resumed`](crate::run_scenario_resumed).
+/// Fields are crate-private — the runner is the only writer/reader of
+/// the live state; external callers interact through the accessors and
+/// the save/load functions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimSnapshot {
+    /// Semantic config hash gating restore (see
+    /// [`semantic_config_hash`]).
+    pub(crate) config_hash: String,
+    pub(crate) seed: u64,
+    pub(crate) now: SimTime,
+    pub(crate) events_processed: u64,
+    pub(crate) next_seq: u64,
+    /// Pending events in canonical `(time, seq)` ascending order.
+    pub(crate) queue: Vec<(SimTime, u64, Ev)>,
+    pub(crate) window_start: SimTime,
+    pub(crate) node_table: NodeTable,
+    pub(crate) positions: Vec<Vec2>,
+    pub(crate) last_refresh: SimTime,
+    /// ChaCha word position of the live fault stream, split
+    /// `(hi, lo)` so the serialized form stays within u64.
+    pub(crate) fault_rng_word_pos: Option<(u64, u64)>,
+    pub(crate) loss: LossState,
+    pub(crate) propagation: PropagationState,
+    pub(crate) last_arrival: Vec<Option<SimTime>>,
+    pub(crate) pending: Vec<Option<PendingRx>>,
+    pub(crate) hello_broadcasts: u64,
+    pub(crate) deliveries: u64,
+    pub(crate) mac_collisions: u64,
+    pub(crate) candidate_total: u64,
+    pub(crate) index_refreshes: u64,
+    pub(crate) elections_skipped: u64,
+    pub(crate) log: TransitionLog,
+    pub(crate) cluster_series: TimeSeries,
+    pub(crate) gateway_series: TimeSeries,
+    pub(crate) metric_series: TimeSeries,
+    pub(crate) faults: FaultCounters,
+    pub(crate) probes: Vec<HealingProbe>,
+    pub(crate) probes_created: u32,
+    pub(crate) probes_healed: u32,
+    pub(crate) healing_latency_sum: f64,
+    pub(crate) healing_latency_max: f64,
+    pub(crate) audit_checks: u64,
+    pub(crate) audit_violations: u64,
+    pub(crate) abort: Option<(SimTime, usize)>,
+    /// Durable trace position at capture time; `None` for untraced
+    /// runs.
+    pub(crate) trace: Option<TraceCursor>,
+}
+
+impl SimSnapshot {
+    /// Events processed when the snapshot was taken (also its rotation
+    /// key: newer snapshots have strictly larger counts).
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Simulated time of the last processed event.
+    #[must_use]
+    pub fn sim_now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The seed of the run this snapshot belongs to.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Durable trace position at capture time; `None` for untraced
+    /// runs. A traced resume truncates its file to this cursor via
+    /// [`JsonlSink::resume`](mobic_trace::JsonlSink::resume).
+    #[must_use]
+    pub fn trace_cursor(&self) -> Option<TraceCursor> {
+        self.trace
+    }
+
+    /// Checks that this snapshot belongs to the run `(cfg, seed)`
+    /// describes: same seed, same [`semantic_config_hash`]. Execution
+    /// knobs (engine, shards, scheduler, delivery path, recluster
+    /// strategy, checkpoint cadence) may differ — they never change
+    /// results, so a snapshot taken under one may resume under
+    /// another.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason on mismatch.
+    pub fn compatible_with(&self, cfg: &ScenarioConfig, seed: u64) -> Result<(), String> {
+        if self.seed != seed {
+            return Err(format!(
+                "snapshot was taken with seed {}, resume requested seed {seed}",
+                self.seed
+            ));
+        }
+        let expected = semantic_config_hash(cfg);
+        if self.config_hash != expected {
+            return Err(format!(
+                "snapshot config hash {} != semantic hash {expected} of the resume config",
+                self.config_hash
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Config hash over the *semantic* knobs only: execution knobs that
+/// provably never change results — `engine`/`shards`, `scheduler`,
+/// `delivery`, `recluster`, and the checkpoint cadence itself — are
+/// canonicalized to their defaults before hashing. `fast_path` stays
+/// in the hash: it changes serialized perf fields (`indexed`,
+/// `mean_candidates`, `index_refreshes`), so switching it across a
+/// resume would break byte-identity.
+#[must_use]
+pub fn semantic_config_hash(cfg: &ScenarioConfig) -> String {
+    let mut canon = *cfg;
+    canon.engine = Engine::Sequential;
+    canon.shards = 0;
+    canon.scheduler = Scheduler::Heap;
+    canon.delivery = DeliveryPath::Auto;
+    canon.recluster = Recluster::Incremental;
+    canon.checkpoint = CheckpointPolicy::default();
+    config_hash_for(&canon)
+}
+
+/// Why a snapshot file could not be loaded.
+///
+/// Every variant except [`Io`](Self::Io) means the *file content* is
+/// unusable — recovery code treats those as "this snapshot is corrupt,
+/// fall back to an older one (or a cold start)", never as fatal.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The file could not be read at all.
+    Io(io::Error),
+    /// No header line (missing newline, or the first line is not
+    /// header JSON) — not a snapshot file.
+    MissingHeader,
+    /// The header declares an unsupported schema version.
+    Schema {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// The payload is shorter or longer than the header declares —
+    /// a torn write.
+    Truncated {
+        /// Payload length the header promised.
+        expected: u64,
+        /// Payload length actually present.
+        found: u64,
+    },
+    /// The payload hash does not match the header — bit rot or
+    /// tampering.
+    HashMismatch {
+        /// Hash recorded in the header.
+        expected: String,
+        /// Hash of the payload as read.
+        found: String,
+    },
+    /// The payload passed the hash gate but failed to deserialize
+    /// (snapshot written by an incompatible build).
+    Payload(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::MissingHeader => write!(f, "not a snapshot file (no header line)"),
+            SnapshotError::Schema { found } => write!(
+                f,
+                "unsupported snapshot schema {found} (this build reads {SNAPSHOT_SCHEMA})"
+            ),
+            SnapshotError::Truncated { expected, found } => write!(
+                f,
+                "snapshot payload is {found} B but the header declares {expected} B (torn write)"
+            ),
+            SnapshotError::HashMismatch { expected, found } => {
+                write!(
+                    f,
+                    "snapshot hash mismatch: header {expected}, payload {found}"
+                )
+            }
+            SnapshotError::Payload(e) => write!(f, "snapshot payload does not parse: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// The one-line JSON header preceding the payload.
+#[derive(Serialize, Deserialize)]
+struct Header {
+    schema: u32,
+    hash: String,
+    len: u64,
+}
+
+fn payload_hash(payload: &[u8]) -> String {
+    format!("fnv1a64:{:016x}", fnv1a64(payload))
+}
+
+/// Serializes and atomically publishes a snapshot at `path` (header
+/// line + hashed payload; see the module docs for the format).
+///
+/// # Errors
+///
+/// Returns serialization and write errors. A failed write never leaves
+/// a partial file under `path` — [`write_atomic`] publishes via
+/// temp-file + rename.
+pub fn save_snapshot(snap: &SimSnapshot, path: impl AsRef<Path>) -> io::Result<()> {
+    let payload = serde_json::to_vec(snap)?;
+    let header = Header {
+        schema: SNAPSHOT_SCHEMA,
+        hash: payload_hash(&payload),
+        len: payload.len() as u64,
+    };
+    let mut bytes = serde_json::to_vec(&header)?;
+    bytes.push(b'\n');
+    bytes.extend_from_slice(&payload);
+    write_atomic(path, &bytes)
+}
+
+/// Reads and verifies a snapshot: header parse, schema check, length
+/// check, hash check, then payload deserialization — in that order, so
+/// the error names the first gate the file failed.
+///
+/// # Errors
+///
+/// See [`SnapshotError`]; anything but [`SnapshotError::Io`] means the
+/// file content is unusable and an older snapshot (or a cold start)
+/// should be used instead.
+pub fn load_snapshot(path: impl AsRef<Path>) -> Result<SimSnapshot, SnapshotError> {
+    let bytes = fs::read(path)?;
+    let nl = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or(SnapshotError::MissingHeader)?;
+    let header: Header =
+        serde_json::from_slice(&bytes[..nl]).map_err(|_| SnapshotError::MissingHeader)?;
+    if header.schema != SNAPSHOT_SCHEMA {
+        return Err(SnapshotError::Schema {
+            found: header.schema,
+        });
+    }
+    let payload = &bytes[nl + 1..];
+    if payload.len() as u64 != header.len {
+        return Err(SnapshotError::Truncated {
+            expected: header.len,
+            found: payload.len() as u64,
+        });
+    }
+    let found = payload_hash(payload);
+    if found != header.hash {
+        return Err(SnapshotError::HashMismatch {
+            expected: header.hash,
+            found,
+        });
+    }
+    serde_json::from_slice(payload).map_err(|e| SnapshotError::Payload(e.to_string()))
+}
+
+/// Snapshot files in `dir`, sorted ascending by name — and therefore
+/// by event count, because names zero-pad the count
+/// (`ckpt-00000000000000001024.ckpt`).
+fn list_snapshots(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut found: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "ckpt"))
+        .collect();
+    found.sort();
+    Ok(found)
+}
+
+/// Writes a rotated snapshot into `dir` (created if absent) named by
+/// its event count, then prunes the oldest files beyond `keep`
+/// (clamped to at least 1). Returns the path written.
+///
+/// # Errors
+///
+/// Returns directory-creation and write errors; pruning errors are
+/// ignored (stale snapshots are harmless).
+pub fn write_rotated(snap: &SimSnapshot, dir: &Path, keep: u32) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("ckpt-{:020}.ckpt", snap.events_processed));
+    save_snapshot(snap, &path)?;
+    if let Ok(mut all) = list_snapshots(dir) {
+        let keep = keep.max(1) as usize;
+        while all.len() > keep {
+            let oldest = all.remove(0);
+            let _ = fs::remove_file(oldest);
+        }
+    }
+    Ok(path)
+}
+
+/// Loads the newest snapshot in `dir` that passes every integrity
+/// gate, degrading to older ones on corruption. Returns the snapshot
+/// (or `None` when the directory is missing, empty, or holds only
+/// corrupt files) and the number of snapshot files *rejected* along
+/// the way — surfaced by `mobic-sweepd` as its corruption-fallback
+/// counter.
+#[must_use]
+pub fn latest_snapshot(dir: &Path) -> (Option<SimSnapshot>, u32) {
+    let Ok(mut all) = list_snapshots(dir) else {
+        return (None, 0);
+    };
+    all.reverse(); // newest first
+    let mut rejected = 0;
+    for path in all {
+        match load_snapshot(&path) {
+            Ok(snap) => return (Some(snap), rejected),
+            Err(_) => rejected += 1,
+        }
+    }
+    (None, rejected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_scenario, run_scenario_until, RunOutcome};
+    use mobic_trace::NullSink;
+
+    fn small_cfg() -> ScenarioConfig {
+        let mut cfg = ScenarioConfig::paper_table1();
+        cfg.n_nodes = 12;
+        cfg.sim_time_s = 20.0;
+        cfg.tx_range_m = 200.0;
+        cfg
+    }
+
+    fn suspend(cfg: &ScenarioConfig, seed: u64, after: u64) -> SimSnapshot {
+        match run_scenario_until(cfg, seed, after, &mut NullSink).unwrap() {
+            RunOutcome::Suspended(snap) => *snap,
+            RunOutcome::Done(_) => panic!("run finished before event {after}"),
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mobic-snapshot-{tag}"));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_resume_equivalence() {
+        let cfg = small_cfg();
+        let reference = serde_json::to_string(&run_scenario(&cfg, 7).unwrap()).unwrap();
+        let snap = suspend(&cfg, 7, 60);
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("s.ckpt");
+        save_snapshot(&snap, &path).unwrap();
+        let loaded = load_snapshot(&path).unwrap();
+        assert_eq!(loaded.events_processed(), snap.events_processed());
+        assert_eq!(loaded.seed(), 7);
+        let resumed = crate::run_scenario_resumed(&cfg, 7, loaded, &mut NullSink).unwrap();
+        assert_eq!(serde_json::to_string(&resumed).unwrap(), reference);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_is_detected_not_restored() {
+        let cfg = small_cfg();
+        let snap = suspend(&cfg, 3, 50);
+        let dir = tmp_dir("corruption");
+        let path = dir.join("s.ckpt");
+        save_snapshot(&snap, &path).unwrap();
+        let good = fs::read(&path).unwrap();
+        let nl = good.iter().position(|&b| b == b'\n').unwrap();
+
+        // Flip one payload byte: hash gate.
+        let mut bad = good.clone();
+        let i = nl + 1 + (bad.len() - nl) / 2;
+        bad[i] ^= 0x01;
+        fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            load_snapshot(&path),
+            Err(SnapshotError::HashMismatch { .. })
+        ));
+
+        // Drop trailing payload bytes: length gate.
+        fs::write(&path, &good[..good.len() - 10]).unwrap();
+        assert!(matches!(
+            load_snapshot(&path),
+            Err(SnapshotError::Truncated { .. })
+        ));
+
+        // Wrong schema version in an otherwise valid file.
+        let header: Header = serde_json::from_slice(&good[..nl]).unwrap();
+        let mut rewritten = serde_json::to_vec(&Header {
+            schema: SNAPSHOT_SCHEMA + 1,
+            ..header
+        })
+        .unwrap();
+        rewritten.push(b'\n');
+        rewritten.extend_from_slice(&good[nl + 1..]);
+        fs::write(&path, &rewritten).unwrap();
+        assert!(matches!(
+            load_snapshot(&path),
+            Err(SnapshotError::Schema { found }) if found == SNAPSHOT_SCHEMA + 1
+        ));
+
+        // Garbage: header gate.
+        fs::write(&path, b"not a snapshot").unwrap();
+        assert!(matches!(
+            load_snapshot(&path),
+            Err(SnapshotError::MissingHeader)
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_keeps_newest_and_latest_skips_corrupt() {
+        let cfg = small_cfg();
+        let dir = tmp_dir("rotation");
+        for after in [20u64, 40, 60, 80] {
+            let snap = suspend(&cfg, 5, after);
+            write_rotated(&snap, &dir, 2).unwrap();
+        }
+        let kept = list_snapshots(&dir).unwrap();
+        assert_eq!(kept.len(), 2, "{kept:?}");
+        assert!(
+            kept[1].ends_with("ckpt-00000000000000000080.ckpt"),
+            "{kept:?}"
+        );
+
+        let (best, rejected) = latest_snapshot(&dir);
+        assert_eq!(best.unwrap().events_processed(), 80);
+        assert_eq!(rejected, 0);
+
+        // Corrupt the newest: recovery degrades to the older one and
+        // counts the rejection.
+        let newest = kept[1].clone();
+        let mut bytes = fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&newest, &bytes).unwrap();
+        let (best, rejected) = latest_snapshot(&dir);
+        assert_eq!(best.unwrap().events_processed(), 60);
+        assert_eq!(rejected, 1);
+
+        // Both corrupt: cold start, both rejections counted.
+        fs::write(&kept[0], b"junk").unwrap();
+        let (best, rejected) = latest_snapshot(&dir);
+        assert!(best.is_none());
+        assert_eq!(rejected, 2);
+
+        // Missing directory is a quiet cold start.
+        fs::remove_dir_all(&dir).unwrap();
+        let (best, rejected) = latest_snapshot(&dir);
+        assert!(best.is_none());
+        assert_eq!(rejected, 0);
+    }
+
+    #[test]
+    fn semantic_hash_ignores_execution_knobs_only() {
+        let base = small_cfg();
+        let h = semantic_config_hash(&base);
+
+        // Execution knobs: hash-invariant.
+        let mut c = base;
+        c.engine = Engine::Sharded;
+        c.shards = 4;
+        assert_eq!(semantic_config_hash(&c), h);
+        let mut c = base;
+        c.scheduler = Scheduler::Calendar;
+        assert_eq!(semantic_config_hash(&c), h);
+        let mut c = base;
+        c.delivery = DeliveryPath::Scalar;
+        assert_eq!(semantic_config_hash(&c), h);
+        let mut c = base;
+        c.recluster = Recluster::Full;
+        assert_eq!(semantic_config_hash(&c), h);
+        let mut c = base;
+        c.checkpoint = CheckpointPolicy {
+            every_s: 5.0,
+            keep: 4,
+        };
+        assert_eq!(semantic_config_hash(&c), h);
+
+        // Semantic knobs: hash-sensitive.
+        let mut c = base;
+        c.n_nodes += 1;
+        assert_ne!(semantic_config_hash(&c), h);
+        let mut c = base;
+        c.fast_path = crate::FastPath::Off;
+        assert_ne!(semantic_config_hash(&c), h);
+    }
+
+    #[test]
+    fn compatibility_gate_names_the_mismatch() {
+        let cfg = small_cfg();
+        let snap = suspend(&cfg, 9, 40);
+        snap.compatible_with(&cfg, 9).unwrap();
+        assert!(snap.compatible_with(&cfg, 10).unwrap_err().contains("seed"));
+        let mut other = cfg;
+        other.sim_time_s += 1.0;
+        assert!(snap
+            .compatible_with(&other, 9)
+            .unwrap_err()
+            .contains("hash"));
+        // Execution knobs pass the gate.
+        let mut exec = cfg;
+        exec.scheduler = Scheduler::Calendar;
+        exec.engine = Engine::Sharded;
+        exec.shards = 2;
+        snap.compatible_with(&exec, 9).unwrap();
+    }
+}

@@ -4,15 +4,19 @@
 //! keys) shared by `mobic-cli sweep` and the `mobic-sweepd` service.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::mpsc;
 use std::time::Duration;
 
 use mobic_core::AlgorithmKind;
 use mobic_metrics::OnlineStats;
-use mobic_trace::{RunManifest, Stopwatch};
+use mobic_trace::{NullSink, RunManifest, Stopwatch};
 use serde::{Deserialize, Serialize};
 
-use crate::{config_hash_for, manifest_for, run_scenario, RunError, RunResult, ScenarioConfig};
+use crate::{
+    config_hash_for, latest_snapshot, manifest_for, run_scenario, run_scenario_checkpointed,
+    CheckpointPolicy, RunError, RunResult, ScenarioConfig,
+};
 
 /// A batch job failure, carrying enough context to pinpoint the job
 /// without re-deriving it: its index in the input slice and the
@@ -49,18 +53,47 @@ impl std::error::Error for JobError {
 /// `soft_deadline` is the production control; the two `*_on` fields
 /// are deliberate fault hooks used by the test suite and the CI smoke
 /// to prove the supervisor isolates misbehaving jobs.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct Supervision {
     /// Soft per-job wall-clock deadline. A job still running past it
     /// is reported as [`RunError::TimedOut`] and its worker thread is
     /// abandoned (it finishes in the background; its late result is
     /// discarded). `None` disables the watchdog.
     pub soft_deadline: Option<Duration>,
+    /// How long the batch waits at the end for abandoned (timed-out)
+    /// worker threads to finish before counting them as leaked in
+    /// [`BatchStats::leaked_workers`]. Healthy workers have already
+    /// exited by then, so this only delays batches that actually
+    /// abandoned a thread.
+    pub join_grace: Duration,
     /// Fault hook: the job at this index panics instead of running.
     pub panic_on: Option<usize>,
     /// Fault hook: the job at this index sleeps this long before
     /// running (used to trip the watchdog deterministically).
     pub delay_on: Option<(usize, Duration)>,
+}
+
+impl Default for Supervision {
+    fn default() -> Self {
+        Supervision {
+            soft_deadline: None,
+            join_grace: Duration::from_millis(200),
+            panic_on: None,
+            delay_on: None,
+        }
+    }
+}
+
+/// Thread-accounting for one supervised batch (see
+/// [`run_batch_supervised_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Worker threads still running after the end-of-batch grace
+    /// period: each was abandoned by the soft-deadline watchdog and
+    /// keeps holding memory until its (discarded) run completes. A
+    /// nonzero count across many batches signals the deadline is set
+    /// below real run times.
+    pub leaked_workers: u32,
 }
 
 /// Runs every `(config, seed)` job, using all available cores, and
@@ -191,9 +224,26 @@ pub fn run_batch_supervised(
     jobs: &[(ScenarioConfig, u64)],
     supervision: &Supervision,
 ) -> Vec<Result<RunResult, JobError>> {
+    run_batch_supervised_stats(jobs, supervision).0
+}
+
+/// [`run_batch_supervised`] plus thread accounting: the same verdicts,
+/// and a [`BatchStats`] saying how many abandoned worker threads were
+/// still running when the batch ended.
+///
+/// Every spawned thread is tracked; at batch end each one is joined,
+/// waiting up to [`Supervision::join_grace`] for stragglers. A thread
+/// that outlives the grace is *leaked* — left to finish in the
+/// background with its late result discarded — and counted, so
+/// operators (`mobic-sweepd`'s `/status`, the CLI sweep loop) can see
+/// resource pressure instead of silently accumulating zombies.
+pub fn run_batch_supervised_stats(
+    jobs: &[(ScenarioConfig, u64)],
+    supervision: &Supervision,
+) -> (Vec<Result<RunResult, JobError>>, BatchStats) {
     let n_jobs = jobs.len();
     if n_jobs == 0 {
-        return Vec::new();
+        return (Vec::new(), BatchStats::default());
     }
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -205,7 +255,7 @@ pub fn run_batch_supervised(
         error,
     };
     let (send, recv) = mpsc::channel::<(usize, Result<RunResult, RunError>)>();
-    let spawn_job = |i: usize| {
+    let spawn_job = |i: usize| -> std::thread::JoinHandle<()> {
         let (cfg, seed) = jobs[i]; // `ScenarioConfig` is `Copy`
         let sender = send.clone();
         let panics = supervision.panic_on == Some(i);
@@ -229,16 +279,19 @@ pub fn run_batch_supervised(
             // The supervisor may have already timed this job out and
             // stopped listening; a dead channel is fine.
             let _ = sender.send((i, message));
-        });
+        })
     };
 
     let mut results: Vec<Option<Result<RunResult, JobError>>> = (0..n_jobs).map(|_| None).collect();
     // (job index, per-job stopwatch) of every live worker.
     let mut running: Vec<(usize, Stopwatch)> = Vec::new();
+    // Every spawned thread, live or abandoned, for the end-of-batch
+    // join below.
+    let mut spawned: Vec<std::thread::JoinHandle<()>> = Vec::new();
     let mut next = 0usize;
     while results.iter().any(Option::is_none) {
         while next < n_jobs && running.len() < workers {
-            spawn_job(next);
+            spawned.push(spawn_job(next));
             running.push((next, Stopwatch::start()));
             next += 1;
         }
@@ -293,7 +346,24 @@ pub fn run_batch_supervised(
             }
         }
     }
-    results
+    // Batch end: reap every thread we spawned. Healthy workers have
+    // already exited, so joining them is instant; abandoned
+    // (timed-out) ones get one shared grace window to wind down
+    // before being counted as leaked. Verdicts are final either way —
+    // late results were discarded above.
+    let grace = Stopwatch::start();
+    let mut leaked_workers = 0u32;
+    for handle in spawned {
+        while !handle.is_finished() && !grace.remaining_of(supervision.join_grace).is_zero() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        if handle.is_finished() {
+            let _ = handle.join();
+        } else {
+            leaked_workers += 1;
+        }
+    }
+    let verdicts = results
         .into_iter()
         .enumerate()
         .map(|(i, r)| {
@@ -309,7 +379,8 @@ pub fn run_batch_supervised(
                 ))
             })
         })
-        .collect()
+        .collect();
+    (verdicts, BatchStats { leaked_workers })
 }
 
 /// Aggregated outcome of one sweep cell (one algorithm at one
@@ -559,12 +630,124 @@ impl SweepCell {
 /// timeout, or strict-audit verdicts); the cell has no partial
 /// outcome — callers retry or park it.
 pub fn run_cell(cell: &SweepCell, supervision: &Supervision) -> Result<SweepOutcome, JobError> {
+    run_cell_stats(cell, supervision).0
+}
+
+/// [`run_cell`] plus the batch's [`BatchStats`], so services can
+/// account for leaked worker threads per cell.
+pub fn run_cell_stats(
+    cell: &SweepCell,
+    supervision: &Supervision,
+) -> (Result<SweepOutcome, JobError>, BatchStats) {
     let jobs: Vec<(ScenarioConfig, u64)> = cell.seeds.iter().map(|&s| (cell.config, s)).collect();
-    let mut runs = Vec::with_capacity(jobs.len());
-    for r in run_batch_supervised(&jobs, supervision) {
-        runs.push(r?);
+    let (verdicts, stats) = run_batch_supervised_stats(&jobs, supervision);
+    let mut runs = Vec::with_capacity(verdicts.len());
+    for r in verdicts {
+        match r {
+            Ok(run) => runs.push(run),
+            Err(e) => return (Err(e), stats),
+        }
     }
-    Ok(summarize_cs(cell.x, &runs))
+    (Ok(summarize_cs(cell.x, &runs)), stats)
+}
+
+/// Crash-recovery counters of one [`run_cell_recoverable`] attempt.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellRecovery {
+    /// Seeds that resumed from a valid snapshot instead of starting
+    /// cold.
+    pub resumed: u32,
+    /// Snapshots that could not be used — corrupt files skipped by
+    /// [`latest_snapshot`] plus snapshots rejected by the
+    /// `(config, seed)` compatibility gate — each degrading to an
+    /// older snapshot or a cold start, never to restored-bad-state.
+    pub fallbacks: u32,
+}
+
+/// Computes one cell with crash-safe checkpointing: every seed runs
+/// through [`run_scenario_checkpointed`](crate::run_scenario_checkpointed),
+/// publishing rotated snapshots under `ckpt_dir/seed-<seed>/` at the
+/// cadence in `policy`, and — after a crash or a kill — resuming each
+/// seed from its newest snapshot that passes the integrity and
+/// compatibility gates (degrading to older snapshots, then to a cold
+/// start). The aggregated [`SweepOutcome`] is byte-identical to what
+/// [`run_cell`] computes for the same cell, whether or not any seed
+/// resumed: checkpointing changes how the value is evaluated, never
+/// the value.
+///
+/// Seeds run sequentially on the caller's thread (a sweepd worker *is*
+/// the unit of parallelism), honoring the [`Supervision`] fault hooks
+/// (`panic_on`, `delay_on`) so the service's retry path stays
+/// testable; the soft-deadline watchdog does not apply here — on this
+/// path a long cell is survivable by construction, because a killed
+/// attempt resumes from its snapshots instead of being thrown away.
+///
+/// On success the cell's snapshot directory is removed (the result is
+/// cached; the snapshots are dead weight). On failure it is kept so
+/// the retry resumes rather than recomputes.
+pub fn run_cell_recoverable(
+    cell: &SweepCell,
+    supervision: &Supervision,
+    ckpt_dir: &Path,
+    policy: CheckpointPolicy,
+) -> (Result<SweepOutcome, JobError>, CellRecovery) {
+    let mut recovery = CellRecovery::default();
+    let mut runs = Vec::with_capacity(cell.seeds.len());
+    for (i, &seed) in cell.seeds.iter().enumerate() {
+        let mut cfg = cell.config;
+        cfg.checkpoint = policy;
+        let seed_dir = ckpt_dir.join(format!("seed-{seed}"));
+        let (snapshot, rejected) = latest_snapshot(&seed_dir);
+        recovery.fallbacks += rejected;
+        let resume = match snapshot {
+            Some(s) if s.compatible_with(&cfg, seed).is_ok() => {
+                recovery.resumed += 1;
+                Some(s)
+            }
+            Some(_) => {
+                // A stale directory from a different cell layout; a
+                // cold start is always correct.
+                recovery.fallbacks += 1;
+                None
+            }
+            None => None,
+        };
+        let panics = supervision.panic_on == Some(i);
+        let delay = supervision
+            .delay_on
+            .and_then(|(j, d)| (j == i).then_some(d));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(d) = delay {
+                std::thread::sleep(d);
+            }
+            assert!(!panics, "supervision fault hook: deliberate panic");
+            run_scenario_checkpointed(&cfg, seed, &seed_dir, resume, &mut NullSink)
+        }));
+        let result = match outcome {
+            Ok(r) => r,
+            Err(payload) => Err(RunError::Panicked {
+                message: panic_message(payload.as_ref()),
+            }),
+        };
+        match result {
+            Ok(run) => runs.push(run),
+            Err(error) => {
+                // Keep the snapshot directory: the retry resumes this
+                // seed instead of recomputing the whole cell.
+                let err = JobError {
+                    index: i,
+                    config_hash: config_hash_for(&cell.config),
+                    error,
+                };
+                return (Err(err), recovery);
+            }
+        }
+    }
+    // The cell is done and its outcome will be cached; the snapshots
+    // have served their purpose. Best-effort cleanup only — a leftover
+    // directory is re-validated (and rejected) on any future reuse.
+    let _ = std::fs::remove_dir_all(ckpt_dir);
+    (Ok(summarize_cs(cell.x, &runs)), recovery)
 }
 
 #[cfg(test)]
@@ -887,5 +1070,101 @@ mod tests {
         let e = results[1].as_ref().unwrap_err();
         assert_eq!(e.index, 1);
         assert!(matches!(e.error, RunError::Config(_)));
+    }
+
+    #[test]
+    fn healthy_batches_leak_no_worker_threads() {
+        let jobs: Vec<(ScenarioConfig, u64)> = (0..3)
+            .map(|s| (tiny(AlgorithmKind::Mobic, 180.0), s))
+            .collect();
+        let (results, stats) = run_batch_supervised_stats(&jobs, &Supervision::default());
+        assert!(results.iter().all(Result::is_ok));
+        assert_eq!(stats, BatchStats::default());
+    }
+
+    /// A fresh per-test checkpoint root under the OS temp dir.
+    fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mobic-sweep-ckpt-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fast_policy() -> CheckpointPolicy {
+        CheckpointPolicy {
+            every_s: 1e-9,
+            keep: 2,
+        }
+    }
+
+    #[test]
+    fn recoverable_cell_matches_run_cell_and_cleans_up() {
+        let spec = tiny_spec();
+        let cell = &spec.cells()[0];
+        let dir = ckpt_dir("clean");
+        let (outcome, recovery) =
+            run_cell_recoverable(cell, &Supervision::default(), &dir, fast_policy());
+        let recovered = outcome.expect("cell must complete").to_json_pretty();
+        let direct = run_cell(cell, &Supervision::default())
+            .expect("direct run")
+            .to_json_pretty();
+        assert_eq!(recovered, direct, "checkpointing must not change bytes");
+        assert_eq!(recovery.resumed, 0, "nothing to resume on a cold cell");
+        assert!(
+            !dir.exists(),
+            "a completed cell must remove its snapshot directory"
+        );
+    }
+
+    #[test]
+    fn recoverable_cell_resumes_after_a_crash_with_identical_bytes() {
+        let spec = tiny_spec();
+        let cell = &spec.cells()[1];
+        let dir = ckpt_dir("crash");
+        // First attempt: seed 0 completes (leaving snapshots behind is
+        // irrelevant — it re-verifies), then the fault hook crashes
+        // the attempt at seed index 1, exactly like a killed worker.
+        let crash = Supervision {
+            panic_on: Some(1),
+            ..Supervision::default()
+        };
+        let (outcome, _) = run_cell_recoverable(cell, &crash, &dir, fast_policy());
+        let err = outcome.expect_err("the fault hook must crash the attempt");
+        assert_eq!(err.index, 1);
+        assert!(matches!(err.error, RunError::Panicked { .. }));
+        assert!(dir.exists(), "a failed attempt must keep its snapshots");
+
+        // The retry resumes seed 0 from its snapshot instead of
+        // recomputing it, and the final bytes are the uninterrupted
+        // cell's bytes.
+        let (outcome, recovery) =
+            run_cell_recoverable(cell, &Supervision::default(), &dir, fast_policy());
+        let resumed = outcome.expect("retry must complete").to_json_pretty();
+        let direct = run_cell(cell, &Supervision::default())
+            .expect("direct run")
+            .to_json_pretty();
+        assert_eq!(resumed, direct, "resume must not change bytes");
+        assert!(recovery.resumed >= 1, "seed 0 must resume from snapshot");
+        assert!(!dir.exists(), "completion must remove the snapshots");
+    }
+
+    #[test]
+    fn recoverable_cell_degrades_to_cold_start_on_corrupt_snapshots() {
+        let spec = tiny_spec();
+        let cell = &spec.cells()[0];
+        let dir = ckpt_dir("corrupt");
+        // A corrupt snapshot for seed 0: one bogus .ckpt file that
+        // fails the integrity gate.
+        let seed_dir = dir.join("seed-0");
+        std::fs::create_dir_all(&seed_dir).unwrap();
+        std::fs::write(seed_dir.join("ckpt-00000000000000000099.ckpt"), b"garbage").unwrap();
+        let (outcome, recovery) =
+            run_cell_recoverable(cell, &Supervision::default(), &dir, fast_policy());
+        let recovered = outcome.expect("cell must complete").to_json_pretty();
+        let direct = run_cell(cell, &Supervision::default())
+            .expect("direct run")
+            .to_json_pretty();
+        assert_eq!(recovered, direct, "corruption must cost bytes nothing");
+        assert_eq!(recovery.resumed, 0, "garbage must never be restored");
+        assert!(recovery.fallbacks >= 1, "the rejection must be counted");
     }
 }

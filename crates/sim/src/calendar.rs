@@ -453,6 +453,33 @@ impl<E> Queue<E> for CalendarQueue<E> {
     }
 }
 
+impl<E> crate::queue::SnapshotQueue<E> for CalendarQueue<E> {
+    fn drain_canonical(&mut self) -> Vec<(SimTime, u64, E)> {
+        // Repeated take-min yields ascending `(time, seq)` directly —
+        // the due-slot scan plus overflow comparison always selects
+        // the exact global minimum (see the module docs).
+        let mut out = Vec::with_capacity(self.store.len);
+        while let Some(e) = self.store.take_min_entry() {
+            out.push((e.time, e.seq, e.event));
+        }
+        self.store.maybe_resize();
+        out
+    }
+
+    fn restore_entry(&mut self, time: SimTime, seq: u64, event: E) {
+        self.store.insert_entry(Entry { time, seq, event });
+        self.store.maybe_resize();
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    fn set_next_seq(&mut self, next: u64) {
+        self.next_seq = next;
+    }
+}
+
 /// A [`ShardedEventQueue`](crate::ShardedEventQueue) whose shards are
 /// [`CalendarStore`]s — the `engine: sharded` × `scheduler: calendar`
 /// composition. Construct with

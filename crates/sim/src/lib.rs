@@ -60,6 +60,6 @@ mod runner;
 mod time;
 
 pub use calendar::{CalendarQueue, CalendarStore, ShardedCalendarQueue};
-pub use queue::{Entry, EntryStore, EventKey, EventQueue, Queue, ShardedEventQueue};
+pub use queue::{Entry, EntryStore, EventKey, EventQueue, Queue, ShardedEventQueue, SnapshotQueue};
 pub use runner::{Scheduler, Simulation};
 pub use time::SimTime;

@@ -45,6 +45,43 @@ pub trait Queue<E> {
     }
 }
 
+/// Checkpoint support for event queues: drain every pending entry in
+/// canonical `(time, seq)` order and rebuild a queue from such a
+/// drained list with the original merge keys preserved.
+///
+/// The canonical form is queue-implementation-agnostic: pop order is
+/// governed solely by the `(time, seq)` merge key, so a drained list
+/// written from a binary heap restores into a calendar queue (or a
+/// sharded queue, under any owner map) with a provably identical
+/// future pop sequence. The trait lives in this crate because
+/// [`Entry`] keys are deliberately unforgeable from outside — restore
+/// is the one sanctioned way to re-mint them, and it may only be fed
+/// keys a drain produced.
+///
+/// Draining is destructive; callers that snapshot a *live* queue
+/// re-insert the drained entries via
+/// [`restore_entry`](Self::restore_entry), which restores the exact
+/// pop order (the keys are unchanged, and placement cannot matter).
+pub trait SnapshotQueue<E>: Queue<E> {
+    /// Removes every pending entry, returning `(time, seq, event)`
+    /// triples in ascending `(time, seq)` order — the order `pop`
+    /// would have returned them.
+    fn drain_canonical(&mut self) -> Vec<(SimTime, u64, E)>;
+
+    /// Re-inserts an entry under its original merge key, bypassing
+    /// sequence minting. Feeding keys that did not come from a drain
+    /// of the same logical queue breaks the FIFO tie-break contract.
+    fn restore_entry(&mut self, time: SimTime, seq: u64, event: E);
+
+    /// The sequence number the next [`Queue::push`] will mint.
+    fn next_seq(&self) -> u64;
+
+    /// Sets the sequence number the next [`Queue::push`] will mint —
+    /// restored queues must continue the saved counter so post-resume
+    /// pushes tie-break exactly as the uninterrupted run's would.
+    fn set_next_seq(&mut self, next: u64);
+}
+
 /// A future-event list: a min-priority queue of `(SimTime, E)` pairs.
 ///
 /// Events scheduled for the same instant are delivered in insertion
@@ -193,6 +230,28 @@ impl<E> Queue<E> for EventQueue<E> {
 
     fn len(&self) -> usize {
         EventQueue::len(self)
+    }
+}
+
+impl<E> SnapshotQueue<E> for EventQueue<E> {
+    fn drain_canonical(&mut self) -> Vec<(SimTime, u64, E)> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(e) = self.heap.pop() {
+            out.push((e.time, e.seq, e.event));
+        }
+        out
+    }
+
+    fn restore_entry(&mut self, time: SimTime, seq: u64, event: E) {
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    fn set_next_seq(&mut self, next: u64) {
+        self.next_seq = next;
     }
 }
 
@@ -471,6 +530,37 @@ impl<E, R: Fn(&E) -> EventKey, S: EntryStore<E>> Queue<E> for ShardedEventQueue<
         // length.
         self.owners.clear();
         self.owners.extend_from_slice(owners);
+    }
+}
+
+impl<E, R: Fn(&E) -> EventKey, S: EntryStore<E>> SnapshotQueue<E> for ShardedEventQueue<E, R, S> {
+    fn drain_canonical(&mut self) -> Vec<(SimTime, u64, E)> {
+        // Shard placement is storage-only, so draining shard-by-shard
+        // and sorting by the merge key yields exactly the sequence the
+        // merge-pop would have produced.
+        let mut out = Vec::with_capacity(self.len);
+        for store in &mut self.shards {
+            while let Some(e) = store.take_min() {
+                out.push((e.time, e.seq, e.event));
+            }
+        }
+        out.sort_by_key(|&(t, s, _)| (t, s));
+        self.len = 0;
+        out
+    }
+
+    fn restore_entry(&mut self, time: SimTime, seq: u64, event: E) {
+        let shard = self.shard_for((self.router)(&event));
+        self.shards[shard].insert(Entry { time, seq, event });
+        self.len += 1;
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    fn set_next_seq(&mut self, next: u64) {
+        self.next_seq = next;
     }
 }
 
@@ -782,5 +872,102 @@ mod tests {
         assert_eq!(sh.n_shards(), 1);
         Queue::push(&mut sh, SimTime::ZERO, (0, 0));
         assert_eq!(Queue::pop(&mut sh), Some((SimTime::ZERO, (0, 0))));
+    }
+
+    /// Populates `q` with an adversarial prefix (pops included, so the
+    /// sequence counter is ahead of the live entry count), then drains
+    /// canonically and checks the triples are key-sorted with
+    /// globally-unique sequence numbers.
+    fn drain_is_canonical<Q: SnapshotQueue<TestEv>>(mut q: Q, label: &str) {
+        let script = adversarial_script(200);
+        for &(t, ev, pop_now) in &script {
+            q.push(SimTime::from_micros(t), ev);
+            if pop_now {
+                let _ = q.pop();
+            }
+        }
+        let before_len = q.len();
+        let next = q.next_seq();
+        let drained = q.drain_canonical();
+        assert_eq!(drained.len(), before_len, "{label}");
+        assert!(q.is_empty(), "{label}");
+        assert!(
+            drained
+                .windows(2)
+                .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)),
+            "{label}: drain must be strictly key-sorted"
+        );
+        assert!(
+            drained.iter().all(|&(_, s, _)| s < next),
+            "{label}: drained seqs must predate the counter"
+        );
+    }
+
+    #[test]
+    fn drain_canonical_is_key_sorted_everywhere() {
+        drain_is_canonical(EventQueue::new(), "heap");
+        drain_is_canonical(
+            crate::CalendarQueue::with_profile(8, SimTime::from_micros(16)),
+            "calendar",
+        );
+        drain_is_canonical(sharded(4), "sharded-heap");
+        let cal: crate::ShardedCalendarQueue<TestEv, fn(&TestEv) -> EventKey> =
+            ShardedEventQueue::with_store(8, 3, route, SimTime::from_micros(16));
+        drain_is_canonical(cal, "sharded-calendar");
+    }
+
+    /// The queue-agnostic restore property: a drain taken from any
+    /// queue implementation, restored into any *other* implementation,
+    /// continues with the identical pop sequence — including FIFO
+    /// tie-breaks minted by post-restore pushes.
+    #[test]
+    fn canonical_restore_is_queue_agnostic() {
+        let script = adversarial_script(300);
+        // Build the donor on a heap queue and drain it mid-stream.
+        let mut donor = EventQueue::new();
+        for &(t, ev, pop_now) in &script {
+            donor.push(SimTime::from_micros(t), ev);
+            if pop_now {
+                let _ = Queue::pop(&mut donor);
+            }
+        }
+        let next = SnapshotQueue::next_seq(&donor);
+        let drained = donor.drain_canonical();
+
+        fn restore_and_drive<Q: SnapshotQueue<TestEv>>(
+            mut q: Q,
+            drained: &[(SimTime, u64, TestEv)],
+            next: u64,
+        ) -> Vec<(SimTime, TestEv)> {
+            for &(t, s, ev) in drained {
+                q.restore_entry(t, s, ev);
+            }
+            q.set_next_seq(next);
+            assert_eq!(q.next_seq(), next);
+            // Post-restore pushes collide with restored timestamps to
+            // exercise the continued tie-break counter.
+            for i in 0..20u32 {
+                q.push(SimTime::from_micros(u64::from(i % 5)), (i, 9));
+            }
+            let mut out = Vec::new();
+            while let Some(p) = q.pop() {
+                out.push(p);
+            }
+            out
+        }
+
+        let reference = restore_and_drive(EventQueue::new(), &drained, next);
+        let cal = restore_and_drive(
+            crate::CalendarQueue::with_profile(4, SimTime::from_micros(7)),
+            &drained,
+            next,
+        );
+        assert_eq!(reference, cal, "heap drain → calendar restore");
+        let sh = restore_and_drive(sharded(5), &drained, next);
+        assert_eq!(reference, sh, "heap drain → sharded restore");
+        let shc: crate::ShardedCalendarQueue<TestEv, fn(&TestEv) -> EventKey> =
+            ShardedEventQueue::with_store(16, 2, route, SimTime::from_micros(3));
+        let shc = restore_and_drive(shc, &drained, next);
+        assert_eq!(reference, shc, "heap drain → sharded-calendar restore");
     }
 }

@@ -178,9 +178,35 @@ impl<E, Q: Queue<E>> Simulation<E, Q> {
     where
         F: FnMut(SimTime, E, &mut Scheduler<E, Q>),
     {
+        self.run_until_stoppable(horizon, &mut handler, |_| false);
+    }
+
+    /// Like [`run_until`](Self::run_until), but consults `stop` with
+    /// the processed-event count *before* popping each event; a `true`
+    /// verdict suspends the run between events and returns `true`.
+    ///
+    /// On a stop the clock stays at the last processed event's time —
+    /// it does **not** advance to `horizon` — so the simulation state
+    /// is exactly "after event `N`, before event `N + 1`": the shape a
+    /// checkpoint captures and a resume continues from. Returns
+    /// `false` when the run reached `horizon` normally (the clock then
+    /// advances as `run_until` does).
+    pub fn run_until_stoppable<F, S>(
+        &mut self,
+        horizon: SimTime,
+        mut handler: F,
+        mut stop: S,
+    ) -> bool
+    where
+        F: FnMut(SimTime, E, &mut Scheduler<E, Q>),
+        S: FnMut(u64) -> bool,
+    {
         while let Some(t) = self.sched.queue.peek_time() {
             if t > horizon {
                 break;
+            }
+            if stop(self.processed) {
+                return true;
             }
             let Some((t, ev)) = self.sched.queue.pop() else {
                 break;
@@ -193,6 +219,21 @@ impl<E, Q: Queue<E>> Simulation<E, Q> {
         if horizon > self.sched.now {
             self.sched.now = horizon;
         }
+        false
+    }
+
+    /// Restores the clock and processed-event counter from a
+    /// checkpoint. Only meaningful together with re-inserting the
+    /// saved queue entries (see
+    /// [`SnapshotQueue`](crate::queue::SnapshotQueue)); the clock may
+    /// only move forward — rewinding a live simulation would violate
+    /// causality, so past times are ignored in favor of the current
+    /// clock.
+    pub fn restore_progress(&mut self, now: SimTime, processed: u64) {
+        if now > self.sched.now {
+            self.sched.now = now;
+        }
+        self.processed = processed;
     }
 }
 
@@ -333,6 +374,46 @@ mod tests {
         )));
         assert_eq!(seq, sh);
         assert!(!seq.is_empty());
+    }
+
+    /// A stop between events leaves the clock at the last processed
+    /// event (not the horizon), and resuming the same simulation runs
+    /// the remainder identically.
+    #[test]
+    fn stoppable_run_suspends_between_events() {
+        let mut sim = Simulation::new();
+        for i in 0..6u32 {
+            sim.schedule_at(SimTime::from_secs(u64::from(i)), i);
+        }
+        let mut seen = Vec::new();
+        let stopped = sim.run_until_stoppable(
+            SimTime::from_secs(100),
+            |_, e, _| seen.push(e),
+            |processed| processed == 3,
+        );
+        assert!(stopped);
+        assert_eq!(seen, vec![0, 1, 2]);
+        assert_eq!(sim.events_processed(), 3);
+        // Clock parked at the last processed event, not the horizon.
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+        let stopped =
+            sim.run_until_stoppable(SimTime::from_secs(100), |_, e, _| seen.push(e), |_| false);
+        assert!(!stopped);
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(sim.now(), SimTime::from_secs(100));
+    }
+
+    /// Restoring progress onto a fresh simulation replays the clock
+    /// and counter; rewinding is refused.
+    #[test]
+    fn restore_progress_moves_forward_only() {
+        let mut sim: Simulation<()> = Simulation::new();
+        sim.restore_progress(SimTime::from_secs(7), 42);
+        assert_eq!(sim.now(), SimTime::from_secs(7));
+        assert_eq!(sim.events_processed(), 42);
+        sim.restore_progress(SimTime::from_secs(3), 50);
+        assert_eq!(sim.now(), SimTime::from_secs(7), "clock must not rewind");
+        assert_eq!(sim.events_processed(), 50);
     }
 
     /// `queue_mut` exposes the queue for owner-map maintenance between

@@ -8,9 +8,10 @@ use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-/// Requests larger than this are rejected outright; the biggest
-/// legitimate payload is a sweep spec, which is a few KiB.
-const MAX_REQUEST_BYTES: usize = 1 << 20;
+/// Requests larger than this are rejected outright — the server
+/// answers `413 Payload Too Large` without reading the body. The
+/// biggest legitimate payload is a sweep spec, which is a few KiB.
+pub const MAX_REQUEST_BYTES: usize = 1 << 20;
 
 /// A parsed HTTP request: method, path, and (possibly empty) body.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -118,6 +119,7 @@ pub fn write_response(stream: &mut impl Write, status: u16, body: &str) -> io::R
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -229,6 +231,33 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"), "{text}");
         assert!(text.contains("Content-Length: 16\r\n"), "{text}");
         assert!(text.ends_with("{\"error\":\"nope\"}"), "{text}");
+
+        let mut out = Vec::new();
+        write_response(&mut out, 413, "{}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 413 Payload Too Large\r\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn oversized_requests_error_without_reading_the_body() {
+        // The declared body is over the cap: the parser must reject it
+        // from the header alone (the body bytes are never consumed),
+        // with a message the server maps to 413.
+        let declared = MAX_REQUEST_BYTES + 1;
+        let raw = format!("POST /sweep HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n");
+        let err = read_request(&mut raw.as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("too large"), "{err}");
+
+        // An unterminated head that keeps growing is cut off at the
+        // same cap instead of buffering without bound.
+        let endless = vec![b'A'; MAX_REQUEST_BYTES + 4096];
+        let err = read_request(&mut &endless[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("too large"), "{err}");
     }
 
     #[test]

@@ -20,6 +20,12 @@ OPTIONS:
   --retries <n>        extra attempts per failing cell     [2]
   --deadline <s>       soft per-run wall-clock deadline (supervised
                        execution; stuck runs become verdicts)
+  --checkpoint-every <s>
+                       checkpoint cells every ~s seconds of wall
+                       clock: snapshots land under <cache>/ckpt/ and
+                       killed or crashed attempts resume instead of
+                       recomputing (see docs/OPERATIONS.md)  [off]
+  --io-timeout <s>     per-connection socket read/write timeout [10]
   --help               this text
 
 ENDPOINTS:
@@ -101,6 +107,24 @@ fn parse(args: &[String]) -> Result<Option<ServerConfig>, String> {
                 }
                 cfg.deadline = Some(Duration::from_secs_f64(s));
             }
+            "--checkpoint-every" => {
+                let s: f64 = value()?
+                    .parse()
+                    .map_err(|_| "--checkpoint-every: expected seconds".to_string())?;
+                if s <= 0.0 {
+                    return Err("--checkpoint-every must be positive".to_string());
+                }
+                cfg.checkpoint_every = Some(s);
+            }
+            "--io-timeout" => {
+                let s: f64 = value()?
+                    .parse()
+                    .map_err(|_| "--io-timeout: expected seconds".to_string())?;
+                if s <= 0.0 {
+                    return Err("--io-timeout must be positive".to_string());
+                }
+                cfg.io_timeout = Duration::from_secs_f64(s);
+            }
             other => return Err(format!("unknown option {other}")),
         }
         i += 1;
@@ -124,6 +148,8 @@ mod tests {
         assert_eq!(cfg.workers, 0);
         assert_eq!(cfg.retry_budget, 2);
         assert_eq!(cfg.deadline, None);
+        assert_eq!(cfg.checkpoint_every, None);
+        assert_eq!(cfg.io_timeout, Duration::from_secs(10));
 
         let cfg = parse_line("--addr 0.0.0.0:81 --cache c --workers 3 --retries 1 --deadline 30")
             .unwrap()
@@ -133,6 +159,12 @@ mod tests {
         assert_eq!(cfg.workers, 3);
         assert_eq!(cfg.retry_budget, 1);
         assert_eq!(cfg.deadline, Some(Duration::from_secs(30)));
+
+        let cfg = parse_line("--checkpoint-every 45 --io-timeout 2.5")
+            .unwrap()
+            .unwrap();
+        assert_eq!(cfg.checkpoint_every, Some(45.0));
+        assert_eq!(cfg.io_timeout, Duration::from_secs_f64(2.5));
     }
 
     #[test]
@@ -141,6 +173,9 @@ mod tests {
         assert!(parse_line("--workers").is_err());
         assert!(parse_line("--workers lots").is_err());
         assert!(parse_line("--deadline 0").is_err());
+        assert!(parse_line("--checkpoint-every 0").is_err());
+        assert!(parse_line("--checkpoint-every soon").is_err());
+        assert!(parse_line("--io-timeout -1").is_err());
         assert!(parse_line("--frobnicate").is_err());
     }
 }

@@ -12,10 +12,17 @@
 //!   then shut down.
 //!
 //! Every cell executes through
-//! [`run_cell`] → [`run_batch_supervised`](mobic_scenario::run_batch_supervised),
+//! [`run_cell_stats`] → [`run_batch_supervised_stats`](mobic_scenario::run_batch_supervised_stats),
 //! so a panicking or stuck seed becomes a typed verdict; the cell is
 //! retried up to the configured budget, then parked as failed with
-//! the verdict attached.
+//! the verdict attached. With a checkpoint cadence configured
+//! ([`ServerConfig::checkpoint_every`]) cells instead run through
+//! [`run_cell_recoverable`]: workers publish rotated snapshots under
+//! `<cache_dir>/ckpt/<cell key>/` and — after a kill, crash, or
+//! parked attempt — resume each seed from its newest snapshot passing
+//! the integrity and compatibility gates, degrading to older
+//! snapshots and finally a cold start on corruption. `/status`
+//! reports the per-worker resume/fallback tallies.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::io;
@@ -25,7 +32,10 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use mobic_scenario::{run_cell, Supervision, SweepCell, SweepSpec};
+use mobic_scenario::{
+    run_cell_recoverable, run_cell_stats, CellRecovery, CheckpointPolicy, Supervision, SweepCell,
+    SweepSpec,
+};
 use mobic_trace::Stopwatch;
 
 use crate::cache::CellCache;
@@ -47,6 +57,20 @@ pub struct ServerConfig {
     /// Soft per-run wall-clock deadline handed to the supervised
     /// batch executor; `None` disables the watchdog.
     pub deadline: Option<Duration>,
+    /// Checkpoint cadence in seconds for cell computations. `Some(s)`
+    /// routes every cell through the crash-recoverable runner
+    /// ([`run_cell_recoverable`]): rotated snapshots land under
+    /// `<cache_dir>/ckpt/<cell key>/` roughly every `s` wall-clock
+    /// seconds, and a worker picking up a cell resumes each seed from
+    /// its newest snapshot passing the integrity + compatibility
+    /// gates (degrading to older snapshots, then a cold start, on
+    /// corruption). `None` (the default) keeps the plain supervised
+    /// path.
+    pub checkpoint_every: Option<f64>,
+    /// Per-connection socket read **and** write timeout: a peer that
+    /// stalls sending its request or draining our response is cut
+    /// off, never parking a service thread forever.
+    pub io_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +81,8 @@ impl Default for ServerConfig {
             workers: 0,
             retry_budget: 2,
             deadline: None,
+            checkpoint_every: None,
+            io_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -72,11 +98,23 @@ struct Job {
     panic_attempts: u32,
 }
 
+/// Per-worker crash-recovery tally, reported verbatim by `/status`.
+#[derive(Debug, Clone, Copy, Default)]
+struct WorkerRecovery {
+    /// Seeds this worker resumed from a snapshot.
+    resumed: u64,
+    /// Snapshots this worker rejected (corrupt or incompatible),
+    /// degrading to an older snapshot or a cold start.
+    fallbacks: u64,
+}
+
 /// Mutable service state, behind the one mutex.
 struct Inner {
     queue: VecDeque<Job>,
     /// Per-worker current cell key; `None` = idle.
     busy: Vec<Option<String>>,
+    /// Per-worker resume/fallback counters (same indexing as `busy`).
+    recovery: Vec<WorkerRecovery>,
     /// Parked cells: key → failure verdict.
     failed: BTreeMap<String, String>,
     cache: CellCache,
@@ -87,6 +125,9 @@ struct Inner {
     /// e2e test watches to prove a resubmitted spec runs nothing.
     runs_executed: u64,
     retries: u64,
+    /// Worker threads abandoned past the supervised batch's join
+    /// grace (see [`mobic_scenario::BatchStats`]).
+    leaked_workers: u64,
     draining: bool,
     stop: bool,
 }
@@ -112,6 +153,7 @@ pub struct Server {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     retry_budget: u32,
+    io_timeout: Duration,
     clock: Stopwatch,
 }
 
@@ -142,6 +184,7 @@ impl Server {
             inner: Mutex::new(Inner {
                 queue: VecDeque::new(),
                 busy: vec![None; n_workers],
+                recovery: vec![WorkerRecovery::default(); n_workers],
                 failed: BTreeMap::new(),
                 cache,
                 cache_hits: 0,
@@ -149,16 +192,22 @@ impl Server {
                 cells_computed: 0,
                 runs_executed: 0,
                 retries: 0,
+                leaked_workers: 0,
                 draining: false,
                 stop: false,
             }),
             work: Condvar::new(),
         });
-        let deadline = cfg.deadline;
+        let options = WorkerOptions {
+            deadline: cfg.deadline,
+            checkpoint_every: cfg.checkpoint_every,
+            ckpt_root: cfg.cache_dir.join("ckpt"),
+        };
         let workers = (0..n_workers)
             .map(|idx| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared, idx, deadline))
+                let options = options.clone();
+                std::thread::spawn(move || worker_loop(&shared, idx, &options))
             })
             .collect();
         Ok(Server {
@@ -167,6 +216,7 @@ impl Server {
             shared,
             workers,
             retry_budget: cfg.retry_budget,
+            io_timeout: cfg.io_timeout,
             clock: Stopwatch::start(),
         })
     }
@@ -227,10 +277,28 @@ impl Server {
 
     /// Serves one connection (requests are small and handlers only
     /// briefly take the state lock, so serial handling suffices).
+    ///
+    /// Both socket directions carry `io_timeout`: a client that stalls
+    /// mid-request or stops draining the response is cut off instead
+    /// of parking the accept loop. An oversized request is answered
+    /// with `413` — a protocol-level verdict the client can act on —
+    /// rather than a bare connection drop.
     fn handle(&self, mut stream: TcpStream) -> io::Result<()> {
-        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
-        let request = read_request(&mut stream)?;
+        stream.set_read_timeout(Some(self.io_timeout))?;
+        stream.set_write_timeout(Some(self.io_timeout))?;
+        let request = match read_request(&mut stream) {
+            Ok(request) => request,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let status = if e.to_string().contains("too large") {
+                    413
+                } else {
+                    400
+                };
+                let body = format!("{{\"error\":\"{}\"}}", json_escape(&e.to_string()));
+                return write_response(&mut stream, status, &body);
+            }
+            Err(e) => return Err(e),
+        };
         let (status, body) = self.route(&request);
         write_response(&mut stream, status, &body)
     }
@@ -345,11 +413,25 @@ impl Server {
                 None => "null".to_string(),
             })
             .collect();
+        let recovery: Vec<String> = inner
+            .recovery
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"resumed\":{},\"fallbacks\":{}}}",
+                    r.resumed, r.fallbacks
+                )
+            })
+            .collect();
+        let resumed_runs: u64 = inner.recovery.iter().map(|r| r.resumed).sum();
+        let snapshot_fallbacks: u64 = inner.recovery.iter().map(|r| r.fallbacks).sum();
         format!(
             "{{\"queued\":{},\"running\":{running},\"cached\":{},\"failed\":{},\
              \"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":{hit_rate:.4},\
              \"cells_computed\":{},\"runs_executed\":{},\"retries\":{},\
-             \"uptime_ms\":{:.1},\"draining\":{},\"workers\":[{}]}}",
+             \"resumed_runs\":{resumed_runs},\"snapshot_fallbacks\":{snapshot_fallbacks},\
+             \"leaked_workers\":{},\"uptime_ms\":{:.1},\"draining\":{},\
+             \"workers\":[{}],\"recovery\":[{}]}}",
             inner.queue.len(),
             inner.cache.len(),
             inner.failed.len(),
@@ -358,16 +440,31 @@ impl Server {
             inner.cells_computed,
             inner.runs_executed,
             inner.retries,
+            inner.leaked_workers,
             self.clock.elapsed_ms(),
             inner.draining,
-            workers.join(",")
+            workers.join(","),
+            recovery.join(",")
         )
     }
 }
 
+/// Per-worker execution knobs, shared by every worker thread.
+#[derive(Debug, Clone)]
+struct WorkerOptions {
+    /// Soft per-run deadline for the plain supervised path.
+    deadline: Option<Duration>,
+    /// Checkpoint cadence in seconds; `Some` switches cells to the
+    /// crash-recoverable runner.
+    checkpoint_every: Option<f64>,
+    /// Snapshot root (`<cache_dir>/ckpt`); each cell gets a
+    /// subdirectory named after its key.
+    ckpt_root: PathBuf,
+}
+
 /// One worker: pull the next job, compute it under supervision, store
 /// or retry/park, repeat until the stop flag is up and the queue dry.
-fn worker_loop(shared: &Shared, idx: usize, deadline: Option<Duration>) {
+fn worker_loop(shared: &Shared, idx: usize, options: &WorkerOptions) {
     loop {
         let mut inner = shared.lock();
         let job = loop {
@@ -390,16 +487,37 @@ fn worker_loop(shared: &Shared, idx: usize, deadline: Option<Duration>) {
         drop(inner);
 
         let supervision = Supervision {
-            soft_deadline: deadline,
+            soft_deadline: options.deadline,
             // The spec-level fault hook: panic the first seed of this
             // attempt, exactly like the CI fault smoke does locally.
             panic_on: (job.panic_attempts > 0).then_some(0),
-            delay_on: None,
+            ..Supervision::default()
         };
-        let result = run_cell(&job.cell, &supervision);
+        let (result, recovered, leaked) = match options.checkpoint_every {
+            Some(every_s) => {
+                // Crash-recoverable path: snapshots under
+                // `ckpt/<key>/seed-<n>/`, resumed on pickup. A parked
+                // or killed attempt leaves its snapshots behind, so
+                // the retry — or a resubmission after a crash —
+                // resumes instead of recomputing (`:` is not portable
+                // in file names, same mapping as the cell cache).
+                let dir = options.ckpt_root.join(job.key.replace(':', "-"));
+                let policy = CheckpointPolicy { every_s, keep: 2 };
+                let (result, recovery) =
+                    run_cell_recoverable(&job.cell, &supervision, &dir, policy);
+                (result, recovery, 0u32)
+            }
+            None => {
+                let (result, stats) = run_cell_stats(&job.cell, &supervision);
+                (result, CellRecovery::default(), stats.leaked_workers)
+            }
+        };
 
         let mut inner = shared.lock();
         inner.busy[idx] = None;
+        inner.recovery[idx].resumed += u64::from(recovered.resumed);
+        inner.recovery[idx].fallbacks += u64::from(recovered.fallbacks);
+        inner.leaked_workers += u64::from(leaked);
         match result {
             Ok(outcome) => {
                 let json = outcome.to_json_pretty();

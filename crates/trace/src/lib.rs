@@ -73,4 +73,4 @@ pub use manifest::{
     MANIFEST_SCHEMA,
 };
 pub use profile::{PhaseClock, PhaseTimings, Stopwatch};
-pub use sink::{JsonlSink, NullSink, TraceSink};
+pub use sink::{JsonlSink, NullSink, TraceCursor, TraceSink};

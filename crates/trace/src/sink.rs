@@ -1,13 +1,26 @@
 //! Trace sinks: where emitted events go.
 
 use std::fs::File;
-use std::io::{self, BufWriter, Write};
+use std::io::{self, BufWriter, Seek, SeekFrom, Write};
 use std::path::Path;
 
 use mobic_sim::SimTime;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::TraceEvent;
+
+/// A resume position inside a JSONL trace: how many lines (and the
+/// exact byte offset) the sink had durably recorded when a checkpoint
+/// was taken. Stored in snapshots so a resumed run can truncate the
+/// partially-written tail and continue appending — producing a trace
+/// byte-identical to an uninterrupted run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceCursor {
+    /// Lines recorded so far.
+    pub lines: u64,
+    /// Bytes written so far (every line plus its trailing newline).
+    pub bytes: u64,
+}
 
 /// A destination for structured simulation events.
 ///
@@ -28,6 +41,19 @@ pub trait TraceSink {
     /// fail (I/O) latch their first error and surface it when
     /// finished.
     fn record(&mut self, at: SimTime, event: &TraceEvent);
+
+    /// Flushes any buffering so everything recorded so far is durable.
+    /// Called right before a checkpoint captures [`cursor`](Self::cursor);
+    /// the default is a no-op for sinks with nothing to flush. I/O
+    /// errors are latched like [`record`](Self::record) errors.
+    fn sync(&mut self) {}
+
+    /// The sink's resume position, if it has one. `None` (the default)
+    /// means the sink cannot be resumed byte-exactly — checkpointing a
+    /// traced run requires a `Some` cursor.
+    fn cursor(&self) -> Option<TraceCursor> {
+        None
+    }
 }
 
 /// The zero-cost disabled sink: reports `enabled() == false` and
@@ -66,6 +92,10 @@ struct Line<'a> {
 pub struct JsonlSink<W: Write> {
     out: W,
     lines: u64,
+    bytes: u64,
+    /// Per-line serialization buffer, reused across records so each
+    /// event costs one `write_all` and zero steady-state allocations.
+    buf: Vec<u8>,
     error: Option<io::Error>,
 }
 
@@ -78,6 +108,8 @@ impl<W: Write> JsonlSink<W> {
         JsonlSink {
             out,
             lines: 0,
+            bytes: 0,
+            buf: Vec::new(),
             error: None,
         }
     }
@@ -86,6 +118,12 @@ impl<W: Write> JsonlSink<W> {
     #[must_use]
     pub fn lines(&self) -> u64 {
         self.lines
+    }
+
+    /// Bytes successfully recorded so far (including newlines).
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
     }
 
     /// Flushes and returns the underlying writer.
@@ -119,6 +157,41 @@ impl JsonlSink<BufWriter<File>> {
         }
         Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
     }
+
+    /// Reopens an existing trace file for appending after a crash:
+    /// truncates it to `cursor.bytes` (discarding any partially
+    /// written tail past the checkpoint) and resumes the line/byte
+    /// counters, so the continued trace is byte-identical to one from
+    /// an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Returns open/metadata/truncate errors, and `InvalidData` if the
+    /// file is already shorter than the cursor claims (the trace and
+    /// the snapshot disagree — resuming would corrupt the stream).
+    pub fn resume(path: impl AsRef<Path>, cursor: TraceCursor) -> io::Result<Self> {
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path.as_ref())?;
+        let len = file.metadata()?.len();
+        if len < cursor.bytes {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "trace file {} is shorter ({len} B) than its checkpoint cursor ({} B)",
+                    path.as_ref().display(),
+                    cursor.bytes
+                ),
+            ));
+        }
+        file.set_len(cursor.bytes)?;
+        file.seek(SeekFrom::End(0))?;
+        let mut sink = JsonlSink::new(BufWriter::new(file));
+        sink.lines = cursor.lines;
+        sink.bytes = cursor.bytes;
+        Ok(sink)
+    }
 }
 
 impl<W: Write> TraceSink for JsonlSink<W> {
@@ -130,13 +203,36 @@ impl<W: Write> TraceSink for JsonlSink<W> {
             t_us: at.as_micros(),
             event,
         };
-        let result = serde_json::to_writer(&mut self.out, &line)
+        self.buf.clear();
+        let result = serde_json::to_writer(&mut self.buf, &line)
             .map_err(io::Error::from)
-            .and_then(|()| self.out.write_all(b"\n"));
+            .and_then(|()| {
+                self.buf.push(b'\n');
+                self.out.write_all(&self.buf)
+            });
         match result {
-            Ok(()) => self.lines += 1,
+            Ok(()) => {
+                self.lines += 1;
+                self.bytes += self.buf.len() as u64;
+            }
             Err(e) => self.error = Some(e),
         }
+    }
+
+    fn sync(&mut self) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.out.flush() {
+            self.error = Some(e);
+        }
+    }
+
+    fn cursor(&self) -> Option<TraceCursor> {
+        Some(TraceCursor {
+            lines: self.lines,
+            bytes: self.bytes,
+        })
     }
 }
 
@@ -187,6 +283,72 @@ mod tests {
             sink.finish().unwrap()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn cursor_tracks_lines_and_exact_bytes() {
+        let mut sink = JsonlSink::new(Vec::new());
+        assert_eq!(sink.cursor(), Some(TraceCursor::default()));
+        for i in 0..5u32 {
+            sink.record(
+                SimTime::from_micros(u64::from(i)),
+                &TraceEvent::HelloTx {
+                    node: i,
+                    seq: u64::from(i),
+                },
+            );
+        }
+        let cursor = sink.cursor().unwrap();
+        assert_eq!(cursor.lines, 5);
+        assert_eq!(sink.bytes(), cursor.bytes);
+        let bytes = sink.finish().unwrap();
+        assert_eq!(bytes.len() as u64, cursor.bytes);
+        // A mid-stream cursor points at a line boundary.
+        assert_eq!(bytes[cursor.bytes as usize - 1], b'\n');
+    }
+
+    #[test]
+    fn resume_truncates_tail_and_continues_byte_identically() {
+        let dir = std::env::temp_dir().join("mobic-trace-resume-test");
+        let path = dir.join("t.jsonl");
+        let ev = |i: u32| TraceEvent::HelloTx {
+            node: i,
+            seq: u64::from(i),
+        };
+        // Uninterrupted reference run: 6 events.
+        let mut full = JsonlSink::create(&path).unwrap();
+        for i in 0..6 {
+            full.record(SimTime::from_micros(u64::from(i)), &ev(i));
+        }
+        full.finish().unwrap();
+        let reference = std::fs::read(&path).unwrap();
+
+        // Interrupted run: checkpoint after 3 events, then write junk
+        // (a torn line past the checkpoint) before "crashing".
+        let mut partial = JsonlSink::create(&path).unwrap();
+        for i in 0..3 {
+            partial.record(SimTime::from_micros(u64::from(i)), &ev(i));
+        }
+        partial.sync();
+        let cursor = partial.cursor().unwrap();
+        let mut file = partial.finish().unwrap().into_inner().unwrap();
+        file.write_all(b"{\"t_us\":9999,\"kind\":\"hel").unwrap();
+        drop(file);
+
+        // Resume from the cursor and replay the remaining events.
+        let mut resumed = JsonlSink::resume(&path, cursor).unwrap();
+        assert_eq!(resumed.lines(), 3);
+        assert_eq!(resumed.bytes(), cursor.bytes);
+        for i in 3..6 {
+            resumed.record(SimTime::from_micros(u64::from(i)), &ev(i));
+        }
+        resumed.finish().unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), reference);
+
+        // A trace shorter than its cursor is refused.
+        std::fs::write(&path, b"x").unwrap();
+        assert!(JsonlSink::resume(&path, cursor).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -2,8 +2,9 @@
 # CI gate: formatting, lints, docs, tier-1 build+tests, a sharded-
 # equivalence smoke, a smoke run of the brute-vs-indexed-vs-sharded
 # scaling bench (which asserts result equality, so a regression in any
-# event-loop path fails the script), and a live mobic-sweepd service
-# smoke (submit, full cache hit on resubmit, graceful drain).
+# event-loop path fails the script), a checkpoint kill/resume drill
+# (run -> SIGKILL -> resume -> byte-compare), and a live mobic-sweepd
+# service smoke (submit, full cache hit on resubmit, graceful drain).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -87,13 +88,47 @@ cargo run --release -p mobic-cli -- sweep \
     --algorithms lcc --out "$RESUME_DIR" --resume 2>&1 >/dev/null \
     | grep -q "resume:"
 
+echo "== checkpoint smoke (run -> kill -> resume -> byte-compare) =="
+# The randomized kill/resume equivalence suite first (engine x
+# scheduler cube, all five algorithms, proptest-chosen kill points)…
+cargo test --release --test checkpoint_equivalence -q
+# …then a process-level drill: SIGKILL a checkpointing run (no
+# cleanup handler — exactly the crash the snapshots exist for) and
+# prove the rerun resumes and reproduces the reference bytes.
+CKPT_DIR="$(mktemp -d)"
+trap 'rm -rf "$RESUME_DIR" "$CKPT_DIR"' EXIT
+CKPT_ARGS=(run --nodes 80 --time 600 --algorithm mobic --seed 7 --json)
+cargo build --release -q -p mobic-cli
+./target/release/mobic-cli "${CKPT_ARGS[@]}" > "$CKPT_DIR/ref.json"
+./target/release/mobic-cli "${CKPT_ARGS[@]}" \
+    --checkpoint-dir "$CKPT_DIR/snaps" --checkpoint-every 0.001 \
+    >/dev/null 2>&1 &
+CKPT_PID=$!
+# Kill as soon as the first snapshot lands; if the run finishes first,
+# the snapshots it left behind still drive the resume below.
+for _ in $(seq 1 200); do
+    ls "$CKPT_DIR/snaps"/*.ckpt >/dev/null 2>&1 && break
+    kill -0 "$CKPT_PID" 2>/dev/null || break
+    sleep 0.05
+done
+kill -9 "$CKPT_PID" 2>/dev/null || true
+wait "$CKPT_PID" 2>/dev/null || true
+# At least one snapshot must have survived the kill intact…
+ls "$CKPT_DIR/snaps"/*.ckpt >/dev/null
+# …and the rerun must restore it and emit byte-identical JSON.
+./target/release/mobic-cli "${CKPT_ARGS[@]}" \
+    --checkpoint-dir "$CKPT_DIR/snaps" --checkpoint-every 0.001 \
+    > "$CKPT_DIR/resumed.json" 2> "$CKPT_DIR/resumed.log"
+grep -q "checkpoint: resuming at event" "$CKPT_DIR/resumed.log"
+cmp "$CKPT_DIR/ref.json" "$CKPT_DIR/resumed.json"
+
 echo "== sweepd service smoke (submit, 100% cache hit on resubmit, drain) =="
 SWEEPD_DIR="$(mktemp -d)"
 SWEEPD_LOG="$SWEEPD_DIR/sweepd.log"
 SWEEPD_PID=""
 cleanup() {
     if [ -n "$SWEEPD_PID" ]; then kill "$SWEEPD_PID" 2>/dev/null || true; fi
-    rm -rf "$RESUME_DIR" "$SWEEPD_DIR"
+    rm -rf "$RESUME_DIR" "$CKPT_DIR" "$SWEEPD_DIR"
 }
 trap cleanup EXIT
 cargo build --release -q -p mobic-sweepd -p mobic-cli

@@ -1,0 +1,114 @@
+//! Property-based kill/resume equivalence: killing a run at a random
+//! event index and resuming from the snapshot must reproduce the
+//! uninterrupted run **byte for byte** — the serialized `RunResult`
+//! and the JSONL trace — across the engine × scheduler execution cube
+//! and all five clustering algorithms.
+//!
+//! This is the randomized companion of the deterministic suites in
+//! `crates/scenario/src/runner.rs`: those pin known-interesting kill
+//! points; this one lets proptest roam the space and shrink any
+//! divergence to a minimal `(algorithm, engine, scheduler, seed,
+//! kill index)` witness.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use mobic::core::AlgorithmKind;
+use mobic::scenario::{
+    run_scenario_resumed, run_scenario_traced, run_scenario_until, Engine, RunOutcome,
+    ScenarioConfig, Scheduler,
+};
+use mobic::trace::JsonlSink;
+use proptest::prelude::*;
+
+const ALGORITHMS: [AlgorithmKind; 5] = [
+    AlgorithmKind::LowestId,
+    AlgorithmKind::Lcc,
+    AlgorithmKind::HighestDegree,
+    AlgorithmKind::Mobic,
+    AlgorithmKind::Wca,
+];
+
+/// (engine, shards, scheduler): the execution cube a snapshot must be
+/// portable across.
+const CUBE: [(Engine, u32, Scheduler); 4] = [
+    (Engine::Sequential, 0, Scheduler::Heap),
+    (Engine::Sequential, 0, Scheduler::Calendar),
+    (Engine::Sharded, 2, Scheduler::Heap),
+    (Engine::Sharded, 3, Scheduler::Calendar),
+];
+
+fn trace_path(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "mobic_ckpt_prop_{tag}_{}_{n}.jsonl",
+        std::process::id()
+    ))
+}
+
+fn small(alg: AlgorithmKind, engine: Engine, shards: u32, scheduler: Scheduler) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper_table1();
+    cfg.n_nodes = 10;
+    cfg.sim_time_s = 20.0;
+    cfg.tx_range_m = 180.0;
+    cfg.algorithm = alg;
+    cfg.engine = engine;
+    cfg.shards = shards;
+    cfg.scheduler = scheduler;
+    cfg
+}
+
+proptest! {
+    // Each case runs the scenario three times (reference, killed,
+    // resumed); keep the case count modest — the cube and algorithm
+    // axes are sampled, not enumerated, and any failure shrinks.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn kill_and_resume_reproduces_result_and_trace_bytes(
+        alg_i in 0usize..5,
+        cube_i in 0usize..4,
+        seed in 0u64..512,
+        kill in 1u64..120,
+    ) {
+        let (engine, shards, scheduler) = CUBE[cube_i];
+        let cfg = small(ALGORITHMS[alg_i], engine, shards, scheduler);
+
+        // Uninterrupted reference: result JSON + trace bytes.
+        let ref_path = trace_path("ref");
+        let mut ref_sink = JsonlSink::create(&ref_path).expect("ref sink");
+        let reference = run_scenario_traced(&cfg, seed, &mut ref_sink).expect("reference run");
+        drop(ref_sink);
+        let ref_json = serde_json::to_string(&reference).expect("serialize");
+        let ref_trace = std::fs::read(&ref_path).expect("ref trace bytes");
+
+        // Kill between events `kill` and `kill + 1`, then resume the
+        // snapshot — same config, trace appended at the cursor.
+        let cut_path = trace_path("cut");
+        let mut cut_sink = JsonlSink::create(&cut_path).expect("cut sink");
+        let outcome = run_scenario_until(&cfg, seed, kill, &mut cut_sink).expect("killable run");
+        drop(cut_sink);
+        let result = match outcome {
+            RunOutcome::Suspended(snapshot) => {
+                prop_assert_eq!(snapshot.events_processed(), kill);
+                let cursor = snapshot.trace_cursor().expect("traced runs carry a cursor");
+                let mut tail = JsonlSink::resume(&cut_path, cursor).expect("resume sink");
+                let r = run_scenario_resumed(&cfg, seed, *snapshot, &mut tail)
+                    .expect("resumed run");
+                drop(tail);
+                r
+            }
+            // The whole run took fewer than `kill` events (cannot
+            // happen at these sizes, but the contract allows it).
+            RunOutcome::Done(result) => *result,
+        };
+        let resumed_json = serde_json::to_string(&result).expect("serialize");
+        let cut_trace = std::fs::read(&cut_path).expect("cut trace bytes");
+
+        prop_assert_eq!(resumed_json, ref_json, "RunResult bytes diverged");
+        prop_assert_eq!(cut_trace, ref_trace, "trace bytes diverged");
+        let _ = std::fs::remove_file(&ref_path);
+        let _ = std::fs::remove_file(&cut_path);
+    }
+}

@@ -9,8 +9,8 @@ use std::time::Duration;
 
 use mobic::core::AlgorithmKind;
 use mobic::scenario::{
-    run_batch_supervised, run_scenario, run_scenario_traced, FaultPlan, FaultTarget, LossKind,
-    MobilityKind, PropagationKind, RunError, ScenarioConfig, Supervision,
+    run_batch_supervised, run_batch_supervised_stats, run_scenario, run_scenario_traced, FaultPlan,
+    FaultTarget, LossKind, MobilityKind, PropagationKind, RunError, ScenarioConfig, Supervision,
 };
 use mobic::trace::JsonlSink;
 use proptest::prelude::*;
@@ -164,10 +164,11 @@ fn supervised_batch_isolates_panicking_and_stuck_jobs() {
     let jobs: Vec<(ScenarioConfig, u64)> = (0..4).map(|s| (cfg, s)).collect();
     let sup = Supervision {
         soft_deadline: Some(Duration::from_secs(5)),
+        join_grace: Duration::from_millis(50),
         panic_on: Some(0),
         delay_on: Some((2, Duration::from_secs(60))),
     };
-    let results = run_batch_supervised(&jobs, &sup);
+    let (results, stats) = run_batch_supervised_stats(&jobs, &sup);
     assert_eq!(results.len(), 4);
     let e0 = results[0].as_ref().unwrap_err();
     assert_eq!(e0.index, 0);
@@ -179,6 +180,10 @@ fn supervised_batch_isolates_panicking_and_stuck_jobs() {
         let r = results[i].as_ref().expect("healthy jobs must finish");
         assert!(r.deliveries > 0, "job {i}");
     }
+    // The 60-second sleeper was abandoned by the watchdog and cannot
+    // wind down inside the 50 ms grace: it must be reported, not
+    // silently left behind.
+    assert_eq!(stats.leaked_workers, 1);
 }
 
 proptest! {

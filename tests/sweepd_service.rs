@@ -21,20 +21,31 @@ fn tmp_dir(tag: &str) -> PathBuf {
     dir
 }
 
-/// Binds a server on an ephemeral port and serves it from a thread.
-fn start(tag: &str, workers: usize) -> (String, PathBuf, std::thread::JoinHandle<()>) {
+/// Binds a server on an ephemeral port and serves it from a thread,
+/// applying `tweak` to the config first.
+fn start_with(
+    tag: &str,
+    workers: usize,
+    tweak: impl FnOnce(&mut ServerConfig),
+) -> (String, PathBuf, std::thread::JoinHandle<()>) {
     let cache_dir = tmp_dir(tag);
-    let cfg = ServerConfig {
+    let mut cfg = ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         cache_dir: cache_dir.clone(),
         workers,
         retry_budget: 2,
-        deadline: None,
+        ..ServerConfig::default()
     };
+    tweak(&mut cfg);
     let server = Server::bind(&cfg).expect("server binds");
     let addr = server.addr().to_string();
     let handle = std::thread::spawn(move || server.run().expect("server runs"));
     (addr, cache_dir, handle)
+}
+
+/// Binds a default-configured server on an ephemeral port.
+fn start(tag: &str, workers: usize) -> (String, PathBuf, std::thread::JoinHandle<()>) {
+    start_with(tag, workers, |_| {})
 }
 
 fn tiny_base() -> ScenarioConfig {
@@ -202,6 +213,149 @@ fn killed_worker_cell_is_retried_and_stays_byte_identical() {
     clean.fault_panic_attempts = 0;
     let resubmit = submit(&addr, &clean);
     assert_eq!(resubmit["cached"], 1, "{resubmit}");
+
+    let (code, _) = request(&addr, "POST", "/drain", "").expect("drain");
+    assert_eq!(code, 200);
+    handle.join().expect("server thread exits cleanly");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+/// The crash-recovery story end to end: a previous sweepd (or one of
+/// its workers) died mid-cell leaving snapshots on disk; a fresh
+/// server picking the cell up resumes from them — counted in
+/// `/status` — and still serves bytes identical to a cold
+/// computation. A corrupt snapshot for another seed degrades to a
+/// cold start instead of poisoning the cell.
+#[test]
+fn checkpointing_server_resumes_from_prior_snapshots() {
+    use mobic::scenario::{run_scenario_until, write_rotated, RunOutcome};
+    use mobic::trace::NullSink;
+
+    let spec = SweepSpec {
+        base: tiny_base(),
+        tx_values: vec![190.0],
+        algorithms: vec![AlgorithmKind::Mobic],
+        seeds: 2,
+        fault_panic_attempts: 0,
+    };
+    let cells = spec.cells();
+    let cell = &cells[0];
+
+    // Simulate the killed predecessor: suspend seed 0 mid-run and
+    // leave the rotated snapshot exactly where a checkpointing worker
+    // would have put it (`<cache>/ckpt/<key with : mapped to ->/seed-0/`),
+    // plus a corrupt snapshot for seed 1.
+    let cache_dir = tmp_dir("ckpt_pre");
+    let cell_dir = cache_dir.join("ckpt").join(cell.key().replace(':', "-"));
+    let outcome = run_scenario_until(&cell.config, 0, 40, &mut NullSink).expect("suspendable run");
+    let RunOutcome::Suspended(snapshot) = outcome else {
+        panic!("the run must suspend at event 40");
+    };
+    write_rotated(&snapshot, &cell_dir.join("seed-0"), 2).expect("snapshot lands");
+    let seed1 = cell_dir.join("seed-1");
+    std::fs::create_dir_all(&seed1).expect("seed-1 dir");
+    std::fs::write(seed1.join("ckpt-00000000000000000050.ckpt"), b"garbage").expect("corrupt");
+
+    // A fresh checkpointing server over the same cache directory.
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        cache_dir: cache_dir.clone(),
+        workers: 1,
+        checkpoint_every: Some(1e-9),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(&cfg).expect("server binds");
+    let addr = server.addr().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("server runs"));
+
+    let response = submit(&addr, &spec);
+    assert_eq!(response["queued"], 1, "{response}");
+    let keys: Vec<String> = response["cells"]
+        .as_array()
+        .expect("cells")
+        .iter()
+        .map(|v| v.as_str().expect("key").to_string())
+        .collect();
+    let bodies = wait_for_cells(&addr, &keys, Duration::from_secs(120));
+
+    // Byte identity despite the mixed resume/corrupt/cold starts.
+    let direct = run_cell(cell, &Supervision::default()).expect("direct run");
+    assert_eq!(direct.to_json_pretty(), bodies[0]);
+
+    // The recovery is visible: seed 0 resumed, seed 1's garbage was
+    // rejected, and both tallies are attributed to worker 0.
+    let status = status_json(&addr);
+    assert!(
+        status["resumed_runs"].as_u64() >= Some(1),
+        "seed 0 must resume from the snapshot: {status}"
+    );
+    assert!(
+        status["snapshot_fallbacks"].as_u64() >= Some(1),
+        "seed 1's corrupt snapshot must be counted: {status}"
+    );
+    assert_eq!(
+        status["recovery"][0]["resumed"], status["resumed_runs"],
+        "one worker owns every resume: {status}"
+    );
+
+    // The finished cell's snapshots were cleaned up.
+    assert!(
+        !cell_dir.exists(),
+        "a completed cell must remove its snapshot directory"
+    );
+
+    let (code, _) = request(&addr, "POST", "/drain", "").expect("drain");
+    assert_eq!(code, 200);
+    handle.join().expect("server thread exits cleanly");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+/// HTTP hardening edges: an oversized request is answered with a
+/// protocol-level `413` (not a silent connection drop), and a client
+/// that stalls without sending a request is cut off by the socket
+/// timeout without wedging the service.
+#[test]
+fn oversized_and_stalled_clients_cannot_wedge_the_service() {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    use mobic::sweepd::http::MAX_REQUEST_BYTES;
+
+    let (addr, cache_dir, handle) = start_with("harden", 1, |cfg| {
+        cfg.io_timeout = Duration::from_millis(300);
+    });
+
+    // Oversized: the declared body exceeds the cap, so the verdict
+    // arrives from the headers alone — no body bytes are ever sent.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    write!(
+        stream,
+        "POST /sweep HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        MAX_REQUEST_BYTES + 1
+    )
+    .expect("send head");
+    stream.flush().expect("flush");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read 413 response");
+    assert!(
+        response.starts_with("HTTP/1.1 413 Payload Too Large"),
+        "{response}"
+    );
+    drop(stream);
+
+    // Stalled: connect and send nothing. The read timeout must close
+    // the connection rather than parking the accept loop forever.
+    let mut stalled = TcpStream::connect(&addr).expect("connect stalled");
+    let mut buf = [0u8; 64];
+    let n = stalled.read(&mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "a stalled connection must be cut off, not served");
+    drop(stalled);
+
+    // The service is still healthy after both abuses.
+    let status = status_json(&addr);
+    assert_eq!(status["draining"], false, "{status}");
 
     let (code, _) = request(&addr, "POST", "/drain", "").expect("drain");
     assert_eq!(code, 200);
